@@ -1,0 +1,304 @@
+//! Shared configuration, outcome type, and execution helpers for the
+//! three baselines (HEA, P-QAOA, Choco-Q).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rasengan_core::latency::Latency;
+use rasengan_core::metrics::{
+    arg, best_solution, expectation, in_constraints_rate, penalty_lambda, Solution,
+};
+use rasengan_problems::{optimum, Problem, Sense};
+use rasengan_qsim::noise::{apply_readout_error, run_dense_trajectory};
+use rasengan_qsim::{Circuit, DenseState, Device, Label, NoiseModel};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Which classical optimizer trains a baseline's parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineOptimizer {
+    /// COBYLA-style trust region (paper default). Builds an
+    /// `n_params + 1`-point simplex up front — expensive for HEA's wide
+    /// parameter vectors.
+    Cobyla,
+    /// SPSA: 3 evaluations per iteration regardless of dimension.
+    Spsa,
+}
+
+/// Configuration shared by all baseline solvers.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Circuit repetitions / QAOA layers (paper: 5).
+    pub layers: usize,
+    /// Optimizer iteration budget (paper: 300 noise-free, 100 on
+    /// hardware).
+    pub max_iterations: usize,
+    /// Shots per evaluation; `None` = exact probabilities.
+    pub shots: Option<usize>,
+    /// Gate-level noise (forces shot-based execution).
+    pub noise: NoiseModel,
+    /// Device timing model for latency accounting.
+    pub device: Device,
+    /// Parameter-training optimizer.
+    pub optimizer: BaselineOptimizer,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            seed: 0,
+            layers: 5,
+            max_iterations: 300,
+            shots: None,
+            noise: NoiseModel::noise_free(),
+            device: Device::ibm_quebec(),
+            optimizer: BaselineOptimizer::Cobyla,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of layers.
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Sets the optimizer iteration budget.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets shot-based execution.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = Some(shots);
+        self
+    }
+
+    /// Sets the noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Selects the parameter optimizer (builder style).
+    pub fn with_optimizer(mut self, optimizer: BaselineOptimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Adopts a device's noise and timing models.
+    pub fn on_device(mut self, device: Device) -> Self {
+        self.noise = device.noise;
+        self.device = device;
+        self
+    }
+}
+
+/// Result of a baseline solve — mirrors [`rasengan_core::Outcome`]'s
+/// quality metrics so the comparison tables can treat all four
+/// algorithms uniformly.
+#[derive(Clone, Debug)]
+pub struct BaselineOutcome {
+    /// Best measured solution.
+    pub best: Solution,
+    /// Expectation of the (penalty-charged) objective over the final
+    /// distribution.
+    pub expectation: f64,
+    /// Approximation ratio gap (Eq. 9).
+    pub arg: f64,
+    /// Feasible fraction of the final distribution.
+    pub in_constraints_rate: f64,
+    /// Final distribution over basis labels.
+    pub distribution: BTreeMap<Label, f64>,
+    /// Two-qubit depth of one (decomposed) circuit instance.
+    pub circuit_depth: usize,
+    /// Number of variational parameters.
+    pub n_params: usize,
+    /// Modeled quantum + measured classical latency.
+    pub latency: Latency,
+    /// Best-so-far objective per iteration.
+    pub history: Vec<f64>,
+    /// Objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Executes a dense circuit and returns the measured distribution.
+///
+/// Noise-free without shots: exact probabilities. With shots: sampled
+/// counts. With noise: one trajectory per shot plus readout errors.
+pub fn run_dense(
+    circuit: &Circuit,
+    cfg: &BaselineConfig,
+    rng: &mut StdRng,
+) -> BTreeMap<Label, f64> {
+    let noisy = cfg.noise.is_noisy();
+    let shots = match (cfg.shots, noisy) {
+        (Some(s), _) => Some(s),
+        (None, true) => Some(1024),
+        (None, false) => None,
+    };
+    match shots {
+        None => {
+            let state = DenseState::from_circuit(circuit);
+            state
+                .probabilities()
+                .into_iter()
+                .enumerate()
+                .filter(|(_, p)| *p > 1e-12)
+                .map(|(l, p)| (l as Label, p))
+                .collect()
+        }
+        Some(budget) => {
+            let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
+            if noisy {
+                for _ in 0..budget {
+                    let state = run_dense_trajectory(circuit, &cfg.noise, rng);
+                    let sample = state.sample(1, rng);
+                    let (&label, _) = sample.iter().next().expect("one sample");
+                    let label =
+                        apply_readout_error(label as Label, circuit.n_qubits(), cfg.noise.readout, rng);
+                    *counts.entry(label).or_insert(0) += 1;
+                }
+            } else {
+                let state = DenseState::from_circuit(circuit);
+                for (label, c) in state.sample(budget, rng) {
+                    *counts.entry(label as Label).or_insert(0) += c;
+                }
+            }
+            let total: usize = counts.values().sum();
+            counts
+                .into_iter()
+                .map(|(l, c)| (l, c as f64 / total as f64))
+                .collect()
+        }
+    }
+}
+
+/// Wraps the common train-evaluate-report loop shared by the baselines:
+/// optimizes `build(params) → distribution` under the problem's
+/// penalty-charged expectation, then assembles a [`BaselineOutcome`].
+pub fn train_and_report(
+    problem: &Problem,
+    cfg: &BaselineConfig,
+    n_params: usize,
+    initial_params: Vec<f64>,
+    circuit_depth: usize,
+    quantum_seconds_per_eval: f64,
+    mut run: impl FnMut(&[f64], &mut StdRng) -> BTreeMap<Label, f64>,
+) -> BaselineOutcome {
+    use rasengan_optim::{Cobyla, Optimizer, Spsa};
+    assert_eq!(initial_params.len(), n_params, "parameter shape mismatch");
+
+    let wall = Instant::now();
+    let lambda = penalty_lambda(problem);
+    let sense = problem.sense();
+    let mut eval_counter = 0u64;
+    let mut quantum_s = 0.0f64;
+
+    let mut objective = |params: &[f64]| -> f64 {
+        eval_counter += 1;
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ eval_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let dist = run(params, &mut rng);
+        quantum_s += quantum_seconds_per_eval;
+        let e = expectation(problem, &dist, lambda);
+        match sense {
+            Sense::Minimize => e,
+            Sense::Maximize => -e,
+        }
+    };
+
+    let result = match cfg.optimizer {
+        BaselineOptimizer::Cobyla => {
+            Cobyla::new(cfg.max_iterations).minimize(&mut objective, &initial_params)
+        }
+        BaselineOptimizer::Spsa => {
+            Spsa::new(cfg.max_iterations, cfg.seed).minimize(&mut objective, &initial_params)
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1AA_F1AA);
+    let dist = run(&result.best_params, &mut rng);
+    quantum_s += quantum_seconds_per_eval;
+
+    let e_real = expectation(problem, &dist, lambda);
+    let (_, e_opt) = optimum(problem);
+    BaselineOutcome {
+        best: best_solution(problem, &dist),
+        expectation: e_real,
+        arg: arg(e_opt, e_real),
+        in_constraints_rate: in_constraints_rate(problem, &dist),
+        distribution: dist,
+        circuit_depth,
+        n_params,
+        latency: Latency {
+            quantum_s,
+            classical_s: wall.elapsed().as_secs_f64(),
+        },
+        history: result.history,
+        evaluations: result.evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_dense_exact_matches_statevector() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let cfg = BaselineConfig::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let dist = run_dense(&c, &cfg, &mut rng);
+        assert_eq!(dist.len(), 2);
+        assert!((dist[&0] - 0.5).abs() < 1e-12);
+        assert!((dist[&3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_dense_sampled_sums_to_one() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let cfg = BaselineConfig::default().with_shots(512);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = run_dense(&c, &cfg, &mut rng);
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_dense_noisy_produces_distribution() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let cfg = BaselineConfig::default()
+            .with_shots(64)
+            .with_noise(NoiseModel::depolarizing(0.05));
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = run_dense(&c, &cfg, &mut rng);
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = BaselineConfig::default()
+            .with_seed(9)
+            .with_layers(7)
+            .with_max_iterations(42)
+            .with_shots(10);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.layers, 7);
+        assert_eq!(cfg.max_iterations, 42);
+        assert_eq!(cfg.shots, Some(10));
+    }
+}

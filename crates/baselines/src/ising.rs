@@ -1,0 +1,233 @@
+//! QUBO and Ising encodings of penalized problems.
+//!
+//! Penalty-term methods (P-QAOA, HEA's cost function) replace the
+//! constrained problem by the unconstrained
+//! `f(x) + λ‖Cx − b‖²` (paper §2.1), whose quadratic form maps onto an
+//! Ising Hamiltonian `H = Σ hᵢZᵢ + Σ Jᵢⱼ ZᵢZⱼ + const` through
+//! `xᵢ = (1 − zᵢ)/2`.
+
+use rasengan_problems::{Problem, Sense};
+use std::collections::BTreeMap;
+
+/// A quadratic unconstrained binary objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Qubo {
+    /// Constant offset.
+    pub constant: f64,
+    /// Linear coefficients.
+    pub linear: Vec<f64>,
+    /// Upper-triangular quadratic coefficients keyed by `(i, j)`, `i < j`.
+    pub quadratic: BTreeMap<(usize, usize), f64>,
+}
+
+impl Qubo {
+    /// Evaluates the QUBO at a binary point.
+    pub fn eval(&self, x: &[i64]) -> f64 {
+        let mut v = self.constant;
+        for (i, &c) in self.linear.iter().enumerate() {
+            v += c * x[i] as f64;
+        }
+        for (&(i, j), &w) in &self.quadratic {
+            v += w * (x[i] * x[j]) as f64;
+        }
+        v
+    }
+}
+
+/// Builds the penalized QUBO of a problem, always in *minimization*
+/// form: a maximization objective is negated first, and the quadratic
+/// penalty `λ Σ_r (C_r·x − b_r)²` is added.
+pub fn penalized_qubo(problem: &Problem, lambda: f64) -> Qubo {
+    let n = problem.n_vars();
+    let obj = problem.objective();
+    let sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let mut constant = sign * obj.constant;
+    let mut linear = vec![0.0; n];
+    for (i, &c) in obj.linear.iter().enumerate() {
+        linear[i] += sign * c;
+    }
+    let mut quadratic: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut add_quad = |i: usize, j: usize, w: f64, linear: &mut Vec<f64>| {
+        if w == 0.0 {
+            return;
+        }
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => linear[i] += w, // x² = x
+            std::cmp::Ordering::Less => *quadratic.entry((i, j)).or_insert(0.0) += w,
+            std::cmp::Ordering::Greater => *quadratic.entry((j, i)).or_insert(0.0) += w,
+        }
+    };
+    for &(i, j, w) in &obj.quadratic {
+        add_quad(i, j, sign * w, &mut linear);
+    }
+
+    // Quadratic penalty per constraint row.
+    let c = problem.constraints();
+    for (r, &b) in problem.rhs().iter().enumerate() {
+        let row = c.row(r);
+        constant += lambda * (b * b) as f64;
+        for j in 0..n {
+            if row[j] == 0 {
+                continue;
+            }
+            linear[j] += lambda * (-2.0 * (b * row[j]) as f64);
+            for k in j..n {
+                if row[k] == 0 {
+                    continue;
+                }
+                let w = lambda * (row[j] * row[k]) as f64 * if j == k { 1.0 } else { 2.0 };
+                add_quad(j, k, w, &mut linear);
+            }
+        }
+    }
+
+    Qubo {
+        constant,
+        linear,
+        quadratic,
+    }
+}
+
+/// An Ising Hamiltonian `Σ hᵢZᵢ + Σ Jᵢⱼ ZᵢZⱼ + offset`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ising {
+    /// Constant offset (ignored by the circuit, needed for energies).
+    pub offset: f64,
+    /// Local fields.
+    pub h: Vec<f64>,
+    /// Couplings keyed by `(i, j)`, `i < j`.
+    pub j: BTreeMap<(usize, usize), f64>,
+}
+
+impl Ising {
+    /// Energy of a spin configuration given as the binary labels'
+    /// bits (`x = 1` ↔ `z = −1`).
+    pub fn energy_of_bits(&self, x: &[i64]) -> f64 {
+        let z = |i: usize| 1.0 - 2.0 * x[i] as f64;
+        let mut e = self.offset;
+        for (i, &hi) in self.h.iter().enumerate() {
+            e += hi * z(i);
+        }
+        for (&(a, b), &jab) in &self.j {
+            e += jab * z(a) * z(b);
+        }
+        e
+    }
+}
+
+/// Converts a QUBO to Ising form via `xᵢ = (1 − zᵢ)/2`.
+pub fn qubo_to_ising(q: &Qubo) -> Ising {
+    let n = q.linear.len();
+    let mut offset = q.constant;
+    let mut h = vec![0.0; n];
+    let mut j: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+
+    for (i, &a) in q.linear.iter().enumerate() {
+        offset += a / 2.0;
+        h[i] -= a / 2.0;
+    }
+    for (&(a, b), &w) in &q.quadratic {
+        offset += w / 4.0;
+        h[a] -= w / 4.0;
+        h[b] -= w / 4.0;
+        *j.entry((a, b)).or_insert(0.0) += w / 4.0;
+    }
+    Ising { offset, h, j }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasengan_math::IntMatrix;
+    use rasengan_problems::Objective;
+
+    fn toy(sense: Sense) -> Problem {
+        Problem::new(
+            "toy",
+            IntMatrix::from_rows(&[vec![1, 1]]),
+            vec![1],
+            Objective::linear(vec![1.0, 3.0]),
+            sense,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn qubo_matches_penalized_objective_minimize() {
+        let p = toy(Sense::Minimize);
+        let q = penalized_qubo(&p, 10.0);
+        for label in 0..4u64 {
+            let x = vec![(label & 1) as i64, (label >> 1) as i64];
+            let violation = (x[0] + x[1] - 1).pow(2) as f64;
+            let expect = p.evaluate(&x) + 10.0 * violation;
+            assert!(
+                (q.eval(&x) - expect).abs() < 1e-9,
+                "x={x:?}: qubo {} vs {}",
+                q.eval(&x),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn qubo_negates_for_maximization() {
+        let p = toy(Sense::Maximize);
+        let q = penalized_qubo(&p, 10.0);
+        // Feasible maximizer [0,1] must be the QUBO minimizer.
+        let vals: Vec<f64> = (0..4u64)
+            .map(|l| q.eval(&[(l & 1) as i64, (l >> 1) as i64]))
+            .collect();
+        let min_idx = (0..4).min_by(|&a, &b| vals[a].total_cmp(&vals[b])).unwrap();
+        assert_eq!(min_idx, 2, "expected [0,1] to minimize, got label {min_idx}");
+    }
+
+    #[test]
+    fn ising_energy_equals_qubo_value() {
+        let p = toy(Sense::Minimize);
+        let q = penalized_qubo(&p, 7.0);
+        let ising = qubo_to_ising(&q);
+        for label in 0..4u64 {
+            let x = vec![(label & 1) as i64, (label >> 1) as i64];
+            assert!(
+                (ising.energy_of_bits(&x) - q.eval(&x)).abs() < 1e-9,
+                "mismatch at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_objective_roundtrip() {
+        let p = Problem::new(
+            "quad",
+            IntMatrix::from_rows(&[vec![1, 1, 0]]),
+            vec![1],
+            Objective {
+                constant: 2.0,
+                linear: vec![1.0, 0.0, -1.0],
+                quadratic: vec![(0, 2, 4.0), (1, 2, -2.0)],
+            },
+            Sense::Minimize,
+        )
+        .unwrap();
+        let q = penalized_qubo(&p, 5.0);
+        let ising = qubo_to_ising(&q);
+        for label in 0..8u64 {
+            let x: Vec<i64> = (0..3).map(|i| (label >> i & 1) as i64).collect();
+            // The QUBO charges the squared (L2) violation.
+            let violation2: f64 = p
+                .constraints()
+                .mul_vec(&x)
+                .iter()
+                .zip(p.rhs())
+                .map(|(&g, &b)| ((g - b) * (g - b)) as f64)
+                .sum();
+            let expect = p.evaluate(&x) + 5.0 * violation2;
+            assert!((q.eval(&x) - expect).abs() < 1e-9);
+            assert!((ising.energy_of_bits(&x) - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Convergence analysis of training histories.
+//!
+//! The paper argues convergence behaviour throughout (Table 2's "300
+//! iterations suffice", Fig. 9's layer sweeps, §5.4's "100 iterations
+//! is sufficient to ensure convergence"). This module turns the
+//! best-so-far histories every solver records into comparable
+//! statistics.
+
+/// Summary statistics of a best-so-far objective history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Number of recorded iterations.
+    pub iterations: usize,
+    /// First and final best-so-far values.
+    pub initial: f64,
+    /// Final best-so-far value.
+    pub final_value: f64,
+    /// Total improvement `initial − final` (≥ 0 for minimization
+    /// histories).
+    pub improvement: f64,
+    /// Iteration index (1-based) at which 95% of the total improvement
+    /// had been achieved; `None` if the history never improved.
+    pub iterations_to_95pct: Option<usize>,
+    /// Fraction of iterations that strictly improved the incumbent.
+    pub improving_fraction: f64,
+}
+
+/// Summarizes a best-so-far (monotone non-increasing) history.
+///
+/// # Panics
+///
+/// Panics if the history is empty.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_core::analysis::summarize_history;
+///
+/// let hist = [10.0, 6.0, 6.0, 5.0, 5.0, 5.0];
+/// let s = summarize_history(&hist);
+/// assert_eq!(s.improvement, 5.0);
+/// assert_eq!(s.iterations_to_95pct, Some(4));
+/// ```
+pub fn summarize_history(history: &[f64]) -> ConvergenceSummary {
+    assert!(!history.is_empty(), "empty history");
+    let initial = history[0];
+    let final_value = *history.last().expect("non-empty");
+    let improvement = initial - final_value;
+
+    let iterations_to_95pct = if improvement > 0.0 {
+        let target = initial - 0.95 * improvement;
+        history
+            .iter()
+            .position(|&v| v <= target)
+            .map(|i| i + 1)
+    } else {
+        None
+    };
+
+    let improving = history
+        .windows(2)
+        .filter(|w| w[1] < w[0] - 1e-15)
+        .count();
+    ConvergenceSummary {
+        iterations: history.len(),
+        initial,
+        final_value,
+        improvement,
+        iterations_to_95pct,
+        improving_fraction: if history.len() > 1 {
+            improving as f64 / (history.len() - 1) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Compares two histories: how many fewer iterations the `candidate`
+/// needed to reach the `reference`'s final value (positive = candidate
+/// faster). `None` if the candidate never got there.
+pub fn iterations_saved(reference: &[f64], candidate: &[f64]) -> Option<isize> {
+    let target = *reference.last()?;
+    let cand_at = candidate.iter().position(|&v| v <= target + 1e-12)? + 1;
+    Some(reference.len() as isize - cand_at as isize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_flat_history() {
+        let s = summarize_history(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.improvement, 0.0);
+        assert_eq!(s.iterations_to_95pct, None);
+        assert_eq!(s.improving_fraction, 0.0);
+    }
+
+    #[test]
+    fn summary_of_single_point() {
+        let s = summarize_history(&[1.5]);
+        assert_eq!(s.iterations, 1);
+        assert_eq!(s.final_value, 1.5);
+    }
+
+    #[test]
+    fn ninety_five_percent_point() {
+        // Improvement 10 → target 10 − 9.5 = 0.5.
+        let hist = [10.0, 5.0, 1.0, 0.4, 0.0];
+        let s = summarize_history(&hist);
+        assert_eq!(s.iterations_to_95pct, Some(4));
+        assert!((s.improving_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterations_saved_comparison() {
+        let reference = [10.0, 8.0, 6.0, 4.0, 2.0];
+        let fast = [10.0, 2.0, 2.0];
+        assert_eq!(iterations_saved(&reference, &fast), Some(3));
+        let never = [10.0, 9.0];
+        assert_eq!(iterations_saved(&reference, &never), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty history")]
+    fn empty_history_panics() {
+        summarize_history(&[]);
+    }
+
+    #[test]
+    fn real_solver_history_summarizes() {
+        use crate::{Rasengan, RasenganConfig};
+        use rasengan_problems::registry::{benchmark, BenchmarkId};
+        let p = benchmark(BenchmarkId::parse("F1").unwrap());
+        let out = Rasengan::new(RasenganConfig::default().with_seed(2).with_max_iterations(60))
+            .solve(&p)
+            .unwrap();
+        let s = summarize_history(&out.history);
+        assert!(s.iterations > 0);
+        assert!(s.improvement >= 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! The Rasengan algorithm — transition-Hamiltonian-based approximation
+//! for constrained binary optimization (Jiang et al., MICRO 2025).
+//!
+//! Rasengan inverts the usual VQA strategy: instead of shrinking a
+//! global superposition toward the feasible set, it *expands* the search
+//! space outward from one feasible solution using transition
+//! Hamiltonians built from the constraint system's homogeneous basis
+//! (§3). Three hardware co-design optimizations make the circuits
+//! NISQ-deployable (§4): Hamiltonian simplification and pruning,
+//! segmented execution, and purification-based error mitigation.
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`hamiltonian`] | Definition 1, Eq. 5–7 |
+//! | [`simplify`] | Algorithm 1 (§4.1) |
+//! | [`prune`] | Hamiltonian pruning + early stop (§4.1, Fig. 6) |
+//! | [`segment`] | Segmented execution (§4.2, Fig. 7) |
+//! | [`purify`] | Error mitigation by purification (§4.3, Fig. 8) |
+//! | [`solver`] | The end-to-end variational loop |
+//! | [`metrics`] | ARG (Eq. 9), in-constraints rate |
+//! | [`latency`] | Training-latency model (Fig. 12/13) |
+//!
+//! # Example
+//!
+//! ```
+//! use rasengan_core::{Rasengan, RasenganConfig};
+//! use rasengan_problems::registry::{benchmark, BenchmarkId};
+//!
+//! let problem = benchmark(BenchmarkId::parse("F1").unwrap());
+//! let solver = Rasengan::new(RasenganConfig::default().with_max_iterations(100));
+//! let outcome = solver.solve(&problem).unwrap();
+//!
+//! // Rasengan's output always satisfies the constraints…
+//! assert_eq!(outcome.in_constraints_rate, 1.0);
+//! // …and the compiled circuit is NISQ-shallow.
+//! assert!(outcome.stats.max_segment_cx_depth <= 200);
+//! ```
+
+pub mod analysis;
+pub mod hamiltonian;
+pub mod latency;
+pub mod metrics;
+pub mod prune;
+pub mod purify;
+pub mod segment;
+pub mod simplify;
+pub mod solver;
+pub mod zne;
+
+pub use hamiltonian::{problem_basis, TransitionHamiltonian};
+pub use latency::Latency;
+pub use metrics::{arg, best_solution, distribution_arg, penalty_lambda, Solution};
+pub use prune::{build_chain, coverage_curve, Chain, ChainConfig, CoveragePoint};
+pub use segment::{apportion_shots, plan_segments, SegmentPlan};
+pub use simplify::{simplify_basis, SimplifyResult};
+pub use zne::{solve_with_zne, ZneResult};
+pub use solver::{
+    ChainStats, OptimizerKind, Outcome, Prepared, Rasengan, RasenganConfig, RasenganError,
+};

@@ -1,0 +1,349 @@
+//! Transition-chain construction, Hamiltonian pruning, and early stop
+//! (paper §4.1, Fig. 6).
+//!
+//! Theorem 1 bounds the chain at `m` rounds of the `m` transition
+//! Hamiltonians (totally unimodular constraints; `m²` operators), or
+//! `m²` rounds in the general case. Many of those operators expand
+//! nothing: pruning simulates the reachable feasible set classically and
+//! drops any operator that adds no new basis state, stopping the whole
+//! chain once `m` consecutive operators are dry (Fig. 6b's early stop).
+
+use crate::hamiltonian::TransitionHamiltonian;
+use rasengan_qsim::Label;
+use std::collections::HashSet;
+
+/// Configuration of the chain builder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainConfig {
+    /// Rounds of the basis to schedule. `None` = Theorem 1 default
+    /// (`m` rounds, the TU bound; all benchmark domains are TU).
+    pub max_rounds: Option<usize>,
+    /// Drop operators that expand nothing (opt 2 of the ablation).
+    pub prune: bool,
+    /// Stop after `m` consecutive dry operators (Fig. 6b).
+    pub early_stop: bool,
+    /// Cap on the tracked reachable set, mirroring the finite shot
+    /// budget used to detect redundancy on hardware. Scheduling stops
+    /// when the cap is hit (see [`Chain::support_capped`]).
+    pub support_cap: usize,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            max_rounds: None,
+            prune: true,
+            early_stop: true,
+            support_cap: 1 << 16,
+        }
+    }
+}
+
+/// A scheduled sequence of transition Hamiltonians.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    /// The kept operators in execution order.
+    pub ops: Vec<TransitionHamiltonian>,
+    /// Chain length before pruning (`rounds × m`).
+    pub raw_len: usize,
+    /// Number of operators dropped by pruning.
+    pub pruned: usize,
+    /// Whether early stop fired before the scheduled end.
+    pub early_stopped: bool,
+    /// Whether the reachable-set tracker hit `support_cap` (chain
+    /// scheduling stops there: redundancy can no longer be detected and
+    /// the measured distribution is bounded by the shot budget anyway).
+    pub support_capped: bool,
+    /// Number of reachable basis states discovered while building
+    /// (equals the feasible-set size when under `support_cap`).
+    pub reached_states: usize,
+}
+
+impl Chain {
+    /// Total CX cost of the whole chain under the `34k` model.
+    pub fn total_cx_cost(&self) -> usize {
+        self.ops.iter().map(|op| op.cx_cost()).sum()
+    }
+
+    /// Number of tunable evolution-time parameters (one per operator).
+    pub fn n_params(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Builds the transition chain from a (possibly simplified) basis and
+/// the seed feasible state.
+///
+/// # Panics
+///
+/// Panics if `basis` is empty (a fully-determined system has exactly one
+/// feasible solution and needs no quantum search).
+pub fn build_chain(basis: &[Vec<i64>], seed: Label, cfg: &ChainConfig) -> Chain {
+    assert!(!basis.is_empty(), "empty homogeneous basis");
+    let m = basis.len();
+    let rounds = cfg.max_rounds.unwrap_or(m);
+    let hams: Vec<TransitionHamiltonian> = basis
+        .iter()
+        .map(|u| TransitionHamiltonian::new(u.clone()))
+        .collect();
+
+    let mut reached: HashSet<Label> = HashSet::from([seed]);
+    let mut ops = Vec::new();
+    let mut pruned = 0usize;
+    let mut dry = 0usize;
+    let mut early_stopped = false;
+    let mut support_capped = false;
+    let mut raw_len = 0usize;
+
+    'rounds: for _ in 0..rounds {
+        for h in &hams {
+            if reached.len() >= cfg.support_cap {
+                // Redundancy detection saturated: keeping further
+                // operators would blow up the parameter count with no
+                // way to tell useful ones apart (a ~2000-parameter
+                // chain is untrainable anyway). Stop scheduling; the
+                // shot-bounded execution explores what it can.
+                support_capped = true;
+                raw_len = rounds * m;
+                break 'rounds;
+            }
+            raw_len += 1;
+            let expansion = h.expansion(&reached);
+            if !expansion.is_empty() {
+                reached.extend(expansion);
+                ops.push(h.clone());
+                dry = 0;
+            } else {
+                dry += 1;
+                if cfg.prune {
+                    pruned += 1;
+                } else {
+                    ops.push(h.clone());
+                }
+                if cfg.early_stop && dry >= m {
+                    early_stopped = true;
+                    // The raw schedule still counts the remaining slots.
+                    raw_len = rounds * m;
+                    break 'rounds;
+                }
+            }
+        }
+    }
+
+    Chain {
+        ops,
+        raw_len,
+        pruned,
+        early_stopped,
+        support_capped,
+        reached_states: reached.len(),
+    }
+}
+
+/// Number of basis states reachable from `seed` by ±basis moves with
+/// binary intermediates (capped BFS). Used to verify that a simplified
+/// basis has not disconnected the single-step transition graph.
+pub fn reachable_count(basis: &[Vec<i64>], seed: Label, cap: usize) -> usize {
+    let hams: Vec<TransitionHamiltonian> = basis
+        .iter()
+        .map(|u| TransitionHamiltonian::new(u.clone()))
+        .collect();
+    let mut reached: HashSet<Label> = HashSet::from([seed]);
+    let mut frontier = vec![seed];
+    while let Some(x) = frontier.pop() {
+        if reached.len() >= cap {
+            break;
+        }
+        for h in &hams {
+            if let Some(p) = h.partner(x) {
+                if reached.insert(p) {
+                    frontier.push(p);
+                }
+            }
+        }
+    }
+    reached.len()
+}
+
+/// One point of the Fig. 17 coverage analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoveragePoint {
+    /// Position in the chain, as a fraction of the total chain length.
+    pub chain_fraction: f64,
+    /// Fraction of the feasible space covered after this operator.
+    pub covered_fraction: f64,
+}
+
+/// Computes the feasible-space coverage curve of a chain: how much of
+/// the `total_feasible`-sized space the reachable set spans after each
+/// operator (paper Fig. 17, pruned vs unpruned).
+pub fn coverage_curve(
+    basis: &[Vec<i64>],
+    seed: Label,
+    total_feasible: usize,
+    cfg: &ChainConfig,
+) -> Vec<CoveragePoint> {
+    let chain = build_chain(basis, seed, cfg);
+    let mut reached: HashSet<Label> = HashSet::from([seed]);
+    let n_ops = chain.ops.len().max(1);
+    let mut out = Vec::with_capacity(chain.ops.len());
+    for (idx, op) in chain.ops.iter().enumerate() {
+        let expansion = op.expansion(&reached);
+        reached.extend(expansion);
+        out.push(CoveragePoint {
+            chain_fraction: (idx + 1) as f64 / n_ops as f64,
+            covered_fraction: reached.len() as f64 / total_feasible as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasengan_qsim::sparse::label_from_bits;
+
+    /// The paper's running example: 3 basis vectors, 5 feasible states.
+    fn paper_basis() -> Vec<Vec<i64>> {
+        vec![
+            vec![-1, 1, 0, 0, 0],
+            vec![-1, 0, -1, 1, 0],
+            vec![1, 0, 1, 0, 1],
+        ]
+    }
+
+    fn seed() -> Label {
+        label_from_bits(&[0, 0, 0, 1, 0])
+    }
+
+    #[test]
+    fn chain_covers_all_five_feasible_states() {
+        let chain = build_chain(&paper_basis(), seed(), &ChainConfig::default());
+        assert_eq!(chain.reached_states, 5, "chain must reach the full feasible set");
+    }
+
+    #[test]
+    fn pruning_shortens_the_chain() {
+        let pruned = build_chain(&paper_basis(), seed(), &ChainConfig::default());
+        let unpruned = build_chain(
+            &paper_basis(),
+            seed(),
+            &ChainConfig {
+                prune: false,
+                early_stop: false,
+                ..ChainConfig::default()
+            },
+        );
+        assert!(pruned.ops.len() < unpruned.ops.len());
+        assert_eq!(unpruned.ops.len(), 9, "m² = 9 operators without pruning");
+        assert_eq!(pruned.reached_states, unpruned.reached_states);
+    }
+
+    #[test]
+    fn figure6_first_operator_is_redundant() {
+        // u₁ = [-1,1,0,0,0] cannot act on x_p = [0,0,0,1,0] (needs bit 0
+        // or bit 1 set) — the τ₁ redundancy shown in Fig. 6a.
+        let chain = build_chain(&paper_basis(), seed(), &ChainConfig::default());
+        assert!(chain.pruned >= 1);
+        assert_ne!(chain.ops[0].u(), &[-1, 1, 0, 0, 0][..]);
+    }
+
+    #[test]
+    fn early_stop_fires_after_m_dry_operators() {
+        // Schedule extra rounds: once coverage is complete, the first m
+        // consecutive dry operators trigger the Fig. 6b early stop.
+        let cfg = ChainConfig {
+            max_rounds: Some(6),
+            ..ChainConfig::default()
+        };
+        let chain = build_chain(&paper_basis(), seed(), &cfg);
+        assert!(chain.early_stopped, "extra rounds past full coverage must go dry");
+        // One operator can expand several states at once (u₁ pairs both
+        // x₂↔x₄ and x₃↔x₅), so three kept operators cover all five states.
+        assert!(chain.ops.len() >= 3);
+        assert_eq!(chain.reached_states, 5);
+    }
+
+    #[test]
+    fn early_stop_disabled_runs_all_rounds() {
+        let cfg = ChainConfig {
+            early_stop: false,
+            prune: false,
+            ..ChainConfig::default()
+        };
+        let chain = build_chain(&paper_basis(), seed(), &cfg);
+        assert_eq!(chain.raw_len, 9);
+        assert!(!chain.early_stopped);
+    }
+
+    #[test]
+    fn max_rounds_override() {
+        let cfg = ChainConfig {
+            max_rounds: Some(1),
+            prune: false,
+            early_stop: false,
+            ..ChainConfig::default()
+        };
+        let chain = build_chain(&paper_basis(), seed(), &cfg);
+        assert_eq!(chain.raw_len, 3);
+    }
+
+    #[test]
+    fn cost_and_params_track_ops() {
+        let chain = build_chain(&paper_basis(), seed(), &ChainConfig::default());
+        assert_eq!(chain.n_params(), chain.ops.len());
+        let expect: usize = chain.ops.iter().map(|o| 34 * o.weight()).sum();
+        assert_eq!(chain.total_cx_cost(), expect);
+    }
+
+    #[test]
+    fn coverage_curve_reaches_one() {
+        let curve = coverage_curve(&paper_basis(), seed(), 5, &ChainConfig::default());
+        let last = curve.last().unwrap();
+        assert!((last.covered_fraction - 1.0).abs() < 1e-12);
+        assert!((last.chain_fraction - 1.0).abs() < 1e-12);
+        // Monotone coverage.
+        for w in curve.windows(2) {
+            assert!(w[1].covered_fraction >= w[0].covered_fraction);
+        }
+    }
+
+    #[test]
+    fn pruned_curve_rises_faster_than_unpruned() {
+        let pruned = coverage_curve(&paper_basis(), seed(), 5, &ChainConfig::default());
+        let unpruned = coverage_curve(
+            &paper_basis(),
+            seed(),
+            5,
+            &ChainConfig {
+                prune: false,
+                early_stop: false,
+                ..ChainConfig::default()
+            },
+        );
+        // Position (in ops) where full coverage is first reached.
+        let full_at = |curve: &[CoveragePoint]| {
+            curve
+                .iter()
+                .position(|p| p.covered_fraction >= 1.0)
+                .map(|i| i + 1)
+                .unwrap_or(usize::MAX)
+        };
+        assert!(full_at(&pruned) <= full_at(&unpruned));
+    }
+
+    #[test]
+    fn support_cap_stops_scheduling() {
+        let cfg = ChainConfig {
+            support_cap: 2,
+            ..ChainConfig::default()
+        };
+        let chain = build_chain(&paper_basis(), seed(), &cfg);
+        assert!(chain.support_capped, "cap must be reported");
+        // Scheduling stops at the cap: the chain stays short rather
+        // than ballooning with undetectable-redundancy operators.
+        assert!(!chain.ops.is_empty());
+        assert!(chain.ops.len() < 9);
+        assert!(chain.reached_states >= 2);
+    }
+}

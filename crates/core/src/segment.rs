@@ -1,0 +1,204 @@
+//! Segmented execution (paper §4.2, Fig. 7).
+//!
+//! The transition chain is partitioned into segments small enough for
+//! NISQ depth budgets. Each segment is executed as its own circuit: the
+//! previous segment's output distribution decides how the next segment's
+//! shot budget is split across input basis states (probability-
+//! preserving hand-off), and a column of X gates re-prepares each input
+//! state.
+
+use crate::hamiltonian::TransitionHamiltonian;
+use std::ops::Range;
+
+/// How the chain is split into segments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentPlan {
+    /// Operator index ranges, in execution order, covering the chain.
+    pub segments: Vec<Range<usize>>,
+}
+
+impl SegmentPlan {
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// Splits a chain into segments whose per-segment CX cost stays within
+/// `depth_budget_cx` (at least one operator per segment; a single
+/// operator above budget gets its own segment — the paper's "minimal
+/// execution circuit depth corresponds to a single transition
+/// Hamiltonian").
+///
+/// # Example
+///
+/// ```
+/// use rasengan_core::hamiltonian::TransitionHamiltonian;
+/// use rasengan_core::segment::plan_segments;
+///
+/// let ops: Vec<_> = [vec![1, -1, 0], vec![0, 1, -1], vec![1, 0, -1]]
+///     .into_iter()
+///     .map(TransitionHamiltonian::new)
+///     .collect();
+/// // Each op costs 68 CX; budget 70 → one op per segment.
+/// let plan = plan_segments(&ops, 70);
+/// assert_eq!(plan.len(), 3);
+/// ```
+pub fn plan_segments(ops: &[TransitionHamiltonian], depth_budget_cx: usize) -> SegmentPlan {
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    let mut cost = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let c = op.cx_cost();
+        if i > start && cost + c > depth_budget_cx {
+            segments.push(start..i);
+            start = i;
+            cost = 0;
+        }
+        cost += c;
+    }
+    if start < ops.len() {
+        segments.push(start..ops.len());
+    }
+    SegmentPlan { segments }
+}
+
+/// A whole-chain plan (segmentation disabled; opt-3 ablation).
+#[allow(clippy::single_range_in_vec_init)] // a one-range plan is the point
+pub fn single_segment(ops: &[TransitionHamiltonian]) -> SegmentPlan {
+    SegmentPlan {
+        segments: if ops.is_empty() {
+            Vec::new()
+        } else {
+            vec![0..ops.len()]
+        },
+    }
+}
+
+/// Splits `total` shots across `probs` proportionally using
+/// largest-remainder apportionment, so the shares always sum to `total`
+/// and every state with nonzero probability that rounds to zero still
+/// competes for remainder shots (Fig. 7's 70/30 example).
+///
+/// # Panics
+///
+/// Panics if `probs` is empty or sums to zero while `total > 0`.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_core::segment::apportion_shots;
+///
+/// assert_eq!(apportion_shots(&[0.7, 0.3], 100), vec![70, 30]);
+/// assert_eq!(apportion_shots(&[0.6, 0.25, 0.15], 200), vec![120, 50, 30]);
+/// ```
+pub fn apportion_shots(probs: &[f64], total: usize) -> Vec<usize> {
+    assert!(!probs.is_empty(), "cannot apportion to zero states");
+    let sum: f64 = probs.iter().sum();
+    if total == 0 {
+        return vec![0; probs.len()];
+    }
+    assert!(sum > 0.0, "probabilities sum to zero");
+
+    let quotas: Vec<f64> = probs.iter().map(|p| p / sum * total as f64).collect();
+    let mut shares: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = shares.iter().sum();
+    let mut remainder: Vec<(usize, f64)> = quotas
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (i, q - q.floor()))
+        .collect();
+    remainder.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (i, _) in remainder.into_iter().take(total - assigned) {
+        shares[i] += 1;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(weights: &[usize]) -> Vec<TransitionHamiltonian> {
+        weights
+            .iter()
+            .map(|&k| {
+                let mut u = vec![0i64; 8];
+                for slot in u.iter_mut().take(k) {
+                    *slot = 1;
+                }
+                TransitionHamiltonian::new(u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn budget_groups_ops() {
+        // Costs: 34, 34, 34 → budget 70 fits two per segment.
+        let plan = plan_segments(&ops(&[1, 1, 1]), 70);
+        assert_eq!(plan.segments, vec![0..2, 2..3]);
+    }
+
+    #[test]
+    fn oversized_op_gets_own_segment() {
+        // Cost 170 over budget 100: still scheduled alone.
+        let plan = plan_segments(&ops(&[5, 1]), 100);
+        assert_eq!(plan.segments, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn single_segment_covers_everything() {
+        let plan = single_segment(&ops(&[1, 2, 3]));
+        assert_eq!(plan.segments, vec![0..3]);
+        assert!(single_segment(&[]).is_empty());
+    }
+
+    #[test]
+    fn minimal_budget_gives_one_op_per_segment() {
+        let plan = plan_segments(&ops(&[2, 2, 2, 2]), 1);
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn apportionment_sums_to_total() {
+        for total in [1usize, 7, 100, 1024] {
+            let shares = apportion_shots(&[0.5, 0.3, 0.2], total);
+            assert_eq!(shares.iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn apportionment_matches_figure7() {
+        // 70% |x₁⟩, 30% |x₂⟩, 100 shots → 70 and 30.
+        assert_eq!(apportion_shots(&[0.7, 0.3], 100), vec![70, 30]);
+    }
+
+    #[test]
+    fn apportionment_handles_tiny_probabilities() {
+        let shares = apportion_shots(&[0.999, 0.001], 10);
+        assert_eq!(shares.iter().sum::<usize>(), 10);
+        assert_eq!(shares[0], 10);
+    }
+
+    #[test]
+    fn apportionment_unnormalized_input() {
+        // Raw counts work as weights too.
+        assert_eq!(apportion_shots(&[60.0, 20.0], 200), vec![150, 50]);
+    }
+
+    #[test]
+    fn zero_total_is_all_zero() {
+        assert_eq!(apportion_shots(&[0.5, 0.5], 0), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero states")]
+    fn empty_probs_panic() {
+        apportion_shots(&[], 10);
+    }
+}

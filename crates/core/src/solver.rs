@@ -1,0 +1,1019 @@
+//! The end-to-end Rasengan solver.
+//!
+//! Pipeline (paper §3–§4):
+//!
+//! 1. Ternary homogeneous basis of the constraints ([`crate::hamiltonian`]).
+//! 2. Hamiltonian simplification — Algorithm 1 ([`crate::simplify`]).
+//! 3. Chain construction with pruning and early stop ([`crate::prune`]).
+//! 4. Segmentation under a depth budget ([`crate::segment`]).
+//! 5. Variational training of the evolution times with a classical
+//!    optimizer, executing segments with probability-preserving shot
+//!    hand-off and purification ([`crate::purify`]).
+
+use crate::hamiltonian::problem_basis;
+use crate::latency::{segment_execution_seconds, Latency};
+use crate::metrics::{
+    arg, best_solution, expectation, in_constraints_rate, penalty_lambda, Solution,
+};
+use crate::prune::{build_chain, Chain, ChainConfig};
+use crate::purify::purify_distribution;
+use crate::segment::{apportion_shots, plan_segments, single_segment, SegmentPlan};
+use crate::simplify::simplify_basis;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan_math::basis::TernaryBasisError;
+use rasengan_optim::{Cobyla, NelderMead, Optimizer, Spsa};
+use rasengan_problems::{optimum, Problem};
+use rasengan_qsim::mitigation::{mitigate_readout, ReadoutModel};
+use rasengan_qsim::noise::{apply_gate_noise_sparse, apply_readout_error};
+use rasengan_qsim::sparse::label_from_bits;
+use rasengan_qsim::{Device, Label, NoiseModel, SparseState};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Which classical optimizer trains the evolution times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// COBYLA-style linear-approximation trust region (paper default).
+    Cobyla,
+    /// Nelder–Mead simplex.
+    NelderMead,
+    /// SPSA (robust under shot noise).
+    Spsa,
+}
+
+/// Configuration of a [`Rasengan`] solver.
+#[derive(Clone, Debug)]
+pub struct RasenganConfig {
+    /// RNG seed for sampling and noise trajectories.
+    pub seed: u64,
+    /// Shots per segment execution; `None` propagates exact
+    /// distributions (noise-free analysis mode).
+    pub shots: Option<usize>,
+    /// Gate-level noise model (forces shot-based execution).
+    pub noise: NoiseModel,
+    /// Device timing model for the latency accounting.
+    pub device: Device,
+    /// Opt 1: Hamiltonian simplification (Algorithm 1).
+    pub simplify: bool,
+    /// Opt 2: Hamiltonian pruning.
+    pub prune: bool,
+    /// Opt 2 (cont.): early stop after `m` dry operators.
+    pub early_stop: bool,
+    /// Opt 3: segmented execution.
+    pub segmented: bool,
+    /// Opt 3 (cont.): purification between segments.
+    pub purify: bool,
+    /// Per-segment CX-depth budget when segmented.
+    pub segment_depth_budget: usize,
+    /// Rounds of the basis to schedule (`None` = Theorem 1's default).
+    pub max_rounds: Option<usize>,
+    /// Optimizer iteration budget (paper: 300 noise-free, 100 on
+    /// hardware).
+    pub max_iterations: usize,
+    /// Which classical optimizer to use.
+    pub optimizer: OptimizerKind,
+    /// Reachable-set cap for pruning bookkeeping.
+    pub support_cap: usize,
+    /// Apply M3-style readout-error mitigation to each segment's
+    /// measured distribution before purification (only meaningful when
+    /// the noise model has a nonzero readout rate).
+    pub readout_mitigation: bool,
+    /// Warm-start evolution times (e.g. transferred from a previously
+    /// solved case of the same shape). Must match the compiled chain's
+    /// parameter count; `None` starts every time at π/4.
+    pub initial_times: Option<Vec<f64>>,
+    /// Shot multiplier for the final segment (paper Fig. 7: "the number
+    /// of shots for each segment can be dynamically configured" — its
+    /// example gives the last segment 10× to sharpen the output
+    /// distribution).
+    pub final_segment_shot_boost: usize,
+}
+
+impl Default for RasenganConfig {
+    fn default() -> Self {
+        RasenganConfig {
+            seed: 0,
+            shots: None,
+            noise: NoiseModel::noise_free(),
+            device: Device::ibm_quebec(),
+            simplify: true,
+            prune: true,
+            early_stop: true,
+            segmented: true,
+            purify: true,
+            segment_depth_budget: 102,
+            max_rounds: None,
+            max_iterations: 300,
+            optimizer: OptimizerKind::Cobyla,
+            support_cap: 1 << 16,
+            readout_mitigation: false,
+            initial_times: None,
+            final_segment_shot_boost: 1,
+        }
+    }
+}
+
+impl RasenganConfig {
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets shot-based execution with the given budget per segment.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = Some(shots);
+        self
+    }
+
+    /// Sets the noise model (implies shot-based execution).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the device timing model (and adopts its noise model).
+    pub fn on_device(mut self, device: Device) -> Self {
+        self.noise = device.noise;
+        self.device = device;
+        self
+    }
+
+    /// Sets the optimizer iteration budget.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Derives the per-segment CX-depth budget from the device's
+    /// two-qubit error rate so that one segment retains at least
+    /// `target_fidelity` probability of executing error-free:
+    /// `d = ln(target) / ln(1 − p₂)`. With IBM-Kyiv's 1.2% this lands
+    /// near the paper's ~50-deep segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target_fidelity < 1`.
+    pub fn with_fidelity_budget(mut self, device: &Device, target_fidelity: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_fidelity) && target_fidelity > 0.0,
+            "target fidelity must be in (0, 1)"
+        );
+        let p2 = device.noise.p2;
+        self.segment_depth_budget = if p2 <= 0.0 {
+            usize::MAX / 2
+        } else {
+            let d = target_fidelity.ln() / (1.0 - p2).ln();
+            (d.floor() as usize).max(34)
+        };
+        self
+    }
+
+    /// Enables M3-style readout mitigation (builder style).
+    pub fn with_readout_mitigation(mut self) -> Self {
+        self.readout_mitigation = true;
+        self
+    }
+
+    /// Warm-starts the optimizer from previously trained evolution
+    /// times (parameter transfer across cases of the same shape).
+    pub fn with_initial_times(mut self, times: Vec<f64>) -> Self {
+        self.initial_times = Some(times);
+        self
+    }
+
+    /// Gives the final segment `boost×` the configured shot budget
+    /// (Fig. 7's precision knob for the output distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boost == 0`.
+    pub fn with_final_segment_shot_boost(mut self, boost: usize) -> Self {
+        assert!(boost > 0, "shot boost must be positive");
+        self.final_segment_shot_boost = boost;
+        self
+    }
+
+    /// Disables all three optimizations (baseline ablation point).
+    pub fn without_optimizations(mut self) -> Self {
+        self.simplify = false;
+        self.prune = false;
+        self.early_stop = false;
+        self.segmented = false;
+        self.purify = false;
+        self
+    }
+}
+
+/// Error from [`Rasengan::solve`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RasenganError {
+    /// The constraint system admits no ternary homogeneous basis.
+    Basis(TernaryBasisError),
+    /// The problem carries no initial feasible solution and none was
+    /// found.
+    NoFeasibleSeed,
+    /// Noise destroyed feasibility: a segment produced no feasible
+    /// outcome, so the next segment cannot be initialized (the Fig. 10d
+    /// / Fig. 14b failure mode).
+    NoFeasibleOutput {
+        /// Index of the failing segment.
+        segment: usize,
+    },
+    /// The constraints fully determine the solution (nothing to search).
+    FullyDetermined,
+}
+
+impl fmt::Display for RasenganError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasenganError::Basis(e) => write!(f, "basis construction failed: {e}"),
+            RasenganError::NoFeasibleSeed => write!(f, "no feasible seed solution available"),
+            RasenganError::NoFeasibleOutput { segment } => {
+                write!(f, "segment {segment} produced no feasible outcome under noise")
+            }
+            RasenganError::FullyDetermined => {
+                write!(f, "constraints admit exactly one solution; nothing to optimize")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RasenganError {}
+
+/// Per-run structural statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainStats {
+    /// Number of homogeneous basis vectors `m`.
+    pub m_basis: usize,
+    /// Scheduled operators before pruning.
+    pub raw_ops: usize,
+    /// Operators kept after pruning/early stop.
+    pub kept_ops: usize,
+    /// Number of execution segments.
+    pub n_segments: usize,
+    /// CX depth of the deepest segment (the paper's reported "circuit
+    /// depth" for Rasengan).
+    pub max_segment_cx_depth: usize,
+    /// CX depth of the whole chain if run unsegmented.
+    pub total_cx_depth: usize,
+    /// Number of tunable parameters.
+    pub n_params: usize,
+    /// Nonzero-count of the basis before/after simplification.
+    pub simplify_cost: (usize, usize),
+}
+
+/// Result of a successful solve.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Best measured solution.
+    pub best: Solution,
+    /// Expectation of the objective over the final distribution.
+    pub expectation: f64,
+    /// Approximation ratio gap vs the exact optimum (Eq. 9).
+    pub arg: f64,
+    /// Feasible fraction of the final *raw* output (before
+    /// purification) — 1.0 in noise-free runs.
+    pub raw_in_constraints_rate: f64,
+    /// Feasible fraction of the returned distribution (1.0 whenever
+    /// purification is on).
+    pub in_constraints_rate: f64,
+    /// Final output distribution over basis-state labels.
+    pub distribution: BTreeMap<Label, f64>,
+    /// Structural statistics of the compiled chain.
+    pub stats: ChainStats,
+    /// Modeled quantum + measured classical latency.
+    pub latency: Latency,
+    /// Best-so-far objective after each optimizer iteration.
+    pub history: Vec<f64>,
+    /// Total objective evaluations (circuit batches) executed.
+    pub evaluations: usize,
+    /// Total shots consumed across all segments and iterations.
+    pub total_shots: usize,
+    /// The trained evolution times (reusable as a warm start for
+    /// sibling cases via [`RasenganConfig::with_initial_times`]).
+    pub trained_times: Vec<f64>,
+}
+
+/// A compiled-but-not-yet-trained Rasengan instance; exposes the
+/// depth/parameter metrics the ablation figures need without paying for
+/// optimization.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The (possibly simplified) homogeneous basis.
+    pub basis: Vec<Vec<i64>>,
+    /// The pruned transition chain.
+    pub chain: Chain,
+    /// The segmentation plan.
+    pub plan: SegmentPlan,
+    /// Seed feasible basis state.
+    pub seed_label: Label,
+    /// Structural statistics.
+    pub stats: ChainStats,
+}
+
+/// The Rasengan solver.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_core::{Rasengan, RasenganConfig};
+/// use rasengan_problems::registry::{benchmark, BenchmarkId};
+///
+/// let problem = benchmark(BenchmarkId::parse("J1").unwrap());
+/// let outcome = Rasengan::new(RasenganConfig::default().with_max_iterations(60))
+///     .solve(&problem)
+///     .unwrap();
+/// assert!(outcome.best.feasible);
+/// assert_eq!(outcome.in_constraints_rate, 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rasengan {
+    config: RasenganConfig,
+}
+
+impl Rasengan {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: RasenganConfig) -> Self {
+        Rasengan { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RasenganConfig {
+        &self.config
+    }
+
+    /// Compiles the problem into a transition chain and segmentation
+    /// plan without training.
+    ///
+    /// # Errors
+    ///
+    /// See [`RasenganError`].
+    pub fn prepare(&self, problem: &Problem) -> Result<Prepared, RasenganError> {
+        let cfg = &self.config;
+        let raw_basis = problem_basis(problem).map_err(RasenganError::Basis)?;
+        if raw_basis.is_empty() {
+            return Err(RasenganError::FullyDetermined);
+        }
+
+        let seed_bits = problem
+            .initial_feasible()
+            .map(<[i64]>::to_vec)
+            .or_else(|| {
+                rasengan_math::find_binary_solution(problem.constraints(), problem.rhs()).ok()
+            })
+            .ok_or(RasenganError::NoFeasibleSeed)?;
+        let seed_label = label_from_bits(&seed_bits);
+
+        let simplify_result = simplify_basis(&raw_basis);
+        let (basis, simplify_cost) = if cfg.simplify {
+            // Guard: a sparser basis spans the same lattice, but the
+            // *single-step* transition graph over binary states can lose
+            // connectivity (intermediate sums leave {0,1}^n). Keep the
+            // simplified basis only if it reaches at least as much of
+            // the feasible space from the seed.
+            let raw_reach = reachable_count(&raw_basis, seed_label, cfg.support_cap);
+            let simp_reach = reachable_count(&simplify_result.basis, seed_label, cfg.support_cap);
+            if simp_reach >= raw_reach {
+                (
+                    simplify_result.basis,
+                    (simplify_result.cost_before, simplify_result.cost_after),
+                )
+            } else {
+                let cost = simplify_result.cost_before;
+                (raw_basis, (cost, cost))
+            }
+        } else {
+            let cost = simplify_result.cost_before;
+            (raw_basis, (cost, cost))
+        };
+
+        let chain = build_chain(
+            &basis,
+            seed_label,
+            &ChainConfig {
+                max_rounds: cfg.max_rounds,
+                prune: cfg.prune,
+                early_stop: cfg.early_stop,
+                support_cap: cfg.support_cap,
+            },
+        );
+        let plan = if cfg.segmented {
+            plan_segments(&chain.ops, cfg.segment_depth_budget)
+        } else {
+            single_segment(&chain.ops)
+        };
+
+        let max_segment_cx_depth = plan
+            .segments
+            .iter()
+            .map(|r| chain.ops[r.clone()].iter().map(|o| o.cx_cost()).sum())
+            .max()
+            .unwrap_or(0);
+        let stats = ChainStats {
+            m_basis: basis.len(),
+            raw_ops: chain.raw_len,
+            kept_ops: chain.ops.len(),
+            n_segments: plan.len(),
+            max_segment_cx_depth,
+            total_cx_depth: chain.total_cx_cost(),
+            n_params: chain.n_params(),
+            simplify_cost,
+        };
+        Ok(Prepared {
+            basis,
+            chain,
+            plan,
+            seed_label,
+            stats,
+        })
+    }
+
+    /// Runs `n_starts` independent solves from different seeds and
+    /// initial times, returning the best outcome (lowest ARG). A cheap
+    /// defense against the local minima COBYLA occasionally lands in on
+    /// wide parameter vectors; each restart perturbs the seed and the
+    /// starting angles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error if *every* start fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_starts == 0`.
+    pub fn solve_multistart(
+        &self,
+        problem: &Problem,
+        n_starts: usize,
+    ) -> Result<Outcome, RasenganError> {
+        assert!(n_starts > 0, "need at least one start");
+        let n_params = self.prepare(problem)?.stats.n_params;
+        let mut best: Option<Outcome> = None;
+        let mut last_err = None;
+        for start in 0..n_starts {
+            let mut cfg = self.config.clone();
+            cfg.seed = cfg.seed.wrapping_add(start as u64 * 0x9E37);
+            if start > 0 {
+                // Spread the starting angles across (0, π/2).
+                let t = std::f64::consts::FRAC_PI_2 * (start as f64 + 0.5)
+                    / (n_starts as f64 + 1.0);
+                cfg.initial_times = Some(vec![t; n_params]);
+            }
+            match Rasengan::new(cfg).solve(problem) {
+                Ok(outcome) => {
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|incumbent| outcome.arg < incumbent.arg);
+                    if better {
+                        best = Some(outcome);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        best.ok_or_else(|| last_err.expect("no outcome implies an error"))
+    }
+
+    /// Runs the full variational solve.
+    ///
+    /// # Errors
+    ///
+    /// See [`RasenganError`]. Under heavy noise the final execution may
+    /// fail with [`RasenganError::NoFeasibleOutput`].
+    pub fn solve(&self, problem: &Problem) -> Result<Outcome, RasenganError> {
+        let wall = Instant::now();
+        let prepared = self.prepare(problem)?;
+        let cfg = &self.config;
+        let n_params = prepared.stats.n_params;
+        let sense = problem.sense();
+        let lambda = penalty_lambda(problem);
+
+        // Shared accounting across objective evaluations.
+        let mut quantum_s = 0.0f64;
+        let mut total_shots = 0usize;
+        let mut eval_counter = 0u64;
+
+        // Training loop: minimize the sense-adjusted expectation.
+        let mut objective = |params: &[f64]| -> f64 {
+            eval_counter += 1;
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ eval_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            match execute(problem, &prepared, params, cfg, lambda, &mut rng) {
+                Ok(exec) => {
+                    quantum_s += exec.quantum_s;
+                    total_shots += exec.shots;
+                    let e = expectation(problem, &exec.distribution, lambda);
+                    match sense {
+                        rasengan_problems::Sense::Minimize => e,
+                        rasengan_problems::Sense::Maximize => -e,
+                    }
+                }
+                // A failed evaluation (noise destroyed feasibility) is
+                // charged a large *finite* penalty: infinities would
+                // poison the optimizer's linear interpolation into NaN
+                // parameter steps.
+                Err(_) => FAILURE_OBJECTIVE,
+            }
+        };
+
+        let x0 = match &cfg.initial_times {
+            Some(times) if times.len() == n_params => times.clone(),
+            // A transferred vector from a different shape is truncated /
+            // padded rather than rejected: chains of sibling cases often
+            // differ by a few pruned operators.
+            Some(times) => {
+                let mut x = times.clone();
+                x.resize(n_params, std::f64::consts::FRAC_PI_4);
+                x
+            }
+            None => vec![std::f64::consts::FRAC_PI_4; n_params],
+        };
+        let result = match cfg.optimizer {
+            OptimizerKind::Cobyla => Cobyla::new(cfg.max_iterations).minimize(&mut objective, &x0),
+            OptimizerKind::NelderMead => {
+                NelderMead::new(cfg.max_iterations).minimize(&mut objective, &x0)
+            }
+            OptimizerKind::Spsa => {
+                Spsa::new(cfg.max_iterations, cfg.seed).minimize(&mut objective, &x0)
+            }
+        };
+
+        // Final execution at the trained parameters.
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1AA_F1AA);
+        let exec = execute(problem, &prepared, &result.best_params, cfg, lambda, &mut rng)?;
+        quantum_s += exec.quantum_s;
+        total_shots += exec.shots;
+
+        let e_real = expectation(problem, &exec.distribution, lambda);
+        let (_, e_opt) = optimum(problem);
+        let best = best_solution(problem, &exec.distribution);
+        let rate = in_constraints_rate(problem, &exec.distribution);
+
+        Ok(Outcome {
+            best,
+            expectation: e_real,
+            arg: arg(e_opt, e_real),
+            raw_in_constraints_rate: exec.raw_in_constraints_rate,
+            in_constraints_rate: rate,
+            distribution: exec.distribution,
+            stats: prepared.stats,
+            latency: Latency {
+                quantum_s,
+                classical_s: wall.elapsed().as_secs_f64(),
+            },
+            history: result.history,
+            evaluations: result.evaluations,
+            total_shots,
+            trained_times: result.best_params,
+        })
+    }
+}
+
+use crate::prune::reachable_count;
+
+/// Objective value charged when an evaluation fails under noise; large
+/// enough to steer any optimizer away, finite so interpolation stays
+/// well-conditioned.
+const FAILURE_OBJECTIVE: f64 = 1e12;
+
+/// Result of executing the full segmented chain once at fixed
+/// parameters.
+struct Execution {
+    distribution: BTreeMap<Label, f64>,
+    raw_in_constraints_rate: f64,
+    quantum_s: f64,
+    shots: usize,
+}
+
+/// Executes the chain segment-by-segment from the seed state.
+fn execute(
+    problem: &Problem,
+    prepared: &Prepared,
+    params: &[f64],
+    cfg: &RasenganConfig,
+    _lambda: f64,
+    rng: &mut StdRng,
+) -> Result<Execution, RasenganError> {
+    debug_assert!(
+        params.iter().all(|t| t.is_finite()),
+        "non-finite evolution times reached the executor"
+    );
+    let noisy = cfg.noise.is_noisy();
+    let shots = match (cfg.shots, noisy) {
+        (Some(s), _) => Some(s),
+        (None, true) => Some(1024), // noise forces sampling
+        (None, false) => None,
+    };
+
+    let mut dist: BTreeMap<Label, f64> = BTreeMap::from([(prepared.seed_label, 1.0)]);
+    let mut quantum_s = 0.0;
+    let mut shots_used = 0usize;
+    let mut raw_rate = 1.0;
+
+    let n_segments = prepared.plan.segments.len();
+    for (seg_idx, range) in prepared.plan.segments.iter().enumerate() {
+        let ops = &prepared.chain.ops[range.clone()];
+        let times = &params[range.clone()];
+        let cx_depth: usize = ops.iter().map(|o| o.cx_cost()).sum();
+        let shots = shots.map(|s| {
+            if seg_idx + 1 == n_segments {
+                s * cfg.final_segment_shot_boost
+            } else {
+                s
+            }
+        });
+
+        match shots {
+            None => {
+                // Exact mixture propagation (noise-free analysis mode).
+                // Quantum latency is still charged at the notional 1024
+                // shots a hardware run would use, so latency reports stay
+                // comparable with the shot-based baselines.
+                quantum_s += segment_execution_seconds(
+                    &cfg.device,
+                    cx_depth,
+                    4 * ops.len(),
+                    1024,
+                );
+                let mut next: BTreeMap<Label, f64> = BTreeMap::new();
+                for (&label, &p) in &dist {
+                    let mut state = SparseState::basis_state(problem.n_vars(), label);
+                    for (op, &t) in ops.iter().zip(times) {
+                        op.apply(&mut state, t);
+                    }
+                    for (l, q) in state.distribution() {
+                        *next.entry(l).or_insert(0.0) += p * q;
+                    }
+                }
+                dist = next;
+            }
+            Some(budget) => {
+                let inputs: Vec<Label> = dist.keys().copied().collect();
+                let probs: Vec<f64> = dist.values().copied().collect();
+                let shares = apportion_shots(&probs, budget);
+                let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
+                for (&input, &share) in inputs.iter().zip(&shares) {
+                    if share == 0 {
+                        continue;
+                    }
+                    shots_used += share;
+                    quantum_s += segment_execution_seconds(
+                        &cfg.device,
+                        cx_depth,
+                        // 1Q layers: X-preparation plus the H/X shells of
+                        // each τ (≈ 4 per operator).
+                        input.count_ones() as usize + 4 * ops.len(),
+                        share,
+                    );
+                    if noisy {
+                        for _ in 0..share {
+                            let label = run_noisy_trajectory(
+                                problem.n_vars(),
+                                input,
+                                ops,
+                                times,
+                                &cfg.noise,
+                                rng,
+                            );
+                            *counts.entry(label).or_insert(0) += 1;
+                        }
+                    } else {
+                        let mut state = SparseState::basis_state(problem.n_vars(), input);
+                        for (op, &t) in ops.iter().zip(times) {
+                            op.apply(&mut state, t);
+                        }
+                        for (label, c) in state.sample(share, rng) {
+                            *counts.entry(label).or_insert(0) += c;
+                        }
+                    }
+                }
+
+                let total: usize = counts.values().sum();
+                let mut raw: BTreeMap<Label, f64> = counts
+                    .into_iter()
+                    .map(|(l, c)| (l, c as f64 / total.max(1) as f64))
+                    .collect();
+                if cfg.readout_mitigation && cfg.noise.readout > 0.0 {
+                    raw = mitigate_readout(
+                        &raw,
+                        problem.n_vars(),
+                        ReadoutModel::new(cfg.noise.readout),
+                    );
+                }
+                if cfg.purify {
+                    let (clean, rate) = purify_distribution(problem, &raw)
+                        .ok_or(RasenganError::NoFeasibleOutput { segment: seg_idx })?;
+                    raw_rate = rate;
+                    dist = clean;
+                } else {
+                    raw_rate = crate::metrics::in_constraints_rate(problem, &raw);
+                    dist = raw;
+                }
+            }
+        }
+    }
+
+    Ok(Execution {
+        distribution: dist,
+        raw_in_constraints_rate: raw_rate,
+        quantum_s,
+        shots: shots_used,
+    })
+}
+
+/// One noisy shot: prepares `input` with X gates, applies the segment's
+/// transition operators with per-CX Pauli trajectories and damping, then
+/// measures with readout error.
+fn run_noisy_trajectory(
+    n: usize,
+    input: Label,
+    ops: &[crate::hamiltonian::TransitionHamiltonian],
+    times: &[f64],
+    noise: &NoiseModel,
+    rng: &mut StdRng,
+) -> Label {
+    let mut state = SparseState::basis_state(n, input);
+    // State-preparation X column.
+    let prep_qubits: Vec<usize> = (0..n).filter(|&q| input >> q & 1 == 1).collect();
+    apply_gate_noise_sparse(&mut state, &prep_qubits, noise.p1, noise, rng);
+
+    let damping_only = NoiseModel {
+        p1: 0.0,
+        p2: 0.0,
+        readout: 0.0,
+        ..*noise
+    };
+    for (op, &t) in ops.iter().zip(times) {
+        op.apply(&mut state, t);
+        // Each τ compiles to 34k CX gates; every CX slot is an error
+        // opportunity: a depolarizing event with probability p₂ on a
+        // random support qubit, plus amplitude/phase damping on the
+        // slot's two operands (damping accrues with *circuit duration*,
+        // which is why deep unsegmented chains collapse — Fig. 14b).
+        let support = op.support();
+        for _ in 0..op.cx_cost() {
+            if noise.p2 > 0.0 && rng.gen::<f64>() < noise.p2 {
+                let q = support[rng.gen_range(0..support.len())];
+                apply_gate_noise_sparse(&mut state, &[q], 1.0, &NoiseModel::noise_free(), rng);
+            }
+            if damping_only.is_noisy() {
+                let a = support[rng.gen_range(0..support.len())];
+                let b = support[rng.gen_range(0..support.len())];
+                let slot = if a == b { vec![a] } else { vec![a, b] };
+                apply_gate_noise_sparse(&mut state, &slot, 0.0, &damping_only, rng);
+            }
+        }
+    }
+
+    let label = state.sample_one(rng);
+    apply_readout_error(label, n, noise.readout, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasengan_problems::registry::{benchmark, BenchmarkId};
+    use rasengan_problems::{enumerate_feasible, optimum};
+
+    fn j1() -> Problem {
+        benchmark(BenchmarkId::parse("J1").unwrap())
+    }
+
+    #[test]
+    fn prepare_reports_consistent_stats() {
+        let prepared = Rasengan::new(RasenganConfig::default()).prepare(&j1()).unwrap();
+        assert_eq!(prepared.stats.kept_ops, prepared.chain.ops.len());
+        assert_eq!(prepared.stats.n_params, prepared.chain.ops.len());
+        assert!(prepared.stats.n_segments >= 1);
+        assert!(prepared.stats.max_segment_cx_depth <= prepared.stats.total_cx_depth);
+    }
+
+    #[test]
+    fn noise_free_exact_solve_reaches_low_arg() {
+        let outcome = Rasengan::new(RasenganConfig::default().with_max_iterations(150))
+            .solve(&j1())
+            .unwrap();
+        assert!(outcome.best.feasible);
+        assert_eq!(outcome.in_constraints_rate, 1.0);
+        assert_eq!(outcome.raw_in_constraints_rate, 1.0);
+        assert!(outcome.arg < 0.5, "arg {}", outcome.arg);
+        // The best measured solution should be the true optimum here.
+        let (_, e_opt) = optimum(&j1());
+        assert!((outcome.best.value - e_opt).abs() < 1e-9, "best {}", outcome.best.value);
+    }
+
+    #[test]
+    fn output_support_is_subset_of_feasible_set() {
+        let p = j1();
+        let outcome = Rasengan::new(RasenganConfig::default().with_max_iterations(40))
+            .solve(&p)
+            .unwrap();
+        let feasible = enumerate_feasible(&p);
+        for &label in outcome.distribution.keys() {
+            let bits = rasengan_qsim::sparse::bits_from_label(label, p.n_vars());
+            assert!(feasible.contains(&bits), "infeasible state in output: {bits:?}");
+        }
+    }
+
+    #[test]
+    fn shot_based_noise_free_solve_works() {
+        let cfg = RasenganConfig::default()
+            .with_shots(512)
+            .with_max_iterations(60)
+            .with_seed(3);
+        let outcome = Rasengan::new(cfg).solve(&j1()).unwrap();
+        assert!(outcome.best.feasible);
+        assert!(outcome.total_shots > 0);
+        assert!(outcome.latency.quantum_s > 0.0);
+    }
+
+    #[test]
+    fn noisy_solve_purifies_to_full_constraint_satisfaction() {
+        let cfg = RasenganConfig::default()
+            .with_noise(NoiseModel::depolarizing(2e-3))
+            .with_shots(256)
+            .with_max_iterations(25)
+            .with_seed(11);
+        let outcome = Rasengan::new(cfg).solve(&j1()).unwrap();
+        assert_eq!(outcome.in_constraints_rate, 1.0, "purification must clean the output");
+        assert!(outcome.raw_in_constraints_rate <= 1.0);
+        assert!(outcome.best.feasible);
+    }
+
+    #[test]
+    fn seeds_reproduce() {
+        let cfg = RasenganConfig::default()
+            .with_shots(128)
+            .with_max_iterations(20)
+            .with_seed(5);
+        let a = Rasengan::new(cfg.clone()).solve(&j1()).unwrap();
+        let b = Rasengan::new(cfg).solve(&j1()).unwrap();
+        assert_eq!(a.expectation, b.expectation);
+        assert_eq!(a.distribution, b.distribution);
+    }
+
+    #[test]
+    fn unsegmented_mode_single_segment() {
+        let mut cfg = RasenganConfig::default();
+        cfg.segmented = false;
+        let prepared = Rasengan::new(cfg).prepare(&j1()).unwrap();
+        assert_eq!(prepared.stats.n_segments, 1);
+        assert_eq!(prepared.stats.max_segment_cx_depth, prepared.stats.total_cx_depth);
+    }
+
+    #[test]
+    fn pruning_reduces_parameters() {
+        let with = Rasengan::new(RasenganConfig::default()).prepare(&j1()).unwrap();
+        let without = {
+            let mut cfg = RasenganConfig::default();
+            cfg.prune = false;
+            cfg.early_stop = false;
+            Rasengan::new(cfg).prepare(&j1()).unwrap()
+        };
+        assert!(with.stats.kept_ops <= without.stats.kept_ops);
+    }
+
+    #[test]
+    fn fidelity_budget_matches_paper_scale() {
+        let cfg = RasenganConfig::default()
+            .with_fidelity_budget(&Device::ibm_kyiv(), 0.5);
+        // ln(0.5)/ln(1−0.012) ≈ 57 — the paper's ~50-deep segments.
+        assert!(
+            (40..=80).contains(&cfg.segment_depth_budget),
+            "budget {}",
+            cfg.segment_depth_budget
+        );
+        let noise_free = RasenganConfig::default()
+            .with_fidelity_budget(&Device::noise_free(10), 0.5);
+        assert!(noise_free.segment_depth_budget > 1_000_000);
+    }
+
+    #[test]
+    fn readout_mitigation_improves_noisy_rate() {
+        // Pure readout noise: every measurement error is a classical
+        // bit flip, which mitigation + purification should clean up.
+        let noise = NoiseModel::ibm_like(0.0, 0.0, 0.05);
+        let base = RasenganConfig::default()
+            .with_seed(17)
+            .with_noise(noise)
+            .with_shots(1024)
+            .with_max_iterations(20);
+        let plain = Rasengan::new(base.clone()).solve(&j1()).unwrap();
+        let mitigated = Rasengan::new(base.with_readout_mitigation())
+            .solve(&j1())
+            .unwrap();
+        // Both purify to 100%; the mitigated run should not be worse on
+        // the raw feasible fraction (mitigation reassigns flipped mass).
+        assert!(mitigated.raw_in_constraints_rate >= plain.raw_in_constraints_rate - 0.05);
+        assert!(mitigated.best.feasible);
+    }
+
+    #[test]
+    fn multistart_beats_or_matches_single_start() {
+        let p = benchmark(BenchmarkId::parse("S2").unwrap());
+        let solver = Rasengan::new(
+            RasenganConfig::default().with_seed(2).with_max_iterations(40),
+        );
+        let single = solver.solve(&p).unwrap();
+        let multi = solver.solve_multistart(&p, 4).unwrap();
+        assert!(multi.arg <= single.arg + 1e-12, "multi {} vs single {}", multi.arg, single.arg);
+        assert!(multi.best.feasible);
+    }
+
+    #[test]
+    fn final_segment_shot_boost_multiplies_budget() {
+        let cfg = RasenganConfig::default()
+            .with_seed(1)
+            .with_shots(100)
+            .with_max_iterations(5)
+            .with_final_segment_shot_boost(10);
+        let boosted = Rasengan::new(cfg.clone()).solve(&j1()).unwrap();
+        let mut plain_cfg = cfg;
+        plain_cfg.final_segment_shot_boost = 1;
+        let plain = Rasengan::new(plain_cfg).solve(&j1()).unwrap();
+        assert!(
+            boosted.total_shots > plain.total_shots,
+            "boost had no effect: {} vs {}",
+            boosted.total_shots,
+            plain.total_shots
+        );
+    }
+
+    #[test]
+    fn alternative_optimizers_also_converge() {
+        for kind in [OptimizerKind::NelderMead, OptimizerKind::Spsa] {
+            let mut cfg = RasenganConfig::default()
+                .with_seed(7)
+                .with_max_iterations(150);
+            cfg.optimizer = kind;
+            let outcome = Rasengan::new(cfg).solve(&j1()).unwrap();
+            assert!(outcome.best.feasible, "{kind:?} produced infeasible best");
+            assert!(outcome.arg < 1.0, "{kind:?} stalled at ARG {}", outcome.arg);
+        }
+    }
+
+    #[test]
+    fn warm_start_transfers_parameters() {
+        use rasengan_problems::registry::cases;
+        // Train on one F2 case, warm-start a sibling case of the same
+        // shape; the transferred run must converge at least as well
+        // within a small budget.
+        let siblings = cases(BenchmarkId::parse("F2").unwrap(), 2, 99);
+        let teacher = Rasengan::new(
+            RasenganConfig::default().with_seed(1).with_max_iterations(120),
+        )
+        .solve(&siblings[0])
+        .unwrap();
+        let cold = Rasengan::new(
+            RasenganConfig::default().with_seed(1).with_max_iterations(15),
+        )
+        .solve(&siblings[1])
+        .unwrap();
+        let warm = Rasengan::new(
+            RasenganConfig::default()
+                .with_seed(1)
+                .with_max_iterations(15)
+                .with_initial_times(teacher.trained_times.clone()),
+        )
+        .solve(&siblings[1])
+        .unwrap();
+        assert!(warm.best.feasible);
+        // Not strictly guaranteed per-instance, but the transferred
+        // start must at least produce a valid competitive run.
+        assert!(warm.arg <= cold.arg + 0.5, "warm {} vs cold {}", warm.arg, cold.arg);
+    }
+
+    #[test]
+    fn maximization_problems_solve() {
+        use rasengan_problems::portfolio::Portfolio;
+        let p = Portfolio::generate(2, 3, 1, 4).into_problem();
+        let outcome = Rasengan::new(
+            RasenganConfig::default().with_seed(8).with_max_iterations(120),
+        )
+        .solve(&p)
+        .unwrap();
+        let (_, e_opt) = rasengan_problems::optimum(&p);
+        assert!(outcome.best.feasible);
+        assert!(
+            (outcome.best.value - e_opt).abs() < 1e-9,
+            "max-sense best {} vs optimum {e_opt}",
+            outcome.best.value
+        );
+    }
+
+    #[test]
+    fn simplification_never_increases_depth() {
+        let p = benchmark(BenchmarkId::parse("S2").unwrap());
+        let with = Rasengan::new(RasenganConfig::default()).prepare(&p).unwrap();
+        let without = {
+            let mut cfg = RasenganConfig::default();
+            cfg.simplify = false;
+            Rasengan::new(cfg).prepare(&p).unwrap()
+        };
+        assert!(with.stats.simplify_cost.1 <= without.stats.simplify_cost.0);
+    }
+}

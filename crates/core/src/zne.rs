@@ -1,0 +1,164 @@
+//! Zero-noise extrapolation (ZNE) — an additional error-mitigation
+//! layer orthogonal to purification.
+//!
+//! ZNE runs the same computation at artificially amplified noise levels
+//! (scaling every error rate by `λ ∈ {1, 2, 3, …}`) and extrapolates
+//! the expectation value back to `λ = 0` with a polynomial fit.
+//! Purification guarantees *feasibility*; ZNE additionally corrects the
+//! *distribution over feasible states* that depolarizing noise skews.
+//! The paper lists error mitigation as an orthogonal optimization axis
+//! (§4.3); this module explores the obvious next step on that axis.
+
+use crate::solver::{Rasengan, RasenganConfig, RasenganError};
+use rasengan_problems::Problem;
+use rasengan_qsim::NoiseModel;
+
+/// Result of a zero-noise extrapolation run.
+#[derive(Clone, Debug)]
+pub struct ZneResult {
+    /// Noise scale factors used.
+    pub scales: Vec<f64>,
+    /// Measured expectation at each scale.
+    pub expectations: Vec<f64>,
+    /// The extrapolated zero-noise expectation.
+    pub extrapolated: f64,
+    /// ARG computed from the extrapolated expectation.
+    pub arg: f64,
+}
+
+/// Scales every stochastic error channel of a noise model by `factor`
+/// (clamping probabilities below 1).
+pub fn scale_noise(noise: &NoiseModel, factor: f64) -> NoiseModel {
+    let clamp = |p: f64| (p * factor).min(0.999);
+    NoiseModel {
+        p1: clamp(noise.p1),
+        p2: clamp(noise.p2),
+        readout: (noise.readout * factor).min(0.49),
+        amplitude_damping: clamp(noise.amplitude_damping),
+        phase_damping: clamp(noise.phase_damping),
+    }
+}
+
+/// Fits `y = a + b·x` by least squares and evaluates at `x = 0`
+/// (Richardson extrapolation with a linear model; adequate for the
+/// small scale sets used here).
+pub fn linear_extrapolate(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "scale/value length mismatch");
+    assert!(xs.len() >= 2, "need at least two points to extrapolate");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return sy / n;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    
+    (sy - b * sx) / n
+}
+
+/// Runs Rasengan at each noise scale and extrapolates the expectation
+/// to zero noise.
+///
+/// The configuration's own noise model is the `λ = 1` point; it must be
+/// noisy (otherwise there is nothing to extrapolate).
+///
+/// # Errors
+///
+/// Propagates the first [`RasenganError`] from any scale's run.
+///
+/// # Panics
+///
+/// Panics if `cfg.noise` is noise-free or `scales` has fewer than two
+/// entries.
+pub fn solve_with_zne(
+    problem: &Problem,
+    cfg: &RasenganConfig,
+    scales: &[f64],
+) -> Result<ZneResult, RasenganError> {
+    assert!(cfg.noise.is_noisy(), "ZNE requires a noisy base model");
+    assert!(scales.len() >= 2, "need at least two noise scales");
+
+    let mut expectations = Vec::with_capacity(scales.len());
+    for (i, &scale) in scales.iter().enumerate() {
+        let mut scaled = cfg.clone();
+        scaled.noise = scale_noise(&cfg.noise, scale);
+        scaled.seed = cfg.seed.wrapping_add(i as u64);
+        let outcome = Rasengan::new(scaled).solve(problem)?;
+        expectations.push(outcome.expectation);
+    }
+    let extrapolated = linear_extrapolate(scales, &expectations);
+    let (_, e_opt) = rasengan_problems::optimum(problem);
+    Ok(ZneResult {
+        scales: scales.to_vec(),
+        expectations,
+        extrapolated,
+        arg: crate::metrics::arg(e_opt, extrapolated),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasengan_problems::registry::{benchmark, BenchmarkId};
+
+    #[test]
+    fn noise_scaling_clamps() {
+        let base = NoiseModel::depolarizing(0.4).with_amplitude_damping(0.6);
+        let scaled = scale_noise(&base, 3.0);
+        assert!(scaled.p1 <= 0.999);
+        assert!(scaled.amplitude_damping <= 0.999);
+        let gentle = scale_noise(&NoiseModel::depolarizing(1e-3), 2.0);
+        assert!((gentle.p2 - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_extrapolation_recovers_intercept() {
+        // y = 5 + 2x sampled at x = 1, 2, 3 → intercept 5.
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [7.0, 9.0, 11.0];
+        assert!((linear_extrapolate(&xs, &ys) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_points_fall_back_to_mean() {
+        let xs = [2.0, 2.0];
+        let ys = [4.0, 6.0];
+        assert!((linear_extrapolate(&xs, &ys) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zne_runs_and_improves_or_matches_single_scale() {
+        let p = benchmark(BenchmarkId::parse("F1").unwrap());
+        let cfg = RasenganConfig::default()
+            .with_seed(6)
+            .with_noise(NoiseModel::depolarizing(3e-3))
+            .with_shots(768)
+            .with_max_iterations(20);
+        let zne = solve_with_zne(&p, &cfg, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(zne.expectations.len(), 3);
+        assert!(zne.arg.is_finite());
+        // The extrapolated expectation should not be further from the
+        // optimum than the *noisiest* measured point.
+        let (_, e_opt) = rasengan_problems::optimum(&p);
+        let worst = zne
+            .expectations
+            .iter()
+            .map(|e| (e - e_opt).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            (zne.extrapolated - e_opt).abs() <= worst + 1e-9,
+            "extrapolation {} worse than worst point (opt {e_opt}, worst off {worst})",
+            zne.extrapolated
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "noisy base model")]
+    fn zne_rejects_noise_free_config() {
+        let p = benchmark(BenchmarkId::parse("F1").unwrap());
+        let _ = solve_with_zne(&p, &RasenganConfig::default(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Ternary homogeneous bases.
+//!
+//! The transition Hamiltonian (paper Definition 1) is only defined for
+//! homogeneous basis vectors `u ∈ {-1,0,1}^n`: entry `+1` maps to a
+//! raising operator `σ⁺`, `-1` to a lowering operator `σ⁻`, and `0` to
+//! identity. This module turns the raw integer nullspace of a constraint
+//! matrix into such a *ternary* basis, or reports that none could be
+//! found.
+
+use crate::matrix::IntMatrix;
+use crate::rref::nullspace;
+use std::fmt;
+
+/// Failure to produce a `{-1,0,1}` homogeneous basis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TernaryBasisError {
+    /// A nullspace vector had an entry outside `{-1,0,1}` and no
+    /// combination with other basis vectors fixed it.
+    NonTernaryVector {
+        /// Index of the offending vector in the raw nullspace.
+        index: usize,
+        /// The offending vector.
+        vector: Vec<i64>,
+    },
+}
+
+impl fmt::Display for TernaryBasisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TernaryBasisError::NonTernaryVector { index, vector } => write!(
+                f,
+                "nullspace vector #{index} {vector:?} could not be reduced to {{-1,0,1}} entries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TernaryBasisError {}
+
+/// Whether every entry of `u` lies in `{-1, 0, 1}`.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::basis::is_ternary;
+/// assert!(is_ternary(&[-1, 0, 1]));
+/// assert!(!is_ternary(&[2, 0, 0]));
+/// ```
+pub fn is_ternary(u: &[i64]) -> bool {
+    u.iter().all(|&v| (-1..=1).contains(&v))
+}
+
+/// Number of nonzero entries of a basis vector — the `k` in the paper's
+/// `34k` CX-gate cost model for one transition operator.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::nonzero_count;
+/// assert_eq!(nonzero_count(&[-1, 0, -1, 1, 0]), 3);
+/// ```
+pub fn nonzero_count(u: &[i64]) -> usize {
+    u.iter().filter(|&&v| v != 0).count()
+}
+
+/// Total nonzero count of a whole basis (the quantity Algorithm 1
+/// greedily minimizes).
+pub fn basis_cost(basis: &[Vec<i64>]) -> usize {
+    basis.iter().map(|u| nonzero_count(u)).sum()
+}
+
+/// Computes a homogeneous basis of `C`'s nullspace with all entries in
+/// `{-1, 0, 1}`.
+///
+/// The raw integer nullspace from [`nullspace`] may contain entries with
+/// magnitude ≥ 2 (for non-totally-unimodular systems). This routine
+/// repairs such vectors by adding/subtracting other basis vectors —
+/// the same move Algorithm 1 uses to *shrink* vectors — searching
+/// breadth-first over small combinations.
+///
+/// # Errors
+///
+/// Returns [`TernaryBasisError::NonTernaryVector`] if some vector cannot
+/// be brought into `{-1,0,1}` by combinations of up to two other basis
+/// vectors. The constraint systems of all five benchmark domains
+/// (assignment/covering-style constraints) always succeed.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{IntMatrix, ternary_nullspace_basis};
+///
+/// let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+/// let basis = ternary_nullspace_basis(&c).unwrap();
+/// assert_eq!(basis.len(), 3);
+/// assert!(basis.iter().all(|u| u.iter().all(|&v| v.abs() <= 1)));
+/// ```
+pub fn ternary_nullspace_basis(c: &IntMatrix) -> Result<Vec<Vec<i64>>, TernaryBasisError> {
+    if let Ok(basis) = ternarize(nullspace(c)) {
+        return Ok(basis);
+    }
+    // Second chance: the HNF lattice basis is a different generating set
+    // of the same integer lattice and often ternarizes when the
+    // RREF-derived one does not.
+    ternarize(crate::hnf::integer_nullspace(c))
+}
+
+/// Repairs every non-ternary vector of a basis in place, or reports the
+/// first irreparable one.
+fn ternarize(mut basis: Vec<Vec<i64>>) -> Result<Vec<Vec<i64>>, TernaryBasisError> {
+    let m = basis.len();
+    for i in 0..m {
+        if is_ternary(&basis[i]) {
+            continue;
+        }
+        if let Some(fixed) = repair_vector(&basis, i) {
+            basis[i] = fixed;
+            continue;
+        }
+        if let Some(fixed) = lattice_reduce(&basis, i) {
+            basis[i] = fixed;
+            continue;
+        }
+        return Err(TernaryBasisError::NonTernaryVector {
+            index: i,
+            vector: basis[i].clone(),
+        });
+    }
+    Ok(basis)
+}
+
+/// Greedy size reduction of `basis[i]` against the other basis vectors:
+/// repeatedly add `±basis[j]` whenever it strictly decreases
+/// `(max |entry|, ‖·‖₁)`, until the vector is ternary or no move helps.
+/// Every step is an elementary (unimodular) operation, so the span is
+/// preserved.
+fn lattice_reduce(basis: &[Vec<i64>], i: usize) -> Option<Vec<i64>> {
+    let measure = |v: &[i64]| {
+        (
+            v.iter().map(|x| x.abs()).max().unwrap_or(0),
+            v.iter().map(|x| x.abs()).sum::<i64>(),
+        )
+    };
+    let mut current = basis[i].clone();
+    for _ in 0..64 {
+        if is_ternary(&current) {
+            return Some(current);
+        }
+        let mut best: Option<(Vec<i64>, (i64, i64))> = None;
+        let cur_m = measure(&current);
+        for (j, w) in basis.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            for s in [-1i64, 1] {
+                let cand = add_scaled(&current, w, s);
+                if cand.iter().all(|&v| v == 0) {
+                    continue;
+                }
+                let m = measure(&cand);
+                if m < cur_m && best.as_ref().is_none_or(|(_, bm)| m < *bm) {
+                    best = Some((cand, m));
+                }
+            }
+        }
+        match best {
+            Some((cand, _)) => current = cand,
+            None => return None,
+        }
+    }
+    is_ternary(&current).then_some(current)
+}
+
+/// Tries to replace `basis[i]` by `basis[i] + Σ s_j basis[j]` with
+/// `s_j ∈ {-1, 0, 1}` over at most two other vectors, so that the result
+/// is ternary and nonzero. Returns the repaired vector.
+#[allow(clippy::needless_range_loop)] // index j is also compared against i
+fn repair_vector(basis: &[Vec<i64>], i: usize) -> Option<Vec<i64>> {
+    let m = basis.len();
+    let target = &basis[i];
+
+    // One helper vector.
+    for j in 0..m {
+        if j == i {
+            continue;
+        }
+        for s in [-1i64, 1] {
+            let cand = add_scaled(target, &basis[j], s);
+            if is_ternary(&cand) && nonzero_count(&cand) > 0 {
+                return Some(cand);
+            }
+        }
+    }
+    // Two helper vectors.
+    for j in 0..m {
+        if j == i {
+            continue;
+        }
+        for k in (j + 1)..m {
+            if k == i {
+                continue;
+            }
+            for sj in [-1i64, 1] {
+                for sk in [-1i64, 1] {
+                    let cand = add_scaled(&add_scaled(target, &basis[j], sj), &basis[k], sk);
+                    if is_ternary(&cand) && nonzero_count(&cand) > 0 {
+                        return Some(cand);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn add_scaled(a: &[i64], b: &[i64], s: i64) -> Vec<i64> {
+    a.iter().zip(b).map(|(&x, &y)| x + s * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_basis_is_ternary() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+        let basis = ternary_nullspace_basis(&c).unwrap();
+        assert_eq!(basis.len(), 3);
+        for u in &basis {
+            assert!(is_ternary(u), "basis vector {u:?} not ternary");
+            assert_eq!(c.mul_vec(u), vec![0, 0]);
+        }
+    }
+
+    #[test]
+    fn one_hot_constraints_give_ternary_basis() {
+        // x1 + x2 + x3 = 1 — classic one-hot constraint from FLP/GCP.
+        let c = IntMatrix::from_rows(&[vec![1, 1, 1]]);
+        let basis = ternary_nullspace_basis(&c).unwrap();
+        assert_eq!(basis.len(), 2);
+        for u in &basis {
+            assert!(is_ternary(u));
+            assert_eq!(c.mul_vec(u), vec![0]);
+        }
+    }
+
+    #[test]
+    fn nonzero_count_counts() {
+        assert_eq!(nonzero_count(&[0, 0, 0]), 0);
+        assert_eq!(nonzero_count(&[1, -1, 1]), 3);
+    }
+
+    #[test]
+    fn basis_cost_sums_nonzeros() {
+        assert_eq!(basis_cost(&[vec![1, 0], vec![-1, 1]]), 3);
+    }
+
+    #[test]
+    fn repair_brings_coefficient_two_into_range() {
+        // Nullspace of [1, -2, 1]: raw vectors can have entries of
+        // magnitude 2; with repair the basis may still fail, in which
+        // case the error is reported cleanly. Either outcome must be
+        // consistent: Ok => all ternary and annihilating.
+        let c = IntMatrix::from_rows(&[vec![1, -2, 1]]);
+        match ternary_nullspace_basis(&c) {
+            Ok(basis) => {
+                for u in &basis {
+                    assert!(is_ternary(u));
+                    assert_eq!(c.mul_vec(u), vec![0]);
+                }
+            }
+            Err(TernaryBasisError::NonTernaryVector { vector, .. }) => {
+                assert!(!is_ternary(&vector));
+            }
+        }
+    }
+
+    #[test]
+    fn scp_style_system_needs_lattice_reduction() {
+        // Regression: a random set-cover system whose RREF nullspace
+        // contains a vector with a 2 that pairwise repair cannot fix —
+        // the greedy lattice reduction (or the HNF fallback) must.
+        use crate::rref::rank;
+        let c = IntMatrix::from_rows(&[
+            vec![1, 1, 0, 1, 0, 0, -1, -1, 0, 0],
+            vec![0, 1, 1, 0, 1, 0, 0, 0, -1, -1],
+            vec![1, 0, 1, 1, 0, 1, 0, 0, 0, 0],
+        ]);
+        let basis = ternary_nullspace_basis(&c).expect("lattice reduction handles this");
+        assert_eq!(basis.len(), c.cols() - rank(&c));
+        for u in &basis {
+            assert!(is_ternary(u), "non-ternary survivor {u:?}");
+            assert!(c.mul_vec(u).iter().all(|&v| v == 0));
+        }
+        // Independence preserved.
+        assert_eq!(rank(&IntMatrix::from_rows(&basis)), basis.len());
+    }
+
+    #[test]
+    fn error_display_mentions_vector() {
+        let e = TernaryBasisError::NonTernaryVector {
+            index: 1,
+            vector: vec![2, 0],
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("#1"));
+        assert!(msg.contains("[2, 0]"));
+    }
+}

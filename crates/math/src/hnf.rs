@@ -1,0 +1,272 @@
+//! Hermite normal form (HNF) over the integers.
+//!
+//! The rational RREF nullspace ([`crate::rref::nullspace`]) scales each
+//! vector to integers after the fact; the HNF route stays integral the
+//! whole way: column-reduce `[Cᵀ | I]` with unimodular row operations,
+//! and the identity block's rows opposite the zero rows of the reduced
+//! `Cᵀ` form a lattice basis of the integer nullspace. Both paths are
+//! exposed and cross-validated in tests; the solver uses whichever
+//! basis turns out ternary.
+
+use crate::matrix::IntMatrix;
+
+/// Result of a Hermite normal form computation on `A` (row-style HNF:
+/// `H = U·A` with `U` unimodular).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hnf {
+    /// The HNF matrix `H` (row echelon, pivots positive, entries above
+    /// a pivot reduced modulo it).
+    pub h: IntMatrix,
+    /// The unimodular transform `U` with `U·A = H`.
+    pub u: IntMatrix,
+    /// Rank of `A` (number of nonzero rows of `H`).
+    pub rank: usize,
+}
+
+/// Computes the row-style Hermite normal form of `a` by integer
+/// elimination (Euclidean reduction on rows), tracking the unimodular
+/// transform.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{hnf::hermite_normal_form, IntMatrix};
+///
+/// let a = IntMatrix::from_rows(&[vec![2, 4], vec![1, 3]]);
+/// let hnf = hermite_normal_form(&a);
+/// assert_eq!(hnf.rank, 2);
+/// // U·A = H exactly.
+/// for i in 0..2 {
+///     for j in 0..2 {
+///         let mut acc = 0;
+///         for k in 0..2 {
+///             acc += hnf.u[(i, k)] * a[(k, j)];
+///         }
+///         assert_eq!(acc, hnf.h[(i, j)]);
+///     }
+/// }
+/// ```
+pub fn hermite_normal_form(a: &IntMatrix) -> Hnf {
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut h = a.clone();
+    let mut u = IntMatrix::identity(rows);
+    let mut pivot_row = 0usize;
+
+    for col in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        // Euclidean elimination below the pivot: repeatedly reduce the
+        // column entries by each other until a single nonzero remains.
+        loop {
+            // Find the row (≥ pivot_row) with the smallest nonzero |entry|.
+            let best = (pivot_row..rows)
+                .filter(|&r| h[(r, col)] != 0)
+                .min_by_key(|&r| h[(r, col)].abs());
+            let Some(best) = best else { break };
+            swap_rows(&mut h, &mut u, pivot_row, best);
+            let p = h[(pivot_row, col)];
+            let mut finished = true;
+            for r in (pivot_row + 1)..rows {
+                let v = h[(r, col)];
+                if v != 0 {
+                    let q = v.div_euclid(p);
+                    add_scaled_row(&mut h, &mut u, r, pivot_row, -q);
+                    if h[(r, col)] != 0 {
+                        finished = false;
+                    }
+                }
+            }
+            if finished {
+                break;
+            }
+        }
+        if h[(pivot_row, col)] == 0 {
+            continue;
+        }
+        // Normalize the pivot sign to positive.
+        if h[(pivot_row, col)] < 0 {
+            negate_row(&mut h, &mut u, pivot_row);
+        }
+        // Reduce entries above the pivot into [0, pivot).
+        let p = h[(pivot_row, col)];
+        for r in 0..pivot_row {
+            let q = h[(r, col)].div_euclid(p);
+            if q != 0 {
+                add_scaled_row(&mut h, &mut u, r, pivot_row, -q);
+            }
+        }
+        pivot_row += 1;
+    }
+
+    Hnf {
+        h,
+        u,
+        rank: pivot_row,
+    }
+}
+
+/// Computes an integer lattice basis of the nullspace of `c`
+/// (`{u : C u = 0, u ∈ ℤ^n}`) via the HNF of `Cᵀ`.
+///
+/// Unlike [`crate::rref::nullspace`]'s scaled-rational vectors, these
+/// generate the *full integer lattice* of solutions, which for
+/// non-totally-unimodular systems can be a strictly finer basis.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{hnf::integer_nullspace, IntMatrix};
+///
+/// let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+/// let basis = integer_nullspace(&c);
+/// assert_eq!(basis.len(), 3);
+/// for u in &basis {
+///     assert!(c.mul_vec(u).iter().all(|&v| v == 0));
+/// }
+/// ```
+pub fn integer_nullspace(c: &IntMatrix) -> Vec<Vec<i64>> {
+    // Row-reduce Cᵀ while tracking U: U·Cᵀ = H. Rows of U opposite
+    // zero rows of H satisfy u·Cᵀ = 0, i.e. C uᵀ = 0.
+    let ct = c.transpose();
+    let hnf = hermite_normal_form(&ct);
+    let mut out = Vec::new();
+    for r in hnf.rank..ct.rows() {
+        let u_row: Vec<i64> = (0..ct.rows()).map(|j| hnf.u[(r, j)]).collect();
+        // Normalize sign: first nonzero positive.
+        let flip = u_row.iter().find(|&&v| v != 0).is_some_and(|&v| v < 0);
+        out.push(if flip {
+            u_row.into_iter().map(|v| -v).collect()
+        } else {
+            u_row
+        });
+    }
+    out
+}
+
+fn swap_rows(h: &mut IntMatrix, u: &mut IntMatrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for j in 0..h.cols() {
+        let t = h[(a, j)];
+        h[(a, j)] = h[(b, j)];
+        h[(b, j)] = t;
+    }
+    for j in 0..u.cols() {
+        let t = u[(a, j)];
+        u[(a, j)] = u[(b, j)];
+        u[(b, j)] = t;
+    }
+}
+
+fn add_scaled_row(h: &mut IntMatrix, u: &mut IntMatrix, dst: usize, src: usize, factor: i64) {
+    for j in 0..h.cols() {
+        h[(dst, j)] += factor * h[(src, j)];
+    }
+    for j in 0..u.cols() {
+        u[(dst, j)] += factor * u[(src, j)];
+    }
+}
+
+fn negate_row(h: &mut IntMatrix, u: &mut IntMatrix, r: usize) {
+    for j in 0..h.cols() {
+        h[(r, j)] = -h[(r, j)];
+    }
+    for j in 0..u.cols() {
+        u[(r, j)] = -u[(r, j)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rref::{nullspace, rank};
+
+    fn check_u_times_a(a: &IntMatrix, hnf: &Hnf) {
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                let mut acc = 0i64;
+                for k in 0..a.rows() {
+                    acc += hnf.u[(i, k)] * a[(k, j)];
+                }
+                assert_eq!(acc, hnf.h[(i, j)], "U·A ≠ H at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_of_identity() {
+        let a = IntMatrix::identity(3);
+        let hnf = hermite_normal_form(&a);
+        assert_eq!(hnf.h, a);
+        assert_eq!(hnf.rank, 3);
+    }
+
+    #[test]
+    fn hnf_transform_is_consistent() {
+        let a = IntMatrix::from_rows(&[vec![4, 6, 2], vec![2, 8, 4], vec![6, 14, 6]]);
+        let hnf = hermite_normal_form(&a);
+        check_u_times_a(&a, &hnf);
+        // Pivots positive.
+        for r in 0..hnf.rank {
+            let pivot = (0..a.cols()).find(|&c| hnf.h[(r, c)] != 0).unwrap();
+            assert!(hnf.h[(r, pivot)] > 0);
+        }
+    }
+
+    #[test]
+    fn hnf_rank_matches_rational_rank() {
+        for rows in [
+            vec![vec![1i64, 2, 3], vec![2, 4, 6]],
+            vec![vec![1, 0, -1], vec![0, 1, 1], vec![1, 1, 0]],
+            vec![vec![3, 1], vec![1, 2], vec![4, 3]],
+        ] {
+            let a = IntMatrix::from_rows(&rows);
+            assert_eq!(hermite_normal_form(&a).rank, rank(&a), "rank mismatch on {a:?}");
+        }
+    }
+
+    #[test]
+    fn integer_nullspace_annihilates_and_matches_dimension() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+        let basis = integer_nullspace(&c);
+        assert_eq!(basis.len(), nullspace(&c).len());
+        for u in &basis {
+            assert_eq!(c.mul_vec(u), vec![0, 0]);
+        }
+    }
+
+    #[test]
+    fn lattice_basis_catches_non_primitive_directions() {
+        // C = [1, -2]: rational nullspace gives [2, 1] (primitive), and
+        // the integer lattice {k·(2,1)} matches — both paths agree here.
+        let c = IntMatrix::from_rows(&[vec![1, -2]]);
+        let lattice = integer_nullspace(&c);
+        assert_eq!(lattice.len(), 1);
+        assert_eq!(c.mul_vec(&lattice[0]), vec![0]);
+        assert_eq!(lattice[0], vec![2, 1]);
+    }
+
+    #[test]
+    fn zero_matrix_nullspace_is_identity_lattice() {
+        let c = IntMatrix::zeros(1, 3);
+        let basis = integer_nullspace(&c);
+        assert_eq!(basis.len(), 3);
+        // The three vectors are unimodular — they span ℤ³.
+        let m = IntMatrix::from_rows(&basis);
+        assert_eq!(rank(&m), 3);
+    }
+
+    #[test]
+    fn one_hot_constraint_lattice() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, 1]]);
+        let basis = integer_nullspace(&c);
+        assert_eq!(basis.len(), 2);
+        for u in &basis {
+            assert_eq!(c.mul_vec(u), vec![0]);
+            assert!(u.iter().all(|&v| v.abs() <= 1), "expected ternary basis, got {u:?}");
+        }
+    }
+}

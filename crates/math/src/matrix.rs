@@ -1,0 +1,321 @@
+//! Dense integer and rational matrices.
+//!
+//! Matrices here are small (constraint systems have at most a few hundred
+//! rows/columns), so a flat row-major `Vec` is the right representation.
+
+use crate::rational::Rational;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `i64` entries.
+///
+/// Used for constraint systems `C x = b` where all coefficients are
+/// integers (paper Eq. 1).
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::IntMatrix;
+///
+/// let c = IntMatrix::from_rows(&[vec![1, 1, -1], vec![0, 1, 1]]);
+/// assert_eq!(c.rows(), 2);
+/// assert_eq!(c.cols(), 3);
+/// assert_eq!(c.mul_vec(&[1, 0, 1]), vec![0, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IntMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        IntMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = IntMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<i64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in IntMatrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        IntMatrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<i64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer has wrong length");
+        IntMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[i64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[i64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Matrix-vector product `C x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[i64]) -> Vec<i64> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        self.iter_rows()
+            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> IntMatrix {
+        let mut t = IntMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Converts to a rational matrix.
+    pub fn to_rational(&self) -> RatMatrix {
+        RatMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| Rational::from(v)).collect(),
+        }
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+}
+
+impl Index<(usize, usize)> for IntMatrix {
+    type Output = i64;
+    fn index(&self, (r, c): (usize, usize)) -> &i64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for IntMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for IntMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IntMatrix {}x{} [", self.rows, self.cols)?;
+        for row in self.iter_rows() {
+            writeln!(f, "  {row:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A dense row-major matrix of exact [`Rational`] entries.
+///
+/// Produced by converting an [`IntMatrix`] before row reduction.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl RatMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RatMatrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[Rational] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    /// Scales row `r` by `factor`.
+    pub fn scale_row(&mut self, r: usize, factor: Rational) {
+        for j in 0..self.cols {
+            let v = self[(r, j)] * factor;
+            self[(r, j)] = v;
+        }
+    }
+
+    /// Adds `factor * row src` to row `dst`.
+    pub fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Rational) {
+        for j in 0..self.cols {
+            let v = self[(dst, j)] + self[(src, j)] * factor;
+            self[(dst, j)] = v;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for RatMatrix {
+    type Output = Rational;
+    fn index(&self, (r, c): (usize, usize)) -> &Rational {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RatMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Rational {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for RatMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RatMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mul_is_identity() {
+        let id = IntMatrix::identity(4);
+        let x = vec![3, -1, 0, 7];
+        assert_eq!(id.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = IntMatrix::from_rows(&[vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(2, 1)], 6);
+        assert_eq!(m.row(1), &[3, 4]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = IntMatrix::from_rows(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(0, 1)], 4);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn mul_vec_matches_hand_computation() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+        // The paper's particular solution x_p = [0,0,0,1,0]: C x_p = [0,1].
+        assert_eq!(c.mul_vec(&[0, 0, 0, 1, 0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn nnz_counts_nonzeros() {
+        let m = IntMatrix::from_rows(&[vec![0, 2], vec![-1, 0]]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_panic() {
+        let _ = IntMatrix::from_rows(&[vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn rational_row_ops() {
+        let mut m = IntMatrix::from_rows(&[vec![2, 4], vec![1, 3]]).to_rational();
+        m.scale_row(0, Rational::new(1, 2));
+        assert_eq!(m[(0, 0)], Rational::ONE);
+        m.add_scaled_row(1, 0, Rational::from(-1i64));
+        assert_eq!(m[(1, 0)], Rational::ZERO);
+        assert_eq!(m[(1, 1)], Rational::ONE);
+        m.swap_rows(0, 1);
+        assert_eq!(m[(0, 1)], Rational::ONE);
+    }
+}

@@ -1,0 +1,337 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! A small, dependency-free rational type sufficient for the row
+//! reductions this crate performs. All arithmetic is *checked*: an
+//! overflow panics instead of silently wrapping, because a wrapped
+//! coefficient would corrupt a homogeneous basis and ultimately let the
+//! solver explore infeasible states.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) == 1`.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::Rational;
+///
+/// let a = Rational::new(2, 4);
+/// assert_eq!(a, Rational::new(1, 2));
+/// assert_eq!(a + Rational::from(1i64), Rational::new(3, 2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rasengan_math::Rational;
+    /// assert_eq!(Rational::new(-6, -4), Rational::new(3, 2));
+    /// ```
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.unsigned_abs() as i128, den.unsigned_abs() as i128).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The numerator (after reduction to lowest terms).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether this value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns the integer value if this rational is an integer.
+    pub fn to_integer(self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Approximate `f64` value (for reporting only — never used in the
+    /// algebra itself).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_new(num: Option<i128>, den: Option<i128>) -> Self {
+        let num = num.expect("rational arithmetic overflow");
+        let den = den.expect("rational arithmetic overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // a/b + c/d = (ad + cb) / bd, reduced by new().
+        let ad = self.num.checked_mul(rhs.den);
+        let cb = rhs.num.checked_mul(self.den);
+        let num = ad.and_then(|x| cb.and_then(|y| x.checked_add(y)));
+        let den = self.den.checked_mul(rhs.den);
+        Rational::checked_new(num, den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num.abs(), rhs.den).max(1);
+        let g2 = gcd(rhs.num.abs(), self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2);
+        let den = (self.den / g2).checked_mul(rhs.den / g1);
+        Rational::checked_new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a·b⁻¹ by definition
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d via ad vs cb (b, d > 0).
+        let left = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational comparison overflow");
+        let right = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational comparison overflow");
+        left.cmp(&right)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Rational::new(6, 8);
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 4);
+    }
+
+    #[test]
+    fn sign_normalizes_to_denominator_positive() {
+        let r = Rational::new(1, -2);
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 2);
+        let r = Rational::new(-1, -2);
+        assert_eq!(r.numer(), 1);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Rational::new(3, 7);
+        let b = Rational::new(-2, 5);
+        assert_eq!(a + b, Rational::new(1, 35));
+        assert_eq!(a - b, Rational::new(29, 35));
+        assert_eq!(a * b, Rational::new(-6, 35));
+        assert_eq!(a / b, Rational::new(-15, 14));
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert_eq!(Rational::new(2, 4).cmp(&Rational::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn integer_detection() {
+        assert!(Rational::new(4, 2).is_integer());
+        assert_eq!(Rational::new(4, 2).to_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn recip_and_zero() {
+        assert_eq!(Rational::new(2, 3).recip(), Rational::new(3, 2));
+        assert!(Rational::ZERO.is_zero());
+        assert!(!Rational::ONE.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Rational::new(3, 4)), "3/4");
+        assert_eq!(format!("{}", Rational::from(5i64)), "5");
+        assert_eq!(format!("{:?}", Rational::new(-1, 2)), "-1/2");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut r = Rational::ONE;
+        r += Rational::ONE;
+        r *= Rational::new(1, 4);
+        r -= Rational::new(1, 4);
+        r /= Rational::new(1, 2);
+        assert_eq!(r, Rational::new(1, 2));
+    }
+}

@@ -1,0 +1,235 @@
+//! Reduced row-echelon form and exact nullspace computation.
+
+use crate::matrix::{IntMatrix, RatMatrix};
+use crate::rational::Rational;
+
+/// Result of a row reduction: pivot columns and the (implied) free columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RrefSummary {
+    /// Columns holding a leading 1, in row order.
+    pub pivot_cols: Vec<usize>,
+    /// Columns without a pivot (parameters of the general solution).
+    pub free_cols: Vec<usize>,
+}
+
+impl RrefSummary {
+    /// The matrix rank (number of pivots).
+    pub fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+}
+
+/// Reduces `m` to reduced row-echelon form in place and reports the pivot
+/// structure.
+///
+/// Uses exact rational Gauss–Jordan elimination with partial pivoting on
+/// the first nonzero entry (magnitude does not matter for exact
+/// arithmetic; we pick the entry with the smallest denominator to keep
+/// intermediates small).
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{IntMatrix, rref_in_place};
+///
+/// let mut m = IntMatrix::from_rows(&[vec![1, 1, -1], vec![2, 2, -2]]).to_rational();
+/// let summary = rref_in_place(&mut m);
+/// assert_eq!(summary.rank(), 1); // the second row is dependent
+/// ```
+pub fn rref_in_place(m: &mut RatMatrix) -> RrefSummary {
+    let rows = m.rows();
+    let cols = m.cols();
+    let mut pivot_cols = Vec::new();
+    let mut lead_row = 0usize;
+
+    for col in 0..cols {
+        if lead_row >= rows {
+            break;
+        }
+        // Find a pivot row for this column: prefer small denominators, then
+        // small numerators, to keep the arithmetic cheap.
+        let pivot = (lead_row..rows)
+            .filter(|&r| !m[(r, col)].is_zero())
+            .min_by_key(|&r| (m[(r, col)].denom(), m[(r, col)].numer().abs()));
+        let Some(pivot) = pivot else { continue };
+
+        m.swap_rows(lead_row, pivot);
+        let inv = m[(lead_row, col)].recip();
+        m.scale_row(lead_row, inv);
+        for r in 0..rows {
+            if r != lead_row && !m[(r, col)].is_zero() {
+                let factor = -m[(r, col)];
+                m.add_scaled_row(r, lead_row, factor);
+            }
+        }
+        pivot_cols.push(col);
+        lead_row += 1;
+    }
+
+    let free_cols = (0..cols).filter(|c| !pivot_cols.contains(c)).collect();
+    RrefSummary { pivot_cols, free_cols }
+}
+
+/// The rank of an integer matrix, computed exactly.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{IntMatrix, rank};
+///
+/// let c = IntMatrix::from_rows(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+/// assert_eq!(rank(&c), 2);
+/// ```
+pub fn rank(m: &IntMatrix) -> usize {
+    let mut rm = m.to_rational();
+    rref_in_place(&mut rm).rank()
+}
+
+/// Computes an exact basis for the nullspace of `m` (vectors `u` with
+/// `m u = 0`), as integer vectors scaled to smallest terms.
+///
+/// For each free column `j`, the standard RREF construction yields a
+/// rational vector with `1` at position `j` and `-m[pivot_row, j]` at each
+/// pivot column. Each vector is scaled by the LCM of its denominators and
+/// divided by the GCD of its entries, giving a primitive integer vector.
+///
+/// The returned vectors are linearly independent and span the nullspace.
+/// Entries are *not* guaranteed to lie in `{-1,0,1}` — see
+/// [`crate::basis::ternary_nullspace_basis`] for that refinement.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{IntMatrix, nullspace};
+///
+/// let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+/// let ns = nullspace(&c);
+/// assert_eq!(ns.len(), 3);
+/// for u in &ns {
+///     assert!(c.mul_vec(u).iter().all(|&v| v == 0));
+/// }
+/// ```
+pub fn nullspace(m: &IntMatrix) -> Vec<Vec<i64>> {
+    let mut rm = m.to_rational();
+    let summary = rref_in_place(&mut rm);
+    let cols = m.cols();
+
+    summary
+        .free_cols
+        .iter()
+        .map(|&free| {
+            let mut v = vec![Rational::ZERO; cols];
+            v[free] = Rational::ONE;
+            for (row, &pc) in summary.pivot_cols.iter().enumerate() {
+                v[pc] = -rm[(row, free)];
+            }
+            primitive_integer_vector(&v)
+        })
+        .collect()
+}
+
+/// Scales a rational vector to a primitive integer vector (integer
+/// entries with overall GCD 1, first nonzero entry's sign preserved).
+fn primitive_integer_vector(v: &[Rational]) -> Vec<i64> {
+    let mut lcm: i128 = 1;
+    for r in v {
+        let d = r.denom();
+        lcm = lcm / gcd_i128(lcm, d) * d;
+    }
+    let ints: Vec<i128> = v
+        .iter()
+        .map(|r| r.numer() * (lcm / r.denom()))
+        .collect();
+    let mut g: i128 = 0;
+    for &x in &ints {
+        g = gcd_i128(g, x.abs());
+    }
+    let g = g.max(1);
+    ints.iter()
+        .map(|&x| i64::try_from(x / g).expect("nullspace entry exceeds i64"))
+        .collect()
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_constraints() -> IntMatrix {
+        IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]])
+    }
+
+    #[test]
+    fn rref_of_identity_is_identity() {
+        let mut m = IntMatrix::identity(3).to_rational();
+        let s = rref_in_place(&mut m);
+        assert_eq!(s.rank(), 3);
+        assert!(s.free_cols.is_empty());
+        for i in 0..3 {
+            assert_eq!(m[(i, i)], Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn rank_of_paper_constraints_is_two() {
+        assert_eq!(rank(&paper_constraints()), 2);
+    }
+
+    #[test]
+    fn nullspace_dimension_matches_rank_nullity() {
+        let c = paper_constraints();
+        let ns = nullspace(&c);
+        assert_eq!(ns.len(), c.cols() - rank(&c));
+    }
+
+    #[test]
+    fn nullspace_vectors_annihilate() {
+        let c = paper_constraints();
+        for u in nullspace(&c) {
+            assert_eq!(c.mul_vec(&u), vec![0, 0], "C u must be zero for {u:?}");
+        }
+    }
+
+    #[test]
+    fn nullspace_of_full_rank_square_is_empty() {
+        let c = IntMatrix::from_rows(&[vec![1, 1], vec![0, 1]]);
+        assert!(nullspace(&c).is_empty());
+    }
+
+    #[test]
+    fn nullspace_vectors_are_primitive() {
+        // Constraint 2x + 2y = 0 should give primitive [1, -1] not [2, -2].
+        let c = IntMatrix::from_rows(&[vec![2, 2]]);
+        let ns = nullspace(&c);
+        assert_eq!(ns, vec![vec![-1, 1]]);
+    }
+
+    #[test]
+    fn rank_deficient_duplicated_rows() {
+        let c = IntMatrix::from_rows(&[vec![1, -1, 0], vec![1, -1, 0], vec![0, 0, 0]]);
+        assert_eq!(rank(&c), 1);
+        assert_eq!(nullspace(&c).len(), 2);
+    }
+
+    #[test]
+    fn rational_coefficients_scale_to_integers() {
+        // Row reduction of [1 2 3] gives free-column vectors with fractions;
+        // the output must still be integral.
+        let c = IntMatrix::from_rows(&[vec![3, 2, 1]]);
+        for u in nullspace(&c) {
+            assert_eq!(
+                c.mul_vec(&u),
+                vec![0],
+                "integral nullspace vector must annihilate"
+            );
+        }
+    }
+}

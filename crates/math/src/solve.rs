@@ -1,0 +1,274 @@
+//! Exact linear-system solving and binary particular-solution search.
+//!
+//! Rasengan needs one arbitrary feasible solution `x_p` with
+//! `C x_p = b`, `x_p ∈ {0,1}^n` as the seed of the feasible-space
+//! expansion (paper §3, §5.1). The benchmark domains all admit a
+//! linear-time constructive solution; this module additionally provides a
+//! general backtracking search with unit propagation used for arbitrary
+//! systems and as a cross-check in tests.
+
+use crate::matrix::IntMatrix;
+use crate::rational::Rational;
+use crate::rref::rref_in_place;
+use std::fmt;
+
+/// Failure to solve a linear system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The system `C x = b` is inconsistent over the rationals.
+    Inconsistent,
+    /// The system is consistent over ℚ but no binary solution exists.
+    NoBinarySolution,
+    /// `b` has the wrong length for `C`.
+    ShapeMismatch {
+        /// Number of constraint rows.
+        rows: usize,
+        /// Length of the right-hand side.
+        rhs_len: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Inconsistent => write!(f, "constraint system is inconsistent"),
+            SolveError::NoBinarySolution => {
+                write!(f, "constraint system has no solution in {{0,1}}^n")
+            }
+            SolveError::ShapeMismatch { rows, rhs_len } => write!(
+                f,
+                "right-hand side length {rhs_len} does not match {rows} constraint rows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves `C x = b` exactly over the rationals, returning one solution
+/// (free variables set to zero).
+///
+/// # Errors
+///
+/// * [`SolveError::ShapeMismatch`] if `b.len() != c.rows()`.
+/// * [`SolveError::Inconsistent`] if no rational solution exists.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{IntMatrix, solve_exact, Rational};
+///
+/// let c = IntMatrix::from_rows(&[vec![1, 1], vec![1, -1]]);
+/// let x = solve_exact(&c, &[2, 0]).unwrap();
+/// assert_eq!(x, vec![Rational::from(1i64), Rational::from(1i64)]);
+/// ```
+pub fn solve_exact(c: &IntMatrix, b: &[i64]) -> Result<Vec<Rational>, SolveError> {
+    if b.len() != c.rows() {
+        return Err(SolveError::ShapeMismatch {
+            rows: c.rows(),
+            rhs_len: b.len(),
+        });
+    }
+    // Augmented matrix [C | b].
+    let mut aug = crate::matrix::RatMatrix::zeros(c.rows(), c.cols() + 1);
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            aug[(i, j)] = Rational::from(c[(i, j)]);
+        }
+        aug[(i, c.cols())] = Rational::from(b[i]);
+    }
+    let summary = rref_in_place(&mut aug);
+
+    // Inconsistent iff a pivot landed in the augmented column.
+    if summary.pivot_cols.contains(&c.cols()) {
+        return Err(SolveError::Inconsistent);
+    }
+
+    let mut x = vec![Rational::ZERO; c.cols()];
+    for (row, &pc) in summary.pivot_cols.iter().enumerate() {
+        x[pc] = aug[(row, c.cols())];
+    }
+    Ok(x)
+}
+
+/// Finds one binary solution of `C x = b` via depth-first search with
+/// unit propagation, or `None` within the error if none exists.
+///
+/// Variables are branched in order of descending constraint participation
+/// (most-constrained first). At every node each constraint row is checked
+/// for bound consistency: the row's remaining slack must stay between the
+/// minimum and maximum achievable by the unassigned variables.
+///
+/// This is exponential in the worst case but instant on all benchmark
+/// systems; the problem generators also provide O(n) constructive
+/// feasible solutions, which are preferred in the solver pipeline.
+///
+/// # Errors
+///
+/// * [`SolveError::ShapeMismatch`] if `b.len() != c.rows()`.
+/// * [`SolveError::NoBinarySolution`] if the search space is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{IntMatrix, find_binary_solution};
+///
+/// let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+/// let x = find_binary_solution(&c, &[0, 1]).unwrap();
+/// assert_eq!(c.mul_vec(&x), vec![0, 1]);
+/// assert!(x.iter().all(|&v| v == 0 || v == 1));
+/// ```
+pub fn find_binary_solution(c: &IntMatrix, b: &[i64]) -> Result<Vec<i64>, SolveError> {
+    if b.len() != c.rows() {
+        return Err(SolveError::ShapeMismatch {
+            rows: c.rows(),
+            rhs_len: b.len(),
+        });
+    }
+    let n = c.cols();
+
+    // Branch order: most-constrained variables first.
+    let mut order: Vec<usize> = (0..n).collect();
+    let participation = |j: usize| (0..c.rows()).filter(|&i| c[(i, j)] != 0).count();
+    order.sort_by_key(|&j| std::cmp::Reverse(participation(j)));
+
+    // Per-row bookkeeping: residual = b_i - Σ_assigned c_ij x_j, and the
+    // min/max contribution still achievable from unassigned variables.
+    let mut assign = vec![-1i64; n]; // -1 = unassigned
+    let mut residual: Vec<i64> = b.to_vec();
+    let mut lo: Vec<i64> = vec![0; c.rows()];
+    let mut hi: Vec<i64> = vec![0; c.rows()];
+    for i in 0..c.rows() {
+        for j in 0..n {
+            let a = c[(i, j)];
+            if a > 0 {
+                hi[i] += a;
+            } else {
+                lo[i] += a;
+            }
+        }
+    }
+
+    fn feasible(residual: &[i64], lo: &[i64], hi: &[i64]) -> bool {
+        residual
+            .iter()
+            .zip(lo.iter().zip(hi))
+            .all(|(&r, (&l, &h))| l <= r && r <= h)
+    }
+
+    fn dfs(
+        depth: usize,
+        order: &[usize],
+        c: &IntMatrix,
+        assign: &mut Vec<i64>,
+        residual: &mut Vec<i64>,
+        lo: &mut Vec<i64>,
+        hi: &mut Vec<i64>,
+    ) -> bool {
+        if !feasible(residual, lo, hi) {
+            return false;
+        }
+        if depth == order.len() {
+            return residual.iter().all(|&r| r == 0);
+        }
+        let j = order[depth];
+        for v in [0i64, 1] {
+            assign[j] = v;
+            // Remove j from the unassigned bounds and charge its value.
+            let mut saved = Vec::with_capacity(c.rows());
+            for i in 0..c.rows() {
+                let a = c[(i, j)];
+                saved.push((residual[i], lo[i], hi[i]));
+                if a > 0 {
+                    hi[i] -= a;
+                } else {
+                    lo[i] -= a;
+                }
+                residual[i] -= a * v;
+            }
+            if dfs(depth + 1, order, c, assign, residual, lo, hi) {
+                return true;
+            }
+            for i in (0..c.rows()).rev() {
+                let (r, l, h) = saved[i];
+                residual[i] = r;
+                lo[i] = l;
+                hi[i] = h;
+            }
+            assign[j] = -1;
+        }
+        false
+    }
+
+    if dfs(0, &order, c, &mut assign, &mut residual, &mut lo, &mut hi) {
+        Ok(assign)
+    } else {
+        Err(SolveError::NoBinarySolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_exact_unique_system() {
+        let c = IntMatrix::from_rows(&[vec![2, 1], vec![1, -1]]);
+        let x = solve_exact(&c, &[5, 1]).unwrap();
+        assert_eq!(x, vec![Rational::from(2i64), Rational::from(1i64)]);
+    }
+
+    #[test]
+    fn solve_exact_detects_inconsistency() {
+        let c = IntMatrix::from_rows(&[vec![1, 1], vec![1, 1]]);
+        assert_eq!(solve_exact(&c, &[1, 2]), Err(SolveError::Inconsistent));
+    }
+
+    #[test]
+    fn solve_exact_shape_mismatch() {
+        let c = IntMatrix::from_rows(&[vec![1, 1]]);
+        assert!(matches!(
+            solve_exact(&c, &[1, 2]),
+            Err(SolveError::ShapeMismatch { rows: 1, rhs_len: 2 })
+        ));
+    }
+
+    #[test]
+    fn binary_solution_of_paper_system() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+        let x = find_binary_solution(&c, &[0, 1]).unwrap();
+        assert_eq!(c.mul_vec(&x), vec![0, 1]);
+    }
+
+    #[test]
+    fn binary_solution_respects_one_hot() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, 1, 0], vec![0, 0, 1, 1]]);
+        let x = find_binary_solution(&c, &[1, 1]).unwrap();
+        assert_eq!(c.mul_vec(&x), vec![1, 1]);
+    }
+
+    #[test]
+    fn binary_infeasible_detected() {
+        // x1 + x2 = 3 cannot hold for binaries.
+        let c = IntMatrix::from_rows(&[vec![1, 1]]);
+        assert_eq!(
+            find_binary_solution(&c, &[3]),
+            Err(SolveError::NoBinarySolution)
+        );
+    }
+
+    #[test]
+    fn binary_solution_with_negative_coefficients() {
+        // x1 - x2 = -1 forces x1=0, x2=1.
+        let c = IntMatrix::from_rows(&[vec![1, -1]]);
+        let x = find_binary_solution(&c, &[-1]).unwrap();
+        assert_eq!(x, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_constraint_system_returns_all_zero() {
+        let c = IntMatrix::zeros(0, 4);
+        let x = find_binary_solution(&c, &[]).unwrap();
+        assert_eq!(x, vec![0, 0, 0, 0]);
+    }
+}

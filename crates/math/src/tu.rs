@@ -1,0 +1,243 @@
+//! Total-unimodularity checks.
+//!
+//! Theorem 1 in the paper distinguishes totally unimodular (TU)
+//! constraint matrices — where `m` rounds of `m` transition Hamiltonians
+//! suffice to cover the feasible space — from general matrices, where the
+//! bound rises to `m³`. The solver uses these checks to pick the
+//! transition-chain length.
+
+use crate::matrix::IntMatrix;
+use crate::rational::Rational;
+
+/// Result of the Ghouila–Houri certificate search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GhouilaHouri {
+    /// Every tested row subset admits a ±1 partition; the matrix is TU
+    /// if all subsets were tested (`exhaustive == true`).
+    Satisfied {
+        /// Whether all `2^rows` subsets were enumerated (vs a sampled
+        /// subset for large matrices).
+        exhaustive: bool,
+    },
+    /// A row subset with no valid ±1 signing — a witness that the matrix
+    /// is *not* totally unimodular.
+    Violated {
+        /// Indices of the violating row subset.
+        rows: Vec<usize>,
+    },
+}
+
+/// Exact total-unimodularity test via minor enumeration.
+///
+/// A matrix is TU iff every square submatrix has determinant in
+/// `{-1, 0, 1}`. This enumerates all square minors and is exponential —
+/// use only for matrices with at most ~16 rows/columns (sufficient for
+/// unit-scale benchmarks). Entries must already be in `{-1,0,1}`
+/// (a necessary condition checked first: every 1×1 minor).
+///
+/// # Example
+///
+/// ```
+/// use rasengan_math::{IntMatrix, is_totally_unimodular};
+///
+/// // Interval matrix (consecutive ones) — a classic TU family.
+/// let c = IntMatrix::from_rows(&[vec![1, 1, 0], vec![0, 1, 1]]);
+/// assert!(is_totally_unimodular(&c));
+///
+/// // Odd cycle incidence-like matrix — not TU.
+/// let k = IntMatrix::from_rows(&[vec![1, 1, 0], vec![0, 1, 1], vec![1, 0, 1]]);
+/// assert!(!is_totally_unimodular(&k));
+/// ```
+pub fn is_totally_unimodular(c: &IntMatrix) -> bool {
+    if c.iter_rows().flatten().any(|&v| v.abs() > 1) {
+        return false;
+    }
+    let max_k = c.rows().min(c.cols());
+    for k in 2..=max_k {
+        let row_sets = combinations(c.rows(), k);
+        let col_sets = combinations(c.cols(), k);
+        for rs in &row_sets {
+            for cs in &col_sets {
+                let d = minor_determinant(c, rs, cs);
+                if d.abs() > 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Ghouila–Houri criterion: `C` is TU iff every subset `R` of rows can be
+/// partitioned into `R⁺, R⁻` such that for every column `j`,
+/// `Σ_{i∈R⁺} c_ij − Σ_{i∈R⁻} c_ij ∈ {-1, 0, 1}`.
+///
+/// For up to `max_rows_exhaustive` rows, all subsets are enumerated and
+/// the answer is exact. Beyond that, subsets up to the limit's size are
+/// sampled deterministically, making `Satisfied { exhaustive: false }` a
+/// strong heuristic rather than a proof.
+pub fn ghouila_houri(c: &IntMatrix, max_rows_exhaustive: usize) -> GhouilaHouri {
+    let rows = c.rows();
+    let exhaustive = rows <= max_rows_exhaustive;
+    let limit = rows.min(max_rows_exhaustive);
+
+    // Enumerate subsets of up to `limit` rows (all of them when
+    // exhaustive; smaller subsets otherwise).
+    for k in 1..=limit {
+        for subset in combinations(rows, k) {
+            if !has_pm_signing(c, &subset) {
+                return GhouilaHouri::Violated { rows: subset };
+            }
+        }
+    }
+    GhouilaHouri::Satisfied { exhaustive }
+}
+
+/// Whether the row subset admits a ±1 signing per Ghouila–Houri.
+fn has_pm_signing(c: &IntMatrix, subset: &[usize]) -> bool {
+    let k = subset.len();
+    // Try all 2^k signings (first row fixed to + by symmetry).
+    let trials = 1usize << k.saturating_sub(1);
+    for mask in 0..trials {
+        let mut ok = true;
+        for j in 0..c.cols() {
+            let mut sum = 0i64;
+            for (idx, &r) in subset.iter().enumerate() {
+                let sign = if idx == 0 || mask >> (idx - 1) & 1 == 0 {
+                    1
+                } else {
+                    -1
+                };
+                sum += sign * c[(r, j)];
+            }
+            if sum.abs() > 1 {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Determinant of the minor selected by `rs × cs`, computed exactly.
+fn minor_determinant(c: &IntMatrix, rs: &[usize], cs: &[usize]) -> i64 {
+    let k = rs.len();
+    let mut m = crate::matrix::RatMatrix::zeros(k, k);
+    for (i, &r) in rs.iter().enumerate() {
+        for (j, &col) in cs.iter().enumerate() {
+            m[(i, j)] = Rational::from(c[(r, col)]);
+        }
+    }
+    // Gaussian elimination tracking the determinant.
+    let mut det = Rational::ONE;
+    for col in 0..k {
+        let pivot = (col..k).find(|&r| !m[(r, col)].is_zero());
+        let Some(pivot) = pivot else { return 0 };
+        if pivot != col {
+            m.swap_rows(col, pivot);
+            det = -det;
+        }
+        det *= m[(col, col)];
+        let inv = m[(col, col)].recip();
+        m.scale_row(col, inv);
+        for r in (col + 1)..k {
+            if !m[(r, col)].is_zero() {
+                let f = -m[(r, col)];
+                m.add_scaled_row(r, col, f);
+            }
+        }
+    }
+    det.to_integer().expect("determinant of integer matrix is integer") as i64
+}
+
+/// All `k`-subsets of `0..n` in lexicographic order.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            if n - i < k - cur.len() {
+                break;
+            }
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_tu() {
+        assert!(is_totally_unimodular(&IntMatrix::identity(4)));
+    }
+
+    #[test]
+    fn paper_example_is_tu() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
+        assert!(is_totally_unimodular(&c));
+    }
+
+    #[test]
+    fn entry_of_two_is_not_tu() {
+        let c = IntMatrix::from_rows(&[vec![2, 0], vec![0, 1]]);
+        assert!(!is_totally_unimodular(&c));
+    }
+
+    #[test]
+    fn odd_cycle_is_not_tu() {
+        // Vertex-edge incidence of a triangle has a 3x3 minor of det ±2.
+        let c = IntMatrix::from_rows(&[vec![1, 1, 0], vec![0, 1, 1], vec![1, 0, 1]]);
+        assert!(!is_totally_unimodular(&c));
+        match ghouila_houri(&c, 8) {
+            GhouilaHouri::Violated { rows } => assert!(!rows.is_empty()),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_matrix_is_tu_by_both_tests() {
+        let c = IntMatrix::from_rows(&[vec![1, 1, 0, 0], vec![0, 1, 1, 0], vec![0, 0, 1, 1]]);
+        assert!(is_totally_unimodular(&c));
+        assert_eq!(
+            ghouila_houri(&c, 8),
+            GhouilaHouri::Satisfied { exhaustive: true }
+        );
+    }
+
+    #[test]
+    fn ghouila_houri_non_exhaustive_flag() {
+        let c = IntMatrix::identity(6);
+        assert_eq!(
+            ghouila_houri(&c, 3),
+            GhouilaHouri::Satisfied { exhaustive: false }
+        );
+    }
+
+    #[test]
+    fn minor_determinant_matches_known_values() {
+        let c = IntMatrix::from_rows(&[vec![1, 1], vec![0, 1]]);
+        assert_eq!(minor_determinant(&c, &[0, 1], &[0, 1]), 1);
+        let c = IntMatrix::from_rows(&[vec![1, 1], vec![1, -1]]);
+        assert_eq!(minor_determinant(&c, &[0, 1], &[0, 1]), -2);
+    }
+
+    #[test]
+    fn combinations_counts() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(5, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(combinations(3, 3).len(), 1);
+    }
+}

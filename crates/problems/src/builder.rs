@@ -1,0 +1,369 @@
+//! A builder for custom constrained-binary problems, with automatic
+//! slack-variable conversion of inequality constraints (paper §2.1:
+//! "inequality constraints can be transformed into equality using
+//! auxiliary binary variables").
+//!
+//! The five domain generators hand-roll their encodings; this builder is
+//! the general-purpose front door for user-defined problems.
+
+use crate::problem::{Objective, Problem, ProblemError, Sense};
+use rasengan_math::IntMatrix;
+use std::fmt;
+
+/// Comparison operator of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢ xᵢ = b`.
+    Eq,
+    /// `Σ aᵢ xᵢ ≤ b` (binarized with `+slack` variables).
+    Le,
+    /// `Σ aᵢ xᵢ ≥ b` (binarized with `−slack` variables).
+    Ge,
+}
+
+/// Error from [`ProblemBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// A constraint references a variable index beyond the declared
+    /// count.
+    VariableOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Declared variable count.
+        n_vars: usize,
+    },
+    /// An inequality has unbounded slack (no binary solution can exceed
+    /// the bound by the required amount).
+    UnsatisfiableInequality {
+        /// Constraint index (in insertion order).
+        constraint: usize,
+    },
+    /// Problem validation failed.
+    Problem(ProblemError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::VariableOutOfRange { index, n_vars } => {
+                write!(f, "variable x{index} out of range for {n_vars} variables")
+            }
+            BuildError::UnsatisfiableInequality { constraint } => {
+                write!(f, "constraint #{constraint} admits no binary slack encoding")
+            }
+            BuildError::Problem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// One user-declared constraint before binarization.
+#[derive(Clone, Debug)]
+struct RawConstraint {
+    terms: Vec<(usize, i64)>,
+    cmp: Cmp,
+    bound: i64,
+}
+
+/// Builder for a [`Problem`] over named decision variables, converting
+/// `≤` / `≥` constraints to equalities with unit binary slacks.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_problems::builder::{Cmp, ProblemBuilder};
+/// use rasengan_problems::Sense;
+///
+/// // Knapsack-flavored: pick at most 2 of 3 items, maximize value.
+/// let problem = ProblemBuilder::new(3, Sense::Maximize)
+///     .linear_objective(&[3.0, 5.0, 4.0])
+///     .constraint(&[(0, 1), (1, 1), (2, 1)], Cmp::Le, 2)
+///     .build()
+///     .unwrap();
+/// // One ≤ constraint with max LHS 3 and bound 2 → 2 slack variables.
+/// assert_eq!(problem.n_vars(), 3 + 2);
+/// assert!(problem.is_feasible(&[1, 1, 0, 0, 0]));
+/// assert!(problem.is_feasible(&[0, 0, 0, 1, 1])); // pick nothing
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProblemBuilder {
+    n_decision: usize,
+    sense: Sense,
+    name: String,
+    objective: Objective,
+    constraints: Vec<RawConstraint>,
+}
+
+impl ProblemBuilder {
+    /// Starts a builder over `n_decision` binary decision variables.
+    pub fn new(n_decision: usize, sense: Sense) -> Self {
+        ProblemBuilder {
+            n_decision,
+            sense,
+            name: "custom".to_string(),
+            objective: Objective::linear(vec![0.0; n_decision]),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Names the instance.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets linear objective coefficients over the decision variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n_decision`.
+    pub fn linear_objective(mut self, coeffs: &[f64]) -> Self {
+        assert_eq!(coeffs.len(), self.n_decision, "objective width mismatch");
+        self.objective.linear[..self.n_decision].copy_from_slice(coeffs);
+        self
+    }
+
+    /// Adds a quadratic objective term `w·xᵢxⱼ`.
+    pub fn quadratic_term(mut self, i: usize, j: usize, w: f64) -> Self {
+        self.objective.quadratic.push((i, j, w));
+        self
+    }
+
+    /// Adds a constant objective offset.
+    pub fn constant(mut self, c: f64) -> Self {
+        self.objective.constant = c;
+        self
+    }
+
+    /// Adds a linear constraint `Σ aᵢ xᵢ  cmp  bound` over decision
+    /// variables given as `(index, coefficient)` pairs.
+    pub fn constraint(mut self, terms: &[(usize, i64)], cmp: Cmp, bound: i64) -> Self {
+        self.constraints.push(RawConstraint {
+            terms: terms.to_vec(),
+            cmp,
+            bound,
+        });
+        self
+    }
+
+    /// Finalizes the problem: allocates slack variables for every
+    /// inequality and assembles the equality system.
+    ///
+    /// Slack sizing: for `Σ a x ≤ b` the slack must absorb up to
+    /// `b − min(Σ a x)`; for `≥`, up to `max(Σ a x) − b`. Each slack is
+    /// a sum of unit binary variables (keeping the constraint matrix
+    /// ternary and TU-friendly).
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`].
+    pub fn build(self) -> Result<Problem, BuildError> {
+        // Validate indices.
+        for rc in &self.constraints {
+            for &(i, _) in &rc.terms {
+                if i >= self.n_decision {
+                    return Err(BuildError::VariableOutOfRange {
+                        index: i,
+                        n_vars: self.n_decision,
+                    });
+                }
+            }
+        }
+        for &(i, j, _) in &self.objective.quadratic {
+            let bad = i.max(j);
+            if bad >= self.n_decision {
+                return Err(BuildError::VariableOutOfRange {
+                    index: bad,
+                    n_vars: self.n_decision,
+                });
+            }
+        }
+
+        // Slack sizing per constraint.
+        let mut slack_sizes = Vec::with_capacity(self.constraints.len());
+        for (idx, rc) in self.constraints.iter().enumerate() {
+            let min_lhs: i64 = rc.terms.iter().map(|&(_, a)| a.min(0)).sum();
+            let max_lhs: i64 = rc.terms.iter().map(|&(_, a)| a.max(0)).sum();
+            let size = match rc.cmp {
+                Cmp::Eq => 0,
+                Cmp::Le => {
+                    if rc.bound < min_lhs {
+                        return Err(BuildError::UnsatisfiableInequality { constraint: idx });
+                    }
+                    (rc.bound - min_lhs).max(0) as usize
+                }
+                Cmp::Ge => {
+                    if rc.bound > max_lhs {
+                        return Err(BuildError::UnsatisfiableInequality { constraint: idx });
+                    }
+                    (max_lhs - rc.bound).max(0) as usize
+                }
+            };
+            slack_sizes.push(size);
+        }
+        let total_slack: usize = slack_sizes.iter().sum();
+        let n = self.n_decision + total_slack;
+
+        let mut rows = Vec::with_capacity(self.constraints.len());
+        let mut rhs = Vec::with_capacity(self.constraints.len());
+        let mut slack_base = self.n_decision;
+        for (rc, &size) in self.constraints.iter().zip(&slack_sizes) {
+            let mut row = vec![0i64; n];
+            for &(i, a) in &rc.terms {
+                row[i] += a;
+            }
+            let sign = match rc.cmp {
+                Cmp::Eq => 0,
+                Cmp::Le => 1,   // lhs + slack = bound
+                Cmp::Ge => -1, // lhs − slack = bound
+            };
+            for s in 0..size {
+                row[slack_base + s] = sign;
+            }
+            slack_base += size;
+            rows.push(row);
+            rhs.push(rc.bound);
+        }
+
+        let mut objective = self.objective;
+        objective.linear.resize(n, 0.0);
+
+        let mut problem = Problem::new(
+            self.name,
+            IntMatrix::from_rows(&rows),
+            rhs,
+            objective,
+            self.sense,
+        )
+        .map_err(BuildError::Problem)?;
+
+        // Try to attach a feasible seed automatically.
+        if let Ok(seed) =
+            rasengan_math::find_binary_solution(problem.constraints(), problem.rhs())
+        {
+            problem = problem
+                .with_initial_feasible(seed)
+                .map_err(BuildError::Problem)?;
+        }
+        Ok(problem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, enumerate_feasible};
+
+    #[test]
+    fn equality_only_build() {
+        let p = ProblemBuilder::new(3, Sense::Minimize)
+            .linear_objective(&[1.0, 2.0, 3.0])
+            .constraint(&[(0, 1), (1, 1), (2, 1)], Cmp::Eq, 1)
+            .build()
+            .unwrap();
+        assert_eq!(p.n_vars(), 3);
+        assert_eq!(enumerate_feasible(&p).len(), 3);
+    }
+
+    #[test]
+    fn le_constraint_gets_slacks() {
+        let p = ProblemBuilder::new(2, Sense::Maximize)
+            .linear_objective(&[1.0, 1.0])
+            .constraint(&[(0, 1), (1, 1)], Cmp::Le, 1)
+            .build()
+            .unwrap();
+        // Max LHS 2, bound 1 → 1 slack.
+        assert_eq!(p.n_vars(), 3);
+        // Feasible decisions: 00, 01, 10 (11 violates).
+        let feas = brute_force_feasible(&p);
+        let decisions: Vec<(i64, i64)> = feas.iter().map(|x| (x[0], x[1])).collect();
+        assert!(decisions.contains(&(0, 0)));
+        assert!(decisions.contains(&(1, 0)));
+        assert!(decisions.contains(&(0, 1)));
+        assert!(!decisions.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn ge_constraint_gets_negative_slacks() {
+        let p = ProblemBuilder::new(3, Sense::Minimize)
+            .linear_objective(&[1.0, 1.0, 1.0])
+            .constraint(&[(0, 1), (1, 1), (2, 1)], Cmp::Ge, 2)
+            .build()
+            .unwrap();
+        // Max LHS 3, bound 2 → 1 slack with coefficient −1.
+        assert_eq!(p.n_vars(), 4);
+        let feas = brute_force_feasible(&p);
+        for x in &feas {
+            assert!(x[0] + x[1] + x[2] >= 2, "under-covered: {x:?}");
+        }
+    }
+
+    #[test]
+    fn seed_attached_automatically() {
+        let p = ProblemBuilder::new(2, Sense::Minimize)
+            .constraint(&[(0, 1), (1, 1)], Cmp::Eq, 1)
+            .build()
+            .unwrap();
+        assert!(p.initial_feasible().is_some());
+    }
+
+    #[test]
+    fn out_of_range_variable_rejected() {
+        let err = ProblemBuilder::new(2, Sense::Minimize)
+            .constraint(&[(5, 1)], Cmp::Eq, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::VariableOutOfRange { index: 5, .. }));
+    }
+
+    #[test]
+    fn impossible_inequality_rejected() {
+        // x0 + x1 ≥ 3 cannot hold for two binaries.
+        let err = ProblemBuilder::new(2, Sense::Minimize)
+            .constraint(&[(0, 1), (1, 1)], Cmp::Ge, 3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnsatisfiableInequality { constraint: 0 }));
+    }
+
+    #[test]
+    fn negative_coefficients_size_slacks_correctly() {
+        // x0 − x1 ≤ 0: min LHS = −1 → 1 slack.
+        let p = ProblemBuilder::new(2, Sense::Minimize)
+            .constraint(&[(0, 1), (1, -1)], Cmp::Le, 0)
+            .build()
+            .unwrap();
+        assert_eq!(p.n_vars(), 3);
+        let feas = brute_force_feasible(&p);
+        for x in &feas {
+            assert!(x[0] <= x[1], "x0 ≤ x1 violated: {x:?}");
+        }
+    }
+
+    #[test]
+    fn quadratic_terms_carried_through() {
+        let p = ProblemBuilder::new(2, Sense::Minimize)
+            .quadratic_term(0, 1, 4.0)
+            .constant(1.0)
+            .constraint(&[(0, 1), (1, 1)], Cmp::Eq, 2)
+            .build()
+            .unwrap();
+        assert_eq!(p.evaluate(&[1, 1]), 5.0);
+    }
+
+    #[test]
+    fn built_problems_solve_with_rasengan_machinery() {
+        // The builder's output must plug into the basis machinery: a
+        // ternary basis exists and spans the feasible set.
+        let p = ProblemBuilder::new(4, Sense::Maximize)
+            .linear_objective(&[2.0, 1.0, 3.0, 1.0])
+            .constraint(&[(0, 1), (1, 1)], Cmp::Le, 1)
+            .constraint(&[(2, 1), (3, 1)], Cmp::Eq, 1)
+            .build()
+            .unwrap();
+        let feas_bfs = enumerate_feasible(&p);
+        let feas_brute = brute_force_feasible(&p);
+        assert_eq!(feas_bfs, feas_brute);
+    }
+}

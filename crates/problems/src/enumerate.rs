@@ -1,0 +1,218 @@
+//! Feasible-space enumeration and exact optima.
+//!
+//! The evaluation needs ground truth: `E_opt` for the ARG metric
+//! (paper Eq. 9) and `#feasible solutions` for Table 2. Two engines:
+//!
+//! * [`enumerate_feasible`] — breadth-first expansion from the initial
+//!   feasible solution along the ternary homogeneous basis, exactly the
+//!   move set the transition Hamiltonians implement. This scales with
+//!   the feasible-set size, not `2^n`, so it handles the 105-variable
+//!   FLP instances of Fig. 10.
+//! * [`brute_force_feasible`] — `2^n` scan, used as a cross-check on
+//!   small instances (and the only option if no ternary basis exists).
+
+use crate::problem::Problem;
+use rasengan_math::{basis::ternary_nullspace_basis, find_binary_solution};
+use std::collections::{HashSet, VecDeque};
+
+/// Enumerates all feasible solutions reachable from the seed by ±basis
+/// moves.
+///
+/// For totally unimodular constraint systems (all five benchmark
+/// domains) this is the *entire* feasible set — the same fact Theorem 1
+/// uses to bound the transition-chain length.
+///
+/// The seed is the problem's attached initial solution if present,
+/// otherwise one is found by backtracking search.
+///
+/// # Panics
+///
+/// Panics if no feasible solution exists or no ternary basis could be
+/// constructed (not the case for any generated benchmark).
+///
+/// # Example
+///
+/// ```
+/// use rasengan_problems::{enumerate_feasible, Objective, Problem, Sense};
+/// use rasengan_math::IntMatrix;
+///
+/// // x1 + x2 + x3 = 1 has exactly three feasible points.
+/// let p = Problem::new(
+///     "one-hot",
+///     IntMatrix::from_rows(&[vec![1, 1, 1]]),
+///     vec![1],
+///     Objective::linear(vec![1.0, 2.0, 3.0]),
+///     Sense::Minimize,
+/// ).unwrap();
+/// assert_eq!(enumerate_feasible(&p).len(), 3);
+/// ```
+pub fn enumerate_feasible(problem: &Problem) -> Vec<Vec<i64>> {
+    let seed: Vec<i64> = match problem.initial_feasible() {
+        Some(x) => x.to_vec(),
+        None => find_binary_solution(problem.constraints(), problem.rhs())
+            .expect("problem has no feasible solution"),
+    };
+    let basis = ternary_nullspace_basis(problem.constraints())
+        .expect("constraint system admits no ternary homogeneous basis");
+
+    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    let mut queue = VecDeque::from([seed.clone()]);
+    seen.insert(seed);
+    while let Some(x) = queue.pop_front() {
+        for u in &basis {
+            for sign in [1i64, -1] {
+                let cand: Vec<i64> = x.iter().zip(u).map(|(&a, &b)| a + sign * b).collect();
+                if cand.iter().all(|&v| v == 0 || v == 1) && !seen.contains(&cand) {
+                    seen.insert(cand.clone());
+                    queue.push_back(cand);
+                }
+            }
+        }
+    }
+    let mut out: Vec<Vec<i64>> = seen.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Enumerates all feasible solutions by scanning `2^n` assignments.
+///
+/// # Panics
+///
+/// Panics if `n_vars > 24` (use [`enumerate_feasible`] instead).
+pub fn brute_force_feasible(problem: &Problem) -> Vec<Vec<i64>> {
+    let n = problem.n_vars();
+    assert!(n <= 24, "brute force limited to 24 variables");
+    let mut out = Vec::new();
+    for label in 0..(1u64 << n) {
+        let x: Vec<i64> = (0..n).map(|i| (label >> i & 1) as i64).collect();
+        if problem.is_feasible(&x) {
+            out.push(x);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The exact optimum over the feasible set: `(x*, f(x*))`.
+///
+/// Uses the generator-attached [`Problem::known_optimum`] when present
+/// (required for instances whose feasible set is too large to
+/// enumerate); otherwise enumerates.
+///
+/// # Panics
+///
+/// Panics if the feasible set is empty.
+pub fn optimum(problem: &Problem) -> (Vec<i64>, f64) {
+    if let Some((x, v)) = problem.known_optimum() {
+        return (x.to_vec(), v);
+    }
+    let feasible = enumerate_feasible(problem);
+    assert!(!feasible.is_empty(), "empty feasible set");
+    let sense = problem.sense();
+    let mut best = feasible[0].clone();
+    let mut best_val = problem.evaluate(&best);
+    for x in feasible.into_iter().skip(1) {
+        let v = problem.evaluate(&x);
+        if sense.is_better(v, best_val) {
+            best_val = v;
+            best = x;
+        }
+    }
+    (best, best_val)
+}
+
+/// Mean objective value across the feasible set — the "average quality
+/// of feasible solutions" baseline the paper beats on hardware (§5.4).
+pub fn mean_feasible_objective(problem: &Problem) -> f64 {
+    let feasible = enumerate_feasible(problem);
+    assert!(!feasible.is_empty(), "empty feasible set");
+    feasible.iter().map(|x| problem.evaluate(x)).sum::<f64>() / feasible.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Objective, Sense};
+    use rasengan_math::IntMatrix;
+
+    fn paper_example() -> Problem {
+        // The running example of the paper (Fig. 1a): five variables,
+        // two constraints, five feasible solutions.
+        Problem::new(
+            "paper",
+            IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]),
+            vec![0, 1],
+            Objective::linear(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            Sense::Minimize,
+        )
+        .unwrap()
+        .with_initial_feasible(vec![0, 0, 0, 1, 0])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_has_five_feasible_solutions() {
+        let p = paper_example();
+        let feas = enumerate_feasible(&p);
+        assert_eq!(feas.len(), 5);
+        // The ones listed in §3: x_p, x_p−u₂, x_p+u₃, x_p−u₂+u₁, …
+        assert!(feas.contains(&vec![0, 0, 0, 1, 0]));
+        assert!(feas.contains(&vec![1, 0, 1, 0, 0]));
+        assert!(feas.contains(&vec![0, 1, 1, 0, 0]));
+        assert!(feas.contains(&vec![1, 0, 1, 1, 1]));
+        assert!(feas.contains(&vec![0, 1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn bfs_matches_brute_force() {
+        let p = paper_example();
+        assert_eq!(enumerate_feasible(&p), brute_force_feasible(&p));
+    }
+
+    #[test]
+    fn optimum_picks_cheapest() {
+        let p = paper_example();
+        let (x, v) = optimum(&p);
+        // Cheapest of the five: [0,0,0,1,0] with value 4.
+        assert_eq!(x, vec![0, 0, 0, 1, 0]);
+        assert_eq!(v, 4.0);
+    }
+
+    #[test]
+    fn optimum_respects_maximization() {
+        let mut p = paper_example();
+        p = Problem::new(
+            p.name().to_string(),
+            p.constraints().clone(),
+            p.rhs().to_vec(),
+            p.objective().clone(),
+            Sense::Maximize,
+        )
+        .unwrap();
+        let (_, v) = optimum(&p);
+        // Most expensive: [1,0,1,1,1] or [0,1,1,1,1] = 1+3+4+5=13 vs 2+3+4+5=14.
+        assert_eq!(v, 14.0);
+    }
+
+    #[test]
+    fn mean_feasible_between_extremes() {
+        let p = paper_example();
+        let mean = mean_feasible_objective(&p);
+        let (_, best) = optimum(&p);
+        assert!(mean > best);
+        assert!(mean < 14.0);
+    }
+
+    #[test]
+    fn enumeration_without_attached_seed() {
+        let p = Problem::new(
+            "one-hot",
+            IntMatrix::from_rows(&[vec![1, 1, 1, 1]]),
+            vec![1],
+            Objective::linear(vec![1.0; 4]),
+            Sense::Minimize,
+        )
+        .unwrap();
+        assert_eq!(enumerate_feasible(&p).len(), 4);
+    }
+}

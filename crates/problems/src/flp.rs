@@ -1,0 +1,275 @@
+//! Facility location problem (FLP) generator.
+//!
+//! Uncapacitated facility location with `f` candidate facilities and
+//! `d` demand points:
+//!
+//! * `y_i` — facility `i` is opened,
+//! * `x_{ij}` — demand `j` is served by facility `i`,
+//! * `s_{ij}` — slack binarizing the linking inequality `x_{ij} ≤ y_i`
+//!   as the equality `x_{ij} − y_i + s_{ij} = 0`.
+//!
+//! Constraints: one-hot assignment `Σ_i x_{ij} = 1` per demand, plus one
+//! linking equality per `(i, j)` pair. Variable count `f + 2fd`, which
+//! reproduces the paper's scaling (e.g. `f=5, d=10` gives the
+//! 105-variable top of Fig. 10).
+//!
+//! The initial feasible solution opens facility 0 and assigns every
+//! demand to it — the `O(d)` construction of §5.1.
+
+use crate::problem::{Objective, Problem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan_math::IntMatrix;
+
+/// A generated facility-location instance.
+#[derive(Clone, Debug)]
+pub struct FacilityLocation {
+    /// Number of candidate facilities.
+    pub facilities: usize,
+    /// Number of demand points.
+    pub demands: usize,
+    /// Opening cost per facility.
+    pub open_cost: Vec<f64>,
+    /// Transport cost `t[i][j]` from facility `i` to demand `j`.
+    pub transport_cost: Vec<Vec<f64>>,
+}
+
+impl FacilityLocation {
+    /// Generates a seeded random instance with integer costs in small
+    /// ranges (opening 2–10, transport 1–8, as in the literature's toy
+    /// scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `facilities == 0 || demands == 0`.
+    pub fn generate(facilities: usize, demands: usize, seed: u64) -> Self {
+        assert!(facilities > 0 && demands > 0, "degenerate FLP shape");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let open_cost = (0..facilities)
+            .map(|_| rng.gen_range(2..=10) as f64)
+            .collect();
+        let transport_cost = (0..facilities)
+            .map(|_| (0..demands).map(|_| rng.gen_range(1..=8) as f64).collect())
+            .collect();
+        FacilityLocation {
+            facilities,
+            demands,
+            open_cost,
+            transport_cost,
+        }
+    }
+
+    /// Total number of binary variables: `f + 2fd`.
+    pub fn n_vars(&self) -> usize {
+        self.facilities + 2 * self.facilities * self.demands
+    }
+
+    /// Index of `y_i`.
+    pub fn y(&self, i: usize) -> usize {
+        i
+    }
+
+    /// Index of `x_{ij}`.
+    pub fn x(&self, i: usize, j: usize) -> usize {
+        self.facilities + i * self.demands + j
+    }
+
+    /// Index of the slack `s_{ij}`.
+    pub fn s(&self, i: usize, j: usize) -> usize {
+        self.facilities + self.facilities * self.demands + i * self.demands + j
+    }
+
+    /// Builds the [`Problem`] (constraints, objective, initial feasible
+    /// solution).
+    pub fn into_problem(self) -> Problem {
+        let (f, d) = (self.facilities, self.demands);
+        let n = self.n_vars();
+        let mut rows = Vec::new();
+        let mut rhs = Vec::new();
+
+        // One-hot demand assignment: Σ_i x_{ij} = 1.
+        for j in 0..d {
+            let mut row = vec![0i64; n];
+            for i in 0..f {
+                row[self.x(i, j)] = 1;
+            }
+            rows.push(row);
+            rhs.push(1);
+        }
+        // Linking: x_{ij} − y_i + s_{ij} = 0.
+        for i in 0..f {
+            for j in 0..d {
+                let mut row = vec![0i64; n];
+                row[self.x(i, j)] = 1;
+                row[self.y(i)] = -1;
+                row[self.s(i, j)] = 1;
+                rows.push(row);
+                rhs.push(0);
+            }
+        }
+
+        let mut linear = vec![0.0; n];
+        for i in 0..f {
+            linear[self.y(i)] = self.open_cost[i];
+            for j in 0..d {
+                linear[self.x(i, j)] = self.transport_cost[i][j];
+            }
+        }
+
+        // O(d) feasible construction: open facility 0, serve everything
+        // from it; slacks s_{i,j} = y_i − x_{ij}.
+        let mut init = vec![0i64; n];
+        init[self.y(0)] = 1;
+        for j in 0..d {
+            init[self.x(0, j)] = 1;
+        }
+        // s_{0,j} = 1 − 1 = 0 (already), s_{i>0,j} = 0 − 0 = 0.
+
+        let name = format!("flp-{f}x{d}");
+        let (opt_x, opt_v) = self.exact_optimum();
+        Problem::new(
+            name,
+            IntMatrix::from_rows(&rows),
+            rhs,
+            Objective::linear(linear),
+            Sense::Minimize,
+        )
+        .expect("FLP construction is shape-consistent")
+        .with_initial_feasible(init)
+        .expect("FLP constructive solution is feasible")
+        .with_known_optimum(opt_x, opt_v)
+        .expect("FLP subset-enumeration optimum is feasible")
+    }
+
+    /// Exact optimum by enumerating the `2^f − 1` nonempty facility
+    /// subsets and assigning each demand to its cheapest open facility —
+    /// polynomial in demands, so it scales to the 105-variable Fig. 10
+    /// instances where feasible-set enumeration cannot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `facilities > 20` (subset enumeration budget).
+    pub fn exact_optimum(&self) -> (Vec<i64>, f64) {
+        let (f, d) = (self.facilities, self.demands);
+        assert!(f <= 20, "facility subset enumeration limited to 20 facilities");
+        let mut best_cost = f64::INFINITY;
+        let mut best_mask = 1usize;
+        for mask in 1usize..(1 << f) {
+            let mut cost: f64 = (0..f)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| self.open_cost[i])
+                .sum();
+            for j in 0..d {
+                cost += (0..f)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| self.transport_cost[i][j])
+                    .fold(f64::INFINITY, f64::min);
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_mask = mask;
+            }
+        }
+        // Materialize the full variable vector (y, x, s).
+        let mut x = vec![0i64; self.n_vars()];
+        for i in 0..f {
+            if best_mask >> i & 1 == 1 {
+                x[self.y(i)] = 1;
+            }
+        }
+        for j in 0..d {
+            let (cheapest, _) = (0..f)
+                .filter(|i| best_mask >> i & 1 == 1)
+                .map(|i| (i, self.transport_cost[i][j]))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("mask is nonempty");
+            x[self.x(cheapest, j)] = 1;
+        }
+        for i in 0..f {
+            for j in 0..d {
+                x[self.s(i, j)] = x[self.y(i)] - x[self.x(i, j)];
+            }
+        }
+        (x, best_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, enumerate_feasible};
+
+    #[test]
+    fn variable_count_formula() {
+        let flp = FacilityLocation::generate(5, 10, 1);
+        assert_eq!(flp.n_vars(), 105); // the paper's largest Fig. 10 scale
+        let flp = FacilityLocation::generate(2, 1, 1);
+        assert_eq!(flp.n_vars(), 6); // the smallest
+    }
+
+    #[test]
+    fn constraint_count() {
+        let p = FacilityLocation::generate(3, 2, 2).into_problem();
+        // d one-hot rows + f·d linking rows.
+        assert_eq!(p.n_constraints(), 2 + 6);
+    }
+
+    #[test]
+    fn initial_solution_is_feasible() {
+        for seed in 0..5 {
+            let p = FacilityLocation::generate(3, 3, seed).into_problem();
+            let init = p.initial_feasible().unwrap();
+            assert!(p.is_feasible(init));
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_small() {
+        let p = FacilityLocation::generate(2, 2, 7).into_problem();
+        assert_eq!(p.n_vars(), 10);
+        let bfs = enumerate_feasible(&p);
+        let brute = brute_force_feasible(&p);
+        assert_eq!(bfs, brute);
+        assert!(!bfs.is_empty());
+    }
+
+    #[test]
+    fn feasible_solutions_open_used_facilities() {
+        let p = FacilityLocation::generate(2, 1, 3).into_problem();
+        let flp = FacilityLocation::generate(2, 1, 3);
+        for x in enumerate_feasible(&p) {
+            for i in 0..2 {
+                for j in 0..1 {
+                    // x_{ij} = 1 implies y_i = 1 (the linking constraint).
+                    if x[flp.x(i, j)] == 1 {
+                        assert_eq!(x[flp.y(i)], 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_costs_not_structure() {
+        let a = FacilityLocation::generate(2, 2, 1);
+        let b = FacilityLocation::generate(2, 2, 2);
+        assert_eq!(a.n_vars(), b.n_vars());
+        assert_ne!(
+            (a.open_cost.clone(), a.transport_cost.clone()),
+            (b.open_cost.clone(), b.transport_cost.clone())
+        );
+        // Same seed reproduces exactly.
+        let a2 = FacilityLocation::generate(2, 2, 1);
+        assert_eq!(a.open_cost, a2.open_cost);
+        assert_eq!(a.transport_cost, a2.transport_cost);
+    }
+
+    #[test]
+    fn objective_counts_open_and_transport() {
+        let flp = FacilityLocation::generate(2, 1, 4);
+        let p = flp.clone().into_problem();
+        let init = p.initial_feasible().unwrap();
+        let expect = flp.open_cost[0] + flp.transport_cost[0][0];
+        assert_eq!(p.evaluate(init), expect);
+    }
+}

@@ -1,0 +1,311 @@
+//! Plain-text serialization of problem instances.
+//!
+//! A line-oriented format for persisting and sharing instances (the
+//! paper's artifact ships its benchmark cases as files; this is the
+//! equivalent):
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! name flp-2x1
+//! sense min
+//! vars 6
+//! objective constant 0
+//! objective linear 0 4
+//! objective quadratic 0 3 1.5
+//! constraint 1 : 0 0 1 1 0 0       # b : dense coefficient row
+//! initial 1 0 1 0 0 0
+//! ```
+
+use crate::problem::{Objective, Problem, Sense};
+use rasengan_math::IntMatrix;
+use std::fmt;
+
+/// Error parsing a problem file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseProblemError {
+    /// 1-based line number of the offending line (0 for structural
+    /// errors spanning the whole file).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProblemError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseProblemError {
+    ParseProblemError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a problem to the text format.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_problems::io::{parse_problem, write_problem};
+/// use rasengan_problems::registry::{benchmark, BenchmarkId};
+///
+/// let p = benchmark(BenchmarkId::parse("J1").unwrap());
+/// let text = write_problem(&p);
+/// let q = parse_problem(&text).unwrap();
+/// assert_eq!(p.n_vars(), q.n_vars());
+/// assert_eq!(p.constraints(), q.constraints());
+/// ```
+pub fn write_problem(problem: &Problem) -> String {
+    let mut out = String::new();
+    out.push_str("# rasengan problem file v1\n");
+    out.push_str(&format!("name {}\n", problem.name()));
+    out.push_str(&format!(
+        "sense {}\n",
+        match problem.sense() {
+            Sense::Minimize => "min",
+            Sense::Maximize => "max",
+        }
+    ));
+    out.push_str(&format!("vars {}\n", problem.n_vars()));
+    let obj = problem.objective();
+    if obj.constant != 0.0 {
+        out.push_str(&format!("objective constant {}\n", obj.constant));
+    }
+    for (i, &c) in obj.linear.iter().enumerate() {
+        if c != 0.0 {
+            out.push_str(&format!("objective linear {i} {c}\n"));
+        }
+    }
+    for &(i, j, w) in &obj.quadratic {
+        out.push_str(&format!("objective quadratic {i} {j} {w}\n"));
+    }
+    for (row, &b) in problem
+        .constraints()
+        .iter_rows()
+        .zip(problem.rhs().iter())
+    {
+        let coeffs: Vec<String> = row.iter().map(i64::to_string).collect();
+        out.push_str(&format!("constraint {b} : {}\n", coeffs.join(" ")));
+    }
+    if let Some(init) = problem.initial_feasible() {
+        let bits: Vec<String> = init.iter().map(i64::to_string).collect();
+        out.push_str(&format!("initial {}\n", bits.join(" ")));
+    }
+    out
+}
+
+/// Parses a problem from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseProblemError`] with the offending line on malformed
+/// input, dimension mismatches, or an infeasible `initial` line.
+pub fn parse_problem(text: &str) -> Result<Problem, ParseProblemError> {
+    let mut name = "unnamed".to_string();
+    let mut sense = Sense::Minimize;
+    let mut n_vars: Option<usize> = None;
+    let mut constant = 0.0f64;
+    let mut linear: Vec<f64> = Vec::new();
+    let mut quadratic: Vec<(usize, usize, f64)> = Vec::new();
+    let mut rows: Vec<Vec<i64>> = Vec::new();
+    let mut rhs: Vec<i64> = Vec::new();
+    let mut initial: Option<Vec<i64>> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line");
+        match keyword {
+            "name" => {
+                name = words.collect::<Vec<_>>().join(" ");
+            }
+            "sense" => {
+                sense = match words.next() {
+                    Some("min") => Sense::Minimize,
+                    Some("max") => Sense::Maximize,
+                    other => return Err(err(lineno, format!("bad sense {other:?}"))),
+                };
+            }
+            "vars" => {
+                let n: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno, "vars needs a count"))?;
+                n_vars = Some(n);
+                linear.resize(n, 0.0);
+            }
+            "objective" => {
+                let n = n_vars.ok_or_else(|| err(lineno, "objective before vars"))?;
+                match words.next() {
+                    Some("constant") => {
+                        constant = words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad constant"))?;
+                    }
+                    Some("linear") => {
+                        let i: usize = words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad linear index"))?;
+                        let c: f64 = words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad linear coefficient"))?;
+                        if i >= n {
+                            return Err(err(lineno, format!("linear index {i} ≥ vars {n}")));
+                        }
+                        linear[i] = c;
+                    }
+                    Some("quadratic") => {
+                        let i: usize = words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad quadratic index"))?;
+                        let j: usize = words
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad quadratic index"))?;
+                        let w: f64 = words
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad quadratic weight"))?;
+                        if i >= n || j >= n {
+                            return Err(err(lineno, "quadratic index out of range"));
+                        }
+                        quadratic.push((i, j, w));
+                    }
+                    other => return Err(err(lineno, format!("bad objective kind {other:?}"))),
+                }
+            }
+            "constraint" => {
+                let n = n_vars.ok_or_else(|| err(lineno, "constraint before vars"))?;
+                let b: i64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err(lineno, "constraint needs a bound"))?;
+                match words.next() {
+                    Some(":") => {}
+                    other => return Err(err(lineno, format!("expected ':', got {other:?}"))),
+                }
+                let coeffs: Result<Vec<i64>, _> = words.map(str::parse).collect();
+                let coeffs =
+                    coeffs.map_err(|_| err(lineno, "non-integer constraint coefficient"))?;
+                if coeffs.len() != n {
+                    return Err(err(
+                        lineno,
+                        format!("constraint has {} coefficients, expected {n}", coeffs.len()),
+                    ));
+                }
+                rows.push(coeffs);
+                rhs.push(b);
+            }
+            "initial" => {
+                let bits: Result<Vec<i64>, _> = words.map(str::parse).collect();
+                initial = Some(bits.map_err(|_| err(lineno, "non-integer initial bit"))?);
+            }
+            other => return Err(err(lineno, format!("unknown keyword `{other}`"))),
+        }
+    }
+
+    let n = n_vars.ok_or_else(|| err(0, "missing vars line"))?;
+    let constraints = if rows.is_empty() {
+        IntMatrix::zeros(0, n)
+    } else {
+        IntMatrix::from_rows(&rows)
+    };
+    let mut problem = Problem::new(
+        name,
+        constraints,
+        rhs,
+        Objective {
+            constant,
+            linear,
+            quadratic,
+        },
+        sense,
+    )
+    .map_err(|e| err(0, e.to_string()))?;
+    if let Some(bits) = initial {
+        problem = problem
+            .with_initial_feasible(bits)
+            .map_err(|e| err(0, e.to_string()))?;
+    }
+    Ok(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{all_ids, benchmark};
+
+    #[test]
+    fn every_benchmark_roundtrips() {
+        for id in all_ids() {
+            let p = benchmark(id);
+            let text = write_problem(&p);
+            let q = parse_problem(&text).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(p.name(), q.name(), "{id}");
+            assert_eq!(p.sense(), q.sense(), "{id}");
+            assert_eq!(p.constraints(), q.constraints(), "{id}");
+            assert_eq!(p.rhs(), q.rhs(), "{id}");
+            assert_eq!(p.objective().linear, q.objective().linear, "{id}");
+            assert_eq!(p.objective().quadratic, q.objective().quadratic, "{id}");
+            assert_eq!(p.initial_feasible(), q.initial_feasible(), "{id}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nname t # trailing\nsense max\nvars 2\nconstraint 1 : 1 1\n";
+        let p = parse_problem(text).unwrap();
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.sense(), Sense::Maximize);
+        assert_eq!(p.n_constraints(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_problem("vars 2\nconstraint 1 : 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected 2"));
+
+        let e = parse_problem("vars 1\nfrobnicate\n").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse_problem("constraint 1 : 1\n").unwrap_err();
+        assert!(e.message.contains("before vars"));
+    }
+
+    #[test]
+    fn missing_vars_rejected() {
+        let e = parse_problem("name x\n").unwrap_err();
+        assert!(e.message.contains("missing vars"));
+    }
+
+    #[test]
+    fn infeasible_initial_rejected() {
+        let text = "vars 2\nconstraint 1 : 1 1\ninitial 1 1\n";
+        let e = parse_problem(text).unwrap_err();
+        assert!(e.message.contains("violates"), "{e}");
+    }
+
+    #[test]
+    fn objective_values_roundtrip_exactly() {
+        let text = "vars 3\nobjective constant 2.5\nobjective linear 1 -0.125\nobjective quadratic 0 2 3.75\nconstraint 1 : 1 1 1\n";
+        let p = parse_problem(text).unwrap();
+        assert_eq!(p.objective().constant, 2.5);
+        assert_eq!(p.objective().linear[1], -0.125);
+        assert_eq!(p.objective().quadratic, vec![(0, 2, 3.75)]);
+        let again = parse_problem(&write_problem(&p)).unwrap();
+        assert_eq!(again.objective().quadratic, p.objective().quadratic);
+    }
+}

@@ -1,0 +1,218 @@
+//! Job scheduling problem (JSP) generator.
+//!
+//! Identical-machines scheduling: assign `j` jobs with processing times
+//! `p_j` to `m` machines, each machine taking at most `cap` jobs.
+//!
+//! * `x_{jm}` — job `j` runs on machine `m` (one-hot per job),
+//! * capacity per machine binarized with unit slacks:
+//!   `Σ_j x_{jm} + Σ_r s_{mr} = cap`.
+//!
+//! The objective approximates makespan minimization by the (quadratic)
+//! sum of squared machine loads — minimized exactly when loads are
+//! balanced, the identical-machines objective the paper cites
+//! (Wikipedia \[42\]).
+//!
+//! Initial feasible solution: greedy round-robin placement, `O(j)`
+//! (§5.1).
+
+use crate::problem::{Objective, Problem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan_math::IntMatrix;
+
+/// A generated job-scheduling instance.
+#[derive(Clone, Debug)]
+pub struct JobScheduling {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of identical machines.
+    pub machines: usize,
+    /// Per-machine job capacity.
+    pub capacity: usize,
+    /// Processing time of each job.
+    pub times: Vec<f64>,
+}
+
+impl JobScheduling {
+    /// Generates a seeded random instance with processing times 1–5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities cannot hold all jobs
+    /// (`machines * capacity < jobs`).
+    pub fn generate(jobs: usize, machines: usize, capacity: usize, seed: u64) -> Self {
+        assert!(
+            machines * capacity >= jobs,
+            "insufficient capacity: {machines} machines × {capacity} < {jobs} jobs"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let times = (0..jobs).map(|_| rng.gen_range(1..=5) as f64).collect();
+        JobScheduling {
+            jobs,
+            machines,
+            capacity,
+            times,
+        }
+    }
+
+    /// Total number of binary variables: `j·m + m·cap` (assignments plus
+    /// capacity slacks).
+    pub fn n_vars(&self) -> usize {
+        self.jobs * self.machines + self.machines * self.capacity
+    }
+
+    /// Index of `x_{jm}`.
+    pub fn x(&self, job: usize, machine: usize) -> usize {
+        job * self.machines + machine
+    }
+
+    /// Index of the `r`-th capacity slack of `machine`.
+    pub fn s(&self, machine: usize, r: usize) -> usize {
+        self.jobs * self.machines + machine * self.capacity + r
+    }
+
+    /// Builds the [`Problem`].
+    pub fn into_problem(self) -> Problem {
+        let (j, m, cap) = (self.jobs, self.machines, self.capacity);
+        let n = self.n_vars();
+        let mut rows = Vec::new();
+        let mut rhs = Vec::new();
+
+        // One-hot per job.
+        for job in 0..j {
+            let mut row = vec![0i64; n];
+            for mach in 0..m {
+                row[self.x(job, mach)] = 1;
+            }
+            rows.push(row);
+            rhs.push(1);
+        }
+        // Capacity per machine with unit slacks.
+        for mach in 0..m {
+            let mut row = vec![0i64; n];
+            for job in 0..j {
+                row[self.x(job, mach)] = 1;
+            }
+            for r in 0..cap {
+                row[self.s(mach, r)] = 1;
+            }
+            rows.push(row);
+            rhs.push(cap as i64);
+        }
+
+        // Σ_m (Σ_j p_j x_{jm})² expanded into linear + quadratic terms
+        // (x² = x for binaries).
+        let mut linear = vec![0.0; n];
+        let mut quadratic = Vec::new();
+        for mach in 0..m {
+            for a in 0..j {
+                linear[self.x(a, mach)] += self.times[a] * self.times[a];
+                for b in (a + 1)..j {
+                    quadratic.push((
+                        self.x(a, mach),
+                        self.x(b, mach),
+                        2.0 * self.times[a] * self.times[b],
+                    ));
+                }
+            }
+        }
+
+        // O(j) round-robin placement, then fill slacks to the residual
+        // capacity.
+        let mut init = vec![0i64; n];
+        let mut load = vec![0usize; m];
+        for job in 0..j {
+            // Round-robin but skip full machines (capacity permits this
+            // by the constructor assertion).
+            let mut mach = job % m;
+            while load[mach] >= cap {
+                mach = (mach + 1) % m;
+            }
+            init[self.x(job, mach)] = 1;
+            load[mach] += 1;
+        }
+        for mach in 0..m {
+            for r in 0..cap - load[mach] {
+                init[self.s(mach, r)] = 1;
+            }
+        }
+
+        let name = format!("jsp-{j}j{m}m{cap}c");
+        Problem::new(
+            name,
+            IntMatrix::from_rows(&rows),
+            rhs,
+            Objective {
+                constant: 0.0,
+                linear,
+                quadratic,
+            },
+            Sense::Minimize,
+        )
+        .expect("JSP construction is shape-consistent")
+        .with_initial_feasible(init)
+        .expect("round-robin placement respects capacities")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, enumerate_feasible, optimum};
+
+    #[test]
+    fn shapes() {
+        let jsp = JobScheduling::generate(2, 2, 2, 1);
+        assert_eq!(jsp.n_vars(), 4 + 4);
+        let p = jsp.into_problem();
+        assert_eq!(p.n_constraints(), 2 + 2);
+    }
+
+    #[test]
+    fn initial_is_feasible_across_seeds() {
+        for seed in 0..5 {
+            let p = JobScheduling::generate(3, 2, 2, seed).into_problem();
+            assert!(p.is_feasible(p.initial_feasible().unwrap()));
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force() {
+        let p = JobScheduling::generate(2, 2, 2, 3).into_problem();
+        assert_eq!(enumerate_feasible(&p), brute_force_feasible(&p));
+    }
+
+    #[test]
+    fn balanced_schedule_is_optimal() {
+        // Two jobs with equal times on two machines: optimum splits them.
+        let jsp = JobScheduling {
+            jobs: 2,
+            machines: 2,
+            capacity: 2,
+            times: vec![3.0, 3.0],
+        };
+        let p = jsp.clone().into_problem();
+        let (x, v) = optimum(&p);
+        // Balanced: loads (3,3) → 9+9=18; unbalanced: (6,0) → 36.
+        assert_eq!(v, 18.0);
+        assert_ne!(x[jsp.x(0, 0)], x[jsp.x(1, 0)]);
+    }
+
+    #[test]
+    fn capacity_limits_respected_by_feasible_set() {
+        let jsp = JobScheduling::generate(3, 2, 2, 5);
+        let p = jsp.clone().into_problem();
+        for x in enumerate_feasible(&p) {
+            for mach in 0..2 {
+                let load: i64 = (0..3).map(|job| x[jsp.x(job, mach)]).sum();
+                assert!(load <= 2, "machine {mach} overloaded: {load}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficient capacity")]
+    fn overcommitted_shape_panics() {
+        JobScheduling::generate(5, 2, 2, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! K-partition problem (KPP) generator.
+//!
+//! Balanced graph partitioning in the style of Bui & Moon: split `v`
+//! vertices into `k` parts of equal size, minimizing the weight of cut
+//! edges.
+//!
+//! * `x_{vp}` — vertex `v` lies in part `p`,
+//! * one-hot per vertex: `Σ_p x_{vp} = 1`,
+//! * balance per part: `Σ_v x_{vp} = v/k` (spans *all* vertices — the
+//!   wide constraints the paper calls out as making "effective
+//!   transitions harder to match" in §5.2's application-dependency
+//!   discussion).
+//!
+//! The objective is quadratic: each edge `(a, b, w)` pays `w` unless the
+//! endpoints share a part, encoded as `w − w·Σ_p x_{ap} x_{bp}`.
+
+use crate::problem::{Objective, Problem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan_math::IntMatrix;
+
+/// A generated k-partition instance.
+#[derive(Clone, Debug)]
+pub struct KPartition {
+    /// Number of vertices (must be divisible by `parts`).
+    pub vertices: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Weighted edges `(a, b, w)`.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl KPartition {
+    /// Generates a seeded random instance: an Erdős–Rényi-style graph
+    /// with edge probability 0.5 and integer weights 1–5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is not divisible by `parts` or `parts < 2`.
+    pub fn generate(vertices: usize, parts: usize, seed: u64) -> Self {
+        assert!(parts >= 2, "need at least two parts");
+        assert_eq!(vertices % parts, 0, "vertices must divide evenly into parts");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..vertices {
+            for b in (a + 1)..vertices {
+                if rng.gen_bool(0.5) {
+                    edges.push((a, b, rng.gen_range(1..=5) as f64));
+                }
+            }
+        }
+        // Guarantee at least one edge so the objective is non-trivial.
+        if edges.is_empty() {
+            edges.push((0, 1, 1.0));
+        }
+        KPartition {
+            vertices,
+            parts,
+            edges,
+        }
+    }
+
+    /// Total number of binary variables: `v·k`.
+    pub fn n_vars(&self) -> usize {
+        self.vertices * self.parts
+    }
+
+    /// Index of `x_{vp}`.
+    pub fn x(&self, v: usize, p: usize) -> usize {
+        v * self.parts + p
+    }
+
+    /// Builds the [`Problem`].
+    pub fn into_problem(self) -> Problem {
+        let (v, k) = (self.vertices, self.parts);
+        let n = self.n_vars();
+        let cap = v / k;
+        let mut rows = Vec::new();
+        let mut rhs = Vec::new();
+
+        // One-hot per vertex.
+        for vert in 0..v {
+            let mut row = vec![0i64; n];
+            for p in 0..k {
+                row[self.x(vert, p)] = 1;
+            }
+            rows.push(row);
+            rhs.push(1);
+        }
+        // Balance per part (spans all vertices).
+        for p in 0..k {
+            let mut row = vec![0i64; n];
+            for vert in 0..v {
+                row[self.x(vert, p)] = 1;
+            }
+            rows.push(row);
+            rhs.push(cap as i64);
+        }
+
+        // Cut objective: Σ_e w_e (1 − Σ_p x_{ap} x_{bp}), offset by +1 so
+        // the optimum is never zero (ARG, Eq. 9, divides by E_opt; a
+        // perfectly uncut partition would otherwise make it undefined).
+        let mut constant = 1.0;
+        let mut quadratic = Vec::new();
+        for &(a, b, w) in &self.edges {
+            constant += w;
+            for p in 0..k {
+                quadratic.push((self.x(a, p), self.x(b, p), -w));
+            }
+        }
+
+        // O(v) greedy feasible construction: round-robin assignment.
+        let mut init = vec![0i64; n];
+        for vert in 0..v {
+            init[self.x(vert, vert % k)] = 1;
+        }
+
+        let name = format!("kpp-{v}v{k}p");
+        Problem::new(
+            name,
+            IntMatrix::from_rows(&rows),
+            rhs,
+            Objective {
+                constant,
+                linear: vec![0.0; n],
+                quadratic,
+            },
+            Sense::Minimize,
+        )
+        .expect("KPP construction is shape-consistent")
+        .with_initial_feasible(init)
+        .expect("round-robin assignment is balanced")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, enumerate_feasible, optimum};
+
+    #[test]
+    fn shapes() {
+        let kpp = KPartition::generate(4, 2, 1);
+        assert_eq!(kpp.n_vars(), 8);
+        let p = kpp.into_problem();
+        assert_eq!(p.n_constraints(), 4 + 2);
+    }
+
+    #[test]
+    fn initial_round_robin_is_feasible() {
+        for seed in 0..5 {
+            let p = KPartition::generate(6, 3, seed).into_problem();
+            assert!(p.is_feasible(p.initial_feasible().unwrap()));
+        }
+    }
+
+    #[test]
+    fn feasible_count_matches_combinatorics() {
+        // 4 vertices in 2 balanced parts: C(4,2) = 6 assignments.
+        let p = KPartition::generate(4, 2, 2).into_problem();
+        let feas = enumerate_feasible(&p);
+        assert_eq!(feas.len(), 6);
+        assert_eq!(feas, brute_force_feasible(&p));
+    }
+
+    #[test]
+    fn cut_objective_is_zero_only_without_cut_edges() {
+        // Complete graph on 4 vertices: every balanced bipartition cuts
+        // exactly 4 of the 6 edges.
+        let kpp = KPartition {
+            vertices: 4,
+            parts: 2,
+            edges: vec![
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        };
+        let p = kpp.into_problem();
+        let (_, v) = optimum(&p);
+        assert_eq!(v, 5.0); // 4 cut edges + the fixed +1 offset
+    }
+
+    #[test]
+    fn partition_separating_edge_pays_weight() {
+        let kpp = KPartition {
+            vertices: 2,
+            parts: 2,
+            edges: vec![(0, 1, 3.0)],
+        };
+        let p = kpp.clone().into_problem();
+        // Balanced 2-partition of 2 vertices always separates them.
+        let mut x = vec![0i64; 4];
+        x[kpp.x(0, 0)] = 1;
+        x[kpp.x(1, 1)] = 1;
+        assert!(p.is_feasible(&x));
+        assert_eq!(p.evaluate(&x), 4.0); // weight 3 cut + offset 1
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn unbalanced_shape_panics() {
+        KPartition::generate(5, 2, 0);
+    }
+
+    #[test]
+    fn balance_constraints_span_all_vertices() {
+        let p = KPartition::generate(4, 2, 3).into_problem();
+        let topo = crate::topology::constraint_topology(&p);
+        // A balance row touches v = 4 variables.
+        assert_eq!(topo.max_constraint_span, 4);
+    }
+}

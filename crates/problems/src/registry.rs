@@ -1,0 +1,266 @@
+//! The 20-instance benchmark registry (Table 2's F1–F4, K1–K4, J1–J4,
+//! S1–S4, G1–G4).
+//!
+//! The paper compiles 400 cases per domain from the literature; the
+//! exact instances are not published, so this registry fixes one
+//! canonical seeded instance per benchmark id plus a [`cases`] generator
+//! producing randomized same-shape variants (the reproduce-mode
+//! equivalent of the artifact's scaled-down case sets).
+
+use crate::flp::FacilityLocation;
+use crate::gcp::GraphColoring;
+use crate::jsp::JobScheduling;
+use crate::kpp::KPartition;
+use crate::problem::Problem;
+use crate::scp::SetCover;
+use std::fmt;
+
+/// The five application domains (paper §5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Facility location problem.
+    Flp,
+    /// K-partition problem.
+    Kpp,
+    /// Job scheduling problem.
+    Jsp,
+    /// Set covering problem.
+    Scp,
+    /// Graph coloring problem.
+    Gcp,
+}
+
+impl Domain {
+    /// All domains in Table 2 order.
+    pub fn all() -> [Domain; 5] {
+        [Domain::Flp, Domain::Kpp, Domain::Jsp, Domain::Scp, Domain::Gcp]
+    }
+
+    /// The single-letter prefix used in benchmark ids.
+    pub fn letter(self) -> char {
+        match self {
+            Domain::Flp => 'F',
+            Domain::Kpp => 'K',
+            Domain::Jsp => 'J',
+            Domain::Scp => 'S',
+            Domain::Gcp => 'G',
+        }
+    }
+}
+
+/// A benchmark identifier like `F1` or `G4`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    /// Application domain.
+    pub domain: Domain,
+    /// Scale, 1–4.
+    pub scale: usize,
+}
+
+impl BenchmarkId {
+    /// Creates an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `1..=4`.
+    pub fn new(domain: Domain, scale: usize) -> Self {
+        assert!((1..=4).contains(&scale), "scale must be 1..=4");
+        BenchmarkId { domain, scale }
+    }
+
+    /// Parses ids like `"F1"`, `"s3"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut chars = s.chars();
+        let d = match chars.next()?.to_ascii_uppercase() {
+            'F' => Domain::Flp,
+            'K' => Domain::Kpp,
+            'J' => Domain::Jsp,
+            'S' => Domain::Scp,
+            'G' => Domain::Gcp,
+            _ => return None,
+        };
+        let scale: usize = chars.as_str().parse().ok()?;
+        if (1..=4).contains(&scale) {
+            Some(BenchmarkId { domain: d, scale })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.domain.letter(), self.scale)
+    }
+}
+
+/// All 20 benchmark ids in Table 2 order (F1..F4, K1..K4, …).
+pub fn all_ids() -> Vec<BenchmarkId> {
+    Domain::all()
+        .into_iter()
+        .flat_map(|d| (1..=4).map(move |s| BenchmarkId::new(d, s)))
+        .collect()
+}
+
+/// Seed namespace separating canonical instances from case sweeps.
+const CANONICAL_SEED: u64 = 0xBA5E;
+
+/// Builds an instance of the given benchmark shape with a specific seed.
+pub fn instance(id: BenchmarkId, seed: u64) -> Problem {
+    match (id.domain, id.scale) {
+        // FLP: (facilities, demands) — vars f + 2fd.
+        (Domain::Flp, 1) => FacilityLocation::generate(2, 1, seed).into_problem(), // 6
+        (Domain::Flp, 2) => FacilityLocation::generate(2, 2, seed).into_problem(), // 10
+        (Domain::Flp, 3) => FacilityLocation::generate(3, 2, seed).into_problem(), // 15
+        (Domain::Flp, 4) => FacilityLocation::generate(4, 2, seed).into_problem(), // 20
+
+        // KPP: (vertices, parts) — vars v·k.
+        (Domain::Kpp, 1) => KPartition::generate(4, 2, seed).into_problem(), // 8
+        (Domain::Kpp, 2) => KPartition::generate(6, 2, seed).into_problem(), // 12
+        (Domain::Kpp, 3) => KPartition::generate(8, 2, seed).into_problem(), // 16
+        (Domain::Kpp, 4) => KPartition::generate(6, 3, seed).into_problem(), // 18
+
+        // JSP: (jobs, machines, capacity) — vars jm + m·cap.
+        (Domain::Jsp, 1) => JobScheduling::generate(2, 2, 1, seed).into_problem(), // 6
+        (Domain::Jsp, 2) => JobScheduling::generate(3, 2, 2, seed).into_problem(), // 10
+        (Domain::Jsp, 3) => JobScheduling::generate(4, 2, 2, seed).into_problem(), // 12
+        (Domain::Jsp, 4) => JobScheduling::generate(4, 2, 3, seed).into_problem(), // 14
+
+        // SCP: (elements, sets) — vars sets + Σ(cover−1), seed-dependent.
+        (Domain::Scp, 1) => SetCover::generate(2, 3, seed).into_problem(),
+        (Domain::Scp, 2) => SetCover::generate(3, 4, seed).into_problem(),
+        (Domain::Scp, 3) => SetCover::generate(3, 5, seed).into_problem(),
+        (Domain::Scp, 4) => SetCover::generate(4, 6, seed).into_problem(),
+
+        // GCP: (vertices, colors) — vars vk + |E|k, seed-dependent.
+        (Domain::Gcp, 1) => GraphColoring::generate(2, 2, seed).into_problem(),
+        (Domain::Gcp, 2) => GraphColoring::generate(3, 2, seed).into_problem(),
+        (Domain::Gcp, 3) => GraphColoring::generate(4, 2, seed).into_problem(),
+        (Domain::Gcp, 4) => GraphColoring::generate(5, 2, seed).into_problem(),
+
+        _ => unreachable!("scale validated by BenchmarkId::new"),
+    }
+}
+
+/// The canonical instance of a benchmark (fixed seed, deterministic).
+///
+/// # Example
+///
+/// ```
+/// use rasengan_problems::registry::{benchmark, BenchmarkId};
+///
+/// let f1 = benchmark(BenchmarkId::parse("F1").unwrap());
+/// assert_eq!(f1.n_vars(), 6);
+/// assert!(f1.initial_feasible().is_some());
+/// ```
+pub fn benchmark(id: BenchmarkId) -> Problem {
+    instance(id, CANONICAL_SEED ^ (id.scale as u64) ^ ((id.domain.letter() as u64) << 8))
+}
+
+/// Generates `count` randomized cases of the benchmark's shape
+/// (cost/graph variations; structure fixed).
+pub fn cases(id: BenchmarkId, count: usize, seed: u64) -> Vec<Problem> {
+    (0..count as u64)
+        .map(|i| instance(id, seed.wrapping_mul(0x9E37_79B9).wrapping_add(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_feasible;
+
+    #[test]
+    fn twenty_benchmarks_exist() {
+        assert_eq!(all_ids().len(), 20);
+    }
+
+    #[test]
+    fn ids_display_and_parse_roundtrip() {
+        for id in all_ids() {
+            let s = id.to_string();
+            assert_eq!(BenchmarkId::parse(&s), Some(id));
+        }
+        assert_eq!(BenchmarkId::parse("F9"), None);
+        assert_eq!(BenchmarkId::parse("X1"), None);
+        assert_eq!(BenchmarkId::parse(""), None);
+    }
+
+    #[test]
+    fn canonical_instances_are_deterministic() {
+        for id in all_ids() {
+            let a = benchmark(id);
+            let b = benchmark(id);
+            assert_eq!(a.n_vars(), b.n_vars());
+            assert_eq!(a.constraints(), b.constraints());
+            assert_eq!(a.objective().linear, b.objective().linear);
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_have_feasible_initials() {
+        for id in all_ids() {
+            let p = benchmark(id);
+            let init = p
+                .initial_feasible()
+                .unwrap_or_else(|| panic!("{id} lacks an initial solution"));
+            assert!(p.is_feasible(init), "{id} initial infeasible");
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_have_nonempty_rich_feasible_sets() {
+        for id in all_ids() {
+            let p = benchmark(id);
+            let count = enumerate_feasible(&p).len();
+            assert!(count >= 2, "{id} has trivial feasible set ({count})");
+        }
+    }
+
+    #[test]
+    fn fixed_scale_variable_counts() {
+        let expect = [
+            ("F1", 6),
+            ("F2", 10),
+            ("F3", 15),
+            ("F4", 20),
+            ("K1", 8),
+            ("K2", 12),
+            ("K3", 16),
+            ("K4", 18),
+            ("J1", 6),
+            ("J2", 10),
+            ("J3", 12),
+            ("J4", 14),
+        ];
+        for (name, vars) in expect {
+            let id = BenchmarkId::parse(name).unwrap();
+            assert_eq!(benchmark(id).n_vars(), vars, "{name} size drifted");
+        }
+    }
+
+    #[test]
+    fn scales_grow_within_domain() {
+        for d in Domain::all() {
+            let sizes: Vec<usize> = (1..=4)
+                .map(|s| benchmark(BenchmarkId::new(d, s)).n_vars())
+                .collect();
+            for w in sizes.windows(2) {
+                assert!(w[1] >= w[0], "domain {d:?} sizes not monotone: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cases_vary_by_index_and_reproduce_by_seed() {
+        let id = BenchmarkId::parse("F2").unwrap();
+        let a = cases(id, 3, 42);
+        let b = cases(id, 3, 42);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.objective().linear, y.objective().linear);
+        }
+        // Different cases differ in costs.
+        assert_ne!(a[0].objective().linear, a[1].objective().linear);
+    }
+}

@@ -1,0 +1,211 @@
+//! Set covering problem (SCP) generator.
+//!
+//! Choose a minimum-cost family of sets covering all elements:
+//!
+//! * `x_i` — set `i` is selected,
+//! * per element `e`, coverage `Σ_{i ∋ e} x_i ≥ 1`, binarized with unit
+//!   slacks as `Σ_{i ∋ e} x_i − Σ_r s_{er} = 1` where the number of
+//!   slacks is `cover(e) − 1` (a cover count of `c` can exceed the bound
+//!   by at most `c − 1`).
+//!
+//! Table 1's 12-qubit set-cover instance and Table 2's S1–S4 come from
+//! this generator. The initial feasible solution selects *all* sets
+//! (§5.1's `O(s)` construction).
+
+use crate::problem::{Objective, Problem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan_math::IntMatrix;
+
+/// A generated set-covering instance.
+#[derive(Clone, Debug)]
+pub struct SetCover {
+    /// Number of elements to cover.
+    pub elements: usize,
+    /// `sets[i]` lists the elements covered by set `i`.
+    pub sets: Vec<Vec<usize>>,
+    /// Cost of selecting each set.
+    pub costs: Vec<f64>,
+}
+
+impl SetCover {
+    /// Generates a seeded random instance: each set covers a random
+    /// nonempty subset, with a final pass guaranteeing every element is
+    /// covered by at least two sets (so the feasible space is rich).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements == 0 || n_sets < 2`.
+    pub fn generate(elements: usize, n_sets: usize, seed: u64) -> Self {
+        assert!(elements > 0 && n_sets >= 2, "degenerate SCP shape");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sets: Vec<Vec<usize>> = (0..n_sets)
+            .map(|_| {
+                (0..elements)
+                    .filter(|_| rng.gen_bool(0.5))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Ensure every element is covered by ≥ 2 sets.
+        for e in 0..elements {
+            loop {
+                let covers = sets.iter().filter(|s| s.contains(&e)).count();
+                if covers >= 2 {
+                    break;
+                }
+                let i = rng.gen_range(0..n_sets);
+                if !sets[i].contains(&e) {
+                    sets[i].push(e);
+                }
+            }
+        }
+        for s in &mut sets {
+            s.sort_unstable();
+        }
+        let costs = (0..n_sets).map(|_| rng.gen_range(1..=6) as f64).collect();
+        SetCover {
+            elements,
+            sets,
+            costs,
+        }
+    }
+
+    /// How many sets cover element `e`.
+    pub fn cover_count(&self, e: usize) -> usize {
+        self.sets.iter().filter(|s| s.contains(&e)).count()
+    }
+
+    /// Total number of binary variables: sets plus per-element slacks.
+    pub fn n_vars(&self) -> usize {
+        self.sets.len()
+            + (0..self.elements)
+                .map(|e| self.cover_count(e) - 1)
+                .sum::<usize>()
+    }
+
+    /// Builds the [`Problem`].
+    #[allow(clippy::needless_range_loop)] // element index feeds several tables
+    pub fn into_problem(self) -> Problem {
+        let s = self.sets.len();
+        let n = self.n_vars();
+        let mut rows = Vec::new();
+        let mut rhs = Vec::new();
+
+        // Slack offsets per element.
+        let mut slack_base = vec![0usize; self.elements];
+        let mut next = s;
+        for e in 0..self.elements {
+            slack_base[e] = next;
+            next += self.cover_count(e) - 1;
+        }
+
+        for e in 0..self.elements {
+            let mut row = vec![0i64; n];
+            for (i, set) in self.sets.iter().enumerate() {
+                if set.contains(&e) {
+                    row[i] = 1;
+                }
+            }
+            for r in 0..self.cover_count(e) - 1 {
+                row[slack_base[e] + r] = -1;
+            }
+            rows.push(row);
+            rhs.push(1);
+        }
+
+        let mut linear = vec![0.0; n];
+        linear[..s].copy_from_slice(&self.costs);
+
+        // O(s) construction: select all sets; slack count per element is
+        // cover(e) − 1, exactly the slack capacity.
+        let mut init = vec![0i64; n];
+        for x in init.iter_mut().take(s) {
+            *x = 1;
+        }
+        for e in 0..self.elements {
+            for r in 0..self.cover_count(e) - 1 {
+                init[slack_base[e] + r] = 1;
+            }
+        }
+
+        let name = format!("scp-{}e{}s", self.elements, s);
+        Problem::new(
+            name,
+            IntMatrix::from_rows(&rows),
+            rhs,
+            Objective::linear(linear),
+            Sense::Minimize,
+        )
+        .expect("SCP construction is shape-consistent")
+        .with_initial_feasible(init)
+        .expect("selecting all sets covers everything")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, enumerate_feasible, optimum};
+
+    #[test]
+    fn every_element_double_covered() {
+        let scp = SetCover::generate(4, 5, 1);
+        for e in 0..4 {
+            assert!(scp.cover_count(e) >= 2, "element {e} under-covered");
+        }
+    }
+
+    #[test]
+    fn initial_select_all_is_feasible() {
+        for seed in 0..5 {
+            let p = SetCover::generate(3, 4, seed).into_problem();
+            assert!(p.is_feasible(p.initial_feasible().unwrap()));
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force() {
+        let p = SetCover::generate(3, 3, 2).into_problem();
+        assert_eq!(enumerate_feasible(&p), brute_force_feasible(&p));
+    }
+
+    #[test]
+    fn optimum_is_a_cover() {
+        let scp = SetCover::generate(4, 4, 3);
+        let p = scp.clone().into_problem();
+        let (x, _) = optimum(&p);
+        for e in 0..4 {
+            let covered = scp
+                .sets
+                .iter()
+                .enumerate()
+                .any(|(i, set)| x[i] == 1 && set.contains(&e));
+            assert!(covered, "optimum leaves element {e} uncovered");
+        }
+    }
+
+    #[test]
+    fn hand_built_instance_optimum() {
+        // Sets: {0,1} cost 1, {0} cost 1, {1} cost 1. Optimal cover: the
+        // first set alone, cost 1.
+        let scp = SetCover {
+            elements: 2,
+            sets: vec![vec![0, 1], vec![0], vec![1]],
+            costs: vec![1.0, 1.0, 1.0],
+        };
+        let p = scp.into_problem();
+        let (_, v) = optimum(&p);
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn slack_accounting() {
+        let scp = SetCover {
+            elements: 2,
+            sets: vec![vec![0, 1], vec![0], vec![1]],
+            costs: vec![1.0; 3],
+        };
+        // Element 0 covered twice → 1 slack; element 1 twice → 1 slack.
+        assert_eq!(scp.n_vars(), 3 + 2);
+    }
+}

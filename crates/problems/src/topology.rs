@@ -1,0 +1,135 @@
+//! Constraint-topology statistics (Table 2's "graph topology of
+//! constraints" and "average degree" rows).
+//!
+//! The paper visualizes each benchmark's constraint structure as a graph
+//! whose nodes are variables, with an edge between two variables
+//! whenever they co-occur in some constraint; "average degree" measures
+//! constraint hardness.
+
+use crate::problem::Problem;
+use std::collections::HashSet;
+
+/// Summary statistics of a problem's constraint graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstraintTopology {
+    /// Number of variables (nodes).
+    pub n_nodes: usize,
+    /// Number of co-occurrence edges.
+    pub n_edges: usize,
+    /// Average node degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Maximum number of variables in any single constraint (how many
+    /// qubits one transition Hamiltonian may touch).
+    pub max_constraint_span: usize,
+}
+
+/// Computes constraint-graph statistics for a problem.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_problems::{constraint_topology, Objective, Problem, Sense};
+/// use rasengan_math::IntMatrix;
+///
+/// let p = Problem::new(
+///     "pair",
+///     IntMatrix::from_rows(&[vec![1, 1, 0], vec![0, 1, 1]]),
+///     vec![1, 1],
+///     Objective::linear(vec![0.0; 3]),
+///     Sense::Minimize,
+/// ).unwrap();
+/// let topo = constraint_topology(&p);
+/// assert_eq!(topo.n_edges, 2); // (0,1) and (1,2)
+/// assert!((topo.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn constraint_topology(problem: &Problem) -> ConstraintTopology {
+    let c = problem.constraints();
+    let n = c.cols();
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    let mut max_span = 0usize;
+
+    for row in c.iter_rows() {
+        let vars: Vec<usize> = (0..n).filter(|&j| row[j] != 0).collect();
+        max_span = max_span.max(vars.len());
+        for (a_idx, &a) in vars.iter().enumerate() {
+            for &b in &vars[a_idx + 1..] {
+                edges.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+
+    let mut degree = vec![0usize; n];
+    for &(a, b) in &edges {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    let n_edges = edges.len();
+    ConstraintTopology {
+        n_nodes: n,
+        n_edges,
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * n_edges as f64 / n as f64
+        },
+        max_degree: degree.iter().copied().max().unwrap_or(0),
+        max_constraint_span: max_span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Objective, Sense};
+    use rasengan_math::IntMatrix;
+
+    fn problem_with(c: IntMatrix, b: Vec<i64>) -> Problem {
+        let n = c.cols();
+        Problem::new("t", c, b, Objective::linear(vec![0.0; n]), Sense::Minimize).unwrap()
+    }
+
+    #[test]
+    fn single_constraint_is_a_clique() {
+        let p = problem_with(IntMatrix::from_rows(&[vec![1, 1, 1, 1]]), vec![1]);
+        let topo = constraint_topology(&p);
+        assert_eq!(topo.n_edges, 6); // K4
+        assert_eq!(topo.avg_degree, 3.0);
+        assert_eq!(topo.max_constraint_span, 4);
+    }
+
+    #[test]
+    fn shared_variables_deduplicate_edges() {
+        // Both constraints contain the pair (0, 1): one edge only.
+        let p = problem_with(
+            IntMatrix::from_rows(&[vec![1, 1, 0], vec![1, 1, 1]]),
+            vec![1, 1],
+        );
+        let topo = constraint_topology(&p);
+        assert_eq!(topo.n_edges, 3);
+        assert_eq!(topo.max_degree, 2);
+    }
+
+    #[test]
+    fn isolated_variables_have_zero_degree() {
+        let p = problem_with(IntMatrix::from_rows(&[vec![1, 0, 0]]), vec![1]);
+        let topo = constraint_topology(&p);
+        assert_eq!(topo.n_edges, 0);
+        assert_eq!(topo.avg_degree, 0.0);
+        assert_eq!(topo.max_constraint_span, 1);
+    }
+
+    #[test]
+    fn paper_example_topology() {
+        let p = problem_with(
+            IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]),
+            vec![0, 1],
+        );
+        let topo = constraint_topology(&p);
+        // Row 1: clique on {0,1,2}; row 2: clique on {2,3,4}.
+        assert_eq!(topo.n_edges, 6);
+        assert_eq!(topo.max_degree, 4); // variable 2 links to all others
+        assert_eq!(topo.max_constraint_span, 3);
+    }
+}

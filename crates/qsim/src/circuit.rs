@@ -1,0 +1,282 @@
+//! Quantum circuits: ordered gate lists with depth and cost metrics.
+
+use crate::gate::Gate;
+use std::fmt;
+
+/// An ordered sequence of gates on `n_qubits` qubits.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 1).cx(1, 2);
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.depth(), 3);
+/// assert_eq!(c.two_qubit_gate_count(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in execution order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit `>= n_qubits`.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        for q in gate.qubits() {
+            assert!(
+                q < self.n_qubits,
+                "gate {gate} references qubit {q} outside register of {}",
+                self.n_qubits
+            );
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends all gates of another circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than this circuit has.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.n_qubits <= self.n_qubits,
+            "cannot extend {}-qubit circuit with {}-qubit circuit",
+            self.n_qubits,
+            other.n_qubits
+        );
+        for g in &other.gates {
+            self.gates.push(g.clone());
+        }
+        self
+    }
+
+    /// The inverse circuit (gates reversed and individually inverted).
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            n_qubits: self.n_qubits,
+            gates: self.gates.iter().rev().map(Gate::inverse).collect(),
+        }
+    }
+
+    /// Circuit depth: the length of the critical path when gates on
+    /// disjoint qubits run concurrently.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.n_qubits];
+        let mut max = 0;
+        for g in &self.gates {
+            let qs = g.qubits();
+            let d = qs.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for q in qs {
+                level[q] = d;
+            }
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Depth counting only multi-qubit gates (the dominant error source
+    /// on hardware; the paper's "circuit depth" tables use the compiled
+    /// two-qubit depth).
+    pub fn two_qubit_depth(&self) -> usize {
+        let mut level = vec![0usize; self.n_qubits];
+        let mut max = 0;
+        for g in &self.gates {
+            if !g.is_multi_qubit() {
+                continue;
+            }
+            let qs = g.qubits();
+            let d = qs.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for q in qs {
+                level[q] = d;
+            }
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Total number of multi-qubit gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_multi_qubit()).count()
+    }
+
+    /// Number of single-qubit gates.
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.len() - self.two_qubit_gate_count()
+    }
+
+    // --- fluent builders -------------------------------------------------
+
+    /// Appends an X gate.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+
+    /// Appends an `Rx(θ)` gate.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rx(q, theta))
+    }
+
+    /// Appends an `Ry(θ)` gate.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Ry(q, theta))
+    }
+
+    /// Appends an `Rz(θ)` gate.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rz(q, theta))
+    }
+
+    /// Appends a phase gate `diag(1, e^{iθ})`.
+    pub fn phase(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Phase(q, theta))
+    }
+
+    /// Appends a CX gate.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cx(control, target))
+    }
+
+    /// Appends an `Rzz(θ)` gate.
+    pub fn rzz(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rzz(a, b, theta))
+    }
+
+    /// Appends a controlled-phase gate.
+    pub fn cp(&mut self, control: usize, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Cp(control, target, theta))
+    }
+
+    /// Appends a multi-controlled phase gate.
+    pub fn mcp(&mut self, controls: Vec<usize>, target: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Mcp { controls, target, theta })
+    }
+
+    /// Appends a multi-controlled X gate.
+    pub fn mcx(&mut self, controls: Vec<usize>, target: usize) -> &mut Self {
+        self.push(Gate::Mcx { controls, target })
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} gates):", self.n_qubits, self.len())?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<T: IntoIterator<Item = Gate>>(&mut self, iter: T) {
+        for g in iter {
+            self.push(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(4);
+        // Two CX on disjoint pairs can run in parallel: depth 1.
+        c.cx(0, 1).cx(2, 3);
+        assert_eq!(c.depth(), 1);
+        // A third CX sharing qubit 1 serializes.
+        c.cx(1, 2);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn two_qubit_depth_ignores_singles() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).h(0).cx(0, 1);
+        assert_eq!(c.two_qubit_depth(), 1);
+        assert_eq!(c.depth(), 4);
+    }
+
+    #[test]
+    fn gate_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).mcp(vec![0, 1], 2, 0.3).x(2);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.single_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn inverse_reverses_and_negates() {
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.5).cx(0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.gates()[0], Gate::Cx(0, 1));
+        assert_eq!(inv.gates()[1], Gate::Rx(0, -0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside register")]
+    fn out_of_range_qubit_panics() {
+        Circuit::new(1).cx(0, 1);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut a = Circuit::new(2);
+        a.x(0);
+        let mut b = Circuit::new(2);
+        b.x(1);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_circuit_properties() {
+        let c = Circuit::new(3);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.two_qubit_depth(), 0);
+    }
+}

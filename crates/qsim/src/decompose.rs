@@ -1,0 +1,239 @@
+//! Gate decomposition to the `{1Q, CX}` native set and the paper's
+//! CX-cost model.
+//!
+//! Two distinct tools live here:
+//!
+//! 1. **Exact decomposition** ([`decompose_gate`], [`decompose_circuit`])
+//!    — textbook recursions that lower `MCP`/`MCX`/`Cp`/`Cz`/`Rzz`/`Swap`
+//!    to CX + single-qubit gates. Exponential in control count (no
+//!    ancillas), used to *verify* synthesized circuits on small widths.
+//! 2. **Cost model** ([`tau_cx_cost`], [`mcp_cx_cost`]) — the linear
+//!    `34k` CX count per transition operator the paper adopts from the
+//!    neutral-atom native-gate construction [Graham et al., Nature'22],
+//!    used for all reported depth metrics.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// CX-gate cost of one transition operator `τ(u, t)` whose basis vector
+/// has `k` nonzero entries (paper §3.2: "this decomposition ensures the
+/// linear complexity that contains 34k CX gates").
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::decompose::tau_cx_cost;
+/// assert_eq!(tau_cx_cost(3), 102);
+/// assert_eq!(tau_cx_cost(0), 0);
+/// ```
+pub fn tau_cx_cost(k: usize) -> usize {
+    34 * k
+}
+
+/// CX cost of a multi-controlled phase gate with `c` controls under the
+/// same linear-cost native construction (interpolated from the τ model:
+/// a τ on `k` qubits contains two MCPs on `k-1` controls plus `2(k-1)`
+/// CX, so one MCP costs `16c` CX).
+pub fn mcp_cx_cost(c: usize) -> usize {
+    16 * c
+}
+
+/// Lowers one gate to the `{X, Y, Z, H, Rx, Ry, Rz, Phase, Cx}` set.
+///
+/// `MCX`/`MCP` recursions are ancilla-free and therefore exponential in
+/// the number of controls; intended for verification at small widths
+/// (the depth metrics use [`tau_cx_cost`] instead).
+pub fn decompose_gate(gate: &Gate) -> Vec<Gate> {
+    match gate {
+        Gate::Cz(a, b) => vec![Gate::H(*b), Gate::Cx(*a, *b), Gate::H(*b)],
+        Gate::Swap(a, b) => vec![Gate::Cx(*a, *b), Gate::Cx(*b, *a), Gate::Cx(*a, *b)],
+        Gate::Rzz(a, b, t) => vec![Gate::Cx(*a, *b), Gate::Rz(*b, *t), Gate::Cx(*a, *b)],
+        Gate::Cp(c, t, theta) => vec![
+            Gate::Phase(*c, theta / 2.0),
+            Gate::Cx(*c, *t),
+            Gate::Phase(*t, -theta / 2.0),
+            Gate::Cx(*c, *t),
+            Gate::Phase(*t, theta / 2.0),
+        ],
+        Gate::Mcp { controls, target, theta } => decompose_mcp(controls, *target, *theta),
+        Gate::Mcx { controls, target } => decompose_mcx(controls, *target),
+        simple => vec![simple.clone()],
+    }
+}
+
+/// Recursive multi-controlled phase:
+/// `MCP(C ∪ {c}, t, θ) = CP(c,t,θ/2) · MCX(C,c) · CP(c,t,−θ/2) ·
+/// MCX(C,c) · MCP(C,t,θ/2)`.
+fn decompose_mcp(controls: &[usize], target: usize, theta: f64) -> Vec<Gate> {
+    match controls.len() {
+        0 => vec![Gate::Phase(target, theta)],
+        1 => decompose_gate(&Gate::Cp(controls[0], target, theta)),
+        _ => {
+            let (rest, last) = controls.split_at(controls.len() - 1);
+            let c = last[0];
+            let mut out = Vec::new();
+            out.extend(decompose_gate(&Gate::Cp(c, target, theta / 2.0)));
+            out.extend(decompose_mcx(rest, c));
+            out.extend(decompose_gate(&Gate::Cp(c, target, -theta / 2.0)));
+            out.extend(decompose_mcx(rest, c));
+            out.extend(decompose_mcp(rest, target, theta / 2.0));
+            out
+        }
+    }
+}
+
+/// Multi-controlled X via `MCX(C, t) = H(t) · MCP(C, t, π) · H(t)`,
+/// with the 2-control case specialized to the standard 6-CX Toffoli.
+fn decompose_mcx(controls: &[usize], target: usize) -> Vec<Gate> {
+    match controls.len() {
+        0 => vec![Gate::X(target)],
+        1 => vec![Gate::Cx(controls[0], target)],
+        2 => toffoli(controls[0], controls[1], target),
+        _ => {
+            let mut out = vec![Gate::H(target)];
+            out.extend(decompose_mcp(controls, target, std::f64::consts::PI));
+            out.push(Gate::H(target));
+            out
+        }
+    }
+}
+
+/// The standard 6-CX Toffoli decomposition (T-depth 3).
+fn toffoli(c1: usize, c2: usize, t: usize) -> Vec<Gate> {
+    let pi4 = std::f64::consts::FRAC_PI_4;
+    vec![
+        Gate::H(t),
+        Gate::Cx(c2, t),
+        Gate::Phase(t, -pi4),
+        Gate::Cx(c1, t),
+        Gate::Phase(t, pi4),
+        Gate::Cx(c2, t),
+        Gate::Phase(t, -pi4),
+        Gate::Cx(c1, t),
+        Gate::Phase(c2, pi4),
+        Gate::Phase(t, pi4),
+        Gate::H(t),
+        Gate::Cx(c1, c2),
+        Gate::Phase(c1, pi4),
+        Gate::Phase(c2, -pi4),
+        Gate::Cx(c1, c2),
+    ]
+}
+
+/// Lowers every gate of a circuit to the native set.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::{decompose::decompose_circuit, Circuit};
+///
+/// let mut c = Circuit::new(3);
+/// c.mcp(vec![0, 1], 2, 0.7);
+/// let native = decompose_circuit(&c);
+/// assert!(native.gates().iter().all(|g| g.arity() <= 2));
+/// ```
+pub fn decompose_circuit(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.n_qubits());
+    for g in circuit.gates() {
+        for d in decompose_gate(g) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseState;
+
+    /// Compares two circuits as unitaries by probing all basis states
+    /// (up to a shared global phase fixed on the first nonzero column).
+    fn assert_same_unitary(a: &Circuit, b: &Circuit, n: usize) {
+        for basis in 0..(1u64 << n) {
+            let mut sa = DenseState::basis_state(n, basis);
+            sa.run(a);
+            let mut sb = DenseState::basis_state(n, basis);
+            sb.run(b);
+            for l in 0..(1u64 << n) {
+                assert!(
+                    sa.amplitude(l).approx_eq(sb.amplitude(l), 1e-9),
+                    "mismatch at column {basis} row {l}: {:?} vs {:?}",
+                    sa.amplitude(l),
+                    sb.amplitude(l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cz_decomposition_exact() {
+        let mut orig = Circuit::new(2);
+        orig.push(Gate::Cz(0, 1));
+        let dec = decompose_circuit(&orig);
+        assert_same_unitary(&orig, &dec, 2);
+    }
+
+    #[test]
+    fn swap_decomposition_exact() {
+        let mut orig = Circuit::new(2);
+        orig.push(Gate::Swap(0, 1));
+        let dec = decompose_circuit(&orig);
+        assert_same_unitary(&orig, &dec, 2);
+    }
+
+    #[test]
+    fn rzz_decomposition_exact() {
+        let mut orig = Circuit::new(2);
+        orig.rzz(0, 1, 0.83);
+        let dec = decompose_circuit(&orig);
+        assert_same_unitary(&orig, &dec, 2);
+    }
+
+    #[test]
+    fn cp_decomposition_exact() {
+        let mut orig = Circuit::new(2);
+        orig.cp(0, 1, 1.21);
+        let dec = decompose_circuit(&orig);
+        assert_same_unitary(&orig, &dec, 2);
+    }
+
+    #[test]
+    fn toffoli_decomposition_exact() {
+        let mut orig = Circuit::new(3);
+        orig.mcx(vec![0, 1], 2);
+        let dec = decompose_circuit(&orig);
+        assert!(dec.gates().iter().all(|g| g.arity() <= 2));
+        assert_same_unitary(&orig, &dec, 3);
+    }
+
+    #[test]
+    fn three_control_mcp_exact() {
+        let mut orig = Circuit::new(4);
+        orig.mcp(vec![0, 1, 2], 3, 0.456);
+        let dec = decompose_circuit(&orig);
+        assert!(dec.gates().iter().all(|g| g.arity() <= 2));
+        assert_same_unitary(&orig, &dec, 4);
+    }
+
+    #[test]
+    fn three_control_mcx_exact() {
+        let mut orig = Circuit::new(4);
+        orig.mcx(vec![0, 1, 2], 3);
+        let dec = decompose_circuit(&orig);
+        assert_same_unitary(&orig, &dec, 4);
+    }
+
+    #[test]
+    fn cost_model_is_linear() {
+        assert_eq!(tau_cx_cost(1), 34);
+        assert_eq!(tau_cx_cost(5), 170);
+        assert_eq!(mcp_cx_cost(2), 32);
+    }
+
+    #[test]
+    fn simple_gates_pass_through() {
+        assert_eq!(decompose_gate(&Gate::H(0)), vec![Gate::H(0)]);
+        assert_eq!(decompose_gate(&Gate::Cx(0, 1)), vec![Gate::Cx(0, 1)]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Device models: calibration data and latency estimation for the IBM
+//! platforms the paper evaluates on.
+//!
+//! The paper uses three devices: **IBM Kyiv** and **IBM Brisbane**
+//! (127-qubit Eagle r3) for the real-hardware experiments (Fig. 11),
+//! and the **IBM Quebec** timing model for latency/depth accounting
+//! (Table 1, Fig. 10b, Fig. 12). Here each device is a noise model, a
+//! heavy-hex coupling map, and gate/readout durations, so the whole
+//! "run on hardware" flow becomes: route → decompose-depth → trajectory
+//! noise → timed execution.
+
+use crate::circuit::Circuit;
+use crate::noise::NoiseModel;
+use crate::route::CouplingMap;
+
+/// A quantum device model: calibration + topology + timing.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::Device;
+///
+/// let kyiv = Device::ibm_kyiv();
+/// assert_eq!(kyiv.name, "IBM-Kyiv");
+/// assert!(kyiv.noise.p2 > kyiv.noise.p1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of physical qubits.
+    pub n_qubits: usize,
+    /// Gate-level noise model from calibration data.
+    pub noise: NoiseModel,
+    /// Single-qubit gate duration in seconds.
+    pub gate_time_1q: f64,
+    /// Two-qubit gate duration in seconds.
+    pub gate_time_2q: f64,
+    /// Readout duration in seconds.
+    pub readout_time: f64,
+    /// Qubit reset / initialization time in seconds.
+    pub reset_time: f64,
+    /// Median T1 in seconds (decoherence budget).
+    pub t1: f64,
+    /// Median T2 in seconds.
+    pub t2: f64,
+}
+
+impl Device {
+    /// IBM Kyiv (Eagle r3): 2Q error 1.2% (paper §5.4), typical Eagle
+    /// timings.
+    pub fn ibm_kyiv() -> Self {
+        Device {
+            name: "IBM-Kyiv",
+            n_qubits: 127,
+            noise: NoiseModel::ibm_like(4.0e-4, 1.2e-2, 1.3e-2)
+                .with_amplitude_damping(3.0e-4)
+                .with_phase_damping(3.0e-4),
+            gate_time_1q: 6.0e-8,
+            gate_time_2q: 5.33e-7,
+            readout_time: 1.4e-6,
+            reset_time: 1.0e-6,
+            t1: 2.6e-4,
+            t2: 1.1e-4,
+        }
+    }
+
+    /// IBM Brisbane (Eagle r3): 2Q error 0.82% — the less-noisy device
+    /// in Fig. 11.
+    pub fn ibm_brisbane() -> Self {
+        Device {
+            name: "IBM-Brisbane",
+            n_qubits: 127,
+            noise: NoiseModel::ibm_like(2.5e-4, 8.2e-3, 1.0e-2)
+                .with_amplitude_damping(2.0e-4)
+                .with_phase_damping(2.0e-4),
+            gate_time_1q: 6.0e-8,
+            gate_time_2q: 6.6e-7,
+            readout_time: 1.3e-6,
+            reset_time: 1.0e-6,
+            t1: 2.3e-4,
+            t2: 1.3e-4,
+        }
+    }
+
+    /// IBM Quebec timing model (used by Table 1 and Fig. 10b for
+    /// compiled depth/latency accounting).
+    pub fn ibm_quebec() -> Self {
+        Device {
+            name: "IBM-Quebec",
+            n_qubits: 127,
+            noise: NoiseModel::ibm_like(3.0e-4, 9.0e-3, 1.1e-2),
+            gate_time_1q: 6.0e-8,
+            gate_time_2q: 5.6e-7,
+            readout_time: 1.3e-6,
+            reset_time: 1.0e-6,
+            t1: 2.8e-4,
+            t2: 1.4e-4,
+        }
+    }
+
+    /// An idealized noise-free device with Eagle-like timings (for
+    /// latency studies without error effects).
+    pub fn noise_free(n_qubits: usize) -> Self {
+        Device {
+            name: "noise-free",
+            n_qubits,
+            noise: NoiseModel::noise_free(),
+            gate_time_1q: 6.0e-8,
+            gate_time_2q: 5.6e-7,
+            readout_time: 1.3e-6,
+            reset_time: 1.0e-6,
+            t1: f64::INFINITY,
+            t2: f64::INFINITY,
+        }
+    }
+
+    /// The device's heavy-hex coupling map (fragments sized to
+    /// `n_qubits`).
+    pub fn coupling(&self) -> CouplingMap {
+        CouplingMap::heavy_hex(self.n_qubits)
+    }
+
+    /// Wall-clock duration of one circuit execution (single shot):
+    /// reset + critical-path gate time + readout.
+    ///
+    /// Gate time is estimated from the depth split: two-qubit layers at
+    /// `gate_time_2q`, remaining layers at `gate_time_1q`.
+    pub fn shot_duration(&self, circuit: &Circuit) -> f64 {
+        let d2 = circuit.two_qubit_depth() as f64;
+        let d1 = (circuit.depth() as f64 - d2).max(0.0);
+        self.reset_time + d1 * self.gate_time_1q + d2 * self.gate_time_2q + self.readout_time
+    }
+
+    /// Total quantum latency for `shots` repetitions of a circuit.
+    pub fn execution_latency(&self, circuit: &Circuit, shots: usize) -> f64 {
+        self.shot_duration(circuit) * shots as f64
+    }
+
+    /// Whether a circuit's critical path fits inside the decoherence
+    /// budget (heuristic: gate time below `min(T1, T2) / 2` — circuits
+    /// beyond this produce mostly noise on hardware).
+    pub fn fits_decoherence(&self, circuit: &Circuit) -> bool {
+        let gate_path = self.shot_duration(circuit) - self.reset_time - self.readout_time;
+        gate_path < self.t1.min(self.t2) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_error_ordering() {
+        let kyiv = Device::ibm_kyiv();
+        let brisbane = Device::ibm_brisbane();
+        // §5.4: Kyiv's 2Q error (1.2%) is 1.48× Brisbane's (0.82%).
+        let ratio = kyiv.noise.p2 / brisbane.noise.p2;
+        assert!((ratio - 1.46).abs() < 0.05, "error ratio {ratio}");
+    }
+
+    #[test]
+    fn shot_duration_scales_with_depth() {
+        let dev = Device::ibm_quebec();
+        let mut shallow = Circuit::new(2);
+        shallow.cx(0, 1);
+        let mut deep = Circuit::new(2);
+        for _ in 0..100 {
+            deep.cx(0, 1);
+        }
+        assert!(dev.shot_duration(&deep) > dev.shot_duration(&shallow));
+        let delta = dev.shot_duration(&deep) - dev.shot_duration(&shallow);
+        assert!((delta - 99.0 * dev.gate_time_2q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execution_latency_is_linear_in_shots() {
+        let dev = Device::ibm_kyiv();
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let one = dev.execution_latency(&c, 1);
+        let thousand = dev.execution_latency(&c, 1000);
+        assert!((thousand / one - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decoherence_budget_rejects_huge_circuits() {
+        let dev = Device::ibm_kyiv();
+        let mut huge = Circuit::new(2);
+        for _ in 0..1_000_000 {
+            huge.cx(0, 1);
+        }
+        assert!(!dev.fits_decoherence(&huge));
+        let mut small = Circuit::new(2);
+        small.cx(0, 1);
+        assert!(dev.fits_decoherence(&small));
+    }
+
+    #[test]
+    fn coupling_map_covers_device() {
+        let dev = Device::noise_free(20);
+        assert!(dev.coupling().n_qubits() >= 20);
+    }
+}

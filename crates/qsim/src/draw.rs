@@ -1,0 +1,206 @@
+//! ASCII circuit diagrams.
+//!
+//! Renders a [`Circuit`] as a text drawing — one line per qubit, time
+//! flowing left to right, one column per scheduling layer (gates on
+//! disjoint qubits share a column exactly as in the depth metric).
+//!
+//! ```text
+//! q0: ─H─●───────
+//!        │
+//! q1: ───X─●─────
+//!          │
+//! q2: ─────X─P(π)
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Renders a circuit as an ASCII diagram.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::{draw::draw_circuit, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let art = draw_circuit(&c);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("●"));
+/// assert!(art.contains("X"));
+/// ```
+pub fn draw_circuit(circuit: &Circuit) -> String {
+    let n = circuit.n_qubits();
+    // Assign each gate to a column with the same greedy schedule the
+    // depth metric uses.
+    let mut level = vec![0usize; n];
+    let mut columns: Vec<Vec<&Gate>> = Vec::new();
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        let col = qs.iter().map(|&q| level[q]).max().unwrap_or(0);
+        if col >= columns.len() {
+            columns.resize_with(col + 1, Vec::new);
+        }
+        columns[col].push(g);
+        for q in qs {
+            level[q] = col + 1;
+        }
+    }
+
+    // Render each column into per-qubit cells plus inter-qubit link rows.
+    let mut wire_rows: Vec<String> = (0..n).map(|q| format!("q{q}: ")).collect();
+    let mut link_rows: Vec<String> = vec![String::new(); n.saturating_sub(1)];
+    let prefix_width = wire_rows.iter().map(String::len).max().unwrap_or(0);
+    for row in &mut wire_rows {
+        while row.len() < prefix_width {
+            row.push(' ');
+        }
+    }
+    for row in &mut link_rows {
+        while row.chars().count() < prefix_width {
+            row.push(' ');
+        }
+    }
+
+    for col in &columns {
+        let mut cells: Vec<String> = vec!["─".to_string(); n];
+        let mut links: Vec<bool> = vec![false; n.saturating_sub(1)];
+        for g in col {
+            let qs = g.qubits();
+            let lo = *qs.iter().min().expect("gate has qubits");
+            let hi = *qs.iter().max().expect("gate has qubits");
+            for link in links.iter_mut().take(hi).skip(lo) {
+                *link = true;
+            }
+            match g {
+                Gate::X(q) => cells[*q] = "X".into(),
+                Gate::Y(q) => cells[*q] = "Y".into(),
+                Gate::Z(q) => cells[*q] = "Z".into(),
+                Gate::H(q) => cells[*q] = "H".into(),
+                Gate::Rx(q, t) => cells[*q] = format!("Rx({t:.2})"),
+                Gate::Ry(q, t) => cells[*q] = format!("Ry({t:.2})"),
+                Gate::Rz(q, t) => cells[*q] = format!("Rz({t:.2})"),
+                Gate::Phase(q, t) => cells[*q] = format!("P({t:.2})"),
+                Gate::Cx(c, t) => {
+                    cells[*c] = "●".into();
+                    cells[*t] = "X".into();
+                }
+                Gate::Cz(a, b) => {
+                    cells[*a] = "●".into();
+                    cells[*b] = "●".into();
+                }
+                Gate::Swap(a, b) => {
+                    cells[*a] = "x".into();
+                    cells[*b] = "x".into();
+                }
+                Gate::Rzz(a, b, t) => {
+                    cells[*a] = format!("ZZ({t:.2})");
+                    cells[*b] = "ZZ".into();
+                }
+                Gate::Cp(c, t, theta) => {
+                    cells[*c] = "●".into();
+                    cells[*t] = format!("P({theta:.2})");
+                }
+                Gate::Mcp { controls, target, theta } => {
+                    for c in controls {
+                        cells[*c] = "●".into();
+                    }
+                    cells[*target] = format!("P({theta:.2})");
+                }
+                Gate::Mcx { controls, target } => {
+                    for c in controls {
+                        cells[*c] = "●".into();
+                    }
+                    cells[*target] = "X".into();
+                }
+            }
+        }
+        // Pad cells of this column to equal display width.
+        let width = cells.iter().map(|c| c.chars().count()).max().unwrap_or(1);
+        for (q, cell) in cells.iter().enumerate() {
+            let pad = width - cell.chars().count();
+            wire_rows[q].push('─');
+            wire_rows[q].push_str(cell);
+            wire_rows[q].push_str(&"─".repeat(pad));
+        }
+        for (w, &linked) in links.iter().enumerate() {
+            link_rows[w].push(' ');
+            let mark = if linked { '│' } else { ' ' };
+            let mid = width / 2;
+            for i in 0..width {
+                link_rows[w].push(if i == mid { mark } else { ' ' });
+            }
+        }
+    }
+
+    // Interleave wire and link rows.
+    let mut out = String::new();
+    for q in 0..n {
+        out.push_str(&wire_rows[q]);
+        out.push('\n');
+        if q + 1 < n {
+            let row = &link_rows[q];
+            if row.contains('│') {
+                out.push_str(row);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_circuit_draws() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let art = draw_circuit(&c);
+        assert!(art.starts_with("q0: "));
+        assert!(art.contains('H'));
+        assert!(art.contains('●'));
+        assert!(art.contains('X'));
+        assert!(art.contains('│'), "control link missing:\n{art}");
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(2);
+        c.x(0).x(1);
+        let art = draw_circuit(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        // Both Xs at the same horizontal offset.
+        assert_eq!(lines[0].find('X'), lines[1].find('X'));
+    }
+
+    #[test]
+    fn serial_gates_use_separate_columns() {
+        let mut c = Circuit::new(1);
+        c.x(0).h(0);
+        let art = draw_circuit(&c);
+        let line = art.lines().next().unwrap();
+        assert!(line.find('X').unwrap() < line.find('H').unwrap());
+    }
+
+    #[test]
+    fn rotation_angles_rendered() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25);
+        assert!(draw_circuit(&c).contains("Rz(0.25)"));
+    }
+
+    #[test]
+    fn tau_circuit_draws_without_panic() {
+        let c = crate::synth::tau_circuit(&[1, -1, 0, 1], 0.7, 4);
+        let art = draw_circuit(&c);
+        assert_eq!(art.lines().filter(|l| l.starts_with('q')).count(), 4);
+    }
+
+    #[test]
+    fn empty_circuit_is_just_wires() {
+        let art = draw_circuit(&Circuit::new(2));
+        assert_eq!(art, "q0: \nq1: \n");
+    }
+}

@@ -1,0 +1,215 @@
+//! Gate set and circuit intermediate representation.
+//!
+//! The IR covers everything the four algorithms need:
+//!
+//! * Rasengan circuits: `X`, `CX`, multi-controlled phase ([`Gate::Mcp`])
+//!   and the synthesized transition operators (paper Fig. 4).
+//! * Choco-Q: the same plus diagonal phase rotations.
+//! * P-QAOA: `H`, `Rx`, `Rz`, `Rzz`.
+//! * HEA: `Ry`, `Rz`, `CX` entanglers.
+
+use std::fmt;
+
+/// A single quantum gate acting on named qubit indices.
+///
+/// Qubit indices are `usize` positions into the circuit's register; bit
+/// `i` of a basis-state label corresponds to qubit `i` (qubit 0 is the
+/// least-significant bit).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Pauli-X (bit flip).
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Hadamard.
+    H(usize),
+    /// Rotation about X: `exp(-i θ X / 2)`.
+    Rx(usize, f64),
+    /// Rotation about Y: `exp(-i θ Y / 2)`.
+    Ry(usize, f64),
+    /// Rotation about Z: `exp(-i θ Z / 2)`.
+    Rz(usize, f64),
+    /// Phase gate `diag(1, e^{iθ})`.
+    Phase(usize, f64),
+    /// Controlled-X (control, target).
+    Cx(usize, usize),
+    /// Controlled-Z.
+    Cz(usize, usize),
+    /// Swap two qubits.
+    Swap(usize, usize),
+    /// Two-qubit ZZ rotation `exp(-i θ Z⊗Z / 2)` (QAOA objective terms).
+    Rzz(usize, usize, f64),
+    /// Controlled phase (control, target, θ).
+    Cp(usize, usize, f64),
+    /// Multi-controlled phase: applies `e^{iθ}` when all `controls` and
+    /// the `target` are `|1⟩`.
+    Mcp {
+        /// Control qubits (all must be `|1⟩`).
+        controls: Vec<usize>,
+        /// Target qubit.
+        target: usize,
+        /// Phase angle.
+        theta: f64,
+    },
+    /// Multi-controlled X (Toffoli generalization).
+    Mcx {
+        /// Control qubits (all must be `|1⟩`).
+        controls: Vec<usize>,
+        /// Target qubit.
+        target: usize,
+    },
+}
+
+impl Gate {
+    /// The qubits this gate touches, in canonical order.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Phase(q, _) => vec![*q],
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![*a, *b],
+            Gate::Rzz(a, b, _) | Gate::Cp(a, b, _) => vec![*a, *b],
+            Gate::Mcp { controls, target, .. } | Gate::Mcx { controls, target } => {
+                let mut qs = controls.clone();
+                qs.push(*target);
+                qs
+            }
+        }
+    }
+
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// Whether the gate entangles two or more qubits (the depth metric
+    /// the paper reports counts these).
+    pub fn is_multi_qubit(&self) -> bool {
+        self.arity() >= 2
+    }
+
+    /// Whether the gate is diagonal in the computational basis.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::Z(_)
+                | Gate::Rz(..)
+                | Gate::Phase(..)
+                | Gate::Cz(..)
+                | Gate::Rzz(..)
+                | Gate::Cp(..)
+                | Gate::Mcp { .. }
+        )
+    }
+
+    /// Whether the gate maps computational basis states to computational
+    /// basis states (possibly with a phase) — the class the sparse
+    /// simulator handles natively.
+    pub fn is_classical_action(&self) -> bool {
+        self.is_diagonal()
+            || matches!(
+                self,
+                Gate::X(_) | Gate::Y(_) | Gate::Cx(..) | Gate::Swap(..) | Gate::Mcx { .. }
+            )
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Gate {
+        match self {
+            Gate::Rx(q, t) => Gate::Rx(*q, -t),
+            Gate::Ry(q, t) => Gate::Ry(*q, -t),
+            Gate::Rz(q, t) => Gate::Rz(*q, -t),
+            Gate::Phase(q, t) => Gate::Phase(*q, -t),
+            Gate::Rzz(a, b, t) => Gate::Rzz(*a, *b, -t),
+            Gate::Cp(a, b, t) => Gate::Cp(*a, *b, -t),
+            Gate::Mcp { controls, target, theta } => Gate::Mcp {
+                controls: controls.clone(),
+                target: *target,
+                theta: -theta,
+            },
+            // Self-inverse gates.
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::X(q) => write!(f, "x q{q}"),
+            Gate::Y(q) => write!(f, "y q{q}"),
+            Gate::Z(q) => write!(f, "z q{q}"),
+            Gate::H(q) => write!(f, "h q{q}"),
+            Gate::Rx(q, t) => write!(f, "rx({t:.4}) q{q}"),
+            Gate::Ry(q, t) => write!(f, "ry({t:.4}) q{q}"),
+            Gate::Rz(q, t) => write!(f, "rz({t:.4}) q{q}"),
+            Gate::Phase(q, t) => write!(f, "p({t:.4}) q{q}"),
+            Gate::Cx(c, t) => write!(f, "cx q{c}, q{t}"),
+            Gate::Cz(a, b) => write!(f, "cz q{a}, q{b}"),
+            Gate::Swap(a, b) => write!(f, "swap q{a}, q{b}"),
+            Gate::Rzz(a, b, t) => write!(f, "rzz({t:.4}) q{a}, q{b}"),
+            Gate::Cp(a, b, t) => write!(f, "cp({t:.4}) q{a}, q{b}"),
+            Gate::Mcp { controls, target, theta } => {
+                write!(f, "mcp({theta:.4}) {controls:?} -> q{target}")
+            }
+            Gate::Mcx { controls, target } => write!(f, "mcx {controls:?} -> q{target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_and_arity() {
+        assert_eq!(Gate::X(3).qubits(), vec![3]);
+        assert_eq!(Gate::Cx(0, 2).arity(), 2);
+        let mcp = Gate::Mcp { controls: vec![0, 1], target: 4, theta: 0.5 };
+        assert_eq!(mcp.qubits(), vec![0, 1, 4]);
+        assert_eq!(mcp.arity(), 3);
+        assert!(mcp.is_multi_qubit());
+        assert!(!Gate::H(0).is_multi_qubit());
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Rz(0, 0.3).is_diagonal());
+        assert!(Gate::Cp(0, 1, 0.3).is_diagonal());
+        assert!(!Gate::Rx(0, 0.3).is_diagonal());
+        assert!(!Gate::Cx(0, 1).is_diagonal());
+    }
+
+    #[test]
+    fn classical_action_classification() {
+        assert!(Gate::X(0).is_classical_action());
+        assert!(Gate::Mcx { controls: vec![0], target: 1 }.is_classical_action());
+        assert!(Gate::Mcp { controls: vec![0], target: 1, theta: 1.0 }.is_classical_action());
+        assert!(!Gate::H(0).is_classical_action());
+        assert!(!Gate::Ry(0, 0.1).is_classical_action());
+    }
+
+    #[test]
+    fn inverse_negates_angles() {
+        assert_eq!(Gate::Rx(1, 0.7).inverse(), Gate::Rx(1, -0.7));
+        assert_eq!(Gate::Cx(0, 1).inverse(), Gate::Cx(0, 1));
+        let mcp = Gate::Mcp { controls: vec![2], target: 0, theta: 0.9 };
+        match mcp.inverse() {
+            Gate::Mcp { theta, .. } => assert!((theta + 0.9).abs() < 1e-15),
+            other => panic!("unexpected inverse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", Gate::Cx(0, 1)), "cx q0, q1");
+        assert!(format!("{}", Gate::Rz(2, 0.5)).starts_with("rz(0.5000)"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Measurement-error mitigation by subspace confusion-matrix inversion
+//! (the "M3" approach: restrict the tensored readout confusion matrix
+//! to the observed bitstrings and solve the small linear system).
+//!
+//! Purification (Rasengan's own mitigation) removes constraint-violating
+//! outcomes; readout mitigation is the orthogonal correction for the
+//! classical bit-flip channel at measurement. Composing both mirrors a
+//! production error-mitigation stack.
+
+use crate::sparse::Label;
+use std::collections::BTreeMap;
+
+/// A symmetric per-qubit readout-error model: each measured bit flips
+/// independently with probability `rate`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReadoutModel {
+    /// Per-bit flip probability.
+    pub rate: f64,
+}
+
+impl ReadoutModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate < 0.5` (at 0.5 the channel is not
+    /// invertible).
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..0.5).contains(&rate), "readout rate must be in [0, 0.5)");
+        ReadoutModel { rate }
+    }
+
+    /// Probability of measuring `observed` given the true state `truth`
+    /// on `n` bits: `rate^d (1-rate)^(n-d)` with `d` the Hamming
+    /// distance.
+    pub fn transition(&self, truth: Label, observed: Label, n: usize) -> f64 {
+        let d = (truth ^ observed).count_ones() as i32;
+        self.rate.powi(d) * (1.0 - self.rate).powi(n as i32 - d)
+    }
+}
+
+/// Mitigates readout errors on a measured distribution by inverting the
+/// confusion matrix restricted to the observed support (M3 style).
+///
+/// Returns the corrected distribution, clipped to non-negative values
+/// and renormalized. With `rate == 0` the input is returned unchanged.
+///
+/// # Panics
+///
+/// Panics if the distribution is empty or the restricted system is
+/// singular (cannot happen for `rate < 0.5`).
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::mitigation::{mitigate_readout, ReadoutModel};
+/// use std::collections::BTreeMap;
+///
+/// // A state that is truly |01⟩ but read out with 10% bit flips.
+/// let measured = BTreeMap::from([(0b01u128, 0.82), (0b00, 0.09), (0b11, 0.09)]);
+/// let fixed = mitigate_readout(&measured, 2, ReadoutModel::new(0.1));
+/// assert!(fixed[&0b01] > 0.95);
+/// ```
+pub fn mitigate_readout(
+    dist: &BTreeMap<Label, f64>,
+    n: usize,
+    model: ReadoutModel,
+) -> BTreeMap<Label, f64> {
+    assert!(!dist.is_empty(), "empty distribution");
+    if model.rate == 0.0 {
+        return dist.clone();
+    }
+    let labels: Vec<Label> = dist.keys().copied().collect();
+    let k = labels.len();
+
+    // Restricted confusion matrix A[i][j] = P(observe labels[i] | truth
+    // labels[j]).
+    let mut a = vec![vec![0.0f64; k]; k];
+    for (i, &obs) in labels.iter().enumerate() {
+        for (j, &truth) in labels.iter().enumerate() {
+            a[i][j] = model.transition(truth, obs, n);
+        }
+    }
+    let y: Vec<f64> = labels.iter().map(|l| dist[l]).collect();
+
+    let x = solve_dense(a, y).expect("restricted confusion matrix is invertible");
+
+    // Clip negatives (sampling noise artifacts) and renormalize.
+    let clipped: Vec<f64> = x.iter().map(|&v| v.max(0.0)).collect();
+    let total: f64 = clipped.iter().sum();
+    assert!(total > 0.0, "mitigation produced an all-zero distribution");
+    labels
+        .into_iter()
+        .zip(clipped)
+        .filter(|(_, p)| *p > 0.0)
+        .map(|(l, p)| (l, p / total))
+        .collect()
+}
+
+/// Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // textbook index form
+fn solve_dense(mut a: Vec<Vec<f64>>, mut y: Vec<f64>) -> Option<Vec<f64>> {
+    let n = y.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        y.swap(col, pivot);
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            y[r] -= f * y[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = y[row];
+        for c in (row + 1)..n {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::apply_readout_error;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let d = BTreeMap::from([(0b1u128, 0.5), (0b0, 0.5)]);
+        assert_eq!(mitigate_readout(&d, 1, ReadoutModel::new(0.0)), d);
+    }
+
+    #[test]
+    fn transition_probabilities_sum_over_outcomes() {
+        let m = ReadoutModel::new(0.2);
+        let total: f64 = (0..8u128).map(|obs| m.transition(0b101, obs, 3)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_a_corrupted_point_mass() {
+        // Simulate readout corruption of a pure |0110⟩ and mitigate.
+        let truth = 0b0110u128;
+        let n = 4;
+        let model = ReadoutModel::new(0.08);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
+        for _ in 0..20_000 {
+            let obs = apply_readout_error(truth, n, model.rate, &mut rng);
+            *counts.entry(obs).or_insert(0) += 1;
+        }
+        let total: usize = counts.values().sum();
+        let measured: BTreeMap<Label, f64> = counts
+            .into_iter()
+            .map(|(l, c)| (l, c as f64 / total as f64))
+            .collect();
+        // Before mitigation the truth has clearly lost mass.
+        assert!(measured[&truth] < 0.75);
+        let fixed = mitigate_readout(&measured, n, model);
+        assert!(
+            fixed[&truth] > 0.97,
+            "mitigated mass on truth only {}",
+            fixed[&truth]
+        );
+    }
+
+    #[test]
+    fn output_is_normalized_distribution() {
+        let d = BTreeMap::from([(0u128, 0.6), (1, 0.3), (3, 0.1)]);
+        let fixed = mitigate_readout(&d, 2, ReadoutModel::new(0.15));
+        let total: f64 = fixed.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(fixed.values().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "readout rate")]
+    fn rate_half_rejected() {
+        ReadoutModel::new(0.5);
+    }
+}

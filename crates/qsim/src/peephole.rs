@@ -1,0 +1,273 @@
+//! Peephole circuit optimization.
+//!
+//! Local rewrite rules applied until fixpoint:
+//!
+//! 1. **Involution cancellation** — adjacent identical self-inverse
+//!    gates (`X·X`, `H·H`, `CX·CX`, `Swap·Swap`, `Z·Z`, …) vanish.
+//! 2. **Rotation fusion** — adjacent rotations about the same axis on
+//!    the same qubit(s) merge (`Rz(a)·Rz(b) → Rz(a+b)`, same for
+//!    `Rx`/`Ry`/`Phase`/`Rzz`/`Cp`).
+//! 3. **Zero-rotation elision** — rotations with angle ≈ 0 disappear.
+//!
+//! "Adjacent" means no intervening gate touches any shared qubit, so
+//! rules fire across unrelated gates on other qubits. The pass is used
+//! on synthesized segment circuits before export, where the
+//! `H-conjugation` shells of consecutive τ operators on the same pivot
+//! frequently cancel.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Angle magnitude below which a rotation is treated as identity.
+const EPS: f64 = 1e-12;
+
+/// Applies the peephole rules until no rule fires, returning the
+/// optimized circuit.
+///
+/// The result is exactly equivalent (not just up to global phase): every
+/// rewrite preserves the unitary.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::{peephole::optimize, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).h(0).rz(1, 0.3).rz(1, -0.3).cx(0, 1);
+/// let opt = optimize(&c);
+/// assert_eq!(opt.len(), 1); // only the CX survives
+/// ```
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    loop {
+        let before = gates.len();
+        gates = one_pass(gates);
+        if gates.len() == before {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.n_qubits());
+    for g in gates {
+        out.push(g);
+    }
+    out
+}
+
+/// Runs one sweep of the rewrite rules.
+fn one_pass(gates: Vec<Gate>) -> Vec<Gate> {
+    let mut out: Vec<Gate> = Vec::with_capacity(gates.len());
+    'next: for g in gates {
+        // Drop identity rotations outright.
+        if rotation_angle(&g).is_some_and(|t| t.abs() < EPS) {
+            continue;
+        }
+        // Look backwards for a peephole partner, stopping at the first
+        // gate sharing a qubit.
+        let qubits = g.qubits();
+        for i in (0..out.len()).rev() {
+            let prev = &out[i];
+            let overlaps = prev.qubits().iter().any(|q| qubits.contains(q));
+            if !overlaps {
+                continue;
+            }
+            // Involution cancellation: identical self-inverse gate.
+            if is_self_inverse(prev) && *prev == g {
+                out.remove(i);
+                continue 'next;
+            }
+            // Rotation fusion: same gate kind, same operands.
+            if let Some(merged) = fuse(prev, &g) {
+                if rotation_angle(&merged).is_some_and(|t| t.abs() < EPS) {
+                    out.remove(i);
+                } else {
+                    out[i] = merged;
+                }
+                continue 'next;
+            }
+            break; // blocked by a non-matching overlapping gate
+        }
+        out.push(g);
+    }
+    out
+}
+
+/// Whether a gate is its own inverse.
+fn is_self_inverse(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::H(_)
+            | Gate::Cx(..)
+            | Gate::Cz(..)
+            | Gate::Swap(..)
+            | Gate::Mcx { .. }
+    )
+}
+
+/// The rotation angle of a parameterized gate, if any.
+fn rotation_angle(g: &Gate) -> Option<f64> {
+    match g {
+        Gate::Rx(_, t)
+        | Gate::Ry(_, t)
+        | Gate::Rz(_, t)
+        | Gate::Phase(_, t)
+        | Gate::Rzz(_, _, t)
+        | Gate::Cp(_, _, t) => Some(*t),
+        Gate::Mcp { theta, .. } => Some(*theta),
+        _ => None,
+    }
+}
+
+/// Merges two same-axis rotations on identical operands.
+fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rx(q1, t1), Gate::Rx(q2, t2)) if q1 == q2 => Some(Gate::Rx(*q1, t1 + t2)),
+        (Gate::Ry(q1, t1), Gate::Ry(q2, t2)) if q1 == q2 => Some(Gate::Ry(*q1, t1 + t2)),
+        (Gate::Rz(q1, t1), Gate::Rz(q2, t2)) if q1 == q2 => Some(Gate::Rz(*q1, t1 + t2)),
+        (Gate::Phase(q1, t1), Gate::Phase(q2, t2)) if q1 == q2 => {
+            Some(Gate::Phase(*q1, t1 + t2))
+        }
+        (Gate::Rzz(a1, b1, t1), Gate::Rzz(a2, b2, t2))
+            if (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2) =>
+        {
+            Some(Gate::Rzz(*a1, *b1, t1 + t2))
+        }
+        (Gate::Cp(c1, t1, x1), Gate::Cp(c2, t2, x2))
+            if (c1, t1) == (c2, t2) || (c1, t1) == (t2, c2) =>
+        {
+            Some(Gate::Cp(*c1, *t1, x1 + x2))
+        }
+        (
+            Gate::Mcp { controls: c1, target: t1, theta: x1 },
+            Gate::Mcp { controls: c2, target: t2, theta: x2 },
+        ) if same_control_set(c1, *t1, c2, *t2) => Some(Gate::Mcp {
+            controls: c1.clone(),
+            target: *t1,
+            theta: x1 + x2,
+        }),
+        _ => None,
+    }
+}
+
+/// MCP gates are symmetric in {controls ∪ target}; compare as sets.
+fn same_control_set(c1: &[usize], t1: usize, c2: &[usize], t2: usize) -> bool {
+    let mut s1: Vec<usize> = c1.to_vec();
+    s1.push(t1);
+    s1.sort_unstable();
+    let mut s2: Vec<usize> = c2.to_vec();
+    s2.push(t2);
+    s2.sort_unstable();
+    s1 == s2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::equivalent_up_to_phase;
+
+    #[test]
+    fn double_h_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn cancellation_across_unrelated_qubits() {
+        let mut c = Circuit::new(2);
+        c.x(0).h(1).x(0); // the H on q1 does not block the X·X pair
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.gates()[0], Gate::H(1));
+    }
+
+    #[test]
+    fn blocking_gate_prevents_cancellation() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1).x(0); // CX shares q0: X's must not cancel
+        assert_eq!(optimize(&c).len(), 3);
+    }
+
+    #[test]
+    fn rotations_fuse_and_elide() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3).rz(0, 0.4).rz(0, -0.7);
+        assert!(optimize(&c).is_empty());
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3).rz(0, 0.4);
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        match opt.gates()[0] {
+            Gate::Rz(0, t) => assert!((t - 0.7).abs() < 1e-12),
+            ref g => panic!("unexpected {g}"),
+        }
+    }
+
+    #[test]
+    fn rzz_fuses_orientation_insensitively() {
+        let mut c = Circuit::new(2);
+        c.rzz(0, 1, 0.2).rzz(1, 0, 0.3);
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+    }
+
+    #[test]
+    fn mcp_fuses_as_a_set() {
+        let mut c = Circuit::new(3);
+        c.mcp(vec![0, 1], 2, 0.2).mcp(vec![2, 0], 1, 0.3);
+        let opt = optimize(&c);
+        assert_eq!(opt.len(), 1);
+        match &opt.gates()[0] {
+            Gate::Mcp { theta, .. } => assert!((theta - 0.5).abs() < 1e-12),
+            g => panic!("unexpected {g}"),
+        }
+    }
+
+    #[test]
+    fn optimization_preserves_unitary() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .x(1)
+            .rz(0, 0.4)
+            .rz(0, 0.3)
+            .cx(0, 1)
+            .cx(0, 1)
+            .x(1)
+            .ry(2, 0.2)
+            .ry(2, -0.2)
+            .mcp(vec![0], 2, 0.5);
+        let opt = optimize(&c);
+        assert!(opt.len() < c.len());
+        assert!(equivalent_up_to_phase(&c, &opt, 1e-9));
+    }
+
+    #[test]
+    fn consecutive_tau_shells_shrink() {
+        // Two τs sharing a pivot: their trailing/leading H and CX shells
+        // partially cancel after concatenation.
+        use crate::synth::tau_circuit;
+        let mut joined = Circuit::new(3);
+        joined.extend(&tau_circuit(&[1, -1, 0], 0.4, 3));
+        joined.extend(&tau_circuit(&[1, -1, 0], 0.6, 3));
+        let opt = optimize(&joined);
+        assert!(
+            opt.len() < joined.len(),
+            "no shell cancellation: {} vs {}",
+            opt.len(),
+            joined.len()
+        );
+        assert!(equivalent_up_to_phase(&joined, &opt, 1e-9));
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_alternating_pattern() {
+        let mut c = Circuit::new(1);
+        for _ in 0..50 {
+            c.x(0).h(0);
+        }
+        let opt = optimize(&c);
+        assert!(opt.len() <= c.len());
+    }
+}

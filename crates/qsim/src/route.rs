@@ -1,0 +1,359 @@
+//! Coupling maps and SWAP routing.
+//!
+//! Real devices only support two-qubit gates between coupled qubits. The
+//! paper reports "circuit depth compiled via Quebec" (Fig. 10b): logical
+//! circuits are routed onto the device's heavy-hex topology, inserting
+//! SWAPs along shortest paths. This module implements the coupling
+//! graphs and a greedy shortest-path router.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::collections::VecDeque;
+
+/// An undirected qubit-coupling graph.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::route::CouplingMap;
+///
+/// let line = CouplingMap::linear(4);
+/// assert!(line.are_coupled(1, 2));
+/// assert!(!line.are_coupled(0, 3));
+/// assert_eq!(line.shortest_path(0, 3), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CouplingMap {
+    n_qubits: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// Builds a coupling map from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `>= n_qubits`.
+    pub fn from_edges(n_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n_qubits];
+        for &(a, b) in edges {
+            assert!(a < n_qubits && b < n_qubits, "edge ({a},{b}) out of range");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        CouplingMap { n_qubits, adjacency }
+    }
+
+    /// A linear chain `0—1—…—(n−1)`.
+    pub fn linear(n_qubits: usize) -> Self {
+        let edges: Vec<_> = (1..n_qubits).map(|i| (i - 1, i)).collect();
+        Self::from_edges(n_qubits, &edges)
+    }
+
+    /// Fully connected (used for "algorithmic" depth, no routing cost).
+    pub fn full(n_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n_qubits {
+            for b in (a + 1)..n_qubits {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges(n_qubits, &edges)
+    }
+
+    /// An IBM-style heavy-hex lattice fragment with at least `n_qubits`
+    /// qubits (rows of degree-2/3 qubits as on Eagle-class devices).
+    ///
+    /// The construction tiles rows of length `row` connected by bridge
+    /// qubits every four columns, which reproduces heavy-hex's
+    /// low average degree (≤ 3) and its routing distances.
+    pub fn heavy_hex(n_qubits: usize) -> Self {
+        let row = 15usize;
+        let mut edges = Vec::new();
+        let mut total = 0usize;
+        let mut rows = Vec::new();
+        while total < n_qubits {
+            rows.push(total);
+            // Row qubits are consecutive.
+            for i in 1..row {
+                edges.push((total + i - 1, total + i));
+            }
+            total += row;
+        }
+        // Bridges between consecutive rows every 4 columns.
+        let mut bridge = total;
+        for w in rows.windows(2) {
+            let (top, bottom) = (w[0], w[1]);
+            let mut col = 0;
+            while col < row {
+                edges.push((top + col, bridge));
+                edges.push((bridge, bottom + col));
+                bridge += 1;
+                col += 4;
+            }
+        }
+        Self::from_edges(total.max(bridge), &edges)
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Whether `a` and `b` share an edge.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].contains(&b)
+    }
+
+    /// BFS shortest path between two qubits (inclusive of endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits are in disconnected components.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Vec<usize> {
+        if from == to {
+            return vec![from];
+        }
+        let mut prev = vec![usize::MAX; self.n_qubits];
+        let mut queue = VecDeque::from([from]);
+        prev[from] = from;
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adjacency[v] {
+                if prev[w] == usize::MAX {
+                    prev[w] = v;
+                    if w == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return path;
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        panic!("qubits {from} and {to} are not connected");
+    }
+}
+
+/// Result of routing a logical circuit onto a coupling map.
+#[derive(Clone, Debug)]
+pub struct RoutedCircuit {
+    /// The physical circuit (includes inserted SWAPs).
+    pub circuit: Circuit,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+    /// Final logical→physical layout.
+    pub layout: Vec<usize>,
+}
+
+/// Routes `circuit` onto `coupling` with a greedy shortest-path SWAP
+/// strategy, starting from the trivial layout.
+///
+/// Multi-qubit gates beyond arity 2 (`MCP`, `MCX`) are charged by
+/// routing their control/target pairs pairwise toward the target — the
+/// same first-order cost a real transpiler pays before decomposing them.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::route::{route_circuit, CouplingMap};
+/// use rasengan_qsim::Circuit;
+///
+/// let mut c = Circuit::new(4);
+/// c.cx(0, 3);
+/// let routed = route_circuit(&c, &CouplingMap::linear(4));
+/// assert!(routed.swaps_inserted >= 2);
+/// ```
+pub fn route_circuit(circuit: &Circuit, coupling: &CouplingMap) -> RoutedCircuit {
+    assert!(
+        coupling.n_qubits() >= circuit.n_qubits(),
+        "device has fewer qubits than the circuit"
+    );
+    // layout[logical] = physical; phys2log inverse.
+    let mut layout: Vec<usize> = (0..circuit.n_qubits()).collect();
+    let mut phys2log: Vec<Option<usize>> = (0..coupling.n_qubits()).map(Some).collect();
+    for slot in phys2log.iter_mut().skip(circuit.n_qubits()) {
+        *slot = None;
+    }
+    let mut out = Circuit::new(coupling.n_qubits());
+    let mut swaps = 0usize;
+
+    let mut bring_adjacent =
+        |a: usize, b: usize, layout: &mut Vec<usize>, phys2log: &mut Vec<Option<usize>>, out: &mut Circuit| {
+            // Move logical a along the shortest path toward logical b.
+            loop {
+                let (pa, pb) = (layout[a], layout[b]);
+                if coupling.are_coupled(pa, pb) || pa == pb {
+                    break;
+                }
+                let path = coupling.shortest_path(pa, pb);
+                let next = path[1];
+                out.push(Gate::Swap(pa, next));
+                swaps += 1;
+                // Update the layout for whatever logical qubit sat at `next`.
+                let displaced = phys2log[next];
+                phys2log[next] = Some(a);
+                phys2log[pa] = displaced;
+                layout[a] = next;
+                if let Some(d) = displaced {
+                    layout[d] = pa;
+                }
+            }
+        };
+
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        match qs.len() {
+            1 => {
+                out.push(remap_gate(g, &layout));
+            }
+            2 => {
+                bring_adjacent(qs[0], qs[1], &mut layout, &mut phys2log, &mut out);
+                out.push(remap_gate(g, &layout));
+            }
+            _ => {
+                // Route every control next to the target, greedily.
+                let target = *qs.last().expect("multi-qubit gate has qubits");
+                for &c in &qs[..qs.len() - 1] {
+                    bring_adjacent(c, target, &mut layout, &mut phys2log, &mut out);
+                }
+                out.push(remap_gate(g, &layout));
+            }
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        swaps_inserted: swaps,
+        layout,
+    }
+}
+
+/// Rewrites a gate's qubit indices through the layout.
+fn remap_gate(g: &Gate, layout: &[usize]) -> Gate {
+    let m = |q: usize| layout[q];
+    match g {
+        Gate::X(q) => Gate::X(m(*q)),
+        Gate::Y(q) => Gate::Y(m(*q)),
+        Gate::Z(q) => Gate::Z(m(*q)),
+        Gate::H(q) => Gate::H(m(*q)),
+        Gate::Rx(q, t) => Gate::Rx(m(*q), *t),
+        Gate::Ry(q, t) => Gate::Ry(m(*q), *t),
+        Gate::Rz(q, t) => Gate::Rz(m(*q), *t),
+        Gate::Phase(q, t) => Gate::Phase(m(*q), *t),
+        Gate::Cx(a, b) => Gate::Cx(m(*a), m(*b)),
+        Gate::Cz(a, b) => Gate::Cz(m(*a), m(*b)),
+        Gate::Swap(a, b) => Gate::Swap(m(*a), m(*b)),
+        Gate::Rzz(a, b, t) => Gate::Rzz(m(*a), m(*b), *t),
+        Gate::Cp(a, b, t) => Gate::Cp(m(*a), m(*b), *t),
+        Gate::Mcp { controls, target, theta } => Gate::Mcp {
+            controls: controls.iter().map(|&c| m(c)).collect(),
+            target: m(*target),
+            theta: *theta,
+        },
+        Gate::Mcx { controls, target } => Gate::Mcx {
+            controls: controls.iter().map(|&c| m(c)).collect(),
+            target: m(*target),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_map_structure() {
+        let m = CouplingMap::linear(5);
+        assert!(m.are_coupled(0, 1));
+        assert!(m.are_coupled(3, 4));
+        assert!(!m.are_coupled(0, 2));
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let m = CouplingMap::linear(6);
+        assert_eq!(m.shortest_path(2, 2), vec![2]);
+        assert_eq!(m.shortest_path(1, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_map_needs_no_swaps() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 4).cx(1, 3);
+        let routed = route_circuit(&c, &CouplingMap::full(5));
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.two_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn linear_map_inserts_swaps_for_distant_pair() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let routed = route_circuit(&c, &CouplingMap::linear(4));
+        assert_eq!(routed.swaps_inserted, 2);
+        // The CX itself plus two swaps.
+        assert_eq!(routed.circuit.two_qubit_gate_count(), 3);
+    }
+
+    #[test]
+    fn routed_circuit_preserves_semantics() {
+        use crate::dense::DenseState;
+        // |x⟩ through CX(0,3) on a line must equal the unrouted result
+        // after accounting for the final layout permutation.
+        let mut c = Circuit::new(4);
+        c.x(0).cx(0, 3);
+        let routed = route_circuit(&c, &CouplingMap::linear(4));
+        let s = DenseState::from_circuit(&routed.circuit);
+        // Logical state is x0=1, x3=1; find them through the layout.
+        let expect = (1u64 << routed.layout[0]) | (1u64 << routed.layout[3]);
+        assert!(s.amplitude(expect).norm_sqr() > 0.999);
+    }
+
+    #[test]
+    fn heavy_hex_is_connected_and_sparse() {
+        let m = CouplingMap::heavy_hex(30);
+        assert!(m.n_qubits() >= 30);
+        // Connectivity: BFS from 0 reaches everything.
+        for q in 0..m.n_qubits() {
+            let _ = m.shortest_path(0, q);
+        }
+        // Sparsity: average degree ≤ 3 (heavy-hex signature).
+        let total_degree: usize = (0..m.n_qubits())
+            .map(|q| (0..m.n_qubits()).filter(|&w| m.are_coupled(q, w)).count())
+            .sum();
+        assert!(total_degree as f64 / m.n_qubits() as f64 <= 3.0);
+    }
+
+    #[test]
+    fn mcp_routing_brings_controls_to_target() {
+        let mut c = Circuit::new(5);
+        c.mcp(vec![0, 4], 2, 0.3);
+        let routed = route_circuit(&c, &CouplingMap::linear(5));
+        // After routing, controls are adjacent to the target.
+        let last = routed.circuit.gates().last().unwrap();
+        if let Gate::Mcp { controls, target, .. } = last {
+            for c in controls {
+                assert!(
+                    CouplingMap::linear(5).are_coupled(*c, *target),
+                    "control {c} not adjacent to target {target}"
+                );
+            }
+        } else {
+            panic!("expected MCP at tail");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn disconnected_components_panic() {
+        let m = CouplingMap::from_edges(4, &[(0, 1), (2, 3)]);
+        m.shortest_path(0, 3);
+    }
+}

@@ -1,0 +1,673 @@
+//! Sparse basis-state simulator.
+//!
+//! Rasengan's circuits contain only `X`, `CX`, `MCX`, phase-type gates,
+//! and transition operators `τ(u, t)` (paper §5.1: "Circuits of Rasengan
+//! only include X, control-X, and phase gates, so we accelerate their
+//! simulation on the DDSim simulator"). Every such gate maps a
+//! computational basis state to a single basis state (up to phase), and a
+//! transition operator maps it to at most *two*. The quantum state is
+//! therefore always a superposition over a small set of basis states —
+//! bounded by the number of feasible solutions — regardless of qubit
+//! count.
+//!
+//! [`SparseState`] stores that superposition as a `label → amplitude`
+//! map, giving exact simulation past 100 qubits (the paper's Fig. 10
+//! scales FLP to 105 variables).
+
+use crate::circuit::Circuit;
+use crate::complex::Complex;
+use crate::gate::Gate;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A basis-state label on up to 128 qubits; bit `i` is qubit `i`.
+pub type Label = u128;
+
+/// A transition operator `τ(u, t) = exp(-i H^τ(u) t)` in mask form.
+///
+/// `H^τ(u) = ⊗σ(uᵢ) + ⊗σ(-uᵢ)` (paper Definition 1). For a basis state
+/// `|x⟩` the first term is nonzero only when every `+1` position of `u`
+/// has `xᵢ = 0` and every `-1` position has `xᵢ = 1` (then it maps to
+/// `|x + u⟩`); the adjoint term handles `|x − u⟩`. At most one of the two
+/// applies to any given `x`, so
+///
+/// ```text
+/// exp(-i H t)|x⟩ = cos(t)|x⟩ − i·sin(t)|partner(x)⟩   (partner exists)
+/// exp(-i H t)|x⟩ = |x⟩                                 (otherwise)
+/// ```
+///
+/// which is Eq. 6 of the paper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Qubits where `u = +1` (σ⁺ in the forward term).
+    pub plus_mask: Label,
+    /// Qubits where `u = -1` (σ⁻ in the forward term).
+    pub minus_mask: Label,
+}
+
+impl Transition {
+    /// Builds a transition from a ternary homogeneous basis vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` has entries outside `{-1,0,1}`, is all-zero, or is
+    /// longer than 128.
+    pub fn from_u(u: &[i64]) -> Self {
+        assert!(u.len() <= 128, "transition vectors limited to 128 qubits");
+        let mut plus = 0u128;
+        let mut minus = 0u128;
+        for (i, &v) in u.iter().enumerate() {
+            match v {
+                1 => plus |= 1 << i,
+                -1 => minus |= 1 << i,
+                0 => {}
+                other => panic!("non-ternary entry {other} in transition vector"),
+            }
+        }
+        assert!(plus | minus != 0, "transition vector must be nonzero");
+        Transition { plus_mask: plus, minus_mask: minus }
+    }
+
+    /// Number of qubits the operator touches (`k` in the 34k cost model).
+    pub fn weight(&self) -> u32 {
+        (self.plus_mask | self.minus_mask).count_ones()
+    }
+
+    /// The unique basis state connected to `x` by this transition, if
+    /// any: `x + u` when the forward term applies, `x − u` when the
+    /// adjoint term applies, `None` otherwise.
+    pub fn partner(&self, x: Label) -> Option<Label> {
+        // Forward |x+u⟩: needs plus positions clear and minus positions set.
+        if x & self.plus_mask == 0 && x & self.minus_mask == self.minus_mask {
+            return Some((x | self.plus_mask) & !self.minus_mask);
+        }
+        // Adjoint |x−u⟩: needs plus positions set and minus positions clear.
+        if x & self.plus_mask == self.plus_mask && x & self.minus_mask == 0 {
+            return Some((x & !self.plus_mask) | self.minus_mask);
+        }
+        None
+    }
+}
+
+/// Error applying a gate the sparse backend cannot represent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsupportedGate {
+    /// Human-readable gate description.
+    pub gate: String,
+}
+
+impl fmt::Display for UnsupportedGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate `{}` creates dense superpositions; use the dense backend",
+            self.gate
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedGate {}
+
+/// A sparse quantum state: superposition over few basis states.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::{SparseState, Transition};
+///
+/// // Start from the paper's particular solution x_p = [0,0,0,1,0].
+/// let mut s = SparseState::basis_state(5, 0b01000);
+/// // Apply τ(u₁, π/4) with u₁ = [-1, 1, 0, 0, 0]... wait, x_p has
+/// // x₀ = 0 so the σ⁻ term needs x₀ = 1: no partner, state unchanged.
+/// let u1 = Transition::from_u(&[-1, 1, 0, 0, 0]);
+/// s.apply_transition(&u1, std::f64::consts::FRAC_PI_4);
+/// assert_eq!(s.support().len(), 1);
+///
+/// // u₂ = [0,0,0,1,1] connects x_p to [0,0,0,0,1]... σ⁺ on q3,q4 needs
+/// // both 0; σ⁻ needs both 1. x_p = 01000 has q3=1,q4=0: no match either
+/// // direction — still unchanged. A full expansion needs the right u's.
+/// let u2 = Transition::from_u(&[0, 0, 0, 1, 1]);
+/// s.apply_transition(&u2, 0.5);
+/// assert_eq!(s.support().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseState {
+    n_qubits: usize,
+    amps: HashMap<Label, Complex>,
+}
+
+/// Amplitudes below this magnitude are dropped during compaction.
+const PRUNE_EPS: f64 = 1e-14;
+
+impl SparseState {
+    /// Creates the basis state `|label⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label uses bits at or above `n_qubits`.
+    pub fn basis_state(n_qubits: usize, label: Label) -> Self {
+        assert!(n_qubits <= 128, "sparse backend limited to 128 qubits");
+        assert!(
+            n_qubits == 128 || label < (1u128 << n_qubits),
+            "basis label out of range for {n_qubits} qubits"
+        );
+        let mut amps = HashMap::new();
+        amps.insert(label, Complex::ONE);
+        SparseState { n_qubits, amps }
+    }
+
+    /// Creates a basis state from a binary solution vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is not 0/1 or the vector exceeds 128 bits.
+    pub fn from_bits(bits: &[i64]) -> Self {
+        Self::basis_state(bits.len(), label_from_bits(bits))
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The basis labels currently in superposition (sorted).
+    pub fn support(&self) -> Vec<Label> {
+        let mut v: Vec<Label> = self.amps.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of basis states in the superposition.
+    pub fn support_size(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Amplitude of `|label⟩` (zero if absent).
+    pub fn amplitude(&self, label: Label) -> Complex {
+        self.amps.get(&label).copied().unwrap_or(Complex::ZERO)
+    }
+
+    /// Squared norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.values().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalizes to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is numerically zero.
+    pub fn normalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        assert!(n > 1e-300, "cannot normalize zero sparse state");
+        for a in self.amps.values_mut() {
+            *a = a.scale(1.0 / n);
+        }
+    }
+
+    /// Probability of measuring `|label⟩`.
+    pub fn probability(&self, label: Label) -> f64 {
+        self.amplitude(label).norm_sqr()
+    }
+
+    /// Total probability mass on states with qubit `q` equal to 1
+    /// (computed directly over the sparse support; hot path of the
+    /// damping channels).
+    pub fn population(&self, q: usize) -> f64 {
+        let mask = 1u128 << q;
+        self.amps
+            .iter()
+            .filter(|(l, _)| *l & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Label → probability for the whole support (sorted by label).
+    pub fn distribution(&self) -> BTreeMap<Label, f64> {
+        self.amps
+            .iter()
+            .map(|(&l, a)| (l, a.norm_sqr()))
+            .collect()
+    }
+
+    /// Applies every gate of `circuit` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedGate`] on the first gate outside the sparse
+    /// gate set (`H`, `Rx`, `Ry`). The state is left at the failing gate.
+    pub fn run(&mut self, circuit: &Circuit) -> Result<(), UnsupportedGate> {
+        for g in circuit.gates() {
+            self.apply(g)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedGate`] for gates that create dense
+    /// superpositions (`H`, `Rx`, `Ry`).
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), UnsupportedGate> {
+        match gate {
+            Gate::X(q) => self.map_labels(|l| l ^ (1 << q)),
+            Gate::Y(q) => {
+                // Y = iXZ: flip the bit and phase ±i by prior bit value.
+                let mask = 1u128 << q;
+                let mut next = HashMap::with_capacity(self.amps.len());
+                for (&l, &a) in &self.amps {
+                    let phase = if l & mask == 0 { Complex::I } else { -Complex::I };
+                    next.insert(l ^ mask, a * phase);
+                }
+                self.amps = next;
+            }
+            Gate::Z(q) => self.phase_if(|l| l >> q & 1 == 1, std::f64::consts::PI),
+            Gate::Rz(q, t) => {
+                let m0 = Complex::cis(-t / 2.0);
+                let m1 = Complex::cis(t / 2.0);
+                let mask = 1u128 << q;
+                for (l, a) in self.amps.iter_mut() {
+                    *a *= if l & mask == 0 { m0 } else { m1 };
+                }
+            }
+            Gate::Phase(q, t) => self.phase_if(|l| l >> q & 1 == 1, *t),
+            Gate::Cx(c, t) => {
+                let (cm, tm) = (1u128 << c, 1u128 << t);
+                self.map_labels(|l| if l & cm != 0 { l ^ tm } else { l });
+            }
+            Gate::Cz(a, b) => {
+                let m = (1u128 << a) | (1u128 << b);
+                self.phase_if(move |l| l & m == m, std::f64::consts::PI);
+            }
+            Gate::Swap(a, b) => {
+                let (ma, mb) = (1u128 << a, 1u128 << b);
+                self.map_labels(|l| {
+                    let ba = (l & ma != 0) as u128;
+                    let bb = (l & mb != 0) as u128;
+                    if ba == bb {
+                        l
+                    } else {
+                        l ^ ma ^ mb
+                    }
+                });
+            }
+            Gate::Rzz(a, b, t) => {
+                let (ma, mb) = (1u128 << a, 1u128 << b);
+                let minus = Complex::cis(-t / 2.0);
+                let plus = Complex::cis(t / 2.0);
+                for (l, amp) in self.amps.iter_mut() {
+                    let parity = ((l & ma != 0) as u8) ^ ((l & mb != 0) as u8);
+                    *amp *= if parity == 0 { minus } else { plus };
+                }
+            }
+            Gate::Cp(c, t, theta) => {
+                let m = (1u128 << c) | (1u128 << t);
+                self.phase_if(move |l| l & m == m, *theta);
+            }
+            Gate::Mcp { controls, target, theta } => {
+                let mut m: Label = 1 << target;
+                for &c in controls {
+                    m |= 1 << c;
+                }
+                self.phase_if(move |l| l & m == m, *theta);
+            }
+            Gate::Mcx { controls, target } => {
+                let cm: Label = controls.iter().fold(0, |m, &c| m | (1 << c));
+                let tm = 1u128 << target;
+                self.map_labels(|l| if l & cm == cm { l ^ tm } else { l });
+            }
+            g @ (Gate::H(_) | Gate::Rx(..) | Gate::Ry(..)) => {
+                return Err(UnsupportedGate { gate: g.to_string() })
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a transition operator `τ(u, t)` analytically (Eq. 6).
+    ///
+    /// Unpaired basis states pass through unchanged (the `H|φ⟩ = 0` case
+    /// in Theorem 1's proof); paired states mix as
+    /// `cos(t)|x⟩ − i·sin(t)|partner⟩`.
+    pub fn apply_transition(&mut self, tr: &Transition, t: f64) {
+        let cos = Complex::from(t.cos());
+        let misin = Complex::new(0.0, -t.sin());
+        let mut next: HashMap<Label, Complex> = HashMap::with_capacity(self.amps.len() * 2);
+        for (&l, &a) in &self.amps {
+            match tr.partner(l) {
+                Some(p) => {
+                    *next.entry(l).or_insert(Complex::ZERO) += cos * a;
+                    *next.entry(p).or_insert(Complex::ZERO) += misin * a;
+                }
+                None => {
+                    *next.entry(l).or_insert(Complex::ZERO) += a;
+                }
+            }
+        }
+        next.retain(|_, a| a.norm_sqr() > PRUNE_EPS * PRUNE_EPS);
+        self.amps = next;
+    }
+
+    /// Multiplies each basis amplitude by `e^{i·phase(label)}` — the
+    /// time evolution of an arbitrary diagonal Hamiltonian, used for the
+    /// QAOA objective layer `e^{-iγ H_obj}` (pass `-γ·f(label)`).
+    pub fn apply_diagonal_phase(&mut self, phase: impl Fn(Label) -> f64) {
+        for (l, a) in self.amps.iter_mut() {
+            *a *= Complex::cis(phase(*l));
+        }
+    }
+
+    /// Projects onto the subspace where qubit `q` equals `keep_one`,
+    /// renormalizing (a damping-jump Kraus branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projected state is zero (the jump had probability
+    /// zero and should not have been sampled).
+    pub fn project_qubit(&mut self, q: usize, keep_one: bool) {
+        let mask = 1u128 << q;
+        self.amps
+            .retain(|l, _| (l & mask != 0) == keep_one);
+        self.normalize();
+    }
+
+    /// Scales amplitudes of labels with qubit `q` set by `factor`
+    /// (no-jump damping branch; caller renormalizes).
+    pub fn scale_where_qubit_one(&mut self, q: usize, factor: f64) {
+        let mask = 1u128 << q;
+        for (l, a) in self.amps.iter_mut() {
+            if l & mask != 0 {
+                *a = a.scale(factor);
+            }
+        }
+    }
+
+    /// Draws `shots` measurement outcomes, returning label → count.
+    ///
+    /// Sampling is deterministic for a fixed RNG: the support is
+    /// visited in sorted label order (the backing `HashMap`'s own order
+    /// is randomized per process and must not leak into results).
+    pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> BTreeMap<Label, usize> {
+        let mut support: Vec<(Label, f64)> = self
+            .amps
+            .iter()
+            .map(|(&l, a)| (l, a.norm_sqr()))
+            .collect();
+        support.sort_unstable_by_key(|&(l, _)| l);
+        let total: f64 = support.iter().map(|(_, p)| p).sum();
+        let mut counts = BTreeMap::new();
+        for _ in 0..shots {
+            let mut r: f64 = rng.gen::<f64>() * total;
+            let mut outcome = support.last().map(|(l, _)| *l).unwrap_or(0);
+            for &(l, p) in &support {
+                if r < p {
+                    outcome = l;
+                    break;
+                }
+                r -= p;
+            }
+            *counts.entry(outcome).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Draws a single measurement outcome (hot path of trajectory
+    /// sampling; avoids the sorting and map-building of [`Self::sample`]).
+    ///
+    /// Deterministic for a fixed RNG: ties in hash order are resolved by
+    /// scanning toward the minimum label with the residual method below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is empty.
+    pub fn sample_one(&self, rng: &mut impl Rng) -> Label {
+        assert!(!self.amps.is_empty(), "cannot sample an empty state");
+        // To stay deterministic across processes (HashMap order is
+        // seeded), scan in sorted order only when the support is tiny;
+        // otherwise sort once. Support sizes here are small, so sort.
+        let mut support: Vec<(Label, f64)> = self
+            .amps
+            .iter()
+            .map(|(&l, a)| (l, a.norm_sqr()))
+            .collect();
+        support.sort_unstable_by_key(|&(l, _)| l);
+        let total: f64 = support.iter().map(|(_, p)| p).sum();
+        let mut r: f64 = rng.gen::<f64>() * total;
+        for &(l, p) in &support {
+            if r < p {
+                return l;
+            }
+            r -= p;
+        }
+        support.last().expect("non-empty").0
+    }
+
+    /// Replaces each label by `f(label)` (a basis permutation).
+    fn map_labels(&mut self, f: impl Fn(Label) -> Label) {
+        let mut next = HashMap::with_capacity(self.amps.len());
+        for (&l, &a) in &self.amps {
+            *next.entry(f(l)).or_insert(Complex::ZERO) += a;
+        }
+        self.amps = next;
+    }
+
+    /// Multiplies amplitudes of labels satisfying `pred` by `e^{iθ}`.
+    fn phase_if(&mut self, pred: impl Fn(Label) -> bool, theta: f64) {
+        let phase = Complex::cis(theta);
+        for (l, a) in self.amps.iter_mut() {
+            if pred(*l) {
+                *a *= phase;
+            }
+        }
+    }
+}
+
+/// Packs a binary solution vector into a basis label (bit `i` = `x[i]`).
+///
+/// # Panics
+///
+/// Panics if entries are not 0/1 or the vector exceeds 128 bits.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::sparse::label_from_bits;
+/// assert_eq!(label_from_bits(&[0, 0, 0, 1, 0]), 0b01000);
+/// ```
+pub fn label_from_bits(bits: &[i64]) -> Label {
+    assert!(bits.len() <= 128, "at most 128 bits");
+    bits.iter().enumerate().fold(0u128, |acc, (i, &b)| {
+        assert!(b == 0 || b == 1, "non-binary entry {b}");
+        acc | ((b as u128) << i)
+    })
+}
+
+/// Unpacks a basis label into a binary solution vector of length `n`.
+///
+/// # Example
+///
+/// ```
+/// use rasengan_qsim::sparse::bits_from_label;
+/// assert_eq!(bits_from_label(0b01000, 5), vec![0, 0, 0, 1, 0]);
+/// ```
+pub fn bits_from_label(label: Label, n: usize) -> Vec<i64> {
+    (0..n).map(|i| (label >> i & 1) as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn transition_from_paper_u2() {
+        // u₂ = [-1, 0, -1, 1, 0]: x_p = [0,0,0,1,0] matches the adjoint
+        // term (x−u): plus positions {3} set? plus_mask is q3 (u=+1);
+        // minus_mask is q0,q2. x_p has q3=1, q0=q2=0 → partner = x−u =
+        // [1,0,1,0,0].
+        let tr = Transition::from_u(&[-1, 0, -1, 1, 0]);
+        let xp = label_from_bits(&[0, 0, 0, 1, 0]);
+        let partner = tr.partner(xp).expect("partner must exist");
+        assert_eq!(bits_from_label(partner, 5), vec![1, 0, 1, 0, 0]);
+        // And the partnership is symmetric.
+        assert_eq!(tr.partner(partner), Some(xp));
+    }
+
+    #[test]
+    fn transition_no_partner_for_non_binary_move() {
+        let tr = Transition::from_u(&[1, 0, 0, 0, 0]);
+        // x with q0=1: forward needs q0=0; adjoint (x−u) needs q0=1 and
+        // no minus bits — partner = q0 cleared. So a partner exists both
+        // ways for weight-1 u. Use a 2-qubit u instead:
+        let tr2 = Transition::from_u(&[1, -1, 0, 0, 0]);
+        // x = [0,0,...]: forward needs q0=0 (ok) and q1=1 (fails);
+        // adjoint needs q0=1 (fails). No partner.
+        assert_eq!(tr2.partner(0), None);
+        let _ = tr;
+    }
+
+    #[test]
+    fn transition_weight() {
+        assert_eq!(Transition::from_u(&[1, -1, 0, 1]).weight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ternary")]
+    fn non_ternary_transition_panics() {
+        Transition::from_u(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_transition_panics() {
+        Transition::from_u(&[0, 0]);
+    }
+
+    #[test]
+    fn apply_transition_superposes_pair() {
+        let tr = Transition::from_u(&[1, 0]);
+        let mut s = SparseState::basis_state(2, 0);
+        let t = std::f64::consts::FRAC_PI_4;
+        s.apply_transition(&tr, t);
+        assert_eq!(s.support_size(), 2);
+        assert!(s.amplitude(0b00).approx_eq(Complex::from(t.cos()), TOL));
+        assert!(s
+            .amplitude(0b01)
+            .approx_eq(Complex::new(0.0, -t.sin()), TOL));
+        assert!((s.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn apply_transition_half_pi_is_full_swap() {
+        // t = π/2 collapses fully onto the partner (a basis state, which
+        // is the mechanism Rasengan uses to land on the optimum).
+        let tr = Transition::from_u(&[1, 0]);
+        let mut s = SparseState::basis_state(2, 0);
+        s.apply_transition(&tr, std::f64::consts::FRAC_PI_2);
+        assert_eq!(s.support(), vec![0b01]);
+    }
+
+    #[test]
+    fn transition_unpaired_state_unchanged() {
+        let tr = Transition::from_u(&[1, -1]);
+        let mut s = SparseState::basis_state(2, 0b00);
+        s.apply_transition(&tr, 1.2);
+        assert_eq!(s.support(), vec![0b00]);
+        assert!(s.amplitude(0b00).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn transition_is_unitary_on_superposition() {
+        let tr = Transition::from_u(&[1, 0, -1]);
+        let mut s = SparseState::basis_state(3, 0b100);
+        s.apply_transition(&tr, 0.7);
+        s.apply_transition(&Transition::from_u(&[0, 1, 0]), 0.3);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transition_inverse_restores() {
+        let tr = Transition::from_u(&[1, 0, -1]);
+        let mut s = SparseState::basis_state(3, 0b100);
+        s.apply_transition(&tr, 0.9);
+        s.apply_transition(&tr, -0.9);
+        assert_eq!(s.support(), vec![0b100]);
+        assert!(s.amplitude(0b100).approx_eq(Complex::ONE, 1e-10));
+    }
+
+    #[test]
+    fn sparse_gates_match_expectations() {
+        let mut s = SparseState::basis_state(3, 0b000);
+        s.apply(&Gate::X(0)).unwrap();
+        s.apply(&Gate::Cx(0, 1)).unwrap();
+        s.apply(&Gate::Mcx { controls: vec![0, 1], target: 2 }).unwrap();
+        assert_eq!(s.support(), vec![0b111]);
+        s.apply(&Gate::Mcp { controls: vec![0, 1], target: 2, theta: 1.0 })
+            .unwrap();
+        assert!(s.amplitude(0b111).approx_eq(Complex::cis(1.0), TOL));
+    }
+
+    #[test]
+    fn sparse_swap_and_phase_gates() {
+        let mut s = SparseState::basis_state(2, 0b01);
+        s.apply(&Gate::Swap(0, 1)).unwrap();
+        assert_eq!(s.support(), vec![0b10]);
+        s.apply(&Gate::Phase(1, 0.5)).unwrap();
+        assert!(s.amplitude(0b10).approx_eq(Complex::cis(0.5), TOL));
+        s.apply(&Gate::Z(1)).unwrap();
+        assert!(s
+            .amplitude(0b10)
+            .approx_eq(Complex::cis(0.5 + std::f64::consts::PI), TOL));
+    }
+
+    #[test]
+    fn sparse_y_gate() {
+        let mut s = SparseState::basis_state(1, 0);
+        s.apply(&Gate::Y(0)).unwrap();
+        assert!(s.amplitude(1).approx_eq(Complex::I, TOL));
+        s.apply(&Gate::Y(0)).unwrap();
+        assert!(s.amplitude(0).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn unsupported_gate_reports_error() {
+        let mut s = SparseState::basis_state(1, 0);
+        let err = s.apply(&Gate::H(0)).unwrap_err();
+        assert!(err.to_string().contains("h q0"));
+    }
+
+    #[test]
+    fn sampling_concentrates_on_support() {
+        let tr = Transition::from_u(&[1, 0]);
+        let mut s = SparseState::basis_state(2, 0);
+        s.apply_transition(&tr, std::f64::consts::FRAC_PI_4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = s.sample(4000, &mut rng);
+        assert!(counts.keys().all(|l| *l == 0b00 || *l == 0b01));
+        let c0 = *counts.get(&0b00).unwrap_or(&0) as f64 / 4000.0;
+        assert!((c0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn large_register_transitions() {
+        // 100 qubits: dense simulation is impossible; sparse is trivial.
+        let mut u = vec![0i64; 100];
+        u[97] = 1;
+        u[3] = -1;
+        let tr = Transition::from_u(&u);
+        let mut s = SparseState::basis_state(100, 1 << 3);
+        s.apply_transition(&tr, std::f64::consts::FRAC_PI_2);
+        assert_eq!(s.support(), vec![1u128 << 97]);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let bits = vec![1, 0, 1, 1, 0, 0, 1];
+        assert_eq!(bits_from_label(label_from_bits(&bits), 7), bits);
+    }
+}

@@ -1,0 +1,166 @@
+//! Verification utilities for circuits and states: unitarity checks and
+//! circuit equivalence up to global phase.
+//!
+//! Used throughout the test suites to validate synthesized transition
+//! circuits, decompositions, and routed programs; exposed publicly so
+//! downstream users can verify their own constructions.
+
+use crate::circuit::Circuit;
+use crate::complex::Complex;
+use crate::dense::DenseState;
+
+/// Maximum register width for exhaustive matrix reconstruction.
+const MAX_VERIFY_QUBITS: usize = 10;
+
+/// Reconstructs the full unitary matrix of a circuit column-by-column.
+///
+/// # Panics
+///
+/// Panics if the circuit exceeds `MAX_VERIFY_QUBITS` (10) qubits (the
+/// reconstruction is `4^n` in space).
+pub fn circuit_matrix(circuit: &Circuit) -> Vec<Vec<Complex>> {
+    let n = circuit.n_qubits();
+    assert!(
+        n <= MAX_VERIFY_QUBITS,
+        "matrix reconstruction limited to {MAX_VERIFY_QUBITS} qubits"
+    );
+    let dim = 1usize << n;
+    let mut columns = Vec::with_capacity(dim);
+    for basis in 0..dim {
+        let mut s = DenseState::basis_state(n, basis as u64);
+        s.run(circuit);
+        columns.push(s.amplitudes().to_vec());
+    }
+    // Transpose columns into row-major form.
+    (0..dim)
+        .map(|r| (0..dim).map(|c| columns[c][r]).collect())
+        .collect()
+}
+
+/// Whether a circuit implements a unitary operator (columns orthonormal
+/// within `tol`). Trivially true for gate-built circuits; useful for
+/// catching bugs in hand-assembled gate lists and custom decompositions.
+pub fn is_unitary(circuit: &Circuit, tol: f64) -> bool {
+    let m = circuit_matrix(circuit);
+    let dim = m.len();
+    for a in 0..dim {
+        for b in a..dim {
+            // ⟨col_a | col_b⟩ over the row-major matrix.
+            let mut dot = Complex::ZERO;
+            for row in m.iter() {
+                dot += row[a].conj() * row[b];
+            }
+            let expect = if a == b { Complex::ONE } else { Complex::ZERO };
+            if !dot.approx_eq(expect, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether two circuits implement the same unitary up to a global phase.
+///
+/// The phase is fixed on the first matrix entry with non-negligible
+/// magnitude and divided out before comparison.
+pub fn equivalent_up_to_phase(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    if a.n_qubits() != b.n_qubits() {
+        return false;
+    }
+    let ma = circuit_matrix(a);
+    let mb = circuit_matrix(b);
+    let dim = ma.len();
+
+    // Find the reference entry.
+    let mut phase: Option<Complex> = None;
+    'outer: for r in 0..dim {
+        for c in 0..dim {
+            if ma[r][c].abs() > 1e-6 && mb[r][c].abs() > 1e-6 {
+                phase = Some(mb[r][c] / ma[r][c]);
+                break 'outer;
+            }
+        }
+    }
+    let Some(phase) = phase else { return false };
+    if (phase.abs() - 1.0).abs() > tol {
+        return false;
+    }
+    for r in 0..dim {
+        for c in 0..dim {
+            if !(ma[r][c] * phase).approx_eq(mb[r][c], tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn gate_circuits_are_unitary() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.7).rzz(1, 2, 0.3).mcp(vec![0, 1], 2, 0.9);
+        assert!(is_unitary(&c, 1e-9));
+    }
+
+    #[test]
+    fn identity_matrix_of_empty_circuit() {
+        let m = circuit_matrix(&Circuit::new(2));
+        for (r, row) in m.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                let expect = if r == c { Complex::ONE } else { Complex::ZERO };
+                assert!(v.approx_eq(expect, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn hzh_equals_x_up_to_phase() {
+        let mut a = Circuit::new(1);
+        a.h(0).push(Gate::Z(0)).h(0);
+        let mut b = Circuit::new(1);
+        b.x(0);
+        assert!(equivalent_up_to_phase(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn rz_and_phase_differ_only_by_global_phase() {
+        let mut a = Circuit::new(1);
+        a.rz(0, 0.8);
+        let mut b = Circuit::new(1);
+        b.phase(0, 0.8);
+        assert!(equivalent_up_to_phase(&a, &b, 1e-9));
+        // But they are not equal as raw matrices.
+        let ma = circuit_matrix(&a);
+        let mb = circuit_matrix(&b);
+        assert!(!ma[0][0].approx_eq(mb[0][0], 1e-12));
+    }
+
+    #[test]
+    fn different_circuits_are_not_equivalent() {
+        let mut a = Circuit::new(1);
+        a.x(0);
+        let mut b = Circuit::new(1);
+        b.h(0);
+        assert!(!equivalent_up_to_phase(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn width_mismatch_is_not_equivalent() {
+        assert!(!equivalent_up_to_phase(
+            &Circuit::new(1),
+            &Circuit::new(2),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn synthesized_tau_is_unitary() {
+        let c = crate::synth::tau_circuit(&[1, -1, 1], 1.2, 3);
+        assert!(is_unitary(&c, 1e-9));
+    }
+}

@@ -1,0 +1,81 @@
+//! The full error-mitigation stack: purification (paper §4.3) composed
+//! with M3-style readout mitigation and zero-noise extrapolation.
+//!
+//! Solves K1 under a deliberately harsh noise model and shows what each
+//! layer contributes.
+//!
+//! ```bash
+//! cargo run --example error_mitigation_stack --release
+//! ```
+
+use rasengan::core::{solve_with_zne, Rasengan, RasenganConfig};
+use rasengan::problems::registry::{benchmark, BenchmarkId};
+use rasengan::problems::optimum;
+use rasengan::qsim::NoiseModel;
+
+fn main() {
+    let problem = benchmark(BenchmarkId::parse("K1").unwrap());
+    let (_, e_opt) = optimum(&problem);
+    println!(
+        "{}: {} qubits, optimum {e_opt}",
+        problem.name(),
+        problem.n_vars()
+    );
+
+    let noise = NoiseModel::ibm_like(1e-3, 8e-3, 0.03).with_amplitude_damping(5e-4);
+    println!(
+        "noise: 1Q {:.2}% / 2Q {:.2}% / readout {:.0}% / damping {:.2}%\n",
+        noise.p1 * 100.0,
+        noise.p2 * 100.0,
+        noise.readout * 100.0,
+        noise.amplitude_damping * 100.0
+    );
+
+    let base = RasenganConfig::default()
+        .with_seed(3)
+        .with_noise(noise)
+        .with_shots(1024)
+        .with_max_iterations(40);
+
+    // Layer 1: purification only (the paper's own mitigation).
+    let purified = Rasengan::new(base.clone()).solve(&problem).expect("solves");
+    println!(
+        "purification only      : ARG {:.3} (raw in-constraints {:.1}%)",
+        purified.arg,
+        purified.raw_in_constraints_rate * 100.0
+    );
+
+    // Layer 2: + readout mitigation.
+    let mitigated = Rasengan::new(base.clone().with_readout_mitigation())
+        .solve(&problem)
+        .expect("solves");
+    println!(
+        "+ readout mitigation   : ARG {:.3} (raw in-constraints {:.1}%)",
+        mitigated.arg,
+        mitigated.raw_in_constraints_rate * 100.0
+    );
+
+    // Layer 3: + zero-noise extrapolation over scales 1×, 2×, 3×.
+    let zne = solve_with_zne(
+        &problem,
+        &base.with_readout_mitigation(),
+        &[1.0, 2.0, 3.0],
+    )
+    .expect("ZNE solves");
+    println!(
+        "+ ZNE (1×, 2×, 3×)     : ARG {:.3} (expectations {:?} → {:.3})",
+        zne.arg,
+        zne.expectations
+            .iter()
+            .map(|e| (e * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        zne.extrapolated
+    );
+
+    println!(
+        "\nnote: ZNE extrapolates the *expectation*, and a linear fit can\n\
+         overshoot past the optimum on strongly curved noise responses —\n\
+         compare its ARG against the direct runs before adopting it."
+    );
+    assert!(purified.best.feasible && mitigated.best.feasible);
+}

@@ -1,0 +1,74 @@
+//! Job scheduling on a noisy device: purification in action.
+//!
+//! Schedules 3 jobs onto 2 machines under the IBM-Kyiv noise model and
+//! shows how purification-based error mitigation (paper §4.3) keeps the
+//! output 100% in-constraints while the raw measurements are not.
+//!
+//! ```bash
+//! cargo run --example noisy_scheduling --release
+//! ```
+
+use rasengan::core::{Rasengan, RasenganConfig};
+use rasengan::problems::jsp::JobScheduling;
+use rasengan::qsim::Device;
+
+fn main() {
+    let jsp = JobScheduling::generate(3, 2, 2, 99);
+    println!(
+        "jobs with processing times {:?} on 2 machines (capacity 2 each)",
+        jsp.times
+    );
+    let problem = jsp.into_problem();
+
+    let device = Device::ibm_kyiv();
+    println!(
+        "device: {} (2Q error {:.2}%, readout error {:.1}%)",
+        device.name,
+        device.noise.p2 * 100.0,
+        device.noise.readout * 100.0
+    );
+
+    // Purification ON (the default).
+    let with = Rasengan::new(
+        RasenganConfig::default()
+            .with_seed(1)
+            .on_device(device.clone())
+            .with_shots(1024)
+            .with_max_iterations(40),
+    )
+    .solve(&problem)
+    .expect("noisy JSP solves");
+
+    // Purification OFF (ablation).
+    let without = {
+        let mut cfg = RasenganConfig::default()
+            .with_seed(1)
+            .on_device(device)
+            .with_shots(1024)
+            .with_max_iterations(40);
+        cfg.purify = false;
+        Rasengan::new(cfg).solve(&problem).expect("noisy JSP solves")
+    };
+
+    println!("\n                      with purification   without");
+    println!(
+        "raw in-constraints      {:>6.1}%            {:>6.1}%",
+        with.raw_in_constraints_rate * 100.0,
+        without.raw_in_constraints_rate * 100.0
+    );
+    println!(
+        "output in-constraints   {:>6.1}%            {:>6.1}%",
+        with.in_constraints_rate * 100.0,
+        without.in_constraints_rate * 100.0
+    );
+    println!("ARG                     {:>7.3}            {:>7.3}", with.arg, without.arg);
+    println!(
+        "best schedule value     {:>7.3}            {:>7.3}",
+        with.best.value, without.best.value
+    );
+
+    assert_eq!(
+        with.in_constraints_rate, 1.0,
+        "purification must yield a fully feasible output"
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: solve a small constrained binary optimization problem
+//! with Rasengan.
+//!
+//! ```bash
+//! cargo run --example quickstart --release
+//! ```
+
+use rasengan::core::{Rasengan, RasenganConfig};
+use rasengan::problems::registry::{benchmark, BenchmarkId};
+use rasengan::problems::optimum;
+use rasengan::qsim::sparse::bits_from_label;
+
+fn main() {
+    // F1: the smallest facility-location benchmark (2 facilities,
+    // 1 demand, 6 binary variables).
+    let problem = benchmark(BenchmarkId::parse("F1").unwrap());
+    println!(
+        "problem: {} ({} variables, {} constraints)",
+        problem.name(),
+        problem.n_vars(),
+        problem.n_constraints()
+    );
+
+    // Default configuration: all three optimizations on, noise-free
+    // exact simulation, COBYLA-style training.
+    let solver = Rasengan::new(RasenganConfig::default().with_seed(42));
+    let outcome = solver.solve(&problem).expect("F1 solves");
+
+    println!("\ncompiled chain:");
+    println!("  homogeneous basis vectors (m): {}", outcome.stats.m_basis);
+    println!(
+        "  transition operators: {} scheduled, {} kept after pruning",
+        outcome.stats.raw_ops, outcome.stats.kept_ops
+    );
+    println!(
+        "  segments: {} (deepest segment: {} CX)",
+        outcome.stats.n_segments, outcome.stats.max_segment_cx_depth
+    );
+
+    println!("\nfinal distribution over feasible states:");
+    for (&label, &p) in &outcome.distribution {
+        let bits = bits_from_label(label, problem.n_vars());
+        println!("  {bits:?}  p = {p:.4}  f = {}", problem.evaluate(&bits));
+    }
+
+    let (_, e_opt) = optimum(&problem);
+    println!("\nbest found: {:?} (value {})", outcome.best.bits, outcome.best.value);
+    println!("exact optimum value: {e_opt}");
+    println!("ARG: {:.4}", outcome.arg);
+    println!("in-constraints rate: {:.1}%", outcome.in_constraints_rate * 100.0);
+    assert!(outcome.best.feasible, "Rasengan output must satisfy the constraints");
+}

@@ -1,0 +1,404 @@
+//! `rasengan` — command-line interface to the solver suite.
+//!
+//! ```text
+//! rasengan solve --benchmark F2                     # Rasengan, noise-free
+//! rasengan solve --benchmark J1 --algorithm chocoq  # a baseline instead
+//! rasengan solve --benchmark K1 --device kyiv --shots 1024
+//! rasengan inspect --benchmark S2                   # compiled-chain report
+//! rasengan export --benchmark F1 --out segments.qasm
+//! rasengan list                                     # the 20 benchmarks
+//! ```
+
+use rasengan::baselines::{BaselineConfig, ChocoQ, GroverAdaptiveSearch, Hea, PQaoa};
+use rasengan::core::{Rasengan, RasenganConfig};
+use rasengan::problems::registry::{all_ids, benchmark, BenchmarkId};
+use rasengan::problems::io::{parse_problem, write_problem};
+use rasengan::problems::{constraint_topology, enumerate_feasible, optimum, Problem};
+use rasengan::qsim::qasm::to_qasm3;
+use rasengan::qsim::{Circuit, Device};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "list" => cmd_list(),
+        "save" => cmd_save(&opts),
+        "solve" => cmd_solve(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "export" => cmd_export(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed command-line options.
+struct Options {
+    benchmark: Option<String>,
+    file: Option<String>,
+    algorithm: String,
+    device: Option<String>,
+    shots: Option<usize>,
+    seed: u64,
+    iterations: usize,
+    layers: usize,
+    out: Option<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            benchmark: None,
+            file: None,
+            algorithm: "rasengan".to_string(),
+            device: None,
+            shots: None,
+            seed: 7,
+            iterations: 150,
+            layers: 5,
+            out: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--benchmark" | "-b" => opts.benchmark = Some(value("--benchmark")?),
+                "--file" | "-f" => opts.file = Some(value("--file")?),
+                "--algorithm" | "-a" => opts.algorithm = value("--algorithm")?.to_lowercase(),
+                "--device" | "-d" => opts.device = Some(value("--device")?.to_lowercase()),
+                "--shots" => {
+                    opts.shots = Some(
+                        value("--shots")?
+                            .parse()
+                            .map_err(|_| "shots must be an integer".to_string())?,
+                    )
+                }
+                "--seed" => {
+                    opts.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "seed must be an integer".to_string())?
+                }
+                "--iterations" | "-i" => {
+                    opts.iterations = value("--iterations")?
+                        .parse()
+                        .map_err(|_| "iterations must be an integer".to_string())?
+                }
+                "--layers" => {
+                    opts.layers = value("--layers")?
+                        .parse()
+                        .map_err(|_| "layers must be an integer".to_string())?
+                }
+                "--out" | "-o" => opts.out = Some(value("--out")?),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn problem(&self) -> Result<Problem, String> {
+        if let Some(path) = &self.file {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            return parse_problem(&text).map_err(|e| format!("{path}: {e}"));
+        }
+        let name = self
+            .benchmark
+            .as_deref()
+            .ok_or("missing --benchmark or --file")?;
+        let id = BenchmarkId::parse(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `rasengan list`)"))?;
+        Ok(benchmark(id))
+    }
+
+    fn device(&self) -> Result<Option<Device>, String> {
+        match self.device.as_deref() {
+            None => Ok(None),
+            Some("kyiv") => Ok(Some(Device::ibm_kyiv())),
+            Some("brisbane") => Ok(Some(Device::ibm_brisbane())),
+            Some("quebec") => Ok(Some(Device::ibm_quebec())),
+            Some(other) => Err(format!(
+                "unknown device `{other}` (kyiv | brisbane | quebec)"
+            )),
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "\
+rasengan — transition-Hamiltonian solver for constrained binary optimization
+
+USAGE:
+  rasengan <command> [flags]
+
+COMMANDS:
+  list      show the 20 registered benchmarks
+  solve     run a solver on a benchmark
+  inspect   show the compiled transition chain without solving
+  export    write the compiled segments as OpenQASM 3
+  save      write a benchmark instance as a problem file
+  help      this message
+
+FLAGS:
+  -b, --benchmark <ID>     benchmark id (F1..G4)
+  -f, --file <PATH>        load a problem file instead of a benchmark
+  -a, --algorithm <NAME>   rasengan | chocoq | pqaoa | hea | gas
+  -d, --device <NAME>      kyiv | brisbane | quebec (noise + timing)
+      --shots <N>          shots per segment/circuit
+      --seed <N>           RNG seed (default 7)
+  -i, --iterations <N>     optimizer budget (default 150)
+      --layers <N>         baseline layer count (default 5)
+  -o, --out <PATH>         output path for `export`"
+    );
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<6} {:>6} {:>7} {:>10} {:>10}", "id", "vars", "cons", "feasible", "degree");
+    for id in all_ids() {
+        let p = benchmark(id);
+        let topo = constraint_topology(&p);
+        println!(
+            "{:<6} {:>6} {:>7} {:>10} {:>10.2}",
+            id.to_string(),
+            p.n_vars(),
+            p.n_constraints(),
+            enumerate_feasible(&p).len(),
+            topo.avg_degree
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_save(opts: &Options) -> ExitCode {
+    let problem = match opts.problem() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = write_problem(&problem);
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} to {path}", problem.name());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_solve(opts: &Options) -> ExitCode {
+    let problem = match opts.problem() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let device = match opts.device() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "solving {} ({} vars) with {}{}",
+        problem.name(),
+        problem.n_vars(),
+        opts.algorithm,
+        device
+            .as_ref()
+            .map(|d| format!(" on {}", d.name))
+            .unwrap_or_default()
+    );
+
+    let (best_bits, best_value, feasible, arg, rate) = match opts.algorithm.as_str() {
+        "rasengan" => {
+            let mut cfg = RasenganConfig::default()
+                .with_seed(opts.seed)
+                .with_max_iterations(opts.iterations);
+            if let Some(d) = device {
+                cfg = cfg.on_device(d);
+            }
+            if let Some(s) = opts.shots {
+                cfg = cfg.with_shots(s);
+            }
+            match Rasengan::new(cfg).solve(&problem) {
+                Ok(o) => (o.best.bits, o.best.value, o.best.feasible, o.arg, o.in_constraints_rate),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        alg @ ("chocoq" | "pqaoa" | "hea" | "gas") => {
+            let mut cfg = BaselineConfig::default()
+                .with_seed(opts.seed)
+                .with_layers(opts.layers)
+                .with_max_iterations(opts.iterations);
+            if let Some(d) = device {
+                cfg = cfg.on_device(d);
+            }
+            if let Some(s) = opts.shots {
+                cfg = cfg.with_shots(s);
+            }
+            let out = match alg {
+                "chocoq" => match ChocoQ::new(cfg).solve(&problem) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                "pqaoa" => PQaoa::new(cfg).with_frozen_qubits(1).solve(&problem),
+                "hea" => Hea::new(cfg).solve(&problem),
+                _ => GroverAdaptiveSearch::new(cfg).solve(&problem),
+            };
+            (out.best.bits, out.best.value, out.best.feasible, out.arg, out.in_constraints_rate)
+        }
+        other => {
+            eprintln!("error: unknown algorithm `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (_, e_opt) = optimum(&problem);
+    println!("best solution : {best_bits:?}");
+    println!("objective     : {best_value} (optimum {e_opt})");
+    println!("feasible      : {feasible}");
+    println!("ARG           : {arg:.4}");
+    println!("in-constraints: {:.1}%", rate * 100.0);
+    ExitCode::SUCCESS
+}
+
+fn cmd_inspect(opts: &Options) -> ExitCode {
+    let problem = match opts.problem() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prepared = match Rasengan::new(RasenganConfig::default().with_seed(opts.seed))
+        .prepare(&problem)
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("benchmark      : {}", problem.name());
+    println!("variables      : {}", problem.n_vars());
+    println!("constraints    : {}", problem.n_constraints());
+    println!("basis size (m) : {}", prepared.stats.m_basis);
+    println!(
+        "simplification : {} → {} nonzeros",
+        prepared.stats.simplify_cost.0, prepared.stats.simplify_cost.1
+    );
+    println!(
+        "chain          : {} scheduled → {} kept ({} pruned{})",
+        prepared.stats.raw_ops,
+        prepared.stats.kept_ops,
+        prepared.chain.pruned,
+        if prepared.chain.early_stopped {
+            ", early stop"
+        } else {
+            ""
+        }
+    );
+    println!("segments       : {}", prepared.stats.n_segments);
+    println!(
+        "segment depth  : {} CX (whole chain {} CX)",
+        prepared.stats.max_segment_cx_depth, prepared.stats.total_cx_depth
+    );
+    println!("parameters     : {}", prepared.stats.n_params);
+    for (i, op) in prepared.chain.ops.iter().enumerate() {
+        println!("  τ_{i:<2} u = {:?}  ({} CX)", op.u(), op.cx_cost());
+    }
+    // Draw the first transition operator's synthesized circuit if it
+    // fits a terminal comfortably.
+    if let Some(op) = prepared.chain.ops.first() {
+        if problem.n_vars() <= 12 {
+            println!("\nτ_0 synthesized circuit:");
+            print!(
+                "{}",
+                rasengan::qsim::draw::draw_circuit(&op.circuit(
+                    std::f64::consts::FRAC_PI_4,
+                    problem.n_vars()
+                ))
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(opts: &Options) -> ExitCode {
+    let problem = match opts.problem() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prepared = match Rasengan::new(RasenganConfig::default().with_seed(opts.seed))
+        .prepare(&problem)
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut programs = Vec::new();
+    for range in &prepared.plan.segments {
+        let mut circuit = Circuit::new(problem.n_vars());
+        for op in &prepared.chain.ops[range.clone()] {
+            circuit.extend(&op.circuit(std::f64::consts::FRAC_PI_4, problem.n_vars()));
+        }
+        // Peephole-clean the concatenated segment (adjacent τ shells on
+        // a shared pivot partially cancel) before serializing.
+        let circuit = rasengan::qsim::peephole::optimize(&circuit);
+        programs.push(to_qasm3(&circuit));
+    }
+    let text = programs.join("\n// ---- next segment ----\n");
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} segments to {path}", programs.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! Cross-backend validation: the sparse analytic transition application
+//! and the dense simulation of the synthesized gate circuits must agree
+//! amplitude-for-amplitude on full Rasengan chains.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan::core::{problem_basis, Rasengan, RasenganConfig};
+use rasengan::problems::registry::{benchmark, BenchmarkId};
+use rasengan::qsim::sparse::label_from_bits;
+use rasengan::qsim::synth::tau_circuit;
+use rasengan::qsim::{Circuit, DenseState, SparseState, Transition};
+
+/// Runs the same transition sequence on both backends and compares all
+/// amplitudes.
+fn assert_backends_agree(n: usize, seed_bits: &[i64], chain: &[(Vec<i64>, f64)]) {
+    let mut sparse = SparseState::from_bits(seed_bits);
+    let mut circuit = Circuit::new(n);
+    for (u, t) in chain {
+        sparse.apply_transition(&Transition::from_u(u), *t);
+        circuit.extend(&tau_circuit(u, *t, n));
+    }
+    let mut dense = DenseState::basis_state(n, label_from_bits(seed_bits) as u64);
+    dense.run(&circuit);
+
+    for label in 0..(1u64 << n) {
+        let d = dense.amplitude(label);
+        let s = sparse.amplitude(label as u128);
+        assert!(
+            d.approx_eq(s, 1e-8),
+            "amplitude mismatch at |{label:0n$b}⟩: dense {d:?} vs sparse {s:?}"
+        );
+    }
+}
+
+#[test]
+fn paper_example_chain_agrees_across_backends() {
+    assert_backends_agree(
+        5,
+        &[0, 0, 0, 1, 0],
+        &[
+            (vec![-1, 0, -1, 1, 0], 0.7),
+            (vec![1, 0, 1, 0, 1], 0.4),
+            (vec![-1, 1, 0, 0, 0], 1.1),
+            (vec![-1, 0, -1, 1, 0], 0.2),
+        ],
+    );
+}
+
+#[test]
+fn random_chains_agree_across_backends() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for trial in 0..10 {
+        let n = rng.gen_range(3..=7);
+        // Random seed state.
+        let seed_bits: Vec<i64> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        // Random chain of ternary vectors.
+        let chain: Vec<(Vec<i64>, f64)> = (0..rng.gen_range(2..6))
+            .map(|_| {
+                let mut u = vec![0i64; n];
+                while u.iter().all(|&v| v == 0) {
+                    for slot in u.iter_mut() {
+                        *slot = rng.gen_range(-1..=1);
+                    }
+                }
+                (u, rng.gen_range(-2.0..2.0))
+            })
+            .collect();
+        assert_backends_agree(n, &seed_bits, &chain);
+        let _ = trial;
+    }
+}
+
+#[test]
+fn compiled_benchmark_chain_agrees_across_backends() {
+    // Take a real benchmark's pruned chain with trained-ish angles and
+    // compare backends.
+    let p = benchmark(BenchmarkId::parse("J1").unwrap());
+    let prepared = Rasengan::new(RasenganConfig::default())
+        .prepare(&p)
+        .unwrap();
+    let chain: Vec<(Vec<i64>, f64)> = prepared
+        .chain
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| (op.u().to_vec(), 0.3 + 0.1 * i as f64))
+        .collect();
+    let seed_bits = p.initial_feasible().unwrap();
+    assert_backends_agree(p.n_vars(), seed_bits, &chain);
+}
+
+#[test]
+fn chocoq_mixer_commutes_with_constraints() {
+    // Applying the Trotterized mixer to any feasible state keeps all
+    // probability mass inside the feasible set (the commuting property
+    // Choco-Q relies on).
+    let p = benchmark(BenchmarkId::parse("S1").unwrap());
+    let basis = problem_basis(&p).unwrap();
+    let feasible = rasengan::problems::enumerate_feasible(&p);
+    let mut state = SparseState::from_bits(p.initial_feasible().unwrap());
+    for (i, u) in basis.iter().enumerate() {
+        state.apply_transition(&Transition::from_u(u), 0.5 + 0.2 * i as f64);
+    }
+    for &label in state.distribution().keys() {
+        let bits = rasengan::qsim::sparse::bits_from_label(label, p.n_vars());
+        assert!(
+            feasible.contains(&bits),
+            "mixer leaked outside the feasible set: {bits:?}"
+        );
+    }
+}

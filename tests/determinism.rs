@@ -1,0 +1,108 @@
+//! Determinism and golden-structure tests.
+//!
+//! Everything in this workspace must be bit-reproducible for a fixed
+//! seed — across calls *and* across processes (no HashMap iteration
+//! order, no time, no thread scheduling in results). The golden tests
+//! additionally pin the compiled structure of a known benchmark so that
+//! accidental changes to the basis/pruning pipeline surface as test
+//! diffs rather than silent result drift.
+
+use rasengan::baselines::{BaselineConfig, ChocoQ, GroverAdaptiveSearch, Hea, PQaoa};
+use rasengan::core::{Rasengan, RasenganConfig};
+use rasengan::problems::registry::{benchmark, BenchmarkId};
+use rasengan::qsim::NoiseModel;
+
+fn f1() -> rasengan::problems::Problem {
+    benchmark(BenchmarkId::parse("F1").unwrap())
+}
+
+#[test]
+fn rasengan_bitwise_reproducible_noisy() {
+    let cfg = RasenganConfig::default()
+        .with_seed(42)
+        .with_noise(NoiseModel::depolarizing(2e-3))
+        .with_shots(256)
+        .with_max_iterations(15);
+    let a = Rasengan::new(cfg.clone()).solve(&f1()).unwrap();
+    let b = Rasengan::new(cfg).solve(&f1()).unwrap();
+    assert_eq!(a.distribution, b.distribution);
+    assert_eq!(a.expectation, b.expectation);
+    assert_eq!(a.trained_times, b.trained_times);
+    assert_eq!(a.total_shots, b.total_shots);
+}
+
+#[test]
+fn baselines_bitwise_reproducible() {
+    let cfg = BaselineConfig::default()
+        .with_seed(9)
+        .with_shots(128)
+        .with_layers(2)
+        .with_max_iterations(10);
+
+    let h1 = Hea::new(cfg.clone()).solve(&f1());
+    let h2 = Hea::new(cfg.clone()).solve(&f1());
+    assert_eq!(h1.distribution, h2.distribution);
+
+    let p1 = PQaoa::new(cfg.clone()).solve(&f1());
+    let p2 = PQaoa::new(cfg.clone()).solve(&f1());
+    assert_eq!(p1.distribution, p2.distribution);
+
+    let c1 = ChocoQ::new(cfg.clone()).solve(&f1()).unwrap();
+    let c2 = ChocoQ::new(cfg.clone()).solve(&f1()).unwrap();
+    assert_eq!(c1.distribution, c2.distribution);
+
+    let g1 = GroverAdaptiveSearch::new(cfg.clone()).solve(&f1());
+    let g2 = GroverAdaptiveSearch::new(cfg).solve(&f1());
+    assert_eq!(g1.best.bits, g2.best.bits);
+}
+
+#[test]
+fn golden_f1_compiled_structure() {
+    // Pin F1's compiled pipeline: any change to nullspace ordering,
+    // simplification, or pruning shows up here first.
+    let prepared = Rasengan::new(RasenganConfig::default())
+        .prepare(&f1())
+        .unwrap();
+    assert_eq!(prepared.stats.m_basis, 3, "m = n − rank = 6 − 3");
+    assert_eq!(prepared.stats.raw_ops, 9, "3 rounds × 3 vectors");
+    assert_eq!(prepared.stats.kept_ops, 3);
+    assert_eq!(prepared.stats.n_segments, 3);
+    assert_eq!(prepared.stats.max_segment_cx_depth, 136);
+    assert_eq!(prepared.stats.total_cx_depth, 272);
+    // The seed label is the constructive "open facility 0" solution:
+    // y₀ = 1 and x₀₀ = 1 → bits 0 and 2 set.
+    assert_eq!(prepared.seed_label, 0b101);
+}
+
+#[test]
+fn golden_f1_solution() {
+    let outcome = Rasengan::new(
+        RasenganConfig::default().with_seed(42).with_max_iterations(100),
+    )
+    .solve(&f1())
+    .unwrap();
+    // The canonical F1 instance's optimum is stable across releases.
+    assert_eq!(outcome.best.bits, vec![1, 0, 1, 0, 0, 0]);
+    assert_eq!(outcome.best.value, 8.0);
+    assert!(outcome.arg < 0.01, "arg {}", outcome.arg);
+}
+
+#[test]
+fn registry_shapes_are_pinned() {
+    // Variable counts of all 20 benchmarks, in registry order. These are
+    // public API for anyone comparing against the reproduction.
+    let expect = [
+        6, 10, 15, 20, // F
+        8, 12, 16, 18, // K
+        6, 10, 12, 14, // J
+        5, 7, 10, 10, // S
+        6, 8, 14, 22, // G
+    ];
+    for (id, &vars) in rasengan::problems::all_ids().iter().zip(&expect) {
+        assert_eq!(
+            benchmark(*id).n_vars(),
+            vars,
+            "{id} drifted from its pinned size"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration tests across the whole workspace: problems →
+//! compilation → simulation → training → metrics.
+
+use rasengan::baselines::{BaselineConfig, ChocoQ};
+use rasengan::core::{Rasengan, RasenganConfig};
+use rasengan::problems::registry::{all_ids, benchmark, BenchmarkId};
+use rasengan::problems::{enumerate_feasible, optimum};
+use rasengan::qsim::sparse::bits_from_label;
+use rasengan::qsim::NoiseModel;
+
+#[test]
+fn every_benchmark_compiles_into_a_shallow_chain() {
+    for id in all_ids() {
+        let p = benchmark(id);
+        let prepared = Rasengan::new(RasenganConfig::default())
+            .prepare(&p)
+            .unwrap_or_else(|e| panic!("{id} failed to prepare: {e}"));
+        assert!(prepared.stats.kept_ops > 0, "{id}: empty chain");
+        assert!(
+            prepared.stats.max_segment_cx_depth <= 400,
+            "{id}: segment depth {} not NISQ-shallow",
+            prepared.stats.max_segment_cx_depth
+        );
+        // Compiled chain must span the whole feasible space.
+        let feasible = enumerate_feasible(&p).len();
+        assert_eq!(
+            prepared.chain.reached_states, feasible,
+            "{id}: chain reaches {} of {} feasible states",
+            prepared.chain.reached_states, feasible
+        );
+    }
+}
+
+#[test]
+fn rasengan_beats_or_matches_optimum_probability_on_small_benchmarks() {
+    for name in ["F1", "J1", "G1", "S1"] {
+        let p = benchmark(BenchmarkId::parse(name).unwrap());
+        let outcome = Rasengan::new(
+            RasenganConfig::default().with_seed(13).with_max_iterations(150),
+        )
+        .solve(&p)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (x_opt, v_opt) = optimum(&p);
+        assert!(outcome.best.feasible, "{name}: infeasible best");
+        assert!(
+            (outcome.best.value - v_opt).abs() < 1e-9,
+            "{name}: best {} ≠ optimum {v_opt} ({x_opt:?})",
+            outcome.best.value
+        );
+        assert!(outcome.arg < 0.6, "{name}: ARG {}", outcome.arg);
+    }
+}
+
+#[test]
+fn output_distributions_are_normalized_and_feasible() {
+    for name in ["F2", "K1", "J2"] {
+        let p = benchmark(BenchmarkId::parse(name).unwrap());
+        let outcome = Rasengan::new(
+            RasenganConfig::default().with_seed(3).with_max_iterations(40),
+        )
+        .solve(&p)
+        .unwrap();
+        let total: f64 = outcome.distribution.values().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{name}: mass {total}");
+        let feasible = enumerate_feasible(&p);
+        for &label in outcome.distribution.keys() {
+            let bits = bits_from_label(label, p.n_vars());
+            assert!(feasible.contains(&bits), "{name}: infeasible output {bits:?}");
+        }
+    }
+}
+
+#[test]
+fn rasengan_not_worse_than_chocoq_on_shared_seeds() {
+    // The paper's headline: Rasengan improves ARG over the best prior
+    // work. Check on three benchmarks with matched budgets.
+    for name in ["F1", "J1", "S1"] {
+        let p = benchmark(BenchmarkId::parse(name).unwrap());
+        let ras = Rasengan::new(
+            RasenganConfig::default().with_seed(1).with_max_iterations(80),
+        )
+        .solve(&p)
+        .unwrap();
+        let choco = ChocoQ::new(
+            BaselineConfig::default().with_seed(1).with_max_iterations(80),
+        )
+        .solve(&p)
+        .unwrap();
+        assert!(
+            ras.arg <= choco.arg + 0.05,
+            "{name}: Rasengan ARG {} vs Choco-Q {}",
+            ras.arg,
+            choco.arg
+        );
+    }
+}
+
+#[test]
+fn noisy_pipeline_survives_and_purifies() {
+    let p = benchmark(BenchmarkId::parse("F1").unwrap());
+    let outcome = Rasengan::new(
+        RasenganConfig::default()
+            .with_seed(21)
+            .with_noise(NoiseModel::depolarizing(1e-3).with_amplitude_damping(1e-4))
+            .with_shots(512)
+            .with_max_iterations(30),
+    )
+    .solve(&p)
+    .expect("mild noise must not kill the run");
+    assert_eq!(outcome.in_constraints_rate, 1.0);
+    assert!(outcome.best.feasible);
+    assert!(outcome.total_shots > 0);
+}
+
+#[test]
+fn heavy_noise_failure_mode_is_reported() {
+    // Extreme damping should eventually produce the NoFeasibleOutput
+    // failure the paper describes (Fig. 14b), not a wrong answer.
+    let p = benchmark(BenchmarkId::parse("K2").unwrap());
+    let mut failures = 0;
+    for seed in 0..5 {
+        let result = Rasengan::new(
+            RasenganConfig::default()
+                .with_seed(seed)
+                .with_noise(
+                    NoiseModel::depolarizing(0.2).with_amplitude_damping(0.3),
+                )
+                .with_shots(32)
+                .with_max_iterations(3),
+        )
+        .solve(&p);
+        match result {
+            Err(rasengan::core::RasenganError::NoFeasibleOutput { .. }) => failures += 1,
+            Ok(out) => assert!(out.best.feasible, "if it returns, it must be feasible"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(failures > 0, "extreme noise never triggered the failure mode");
+}
+
+#[test]
+fn non_totally_unimodular_system_still_solves() {
+    // C = [1, -2, 1] is not TU (a coefficient of magnitude 2), the case
+    // where Theorem 1's bound rises from m² to m³. The ternary-basis
+    // repair still finds {-1,0,1} generators and the solver covers the
+    // feasible set {000, 111}.
+    use rasengan::math::IntMatrix;
+    use rasengan::problems::{Objective, Problem, Sense};
+    let c = IntMatrix::from_rows(&[vec![1, -2, 1]]);
+    assert!(!rasengan::math::is_totally_unimodular(&c));
+    let p = Problem::new(
+        "non-tu",
+        c,
+        vec![0],
+        // Constant offset keeps E_opt nonzero for the internal ARG.
+        Objective {
+            constant: 1.0,
+            linear: vec![5.0, 1.0, 2.0],
+            quadratic: vec![],
+        },
+        Sense::Minimize,
+    )
+    .unwrap()
+    .with_initial_feasible(vec![1, 1, 1])
+    .unwrap();
+
+    assert_eq!(enumerate_feasible(&p).len(), 2);
+    // Schedule extra rounds (the general-case bound) explicitly.
+    let mut cfg = RasenganConfig::default().with_seed(5).with_max_iterations(80);
+    cfg.max_rounds = Some(4);
+    let outcome = Rasengan::new(cfg).solve(&p).unwrap();
+    // Optimum is the all-zero solution (value 1 vs 9 for all-ones).
+    assert_eq!(outcome.best.bits, vec![0, 0, 0]);
+    assert!(outcome.arg < 1.0, "arg {}", outcome.arg);
+}
+
+#[test]
+fn latency_accounting_is_positive_and_consistent() {
+    let p = benchmark(BenchmarkId::parse("J1").unwrap());
+    let outcome = Rasengan::new(
+        RasenganConfig::default().with_seed(2).with_shots(256).with_max_iterations(20),
+    )
+    .solve(&p)
+    .unwrap();
+    assert!(outcome.latency.quantum_s > 0.0);
+    assert!(outcome.latency.classical_s > 0.0);
+    assert!(outcome.latency.total_s() >= outcome.latency.quantum_s);
+}

@@ -1,0 +1,126 @@
+//! Integration tests pinning the paper's worked examples end-to-end.
+//!
+//! The running example (Fig. 1a / §3): five variables, two constraints
+//!
+//! ```text
+//! C = [1 1 -1 0 0; 0 0 1 1 -1],  b = [0, 1],  x_p = [0,0,0,1,0]
+//! ```
+//!
+//! with homogeneous basis u₁ = [-1,1,0,0,0], u₂ = [-1,0,-1,1,0],
+//! u₃ = [1,0,1,0,1] (Eq. 4) and exactly five feasible solutions.
+
+use rasengan::core::{
+    build_chain, problem_basis, simplify_basis, ChainConfig, Rasengan, RasenganConfig,
+    TransitionHamiltonian,
+};
+use rasengan::math::IntMatrix;
+use rasengan::problems::{enumerate_feasible, Objective, Problem, Sense};
+use rasengan::qsim::sparse::label_from_bits;
+use rasengan::qsim::{SparseState, Transition};
+
+fn paper_problem() -> Problem {
+    Problem::new(
+        "fig1a",
+        IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]),
+        vec![0, 1],
+        // Arbitrary nontrivial objective; the optimum is x_p itself.
+        Objective::linear(vec![2.0, 3.0, 4.0, 1.0, 5.0]),
+        Sense::Minimize,
+    )
+    .unwrap()
+    .with_initial_feasible(vec![0, 0, 0, 1, 0])
+    .unwrap()
+}
+
+#[test]
+fn figure1a_has_exactly_five_feasible_solutions() {
+    let feas = enumerate_feasible(&paper_problem());
+    assert_eq!(feas.len(), 5);
+    // The solutions listed in §3.
+    for expect in [
+        vec![0, 0, 0, 1, 0], // x_p
+        vec![1, 0, 1, 0, 0], // x_p − u₂
+        vec![0, 1, 1, 0, 0], // x_p − u₂ + u₁
+        vec![1, 0, 1, 1, 1], // x_p + u₃
+        vec![0, 1, 1, 1, 1],
+    ] {
+        assert!(feas.contains(&expect), "missing {expect:?}");
+    }
+}
+
+#[test]
+fn equation4_basis_dimensions() {
+    let basis = problem_basis(&paper_problem()).unwrap();
+    assert_eq!(basis.len(), 3, "n − rank = 5 − 2 = 3 basis vectors");
+    let c = paper_problem().constraints().clone();
+    for u in &basis {
+        assert!(u.iter().all(|&v| v.abs() <= 1));
+        assert!(c.mul_vec(u).iter().all(|&v| v == 0));
+    }
+}
+
+#[test]
+fn equation5_transition_swaps_the_paper_pair() {
+    // u₂ connects x_p = [0,0,0,1,0] and x₂ = [1,0,1,0,0] (Eq. 5).
+    let h = TransitionHamiltonian::new(vec![-1, 0, -1, 1, 0]);
+    let xp = label_from_bits(&[0, 0, 0, 1, 0]);
+    let x2 = label_from_bits(&[1, 0, 1, 0, 0]);
+    assert_eq!(h.partner(xp), Some(x2));
+    assert_eq!(h.partner(x2), Some(xp));
+}
+
+#[test]
+fn equation6_amplitudes_cos_sin() {
+    let tr = Transition::from_u(&[-1, 0, -1, 1, 0]);
+    let mut s = SparseState::from_bits(&[0, 0, 0, 1, 0]);
+    let t = 0.87f64;
+    s.apply_transition(&tr, t);
+    let xp = label_from_bits(&[0, 0, 0, 1, 0]);
+    let x2 = label_from_bits(&[1, 0, 1, 0, 0]);
+    assert!((s.probability(xp) - t.cos().powi(2)).abs() < 1e-12);
+    assert!((s.probability(x2) - t.sin().powi(2)).abs() < 1e-12);
+}
+
+#[test]
+fn figure5_simplification_produces_the_sparser_u2() {
+    let basis = vec![
+        vec![-1, 1, 0, 0, 0],
+        vec![-1, 0, -1, 1, 0],
+        vec![1, 0, 1, 0, 1],
+    ];
+    let result = simplify_basis(&basis);
+    assert!(
+        result.basis.contains(&vec![0, 0, 0, 1, 1]),
+        "u₂ + u₃ = [0,0,0,1,1] expected in {:?}",
+        result.basis
+    );
+}
+
+#[test]
+fn figure6_chain_prunes_the_dry_first_operator() {
+    let basis = problem_basis(&paper_problem()).unwrap();
+    let seed = label_from_bits(&[0, 0, 0, 1, 0]);
+    let chain = build_chain(&basis, seed, &ChainConfig::default());
+    assert!(chain.pruned >= 1, "at least τ₁ is redundant (Fig. 6a)");
+    assert_eq!(chain.reached_states, 5, "chain still covers everything");
+}
+
+#[test]
+fn full_solve_lands_on_the_optimum_basis_state() {
+    let p = paper_problem();
+    let outcome = Rasengan::new(RasenganConfig::default().with_seed(9).with_max_iterations(200))
+        .solve(&p)
+        .unwrap();
+    // Optimum is x_p (value 1.0): cheaper than all four alternatives.
+    assert_eq!(outcome.best.bits, vec![0, 0, 0, 1, 0]);
+    assert_eq!(outcome.best.value, 1.0);
+    assert!(outcome.arg < 0.05, "ARG {}", outcome.arg);
+    // §3: "the quantum state can be a basis state" — most of the mass
+    // should sit on the optimum after training.
+    let p_opt = outcome
+        .distribution
+        .get(&label_from_bits(&[0, 0, 0, 1, 0]))
+        .copied()
+        .unwrap_or(0.0);
+    assert!(p_opt > 0.5, "optimum probability only {p_opt}");
+}

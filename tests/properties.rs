@@ -1,0 +1,236 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use rasengan::core::{apportion_shots, build_chain, simplify_basis, ChainConfig};
+use rasengan::math::{nullspace, rank, IntMatrix};
+use rasengan::qsim::peephole::optimize;
+use rasengan::qsim::verify::equivalent_up_to_phase;
+use rasengan::qsim::{Circuit, Gate, SparseState, Transition};
+
+prop_compose! {
+    /// A small random integer matrix with entries in `-2..=2`.
+    fn matrix_strategy()(rows in 1usize..4, cols in 2usize..7)
+        (entries in prop::collection::vec(-2i64..=2, rows * cols),
+         rows in Just(rows), cols in Just(cols))
+        -> IntMatrix
+    {
+        IntMatrix::from_flat(rows, cols, entries)
+    }
+}
+
+prop_compose! {
+    /// A nonzero ternary vector plus a basis-state label on n qubits.
+    fn ternary_and_state()(n in 2usize..9)
+        (u in prop::collection::vec(-1i64..=1, n),
+         bits in prop::collection::vec(0i64..=1, n))
+        -> (Vec<i64>, Vec<i64>)
+    {
+        let mut u = u;
+        if u.iter().all(|&v| v == 0) {
+            u[0] = 1;
+        }
+        (u, bits)
+    }
+}
+
+proptest! {
+    /// Every nullspace vector exactly annihilates the matrix.
+    #[test]
+    fn nullspace_vectors_annihilate(m in matrix_strategy()) {
+        for u in nullspace(&m) {
+            let out = m.mul_vec(&u);
+            prop_assert!(out.iter().all(|&v| v == 0), "C u = {out:?} ≠ 0");
+        }
+    }
+
+    /// Rank–nullity: rank + #nullspace vectors = #columns.
+    #[test]
+    fn rank_nullity_theorem(m in matrix_strategy()) {
+        prop_assert_eq!(rank(&m) + nullspace(&m).len(), m.cols());
+    }
+
+    /// The HNF integer nullspace agrees with the rational route: same
+    /// dimension, and every lattice vector annihilates the matrix.
+    #[test]
+    fn hnf_nullspace_matches_rational(m in matrix_strategy()) {
+        let lattice = rasengan::math::integer_nullspace(&m);
+        prop_assert_eq!(lattice.len(), nullspace(&m).len());
+        for u in &lattice {
+            let out = m.mul_vec(u);
+            prop_assert!(out.iter().all(|&v| v == 0), "lattice vector leaks: {out:?}");
+        }
+    }
+
+    /// `U·A = H` holds exactly for the tracked unimodular transform.
+    #[test]
+    fn hnf_transform_identity(m in matrix_strategy()) {
+        let hnf = rasengan::math::hermite_normal_form(&m);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let mut acc = 0i64;
+                for k in 0..m.rows() {
+                    acc += hnf.u[(i, k)] * m[(k, j)];
+                }
+                prop_assert_eq!(acc, hnf.h[(i, j)]);
+            }
+        }
+    }
+
+    /// Transition application is unitary (norm preserved) and exactly
+    /// inverted by negative time.
+    #[test]
+    fn transition_unitary_and_invertible((u, bits) in ternary_and_state(), t in -2.0f64..2.0) {
+        let tr = Transition::from_u(&u);
+        let mut s = SparseState::from_bits(&bits);
+        s.apply_transition(&tr, t);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+        s.apply_transition(&tr, -t);
+        let original = rasengan::qsim::sparse::label_from_bits(&bits);
+        prop_assert!((s.probability(original) - 1.0).abs() < 1e-9);
+    }
+
+    /// The partner relation is an involution: partner(partner(x)) = x.
+    #[test]
+    fn partner_is_involution((u, bits) in ternary_and_state()) {
+        let tr = Transition::from_u(&u);
+        let x = rasengan::qsim::sparse::label_from_bits(&bits);
+        if let Some(p) = tr.partner(x) {
+            prop_assert_eq!(tr.partner(p), Some(x));
+            prop_assert_ne!(p, x);
+        }
+    }
+
+    /// Shot apportionment always conserves the total budget and never
+    /// hands shots to zero-probability states unless forced.
+    #[test]
+    fn apportionment_conserves_total(
+        probs in prop::collection::vec(0.0f64..1.0, 1..12),
+        total in 0usize..4096,
+    ) {
+        // Guard the all-zero case the API rejects.
+        let mut probs = probs;
+        if probs.iter().sum::<f64>() == 0.0 {
+            probs[0] = 0.5;
+        }
+        let shares = apportion_shots(&probs, total);
+        prop_assert_eq!(shares.iter().sum::<usize>(), total);
+        prop_assert_eq!(shares.len(), probs.len());
+    }
+
+    /// Simplification never increases the basis cost and preserves the
+    /// number of vectors and their membership in the nullspace lattice.
+    #[test]
+    fn simplification_soundness(m in matrix_strategy()) {
+        let basis: Vec<Vec<i64>> = nullspace(&m)
+            .into_iter()
+            .filter(|u| u.iter().all(|&v| v.abs() <= 1))
+            .collect();
+        prop_assume!(!basis.is_empty());
+        let result = simplify_basis(&basis);
+        prop_assert_eq!(result.basis.len(), basis.len());
+        prop_assert!(result.cost_after <= result.cost_before);
+        for u in &result.basis {
+            let out = m.mul_vec(u);
+            prop_assert!(out.iter().all(|&v| v == 0), "simplified vector left nullspace");
+        }
+    }
+
+    /// Theorem 1 coverage on random assignment-style (TU) systems: the
+    /// default chain (m rounds of m transition Hamiltonians) reaches the
+    /// whole feasible set from any feasible seed.
+    #[test]
+    fn theorem1_coverage_on_random_assignment_systems(
+        groups in prop::collection::vec(2usize..4, 1..4),
+    ) {
+        use rasengan::problems::{Objective, Problem, Sense};
+        // One one-hot constraint per group of variables.
+        let n: usize = groups.iter().sum();
+        let mut rows = Vec::new();
+        let mut offset = 0;
+        let mut seed_bits = vec![0i64; n];
+        for &g in &groups {
+            let mut row = vec![0i64; n];
+            for j in 0..g {
+                row[offset + j] = 1;
+            }
+            seed_bits[offset] = 1;
+            rows.push(row);
+            offset += g;
+        }
+        let p = Problem::new(
+            "prop-assign",
+            IntMatrix::from_rows(&rows),
+            vec![1; groups.len()],
+            Objective::linear(vec![1.0; n]),
+            Sense::Minimize,
+        )
+        .unwrap()
+        .with_initial_feasible(seed_bits.clone())
+        .unwrap();
+
+        let feasible: usize = groups.iter().product();
+        let basis = rasengan::core::problem_basis(&p).unwrap();
+        let chain = build_chain(
+            &basis,
+            rasengan::qsim::sparse::label_from_bits(&seed_bits),
+            &ChainConfig::default(),
+        );
+        prop_assert_eq!(chain.reached_states, feasible,
+            "chain covered {} of {} feasible states", chain.reached_states, feasible);
+    }
+
+    /// The peephole optimizer never changes the circuit's unitary and
+    /// never grows the gate count.
+    #[test]
+    fn peephole_preserves_semantics(ops in prop::collection::vec((0usize..8, 0usize..3, 0usize..3, -1.5f64..1.5), 1..25)) {
+        let n = 3;
+        let mut c = Circuit::new(n);
+        for (kind, a, b, t) in ops {
+            let b2 = if a == b { (b + 1) % n } else { b };
+            let g = match kind {
+                0 => Gate::X(a),
+                1 => Gate::H(a),
+                2 => Gate::Rz(a, t),
+                3 => Gate::Ry(a, t),
+                4 => Gate::Cx(a, b2),
+                5 => Gate::Rzz(a, b2, t),
+                6 => Gate::Phase(a, t),
+                _ => Gate::Cp(a, b2, t),
+            };
+            c.push(g);
+        }
+        let opt = optimize(&c);
+        prop_assert!(opt.len() <= c.len());
+        prop_assert!(
+            equivalent_up_to_phase(&c, &opt, 1e-8),
+            "peephole changed semantics ({} -> {} gates)",
+            c.len(),
+            opt.len()
+        );
+    }
+
+    /// Chain construction reaches at least as many states as any single
+    /// operator could, and pruning never reduces coverage.
+    #[test]
+    fn pruning_preserves_coverage(seed_bits in prop::collection::vec(0i64..=1, 3..7)) {
+        let n = seed_bits.len();
+        // One-hot-ish basis: adjacent swaps, always ternary.
+        let basis: Vec<Vec<i64>> = (0..n - 1)
+            .map(|i| {
+                let mut u = vec![0i64; n];
+                u[i] = 1;
+                u[i + 1] = -1;
+                u
+            })
+            .collect();
+        let seed = rasengan::qsim::sparse::label_from_bits(&seed_bits);
+        let pruned = build_chain(&basis, seed, &ChainConfig::default());
+        let unpruned = build_chain(
+            &basis,
+            seed,
+            &ChainConfig { prune: false, early_stop: false, ..ChainConfig::default() },
+        );
+        prop_assert_eq!(pruned.reached_states, unpruned.reached_states);
+        prop_assert!(pruned.ops.len() <= unpruned.ops.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the deployability extensions: OpenQASM export
+//! of compiled Rasengan segments, and M3-style readout mitigation
+//! composed with purification.
+
+use rasengan::core::{Rasengan, RasenganConfig};
+use rasengan::problems::registry::{benchmark, BenchmarkId};
+use rasengan::qsim::mitigation::{mitigate_readout, ReadoutModel};
+use rasengan::qsim::qasm::{qasm_stats, to_qasm3};
+use rasengan::qsim::{Circuit, NoiseModel};
+use std::collections::BTreeMap;
+
+#[test]
+fn compiled_segments_export_to_qasm() {
+    let p = benchmark(BenchmarkId::parse("F1").unwrap());
+    let prepared = Rasengan::new(RasenganConfig::default())
+        .prepare(&p)
+        .unwrap();
+    // Export each segment as its own deployable program.
+    for range in &prepared.plan.segments {
+        let mut circuit = Circuit::new(p.n_vars());
+        for (i, op) in prepared.chain.ops[range.clone()].iter().enumerate() {
+            circuit.extend(&op.circuit(0.3 + 0.1 * i as f64, p.n_vars()));
+        }
+        let text = to_qasm3(&circuit);
+        let stats = qasm_stats(&text);
+        assert_eq!(stats.qubits, p.n_vars());
+        assert!(stats.gates > 0, "segment exported empty");
+        assert!(text.contains("c = measure q;"));
+    }
+}
+
+#[test]
+fn qasm_export_of_every_benchmark_head_segment() {
+    for name in ["F1", "K1", "J1", "S1", "G1"] {
+        let p = benchmark(BenchmarkId::parse(name).unwrap());
+        let prepared = Rasengan::new(RasenganConfig::default())
+            .prepare(&p)
+            .unwrap();
+        let op = &prepared.chain.ops[0];
+        let text = to_qasm3(&op.circuit(0.5, p.n_vars()));
+        assert!(
+            qasm_stats(&text).gates > 0,
+            "{name}: first τ exported without gates"
+        );
+    }
+}
+
+#[test]
+fn mitigation_then_purification_recovers_from_readout_noise() {
+    // A distribution corrupted by pure readout error: mitigation should
+    // move most of the spilled mass back before purification prunes the
+    // remainder.
+    let p = benchmark(BenchmarkId::parse("J1").unwrap());
+    let feasible = rasengan::problems::enumerate_feasible(&p);
+    let truth = rasengan::qsim::sparse::label_from_bits(&feasible[0]);
+
+    // Analytic single-flip corruption at rate 0.06.
+    let rate = 0.06;
+    let n = p.n_vars();
+    let mut measured: BTreeMap<u128, f64> = BTreeMap::new();
+    let stay = (1.0f64 - rate).powi(n as i32);
+    measured.insert(truth, stay);
+    for q in 0..n {
+        let flipped = truth ^ (1 << q);
+        measured.insert(flipped, rate * (1.0 - rate).powi(n as i32 - 1));
+    }
+    let total: f64 = measured.values().sum();
+    for v in measured.values_mut() {
+        *v /= total;
+    }
+
+    let fixed = mitigate_readout(&measured, n, ReadoutModel::new(rate));
+    assert!(
+        fixed[&truth] > measured[&truth],
+        "mitigation must concentrate mass back on the truth"
+    );
+    assert!(fixed[&truth] > 0.98, "mitigated mass {}", fixed[&truth]);
+}
+
+#[test]
+fn solver_with_mitigation_handles_pure_readout_noise() {
+    let p = benchmark(BenchmarkId::parse("F1").unwrap());
+    let cfg = RasenganConfig::default()
+        .with_seed(4)
+        .with_noise(NoiseModel::ibm_like(0.0, 0.0, 0.04))
+        .with_shots(1024)
+        .with_max_iterations(25)
+        .with_readout_mitigation();
+    let outcome = Rasengan::new(cfg).solve(&p).unwrap();
+    assert_eq!(outcome.in_constraints_rate, 1.0);
+    assert!(outcome.best.feasible);
+    assert!(outcome.arg < 2.0, "readout-only noise should stay solvable");
+}
+
+#[test]
+fn fidelity_budget_shrinks_segments_on_noisier_devices() {
+    use rasengan::qsim::Device;
+    let p = benchmark(BenchmarkId::parse("S3").unwrap());
+    let kyiv = RasenganConfig::default().with_fidelity_budget(&Device::ibm_kyiv(), 0.5);
+    let brisbane =
+        RasenganConfig::default().with_fidelity_budget(&Device::ibm_brisbane(), 0.5);
+    // Kyiv is noisier → smaller budget → at least as many segments.
+    let seg_kyiv = Rasengan::new(kyiv).prepare(&p).unwrap().stats.n_segments;
+    let seg_brisbane = Rasengan::new(brisbane).prepare(&p).unwrap().stats.n_segments;
+    assert!(seg_kyiv >= seg_brisbane);
+}
