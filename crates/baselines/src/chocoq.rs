@@ -73,10 +73,8 @@ impl ChocoQ {
         let cfg = &self.config;
         let wall = Instant::now();
         let basis = problem_basis(problem)?;
-        let hams: Vec<TransitionHamiltonian> = basis
-            .into_iter()
-            .map(TransitionHamiltonian::new)
-            .collect();
+        let hams: Vec<TransitionHamiltonian> =
+            basis.into_iter().map(TransitionHamiltonian::new).collect();
         let lambda = penalty_lambda(problem);
         let sense = problem.sense();
         let n_params = 2 * cfg.layers;
@@ -102,16 +100,13 @@ impl ChocoQ {
 
         let layers = cfg.layers;
         let run = |params: &[f64], rng: &mut StdRng| -> BTreeMap<Label, f64> {
-            run_chocoq(
-                problem, &hams, seed_label, layers, params, cfg, rng,
-            )
+            run_chocoq(problem, &hams, seed_label, layers, params, cfg, rng)
         };
 
         let mut objective = |params: &[f64]| -> f64 {
             eval_counter += 1;
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ eval_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ eval_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let dist = run(params, &mut rng);
             quantum_s += quantum_per_eval;
             let e = expectation(problem, &dist, lambda);
@@ -141,6 +136,7 @@ impl ChocoQ {
             latency: Latency {
                 quantum_s,
                 classical_s: wall.elapsed().as_secs_f64(),
+                ..Latency::default()
             },
             history: result.history,
             evaluations: result.evaluations,
@@ -256,9 +252,13 @@ mod tests {
 
     #[test]
     fn noise_free_output_stays_feasible() {
-        let out = ChocoQ::new(BaselineConfig::default().with_max_iterations(40).with_layers(2))
-            .solve(&j1())
-            .unwrap();
+        let out = ChocoQ::new(
+            BaselineConfig::default()
+                .with_max_iterations(40)
+                .with_layers(2),
+        )
+        .solve(&j1())
+        .unwrap();
         assert!(
             (out.in_constraints_rate - 1.0).abs() < 1e-9,
             "commuting mixer must preserve feasibility, got {}",
@@ -271,12 +271,20 @@ mod tests {
     #[test]
     fn depth_scales_with_layers() {
         let p = j1();
-        let a = ChocoQ::new(BaselineConfig::default().with_layers(1).with_max_iterations(5))
-            .solve(&p)
-            .unwrap();
-        let b = ChocoQ::new(BaselineConfig::default().with_layers(3).with_max_iterations(5))
-            .solve(&p)
-            .unwrap();
+        let a = ChocoQ::new(
+            BaselineConfig::default()
+                .with_layers(1)
+                .with_max_iterations(5),
+        )
+        .solve(&p)
+        .unwrap();
+        let b = ChocoQ::new(
+            BaselineConfig::default()
+                .with_layers(3)
+                .with_max_iterations(5),
+        )
+        .solve(&p)
+        .unwrap();
         assert_eq!(b.circuit_depth, 3 * a.circuit_depth);
         assert_eq!(a.n_params, 2);
         assert_eq!(b.n_params, 6);

@@ -164,8 +164,12 @@ pub fn run_dense(
                     let state = run_dense_trajectory(circuit, &cfg.noise, rng);
                     let sample = state.sample(1, rng);
                     let (&label, _) = sample.iter().next().expect("one sample");
-                    let label =
-                        apply_readout_error(label as Label, circuit.n_qubits(), cfg.noise.readout, rng);
+                    let label = apply_readout_error(
+                        label as Label,
+                        circuit.n_qubits(),
+                        cfg.noise.readout,
+                        rng,
+                    );
                     *counts.entry(label).or_insert(0) += 1;
                 }
             } else {
@@ -243,6 +247,7 @@ pub fn train_and_report(
         latency: Latency {
             quantum_s,
             classical_s: wall.elapsed().as_secs_f64(),
+            ..Latency::default()
         },
         history: result.history,
         evaluations: result.evaluations,

@@ -167,8 +167,7 @@ impl GroverAdaptiveSearch {
         };
 
         let (_, e_opt) = optimum(problem);
-        let depth_per_iteration =
-            Self::oracle_cx_cost(problem) + Self::diffusion_cx_cost(problem);
+        let depth_per_iteration = Self::oracle_cx_cost(problem) + Self::diffusion_cx_cost(problem);
         let quantum_s = oracle_calls as f64
             * (cfg.device.reset_time
                 + depth_per_iteration as f64 * cfg.device.gate_time_2q
@@ -189,6 +188,7 @@ impl GroverAdaptiveSearch {
             latency: Latency {
                 quantum_s,
                 classical_s: wall.elapsed().as_secs_f64(),
+                ..Latency::default()
             },
             history,
             evaluations: rounds,
@@ -217,7 +217,9 @@ mod tests {
     #[test]
     fn finds_optimum_on_small_problem() {
         let out = GroverAdaptiveSearch::new(
-            BaselineConfig::default().with_seed(3).with_max_iterations(60),
+            BaselineConfig::default()
+                .with_seed(3)
+                .with_max_iterations(60),
         )
         .solve(&j1());
         let (_, e_opt) = optimum(&j1());
@@ -233,7 +235,9 @@ mod tests {
     #[test]
     fn incumbent_never_regresses() {
         let out = GroverAdaptiveSearch::new(
-            BaselineConfig::default().with_seed(5).with_max_iterations(40),
+            BaselineConfig::default()
+                .with_seed(5)
+                .with_max_iterations(40),
         )
         .solve(&j1());
         for w in out.history.windows(2) {
@@ -244,7 +248,9 @@ mod tests {
     #[test]
     fn oracle_budget_caps_work() {
         let out = GroverAdaptiveSearch::new(
-            BaselineConfig::default().with_seed(1).with_max_iterations(1000),
+            BaselineConfig::default()
+                .with_seed(1)
+                .with_max_iterations(1000),
         )
         .with_max_oracle_calls(10)
         .solve(&j1());
@@ -254,9 +260,8 @@ mod tests {
     #[test]
     fn cost_model_scales_with_problem() {
         let small = GroverAdaptiveSearch::oracle_cx_cost(&j1());
-        let big = GroverAdaptiveSearch::oracle_cx_cost(&benchmark(
-            BenchmarkId::parse("J3").unwrap(),
-        ));
+        let big =
+            GroverAdaptiveSearch::oracle_cx_cost(&benchmark(BenchmarkId::parse("J3").unwrap()));
         assert!(big > small);
     }
 
@@ -265,7 +270,9 @@ mod tests {
         use rasengan_problems::portfolio::Portfolio;
         let p = Portfolio::generate(2, 2, 1, 7).into_problem();
         let out = GroverAdaptiveSearch::new(
-            BaselineConfig::default().with_seed(2).with_max_iterations(50),
+            BaselineConfig::default()
+                .with_seed(2)
+                .with_max_iterations(50),
         )
         .solve(&p);
         let (_, e_opt) = optimum(&p);

@@ -42,7 +42,11 @@ impl Hea {
     /// Builds the ansatz circuit: rotation blocks interleaved with CX
     /// ladders.
     pub fn circuit(n: usize, layers: usize, params: &[f64]) -> Circuit {
-        assert_eq!(params.len(), Self::n_params(n, layers), "bad parameter count");
+        assert_eq!(
+            params.len(),
+            Self::n_params(n, layers),
+            "bad parameter count"
+        );
         let mut c = Circuit::new(n);
         let mut idx = 0;
         let rotation_block = |c: &mut Circuit, idx: &mut usize| {
@@ -127,8 +131,12 @@ mod tests {
 
     #[test]
     fn solve_returns_valid_metrics() {
-        let out = Hea::new(BaselineConfig::default().with_max_iterations(40).with_layers(1))
-            .solve(&tiny());
+        let out = Hea::new(
+            BaselineConfig::default()
+                .with_max_iterations(40)
+                .with_layers(1),
+        )
+        .solve(&tiny());
         assert!(out.arg.is_finite());
         assert!(out.in_constraints_rate >= 0.0 && out.in_constraints_rate <= 1.0);
         assert_eq!(out.n_params, 8);

@@ -182,7 +182,10 @@ mod tests {
             .map(|l| q.eval(&[(l & 1) as i64, (l >> 1) as i64]))
             .collect();
         let min_idx = (0..4).min_by(|&a, &b| vals[a].total_cmp(&vals[b])).unwrap();
-        assert_eq!(min_idx, 2, "expected [0,1] to minimize, got label {min_idx}");
+        assert_eq!(
+            min_idx, 2,
+            "expected [0,1] to minimize, got label {min_idx}"
+        );
     }
 
     #[test]

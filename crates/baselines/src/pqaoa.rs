@@ -200,7 +200,15 @@ fn red_seed(
     for &g in &grid {
         for &b in &grid {
             let c = PQaoa::circuit(ising, n, &[g, b], frozen);
-            let dist = run_dense(&c, &BaselineConfig { noise: rasengan_qsim::NoiseModel::noise_free(), shots: None, ..cfg.clone() }, &mut rng);
+            let dist = run_dense(
+                &c,
+                &BaselineConfig {
+                    noise: rasengan_qsim::NoiseModel::noise_free(),
+                    shots: None,
+                    ..cfg.clone()
+                },
+                &mut rng,
+            );
             let e: f64 = dist
                 .iter()
                 .map(|(&l, &p)| {
@@ -250,11 +258,19 @@ mod tests {
     #[test]
     fn solve_improves_over_random_start() {
         let p = tiny();
-        let out = PQaoa::new(BaselineConfig::default().with_max_iterations(60).with_layers(2))
-            .solve(&p);
+        let out = PQaoa::new(
+            BaselineConfig::default()
+                .with_max_iterations(60)
+                .with_layers(2),
+        )
+        .solve(&p);
         // With a dominating penalty the optimizer should concentrate
         // most mass on feasible states.
-        assert!(out.in_constraints_rate > 0.3, "rate {}", out.in_constraints_rate);
+        assert!(
+            out.in_constraints_rate > 0.3,
+            "rate {}",
+            out.in_constraints_rate
+        );
         assert!(out.arg.is_finite());
         assert_eq!(out.n_params, 4);
         assert!(out.circuit_depth > 0);

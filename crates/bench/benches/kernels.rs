@@ -35,8 +35,7 @@ fn bench_transition_backends(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dense_circuit", n), &n, |b, _| {
             let circuit = tau_circuit(&u, 0.7, n);
             b.iter(|| {
-                let mut s =
-                    DenseState::basis_state(n, (1u64 << (n / 2)) | (1 << (n - 1)));
+                let mut s = DenseState::basis_state(n, (1u64 << (n / 2)) | (1 << (n - 1)));
                 s.run(black_box(&circuit));
                 black_box(s.norm_sqr())
             })
@@ -137,6 +136,54 @@ fn bench_purification(c: &mut Criterion) {
     });
 }
 
+/// Measurement sampling — regression guard on the CDF-based samplers.
+/// The dense path was O(shots · 2^n) (a full linear scan per shot) and
+/// the sparse path rebuilt and re-sorted its support per draw; both now
+/// build a CDF once and binary-search per shot.
+fn bench_sampling(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut group = c.benchmark_group("sampling");
+    // Dense: uniform 16-qubit superposition, 4096 shots.
+    let n = 16usize;
+    let mut circuit = rasengan_qsim::Circuit::new(n);
+    for q in 0..n {
+        circuit.h(q);
+    }
+    let dense = DenseState::from_circuit(&circuit);
+    group.bench_function("dense_16q_4096shots", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(dense.sample(4096, &mut rng)))
+    });
+
+    // Sparse: multi-label support grown by transitions, 4096 shots.
+    let mut u = vec![0i64; 32];
+    u[0] = 1;
+    u[31] = -1;
+    let mut sparse = SparseState::basis_state(32, 1u128 << 31);
+    for _ in 0..12 {
+        sparse.apply_transition(&Transition::from_u(&u), 0.4);
+    }
+    group.bench_function("sparse_32q_4096shots", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(sparse.sample(4096, &mut rng)))
+    });
+    // Single-draw path: the prepared sampler amortizes the CDF build.
+    group.bench_function("sparse_4096_draws", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = sparse.prepared_sampler();
+        b.iter(|| {
+            let mut acc = 0u128;
+            for _ in 0..4096 {
+                acc ^= sampler.draw(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 /// Largest-remainder shot apportionment.
 fn bench_apportion(c: &mut Criterion) {
     let probs: Vec<f64> = (1..=256).map(|i| 1.0 / i as f64).collect();
@@ -155,6 +202,7 @@ criterion_group! {
         bench_simplify,
         bench_chain_build,
         bench_purification,
+        bench_sampling,
         bench_apportion,
 }
 criterion_main!(kernels);

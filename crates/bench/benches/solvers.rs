@@ -3,14 +3,16 @@
 //! circuit evaluation for each baseline. These are the per-iteration
 //! costs behind the Table 1 / Fig. 12 latency comparisons.
 
+use criterion::BenchmarkId as CriterionId;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rasengan_baselines::{penalized_qubo, qubo_to_ising, BaselineConfig, Hea, PQaoa};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rasengan_baselines::common::run_dense;
+use rasengan_baselines::{penalized_qubo, qubo_to_ising, BaselineConfig, Hea, PQaoa};
 use rasengan_core::metrics::penalty_lambda;
 use rasengan_core::{Rasengan, RasenganConfig};
 use rasengan_problems::registry::{benchmark, BenchmarkId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rasengan_qsim::NoiseModel;
 
 /// One full Rasengan solve at a tiny iteration budget (end-to-end cost).
 fn bench_rasengan_solve(c: &mut Criterion) {
@@ -18,7 +20,9 @@ fn bench_rasengan_solve(c: &mut Criterion) {
     c.bench_function("rasengan_solve_F1_10iters", |b| {
         b.iter(|| {
             let out = Rasengan::new(
-                RasenganConfig::default().with_seed(1).with_max_iterations(10),
+                RasenganConfig::default()
+                    .with_seed(1)
+                    .with_max_iterations(10),
             )
             .solve(black_box(&p))
             .unwrap();
@@ -45,6 +49,38 @@ fn bench_rasengan_execution(c: &mut Criterion) {
     });
 }
 
+/// Fig. 14-style noisy trajectory workload at 1 vs 4 threads. The
+/// deterministic engine derives one RNG stream per global shot index,
+/// so the two runs produce identical distributions — only the
+/// wall-clock differs (the acceptance target is ≥2× at 4 threads).
+fn bench_noisy_thread_scaling(c: &mut Criterion) {
+    let p = benchmark(BenchmarkId::parse("F1").unwrap());
+    let mut group = c.benchmark_group("rasengan_noisy_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            CriterionId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let out = Rasengan::new(
+                        RasenganConfig::default()
+                            .with_seed(1)
+                            .with_noise(NoiseModel::depolarizing(2e-3))
+                            .with_shots(1024)
+                            .with_max_iterations(2)
+                            .with_threads(threads),
+                    )
+                    .solve(black_box(&p))
+                    .unwrap();
+                    black_box(out.total_shots)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// One dense HEA circuit evaluation (exact probabilities).
 fn bench_hea_evaluation(c: &mut Criterion) {
     let p = benchmark(BenchmarkId::parse("F1").unwrap());
@@ -68,7 +104,12 @@ fn bench_pqaoa_evaluation(c: &mut Criterion) {
     c.bench_function("pqaoa_circuit_eval_F1", |b| {
         let mut rng = StdRng::seed_from_u64(0);
         b.iter(|| {
-            let circuit = PQaoa::circuit(&ising, p.n_vars(), &[0.3, 0.5, 0.2, 0.4, 0.1, 0.6, 0.3, 0.2, 0.4, 0.5], &[]);
+            let circuit = PQaoa::circuit(
+                &ising,
+                p.n_vars(),
+                &[0.3, 0.5, 0.2, 0.4, 0.1, 0.6, 0.3, 0.2, 0.4, 0.5],
+                &[],
+            );
             black_box(run_dense(&circuit, &cfg, &mut rng))
         })
     });
@@ -80,6 +121,7 @@ criterion_group! {
     targets =
         bench_rasengan_solve,
         bench_rasengan_execution,
+        bench_noisy_thread_scaling,
         bench_hea_evaluation,
         bench_pqaoa_evaluation,
 }

@@ -91,7 +91,13 @@ fn main() {
     // identical noise.
     let mut placement = Table::new(
         "Ablation 3: purify between segments vs only at the end",
-        vec!["bench", "between_ARG", "final_only_ARG", "between_raw_rate", "final_raw_rate"],
+        vec![
+            "bench",
+            "between_ARG",
+            "final_only_ARG",
+            "between_raw_rate",
+            "final_raw_rate",
+        ],
     );
     for name in ["F1", "J1"] {
         let p = benchmark(BenchmarkId::parse(name).unwrap());
@@ -119,7 +125,8 @@ fn main() {
             Rasengan::new(cfg).solve(&p)
         };
 
-        let cell = |r: &Result<rasengan_core::Outcome, _>, f: fn(&rasengan_core::Outcome) -> f64| match r {
+        let cell = |r: &Result<rasengan_core::Outcome, _>,
+                    f: fn(&rasengan_core::Outcome) -> f64| match r {
             Ok(o) => fmt(f(o)),
             Err(_) => "fail".to_string(),
         };

@@ -32,9 +32,7 @@ fn main() {
     let mut failures = Vec::new();
     for exp in experiments {
         println!("\n==================== {exp} ====================");
-        let status = Command::new(exe_dir.join(exp))
-            .args(&args)
-            .status();
+        let status = Command::new(exe_dir.join(exp)).args(&args).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {
@@ -50,7 +48,10 @@ fn main() {
 
     println!("\n==================== summary ====================");
     if failures.is_empty() {
-        println!("all {} experiments completed; CSVs in target/rasengan-reports/", experiments.len());
+        println!(
+            "all {} experiments completed; CSVs in target/rasengan-reports/",
+            experiments.len()
+        );
     } else {
         println!("failed: {failures:?}");
         std::process::exit(1);

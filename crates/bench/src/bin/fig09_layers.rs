@@ -18,6 +18,7 @@ fn main() {
     let ras_env = RunEnv {
         seed: settings.seed,
         iterations: settings.rasengan_iterations(),
+        threads: settings.threads,
         ..Default::default()
     };
     let ras = run_algorithm(Algorithm::Rasengan, &problem, &ras_env);
@@ -25,13 +26,22 @@ fn main() {
     let max_layers = if settings.full { 14 } else { 8 };
     let mut table = Table::new(
         "Figure 9: ARG vs QAOA layers (FLP, second scale)",
-        vec!["layers", "PQAOA_arg", "PQAOA_depth", "ChocoQ_arg", "ChocoQ_depth", "Rasengan_arg", "Rasengan_depth"],
+        vec![
+            "layers",
+            "PQAOA_arg",
+            "PQAOA_depth",
+            "ChocoQ_arg",
+            "ChocoQ_depth",
+            "Rasengan_arg",
+            "Rasengan_depth",
+        ],
     );
     for layers in 1..=max_layers {
         let env = RunEnv {
             seed: settings.seed,
             iterations: settings.baseline_iterations(problem.n_vars()),
             layers,
+            threads: settings.threads,
             ..Default::default()
         };
         let pq = run_algorithm(Algorithm::PQaoa, &problem, &env);
@@ -45,7 +55,12 @@ fn main() {
             fmt(ras.arg),
             ras.depth.to_string(),
         ]);
-        eprintln!("layers={layers}: pqaoa={} chocoq={} ras={}", fmt(pq.arg), fmt(cq.arg), fmt(ras.arg));
+        eprintln!(
+            "layers={layers}: pqaoa={} chocoq={} ras={}",
+            fmt(pq.arg),
+            fmt(cq.arg),
+            fmt(ras.arg)
+        );
     }
     table.print();
     println!(

@@ -18,7 +18,19 @@ fn main() {
     let settings = RunSettings::from_args();
     // (facilities, demands) ladders: n = f + 2fd.
     let shapes: &[(usize, usize)] = if settings.full {
-        &[(2, 1), (2, 2), (3, 2), (3, 3), (4, 3), (4, 4), (5, 4), (4, 6), (5, 6), (5, 8), (5, 10)]
+        &[
+            (2, 1),
+            (2, 2),
+            (3, 2),
+            (3, 3),
+            (4, 3),
+            (4, 4),
+            (5, 4),
+            (4, 6),
+            (5, 6),
+            (5, 8),
+            (5, 10),
+        ]
     } else {
         &[(2, 1), (2, 2), (3, 2), (3, 3), (4, 4), (5, 6), (5, 10)]
     };
@@ -26,7 +38,12 @@ fn main() {
     let mut table = Table::new(
         "Figure 10: FLP scalability",
         vec![
-            "vars", "segs_unpruned", "segs_pruned", "depth_quebec", "arg_noisefree", "arg_noisy",
+            "vars",
+            "segs_unpruned",
+            "segs_pruned",
+            "depth_quebec",
+            "arg_noisefree",
+            "arg_noisy",
         ],
     );
 
@@ -37,11 +54,9 @@ fn main() {
         let iters = if settings.full { 200 } else { 40 };
 
         // (a) segments with and without pruning.
-        let pruned_prep = Rasengan::new(
-            RasenganConfig::default().with_seed(settings.seed),
-        )
-        .prepare(&problem)
-        .expect("FLP prepares");
+        let pruned_prep = Rasengan::new(RasenganConfig::default().with_seed(settings.seed))
+            .prepare(&problem)
+            .expect("FLP prepares");
         let unpruned_prep = {
             let mut cfg = RasenganConfig::default().with_seed(settings.seed);
             cfg.prune = false;
@@ -111,9 +126,13 @@ fn main() {
                 "fail".to_string()
             },
         ]);
-        eprintln!("n={n}: segs {} -> {}, arg {} / noisy {}",
-            unpruned_prep.stats.n_segments, pruned_prep.stats.n_segments,
-            fmt(arg_clean), fmt(arg_noisy));
+        eprintln!(
+            "n={n}: segs {} -> {}, arg {} / noisy {}",
+            unpruned_prep.stats.n_segments,
+            pruned_prep.stats.n_segments,
+            fmt(arg_clean),
+            fmt(arg_noisy)
+        );
     }
 
     table.print();

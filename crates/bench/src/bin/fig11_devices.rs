@@ -55,6 +55,7 @@ fn main() {
                     shots: Some(settings.shots()),
                     noise: device.noise,
                     device: device.clone(),
+                    threads: settings.threads,
                 };
                 let r = run_algorithm(alg, &p, &env);
                 sum_arg += if r.arg.is_finite() { r.arg } else { 1e4 };

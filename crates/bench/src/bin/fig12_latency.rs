@@ -35,6 +35,7 @@ fn main() {
                 shots: Some(settings.shots()),
                 noise: Device::ibm_kyiv().noise,
                 device: Device::ibm_kyiv(),
+                threads: settings.threads,
             };
             let r = run_algorithm(alg, &p, &env);
             classical += r.classical_s / iterations as f64 * 1e3 / benches.len() as f64;
@@ -46,7 +47,12 @@ fn main() {
             fmt(quantum),
             fmt(classical + quantum),
         ]);
-        eprintln!("{}: classical {:.2}ms quantum {:.2}ms", alg.name(), classical, quantum);
+        eprintln!(
+            "{}: classical {:.2}ms quantum {:.2}ms",
+            alg.name(),
+            classical,
+            quantum
+        );
     }
 
     table.print();

@@ -19,7 +19,13 @@ fn main() {
     let budgets = [100_000usize, 400, 200, 136, 102, 68, 34, 1];
     let mut table = Table::new(
         "Figure 13: shots and latency vs segment count (F3, 1024 shots/segment)",
-        vec!["segments", "total_shots", "quantum_ms", "classical_ms", "arg"],
+        vec![
+            "segments",
+            "total_shots",
+            "quantum_ms",
+            "classical_ms",
+            "arg",
+        ],
     );
 
     let mut seen = std::collections::BTreeSet::new();

@@ -47,8 +47,7 @@ fn main() {
             }
         }
         let mean = args.iter().sum::<f64>() / args.len().max(1) as f64;
-        let below = args.iter().filter(|a| **a < 0.025).count() as f64
-            / args.len().max(1) as f64;
+        let below = args.iter().filter(|a| **a < 0.025).count() as f64 / args.len().max(1) as f64;
         pauli.row(vec![
             format!("{rate:.0e}"),
             fmt(mean),
@@ -74,8 +73,7 @@ fn main() {
                 .with_seed(settings.seed + 31 * i as u64)
                 .with_noise(background.with_amplitude_damping(gamma))
                 .with_shots(512)
-                .with_max_iterations(iterations)
-                ;
+                .with_max_iterations(iterations);
             match Rasengan::new(cfg).solve(p) {
                 Ok(out) => args.push(out.arg),
                 Err(_) => fails += 1,
@@ -91,7 +89,12 @@ fn main() {
             fmt(mean),
             fmt(fails as f64 / problems.len() as f64),
         ]);
-        eprintln!("damping {:.1}%: mean ARG {} fails {}", gamma * 100.0, fmt(mean), fails);
+        eprintln!(
+            "damping {:.1}%: mean ARG {} fails {}",
+            gamma * 100.0,
+            fmt(mean),
+            fails
+        );
     }
     damping.print();
     if let Ok(p) = damping.save_csv("fig14b_damping") {

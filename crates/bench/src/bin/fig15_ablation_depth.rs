@@ -16,7 +16,13 @@ fn main() {
     let settings = RunSettings::from_args();
     let mut table = Table::new(
         "Figure 15: circuit depth (CX) under incremental optimizations",
-        vec!["bench", "none", "+opt1_simplify", "+opt2_prune", "+opt3_segment"],
+        vec![
+            "bench",
+            "none",
+            "+opt1_simplify",
+            "+opt2_prune",
+            "+opt3_segment",
+        ],
     );
 
     let mut reductions = [0.0f64; 3];

@@ -20,7 +20,15 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 17: chain fraction needed for full feasible-space coverage",
-        vec!["bench", "#feasible", "unpruned_chain_len", "pruned_chain_len", "unpruned_frac", "pruned_frac", "speedup"],
+        vec![
+            "bench",
+            "#feasible",
+            "unpruned_chain_len",
+            "pruned_chain_len",
+            "unpruned_frac",
+            "pruned_frac",
+            "speedup",
+        ],
     );
 
     for domain in domains {
@@ -70,8 +78,11 @@ fn main() {
                 fmt(frac_p),
                 fmt(ops_u / ops_p),
             ]);
-            eprintln!("{id}: unpruned {len_u} ops ({:.0}%), pruned {len_p} ops ({:.0}%)",
-                frac_u * 100.0, frac_p * 100.0);
+            eprintln!(
+                "{id}: unpruned {len_u} ops ({:.0}%), pruned {len_p} ops ({:.0}%)",
+                frac_u * 100.0,
+                frac_p * 100.0
+            );
         }
     }
 

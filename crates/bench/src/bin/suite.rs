@@ -51,7 +51,11 @@ fn main() {
             }
             ras_args.push(ras);
             cq_args.push(cq);
-            eprintln!("[{id} case {i}] rasengan {} vs chocoq {}", fmt(ras), fmt(cq));
+            eprintln!(
+                "[{id} case {i}] rasengan {} vs chocoq {}",
+                fmt(ras),
+                fmt(cq)
+            );
         }
         let stats = |v: &[f64]| {
             let mean = v.iter().sum::<f64>() / v.len() as f64;

@@ -34,6 +34,7 @@ fn main() {
         seed: settings.seed,
         iterations: settings.baseline_iterations(problem.n_vars()),
         layers: 5,
+        threads: settings.threads,
         ..Default::default()
     };
 

@@ -56,6 +56,7 @@ fn main() {
                     settings.baseline_iterations(problem.n_vars())
                 },
                 layers: 5,
+                threads: settings.threads,
                 ..Default::default()
             };
             let r = run_algorithm(alg, &problem, &env);

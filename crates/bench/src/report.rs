@@ -142,7 +142,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.1234), "0.123");
-        assert_eq!(fmt(2.71828), "2.72");
+        assert_eq!(fmt(2.7777), "2.78");
         assert_eq!(fmt(1234.0), "1234");
         assert_eq!(fmt(f64::INFINITY), "inf");
     }

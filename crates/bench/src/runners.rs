@@ -79,6 +79,9 @@ pub struct RunEnv {
     pub noise: NoiseModel,
     /// Device timing model.
     pub device: Device,
+    /// Worker threads for Rasengan's execution engine (`None` = all
+    /// available; results are thread-count independent).
+    pub threads: Option<usize>,
 }
 
 impl Default for RunEnv {
@@ -90,6 +93,7 @@ impl Default for RunEnv {
             shots: None,
             noise: NoiseModel::noise_free(),
             device: Device::ibm_quebec(),
+            threads: None,
         }
     }
 }
@@ -104,6 +108,7 @@ pub fn run_algorithm(alg: Algorithm, problem: &Problem, env: &RunEnv) -> AlgoRes
                 .with_max_iterations(env.iterations);
             cfg.device = env.device.clone();
             cfg.shots = env.shots;
+            cfg.threads = env.threads;
             match Rasengan::new(cfg).solve(problem) {
                 Ok(out) => AlgoResult {
                     algorithm: alg,
@@ -128,7 +133,10 @@ pub fn run_algorithm(alg: Algorithm, problem: &Problem, env: &RunEnv) -> AlgoRes
         }
         Algorithm::PQaoa => {
             let cfg = baseline_cfg(env);
-            let out = PQaoa::new(cfg).with_frozen_qubits(1).with_red_init().solve(problem);
+            let out = PQaoa::new(cfg)
+                .with_frozen_qubits(1)
+                .with_red_init()
+                .solve(problem);
             from_baseline(alg, out)
         }
         Algorithm::Hea => {

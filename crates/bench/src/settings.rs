@@ -12,10 +12,16 @@ pub struct RunSettings {
     pub full: bool,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the execution engine (`--threads N`, falling
+    /// back to the `RASENGAN_THREADS` environment variable; `None` lets
+    /// the engine use the machine's available parallelism). Thread count
+    /// never changes results, only wall-clock.
+    pub threads: Option<usize>,
 }
 
 impl RunSettings {
-    /// Parses the process arguments (`--full`, `--seed N`).
+    /// Parses the process arguments (`--full`, `--seed N`,
+    /// `--threads N`) and the `RASENGAN_THREADS` environment variable.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let full = args.iter().any(|a| a == "--full");
@@ -25,7 +31,23 @@ impl RunSettings {
             .and_then(|i| args.get(i + 1))
             .and_then(|s| s.parse().ok())
             .unwrap_or(2025);
-        RunSettings { full, seed }
+        let threads = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .filter(|&t: &usize| t > 0)
+            .or_else(|| {
+                std::env::var("RASENGAN_THREADS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &usize| t > 0)
+            });
+        RunSettings {
+            full,
+            seed,
+            threads,
+        }
     }
 
     /// Fast-mode settings for tests.
@@ -33,6 +55,7 @@ impl RunSettings {
         RunSettings {
             full: false,
             seed: 2025,
+            threads: None,
         }
     }
 
@@ -90,7 +113,11 @@ mod tests {
 
     #[test]
     fn full_mode_uses_paper_budgets() {
-        let s = RunSettings { full: true, seed: 1 };
+        let s = RunSettings {
+            full: true,
+            seed: 1,
+            threads: None,
+        };
         assert_eq!(s.rasengan_iterations(), 300);
         assert_eq!(s.baseline_iterations(20), 300);
     }

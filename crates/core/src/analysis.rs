@@ -49,18 +49,12 @@ pub fn summarize_history(history: &[f64]) -> ConvergenceSummary {
 
     let iterations_to_95pct = if improvement > 0.0 {
         let target = initial - 0.95 * improvement;
-        history
-            .iter()
-            .position(|&v| v <= target)
-            .map(|i| i + 1)
+        history.iter().position(|&v| v <= target).map(|i| i + 1)
     } else {
         None
     };
 
-    let improving = history
-        .windows(2)
-        .filter(|w| w[1] < w[0] - 1e-15)
-        .count();
+    let improving = history.windows(2).filter(|w| w[1] < w[0] - 1e-15).count();
     ConvergenceSummary {
         iterations: history.len(),
         initial,
@@ -132,9 +126,13 @@ mod tests {
         use crate::{Rasengan, RasenganConfig};
         use rasengan_problems::registry::{benchmark, BenchmarkId};
         let p = benchmark(BenchmarkId::parse("F1").unwrap());
-        let out = Rasengan::new(RasenganConfig::default().with_seed(2).with_max_iterations(60))
-            .solve(&p)
-            .unwrap();
+        let out = Rasengan::new(
+            RasenganConfig::default()
+                .with_seed(2)
+                .with_max_iterations(60),
+        )
+        .solve(&p)
+        .unwrap();
         let s = summarize_history(&out.history);
         assert!(s.iterations > 0);
         assert!(s.improvement >= 0.0);

@@ -155,7 +155,9 @@ mod tests {
         let mut sparse = SparseState::basis_state(3, 0b010);
         h.apply(&mut sparse, 0.4);
         for l in 0..8u64 {
-            assert!(dense.amplitude(l).approx_eq(sparse.amplitude(l as u128), 1e-9));
+            assert!(dense
+                .amplitude(l)
+                .approx_eq(sparse.amplitude(l as u128), 1e-9));
         }
     }
 

@@ -15,6 +15,10 @@ pub struct Latency {
     /// Measured classical time in seconds (optimizer, purification,
     /// bookkeeping).
     pub classical_s: f64,
+    /// Measured wall-clock per pipeline stage (a breakdown of
+    /// `classical_s`; baselines that don't stage their work leave it
+    /// zeroed).
+    pub stages: StageTimes,
 }
 
 impl Latency {
@@ -22,6 +26,17 @@ impl Latency {
     pub fn total_s(&self) -> f64 {
         self.quantum_s + self.classical_s
     }
+}
+
+/// Per-stage wall-clock of the execution engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimes {
+    /// Compilation: basis, simplification, chain, segmentation.
+    pub prepare_s: f64,
+    /// Variational training loop (all objective evaluations).
+    pub train_s: f64,
+    /// Final execution at the trained parameters.
+    pub execute_s: f64,
 }
 
 /// Models the duration of one shot of a segment circuit given its CX
@@ -52,6 +67,7 @@ mod tests {
         let l = Latency {
             quantum_s: 0.3,
             classical_s: 0.2,
+            ..Latency::default()
         };
         assert!((l.total_s() - 0.5).abs() < 1e-15);
     }

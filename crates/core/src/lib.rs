@@ -48,12 +48,12 @@ pub mod solver;
 pub mod zne;
 
 pub use hamiltonian::{problem_basis, TransitionHamiltonian};
-pub use latency::Latency;
+pub use latency::{Latency, StageTimes};
 pub use metrics::{arg, best_solution, distribution_arg, penalty_lambda, Solution};
 pub use prune::{build_chain, coverage_curve, Chain, ChainConfig, CoveragePoint};
 pub use segment::{apportion_shots, plan_segments, SegmentPlan};
 pub use simplify::{simplify_basis, SimplifyResult};
-pub use zne::{solve_with_zne, ZneResult};
 pub use solver::{
     ChainStats, OptimizerKind, Outcome, Prepared, Rasengan, RasenganConfig, RasenganError,
 };
+pub use zne::{solve_with_zne, ZneResult};

@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn chain_covers_all_five_feasible_states() {
         let chain = build_chain(&paper_basis(), seed(), &ChainConfig::default());
-        assert_eq!(chain.reached_states, 5, "chain must reach the full feasible set");
+        assert_eq!(
+            chain.reached_states, 5,
+            "chain must reach the full feasible set"
+        );
     }
 
     #[test]
@@ -257,7 +260,10 @@ mod tests {
             ..ChainConfig::default()
         };
         let chain = build_chain(&paper_basis(), seed(), &cfg);
-        assert!(chain.early_stopped, "extra rounds past full coverage must go dry");
+        assert!(
+            chain.early_stopped,
+            "extra rounds past full coverage must go dry"
+        );
         // One operator can expand several states at once (u₁ pairs both
         // x₂↔x₄ and x₃↔x₅), so three kept operators cover all five states.
         assert!(chain.ops.len() >= 3);

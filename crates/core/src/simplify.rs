@@ -123,7 +123,11 @@ mod tests {
         let c = IntMatrix::from_rows(&[vec![1, 1, -1, 0, 0], vec![0, 0, 1, 1, -1]]);
         let result = simplify_basis(&paper_basis());
         for u in &result.basis {
-            assert_eq!(c.mul_vec(u), vec![0, 0], "simplified vector left nullspace: {u:?}");
+            assert_eq!(
+                c.mul_vec(u),
+                vec![0, 0],
+                "simplified vector left nullspace: {u:?}"
+            );
         }
     }
 
@@ -131,7 +135,11 @@ mod tests {
     fn simplified_basis_preserves_rank() {
         let result = simplify_basis(&paper_basis());
         let m = IntMatrix::from_rows(&result.basis);
-        assert_eq!(rasengan_math::rank(&m), 3, "simplification lost independence");
+        assert_eq!(
+            rasengan_math::rank(&m),
+            3,
+            "simplification lost independence"
+        );
     }
 
     #[test]

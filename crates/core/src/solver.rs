@@ -11,7 +11,7 @@
 //!    hand-off and purification ([`crate::purify`]).
 
 use crate::hamiltonian::problem_basis;
-use crate::latency::{segment_execution_seconds, Latency};
+use crate::latency::{segment_execution_seconds, Latency, StageTimes};
 use crate::metrics::{
     arg, best_solution, expectation, in_constraints_rate, penalty_lambda, Solution,
 };
@@ -26,6 +26,7 @@ use rasengan_optim::{Cobyla, NelderMead, Optimizer, Spsa};
 use rasengan_problems::{optimum, Problem};
 use rasengan_qsim::mitigation::{mitigate_readout, ReadoutModel};
 use rasengan_qsim::noise::{apply_gate_noise_sparse, apply_readout_error};
+use rasengan_qsim::parallel::{derive_seed, par_map, resolve_threads};
 use rasengan_qsim::sparse::label_from_bits;
 use rasengan_qsim::{Device, Label, NoiseModel, SparseState};
 use std::collections::BTreeMap;
@@ -89,6 +90,12 @@ pub struct RasenganConfig {
     /// example gives the last segment 10× to sharpen the output
     /// distribution).
     pub final_segment_shot_boost: usize,
+    /// Worker threads for the execution engine. `None` defers to the
+    /// `RASENGAN_THREADS` environment variable and then to the
+    /// machine's available parallelism. Results are bit-identical for a
+    /// fixed seed at *any* thread count: every shot draws from its own
+    /// RNG stream derived from the seed and its global shot index.
+    pub threads: Option<usize>,
 }
 
 impl Default for RasenganConfig {
@@ -111,6 +118,7 @@ impl Default for RasenganConfig {
             readout_mitigation: false,
             initial_times: None,
             final_segment_shot_boost: 1,
+            threads: None,
         }
     }
 }
@@ -196,6 +204,20 @@ impl RasenganConfig {
         self
     }
 
+    /// Pins the execution engine to `threads` worker threads (builder
+    /// style). The default (`None`) uses `RASENGAN_THREADS` or the
+    /// machine's available parallelism; either way the results are
+    /// identical — only the wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = Some(threads);
+        self
+    }
+
     /// Disables all three optimizations (baseline ablation point).
     pub fn without_optimizations(mut self) -> Self {
         self.simplify = false;
@@ -232,10 +254,16 @@ impl fmt::Display for RasenganError {
             RasenganError::Basis(e) => write!(f, "basis construction failed: {e}"),
             RasenganError::NoFeasibleSeed => write!(f, "no feasible seed solution available"),
             RasenganError::NoFeasibleOutput { segment } => {
-                write!(f, "segment {segment} produced no feasible outcome under noise")
+                write!(
+                    f,
+                    "segment {segment} produced no feasible outcome under noise"
+                )
             }
             RasenganError::FullyDetermined => {
-                write!(f, "constraints admit exactly one solution; nothing to optimize")
+                write!(
+                    f,
+                    "constraints admit exactly one solution; nothing to optimize"
+                )
             }
         }
     }
@@ -437,6 +465,12 @@ impl Rasengan {
     /// wide parameter vectors; each restart perturbs the seed and the
     /// starting angles.
     ///
+    /// Starts run in parallel across the configured thread count. The
+    /// result is independent of parallelism: every start's seed is a
+    /// pure function of the base seed and the start index, and the
+    /// winner is folded in start order with a strict `<`, so ties
+    /// resolve to the earliest start.
+    ///
     /// # Errors
     ///
     /// Returns the last error if *every* start fails.
@@ -451,18 +485,28 @@ impl Rasengan {
     ) -> Result<Outcome, RasenganError> {
         assert!(n_starts > 0, "need at least one start");
         let n_params = self.prepare(problem)?.stats.n_params;
-        let mut best: Option<Outcome> = None;
-        let mut last_err = None;
-        for start in 0..n_starts {
+        let starts: Vec<usize> = (0..n_starts).collect();
+        let threads = resolve_threads(self.config.threads).min(n_starts);
+        let results = par_map(&starts, threads, |_, &start| {
             let mut cfg = self.config.clone();
-            cfg.seed = cfg.seed.wrapping_add(start as u64 * 0x9E37);
             if start > 0 {
+                // Independent seed per restart through the SplitMix64
+                // finalizer; start 0 keeps the base seed so a one-start
+                // multistart is exactly `solve`. (The previous
+                // `wrapping_add(start * 0x9E37)` offsets left the seeds
+                // correlated in the low bits.)
+                cfg.seed = derive_seed(cfg.seed, start as u64);
                 // Spread the starting angles across (0, π/2).
-                let t = std::f64::consts::FRAC_PI_2 * (start as f64 + 0.5)
-                    / (n_starts as f64 + 1.0);
+                let t =
+                    std::f64::consts::FRAC_PI_2 * (start as f64 + 0.5) / (n_starts as f64 + 1.0);
                 cfg.initial_times = Some(vec![t; n_params]);
             }
-            match Rasengan::new(cfg).solve(problem) {
+            Rasengan::new(cfg).solve(problem)
+        });
+        let mut best: Option<Outcome> = None;
+        let mut last_err = None;
+        for result in results {
+            match result {
                 Ok(outcome) => {
                     let better = best
                         .as_ref()
@@ -486,6 +530,7 @@ impl Rasengan {
     pub fn solve(&self, problem: &Problem) -> Result<Outcome, RasenganError> {
         let wall = Instant::now();
         let prepared = self.prepare(problem)?;
+        let prepare_s = wall.elapsed().as_secs_f64();
         let cfg = &self.config;
         let n_params = prepared.stats.n_params;
         let sense = problem.sense();
@@ -496,13 +541,13 @@ impl Rasengan {
         let mut total_shots = 0usize;
         let mut eval_counter = 0u64;
 
-        // Training loop: minimize the sense-adjusted expectation.
+        // Training loop: minimize the sense-adjusted expectation. Each
+        // evaluation executes under its own RNG stream derived from the
+        // seed and the evaluation index.
         let mut objective = |params: &[f64]| -> f64 {
             eval_counter += 1;
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ eval_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            match execute(problem, &prepared, params, cfg, lambda, &mut rng) {
+            let stream_seed = derive_seed(cfg.seed, eval_counter);
+            match execute(problem, &prepared, params, cfg, lambda, stream_seed) {
                 Ok(exec) => {
                     quantum_s += exec.quantum_s;
                     total_shots += exec.shots;
@@ -532,6 +577,7 @@ impl Rasengan {
             }
             None => vec![std::f64::consts::FRAC_PI_4; n_params],
         };
+        let train_start = Instant::now();
         let result = match cfg.optimizer {
             OptimizerKind::Cobyla => Cobyla::new(cfg.max_iterations).minimize(&mut objective, &x0),
             OptimizerKind::NelderMead => {
@@ -541,10 +587,20 @@ impl Rasengan {
                 Spsa::new(cfg.max_iterations, cfg.seed).minimize(&mut objective, &x0)
             }
         };
+        let train_s = train_start.elapsed().as_secs_f64();
 
-        // Final execution at the trained parameters.
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF1AA_F1AA);
-        let exec = execute(problem, &prepared, &result.best_params, cfg, lambda, &mut rng)?;
+        // Final execution at the trained parameters, on a stream no
+        // training evaluation can collide with.
+        let final_start = Instant::now();
+        let exec = execute(
+            problem,
+            &prepared,
+            &result.best_params,
+            cfg,
+            lambda,
+            derive_seed(cfg.seed, u64::MAX),
+        )?;
+        let execute_s = final_start.elapsed().as_secs_f64();
         quantum_s += exec.quantum_s;
         total_shots += exec.shots;
 
@@ -564,6 +620,11 @@ impl Rasengan {
             latency: Latency {
                 quantum_s,
                 classical_s: wall.elapsed().as_secs_f64(),
+                stages: StageTimes {
+                    prepare_s,
+                    train_s,
+                    execute_s,
+                },
             },
             history: result.history,
             evaluations: result.evaluations,
@@ -590,19 +651,27 @@ struct Execution {
 }
 
 /// Executes the chain segment-by-segment from the seed state.
+///
+/// All sampling draws from RNG streams derived from `stream_seed`
+/// through the SplitMix64 finalizer: noisy trajectories get one stream
+/// per *global shot index*, exact sampling one stream per input label.
+/// Work is split over the configured threads by index, and results are
+/// folded in input order — the output is bit-identical for a fixed seed
+/// at any thread count.
 fn execute(
     problem: &Problem,
     prepared: &Prepared,
     params: &[f64],
     cfg: &RasenganConfig,
     _lambda: f64,
-    rng: &mut StdRng,
+    stream_seed: u64,
 ) -> Result<Execution, RasenganError> {
     debug_assert!(
         params.iter().all(|t| t.is_finite()),
         "non-finite evolution times reached the executor"
     );
     let noisy = cfg.noise.is_noisy();
+    let threads = resolve_threads(cfg.threads);
     let shots = match (cfg.shots, noisy) {
         (Some(s), _) => Some(s),
         (None, true) => Some(1024), // noise forces sampling
@@ -613,6 +682,9 @@ fn execute(
     let mut quantum_s = 0.0;
     let mut shots_used = 0usize;
     let mut raw_rate = 1.0;
+    // Next unused RNG stream; monotone across segments so no two shots
+    // (or sampling batches) ever share a stream.
+    let mut next_stream = 0u64;
 
     let n_segments = prepared.plan.segments.len();
     for (seg_idx, range) in prepared.plan.segments.iter().enumerate() {
@@ -633,19 +705,21 @@ fn execute(
                 // Quantum latency is still charged at the notional 1024
                 // shots a hardware run would use, so latency reports stay
                 // comparable with the shot-based baselines.
-                quantum_s += segment_execution_seconds(
-                    &cfg.device,
-                    cx_depth,
-                    4 * ops.len(),
-                    1024,
-                );
-                let mut next: BTreeMap<Label, f64> = BTreeMap::new();
-                for (&label, &p) in &dist {
+                quantum_s += segment_execution_seconds(&cfg.device, cx_depth, 4 * ops.len(), 1024);
+                // Each input label propagates independently; the merge
+                // runs sequentially in input order so the floating-point
+                // accumulation order is fixed.
+                let inputs: Vec<(Label, f64)> = dist.iter().map(|(&l, &p)| (l, p)).collect();
+                let locals = par_map(&inputs, threads, |_, &(label, _)| {
                     let mut state = SparseState::basis_state(problem.n_vars(), label);
                     for (op, &t) in ops.iter().zip(times) {
                         op.apply(&mut state, t);
                     }
-                    for (l, q) in state.distribution() {
+                    state.distribution()
+                });
+                let mut next: BTreeMap<Label, f64> = BTreeMap::new();
+                for ((_, p), local) in inputs.iter().zip(locals) {
+                    for (l, q) in local {
                         *next.entry(l).or_insert(0.0) += p * q;
                     }
                 }
@@ -656,37 +730,73 @@ fn execute(
                 let probs: Vec<f64> = dist.values().copied().collect();
                 let shares = apportion_shots(&probs, budget);
                 let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
-                for (&input, &share) in inputs.iter().zip(&shares) {
-                    if share == 0 {
-                        continue;
-                    }
-                    shots_used += share;
-                    quantum_s += segment_execution_seconds(
-                        &cfg.device,
-                        cx_depth,
-                        // 1Q layers: X-preparation plus the H/X shells of
-                        // each τ (≈ 4 per operator).
-                        input.count_ones() as usize + 4 * ops.len(),
-                        share,
-                    );
-                    if noisy {
-                        for _ in 0..share {
-                            let label = run_noisy_trajectory(
-                                problem.n_vars(),
-                                input,
-                                ops,
-                                times,
-                                &cfg.noise,
-                                rng,
-                            );
-                            *counts.entry(label).or_insert(0) += 1;
+
+                if noisy {
+                    // One job per shot, tagged with its RNG stream; the
+                    // per-shot labels depend only on (input, stream), so
+                    // any thread count yields the same counts.
+                    let mut jobs: Vec<(Label, u64)> = Vec::new();
+                    for (&input, &share) in inputs.iter().zip(&shares) {
+                        if share == 0 {
+                            continue;
                         }
-                    } else {
+                        shots_used += share;
+                        quantum_s += segment_execution_seconds(
+                            &cfg.device,
+                            cx_depth,
+                            // 1Q layers: X-preparation plus the H/X shells
+                            // of each τ (≈ 4 per operator).
+                            input.count_ones() as usize + 4 * ops.len(),
+                            share,
+                        );
+                        for _ in 0..share {
+                            jobs.push((input, next_stream));
+                            next_stream += 1;
+                        }
+                    }
+                    let labels = par_map(&jobs, threads, |_, &(input, stream)| {
+                        let mut rng = StdRng::seed_from_u64(derive_seed(stream_seed, stream));
+                        run_noisy_trajectory(
+                            problem.n_vars(),
+                            input,
+                            ops,
+                            times,
+                            &cfg.noise,
+                            &mut rng,
+                        )
+                    });
+                    for label in labels {
+                        *counts.entry(label).or_insert(0) += 1;
+                    }
+                } else {
+                    // Noise-free sampling: one job per input label; each
+                    // propagates its state and samples its share from a
+                    // dedicated stream.
+                    let mut jobs: Vec<(Label, usize, u64)> = Vec::new();
+                    for (&input, &share) in inputs.iter().zip(&shares) {
+                        if share == 0 {
+                            continue;
+                        }
+                        shots_used += share;
+                        quantum_s += segment_execution_seconds(
+                            &cfg.device,
+                            cx_depth,
+                            input.count_ones() as usize + 4 * ops.len(),
+                            share,
+                        );
+                        jobs.push((input, share, next_stream));
+                        next_stream += 1;
+                    }
+                    let sampled = par_map(&jobs, threads, |_, &(input, share, stream)| {
+                        let mut rng = StdRng::seed_from_u64(derive_seed(stream_seed, stream));
                         let mut state = SparseState::basis_state(problem.n_vars(), input);
                         for (op, &t) in ops.iter().zip(times) {
                             op.apply(&mut state, t);
                         }
-                        for (label, c) in state.sample(share, rng) {
+                        state.sample(share, &mut rng)
+                    });
+                    for batch in sampled {
+                        for (label, c) in batch {
                             *counts.entry(label).or_insert(0) += c;
                         }
                     }
@@ -785,7 +895,9 @@ mod tests {
 
     #[test]
     fn prepare_reports_consistent_stats() {
-        let prepared = Rasengan::new(RasenganConfig::default()).prepare(&j1()).unwrap();
+        let prepared = Rasengan::new(RasenganConfig::default())
+            .prepare(&j1())
+            .unwrap();
         assert_eq!(prepared.stats.kept_ops, prepared.chain.ops.len());
         assert_eq!(prepared.stats.n_params, prepared.chain.ops.len());
         assert!(prepared.stats.n_segments >= 1);
@@ -803,7 +915,11 @@ mod tests {
         assert!(outcome.arg < 0.5, "arg {}", outcome.arg);
         // The best measured solution should be the true optimum here.
         let (_, e_opt) = optimum(&j1());
-        assert!((outcome.best.value - e_opt).abs() < 1e-9, "best {}", outcome.best.value);
+        assert!(
+            (outcome.best.value - e_opt).abs() < 1e-9,
+            "best {}",
+            outcome.best.value
+        );
     }
 
     #[test]
@@ -815,7 +931,10 @@ mod tests {
         let feasible = enumerate_feasible(&p);
         for &label in outcome.distribution.keys() {
             let bits = rasengan_qsim::sparse::bits_from_label(label, p.n_vars());
-            assert!(feasible.contains(&bits), "infeasible state in output: {bits:?}");
+            assert!(
+                feasible.contains(&bits),
+                "infeasible state in output: {bits:?}"
+            );
         }
     }
 
@@ -839,7 +958,10 @@ mod tests {
             .with_max_iterations(25)
             .with_seed(11);
         let outcome = Rasengan::new(cfg).solve(&j1()).unwrap();
-        assert_eq!(outcome.in_constraints_rate, 1.0, "purification must clean the output");
+        assert_eq!(
+            outcome.in_constraints_rate, 1.0,
+            "purification must clean the output"
+        );
         assert!(outcome.raw_in_constraints_rate <= 1.0);
         assert!(outcome.best.feasible);
     }
@@ -858,20 +980,29 @@ mod tests {
 
     #[test]
     fn unsegmented_mode_single_segment() {
-        let mut cfg = RasenganConfig::default();
-        cfg.segmented = false;
+        let cfg = RasenganConfig {
+            segmented: false,
+            ..RasenganConfig::default()
+        };
         let prepared = Rasengan::new(cfg).prepare(&j1()).unwrap();
         assert_eq!(prepared.stats.n_segments, 1);
-        assert_eq!(prepared.stats.max_segment_cx_depth, prepared.stats.total_cx_depth);
+        assert_eq!(
+            prepared.stats.max_segment_cx_depth,
+            prepared.stats.total_cx_depth
+        );
     }
 
     #[test]
     fn pruning_reduces_parameters() {
-        let with = Rasengan::new(RasenganConfig::default()).prepare(&j1()).unwrap();
+        let with = Rasengan::new(RasenganConfig::default())
+            .prepare(&j1())
+            .unwrap();
         let without = {
-            let mut cfg = RasenganConfig::default();
-            cfg.prune = false;
-            cfg.early_stop = false;
+            let cfg = RasenganConfig {
+                prune: false,
+                early_stop: false,
+                ..RasenganConfig::default()
+            };
             Rasengan::new(cfg).prepare(&j1()).unwrap()
         };
         assert!(with.stats.kept_ops <= without.stats.kept_ops);
@@ -879,16 +1010,15 @@ mod tests {
 
     #[test]
     fn fidelity_budget_matches_paper_scale() {
-        let cfg = RasenganConfig::default()
-            .with_fidelity_budget(&Device::ibm_kyiv(), 0.5);
+        let cfg = RasenganConfig::default().with_fidelity_budget(&Device::ibm_kyiv(), 0.5);
         // ln(0.5)/ln(1−0.012) ≈ 57 — the paper's ~50-deep segments.
         assert!(
             (40..=80).contains(&cfg.segment_depth_budget),
             "budget {}",
             cfg.segment_depth_budget
         );
-        let noise_free = RasenganConfig::default()
-            .with_fidelity_budget(&Device::noise_free(10), 0.5);
+        let noise_free =
+            RasenganConfig::default().with_fidelity_budget(&Device::noise_free(10), 0.5);
         assert!(noise_free.segment_depth_budget > 1_000_000);
     }
 
@@ -916,11 +1046,18 @@ mod tests {
     fn multistart_beats_or_matches_single_start() {
         let p = benchmark(BenchmarkId::parse("S2").unwrap());
         let solver = Rasengan::new(
-            RasenganConfig::default().with_seed(2).with_max_iterations(40),
+            RasenganConfig::default()
+                .with_seed(2)
+                .with_max_iterations(40),
         );
         let single = solver.solve(&p).unwrap();
         let multi = solver.solve_multistart(&p, 4).unwrap();
-        assert!(multi.arg <= single.arg + 1e-12, "multi {} vs single {}", multi.arg, single.arg);
+        assert!(
+            multi.arg <= single.arg + 1e-12,
+            "multi {} vs single {}",
+            multi.arg,
+            single.arg
+        );
         assert!(multi.best.feasible);
     }
 
@@ -964,12 +1101,16 @@ mod tests {
         // within a small budget.
         let siblings = cases(BenchmarkId::parse("F2").unwrap(), 2, 99);
         let teacher = Rasengan::new(
-            RasenganConfig::default().with_seed(1).with_max_iterations(120),
+            RasenganConfig::default()
+                .with_seed(1)
+                .with_max_iterations(120),
         )
         .solve(&siblings[0])
         .unwrap();
         let cold = Rasengan::new(
-            RasenganConfig::default().with_seed(1).with_max_iterations(15),
+            RasenganConfig::default()
+                .with_seed(1)
+                .with_max_iterations(15),
         )
         .solve(&siblings[1])
         .unwrap();
@@ -984,7 +1125,12 @@ mod tests {
         assert!(warm.best.feasible);
         // Not strictly guaranteed per-instance, but the transferred
         // start must at least produce a valid competitive run.
-        assert!(warm.arg <= cold.arg + 0.5, "warm {} vs cold {}", warm.arg, cold.arg);
+        assert!(
+            warm.arg <= cold.arg + 0.5,
+            "warm {} vs cold {}",
+            warm.arg,
+            cold.arg
+        );
     }
 
     #[test]
@@ -992,7 +1138,9 @@ mod tests {
         use rasengan_problems::portfolio::Portfolio;
         let p = Portfolio::generate(2, 3, 1, 4).into_problem();
         let outcome = Rasengan::new(
-            RasenganConfig::default().with_seed(8).with_max_iterations(120),
+            RasenganConfig::default()
+                .with_seed(8)
+                .with_max_iterations(120),
         )
         .solve(&p)
         .unwrap();
@@ -1008,10 +1156,14 @@ mod tests {
     #[test]
     fn simplification_never_increases_depth() {
         let p = benchmark(BenchmarkId::parse("S2").unwrap());
-        let with = Rasengan::new(RasenganConfig::default()).prepare(&p).unwrap();
+        let with = Rasengan::new(RasenganConfig::default())
+            .prepare(&p)
+            .unwrap();
         let without = {
-            let mut cfg = RasenganConfig::default();
-            cfg.simplify = false;
+            let cfg = RasenganConfig {
+                simplify: false,
+                ..RasenganConfig::default()
+            };
             Rasengan::new(cfg).prepare(&p).unwrap()
         };
         assert!(with.stats.simplify_cost.1 <= without.stats.simplify_cost.0);

@@ -55,7 +55,7 @@ pub fn linear_extrapolate(xs: &[f64], ys: &[f64]) -> f64 {
         return sy / n;
     }
     let b = (n * sxy - sx * sy) / denom;
-    
+
     (sy - b * sx) / n
 }
 

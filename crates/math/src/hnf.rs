@@ -224,7 +224,11 @@ mod tests {
             vec![vec![3, 1], vec![1, 2], vec![4, 3]],
         ] {
             let a = IntMatrix::from_rows(&rows);
-            assert_eq!(hermite_normal_form(&a).rank, rank(&a), "rank mismatch on {a:?}");
+            assert_eq!(
+                hermite_normal_form(&a).rank,
+                rank(&a),
+                "rank mismatch on {a:?}"
+            );
         }
     }
 
@@ -266,7 +270,10 @@ mod tests {
         assert_eq!(basis.len(), 2);
         for u in &basis {
             assert_eq!(c.mul_vec(u), vec![0]);
-            assert!(u.iter().all(|&v| v.abs() <= 1), "expected ternary basis, got {u:?}");
+            assert!(
+                u.iter().all(|&v| v.abs() <= 1),
+                "expected ternary basis, got {u:?}"
+            );
         }
     }
 }

@@ -45,8 +45,8 @@ pub mod rref;
 pub mod solve;
 pub mod tu;
 
-pub use hnf::{hermite_normal_form, integer_nullspace, Hnf};
 pub use basis::{nonzero_count, ternary_nullspace_basis, TernaryBasisError};
+pub use hnf::{hermite_normal_form, integer_nullspace, Hnf};
 pub use matrix::{IntMatrix, RatMatrix};
 pub use rational::Rational;
 pub use rref::{nullspace, rank, rref_in_place, RrefSummary};

@@ -61,7 +61,11 @@ impl IntMatrix {
             assert_eq!(row.len(), c, "ragged rows in IntMatrix::from_rows");
             data.extend_from_slice(row);
         }
-        IntMatrix { rows: r, cols: c, data }
+        IntMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.

@@ -289,7 +289,10 @@ mod tests {
     fn ordering_is_exact() {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
-        assert_eq!(Rational::new(2, 4).cmp(&Rational::new(1, 2)), Ordering::Equal);
+        assert_eq!(
+            Rational::new(2, 4).cmp(&Rational::new(1, 2)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub fn rref_in_place(m: &mut RatMatrix) -> RrefSummary {
     }
 
     let free_cols = (0..cols).filter(|c| !pivot_cols.contains(c)).collect();
-    RrefSummary { pivot_cols, free_cols }
+    RrefSummary {
+        pivot_cols,
+        free_cols,
+    }
 }
 
 /// The rank of an integer matrix, computed exactly.
@@ -136,10 +139,7 @@ fn primitive_integer_vector(v: &[Rational]) -> Vec<i64> {
         let d = r.denom();
         lcm = lcm / gcd_i128(lcm, d) * d;
     }
-    let ints: Vec<i128> = v
-        .iter()
-        .map(|r| r.numer() * (lcm / r.denom()))
-        .collect();
+    let ints: Vec<i128> = v.iter().map(|r| r.numer() * (lcm / r.denom())).collect();
     let mut g: i128 = 0;
     for &x in &ints {
         g = gcd_i128(g, x.abs());

@@ -229,7 +229,10 @@ mod tests {
         let c = IntMatrix::from_rows(&[vec![1, 1]]);
         assert!(matches!(
             solve_exact(&c, &[1, 2]),
-            Err(SolveError::ShapeMismatch { rows: 1, rhs_len: 2 })
+            Err(SolveError::ShapeMismatch {
+                rows: 1,
+                rhs_len: 2
+            })
         ));
     }
 

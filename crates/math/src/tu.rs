@@ -150,7 +150,8 @@ fn minor_determinant(c: &IntMatrix, rs: &[usize], cs: &[usize]) -> i64 {
             }
         }
     }
-    det.to_integer().expect("determinant of integer matrix is integer") as i64
+    det.to_integer()
+        .expect("determinant of integer matrix is integer") as i64
 }
 
 /// All `k`-subsets of `0..n` in lexicographic order.

@@ -148,14 +148,30 @@ impl Optimizer for Cobyla {
                 Some(g) => g,
                 None => {
                     // Degenerate simplex: rebuild around the best point.
-                    rebuild_simplex(&base, fbase, rho, &mut points, &mut values, &mut eval, &mut evals);
+                    rebuild_simplex(
+                        &base,
+                        fbase,
+                        rho,
+                        &mut points,
+                        &mut values,
+                        &mut eval,
+                        &mut evals,
+                    );
                     continue;
                 }
             };
             let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
             if gnorm < 1e-14 {
                 rho *= 0.5;
-                rebuild_simplex(&base, fbase, rho, &mut points, &mut values, &mut eval, &mut evals);
+                rebuild_simplex(
+                    &base,
+                    fbase,
+                    rho,
+                    &mut points,
+                    &mut values,
+                    &mut eval,
+                    &mut evals,
+                );
                 continue;
             }
 
@@ -249,7 +265,11 @@ mod tests {
     fn solves_shifted_quadratic() {
         let mut f = |x: &[f64]| (x[0] + 1.5).powi(2) + (x[1] - 2.0).powi(2) + 3.0;
         let res = Cobyla::new(400).minimize(&mut f, &[0.0, 0.0]);
-        assert!((res.best_value - 3.0).abs() < 1e-2, "value {}", res.best_value);
+        assert!(
+            (res.best_value - 3.0).abs() < 1e-2,
+            "value {}",
+            res.best_value
+        );
         assert!((res.best_params[0] + 1.5).abs() < 0.1);
         assert!((res.best_params[1] - 2.0).abs() < 0.1);
     }

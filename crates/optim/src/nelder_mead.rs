@@ -151,8 +151,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_ish() {
-        let mut rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let mut rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let res = NelderMead::new(2000).minimize(&mut rosen, &[-1.0, 1.0]);
         assert!(res.best_value < 1e-4, "stalled at {}", res.best_value);
         assert!((res.best_params[0] - 1.0).abs() < 0.05);

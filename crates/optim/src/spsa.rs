@@ -148,7 +148,11 @@ mod tests {
             (x[0] - 1.0).powi(2) + noise
         };
         let res = Spsa::new(800, 3).minimize(&mut f, &[-1.0]);
-        assert!((res.best_params[0] - 1.0).abs() < 0.3, "{:?}", res.best_params);
+        assert!(
+            (res.best_params[0] - 1.0).abs() < 0.3,
+            "{:?}",
+            res.best_params
+        );
     }
 
     #[test]

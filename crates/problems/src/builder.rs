@@ -49,7 +49,10 @@ impl fmt::Display for BuildError {
                 write!(f, "variable x{index} out of range for {n_vars} variables")
             }
             BuildError::UnsatisfiableInequality { constraint } => {
-                write!(f, "constraint #{constraint} admits no binary slack encoding")
+                write!(
+                    f,
+                    "constraint #{constraint} admits no binary slack encoding"
+                )
             }
             BuildError::Problem(e) => write!(f, "{e}"),
         }
@@ -215,7 +218,7 @@ impl ProblemBuilder {
             }
             let sign = match rc.cmp {
                 Cmp::Eq => 0,
-                Cmp::Le => 1,   // lhs + slack = bound
+                Cmp::Le => 1,  // lhs + slack = bound
                 Cmp::Ge => -1, // lhs − slack = bound
             };
             for s in 0..size {
@@ -239,8 +242,7 @@ impl ProblemBuilder {
         .map_err(BuildError::Problem)?;
 
         // Try to attach a feasible seed automatically.
-        if let Ok(seed) =
-            rasengan_math::find_binary_solution(problem.constraints(), problem.rhs())
+        if let Ok(seed) = rasengan_math::find_binary_solution(problem.constraints(), problem.rhs())
         {
             problem = problem
                 .with_initial_feasible(seed)
@@ -314,7 +316,10 @@ mod tests {
             .constraint(&[(5, 1)], Cmp::Eq, 1)
             .build()
             .unwrap_err();
-        assert!(matches!(err, BuildError::VariableOutOfRange { index: 5, .. }));
+        assert!(matches!(
+            err,
+            BuildError::VariableOutOfRange { index: 5, .. }
+        ));
     }
 
     #[test]
@@ -324,7 +329,10 @@ mod tests {
             .constraint(&[(0, 1), (1, 1)], Cmp::Ge, 3)
             .build()
             .unwrap_err();
-        assert!(matches!(err, BuildError::UnsatisfiableInequality { constraint: 0 }));
+        assert!(matches!(
+            err,
+            BuildError::UnsatisfiableInequality { constraint: 0 }
+        ));
     }
 
     #[test]

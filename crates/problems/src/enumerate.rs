@@ -3,32 +3,27 @@
 //! The evaluation needs ground truth: `E_opt` for the ARG metric
 //! (paper Eq. 9) and `#feasible solutions` for Table 2. Two engines:
 //!
-//! * [`enumerate_feasible`] — breadth-first expansion from the initial
-//!   feasible solution along the ternary homogeneous basis, exactly the
-//!   move set the transition Hamiltonians implement. This scales with
-//!   the feasible-set size, not `2^n`, so it handles the 105-variable
-//!   FLP instances of Fig. 10.
+//! * [`enumerate_feasible`] — depth-first search over variable
+//!   assignments with per-row interval pruning. This is *exact* (it
+//!   enumerates every binary solution of `Cx = b`), and the pruning
+//!   makes it scale with the structure of the system rather than `2^n`,
+//!   so it handles the 105-variable FLP instances of Fig. 10.
 //! * [`brute_force_feasible`] — `2^n` scan, used as a cross-check on
-//!   small instances (and the only option if no ternary basis exists).
+//!   small instances.
 
 use crate::problem::Problem;
-use rasengan_math::{basis::ternary_nullspace_basis, find_binary_solution};
-use std::collections::{HashSet, VecDeque};
 
-/// Enumerates all feasible solutions reachable from the seed by ±basis
-/// moves.
+/// Enumerates all binary solutions of the problem's constraint system
+/// `Cx = b`, in lexicographic order.
 ///
-/// For totally unimodular constraint systems (all five benchmark
-/// domains) this is the *entire* feasible set — the same fact Theorem 1
-/// uses to bound the transition-chain length.
-///
-/// The seed is the problem's attached initial solution if present,
-/// otherwise one is found by backtracking search.
-///
-/// # Panics
-///
-/// Panics if no feasible solution exists or no ternary basis could be
-/// constructed (not the case for any generated benchmark).
+/// Exact by construction: a depth-first search assigns variables in
+/// order, maintaining each row's partial sum together with the minimum
+/// and maximum contribution still attainable from the unassigned
+/// suffix; a branch is cut as soon as some row can no longer reach its
+/// right-hand side. (An earlier implementation walked the ternary-basis
+/// transition graph instead, which silently undercounted whenever
+/// single ±basis moves with binary intermediates did not connect the
+/// feasible set.)
 ///
 /// # Example
 ///
@@ -47,31 +42,70 @@ use std::collections::{HashSet, VecDeque};
 /// assert_eq!(enumerate_feasible(&p).len(), 3);
 /// ```
 pub fn enumerate_feasible(problem: &Problem) -> Vec<Vec<i64>> {
-    let seed: Vec<i64> = match problem.initial_feasible() {
-        Some(x) => x.to_vec(),
-        None => find_binary_solution(problem.constraints(), problem.rhs())
-            .expect("problem has no feasible solution"),
-    };
-    let basis = ternary_nullspace_basis(problem.constraints())
-        .expect("constraint system admits no ternary homogeneous basis");
+    let c = problem.constraints();
+    let rhs = problem.rhs();
+    let n = problem.n_vars();
+    let m = c.rows();
 
-    let mut seen: HashSet<Vec<i64>> = HashSet::new();
-    let mut queue = VecDeque::from([seed.clone()]);
-    seen.insert(seed);
-    while let Some(x) = queue.pop_front() {
-        for u in &basis {
-            for sign in [1i64, -1] {
-                let cand: Vec<i64> = x.iter().zip(u).map(|(&a, &b)| a + sign * b).collect();
-                if cand.iter().all(|&v| v == 0 || v == 1) && !seen.contains(&cand) {
-                    seen.insert(cand.clone());
-                    queue.push_back(cand);
+    // suffix_neg[r][i] / suffix_pos[r][i]: tightest possible total
+    // contribution of variables i.. to row r (choosing x = 1 exactly on
+    // negative / positive coefficients).
+    let mut suffix_neg = vec![vec![0i64; n + 1]; m];
+    let mut suffix_pos = vec![vec![0i64; n + 1]; m];
+    for r in 0..m {
+        let row = c.row(r);
+        for i in (0..n).rev() {
+            suffix_neg[r][i] = suffix_neg[r][i + 1] + row[i].min(0);
+            suffix_pos[r][i] = suffix_pos[r][i + 1] + row[i].max(0);
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut x = vec![0i64; n];
+    let mut sums = vec![0i64; m];
+    // Iterative DFS: depth = next variable to assign; branch = next
+    // value to try at this depth (0, then 1, then backtrack).
+    let mut depth = 0usize;
+    let mut branch = vec![0i64; n + 1];
+    loop {
+        let viable = (0..m).all(|r| {
+            sums[r] + suffix_neg[r][depth] <= rhs[r] && rhs[r] <= sums[r] + suffix_pos[r][depth]
+        });
+        if viable && depth == n {
+            out.push(x.clone());
+        }
+        if viable && depth < n {
+            // Descend with x[depth] = 0.
+            branch[depth] = 0;
+            x[depth] = 0;
+            depth += 1;
+            branch[depth] = 0;
+            continue;
+        }
+        // Backtrack to the deepest ancestor that still has value 1 to try.
+        loop {
+            if depth == 0 {
+                out.sort();
+                return out;
+            }
+            depth -= 1;
+            if branch[depth] == 0 {
+                branch[depth] = 1;
+                x[depth] = 1;
+                for (r, sum) in sums.iter_mut().enumerate() {
+                    *sum += c.row(r)[depth];
                 }
+                depth += 1;
+                branch[depth] = 0;
+                break;
+            }
+            // Undo the x[depth] = 1 assignment and keep backtracking.
+            x[depth] = 0;
+            for (r, sum) in sums.iter_mut().enumerate() {
+                *sum -= c.row(r)[depth];
             }
         }
     }
-    let mut out: Vec<Vec<i64>> = seen.into_iter().collect();
-    out.sort();
-    out
 }
 
 /// Enumerates all feasible solutions by scanning `2^n` assignments.

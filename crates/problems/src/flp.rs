@@ -151,7 +151,10 @@ impl FacilityLocation {
     /// Panics if `facilities > 20` (subset enumeration budget).
     pub fn exact_optimum(&self) -> (Vec<i64>, f64) {
         let (f, d) = (self.facilities, self.demands);
-        assert!(f <= 20, "facility subset enumeration limited to 20 facilities");
+        assert!(
+            f <= 20,
+            "facility subset enumeration limited to 20 facilities"
+        );
         let mut best_cost = f64::INFINITY;
         let mut best_mask = 1usize;
         for mask in 1usize..(1 << f) {

@@ -83,11 +83,7 @@ pub fn write_problem(problem: &Problem) -> String {
     for &(i, j, w) in &obj.quadratic {
         out.push_str(&format!("objective quadratic {i} {j} {w}\n"));
     }
-    for (row, &b) in problem
-        .constraints()
-        .iter_rows()
-        .zip(problem.rhs().iter())
-    {
+    for (row, &b) in problem.constraints().iter_rows().zip(problem.rhs().iter()) {
         let coeffs: Vec<String> = row.iter().map(i64::to_string).collect();
         out.push_str(&format!("constraint {b} : {}\n", coeffs.join(" ")));
     }

@@ -39,7 +39,11 @@ impl KPartition {
     /// Panics if `vertices` is not divisible by `parts` or `parts < 2`.
     pub fn generate(vertices: usize, parts: usize, seed: u64) -> Self {
         assert!(parts >= 2, "need at least two parts");
-        assert_eq!(vertices % parts, 0, "vertices must divide evenly into parts");
+        assert_eq!(
+            vertices % parts,
+            0,
+            "vertices must divide evenly into parts"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut edges = Vec::new();
         for a in 0..vertices {

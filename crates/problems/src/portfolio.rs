@@ -44,12 +44,7 @@ impl Portfolio {
     /// # Panics
     ///
     /// Panics if `picks_per_sector > per_sector` or either is zero.
-    pub fn generate(
-        sectors: usize,
-        per_sector: usize,
-        picks_per_sector: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(sectors: usize, per_sector: usize, picks_per_sector: usize, seed: u64) -> Self {
         assert!(sectors > 0 && per_sector > 0, "degenerate portfolio shape");
         assert!(
             picks_per_sector <= per_sector && picks_per_sector > 0,

@@ -144,7 +144,10 @@ impl fmt::Display for ProblemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProblemError::RhsMismatch { rows, rhs_len } => {
-                write!(f, "rhs length {rhs_len} does not match {rows} constraint rows")
+                write!(
+                    f,
+                    "rhs length {rhs_len} does not match {rows} constraint rows"
+                )
             }
             ProblemError::ObjectiveMismatch { cols, linear_len } => write!(
                 f,
@@ -376,11 +379,23 @@ mod tests {
     fn construction_validates_shapes() {
         let c = IntMatrix::from_rows(&[vec![1, 1]]);
         assert!(matches!(
-            Problem::new("bad", c.clone(), vec![1, 2], Objective::linear(vec![0.0, 0.0]), Sense::Minimize),
+            Problem::new(
+                "bad",
+                c.clone(),
+                vec![1, 2],
+                Objective::linear(vec![0.0, 0.0]),
+                Sense::Minimize
+            ),
             Err(ProblemError::RhsMismatch { .. })
         ));
         assert!(matches!(
-            Problem::new("bad", c, vec![1], Objective::linear(vec![0.0]), Sense::Minimize),
+            Problem::new(
+                "bad",
+                c,
+                vec![1],
+                Objective::linear(vec![0.0]),
+                Sense::Minimize
+            ),
             Err(ProblemError::ObjectiveMismatch { .. })
         ));
     }

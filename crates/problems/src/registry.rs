@@ -33,7 +33,13 @@ pub enum Domain {
 impl Domain {
     /// All domains in Table 2 order.
     pub fn all() -> [Domain; 5] {
-        [Domain::Flp, Domain::Kpp, Domain::Jsp, Domain::Scp, Domain::Gcp]
+        [
+            Domain::Flp,
+            Domain::Kpp,
+            Domain::Jsp,
+            Domain::Scp,
+            Domain::Gcp,
+        ]
     }
 
     /// The single-letter prefix used in benchmark ids.
@@ -154,7 +160,10 @@ pub fn instance(id: BenchmarkId, seed: u64) -> Problem {
 /// assert!(f1.initial_feasible().is_some());
 /// ```
 pub fn benchmark(id: BenchmarkId) -> Problem {
-    instance(id, CANONICAL_SEED ^ (id.scale as u64) ^ ((id.domain.letter() as u64) << 8))
+    instance(
+        id,
+        CANONICAL_SEED ^ (id.scale as u64) ^ ((id.domain.letter() as u64) << 8),
+    )
 }
 
 /// Generates `count` randomized cases of the benchmark's shape

@@ -189,7 +189,11 @@ impl Circuit {
 
     /// Appends a multi-controlled phase gate.
     pub fn mcp(&mut self, controls: Vec<usize>, target: usize, theta: f64) -> &mut Self {
-        self.push(Gate::Mcp { controls, target, theta })
+        self.push(Gate::Mcp {
+            controls,
+            target,
+            theta,
+        })
     }
 
     /// Appends a multi-controlled X gate.
@@ -200,7 +204,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} gates):", self.n_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} gates):",
+            self.n_qubits,
+            self.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }

@@ -206,6 +206,9 @@ mod tests {
 
     #[test]
     fn debug_format_shows_sign() {
-        assert_eq!(format!("{:?}", Complex::new(1.0, -1.0)), "1.000000-1.000000i");
+        assert_eq!(
+            format!("{:?}", Complex::new(1.0, -1.0)),
+            "1.000000-1.000000i"
+        );
     }
 }

@@ -55,7 +55,11 @@ pub fn decompose_gate(gate: &Gate) -> Vec<Gate> {
             Gate::Cx(*c, *t),
             Gate::Phase(*t, theta / 2.0),
         ],
-        Gate::Mcp { controls, target, theta } => decompose_mcp(controls, *target, *theta),
+        Gate::Mcp {
+            controls,
+            target,
+            theta,
+        } => decompose_mcp(controls, *target, *theta),
         Gate::Mcx { controls, target } => decompose_mcx(controls, *target),
         simple => vec![simple.clone()],
     }

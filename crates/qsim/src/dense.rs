@@ -8,8 +8,13 @@
 use crate::circuit::Circuit;
 use crate::complex::Complex;
 use crate::gate::Gate;
+use crate::parallel::par_chunks_aligned;
 use rand::Rng;
 use std::collections::BTreeMap;
+
+/// Minimum amplitude count before gate kernels fan out to threads;
+/// below this, spawn overhead exceeds the arithmetic.
+const PAR_MIN_AMPS: usize = 1 << 14;
 
 /// A dense `2^n`-amplitude quantum state.
 ///
@@ -126,83 +131,103 @@ impl DenseState {
             Gate::H(q) => self.apply_1q(*q, h_matrix()),
             Gate::Rx(q, t) => self.apply_1q(*q, rx_matrix(*t)),
             Gate::Ry(q, t) => self.apply_1q(*q, ry_matrix(*t)),
-            Gate::Rz(q, t) => self.apply_phase_pair(
-                *q,
-                Complex::cis(-t / 2.0),
-                Complex::cis(t / 2.0),
-            ),
+            Gate::Rz(q, t) => {
+                self.apply_phase_pair(*q, Complex::cis(-t / 2.0), Complex::cis(t / 2.0))
+            }
             Gate::Phase(q, t) => self.apply_phase_pair(*q, Complex::ONE, Complex::cis(*t)),
             Gate::Cx(c, t) => self.apply_controlled_x(&[*c], *t),
             Gate::Cz(a, b) => self.apply_controlled_phase(&[*a], *b, std::f64::consts::PI),
             Gate::Swap(a, b) => self.apply_swap(*a, *b),
             Gate::Rzz(a, b, t) => self.apply_rzz(*a, *b, *t),
             Gate::Cp(c, t, theta) => self.apply_controlled_phase(&[*c], *t, *theta),
-            Gate::Mcp { controls, target, theta } => {
-                self.apply_controlled_phase(controls, *target, *theta)
-            }
+            Gate::Mcp {
+                controls,
+                target,
+                theta,
+            } => self.apply_controlled_phase(controls, *target, *theta),
             Gate::Mcx { controls, target } => self.apply_controlled_x(controls, *target),
         }
     }
 
     fn apply_1q(&mut self, q: usize, m: [Complex; 4]) {
         let mask = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                let j = i | mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m[0] * a0 + m[1] * a1;
-                self.amps[j] = m[2] * a0 + m[3] * a1;
+        // Chunks are aligned to 2^(q+1), so every (i, i|mask) pair lives
+        // inside one chunk and threads never share an amplitude.
+        par_chunks_aligned(&mut self.amps, mask << 1, PAR_MIN_AMPS, |_, chunk| {
+            for i in 0..chunk.len() {
+                if i & mask == 0 {
+                    let j = i | mask;
+                    let a0 = chunk[i];
+                    let a1 = chunk[j];
+                    chunk[i] = m[0] * a0 + m[1] * a1;
+                    chunk[j] = m[2] * a0 + m[3] * a1;
+                }
             }
-        }
+        });
     }
 
     /// Applies `diag(p0, p1)` on qubit `q`.
     fn apply_phase_pair(&mut self, q: usize, p0: Complex, p1: Complex) {
         let mask = 1usize << q;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            *a *= if i & mask == 0 { p0 } else { p1 };
-        }
+        par_chunks_aligned(&mut self.amps, 1, PAR_MIN_AMPS, |base, chunk| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                *a *= if (base + i) & mask == 0 { p0 } else { p1 };
+            }
+        });
     }
 
     fn apply_controlled_x(&mut self, controls: &[usize], target: usize) {
         let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
         let tmask = 1usize << target;
-        for i in 0..self.amps.len() {
-            if i & cmask == cmask && i & tmask == 0 {
-                self.amps.swap(i, i | tmask);
+        par_chunks_aligned(&mut self.amps, tmask << 1, PAR_MIN_AMPS, |base, chunk| {
+            for i in 0..chunk.len() {
+                let g = base + i;
+                if g & cmask == cmask && g & tmask == 0 {
+                    chunk.swap(i, i | tmask);
+                }
             }
-        }
+        });
     }
 
     fn apply_controlled_phase(&mut self, controls: &[usize], target: usize, theta: f64) {
         let mut mask: usize = controls.iter().map(|&c| 1usize << c).sum();
         mask |= 1usize << target;
         let phase = Complex::cis(theta);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & mask == mask {
-                *a *= phase;
+        par_chunks_aligned(&mut self.amps, 1, PAR_MIN_AMPS, |base, chunk| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                if (base + i) & mask == mask {
+                    *a *= phase;
+                }
             }
-        }
+        });
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
         let (ma, mb) = (1usize << a, 1usize << b);
-        for i in 0..self.amps.len() {
-            if i & ma != 0 && i & mb == 0 {
-                self.amps.swap(i, i ^ ma ^ mb);
+        // Swapped labels agree above bit max(a, b), so chunks aligned to
+        // the larger mask keep both members of each pair together.
+        let unit = ma.max(mb) << 1;
+        par_chunks_aligned(&mut self.amps, unit, PAR_MIN_AMPS, |base, chunk| {
+            for i in 0..chunk.len() {
+                let g = base + i;
+                if g & ma != 0 && g & mb == 0 {
+                    chunk.swap(i, i ^ ma ^ mb);
+                }
             }
-        }
+        });
     }
 
     fn apply_rzz(&mut self, a: usize, b: usize, theta: f64) {
         let (ma, mb) = (1usize << a, 1usize << b);
         let minus = Complex::cis(-theta / 2.0);
         let plus = Complex::cis(theta / 2.0);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            let parity = ((i & ma != 0) as u8) ^ ((i & mb != 0) as u8);
-            *amp *= if parity == 0 { minus } else { plus };
-        }
+        par_chunks_aligned(&mut self.amps, 1, PAR_MIN_AMPS, |base, chunk| {
+            for (i, amp) in chunk.iter_mut().enumerate() {
+                let g = base + i;
+                let parity = ((g & ma != 0) as u8) ^ ((g & mb != 0) as u8);
+                *amp *= if parity == 0 { minus } else { plus };
+            }
+        });
     }
 
     /// Flips the sign of every basis amplitude whose label satisfies
@@ -264,19 +289,26 @@ impl DenseState {
     }
 
     /// Draws `shots` measurement outcomes, returning label → count.
+    ///
+    /// Builds the cumulative-probability table once (`O(2^n)`), then
+    /// each shot is a binary search (`O(log 2^n)`). The earlier
+    /// implementation recomputed the full norm and linearly scanned the
+    /// probability vector *per shot* — `O(shots · 2^n)`, the dominant
+    /// cost for shot-heavy noisy workloads.
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> BTreeMap<u64, usize> {
-        let probs = self.probabilities();
+        let mut cdf = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0f64;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cdf.push(acc);
+        }
+        let norm = acc;
         let mut counts = BTreeMap::new();
         for _ in 0..shots {
-            let mut r: f64 = rng.gen::<f64>() * self.norm_sqr();
-            let mut outcome = probs.len() - 1;
-            for (i, &p) in probs.iter().enumerate() {
-                if r < p {
-                    outcome = i;
-                    break;
-                }
-                r -= p;
-            }
+            let r: f64 = rng.gen::<f64>() * norm;
+            // First index whose cumulative mass exceeds r, falling back
+            // to the last label when r lands on accumulated rounding.
+            let outcome = cdf.partition_point(|&c| c <= r).min(cdf.len() - 1);
             *counts.entry(outcome as u64).or_insert(0) += 1;
         }
         counts
@@ -320,6 +352,47 @@ mod tests {
     use rand::SeedableRng;
 
     const TOL: f64 = 1e-12;
+
+    #[test]
+    fn cdf_sampling_matches_probabilities_chi_squared() {
+        // Uniform 3-qubit superposition: 8 equiprobable outcomes. The
+        // CDF sampler's counts must pass a chi-squared check against
+        // the exact probabilities (df = 7, p = 0.001 cutoff ~24.3).
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let s = DenseState::from_circuit(&c);
+        let shots = 8000usize;
+        let mut rng = StdRng::seed_from_u64(17);
+        let counts = s.sample(shots, &mut rng);
+        let expected = shots as f64 / 8.0;
+        let chi2: f64 = (0..8u64)
+            .map(|l| {
+                let obs = *counts.get(&l).unwrap_or(&0) as f64;
+                (obs - expected).powi(2) / expected
+            })
+            .sum();
+        assert!(chi2 < 24.3, "chi-squared {chi2} too large for uniform");
+    }
+
+    #[test]
+    fn cdf_sampling_matches_skewed_probabilities() {
+        // A skewed two-outcome state: Rx rotation puts cos^2/sin^2 mass
+        // on |0>/|1>; chi-squared df = 1, p = 0.001 cutoff ~10.8.
+        let mut s = DenseState::zero_state(1);
+        s.apply(&Gate::Rx(0, 1.2));
+        let p = s.probabilities();
+        let shots = 8000usize;
+        let mut rng = StdRng::seed_from_u64(23);
+        let counts = s.sample(shots, &mut rng);
+        let chi2: f64 = (0..2u64)
+            .map(|l| {
+                let e = p[l as usize] * shots as f64;
+                let obs = *counts.get(&l).unwrap_or(&0) as f64;
+                (obs - e).powi(2) / e
+            })
+            .sum();
+        assert!(chi2 < 10.8, "chi-squared {chi2} too large for skewed state");
+    }
 
     #[test]
     fn x_flips_basis_state() {
@@ -407,7 +480,13 @@ mod tests {
     #[test]
     fn norm_preserved_by_random_circuit() {
         let mut c = Circuit::new(4);
-        c.h(0).rx(1, 0.3).ry(2, 1.1).rz(3, -0.7).cx(0, 1).cx(2, 3).rzz(1, 2, 0.5);
+        c.h(0)
+            .rx(1, 0.3)
+            .ry(2, 1.1)
+            .rz(3, -0.7)
+            .cx(0, 1)
+            .cx(2, 3)
+            .rzz(1, 2, 0.5);
         let s = DenseState::from_circuit(&c);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
     }
@@ -436,7 +515,11 @@ mod tests {
     #[test]
     fn inverse_circuit_restores_initial_state() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).ry(2, 0.4).rzz(0, 2, 0.9).mcp(vec![0], 2, 0.3);
+        c.h(0)
+            .cx(0, 1)
+            .ry(2, 0.4)
+            .rzz(0, 2, 0.9)
+            .mcp(vec![0], 2, 0.3);
         let mut s = DenseState::zero_state(3);
         s.run(&c);
         s.run(&c.inverse());

@@ -146,8 +146,8 @@ impl DensityMatrix {
                     let r1 = r | mask;
                     for c in 0..dim {
                         // row r of K-full picks rows r0/r1 of ρ.
-                        tmp[r * dim + c] = k[bit * 2] * rho[r0 * dim + c]
-                            + k[bit * 2 + 1] * rho[r1 * dim + c];
+                        tmp[r * dim + c] =
+                            k[bit * 2] * rho[r0 * dim + c] + k[bit * 2 + 1] * rho[r1 * dim + c];
                     }
                 }
                 // out += tmp K†
@@ -172,15 +172,30 @@ impl DensityMatrix {
         let s0 = (1.0 - p).sqrt();
         let sp = (p / 3.0).sqrt();
         let kraus = [
-            [Complex::from(s0), Complex::ZERO, Complex::ZERO, Complex::from(s0)],
-            [Complex::ZERO, Complex::from(sp), Complex::from(sp), Complex::ZERO], // X
+            [
+                Complex::from(s0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from(s0),
+            ],
+            [
+                Complex::ZERO,
+                Complex::from(sp),
+                Complex::from(sp),
+                Complex::ZERO,
+            ], // X
             [
                 Complex::ZERO,
                 Complex::new(0.0, -sp),
                 Complex::new(0.0, sp),
                 Complex::ZERO,
             ], // Y
-            [Complex::from(sp), Complex::ZERO, Complex::ZERO, Complex::from(-sp)], // Z
+            [
+                Complex::from(sp),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from(-sp),
+            ], // Z
         ];
         self.apply_kraus_1q(q, &kraus);
     }
@@ -382,7 +397,10 @@ mod tests {
         }
         let after = rho.probabilities();
         assert!((before[0] - after[0]).abs() < 1e-10, "population changed");
-        assert!(rho.entry(0, 1).abs() < 1e-4 && coh_before > 0.4, "coherence survived");
+        assert!(
+            rho.entry(0, 1).abs() < 1e-4 && coh_before > 0.4,
+            "coherence survived"
+        );
     }
 
     #[test]

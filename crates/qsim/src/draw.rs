@@ -101,7 +101,11 @@ pub fn draw_circuit(circuit: &Circuit) -> String {
                     cells[*c] = "●".into();
                     cells[*t] = format!("P({theta:.2})");
                 }
-                Gate::Mcp { controls, target, theta } => {
+                Gate::Mcp {
+                    controls,
+                    target,
+                    theta,
+                } => {
                     for c in controls {
                         cells[*c] = "●".into();
                     }

@@ -76,7 +76,10 @@ impl Gate {
             | Gate::Phase(q, _) => vec![*q],
             Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![*a, *b],
             Gate::Rzz(a, b, _) | Gate::Cp(a, b, _) => vec![*a, *b],
-            Gate::Mcp { controls, target, .. } | Gate::Mcx { controls, target } => {
+            Gate::Mcp {
+                controls, target, ..
+            }
+            | Gate::Mcx { controls, target } => {
                 let mut qs = controls.clone();
                 qs.push(*target);
                 qs
@@ -129,7 +132,11 @@ impl Gate {
             Gate::Phase(q, t) => Gate::Phase(*q, -t),
             Gate::Rzz(a, b, t) => Gate::Rzz(*a, *b, -t),
             Gate::Cp(a, b, t) => Gate::Cp(*a, *b, -t),
-            Gate::Mcp { controls, target, theta } => Gate::Mcp {
+            Gate::Mcp {
+                controls,
+                target,
+                theta,
+            } => Gate::Mcp {
                 controls: controls.clone(),
                 target: *target,
                 theta: -theta,
@@ -156,7 +163,11 @@ impl fmt::Display for Gate {
             Gate::Swap(a, b) => write!(f, "swap q{a}, q{b}"),
             Gate::Rzz(a, b, t) => write!(f, "rzz({t:.4}) q{a}, q{b}"),
             Gate::Cp(a, b, t) => write!(f, "cp({t:.4}) q{a}, q{b}"),
-            Gate::Mcp { controls, target, theta } => {
+            Gate::Mcp {
+                controls,
+                target,
+                theta,
+            } => {
                 write!(f, "mcp({theta:.4}) {controls:?} -> q{target}")
             }
             Gate::Mcx { controls, target } => write!(f, "mcx {controls:?} -> q{target}"),
@@ -172,7 +183,11 @@ mod tests {
     fn qubits_and_arity() {
         assert_eq!(Gate::X(3).qubits(), vec![3]);
         assert_eq!(Gate::Cx(0, 2).arity(), 2);
-        let mcp = Gate::Mcp { controls: vec![0, 1], target: 4, theta: 0.5 };
+        let mcp = Gate::Mcp {
+            controls: vec![0, 1],
+            target: 4,
+            theta: 0.5,
+        };
         assert_eq!(mcp.qubits(), vec![0, 1, 4]);
         assert_eq!(mcp.arity(), 3);
         assert!(mcp.is_multi_qubit());
@@ -190,8 +205,17 @@ mod tests {
     #[test]
     fn classical_action_classification() {
         assert!(Gate::X(0).is_classical_action());
-        assert!(Gate::Mcx { controls: vec![0], target: 1 }.is_classical_action());
-        assert!(Gate::Mcp { controls: vec![0], target: 1, theta: 1.0 }.is_classical_action());
+        assert!(Gate::Mcx {
+            controls: vec![0],
+            target: 1
+        }
+        .is_classical_action());
+        assert!(Gate::Mcp {
+            controls: vec![0],
+            target: 1,
+            theta: 1.0
+        }
+        .is_classical_action());
         assert!(!Gate::H(0).is_classical_action());
         assert!(!Gate::Ry(0, 0.1).is_classical_action());
     }
@@ -200,7 +224,11 @@ mod tests {
     fn inverse_negates_angles() {
         assert_eq!(Gate::Rx(1, 0.7).inverse(), Gate::Rx(1, -0.7));
         assert_eq!(Gate::Cx(0, 1).inverse(), Gate::Cx(0, 1));
-        let mcp = Gate::Mcp { controls: vec![2], target: 0, theta: 0.9 };
+        let mcp = Gate::Mcp {
+            controls: vec![2],
+            target: 0,
+            theta: 0.9,
+        };
         match mcp.inverse() {
             Gate::Mcp { theta, .. } => assert!((theta + 0.9).abs() < 1e-15),
             other => panic!("unexpected inverse {other:?}"),

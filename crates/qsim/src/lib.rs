@@ -14,6 +14,8 @@
 //!   circuits at 100+ qubits.
 //! * [`noise`] — trajectory-sampled depolarizing, amplitude-damping,
 //!   phase-damping, and readout channels.
+//! * [`parallel`] — deterministic scoped-thread parallelism (derived
+//!   per-stream seeds, index-ordered results, aligned chunking).
 //! * [`synth`] — gate-level synthesis of transition operators
 //!   (paper Fig. 4's symmetric two-MCP structure).
 //! * [`decompose`] — lowering to `{1Q, CX}` and the paper's `34k`
@@ -50,18 +52,19 @@ pub mod circuit;
 pub mod complex;
 pub mod decompose;
 pub mod dense;
-pub mod draw;
 pub mod density;
 pub mod device;
+pub mod draw;
 pub mod gate;
 pub mod mitigation;
 pub mod noise;
+pub mod parallel;
 pub mod peephole;
 pub mod qasm;
 pub mod route;
 pub mod sparse;
-pub mod verify;
 pub mod synth;
+pub mod verify;
 
 pub use circuit::Circuit;
 pub use complex::Complex;
@@ -69,4 +72,4 @@ pub use dense::DenseState;
 pub use device::Device;
 pub use gate::Gate;
 pub use noise::NoiseModel;
-pub use sparse::{Label, SparseState, Transition};
+pub use sparse::{Label, PreparedSampler, SparseState, Transition};

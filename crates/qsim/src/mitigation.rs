@@ -26,7 +26,10 @@ impl ReadoutModel {
     /// Panics unless `0 ≤ rate < 0.5` (at 0.5 the channel is not
     /// invertible).
     pub fn new(rate: f64) -> Self {
-        assert!((0.0..0.5).contains(&rate), "readout rate must be in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&rate),
+            "readout rate must be in [0, 0.5)"
+        );
         ReadoutModel { rate }
     }
 

@@ -166,12 +166,7 @@ pub fn apply_gate_noise_dense(
 /// With probability `γ·P(q = 1)` the excitation decays (`|1⟩ → |0⟩`
 /// jump); otherwise the no-jump Kraus operator `diag(1, √(1−γ))` is
 /// applied and the state renormalized.
-pub fn amplitude_damping_dense(
-    state: &mut DenseState,
-    q: usize,
-    gamma: f64,
-    rng: &mut impl Rng,
-) {
+pub fn amplitude_damping_dense(state: &mut DenseState, q: usize, gamma: f64, rng: &mut impl Rng) {
     let p1 = population_dense(state, q);
     let p_jump = gamma * p1;
     if p_jump > 0.0 && rng.gen::<f64>() < p_jump {
@@ -294,9 +289,7 @@ pub fn apply_gate_noise_sparse(
                 Pauli::Y => Gate::Y(q),
                 Pauli::Z => Gate::Z(q),
             };
-            state
-                .apply(&g)
-                .expect("Pauli gates are always sparse-safe");
+            state.apply(&g).expect("Pauli gates are always sparse-safe");
         }
         if noise.amplitude_damping > 0.0 {
             amplitude_damping_sparse(state, q, noise.amplitude_damping, rng);
@@ -308,19 +301,12 @@ pub fn apply_gate_noise_sparse(
 }
 
 /// One amplitude-damping trajectory step on qubit `q` of a sparse state.
-pub fn amplitude_damping_sparse(
-    state: &mut SparseState,
-    q: usize,
-    gamma: f64,
-    rng: &mut impl Rng,
-) {
+pub fn amplitude_damping_sparse(state: &mut SparseState, q: usize, gamma: f64, rng: &mut impl Rng) {
     let p1 = population_sparse(state, q);
     let p_jump = gamma * p1;
     if p_jump > 0.0 && rng.gen::<f64>() < p_jump {
         state.project_qubit(q, true);
-        state
-            .apply(&Gate::X(q))
-            .expect("X is always sparse-safe");
+        state.apply(&Gate::X(q)).expect("X is always sparse-safe");
     } else {
         state.scale_where_qubit_one(q, (1.0 - gamma).sqrt());
         state.normalize();
@@ -421,7 +407,10 @@ mod tests {
                 break;
             }
         }
-        assert!(hit_other, "noise never perturbed the state in 50 trajectories");
+        assert!(
+            hit_other,
+            "noise never perturbed the state in 50 trajectories"
+        );
     }
 
     #[test]
@@ -482,9 +471,15 @@ mod tests {
                 sparse_decays += 1;
             }
         }
-        assert_eq!(dense_decays, sparse_decays, "backends must agree trajectory-wise");
+        assert_eq!(
+            dense_decays, sparse_decays,
+            "backends must agree trajectory-wise"
+        );
         let rate = dense_decays as f64 / trials as f64;
-        assert!((rate - gamma).abs() < 0.03, "decay rate {rate} vs γ {gamma}");
+        assert!(
+            (rate - gamma).abs() < 0.03,
+            "decay rate {rate} vs γ {gamma}"
+        );
     }
 
     #[test]

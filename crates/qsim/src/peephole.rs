@@ -126,9 +126,7 @@ fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
         (Gate::Rx(q1, t1), Gate::Rx(q2, t2)) if q1 == q2 => Some(Gate::Rx(*q1, t1 + t2)),
         (Gate::Ry(q1, t1), Gate::Ry(q2, t2)) if q1 == q2 => Some(Gate::Ry(*q1, t1 + t2)),
         (Gate::Rz(q1, t1), Gate::Rz(q2, t2)) if q1 == q2 => Some(Gate::Rz(*q1, t1 + t2)),
-        (Gate::Phase(q1, t1), Gate::Phase(q2, t2)) if q1 == q2 => {
-            Some(Gate::Phase(*q1, t1 + t2))
-        }
+        (Gate::Phase(q1, t1), Gate::Phase(q2, t2)) if q1 == q2 => Some(Gate::Phase(*q1, t1 + t2)),
         (Gate::Rzz(a1, b1, t1), Gate::Rzz(a2, b2, t2))
             if (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2) =>
         {
@@ -140,8 +138,16 @@ fn fuse(a: &Gate, b: &Gate) -> Option<Gate> {
             Some(Gate::Cp(*c1, *t1, x1 + x2))
         }
         (
-            Gate::Mcp { controls: c1, target: t1, theta: x1 },
-            Gate::Mcp { controls: c2, target: t2, theta: x2 },
+            Gate::Mcp {
+                controls: c1,
+                target: t1,
+                theta: x1,
+            },
+            Gate::Mcp {
+                controls: c2,
+                target: t2,
+                theta: x2,
+            },
         ) if same_control_set(c1, *t1, c2, *t2) => Some(Gate::Mcp {
             controls: c1.clone(),
             target: *t1,

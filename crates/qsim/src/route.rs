@@ -43,7 +43,10 @@ impl CouplingMap {
                 adjacency[b].push(a);
             }
         }
-        CouplingMap { n_qubits, adjacency }
+        CouplingMap {
+            n_qubits,
+            adjacency,
+        }
     }
 
     /// A linear chain `0—1—…—(n−1)`.
@@ -184,28 +187,31 @@ pub fn route_circuit(circuit: &Circuit, coupling: &CouplingMap) -> RoutedCircuit
     let mut out = Circuit::new(coupling.n_qubits());
     let mut swaps = 0usize;
 
-    let mut bring_adjacent =
-        |a: usize, b: usize, layout: &mut Vec<usize>, phys2log: &mut Vec<Option<usize>>, out: &mut Circuit| {
-            // Move logical a along the shortest path toward logical b.
-            loop {
-                let (pa, pb) = (layout[a], layout[b]);
-                if coupling.are_coupled(pa, pb) || pa == pb {
-                    break;
-                }
-                let path = coupling.shortest_path(pa, pb);
-                let next = path[1];
-                out.push(Gate::Swap(pa, next));
-                swaps += 1;
-                // Update the layout for whatever logical qubit sat at `next`.
-                let displaced = phys2log[next];
-                phys2log[next] = Some(a);
-                phys2log[pa] = displaced;
-                layout[a] = next;
-                if let Some(d) = displaced {
-                    layout[d] = pa;
-                }
+    let mut bring_adjacent = |a: usize,
+                              b: usize,
+                              layout: &mut Vec<usize>,
+                              phys2log: &mut Vec<Option<usize>>,
+                              out: &mut Circuit| {
+        // Move logical a along the shortest path toward logical b.
+        loop {
+            let (pa, pb) = (layout[a], layout[b]);
+            if coupling.are_coupled(pa, pb) || pa == pb {
+                break;
             }
-        };
+            let path = coupling.shortest_path(pa, pb);
+            let next = path[1];
+            out.push(Gate::Swap(pa, next));
+            swaps += 1;
+            // Update the layout for whatever logical qubit sat at `next`.
+            let displaced = phys2log[next];
+            phys2log[next] = Some(a);
+            phys2log[pa] = displaced;
+            layout[a] = next;
+            if let Some(d) = displaced {
+                layout[d] = pa;
+            }
+        }
+    };
 
     for g in circuit.gates() {
         let qs = g.qubits();
@@ -252,7 +258,11 @@ fn remap_gate(g: &Gate, layout: &[usize]) -> Gate {
         Gate::Swap(a, b) => Gate::Swap(m(*a), m(*b)),
         Gate::Rzz(a, b, t) => Gate::Rzz(m(*a), m(*b), *t),
         Gate::Cp(a, b, t) => Gate::Cp(m(*a), m(*b), *t),
-        Gate::Mcp { controls, target, theta } => Gate::Mcp {
+        Gate::Mcp {
+            controls,
+            target,
+            theta,
+        } => Gate::Mcp {
             controls: controls.iter().map(|&c| m(c)).collect(),
             target: m(*target),
             theta: *theta,
@@ -338,7 +348,10 @@ mod tests {
         let routed = route_circuit(&c, &CouplingMap::linear(5));
         // After routing, controls are adjacent to the target.
         let last = routed.circuit.gates().last().unwrap();
-        if let Gate::Mcp { controls, target, .. } = last {
+        if let Gate::Mcp {
+            controls, target, ..
+        } = last
+        {
             for c in controls {
                 assert!(
                     CouplingMap::linear(5).are_coupled(*c, *target),

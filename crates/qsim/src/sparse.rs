@@ -67,7 +67,10 @@ impl Transition {
             }
         }
         assert!(plus | minus != 0, "transition vector must be nonzero");
-        Transition { plus_mask: plus, minus_mask: minus }
+        Transition {
+            plus_mask: plus,
+            minus_mask: minus,
+        }
     }
 
     /// Number of qubits the operator touches (`k` in the 34k cost model).
@@ -226,10 +229,7 @@ impl SparseState {
 
     /// Label → probability for the whole support (sorted by label).
     pub fn distribution(&self) -> BTreeMap<Label, f64> {
-        self.amps
-            .iter()
-            .map(|(&l, a)| (l, a.norm_sqr()))
-            .collect()
+        self.amps.iter().map(|(&l, a)| (l, a.norm_sqr())).collect()
     }
 
     /// Applies every gate of `circuit` in order.
@@ -259,7 +259,11 @@ impl SparseState {
                 let mask = 1u128 << q;
                 let mut next = HashMap::with_capacity(self.amps.len());
                 for (&l, &a) in &self.amps {
-                    let phase = if l & mask == 0 { Complex::I } else { -Complex::I };
+                    let phase = if l & mask == 0 {
+                        Complex::I
+                    } else {
+                        -Complex::I
+                    };
                     next.insert(l ^ mask, a * phase);
                 }
                 self.amps = next;
@@ -307,7 +311,11 @@ impl SparseState {
                 let m = (1u128 << c) | (1u128 << t);
                 self.phase_if(move |l| l & m == m, *theta);
             }
-            Gate::Mcp { controls, target, theta } => {
+            Gate::Mcp {
+                controls,
+                target,
+                theta,
+            } => {
                 let mut m: Label = 1 << target;
                 for &c in controls {
                     m |= 1 << c;
@@ -320,7 +328,9 @@ impl SparseState {
                 self.map_labels(|l| if l & cm == cm { l ^ tm } else { l });
             }
             g @ (Gate::H(_) | Gate::Rx(..) | Gate::Ry(..)) => {
-                return Err(UnsupportedGate { gate: g.to_string() })
+                return Err(UnsupportedGate {
+                    gate: g.to_string(),
+                })
             }
         }
         Ok(())
@@ -368,8 +378,7 @@ impl SparseState {
     /// zero and should not have been sampled).
     pub fn project_qubit(&mut self, q: usize, keep_one: bool) {
         let mask = 1u128 << q;
-        self.amps
-            .retain(|l, _| (l & mask != 0) == keep_one);
+        self.amps.retain(|l, _| (l & mask != 0) == keep_one);
         self.normalize();
     }
 
@@ -384,64 +393,68 @@ impl SparseState {
         }
     }
 
+    /// Builds a reusable measurement sampler for the state's current
+    /// distribution: the support is sorted once (label order, so the
+    /// backing `HashMap`'s per-process randomized order never leaks into
+    /// results) and a cumulative-probability table is built once. Each
+    /// subsequent [`PreparedSampler::draw`] is a binary search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is empty.
+    pub fn prepared_sampler(&self) -> PreparedSampler {
+        assert!(!self.amps.is_empty(), "cannot sample an empty state");
+        let mut support: Vec<(Label, f64)> =
+            self.amps.iter().map(|(&l, a)| (l, a.norm_sqr())).collect();
+        support.sort_unstable_by_key(|&(l, _)| l);
+        let mut labels = Vec::with_capacity(support.len());
+        let mut cdf = Vec::with_capacity(support.len());
+        let mut acc = 0.0f64;
+        for (l, p) in support {
+            acc += p;
+            labels.push(l);
+            cdf.push(acc);
+        }
+        PreparedSampler {
+            labels,
+            cdf,
+            total: acc,
+        }
+    }
+
     /// Draws `shots` measurement outcomes, returning label → count.
     ///
-    /// Sampling is deterministic for a fixed RNG: the support is
-    /// visited in sorted label order (the backing `HashMap`'s own order
-    /// is randomized per process and must not leak into results).
+    /// The support is prepared once (`O(s log s)`), then each shot is a
+    /// binary search (`O(log s)`) — the earlier implementation rescanned
+    /// the support linearly per shot.
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> BTreeMap<Label, usize> {
-        let mut support: Vec<(Label, f64)> = self
-            .amps
-            .iter()
-            .map(|(&l, a)| (l, a.norm_sqr()))
-            .collect();
-        support.sort_unstable_by_key(|&(l, _)| l);
-        let total: f64 = support.iter().map(|(_, p)| p).sum();
+        if self.amps.is_empty() {
+            // Preserved behavior of the old scan: an empty support maps
+            // every shot to label 0.
+            return if shots == 0 {
+                BTreeMap::new()
+            } else {
+                BTreeMap::from([(0, shots)])
+            };
+        }
+        let sampler = self.prepared_sampler();
         let mut counts = BTreeMap::new();
         for _ in 0..shots {
-            let mut r: f64 = rng.gen::<f64>() * total;
-            let mut outcome = support.last().map(|(l, _)| *l).unwrap_or(0);
-            for &(l, p) in &support {
-                if r < p {
-                    outcome = l;
-                    break;
-                }
-                r -= p;
-            }
-            *counts.entry(outcome).or_insert(0) += 1;
+            *counts.entry(sampler.draw(rng)).or_insert(0) += 1;
         }
         counts
     }
 
-    /// Draws a single measurement outcome (hot path of trajectory
-    /// sampling; avoids the sorting and map-building of [`Self::sample`]).
-    ///
-    /// Deterministic for a fixed RNG: ties in hash order are resolved by
-    /// scanning toward the minimum label with the residual method below.
+    /// Draws a single measurement outcome via a one-off
+    /// [`Self::prepared_sampler`]. Callers drawing repeatedly from the
+    /// *same* state should hold the sampler and call
+    /// [`PreparedSampler::draw`] instead.
     ///
     /// # Panics
     ///
     /// Panics if the state is empty.
     pub fn sample_one(&self, rng: &mut impl Rng) -> Label {
-        assert!(!self.amps.is_empty(), "cannot sample an empty state");
-        // To stay deterministic across processes (HashMap order is
-        // seeded), scan in sorted order only when the support is tiny;
-        // otherwise sort once. Support sizes here are small, so sort.
-        let mut support: Vec<(Label, f64)> = self
-            .amps
-            .iter()
-            .map(|(&l, a)| (l, a.norm_sqr()))
-            .collect();
-        support.sort_unstable_by_key(|&(l, _)| l);
-        let total: f64 = support.iter().map(|(_, p)| p).sum();
-        let mut r: f64 = rng.gen::<f64>() * total;
-        for &(l, p) in &support {
-            if r < p {
-                return l;
-            }
-            r -= p;
-        }
-        support.last().expect("non-empty").0
+        self.prepared_sampler().draw(rng)
     }
 
     /// Replaces each label by `f(label)` (a basis permutation).
@@ -461,6 +474,47 @@ impl SparseState {
                 *a *= phase;
             }
         }
+    }
+}
+
+/// A frozen measurement distribution of a [`SparseState`]: sorted
+/// support labels plus a cumulative-probability table.
+///
+/// Built once by [`SparseState::prepared_sampler`]; every [`draw`]
+/// (binary search) is `O(log s)` where `s` is the support size. The
+/// sorted-label construction makes draws deterministic for a fixed RNG
+/// across processes and thread counts.
+///
+/// [`draw`]: PreparedSampler::draw
+#[derive(Clone, Debug)]
+pub struct PreparedSampler {
+    labels: Vec<Label>,
+    cdf: Vec<f64>,
+    total: f64,
+}
+
+impl PreparedSampler {
+    /// Draws one measurement outcome.
+    pub fn draw(&self, rng: &mut impl Rng) -> Label {
+        let r: f64 = rng.gen::<f64>() * self.total;
+        // First entry whose cumulative mass exceeds r; accumulated
+        // rounding can push r past the last entry, which falls back to
+        // the maximum label exactly like the old linear scan did.
+        let idx = self
+            .cdf
+            .partition_point(|&c| c <= r)
+            .min(self.labels.len() - 1);
+        self.labels[idx]
+    }
+
+    /// Number of labels in the support.
+    pub fn support_size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total probability mass of the support (≈ 1 for normalized states).
+    pub fn total_mass(&self) -> f64 {
+        self.total
     }
 }
 
@@ -503,6 +557,56 @@ mod tests {
     use rand::SeedableRng;
 
     const TOL: f64 = 1e-12;
+
+    #[test]
+    fn prepared_sampler_matches_distribution_chi_squared() {
+        // Spread a basis state over several labels, then check the
+        // shared CDF sampler against the exact distribution.
+        let mut s = SparseState::basis_state(5, 0b01000);
+        s.apply_transition(&Transition::from_u(&[-1, 0, -1, 1, 0]), 0.9);
+        s.apply_transition(&Transition::from_u(&[1, -1, 0, 0, 0]), 0.7);
+        let dist = s.distribution();
+        assert!(dist.len() >= 3, "want a multi-label support");
+        let shots = 8000usize;
+        let mut rng = StdRng::seed_from_u64(31);
+        let counts = s.sample(shots, &mut rng);
+        let mut chi2 = 0.0;
+        for (label, p) in &dist {
+            let e = p * shots as f64;
+            let obs = counts.get(label).copied().unwrap_or(0) as f64;
+            chi2 += (obs - e).powi(2) / e.max(1e-9);
+        }
+        // Generous cutoff for df = support-1 at p = 0.001.
+        assert!(chi2 < 30.0, "chi-squared {chi2} too large");
+        // No mass outside the support.
+        assert!(counts.keys().all(|l| dist.contains_key(l)));
+    }
+
+    #[test]
+    fn sample_one_draws_follow_distribution() {
+        // Repeated sample_one draws must follow the same distribution
+        // as batch sampling (they share the prepared CDF sampler).
+        let mut s = SparseState::basis_state(5, 0b01000);
+        s.apply_transition(&Transition::from_u(&[-1, 0, -1, 1, 0]), 0.6);
+        let dist = s.distribution();
+        let sampler = s.prepared_sampler();
+        assert_eq!(sampler.support_size(), dist.len());
+        assert!((sampler.total_mass() - 1.0).abs() < 1e-9);
+        let shots = 4000usize;
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut counts: std::collections::BTreeMap<Label, usize> =
+            std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            *counts.entry(sampler.draw(&mut rng)).or_insert(0) += 1;
+        }
+        let mut chi2 = 0.0;
+        for (label, p) in &dist {
+            let e = p * shots as f64;
+            let obs = counts.get(label).copied().unwrap_or(0) as f64;
+            chi2 += (obs - e).powi(2) / e.max(1e-9);
+        }
+        assert!(chi2 < 30.0, "chi-squared {chi2} too large");
+    }
 
     #[test]
     fn transition_from_paper_u2() {
@@ -605,10 +709,18 @@ mod tests {
         let mut s = SparseState::basis_state(3, 0b000);
         s.apply(&Gate::X(0)).unwrap();
         s.apply(&Gate::Cx(0, 1)).unwrap();
-        s.apply(&Gate::Mcx { controls: vec![0, 1], target: 2 }).unwrap();
+        s.apply(&Gate::Mcx {
+            controls: vec![0, 1],
+            target: 2,
+        })
+        .unwrap();
         assert_eq!(s.support(), vec![0b111]);
-        s.apply(&Gate::Mcp { controls: vec![0, 1], target: 2, theta: 1.0 })
-            .unwrap();
+        s.apply(&Gate::Mcp {
+            controls: vec![0, 1],
+            target: 2,
+            theta: 1.0,
+        })
+        .unwrap();
         assert!(s.amplitude(0b111).approx_eq(Complex::cis(1.0), TOL));
     }
 

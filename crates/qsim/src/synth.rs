@@ -173,7 +173,9 @@ mod tests {
         for basis in 0..8u64 {
             let mut s = DenseState::basis_state(3, basis);
             s.run(&c);
-            assert!(s.amplitude(basis).approx_eq(crate::complex::Complex::ONE, 1e-9));
+            assert!(s
+                .amplitude(basis)
+                .approx_eq(crate::complex::Complex::ONE, 1e-9));
         }
     }
 

@@ -103,7 +103,11 @@ mod tests {
     #[test]
     fn gate_circuits_are_unitary() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).ry(2, 0.7).rzz(1, 2, 0.3).mcp(vec![0, 1], 2, 0.9);
+        c.h(0)
+            .cx(0, 1)
+            .ry(2, 0.7)
+            .rzz(1, 2, 0.3)
+            .mcp(vec![0, 1], 2, 0.9);
         assert!(is_unitary(&c, 1e-9));
     }
 

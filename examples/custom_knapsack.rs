@@ -31,10 +31,15 @@ fn main() {
         problem.n_vars() - 5,
         problem.n_constraints()
     );
-    println!("feasible selections: {}", enumerate_feasible(&problem).len());
+    println!(
+        "feasible selections: {}",
+        enumerate_feasible(&problem).len()
+    );
 
     let outcome = Rasengan::new(
-        RasenganConfig::default().with_seed(3).with_max_iterations(150),
+        RasenganConfig::default()
+            .with_seed(3)
+            .with_max_iterations(150),
     )
     .solve(&problem)
     .expect("knapsack solves");

@@ -9,8 +9,8 @@
 //! ```
 
 use rasengan::core::{solve_with_zne, Rasengan, RasenganConfig};
-use rasengan::problems::registry::{benchmark, BenchmarkId};
 use rasengan::problems::optimum;
+use rasengan::problems::registry::{benchmark, BenchmarkId};
 use rasengan::qsim::NoiseModel;
 
 fn main() {
@@ -56,12 +56,8 @@ fn main() {
     );
 
     // Layer 3: + zero-noise extrapolation over scales 1×, 2×, 3×.
-    let zne = solve_with_zne(
-        &problem,
-        &base.with_readout_mitigation(),
-        &[1.0, 2.0, 3.0],
-    )
-    .expect("ZNE solves");
+    let zne = solve_with_zne(&problem, &base.with_readout_mitigation(), &[1.0, 2.0, 3.0])
+        .expect("ZNE solves");
     println!(
         "+ ZNE (1×, 2×, 3×)     : ARG {:.3} (expectations {:?} → {:.3})",
         zne.arg,

@@ -47,7 +47,9 @@ fn main() {
             .with_shots(1024)
             .with_max_iterations(40);
         cfg.purify = false;
-        Rasengan::new(cfg).solve(&problem).expect("noisy JSP solves")
+        Rasengan::new(cfg)
+            .solve(&problem)
+            .expect("noisy JSP solves")
     };
 
     println!("\n                      with purification   without");
@@ -61,7 +63,10 @@ fn main() {
         with.in_constraints_rate * 100.0,
         without.in_constraints_rate * 100.0
     );
-    println!("ARG                     {:>7.3}            {:>7.3}", with.arg, without.arg);
+    println!(
+        "ARG                     {:>7.3}            {:>7.3}",
+        with.arg, without.arg
+    );
     println!(
         "best schedule value     {:>7.3}            {:>7.3}",
         with.best.value, without.best.value

@@ -34,7 +34,9 @@ fn main() {
     );
 
     let outcome = Rasengan::new(
-        RasenganConfig::default().with_seed(11).with_max_iterations(150),
+        RasenganConfig::default()
+            .with_seed(11)
+            .with_max_iterations(150),
     )
     .solve(&problem)
     .expect("portfolio solves");

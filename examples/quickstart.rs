@@ -6,8 +6,8 @@
 //! ```
 
 use rasengan::core::{Rasengan, RasenganConfig};
-use rasengan::problems::registry::{benchmark, BenchmarkId};
 use rasengan::problems::optimum;
+use rasengan::problems::registry::{benchmark, BenchmarkId};
 use rasengan::qsim::sparse::bits_from_label;
 
 fn main() {
@@ -44,9 +44,18 @@ fn main() {
     }
 
     let (_, e_opt) = optimum(&problem);
-    println!("\nbest found: {:?} (value {})", outcome.best.bits, outcome.best.value);
+    println!(
+        "\nbest found: {:?} (value {})",
+        outcome.best.bits, outcome.best.value
+    );
     println!("exact optimum value: {e_opt}");
     println!("ARG: {:.4}", outcome.arg);
-    println!("in-constraints rate: {:.1}%", outcome.in_constraints_rate * 100.0);
-    assert!(outcome.best.feasible, "Rasengan output must satisfy the constraints");
+    println!(
+        "in-constraints rate: {:.1}%",
+        outcome.in_constraints_rate * 100.0
+    );
+    assert!(
+        outcome.best.feasible,
+        "Rasengan output must satisfy the constraints"
+    );
 }

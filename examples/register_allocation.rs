@@ -13,8 +13,8 @@
 //! ```
 
 use rasengan::core::{Rasengan, RasenganConfig};
-use rasengan::problems::gcp::GraphColoring;
 use rasengan::problems::enumerate_feasible;
+use rasengan::problems::gcp::GraphColoring;
 
 fn main() {
     // Four live ranges; a and b interfere, b and c, c and d — a path
@@ -34,7 +34,11 @@ fn main() {
     );
 
     // Peek inside the compilation pipeline before solving.
-    let solver = Rasengan::new(RasenganConfig::default().with_seed(5).with_max_iterations(120));
+    let solver = Rasengan::new(
+        RasenganConfig::default()
+            .with_seed(5)
+            .with_max_iterations(120),
+    );
     let prepared = solver.prepare(&problem).expect("GCP prepares");
     println!("\ncompilation pipeline:");
     println!("  m = {} homogeneous basis vectors", prepared.stats.m_basis);
@@ -44,9 +48,7 @@ fn main() {
     );
     println!(
         "  chain: {} scheduled → {} kept (pruning removed {})",
-        prepared.stats.raw_ops,
-        prepared.stats.kept_ops,
-        prepared.chain.pruned
+        prepared.stats.raw_ops, prepared.stats.kept_ops, prepared.chain.pruned
     );
     for (i, op) in prepared.chain.ops.iter().enumerate() {
         println!("    τ_{i}: u = {:?} ({} CX)", op.u(), op.cx_cost());

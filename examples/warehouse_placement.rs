@@ -40,26 +40,38 @@ fn main() {
     );
 
     // Rasengan.
-    let ras = Rasengan::new(RasenganConfig::default().with_seed(7).with_max_iterations(150))
-        .solve(&problem)
-        .expect("FLP solves");
+    let ras = Rasengan::new(
+        RasenganConfig::default()
+            .with_seed(7)
+            .with_max_iterations(150),
+    )
+    .solve(&problem)
+    .expect("FLP solves");
     println!(
         "\nRasengan : value {:<5} ARG {:.3}  depth {:>4}  params {}",
         ras.best.value, ras.arg, ras.stats.max_segment_cx_depth, ras.stats.n_params
     );
 
     // Choco-Q (best prior work).
-    let choco = ChocoQ::new(BaselineConfig::default().with_seed(7).with_max_iterations(150))
-        .solve(&problem)
-        .expect("Choco-Q solves");
+    let choco = ChocoQ::new(
+        BaselineConfig::default()
+            .with_seed(7)
+            .with_max_iterations(150),
+    )
+    .solve(&problem)
+    .expect("Choco-Q solves");
     println!(
         "Choco-Q  : value {:<5} ARG {:.3}  depth {:>4}  params {}",
         choco.best.value, choco.arg, choco.circuit_depth, choco.n_params
     );
 
     // P-QAOA (penalty-term baseline).
-    let pqaoa = PQaoa::new(BaselineConfig::default().with_seed(7).with_max_iterations(150))
-        .solve(&problem);
+    let pqaoa = PQaoa::new(
+        BaselineConfig::default()
+            .with_seed(7)
+            .with_max_iterations(150),
+    )
+    .solve(&problem);
     println!(
         "P-QAOA   : value {:<5} ARG {:.3}  depth {:>4}  params {}  (in-constraints {:.0}%)",
         pqaoa.best.value,

@@ -11,8 +11,8 @@
 
 use rasengan::baselines::{BaselineConfig, ChocoQ, GroverAdaptiveSearch, Hea, PQaoa};
 use rasengan::core::{Rasengan, RasenganConfig};
-use rasengan::problems::registry::{all_ids, benchmark, BenchmarkId};
 use rasengan::problems::io::{parse_problem, write_problem};
+use rasengan::problems::registry::{all_ids, benchmark, BenchmarkId};
 use rasengan::problems::{constraint_topology, enumerate_feasible, optimum, Problem};
 use rasengan::qsim::qasm::to_qasm3;
 use rasengan::qsim::{Circuit, Device};
@@ -120,8 +120,8 @@ impl Options {
 
     fn problem(&self) -> Result<Problem, String> {
         if let Some(path) = &self.file {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             return parse_problem(&text).map_err(|e| format!("{path}: {e}"));
         }
         let name = self
@@ -176,7 +176,10 @@ FLAGS:
 }
 
 fn cmd_list() -> ExitCode {
-    println!("{:<6} {:>6} {:>7} {:>10} {:>10}", "id", "vars", "cons", "feasible", "degree");
+    println!(
+        "{:<6} {:>6} {:>7} {:>10} {:>10}",
+        "id", "vars", "cons", "feasible", "degree"
+    );
     for id in all_ids() {
         let p = benchmark(id);
         let topo = constraint_topology(&p);
@@ -252,7 +255,13 @@ fn cmd_solve(opts: &Options) -> ExitCode {
                 cfg = cfg.with_shots(s);
             }
             match Rasengan::new(cfg).solve(&problem) {
-                Ok(o) => (o.best.bits, o.best.value, o.best.feasible, o.arg, o.in_constraints_rate),
+                Ok(o) => (
+                    o.best.bits,
+                    o.best.value,
+                    o.best.feasible,
+                    o.arg,
+                    o.in_constraints_rate,
+                ),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
@@ -282,7 +291,13 @@ fn cmd_solve(opts: &Options) -> ExitCode {
                 "hea" => Hea::new(cfg).solve(&problem),
                 _ => GroverAdaptiveSearch::new(cfg).solve(&problem),
             };
-            (out.best.bits, out.best.value, out.best.feasible, out.arg, out.in_constraints_rate)
+            (
+                out.best.bits,
+                out.best.value,
+                out.best.feasible,
+                out.arg,
+                out.in_constraints_rate,
+            )
         }
         other => {
             eprintln!("error: unknown algorithm `{other}`");
@@ -307,15 +322,14 @@ fn cmd_inspect(opts: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let prepared = match Rasengan::new(RasenganConfig::default().with_seed(opts.seed))
-        .prepare(&problem)
-    {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let prepared =
+        match Rasengan::new(RasenganConfig::default().with_seed(opts.seed)).prepare(&problem) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     println!("benchmark      : {}", problem.name());
     println!("variables      : {}", problem.n_vars());
     println!("constraints    : {}", problem.n_constraints());
@@ -351,10 +365,9 @@ fn cmd_inspect(opts: &Options) -> ExitCode {
             println!("\nτ_0 synthesized circuit:");
             print!(
                 "{}",
-                rasengan::qsim::draw::draw_circuit(&op.circuit(
-                    std::f64::consts::FRAC_PI_4,
-                    problem.n_vars()
-                ))
+                rasengan::qsim::draw::draw_circuit(
+                    &op.circuit(std::f64::consts::FRAC_PI_4, problem.n_vars())
+                )
             );
         }
     }
@@ -369,15 +382,14 @@ fn cmd_export(opts: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let prepared = match Rasengan::new(RasenganConfig::default().with_seed(opts.seed))
-        .prepare(&problem)
-    {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let prepared =
+        match Rasengan::new(RasenganConfig::default().with_seed(opts.seed)).prepare(&problem) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let mut programs = Vec::new();
     for range in &prepared.plan.segments {
         let mut circuit = Circuit::new(problem.n_vars());

@@ -24,7 +24,11 @@ fn solve_reports_metrics() {
         .args(["solve", "-b", "J1", "-i", "40", "--seed", "3"])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("ARG"));
     assert!(text.contains("feasible      : true"));
@@ -42,7 +46,10 @@ fn solve_with_baseline_algorithm() {
 
 #[test]
 fn inspect_shows_chain() {
-    let out = cli().args(["inspect", "-b", "S1"]).output().expect("cli runs");
+    let out = cli()
+        .args(["inspect", "-b", "S1"])
+        .output()
+        .expect("cli runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("basis size"));
@@ -51,7 +58,10 @@ fn inspect_shows_chain() {
 
 #[test]
 fn export_emits_qasm() {
-    let out = cli().args(["export", "-b", "F1"]).output().expect("cli runs");
+    let out = cli()
+        .args(["export", "-b", "F1"])
+        .output()
+        .expect("cli runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("OPENQASM 3.0;"));
@@ -70,20 +80,30 @@ fn save_and_load_roundtrip() {
         .args(["solve", "-f", path.to_str().unwrap(), "-i", "30"])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("feasible      : true"));
 }
 
 #[test]
 fn unknown_benchmark_fails_cleanly() {
-    let out = cli().args(["solve", "-b", "Z9"]).output().expect("cli runs");
+    let out = cli()
+        .args(["solve", "-b", "Z9"])
+        .output()
+        .expect("cli runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
 }
 
 #[test]
 fn unknown_flag_fails_cleanly() {
-    let out = cli().args(["solve", "--frobnicate"]).output().expect("cli runs");
+    let out = cli()
+        .args(["solve", "--frobnicate"])
+        .output()
+        .expect("cli runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
 }

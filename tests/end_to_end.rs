@@ -36,7 +36,9 @@ fn rasengan_beats_or_matches_optimum_probability_on_small_benchmarks() {
     for name in ["F1", "J1", "G1", "S1"] {
         let p = benchmark(BenchmarkId::parse(name).unwrap());
         let outcome = Rasengan::new(
-            RasenganConfig::default().with_seed(13).with_max_iterations(150),
+            RasenganConfig::default()
+                .with_seed(13)
+                .with_max_iterations(150),
         )
         .solve(&p)
         .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -56,7 +58,9 @@ fn output_distributions_are_normalized_and_feasible() {
     for name in ["F2", "K1", "J2"] {
         let p = benchmark(BenchmarkId::parse(name).unwrap());
         let outcome = Rasengan::new(
-            RasenganConfig::default().with_seed(3).with_max_iterations(40),
+            RasenganConfig::default()
+                .with_seed(3)
+                .with_max_iterations(40),
         )
         .solve(&p)
         .unwrap();
@@ -65,7 +69,10 @@ fn output_distributions_are_normalized_and_feasible() {
         let feasible = enumerate_feasible(&p);
         for &label in outcome.distribution.keys() {
             let bits = bits_from_label(label, p.n_vars());
-            assert!(feasible.contains(&bits), "{name}: infeasible output {bits:?}");
+            assert!(
+                feasible.contains(&bits),
+                "{name}: infeasible output {bits:?}"
+            );
         }
     }
 }
@@ -77,12 +84,16 @@ fn rasengan_not_worse_than_chocoq_on_shared_seeds() {
     for name in ["F1", "J1", "S1"] {
         let p = benchmark(BenchmarkId::parse(name).unwrap());
         let ras = Rasengan::new(
-            RasenganConfig::default().with_seed(1).with_max_iterations(80),
+            RasenganConfig::default()
+                .with_seed(1)
+                .with_max_iterations(80),
         )
         .solve(&p)
         .unwrap();
         let choco = ChocoQ::new(
-            BaselineConfig::default().with_seed(1).with_max_iterations(80),
+            BaselineConfig::default()
+                .with_seed(1)
+                .with_max_iterations(80),
         )
         .solve(&p)
         .unwrap();
@@ -122,9 +133,7 @@ fn heavy_noise_failure_mode_is_reported() {
         let result = Rasengan::new(
             RasenganConfig::default()
                 .with_seed(seed)
-                .with_noise(
-                    NoiseModel::depolarizing(0.2).with_amplitude_damping(0.3),
-                )
+                .with_noise(NoiseModel::depolarizing(0.2).with_amplitude_damping(0.3))
                 .with_shots(32)
                 .with_max_iterations(3),
         )
@@ -135,7 +144,10 @@ fn heavy_noise_failure_mode_is_reported() {
             Err(e) => panic!("unexpected error: {e}"),
         }
     }
-    assert!(failures > 0, "extreme noise never triggered the failure mode");
+    assert!(
+        failures > 0,
+        "extreme noise never triggered the failure mode"
+    );
 }
 
 #[test]
@@ -166,7 +178,9 @@ fn non_totally_unimodular_system_still_solves() {
 
     assert_eq!(enumerate_feasible(&p).len(), 2);
     // Schedule extra rounds (the general-case bound) explicitly.
-    let mut cfg = RasenganConfig::default().with_seed(5).with_max_iterations(80);
+    let mut cfg = RasenganConfig::default()
+        .with_seed(5)
+        .with_max_iterations(80);
     cfg.max_rounds = Some(4);
     let outcome = Rasengan::new(cfg).solve(&p).unwrap();
     // Optimum is the all-zero solution (value 1 vs 9 for all-ones).
@@ -178,7 +192,10 @@ fn non_totally_unimodular_system_still_solves() {
 fn latency_accounting_is_positive_and_consistent() {
     let p = benchmark(BenchmarkId::parse("J1").unwrap());
     let outcome = Rasengan::new(
-        RasenganConfig::default().with_seed(2).with_shots(256).with_max_iterations(20),
+        RasenganConfig::default()
+            .with_seed(2)
+            .with_shots(256)
+            .with_max_iterations(20),
     )
     .solve(&p)
     .unwrap();

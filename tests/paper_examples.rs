@@ -108,9 +108,13 @@ fn figure6_chain_prunes_the_dry_first_operator() {
 #[test]
 fn full_solve_lands_on_the_optimum_basis_state() {
     let p = paper_problem();
-    let outcome = Rasengan::new(RasenganConfig::default().with_seed(9).with_max_iterations(200))
-        .solve(&p)
-        .unwrap();
+    let outcome = Rasengan::new(
+        RasenganConfig::default()
+            .with_seed(9)
+            .with_max_iterations(200),
+    )
+    .solve(&p)
+    .unwrap();
     // Optimum is x_p (value 1.0): cheaper than all four alternatives.
     assert_eq!(outcome.best.bits, vec![0, 0, 0, 1, 0]);
     assert_eq!(outcome.best.value, 1.0);

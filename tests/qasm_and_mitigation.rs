@@ -97,10 +97,13 @@ fn fidelity_budget_shrinks_segments_on_noisier_devices() {
     use rasengan::qsim::Device;
     let p = benchmark(BenchmarkId::parse("S3").unwrap());
     let kyiv = RasenganConfig::default().with_fidelity_budget(&Device::ibm_kyiv(), 0.5);
-    let brisbane =
-        RasenganConfig::default().with_fidelity_budget(&Device::ibm_brisbane(), 0.5);
+    let brisbane = RasenganConfig::default().with_fidelity_budget(&Device::ibm_brisbane(), 0.5);
     // Kyiv is noisier → smaller budget → at least as many segments.
     let seg_kyiv = Rasengan::new(kyiv).prepare(&p).unwrap().stats.n_segments;
-    let seg_brisbane = Rasengan::new(brisbane).prepare(&p).unwrap().stats.n_segments;
+    let seg_brisbane = Rasengan::new(brisbane)
+        .prepare(&p)
+        .unwrap()
+        .stats
+        .n_segments;
     assert!(seg_kyiv >= seg_brisbane);
 }

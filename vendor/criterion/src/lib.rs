@@ -1,0 +1,315 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! patches `criterion` to this shim. It reimplements the API subset the
+//! bench files use — `Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with simple wall-clock timing instead of
+//! criterion's statistical machinery. Each benchmark prints one line:
+//!
+//! ```text
+//! sample/dense_16          time: 12.84 µs/iter  (32 iters)
+//! ```
+//!
+//! Recognized CLI flags: `--quick` (shrink iteration counts), `--test`
+//! (run every routine exactly once — what `cargo test --benches`
+//! passes), and a positional substring filter. Unknown flags are
+//! ignored so criterion-style invocations keep working.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sparse", 16)` displays as `sparse/16`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Conversion into a benchmark name (accepts `&str`, `String`, and
+/// [`BenchmarkId`], mirroring criterion's `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The display name used in reports and filters.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    max_iters: u64,
+    test_mode: bool,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count that keeps the
+    /// total under a fixed budget (one warm-up call decides).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed();
+
+        let budget = Duration::from_millis(if self.max_iters <= 10 { 500 } else { 2000 });
+        let fit = if once.is_zero() {
+            self.max_iters
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)) as u64
+        };
+        let iters = fit.clamp(1, self.max_iters);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// Top-level harness (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut quick = false;
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            quick,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target iteration count per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        self.run_one(&name, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let max_iters = if self.quick {
+            (self.sample_size as u64 / 4).max(1)
+        } else {
+            self.sample_size as u64
+        };
+        let mut b = Bencher {
+            max_iters,
+            test_mode: self.test_mode,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((_, 1)) if self.test_mode => println!("{name:<40} ok (test mode)"),
+            Some((elapsed, iters)) => {
+                let per = elapsed.as_secs_f64() / iters as f64;
+                println!(
+                    "{name:<40} time: {:>12}/iter  ({iters} iters)",
+                    format_seconds(per)
+                );
+            }
+            None => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's sample count (accepted for API compatibility;
+    /// the shim's timing loop sizes itself).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `prefix/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.prefix, id.into_id());
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `prefix/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.prefix, id.id);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report-flush point in real criterion; a no-op
+    /// here, consumed for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            sample_size: 5,
+            quick: false,
+            test_mode: false,
+            filter: None,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // warm-up + at least one measured iteration
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_names() {
+        assert_eq!(BenchmarkId::new("sparse", 16).into_id(), "sparse/16");
+        let mut c = Criterion {
+            sample_size: 2,
+            quick: true,
+            test_mode: true,
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("skipped", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        g.finish();
+        assert!(!ran, "filter must skip non-matching benchmarks");
+    }
+}
