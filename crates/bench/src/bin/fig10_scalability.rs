@@ -9,7 +9,7 @@
 
 use rasengan_bench::report::fmt;
 use rasengan_bench::{RunSettings, Table};
-use rasengan_core::{Rasengan, RasenganConfig};
+use rasengan_core::{Rasengan, RasenganConfig, ResilienceConfig};
 use rasengan_problems::flp::FacilityLocation;
 use rasengan_qsim::route::{route_circuit, CouplingMap};
 use rasengan_qsim::{Device, NoiseModel};
@@ -44,6 +44,8 @@ fn main() {
             "depth_quebec",
             "arg_noisefree",
             "arg_noisy",
+            "arg_resilient",
+            "recoveries",
         ],
     );
 
@@ -102,36 +104,54 @@ fn main() {
         // is one evaluation per parameter).
         let noisy_iters = if settings.full { 30 } else { 8 };
         let noisy_shots = if n > 24 { 128 } else { 256 };
-        let arg_noisy = Rasengan::new(
-            RasenganConfig::default()
-                .with_seed(settings.seed)
-                .with_noise(Device::ibm_brisbane().noise)
-                .with_shots(noisy_shots)
-                .with_max_iterations(noisy_iters),
-        )
-        .solve(&problem)
-        .map(|o| o.arg)
-        .unwrap_or(f64::INFINITY);
+        let noisy_cfg = RasenganConfig::default()
+            .with_seed(settings.seed)
+            .with_noise(Device::ibm_brisbane().noise)
+            .with_shots(noisy_shots)
+            .with_max_iterations(noisy_iters);
+        let arg_noisy = Rasengan::new(noisy_cfg.clone())
+            .solve(&problem)
+            .map(|o| o.arg)
+            .unwrap_or(f64::INFINITY);
+        // Same run with the recovery ladder armed: segments that fail
+        // past ~28 qubits retry with escalated shots, then degrade.
+        let (arg_resilient, recoveries) =
+            match Rasengan::new(noisy_cfg.with_resilience(ResilienceConfig::recommended()))
+                .solve(&problem)
+            {
+                Ok(o) => (
+                    o.arg,
+                    o.resilience.recoveries() + o.resilience.degradations(),
+                ),
+                Err(_) => (f64::INFINITY, 0),
+            };
         let _ = NoiseModel::noise_free();
 
+        let fmt_or_fail = |a: f64| {
+            if a.is_finite() {
+                fmt(a)
+            } else {
+                "fail".to_string()
+            }
+        };
         table.row(vec![
             n.to_string(),
             unpruned_prep.stats.n_segments.to_string(),
             pruned_prep.stats.n_segments.to_string(),
             depth_routed.to_string(),
             fmt(arg_clean),
-            if arg_noisy.is_finite() {
-                fmt(arg_noisy)
-            } else {
-                "fail".to_string()
-            },
+            fmt_or_fail(arg_noisy),
+            fmt_or_fail(arg_resilient),
+            recoveries.to_string(),
         ]);
         eprintln!(
-            "n={n}: segs {} -> {}, arg {} / noisy {}",
+            "n={n}: segs {} -> {}, arg {} / noisy {} / resilient {} ({} recoveries)",
             unpruned_prep.stats.n_segments,
             pruned_prep.stats.n_segments,
             fmt(arg_clean),
-            fmt(arg_noisy)
+            fmt(arg_noisy),
+            fmt(arg_resilient),
+            recoveries
         );
     }
 

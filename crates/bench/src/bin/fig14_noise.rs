@@ -9,7 +9,7 @@
 
 use rasengan_bench::report::fmt;
 use rasengan_bench::{RunSettings, Table};
-use rasengan_core::{Rasengan, RasenganConfig};
+use rasengan_core::{Rasengan, RasenganConfig, ResilienceConfig};
 use rasengan_problems::registry::{all_ids, benchmark, cases};
 use rasengan_qsim::NoiseModel;
 
@@ -59,41 +59,76 @@ fn main() {
     pauli.print();
     let _ = pauli.save_csv("fig14a_pauli");
 
-    // (b) amplitude-damping sweep over fixed background noise.
+    // (b) amplitude-damping sweep over fixed background noise. Each
+    // configuration runs twice: the plain solver (a dead segment aborts
+    // the run, the paper's Fig. 14b collapse) and the resilient solver
+    // (retry with escalated shots, then degrade past the segment), so
+    // the table shows how much of the collapse the recovery ladder
+    // absorbs.
     let background = NoiseModel::ibm_like(3.5e-4, 8.75e-3, 0.0).with_phase_damping(1e-4);
     let mut damping = Table::new(
         "Figure 14b: ARG vs amplitude damping (fixed background noise)",
-        vec!["damping", "mean_ARG", "fail_rate"],
+        vec![
+            "damping",
+            "mean_ARG",
+            "fail_rate",
+            "resil_ARG",
+            "resil_fail",
+            "retries",
+            "degraded",
+        ],
     );
     for &gamma in &[0.0, 0.005, 0.010, 0.015, 0.020] {
         let mut args = Vec::new();
         let mut fails = 0usize;
+        let mut resil_args = Vec::new();
+        let mut resil_fails = 0usize;
+        let mut retries = 0usize;
+        let mut degraded = 0usize;
         for (i, p) in problems.iter().enumerate() {
             let cfg = RasenganConfig::default()
                 .with_seed(settings.seed + 31 * i as u64)
                 .with_noise(background.with_amplitude_damping(gamma))
                 .with_shots(512)
                 .with_max_iterations(iterations);
-            match Rasengan::new(cfg).solve(p) {
+            match Rasengan::new(cfg.clone()).solve(p) {
                 Ok(out) => args.push(out.arg),
                 Err(_) => fails += 1,
             }
+            match Rasengan::new(cfg.with_resilience(ResilienceConfig::recommended())).solve(p) {
+                Ok(out) => {
+                    retries += out.resilience.retries();
+                    degraded += out.resilience.degradations();
+                    resil_args.push(out.arg);
+                }
+                Err(_) => resil_fails += 1,
+            }
         }
-        let mean = if args.is_empty() {
-            f64::INFINITY
-        } else {
-            args.iter().sum::<f64>() / args.len() as f64
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                f64::INFINITY
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
         };
         damping.row(vec![
             format!("{:.1}%", gamma * 100.0),
-            fmt(mean),
+            fmt(mean(&args)),
             fmt(fails as f64 / problems.len() as f64),
+            fmt(mean(&resil_args)),
+            fmt(resil_fails as f64 / problems.len() as f64),
+            retries.to_string(),
+            degraded.to_string(),
         ]);
         eprintln!(
-            "damping {:.1}%: mean ARG {} fails {}",
+            "damping {:.1}%: mean ARG {} fails {} (resilient: {} fails {}, {} retries, {} degraded)",
             gamma * 100.0,
-            fmt(mean),
-            fails
+            fmt(mean(&args)),
+            fails,
+            fmt(mean(&resil_args)),
+            resil_fails,
+            retries,
+            degraded
         );
     }
     damping.print();

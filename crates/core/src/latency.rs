@@ -37,6 +37,10 @@ pub struct StageTimes {
     pub train_s: f64,
     /// Final execution at the trained parameters.
     pub execute_s: f64,
+    /// Wall-clock spent inside resilience retry attempts (a subset of
+    /// `train_s`/`execute_s`, not an additional stage); zero unless the
+    /// solver's retry budget was actually drawn on.
+    pub retry_s: f64,
 }
 
 /// Models the duration of one shot of a segment circuit given its CX

@@ -19,6 +19,7 @@
 //! | [`solver`] | The end-to-end variational loop |
 //! | [`metrics`] | ARG (Eq. 9), in-constraints rate |
 //! | [`latency`] | Training-latency model (Fig. 12/13) |
+//! | [`resilience`] | Retry / degradation / budget policies (robustness extension) |
 //!
 //! # Example
 //!
@@ -42,6 +43,7 @@ pub mod latency;
 pub mod metrics;
 pub mod prune;
 pub mod purify;
+pub mod resilience;
 pub mod segment;
 pub mod simplify;
 pub mod solver;
@@ -51,6 +53,9 @@ pub use hamiltonian::{problem_basis, TransitionHamiltonian};
 pub use latency::{Latency, StageTimes};
 pub use metrics::{arg, best_solution, distribution_arg, penalty_lambda, Solution};
 pub use prune::{build_chain, coverage_curve, Chain, ChainConfig, CoveragePoint};
+pub use resilience::{
+    BudgetKind, DegradeFallback, ResilienceConfig, ResilienceEvent, ResilienceReport, Stage,
+};
 pub use segment::{apportion_shots, plan_segments, SegmentPlan};
 pub use simplify::{simplify_basis, SimplifyResult};
 pub use solver::{

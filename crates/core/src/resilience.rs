@@ -1,0 +1,462 @@
+//! Resilient segment execution: retry ladders, graceful degradation,
+//! and execution budgets.
+//!
+//! Rasengan's segmented chain is brittle by construction: when noise
+//! wipes out every feasible sample in one segment, the next segment has
+//! no state to start from and the whole multi-segment run used to abort
+//! (the paper's Fig. 10d / Fig. 14b failure mode). This module holds
+//! the knobs and the audit trail for the recovery ladder the solver
+//! climbs instead:
+//!
+//! 1. **Retry with escalation** — re-execute the failed segment up to
+//!    [`ResilienceConfig::retry_budget`] times, multiplying the shot
+//!    budget by [`ResilienceConfig::shot_escalation`] per attempt, each
+//!    attempt on a fresh RNG substream.
+//! 2. **Graceful degradation** — if retries are exhausted and
+//!    [`ResilienceConfig::degrade`] is set, fall back to the previous
+//!    segment's (feasible) output distribution and continue the chain,
+//!    recording the event instead of aborting.
+//! 3. **Budgets** — optional per-stage wall-clock and total-shot
+//!    ceilings. Once tripped, the solver stops spending and returns the
+//!    best outcome it can still assemble (degrading the remaining
+//!    chain), or a structured
+//!    [`RasenganError::BudgetExceeded`](crate::RasenganError) when no
+//!    outcome exists yet.
+//!
+//! Every recovery action lands in the [`ResilienceReport`] attached to
+//! the [`Outcome`](crate::Outcome), so a run that survived faults is
+//! distinguishable from one that never saw any.
+//!
+//! All defaults are off (zero retries, no degradation, no budgets, no
+//! fault plan): a default-config solve is byte-identical to the
+//! pre-resilience solver for the same seed.
+
+use rasengan_qsim::fault::{FaultKind, FaultPlan};
+
+/// Knobs of the recovery ladder. Carried by
+/// [`RasenganConfig::resilience`](crate::RasenganConfig).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceConfig {
+    /// Extra execution attempts per segment after the first fails to
+    /// produce a feasible outcome (default 0: fail like the paper).
+    pub retry_budget: usize,
+    /// Shot-budget multiplier per retry attempt: attempt `a` runs with
+    /// `shots × shot_escalation^a` (default 2.0). Builds on
+    /// [`RasenganConfig::final_segment_shot_boost`](crate::RasenganConfig),
+    /// which still applies to the last segment.
+    pub shot_escalation: f64,
+    /// When retries are exhausted, keep the previous segment's feasible
+    /// distribution (or the feasible seed, for segment 0) and continue
+    /// the chain instead of aborting (default false).
+    pub degrade: bool,
+    /// Wall-clock ceiling in seconds applied independently to the
+    /// training stage and the final execution stage. `None` = no limit.
+    ///
+    /// Wall-clock budgets trade bit-reproducibility for bounded
+    /// runtime: whether the ceiling trips depends on machine speed.
+    /// Leave unset (the default) for deterministic runs.
+    pub max_stage_seconds: Option<f64>,
+    /// Ceiling on total shots consumed across the whole solve
+    /// (training plus final execution). `None` = no limit. Shot budgets
+    /// are deterministic: the same seed trips at the same point.
+    pub max_total_shots: Option<usize>,
+    /// Deterministic fault schedule to inject (testing / chaos drills).
+    /// `None` = no faults.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry_budget: 0,
+            shot_escalation: 2.0,
+            degrade: false,
+            max_stage_seconds: None,
+            max_total_shots: None,
+            fault_plan: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The production posture: 2 retries with 2× shot escalation, then
+    /// graceful degradation. No budgets, no faults.
+    pub fn recommended() -> Self {
+        ResilienceConfig {
+            retry_budget: 2,
+            shot_escalation: 2.0,
+            degrade: true,
+            ..ResilienceConfig::default()
+        }
+    }
+
+    /// Sets the retry budget (builder style).
+    #[must_use]
+    pub fn with_retry_budget(mut self, retries: usize) -> Self {
+        self.retry_budget = retries;
+        self
+    }
+
+    /// Sets the per-retry shot escalation factor (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor ≥ 1` and finite.
+    #[must_use]
+    pub fn with_shot_escalation(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "shot escalation must be a finite factor ≥ 1"
+        );
+        self.shot_escalation = factor;
+        self
+    }
+
+    /// Enables graceful degradation (builder style).
+    #[must_use]
+    pub fn with_degradation(mut self) -> Self {
+        self.degrade = true;
+        self
+    }
+
+    /// Sets the per-stage wall-clock budget in seconds (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `seconds > 0` and finite.
+    #[must_use]
+    pub fn with_stage_seconds(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "stage budget must be positive seconds"
+        );
+        self.max_stage_seconds = Some(seconds);
+        self
+    }
+
+    /// Sets the total-shot budget (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    #[must_use]
+    pub fn with_total_shots(mut self, shots: usize) -> Self {
+        assert!(shots > 0, "shot budget must be positive");
+        self.max_total_shots = Some(shots);
+        self
+    }
+
+    /// Arms a deterministic fault plan (builder style).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Whether any recovery / injection machinery is armed.
+    pub fn is_armed(&self) -> bool {
+        self.retry_budget > 0
+            || self.degrade
+            || self.max_stage_seconds.is_some()
+            || self.max_total_shots.is_some()
+            || self.fault_plan.as_ref().is_some_and(FaultPlan::is_active)
+    }
+
+    /// The shot budget for retry attempt `attempt` (0-based) given the
+    /// segment's base budget. Attempt 0 is always exactly `base`.
+    pub fn escalated_shots(&self, base: usize, attempt: usize) -> usize {
+        if attempt == 0 {
+            return base;
+        }
+        let scaled = base as f64 * self.shot_escalation.powi(attempt as i32);
+        // Saturate rather than overflow on absurd escalation ladders.
+        if scaled >= usize::MAX as f64 / 2.0 {
+            usize::MAX / 2
+        } else {
+            (scaled.round() as usize).max(base)
+        }
+    }
+}
+
+/// A pipeline stage, for budget accounting and error reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Compilation: basis, simplification, chain, segmentation.
+    Prepare,
+    /// The variational training loop.
+    Train,
+    /// The final execution at the trained parameters.
+    Execute,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Stage::Prepare => "prepare",
+            Stage::Train => "train",
+            Stage::Execute => "execute",
+        })
+    }
+}
+
+/// Which budget tripped.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BudgetKind {
+    /// The per-stage wall-clock ceiling.
+    WallClock {
+        /// The configured limit in seconds.
+        limit_s: f64,
+    },
+    /// The total-shot ceiling.
+    Shots {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetKind::WallClock { limit_s } => write!(f, "wall-clock budget ({limit_s} s)"),
+            BudgetKind::Shots { limit } => write!(f, "shot budget ({limit} shots)"),
+        }
+    }
+}
+
+/// What the chain fell back to when a segment degraded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeFallback {
+    /// The previous segment's feasible output distribution.
+    PreviousSegment,
+    /// The feasible seed state (segment 0 failed, or nothing upstream).
+    Seed,
+}
+
+/// One recovery / injection event, in occurrence order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResilienceEvent {
+    /// A fault from the armed [`FaultPlan`] fired.
+    FaultInjected {
+        /// Segment index the fault struck.
+        segment: usize,
+        /// Execution attempt (0 = first try).
+        attempt: usize,
+        /// Which fault kind fired.
+        kind: FaultKind,
+    },
+    /// A segment was re-executed after yielding no feasible outcome.
+    Retry {
+        /// Segment index.
+        segment: usize,
+        /// The retry attempt number (1 = first retry).
+        attempt: usize,
+        /// Escalated shot budget of this attempt.
+        shots: usize,
+        /// Whether this attempt produced a feasible outcome.
+        recovered: bool,
+    },
+    /// Retries exhausted; the chain continued from a fallback state.
+    Degraded {
+        /// Segment index that was abandoned.
+        segment: usize,
+        /// Total attempts executed (including the first).
+        attempts: usize,
+        /// What the chain continued from.
+        fallback: DegradeFallback,
+    },
+    /// A budget ceiling tripped; spending stopped.
+    BudgetExhausted {
+        /// Stage in which the ceiling tripped.
+        stage: Stage,
+        /// Which budget.
+        kind: BudgetKind,
+    },
+    /// Non-finite / absurd optimizer parameters were sanitized before
+    /// execution instead of crashing the executor.
+    ParamsSanitized {
+        /// How many parameters were repaired.
+        repaired: usize,
+    },
+}
+
+/// The audit trail of one solve's recovery ladder, attached to
+/// [`Outcome::resilience`](crate::Outcome).
+///
+/// Empty (`is_clean`) for runs that never needed recovery — which is
+/// also the byte-identical-to-legacy case.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Every event, in occurrence order (training evaluations first,
+    /// then the final execution).
+    pub events: Vec<ResilienceEvent>,
+}
+
+impl ResilienceReport {
+    /// Whether no recovery machinery ever fired.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of retry attempts executed.
+    pub fn retries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ResilienceEvent::Retry { .. }))
+            .count()
+    }
+
+    /// Number of retry attempts that recovered a feasible outcome.
+    pub fn recoveries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ResilienceEvent::Retry {
+                        recovered: true,
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    /// Number of segments abandoned to degradation.
+    pub fn degradations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ResilienceEvent::Degraded { .. }))
+            .count()
+    }
+
+    /// Number of budget ceilings tripped.
+    pub fn budget_exhaustions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ResilienceEvent::BudgetExhausted { .. }))
+            .count()
+    }
+
+    /// Number of injected faults that fired.
+    pub fn faults_injected(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ResilienceEvent::FaultInjected { .. }))
+            .count()
+    }
+
+    /// One-line human summary, e.g. for CLI / bench output.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "clean (no recovery events)".to_string();
+        }
+        format!(
+            "{} faults injected, {} retries ({} recovered), {} degradations, {} budget stops",
+            self.faults_injected(),
+            self.retries(),
+            self.recoveries(),
+            self.degradations(),
+            self.budget_exhaustions(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_fully_disarmed() {
+        let cfg = ResilienceConfig::default();
+        assert!(!cfg.is_armed());
+        assert_eq!(cfg.retry_budget, 0);
+        assert!(!cfg.degrade);
+        assert!(cfg.fault_plan.is_none());
+        assert!(cfg.max_stage_seconds.is_none());
+        assert!(cfg.max_total_shots.is_none());
+    }
+
+    #[test]
+    fn recommended_posture_retries_then_degrades() {
+        let cfg = ResilienceConfig::recommended();
+        assert!(cfg.is_armed());
+        assert_eq!(cfg.retry_budget, 2);
+        assert!(cfg.degrade);
+        assert!(cfg.fault_plan.is_none());
+    }
+
+    #[test]
+    fn inert_fault_plan_does_not_arm() {
+        let cfg = ResilienceConfig::default().with_fault_plan(FaultPlan::new(1));
+        assert!(!cfg.is_armed(), "a no-fault plan must not arm resilience");
+        let armed =
+            ResilienceConfig::default().with_fault_plan(FaultPlan::new(1).kill_segment(0, 1));
+        assert!(armed.is_armed());
+    }
+
+    #[test]
+    fn escalation_ladder_doubles_and_saturates() {
+        let cfg = ResilienceConfig::recommended();
+        assert_eq!(cfg.escalated_shots(256, 0), 256);
+        assert_eq!(cfg.escalated_shots(256, 1), 512);
+        assert_eq!(cfg.escalated_shots(256, 2), 1024);
+        // Saturation instead of overflow.
+        let silly = ResilienceConfig::default().with_shot_escalation(1e6);
+        assert_eq!(silly.escalated_shots(usize::MAX / 4, 5), usize::MAX / 2);
+        // Escalation never shrinks the budget.
+        let unit = ResilienceConfig::default().with_shot_escalation(1.0);
+        assert_eq!(unit.escalated_shots(100, 3), 100);
+    }
+
+    #[test]
+    fn report_counts_by_kind() {
+        let report = ResilienceReport {
+            events: vec![
+                ResilienceEvent::FaultInjected {
+                    segment: 1,
+                    attempt: 0,
+                    kind: FaultKind::FeasibilityKill,
+                },
+                ResilienceEvent::Retry {
+                    segment: 1,
+                    attempt: 1,
+                    shots: 512,
+                    recovered: false,
+                },
+                ResilienceEvent::Retry {
+                    segment: 1,
+                    attempt: 2,
+                    shots: 1024,
+                    recovered: true,
+                },
+                ResilienceEvent::Degraded {
+                    segment: 2,
+                    attempts: 3,
+                    fallback: DegradeFallback::PreviousSegment,
+                },
+                ResilienceEvent::BudgetExhausted {
+                    stage: Stage::Train,
+                    kind: BudgetKind::Shots { limit: 4096 },
+                },
+            ],
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.faults_injected(), 1);
+        assert_eq!(report.retries(), 2);
+        assert_eq!(report.recoveries(), 1);
+        assert_eq!(report.degradations(), 1);
+        assert_eq!(report.budget_exhaustions(), 1);
+        let s = report.summary();
+        assert!(s.contains("2 retries"), "{s}");
+        assert!(ResilienceReport::default().summary().contains("clean"));
+    }
+
+    #[test]
+    fn stage_and_budget_display() {
+        assert_eq!(Stage::Train.to_string(), "train");
+        assert!(BudgetKind::Shots { limit: 10 }.to_string().contains("10"));
+        assert!(BudgetKind::WallClock { limit_s: 1.5 }
+            .to_string()
+            .contains("1.5"));
+    }
+}

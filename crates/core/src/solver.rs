@@ -17,6 +17,9 @@ use crate::metrics::{
 };
 use crate::prune::{build_chain, Chain, ChainConfig};
 use crate::purify::purify_distribution;
+use crate::resilience::{
+    BudgetKind, DegradeFallback, ResilienceConfig, ResilienceEvent, ResilienceReport, Stage,
+};
 use crate::segment::{apportion_shots, plan_segments, single_segment, SegmentPlan};
 use crate::simplify::simplify_basis;
 use rand::rngs::StdRng;
@@ -24,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use rasengan_math::basis::TernaryBasisError;
 use rasengan_optim::{Cobyla, NelderMead, Optimizer, Spsa};
 use rasengan_problems::{optimum, Problem};
+use rasengan_qsim::fault::{FaultKind, FaultPlan};
 use rasengan_qsim::mitigation::{mitigate_readout, ReadoutModel};
 use rasengan_qsim::noise::{apply_gate_noise_sparse, apply_readout_error};
 use rasengan_qsim::parallel::{derive_seed, par_map, resolve_threads};
@@ -31,7 +35,7 @@ use rasengan_qsim::sparse::label_from_bits;
 use rasengan_qsim::{Device, Label, NoiseModel, SparseState};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which classical optimizer trains the evolution times.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +100,11 @@ pub struct RasenganConfig {
     /// fixed seed at *any* thread count: every shot draws from its own
     /// RNG stream derived from the seed and its global shot index.
     pub threads: Option<usize>,
+    /// Recovery ladder: segment retry budget with shot escalation,
+    /// graceful chain degradation, stage budgets, and (for testing) a
+    /// deterministic fault-injection plan. All defaults are off, which
+    /// reproduces the pre-resilience solver byte-for-byte.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for RasenganConfig {
@@ -119,6 +128,7 @@ impl Default for RasenganConfig {
             initial_times: None,
             final_segment_shot_boost: 1,
             threads: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -218,6 +228,34 @@ impl RasenganConfig {
         self
     }
 
+    /// Replaces the whole resilience configuration (builder style).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Allows up to `retries` re-executions of a segment that produced
+    /// no feasible outcome, escalating the shot budget each attempt
+    /// (builder style).
+    pub fn with_retry_budget(mut self, retries: usize) -> Self {
+        self.resilience.retry_budget = retries;
+        self
+    }
+
+    /// Enables graceful degradation: when a segment's retries are
+    /// exhausted, the chain continues from the previous segment's
+    /// feasible state instead of aborting (builder style).
+    pub fn with_degradation(mut self) -> Self {
+        self.resilience.degrade = true;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.resilience.fault_plan = Some(plan);
+        self
+    }
+
     /// Disables all three optimizations (baseline ablation point).
     pub fn without_optimizations(mut self) -> Self {
         self.simplify = false;
@@ -239,13 +277,35 @@ pub enum RasenganError {
     NoFeasibleSeed,
     /// Noise destroyed feasibility: a segment produced no feasible
     /// outcome, so the next segment cannot be initialized (the Fig. 10d
-    /// / Fig. 14b failure mode).
+    /// / Fig. 14b failure mode). Only reachable when the configured
+    /// retry budget is exhausted and degradation is disabled.
     NoFeasibleOutput {
         /// Index of the failing segment.
         segment: usize,
     },
     /// The constraints fully determine the solution (nothing to search).
     FullyDetermined,
+    /// A configured stage budget (wall-clock or total shots) tripped
+    /// before a full outcome existed and degradation was disabled.
+    /// Carries the best partial outcome assembled so far, if any
+    /// training evaluation completed.
+    BudgetExceeded {
+        /// Stage in which the ceiling tripped.
+        stage: Stage,
+        /// Which budget tripped.
+        kind: BudgetKind,
+        /// Best partial outcome available when the budget tripped.
+        partial: Option<Box<Outcome>>,
+    },
+    /// Every start of a [`Rasengan::solve_multistart`] failed. Reports
+    /// how many starts were attempted and each start's error, instead
+    /// of surfacing only the last one.
+    AllStartsFailed {
+        /// Number of starts attempted.
+        n_starts: usize,
+        /// `(start index, error)` for every failed start.
+        failures: Vec<(usize, RasenganError)>,
+    },
 }
 
 impl fmt::Display for RasenganError {
@@ -265,11 +325,46 @@ impl fmt::Display for RasenganError {
                     "constraints admit exactly one solution; nothing to optimize"
                 )
             }
+            RasenganError::BudgetExceeded {
+                stage,
+                kind,
+                partial,
+            } => {
+                write!(
+                    f,
+                    "{stage} stage exceeded its {kind}; partial outcome {}",
+                    if partial.is_some() {
+                        "available"
+                    } else {
+                        "unavailable"
+                    }
+                )
+            }
+            RasenganError::AllStartsFailed { n_starts, failures } => {
+                write!(f, "all {n_starts} starts failed")?;
+                for (start, err) in failures.iter().take(3) {
+                    write!(f, "; start {start}: {err}")?;
+                }
+                if failures.len() > 3 {
+                    write!(f, "; … and {} more", failures.len() - 3)?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
-impl std::error::Error for RasenganError {}
+impl std::error::Error for RasenganError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RasenganError::Basis(e) => Some(e),
+            RasenganError::AllStartsFailed { failures, .. } => failures
+                .first()
+                .map(|(_, e)| e as &(dyn std::error::Error + 'static)),
+            _ => None,
+        }
+    }
+}
 
 /// Per-run structural statistics.
 #[derive(Clone, Debug, PartialEq)]
@@ -294,7 +389,7 @@ pub struct ChainStats {
 }
 
 /// Result of a successful solve.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Outcome {
     /// Best measured solution.
     pub best: Solution,
@@ -323,6 +418,10 @@ pub struct Outcome {
     /// The trained evolution times (reusable as a warm start for
     /// sibling cases via [`RasenganConfig::with_initial_times`]).
     pub trained_times: Vec<f64>,
+    /// Audit trail of the recovery ladder: every injected fault, retry,
+    /// degradation, budget stop, and parameter sanitization that
+    /// occurred. Empty for runs that never needed recovery.
+    pub resilience: ResilienceReport,
 }
 
 /// A compiled-but-not-yet-trained Rasengan instance; exposes the
@@ -473,7 +572,8 @@ impl Rasengan {
     ///
     /// # Errors
     ///
-    /// Returns the last error if *every* start fails.
+    /// Returns [`RasenganError::AllStartsFailed`] — aggregating every
+    /// start's error — if *every* start fails.
     ///
     /// # Panics
     ///
@@ -504,8 +604,8 @@ impl Rasengan {
             Rasengan::new(cfg).solve(problem)
         });
         let mut best: Option<Outcome> = None;
-        let mut last_err = None;
-        for result in results {
+        let mut failures: Vec<(usize, RasenganError)> = Vec::new();
+        for (start, result) in results.into_iter().enumerate() {
             match result {
                 Ok(outcome) => {
                     let better = best
@@ -515,10 +615,10 @@ impl Rasengan {
                         best = Some(outcome);
                     }
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => failures.push((start, e)),
             }
         }
-        best.ok_or_else(|| last_err.expect("no outcome implies an error"))
+        best.ok_or(RasenganError::AllStartsFailed { n_starts, failures })
     }
 
     /// Runs the full variational solve.
@@ -526,20 +626,37 @@ impl Rasengan {
     /// # Errors
     ///
     /// See [`RasenganError`]. Under heavy noise the final execution may
-    /// fail with [`RasenganError::NoFeasibleOutput`].
+    /// fail with [`RasenganError::NoFeasibleOutput`] — unless the
+    /// [`ResilienceConfig`] arms retries or degradation, in which case
+    /// the recovery ladder runs first and every action is recorded in
+    /// [`Outcome::resilience`].
     pub fn solve(&self, problem: &Problem) -> Result<Outcome, RasenganError> {
         let wall = Instant::now();
         let prepared = self.prepare(problem)?;
         let prepare_s = wall.elapsed().as_secs_f64();
         let cfg = &self.config;
+        let resil = &cfg.resilience;
         let n_params = prepared.stats.n_params;
         let sense = problem.sense();
         let lambda = penalty_lambda(problem);
 
         // Shared accounting across objective evaluations.
         let mut quantum_s = 0.0f64;
+        let mut retry_s = 0.0f64;
         let mut total_shots = 0usize;
         let mut eval_counter = 0u64;
+        let mut events: Vec<ResilienceEvent> = Vec::new();
+        // Cheapest usable fallback if a budget kills the final
+        // execution: the latest successful training execution.
+        let mut last_good: Option<(BTreeMap<Label, f64>, f64)> = None;
+        let mut train_budget_reported = false;
+
+        // The training stage's wall-clock ceiling starts now; the final
+        // execution gets its own fresh ceiling below.
+        let train_deadline = resil
+            .max_stage_seconds
+            .map(|s| Instant::now() + Duration::from_secs_f64(s));
+        let plan = resil.fault_plan.as_ref().filter(|p| p.is_active());
 
         // Training loop: minimize the sense-adjusted expectation. Each
         // evaluation executes under its own RNG stream derived from the
@@ -547,10 +664,63 @@ impl Rasengan {
         let mut objective = |params: &[f64]| -> f64 {
             eval_counter += 1;
             let stream_seed = derive_seed(cfg.seed, eval_counter);
-            match execute(problem, &prepared, params, cfg, lambda, stream_seed) {
+
+            // Budget gate: once a ceiling trips, the remaining
+            // optimizer iterations drain without spending quantum time.
+            if let Some(kind) = budget_tripped(train_deadline, resil, total_shots) {
+                if !train_budget_reported {
+                    train_budget_reported = true;
+                    events.push(ResilienceEvent::BudgetExhausted {
+                        stage: Stage::Train,
+                        kind,
+                    });
+                }
+                return FAILURE_OBJECTIVE;
+            }
+
+            // Fault injection: corrupt optimizer parameters before
+            // execution; the executor sanitizes rather than crashes.
+            // (For `ParamCorruption` events the `segment` field carries
+            // the corrupted parameter index.)
+            let corrupted;
+            let exec_params: &[f64] = match plan {
+                Some(p) if p.param_corruption > 0.0 => {
+                    let mut buf = params.to_vec();
+                    if let Some(idx) = p.corrupt_params(eval_counter, &mut buf) {
+                        events.push(ResilienceEvent::FaultInjected {
+                            segment: idx,
+                            attempt: 0,
+                            kind: FaultKind::ParamCorruption,
+                        });
+                        corrupted = buf;
+                        &corrupted
+                    } else {
+                        params
+                    }
+                }
+                _ => params,
+            };
+
+            let budget = ExecBudget {
+                stage: Stage::Train,
+                deadline: train_deadline,
+                shots_before: total_shots,
+            };
+            match execute(
+                problem,
+                &prepared,
+                exec_params,
+                cfg,
+                lambda,
+                stream_seed,
+                &budget,
+                &mut events,
+            ) {
                 Ok(exec) => {
                     quantum_s += exec.quantum_s;
+                    retry_s += exec.retry_s;
                     total_shots += exec.shots;
+                    last_good = Some((exec.distribution.clone(), exec.raw_in_constraints_rate));
                     let e = expectation(problem, &exec.distribution, lambda);
                     match sense {
                         rasengan_problems::Sense::Minimize => e,
@@ -590,18 +760,73 @@ impl Rasengan {
         let train_s = train_start.elapsed().as_secs_f64();
 
         // Final execution at the trained parameters, on a stream no
-        // training evaluation can collide with.
+        // training evaluation can collide with, under a fresh stage
+        // ceiling of its own.
         let final_start = Instant::now();
-        let exec = execute(
+        let exec_deadline = resil
+            .max_stage_seconds
+            .map(|s| Instant::now() + Duration::from_secs_f64(s));
+        let budget = ExecBudget {
+            stage: Stage::Execute,
+            deadline: exec_deadline,
+            shots_before: total_shots,
+        };
+        let exec = match execute(
             problem,
             &prepared,
             &result.best_params,
             cfg,
             lambda,
             derive_seed(cfg.seed, u64::MAX),
-        )?;
+            &budget,
+            &mut events,
+        ) {
+            Ok(exec) => exec,
+            Err(RasenganError::BudgetExceeded { stage, kind, .. }) => {
+                // A budget killed the final execution. Package the best
+                // partial result — the latest successful training
+                // execution — so callers still get a usable answer.
+                let partial = last_good.map(|(distribution, raw_rate)| {
+                    let e_real = expectation(problem, &distribution, lambda);
+                    let (_, e_opt) = optimum(problem);
+                    Box::new(Outcome {
+                        best: best_solution(problem, &distribution),
+                        expectation: e_real,
+                        arg: arg(e_opt, e_real),
+                        raw_in_constraints_rate: raw_rate,
+                        in_constraints_rate: in_constraints_rate(problem, &distribution),
+                        distribution,
+                        stats: prepared.stats.clone(),
+                        latency: Latency {
+                            quantum_s,
+                            classical_s: wall.elapsed().as_secs_f64(),
+                            stages: StageTimes {
+                                prepare_s,
+                                train_s,
+                                execute_s: final_start.elapsed().as_secs_f64(),
+                                retry_s,
+                            },
+                        },
+                        history: result.history.clone(),
+                        evaluations: result.evaluations,
+                        total_shots,
+                        resilience: ResilienceReport {
+                            events: events.clone(),
+                        },
+                        trained_times: result.best_params.clone(),
+                    })
+                });
+                return Err(RasenganError::BudgetExceeded {
+                    stage,
+                    kind,
+                    partial,
+                });
+            }
+            Err(e) => return Err(e),
+        };
         let execute_s = final_start.elapsed().as_secs_f64();
         quantum_s += exec.quantum_s;
+        retry_s += exec.retry_s;
         total_shots += exec.shots;
 
         let e_real = expectation(problem, &exec.distribution, lambda);
@@ -624,11 +849,13 @@ impl Rasengan {
                     prepare_s,
                     train_s,
                     execute_s,
+                    retry_s,
                 },
             },
             history: result.history,
             evaluations: result.evaluations,
             total_shots,
+            resilience: ResilienceReport { events },
             trained_times: result.best_params,
         })
     }
@@ -647,7 +874,53 @@ struct Execution {
     distribution: BTreeMap<Label, f64>,
     raw_in_constraints_rate: f64,
     quantum_s: f64,
+    retry_s: f64,
     shots: usize,
+}
+
+/// Budget context of one [`execute`] call: which stage it runs in, the
+/// stage's wall-clock deadline, and how many shots the solve had
+/// already spent when the call started.
+struct ExecBudget {
+    stage: Stage,
+    deadline: Option<Instant>,
+    shots_before: usize,
+}
+
+/// Returns the budget that has tripped, if any.
+fn budget_tripped(
+    deadline: Option<Instant>,
+    resil: &ResilienceConfig,
+    shots_so_far: usize,
+) -> Option<BudgetKind> {
+    if let (Some(d), Some(limit_s)) = (deadline, resil.max_stage_seconds) {
+        if Instant::now() >= d {
+            return Some(BudgetKind::WallClock { limit_s });
+        }
+    }
+    if let Some(limit) = resil.max_total_shots {
+        if shots_so_far >= limit {
+            return Some(BudgetKind::Shots { limit });
+        }
+    }
+    None
+}
+
+/// Largest |evolution time| the executor accepts before clamping; far
+/// beyond anything an optimizer legitimately proposes, so clamping
+/// never perturbs a healthy run.
+const PARAM_LIMIT: f64 = 1e6;
+
+fn param_ok(t: f64) -> bool {
+    t.is_finite() && t.abs() <= PARAM_LIMIT
+}
+
+fn sanitize_param(t: f64) -> f64 {
+    if t.is_finite() {
+        t.clamp(-PARAM_LIMIT, PARAM_LIMIT)
+    } else {
+        std::f64::consts::FRAC_PI_4
+    }
 }
 
 /// Executes the chain segment-by-segment from the seed state.
@@ -658,6 +931,15 @@ struct Execution {
 /// Work is split over the configured threads by index, and results are
 /// folded in input order — the output is bit-identical for a fixed seed
 /// at any thread count.
+///
+/// When [`ResilienceConfig`] arms retries, a segment whose output loses
+/// feasibility is re-executed (escalated shots, fresh RNG substream per
+/// attempt) up to the retry budget; when degradation is armed, an
+/// exhausted segment is skipped and the chain continues from its input
+/// distribution, which is always feasible. With the default (disarmed)
+/// config and no fault plan, the control flow and every RNG stream
+/// match the legacy single-attempt executor bit for bit.
+#[allow(clippy::too_many_arguments)]
 fn execute(
     problem: &Problem,
     prepared: &Prepared,
@@ -665,11 +947,27 @@ fn execute(
     cfg: &RasenganConfig,
     _lambda: f64,
     stream_seed: u64,
+    budget: &ExecBudget,
+    events: &mut Vec<ResilienceEvent>,
 ) -> Result<Execution, RasenganError> {
-    debug_assert!(
-        params.iter().all(|t| t.is_finite()),
-        "non-finite evolution times reached the executor"
-    );
+    let resil = &cfg.resilience;
+    let plan = resil.fault_plan.as_ref().filter(|p| p.is_active());
+
+    // Sanitize rather than crash on non-finite or absurd evolution
+    // times (injected faults, or an optimizer gone wrong).
+    let sanitized;
+    let params: &[f64] = if params.iter().all(|t| param_ok(*t)) {
+        params
+    } else {
+        let repaired = params.iter().filter(|t| !param_ok(**t)).count();
+        events.push(ResilienceEvent::ParamsSanitized { repaired });
+        sanitized = params
+            .iter()
+            .map(|&t| sanitize_param(t))
+            .collect::<Vec<_>>();
+        &sanitized
+    };
+
     let noisy = cfg.noise.is_noisy();
     let threads = resolve_threads(cfg.threads);
     let shots = match (cfg.shots, noisy) {
@@ -680,14 +978,36 @@ fn execute(
 
     let mut dist: BTreeMap<Label, f64> = BTreeMap::from([(prepared.seed_label, 1.0)]);
     let mut quantum_s = 0.0;
+    let mut retry_s = 0.0;
     let mut shots_used = 0usize;
     let mut raw_rate = 1.0;
     // Next unused RNG stream; monotone across segments so no two shots
-    // (or sampling batches) ever share a stream.
+    // (or sampling batches) ever share a stream. Retry attempts use a
+    // derived sub-seed with their own local counter, so this legacy
+    // counter advances exactly as it did pre-resilience.
     let mut next_stream = 0u64;
 
     let n_segments = prepared.plan.segments.len();
-    for (seg_idx, range) in prepared.plan.segments.iter().enumerate() {
+    'segments: for (seg_idx, range) in prepared.plan.segments.iter().enumerate() {
+        // Budget gate between segments. Degradation truncates the
+        // chain: every segment's input is a feasible distribution, so
+        // stopping early costs quality, never validity.
+        if let Some(kind) = budget_tripped(budget.deadline, resil, budget.shots_before + shots_used)
+        {
+            events.push(ResilienceEvent::BudgetExhausted {
+                stage: budget.stage,
+                kind,
+            });
+            if resil.degrade {
+                break 'segments;
+            }
+            return Err(RasenganError::BudgetExceeded {
+                stage: budget.stage,
+                kind,
+                partial: None,
+            });
+        }
+
         let ops = &prepared.chain.ops[range.clone()];
         let times = &params[range.clone()];
         let cx_depth: usize = ops.iter().map(|o| o.cx_cost()).sum();
@@ -725,103 +1045,147 @@ fn execute(
                 }
                 dist = next;
             }
-            Some(budget) => {
+            Some(seg_shots) => {
                 let inputs: Vec<Label> = dist.keys().copied().collect();
                 let probs: Vec<f64> = dist.values().copied().collect();
-                let shares = apportion_shots(&probs, budget);
-                let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
-
-                if noisy {
-                    // One job per shot, tagged with its RNG stream; the
-                    // per-shot labels depend only on (input, stream), so
-                    // any thread count yields the same counts.
-                    let mut jobs: Vec<(Label, u64)> = Vec::new();
-                    for (&input, &share) in inputs.iter().zip(&shares) {
-                        if share == 0 {
-                            continue;
-                        }
-                        shots_used += share;
-                        quantum_s += segment_execution_seconds(
-                            &cfg.device,
-                            cx_depth,
-                            // 1Q layers: X-preparation plus the H/X shells
-                            // of each τ (≈ 4 per operator).
-                            input.count_ones() as usize + 4 * ops.len(),
-                            share,
-                        );
-                        for _ in 0..share {
-                            jobs.push((input, next_stream));
-                            next_stream += 1;
+                let mut attempt = 0usize;
+                loop {
+                    if attempt > 0 {
+                        // Retries re-check the budgets: escalated shots
+                        // must not blow through a hard ceiling.
+                        if let Some(kind) =
+                            budget_tripped(budget.deadline, resil, budget.shots_before + shots_used)
+                        {
+                            events.push(ResilienceEvent::BudgetExhausted {
+                                stage: budget.stage,
+                                kind,
+                            });
+                            if resil.degrade {
+                                break 'segments;
+                            }
+                            return Err(RasenganError::BudgetExceeded {
+                                stage: budget.stage,
+                                kind,
+                                partial: None,
+                            });
                         }
                     }
-                    let labels = par_map(&jobs, threads, |_, &(input, stream)| {
-                        let mut rng = StdRng::seed_from_u64(derive_seed(stream_seed, stream));
-                        run_noisy_trajectory(
-                            problem.n_vars(),
-                            input,
-                            ops,
-                            times,
-                            &cfg.noise,
-                            &mut rng,
-                        )
-                    });
-                    for label in labels {
-                        *counts.entry(label).or_insert(0) += 1;
-                    }
-                } else {
-                    // Noise-free sampling: one job per input label; each
-                    // propagates its state and samples its share from a
-                    // dedicated stream.
-                    let mut jobs: Vec<(Label, usize, u64)> = Vec::new();
-                    for (&input, &share) in inputs.iter().zip(&shares) {
-                        if share == 0 {
-                            continue;
-                        }
-                        shots_used += share;
-                        quantum_s += segment_execution_seconds(
-                            &cfg.device,
-                            cx_depth,
-                            input.count_ones() as usize + 4 * ops.len(),
-                            share,
-                        );
-                        jobs.push((input, share, next_stream));
-                        next_stream += 1;
-                    }
-                    let sampled = par_map(&jobs, threads, |_, &(input, share, stream)| {
-                        let mut rng = StdRng::seed_from_u64(derive_seed(stream_seed, stream));
-                        let mut state = SparseState::basis_state(problem.n_vars(), input);
-                        for (op, &t) in ops.iter().zip(times) {
-                            op.apply(&mut state, t);
-                        }
-                        state.sample(share, &mut rng)
-                    });
-                    for batch in sampled {
-                        for (label, c) in batch {
-                            *counts.entry(label).or_insert(0) += c;
-                        }
-                    }
-                }
-
-                let total: usize = counts.values().sum();
-                let mut raw: BTreeMap<Label, f64> = counts
-                    .into_iter()
-                    .map(|(l, c)| (l, c as f64 / total.max(1) as f64))
-                    .collect();
-                if cfg.readout_mitigation && cfg.noise.readout > 0.0 {
-                    raw = mitigate_readout(
-                        &raw,
-                        problem.n_vars(),
-                        ReadoutModel::new(cfg.noise.readout),
+                    let attempt_shots = resil.escalated_shots(seg_shots, attempt);
+                    let attempt_start = (attempt > 0).then(Instant::now);
+                    // Attempt 0 draws from the legacy stream counter;
+                    // retries draw from a sub-seed derived from the
+                    // segment and attempt, with a fresh local counter,
+                    // so they can never collide with legacy streams.
+                    let (seed, start_stream) = if attempt == 0 {
+                        (stream_seed, next_stream)
+                    } else {
+                        (retry_stream_seed(stream_seed, seg_idx, attempt), 0)
+                    };
+                    let shares = apportion_shots(&probs, attempt_shots);
+                    let run = run_segment_shots(
+                        problem,
+                        ops,
+                        times,
+                        cfg,
+                        threads,
+                        plan,
+                        &inputs,
+                        &shares,
+                        cx_depth,
+                        seed,
+                        start_stream,
+                        seg_idx,
+                        attempt,
+                        noisy,
+                        &mut quantum_s,
+                        &mut shots_used,
+                        events,
                     );
-                }
-                if cfg.purify {
-                    let (clean, rate) = purify_distribution(problem, &raw)
-                        .ok_or(RasenganError::NoFeasibleOutput { segment: seg_idx })?;
-                    raw_rate = rate;
-                    dist = clean;
-                } else {
-                    raw_rate = crate::metrics::in_constraints_rate(problem, &raw);
-                    dist = raw;
+                    if attempt == 0 {
+                        next_stream = run.next_stream;
+                    }
+                    if let Some(t0) = attempt_start {
+                        retry_s += t0.elapsed().as_secs_f64();
+                    }
+
+                    let killed = plan.is_some_and(|p| p.kills_segment(seg_idx, attempt));
+                    if killed {
+                        events.push(ResilienceEvent::FaultInjected {
+                            segment: seg_idx,
+                            attempt,
+                            kind: FaultKind::FeasibilityKill,
+                        });
+                    }
+                    let total: usize = run.counts.values().sum();
+                    let outcome = if killed || total == 0 {
+                        // A kill fault, or every batch lost: nothing to
+                        // post-process.
+                        None
+                    } else {
+                        let mut raw: BTreeMap<Label, f64> = run
+                            .counts
+                            .into_iter()
+                            .map(|(l, c)| (l, c as f64 / total as f64))
+                            .collect();
+                        if cfg.readout_mitigation && cfg.noise.readout > 0.0 {
+                            raw = mitigate_readout(
+                                &raw,
+                                problem.n_vars(),
+                                ReadoutModel::new(cfg.noise.readout),
+                            );
+                        }
+                        if cfg.purify {
+                            purify_distribution(problem, &raw)
+                        } else {
+                            let rate = crate::metrics::in_constraints_rate(problem, &raw);
+                            Some((raw, rate))
+                        }
+                    };
+
+                    match outcome {
+                        Some((next_dist, rate)) => {
+                            if attempt > 0 {
+                                events.push(ResilienceEvent::Retry {
+                                    segment: seg_idx,
+                                    attempt,
+                                    shots: attempt_shots,
+                                    recovered: true,
+                                });
+                            }
+                            raw_rate = rate;
+                            dist = next_dist;
+                            break;
+                        }
+                        None => {
+                            if attempt > 0 {
+                                events.push(ResilienceEvent::Retry {
+                                    segment: seg_idx,
+                                    attempt,
+                                    shots: attempt_shots,
+                                    recovered: false,
+                                });
+                            }
+                            if attempt >= resil.retry_budget {
+                                if resil.degrade {
+                                    events.push(ResilienceEvent::Degraded {
+                                        segment: seg_idx,
+                                        attempts: attempt + 1,
+                                        fallback: if seg_idx == 0 {
+                                            DegradeFallback::Seed
+                                        } else {
+                                            DegradeFallback::PreviousSegment
+                                        },
+                                    });
+                                    // Keep `dist` — the previous
+                                    // segment's feasible output (or the
+                                    // feasible seed) — and move on.
+                                    break;
+                                }
+                                return Err(RasenganError::NoFeasibleOutput { segment: seg_idx });
+                            }
+                            attempt += 1;
+                        }
+                    }
                 }
             }
         }
@@ -831,8 +1195,192 @@ fn execute(
         distribution: dist,
         raw_in_constraints_rate: raw_rate,
         quantum_s,
+        retry_s,
         shots: shots_used,
     })
+}
+
+/// Domain tag separating retry RNG sub-seeds from every other stream
+/// family derived from the solve seed.
+const RETRY_STREAM_TAG: u64 = 0x5E11_1E57_0000_0001;
+
+/// Derives the RNG seed for retry `attempt` of segment `seg_idx`: a
+/// sub-seed of the evaluation's `stream_seed` that no legacy stream
+/// (plain counter values) can collide with.
+fn retry_stream_seed(stream_seed: u64, seg_idx: usize, attempt: usize) -> u64 {
+    derive_seed(
+        derive_seed(stream_seed, RETRY_STREAM_TAG),
+        ((seg_idx as u64) << 32) | attempt as u64,
+    )
+}
+
+/// Counts from one sampled pass over a segment, plus the advanced
+/// legacy stream counter (meaningful only for attempt 0).
+struct SegmentRun {
+    counts: BTreeMap<Label, usize>,
+    next_stream: u64,
+}
+
+/// Runs one sampled attempt of a segment: apportions nothing (shares
+/// are precomputed), charges latency and shots per batch, applies the
+/// fault plan (calibration drift, batch loss, readout bursts), and
+/// folds counts in input order so results are thread-count invariant.
+#[allow(clippy::too_many_arguments)]
+fn run_segment_shots(
+    problem: &Problem,
+    ops: &[crate::hamiltonian::TransitionHamiltonian],
+    times: &[f64],
+    cfg: &RasenganConfig,
+    threads: usize,
+    plan: Option<&FaultPlan>,
+    inputs: &[Label],
+    shares: &[usize],
+    cx_depth: usize,
+    seed: u64,
+    mut next_stream: u64,
+    seg_idx: usize,
+    attempt: usize,
+    noisy: bool,
+    quantum_s: &mut f64,
+    shots_used: &mut usize,
+    events: &mut Vec<ResilienceEvent>,
+) -> SegmentRun {
+    let n_vars = problem.n_vars();
+    // Per-(segment, attempt) fault rolls, decided up front: a drifted
+    // calibration applies to every trajectory of the attempt, a readout
+    // burst to every measured label.
+    let noise = match plan {
+        Some(p) if p.calibration_drift > 0.0 => {
+            let drifted = p.drifted(&cfg.noise, seed, seg_idx, attempt);
+            if drifted != cfg.noise {
+                events.push(ResilienceEvent::FaultInjected {
+                    segment: seg_idx,
+                    attempt,
+                    kind: FaultKind::CalibrationDrift,
+                });
+            }
+            drifted
+        }
+        _ => cfg.noise,
+    };
+    let burst = plan.and_then(|p| p.burst_flip_rate(seed, seg_idx, attempt));
+    if burst.is_some() {
+        events.push(ResilienceEvent::FaultInjected {
+            segment: seg_idx,
+            attempt,
+            kind: FaultKind::ReadoutBurst,
+        });
+    }
+
+    let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
+    if noisy {
+        // One job per shot, tagged with its RNG stream; the per-shot
+        // labels depend only on (input, stream), so any thread count
+        // yields the same counts.
+        let mut jobs: Vec<(Label, u64)> = Vec::new();
+        for (batch, (&input, &share)) in inputs.iter().zip(shares).enumerate() {
+            if share == 0 {
+                continue;
+            }
+            *shots_used += share;
+            *quantum_s += segment_execution_seconds(
+                &cfg.device,
+                cx_depth,
+                // 1Q layers: X-preparation plus the H/X shells of each
+                // τ (≈ 4 per operator).
+                input.count_ones() as usize + 4 * ops.len(),
+                share,
+            );
+            if plan.is_some_and(|p| p.batch_lost(seed, seg_idx, attempt, batch as u64)) {
+                // The batch executed — shots and latency are charged —
+                // but its results never came back. Its streams stay
+                // reserved so surviving batches keep their streams.
+                events.push(ResilienceEvent::FaultInjected {
+                    segment: seg_idx,
+                    attempt,
+                    kind: FaultKind::ShotBatchLoss,
+                });
+                next_stream += share as u64;
+                continue;
+            }
+            for _ in 0..share {
+                jobs.push((input, next_stream));
+                next_stream += 1;
+            }
+        }
+        let labels = par_map(&jobs, threads, |_, &(input, stream)| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, stream));
+            let label = run_noisy_trajectory(n_vars, input, ops, times, &noise, &mut rng);
+            match burst {
+                Some(rate) => apply_readout_error(label, n_vars, rate, &mut rng),
+                None => label,
+            }
+        });
+        for label in labels {
+            *counts.entry(label).or_insert(0) += 1;
+        }
+    } else {
+        // Noise-free sampling: one job per input label; each propagates
+        // its state and samples its share from a dedicated stream.
+        let mut jobs: Vec<(Label, usize, u64)> = Vec::new();
+        for (batch, (&input, &share)) in inputs.iter().zip(shares).enumerate() {
+            if share == 0 {
+                continue;
+            }
+            *shots_used += share;
+            *quantum_s += segment_execution_seconds(
+                &cfg.device,
+                cx_depth,
+                input.count_ones() as usize + 4 * ops.len(),
+                share,
+            );
+            if plan.is_some_and(|p| p.batch_lost(seed, seg_idx, attempt, batch as u64)) {
+                events.push(ResilienceEvent::FaultInjected {
+                    segment: seg_idx,
+                    attempt,
+                    kind: FaultKind::ShotBatchLoss,
+                });
+                next_stream += 1;
+                continue;
+            }
+            jobs.push((input, share, next_stream));
+            next_stream += 1;
+        }
+        let sampled = par_map(&jobs, threads, |_, &(input, share, stream)| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, stream));
+            let mut state = SparseState::basis_state(n_vars, input);
+            for (op, &t) in ops.iter().zip(times) {
+                op.apply(&mut state, t);
+            }
+            let batch = state.sample(share, &mut rng);
+            match burst {
+                Some(rate) => {
+                    // Re-measure every sampled shot through the burst
+                    // channel on the batch's own stream.
+                    let mut corrupted: BTreeMap<Label, usize> = BTreeMap::new();
+                    for (label, c) in batch {
+                        for _ in 0..c {
+                            *corrupted
+                                .entry(apply_readout_error(label, n_vars, rate, &mut rng))
+                                .or_insert(0) += 1;
+                        }
+                    }
+                    corrupted
+                }
+                None => batch,
+            }
+        });
+        for batch in sampled {
+            for (label, c) in batch {
+                *counts.entry(label).or_insert(0) += c;
+            }
+        }
+    }
+
+    SegmentRun {
+        counts,
+        next_stream,
+    }
 }
 
 /// One noisy shot: prepares `input` with X gates, applies the segment's

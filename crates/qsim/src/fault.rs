@@ -1,0 +1,403 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A [`FaultPlan`] describes transient failures to inject into a
+//! shot-based execution: whole shot batches lost in flight, readout
+//! corruption bursts, calibration drift on the device error rates,
+//! targeted "kill" faults that wipe a segment's feasible output, and
+//! NaN / out-of-range corruption of optimizer parameters. Every fault
+//! decision is a *pure function* of the plan seed and the fault site
+//! (evaluation stream, segment, attempt, batch), derived through the
+//! same SplitMix64 stream derivation as [`crate::parallel`] — so a
+//! fault schedule is bit-reproducible at any thread count, and a
+//! recovery path exercised once in a test fires identically forever.
+//!
+//! The plan itself is inert: it only answers queries. The solver's
+//! execution engine consults it at well-defined sites and applies the
+//! corruption itself, which keeps the injection logic out of the hot
+//! sampling loops when no plan is armed.
+//!
+//! # Example
+//!
+//! ```
+//! use rasengan_qsim::fault::FaultPlan;
+//!
+//! let plan = FaultPlan::new(7)
+//!     .with_shot_loss(0.2)
+//!     .with_readout_burst(0.1, 0.5)
+//!     .kill_segment(1, 1); // segment 1 yields nothing feasible once
+//! assert!(plan.is_active());
+//! assert!(plan.kills_segment(1, 0));
+//! assert!(!plan.kills_segment(1, 1)); // a retry attempt succeeds
+//! // Decisions are pure functions of the site:
+//! assert_eq!(plan.batch_lost(3, 0, 0, 5), plan.batch_lost(3, 0, 0, 5));
+//! ```
+
+use crate::noise::NoiseModel;
+use crate::parallel::derive_seed;
+
+/// Domain tags keeping the per-fault-kind streams disjoint.
+const TAG_BATCH_LOSS: u64 = 0xFA17_0001;
+const TAG_BURST: u64 = 0xFA17_0002;
+const TAG_DRIFT: u64 = 0xFA17_0003;
+const TAG_PARAM: u64 = 0xFA17_0004;
+
+/// A targeted transient fault: segment `segment` produces no feasible
+/// outcome for its first `attempts` execution attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentKill {
+    /// Index of the segment whose feasible output is wiped.
+    pub segment: usize,
+    /// Number of leading attempts that fail (`usize::MAX` = permanent).
+    pub attempts: usize,
+}
+
+/// The kinds of fault a [`FaultPlan`] can inject, for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An entire shot batch was lost (shots charged, counts dropped).
+    ShotBatchLoss,
+    /// A readout-corruption burst flipped measured bits at an elevated
+    /// rate for one segment attempt.
+    ReadoutBurst,
+    /// Calibration drift scaled the device error rates for one segment
+    /// attempt.
+    CalibrationDrift,
+    /// A targeted kill wiped the segment's feasible output.
+    FeasibilityKill,
+    /// Optimizer parameters were corrupted to NaN / out-of-range.
+    ParamCorruption,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::ShotBatchLoss => "shot-batch loss",
+            FaultKind::ReadoutBurst => "readout burst",
+            FaultKind::CalibrationDrift => "calibration drift",
+            FaultKind::FeasibilityKill => "feasibility kill",
+            FaultKind::ParamCorruption => "parameter corruption",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A deterministic, seed-derived schedule of transient faults.
+///
+/// All probabilities are clamped into `[0, 1]` (NaN → 0) on
+/// construction, mirroring [`NoiseModel`]'s validation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed of the fault schedule. Independent of the solver's
+    /// sampling seed so fault scenarios can be swept separately.
+    pub seed: u64,
+    /// Per-batch probability that an entire shot batch is lost in
+    /// flight: its shots are charged but its counts discarded.
+    pub shot_loss: f64,
+    /// Per-(segment, attempt) probability of a readout corruption
+    /// burst.
+    pub readout_burst: f64,
+    /// Per-bit flip rate applied to every measured label while a burst
+    /// is active.
+    pub burst_flip_rate: f64,
+    /// Relative calibration-drift amplitude: each segment attempt's
+    /// error rates are scaled by a factor drawn uniformly from
+    /// `[1 - a, 1 + a]` (clamped to valid probabilities).
+    pub calibration_drift: f64,
+    /// Per-evaluation probability that one optimizer parameter is
+    /// corrupted to a non-finite or absurd value before execution.
+    pub param_corruption: f64,
+    /// Targeted transient kills.
+    kills: Vec<SegmentKill>,
+}
+
+fn clamp_rate(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// A uniform draw in `[0, 1)` from the site-addressed stream.
+fn unit(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> f64 {
+    let z = derive_seed(derive_seed(derive_seed(derive_seed(seed, tag), a), b), c);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// A plan with no faults armed; builders below add them.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            shot_loss: 0.0,
+            readout_burst: 0.0,
+            burst_flip_rate: 0.0,
+            calibration_drift: 0.0,
+            param_corruption: 0.0,
+            kills: Vec::new(),
+        }
+    }
+
+    /// Arms per-batch shot loss with probability `p`.
+    #[must_use]
+    pub fn with_shot_loss(mut self, p: f64) -> Self {
+        self.shot_loss = clamp_rate(p);
+        self
+    }
+
+    /// Arms readout bursts: with probability `p` per segment attempt,
+    /// every measured bit flips with probability `flip_rate`.
+    #[must_use]
+    pub fn with_readout_burst(mut self, p: f64, flip_rate: f64) -> Self {
+        self.readout_burst = clamp_rate(p);
+        self.burst_flip_rate = clamp_rate(flip_rate);
+        self
+    }
+
+    /// Arms calibration drift with relative amplitude `amplitude`
+    /// (e.g. `0.5` = rates wander ±50%). Negative amplitudes are
+    /// treated as zero.
+    #[must_use]
+    pub fn with_calibration_drift(mut self, amplitude: f64) -> Self {
+        self.calibration_drift = if amplitude.is_nan() {
+            0.0
+        } else {
+            amplitude.max(0.0)
+        };
+        self
+    }
+
+    /// Arms optimizer-parameter corruption with per-evaluation
+    /// probability `p`.
+    #[must_use]
+    pub fn with_param_corruption(mut self, p: f64) -> Self {
+        self.param_corruption = clamp_rate(p);
+        self
+    }
+
+    /// Adds a targeted kill: segment `segment` produces no feasible
+    /// outcome on its first `attempts` attempts (per execution).
+    #[must_use]
+    pub fn kill_segment(mut self, segment: usize, attempts: usize) -> Self {
+        self.kills.push(SegmentKill { segment, attempts });
+        self
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_active(&self) -> bool {
+        self.shot_loss > 0.0
+            || self.readout_burst > 0.0
+            || self.calibration_drift > 0.0
+            || self.param_corruption > 0.0
+            || !self.kills.is_empty()
+    }
+
+    /// The configured targeted kills.
+    pub fn kills(&self) -> &[SegmentKill] {
+        &self.kills
+    }
+
+    /// Whether a targeted kill wipes `segment`'s feasible output on
+    /// `attempt` (0-based). Deterministic and independent of the
+    /// evaluation stream, so retry ladders see a *transient* fault:
+    /// attempts at or past the kill's budget succeed.
+    pub fn kills_segment(&self, segment: usize, attempt: usize) -> bool {
+        self.kills
+            .iter()
+            .any(|k| k.segment == segment && attempt < k.attempts)
+    }
+
+    /// Whether shot batch `batch` of `(segment, attempt)` under
+    /// evaluation stream `stream` is lost.
+    pub fn batch_lost(&self, stream: u64, segment: usize, attempt: usize, batch: u64) -> bool {
+        self.shot_loss > 0.0
+            && unit(
+                self.seed ^ stream,
+                TAG_BATCH_LOSS,
+                segment as u64,
+                attempt as u64,
+                batch,
+            ) < self.shot_loss
+    }
+
+    /// The extra per-bit flip rate if a readout burst strikes
+    /// `(segment, attempt)` under evaluation stream `stream`.
+    pub fn burst_flip_rate(&self, stream: u64, segment: usize, attempt: usize) -> Option<f64> {
+        if self.readout_burst > 0.0
+            && unit(
+                self.seed ^ stream,
+                TAG_BURST,
+                segment as u64,
+                attempt as u64,
+                0,
+            ) < self.readout_burst
+        {
+            Some(self.burst_flip_rate)
+        } else {
+            None
+        }
+    }
+
+    /// The noise model with calibration drift applied for
+    /// `(segment, attempt)` under evaluation stream `stream`. Returns
+    /// `base` unchanged when drift is not armed. Drifted rates are
+    /// clamped back into `[0, 1]`.
+    pub fn drifted(
+        &self,
+        base: &NoiseModel,
+        stream: u64,
+        segment: usize,
+        attempt: usize,
+    ) -> NoiseModel {
+        if self.calibration_drift <= 0.0 {
+            return *base;
+        }
+        let u = unit(
+            self.seed ^ stream,
+            TAG_DRIFT,
+            segment as u64,
+            attempt as u64,
+            0,
+        );
+        let factor = 1.0 + self.calibration_drift * (2.0 * u - 1.0);
+        NoiseModel {
+            p1: clamp_rate(base.p1 * factor),
+            p2: clamp_rate(base.p2 * factor),
+            readout: clamp_rate(base.readout * factor),
+            amplitude_damping: clamp_rate(base.amplitude_damping * factor),
+            phase_damping: clamp_rate(base.phase_damping * factor),
+        }
+    }
+
+    /// Corrupts one evolution-time parameter for evaluation `eval` if
+    /// the corruption fault fires: index `i` (site-derived) becomes NaN,
+    /// +∞, or an absurd magnitude, cycling through the three shapes.
+    /// Returns the corrupted index, or `None` if the fault did not
+    /// fire. The executor is expected to *sanitize* these, not crash.
+    pub fn corrupt_params(&self, eval: u64, params: &mut [f64]) -> Option<usize> {
+        if params.is_empty()
+            || self.param_corruption <= 0.0
+            || unit(self.seed, TAG_PARAM, eval, 0, 0) >= self.param_corruption
+        {
+            return None;
+        }
+        let pick = derive_seed(derive_seed(self.seed, TAG_PARAM), eval);
+        let idx = (pick % params.len() as u64) as usize;
+        params[idx] = match pick >> 32 & 3 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => 1e18,
+        };
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_is_inactive_and_transparent() {
+        let plan = FaultPlan::new(3);
+        assert!(!plan.is_active());
+        assert!(!plan.kills_segment(0, 0));
+        assert!(!plan.batch_lost(1, 0, 0, 0));
+        assert!(plan.burst_flip_rate(1, 0, 0).is_none());
+        let base = NoiseModel::depolarizing(1e-3);
+        assert_eq!(plan.drifted(&base, 1, 0, 0), base);
+        let mut params = vec![0.5, 0.7];
+        assert_eq!(plan.corrupt_params(9, &mut params), None);
+        assert_eq!(params, vec![0.5, 0.7]);
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_site() {
+        let plan = FaultPlan::new(11)
+            .with_shot_loss(0.5)
+            .with_readout_burst(0.5, 0.3)
+            .with_calibration_drift(0.4);
+        for site in 0..50u64 {
+            assert_eq!(
+                plan.batch_lost(site, 1, 0, site),
+                plan.batch_lost(site, 1, 0, site)
+            );
+            assert_eq!(
+                plan.burst_flip_rate(site, 2, 1),
+                plan.burst_flip_rate(site, 2, 1)
+            );
+            let base = NoiseModel::ibm_like(1e-3, 1e-2, 1e-2);
+            assert_eq!(
+                plan.drifted(&base, site, 0, 0),
+                plan.drifted(&base, site, 0, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_rates_match_configured_probability() {
+        let plan = FaultPlan::new(5).with_shot_loss(0.3);
+        let hits = (0..10_000u64)
+            .filter(|&b| plan.batch_lost(1, 0, 0, b))
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn kill_is_transient_over_attempts() {
+        let plan = FaultPlan::new(0).kill_segment(2, 3);
+        assert!(plan.kills_segment(2, 0));
+        assert!(plan.kills_segment(2, 2));
+        assert!(!plan.kills_segment(2, 3));
+        assert!(!plan.kills_segment(1, 0));
+        let permanent = FaultPlan::new(0).kill_segment(0, usize::MAX);
+        assert!(permanent.kills_segment(0, 1_000_000));
+    }
+
+    #[test]
+    fn drift_keeps_rates_in_range() {
+        let plan = FaultPlan::new(13).with_calibration_drift(5.0);
+        let base = NoiseModel::ibm_like(0.5, 0.9, 0.4).with_amplitude_damping(0.3);
+        for site in 0..200u64 {
+            let d = plan.drifted(&base, site, 0, 0);
+            for rate in [d.p1, d.p2, d.readout, d.amplitude_damping, d.phase_damping] {
+                assert!((0.0..=1.0).contains(&rate), "drifted rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_actually_moves_rates() {
+        let plan = FaultPlan::new(1).with_calibration_drift(0.5);
+        let base = NoiseModel::depolarizing(1e-2);
+        let moved = (0..20u64).any(|s| plan.drifted(&base, s, 0, 0).p2 != base.p2);
+        assert!(moved, "drift never changed the rates");
+    }
+
+    #[test]
+    fn param_corruption_injects_bad_values_deterministically() {
+        let plan = FaultPlan::new(2).with_param_corruption(1.0);
+        let mut a = vec![0.1, 0.2, 0.3, 0.4];
+        let mut b = a.clone();
+        let ia = plan.corrupt_params(7, &mut a).expect("p = 1 must fire");
+        let ib = plan.corrupt_params(7, &mut b).expect("p = 1 must fire");
+        assert_eq!(ia, ib);
+        assert_eq!(a[ia].to_bits(), b[ib].to_bits());
+        assert!(!a[ia].is_finite() || a[ia].abs() > 1e12);
+    }
+
+    #[test]
+    fn rates_are_clamped_on_construction() {
+        let plan = FaultPlan::new(0)
+            .with_shot_loss(1.7)
+            .with_readout_burst(-0.2, f64::NAN)
+            .with_calibration_drift(f64::NAN)
+            .with_param_corruption(2.0);
+        assert_eq!(plan.shot_loss, 1.0);
+        assert_eq!(plan.readout_burst, 0.0);
+        assert_eq!(plan.burst_flip_rate, 0.0);
+        assert_eq!(plan.calibration_drift, 0.0);
+        assert_eq!(plan.param_corruption, 1.0);
+    }
+}

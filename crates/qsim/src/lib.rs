@@ -16,6 +16,9 @@
 //!   phase-damping, and readout channels.
 //! * [`parallel`] — deterministic scoped-thread parallelism (derived
 //!   per-stream seeds, index-ordered results, aligned chunking).
+//! * [`fault`] — deterministic seed-derived fault injection (shot-batch
+//!   loss, readout bursts, calibration drift, targeted kills) for
+//!   exercising the solver's recovery paths.
 //! * [`synth`] — gate-level synthesis of transition operators
 //!   (paper Fig. 4's symmetric two-MCP structure).
 //! * [`decompose`] — lowering to `{1Q, CX}` and the paper's `34k`
@@ -55,6 +58,7 @@ pub mod dense;
 pub mod density;
 pub mod device;
 pub mod draw;
+pub mod fault;
 pub mod gate;
 pub mod mitigation;
 pub mod noise;
@@ -70,6 +74,7 @@ pub use circuit::Circuit;
 pub use complex::Complex;
 pub use dense::DenseState;
 pub use device::Device;
+pub use fault::{FaultKind, FaultPlan};
 pub use gate::Gate;
 pub use noise::NoiseModel;
 pub use sparse::{Label, PreparedSampler, SparseState, Transition};

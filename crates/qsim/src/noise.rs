@@ -45,6 +45,18 @@ pub struct NoiseModel {
     pub phase_damping: f64,
 }
 
+/// Clamps a probability into `[0, 1]`, mapping NaN to 0. Every
+/// [`NoiseModel`] constructor routes its rates through this, so a model
+/// built from drifted calibration data or a bad config file can never
+/// carry a probability the trajectory samplers would misinterpret.
+pub(crate) fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
 impl NoiseModel {
     /// No noise at all.
     pub fn noise_free() -> Self {
@@ -58,8 +70,9 @@ impl NoiseModel {
     }
 
     /// Pure depolarizing noise with the same rate on 1Q and 2Q gates
-    /// (the Fig. 14a sweep).
+    /// (the Fig. 14a sweep). `p` is clamped into `[0, 1]` (NaN → 0).
     pub fn depolarizing(p: f64) -> Self {
+        let p = clamp_probability(p);
         NoiseModel {
             p1: p,
             p2: p,
@@ -68,25 +81,28 @@ impl NoiseModel {
     }
 
     /// IBM-like noise: separate 1Q/2Q/readout error rates
-    /// (Fig. 14b background: 1Q 0.035%, 2Q 0.875%).
+    /// (Fig. 14b background: 1Q 0.035%, 2Q 0.875%). Each rate is
+    /// clamped into `[0, 1]` (NaN → 0).
     pub fn ibm_like(p1: f64, p2: f64, readout: f64) -> Self {
         NoiseModel {
-            p1,
-            p2,
-            readout,
+            p1: clamp_probability(p1),
+            p2: clamp_probability(p2),
+            readout: clamp_probability(readout),
             ..NoiseModel::noise_free()
         }
     }
 
     /// Adds amplitude damping to an existing model (builder style).
+    /// `gamma` is clamped into `[0, 1]` (NaN → 0).
     pub fn with_amplitude_damping(mut self, gamma: f64) -> Self {
-        self.amplitude_damping = gamma;
+        self.amplitude_damping = clamp_probability(gamma);
         self
     }
 
     /// Adds phase damping to an existing model (builder style).
+    /// `lambda` is clamped into `[0, 1]` (NaN → 0).
     pub fn with_phase_damping(mut self, lambda: f64) -> Self {
-        self.phase_damping = lambda;
+        self.phase_damping = clamp_probability(lambda);
         self
     }
 
@@ -479,6 +495,66 @@ mod tests {
         assert!(
             (rate - gamma).abs() < 0.03,
             "decay rate {rate} vs γ {gamma}"
+        );
+    }
+
+    #[test]
+    fn depolarizing_clamps_out_of_range_rates() {
+        assert_eq!(NoiseModel::depolarizing(1.5).p1, 1.0);
+        assert_eq!(NoiseModel::depolarizing(-0.3).p2, 0.0);
+        assert_eq!(NoiseModel::depolarizing(f64::NAN).p1, 0.0);
+        assert!(!NoiseModel::depolarizing(f64::NAN).is_noisy());
+    }
+
+    #[test]
+    fn ibm_like_clamps_each_rate_independently() {
+        let nm = NoiseModel::ibm_like(-1.0, 2.0, f64::NAN);
+        assert_eq!(nm.p1, 0.0);
+        assert_eq!(nm.p2, 1.0);
+        assert_eq!(nm.readout, 0.0);
+    }
+
+    #[test]
+    fn amplitude_damping_builder_clamps() {
+        assert_eq!(
+            NoiseModel::noise_free()
+                .with_amplitude_damping(7.0)
+                .amplitude_damping,
+            1.0
+        );
+        assert_eq!(
+            NoiseModel::noise_free()
+                .with_amplitude_damping(-0.5)
+                .amplitude_damping,
+            0.0
+        );
+        assert_eq!(
+            NoiseModel::noise_free()
+                .with_amplitude_damping(f64::NAN)
+                .amplitude_damping,
+            0.0
+        );
+    }
+
+    #[test]
+    fn phase_damping_builder_clamps() {
+        assert_eq!(
+            NoiseModel::noise_free()
+                .with_phase_damping(3.0)
+                .phase_damping,
+            1.0
+        );
+        assert_eq!(
+            NoiseModel::noise_free()
+                .with_phase_damping(-1e-3)
+                .phase_damping,
+            0.0
+        );
+        assert_eq!(
+            NoiseModel::noise_free()
+                .with_phase_damping(f64::NAN)
+                .phase_damping,
+            0.0
         );
     }
 

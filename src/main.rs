@@ -61,6 +61,8 @@ struct Options {
     seed: u64,
     iterations: usize,
     layers: usize,
+    retries: usize,
+    degrade: bool,
     out: Option<String>,
 }
 
@@ -75,6 +77,8 @@ impl Options {
             seed: 7,
             iterations: 150,
             layers: 5,
+            retries: 0,
+            degrade: false,
             out: None,
         };
         let mut it = args.iter();
@@ -111,6 +115,12 @@ impl Options {
                         .parse()
                         .map_err(|_| "layers must be an integer".to_string())?
                 }
+                "--retries" => {
+                    opts.retries = value("--retries")?
+                        .parse()
+                        .map_err(|_| "retries must be an integer".to_string())?
+                }
+                "--degrade" => opts.degrade = true,
                 "--out" | "-o" => opts.out = Some(value("--out")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -171,6 +181,8 @@ FLAGS:
       --seed <N>           RNG seed (default 7)
   -i, --iterations <N>     optimizer budget (default 150)
       --layers <N>         baseline layer count (default 5)
+      --retries <N>        re-run a failed segment up to N times (rasengan)
+      --degrade            continue past a dead segment instead of aborting
   -o, --out <PATH>         output path for `export`"
     );
 }
@@ -243,11 +255,16 @@ fn cmd_solve(opts: &Options) -> ExitCode {
             .unwrap_or_default()
     );
 
+    let mut resilience_note: Option<String> = None;
     let (best_bits, best_value, feasible, arg, rate) = match opts.algorithm.as_str() {
         "rasengan" => {
             let mut cfg = RasenganConfig::default()
                 .with_seed(opts.seed)
-                .with_max_iterations(opts.iterations);
+                .with_max_iterations(opts.iterations)
+                .with_retry_budget(opts.retries);
+            if opts.degrade {
+                cfg = cfg.with_degradation();
+            }
             if let Some(d) = device {
                 cfg = cfg.on_device(d);
             }
@@ -255,13 +272,18 @@ fn cmd_solve(opts: &Options) -> ExitCode {
                 cfg = cfg.with_shots(s);
             }
             match Rasengan::new(cfg).solve(&problem) {
-                Ok(o) => (
-                    o.best.bits,
-                    o.best.value,
-                    o.best.feasible,
-                    o.arg,
-                    o.in_constraints_rate,
-                ),
+                Ok(o) => {
+                    if !o.resilience.is_clean() {
+                        resilience_note = Some(o.resilience.summary());
+                    }
+                    (
+                        o.best.bits,
+                        o.best.value,
+                        o.best.feasible,
+                        o.arg,
+                        o.in_constraints_rate,
+                    )
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
@@ -311,6 +333,9 @@ fn cmd_solve(opts: &Options) -> ExitCode {
     println!("feasible      : {feasible}");
     println!("ARG           : {arg:.4}");
     println!("in-constraints: {:.1}%", rate * 100.0);
+    if let Some(note) = resilience_note {
+        println!("resilience    : {note}");
+    }
     ExitCode::SUCCESS
 }
 

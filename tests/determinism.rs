@@ -8,9 +8,9 @@
 //! diffs rather than silent result drift.
 
 use rasengan::baselines::{BaselineConfig, ChocoQ, GroverAdaptiveSearch, Hea, PQaoa};
-use rasengan::core::{Rasengan, RasenganConfig};
+use rasengan::core::{Rasengan, RasenganConfig, ResilienceConfig};
 use rasengan::problems::registry::{benchmark, BenchmarkId};
-use rasengan::qsim::NoiseModel;
+use rasengan::qsim::{FaultPlan, NoiseModel};
 
 fn f1() -> rasengan::problems::Problem {
     benchmark(BenchmarkId::parse("F1").unwrap())
@@ -138,6 +138,78 @@ fn exact_solve_identical_at_any_thread_count() {
         assert_eq!(runs[0].distribution, other.distribution);
         assert_eq!(runs[0].expectation, other.expectation);
     }
+}
+
+#[test]
+fn faulted_solve_identical_at_any_thread_count() {
+    // Fault decisions are pure functions of (plan seed, segment,
+    // attempt, batch) and retries draw from derived substreams, so a
+    // run under heavy fault injection — retries, degradation, and all —
+    // must stay byte-identical at any thread count, events included.
+    let plan = FaultPlan::new(0xFA17)
+        .with_shot_loss(0.25)
+        .with_readout_burst(0.4, 0.15)
+        .with_calibration_drift(0.5)
+        .kill_segment(1, 1);
+    let cfg = RasenganConfig::default()
+        .with_seed(7)
+        .with_noise(NoiseModel::depolarizing(2e-3))
+        .with_shots(128)
+        .with_max_iterations(8)
+        .with_resilience(
+            ResilienceConfig::default()
+                .with_retry_budget(2)
+                .with_degradation()
+                .with_fault_plan(plan),
+        );
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            Rasengan::new(cfg.clone().with_threads(t))
+                .solve(&f1())
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        runs[0].resilience.faults_injected() > 0,
+        "fault plan was inert: {:?}",
+        runs[0].resilience
+    );
+    for other in &runs[1..] {
+        assert_eq!(runs[0].distribution, other.distribution);
+        assert_eq!(runs[0].expectation, other.expectation);
+        assert_eq!(runs[0].trained_times, other.trained_times);
+        assert_eq!(runs[0].total_shots, other.total_shots);
+        assert_eq!(runs[0].resilience, other.resilience);
+    }
+}
+
+#[test]
+fn armed_but_unused_resilience_matches_legacy() {
+    // Arming retries and degradation must not perturb a single RNG
+    // stream while no failure occurs: the outcome is byte-identical to
+    // the plain solver's for the same seed, and the report stays empty.
+    let base = RasenganConfig::default()
+        .with_seed(42)
+        .with_noise(NoiseModel::depolarizing(2e-3))
+        .with_shots(256)
+        .with_max_iterations(15);
+    let plain = Rasengan::new(base.clone()).solve(&f1()).unwrap();
+    let armed = Rasengan::new(
+        base.with_resilience(
+            ResilienceConfig::default()
+                .with_retry_budget(3)
+                .with_degradation(),
+        ),
+    )
+    .solve(&f1())
+    .unwrap();
+    assert!(armed.resilience.is_clean());
+    assert_eq!(plain.distribution, armed.distribution);
+    assert_eq!(plain.expectation, armed.expectation);
+    assert_eq!(plain.trained_times, armed.trained_times);
+    assert_eq!(plain.total_shots, armed.total_shots);
+    assert_eq!(plain.latency.quantum_s, armed.latency.quantum_s);
 }
 
 #[test]
