@@ -159,4 +159,7 @@ fn main() {
     if let Ok(p) = table.save_csv("fig10_scalability") {
         println!("saved: {}", p.display());
     }
+    if let Ok(p) = table.save_json("BENCH_fig10_scalability") {
+        println!("saved: {}", p.display());
+    }
 }

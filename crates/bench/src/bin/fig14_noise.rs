@@ -58,6 +58,7 @@ fn main() {
     }
     pauli.print();
     let _ = pauli.save_csv("fig14a_pauli");
+    let _ = pauli.save_json("BENCH_fig14a_pauli");
 
     // (b) amplitude-damping sweep over fixed background noise. Each
     // configuration runs twice: the plain solver (a dead segment aborts
@@ -133,6 +134,9 @@ fn main() {
     }
     damping.print();
     if let Ok(p) = damping.save_csv("fig14b_damping") {
+        println!("saved: {}", p.display());
+    }
+    if let Ok(p) = damping.save_json("BENCH_fig14b_damping") {
         println!("saved: {}", p.display());
     }
 }

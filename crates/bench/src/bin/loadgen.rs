@@ -1,0 +1,221 @@
+//! Load generator for the solve service (PR 3 acceptance experiment).
+//!
+//! Starts an in-process server and drives three arms:
+//!
+//! * **cold** — distinct `(problem, seed)` requests, every one a cache
+//!   miss: the steady-state solve cost.
+//! * **warm** — the same request repeated: after the first miss every
+//!   response comes from the result cache. The arm checks the cached
+//!   `result` section is *byte-identical* to the cold one and that the
+//!   warm median latency is ≥10× below the cold median.
+//! * **saturation** — a deliberately tiny server (one worker, queue
+//!   capacity one) flooded concurrently: some requests must be shed
+//!   with a structured `BUSY` response, and every request must get
+//!   *some* well-formed answer (no panic, no indefinite block).
+//!
+//! Reports throughput and p50/p95/p99 per arm and saves
+//! `BENCH_loadgen.{csv,json}` under `target/rasengan-reports/`.
+
+use rasengan_bench::{report::fmt, RunSettings, Table};
+use rasengan_problems::io::write_problem;
+use rasengan_problems::registry::{benchmark, BenchmarkId};
+use rasengan_serve::{serve, submit, ReplyStatus, ServeConfig, SolveRequest};
+use std::time::Instant;
+
+/// Nearest-rank percentile of an unsorted sample, in milliseconds.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+fn request_for(id: &str, seed: u64, settings: &RunSettings) -> SolveRequest {
+    let problem = benchmark(BenchmarkId::parse(id).expect("registry id"));
+    // Budgets large enough that a cold solve dwarfs the TCP round
+    // trip; otherwise the warm-vs-cold comparison measures the
+    // network, not the cache.
+    SolveRequest::new(write_problem(&problem))
+        .with_seed(seed)
+        .with_shots(1024)
+        .with_iterations(if settings.full { 150 } else { 60 })
+}
+
+fn main() {
+    let settings = RunSettings::from_args();
+    let repeats = if settings.full { 60 } else { 20 };
+    let ids = ["F2", "J2", "S2", "K2", "G2"];
+    let seeds_per_id: u64 = if settings.full { 6 } else { 2 };
+
+    let mut table = Table::new(
+        "loadgen: served solve throughput and latency",
+        vec![
+            "arm",
+            "requests",
+            "ok",
+            "busy",
+            "error",
+            "throughput/s",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+    );
+
+    let server = serve(ServeConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // --- cold arm: every request is a fresh (problem, seed) pair.
+    let mut cold_ms = Vec::new();
+    let mut cold_results = Vec::new();
+    let cold_started = Instant::now();
+    for id in ids {
+        for seed in 0..seeds_per_id {
+            let request = request_for(id, seed, &settings);
+            let started = Instant::now();
+            let reply = submit(addr, &request).expect("cold submit");
+            cold_ms.push(started.elapsed().as_secs_f64() * 1000.0);
+            assert_eq!(reply.status, ReplyStatus::Ok, "cold solve failed");
+            let service = reply.json("service").expect("service section");
+            assert_ne!(
+                service.get("cache").and_then(|c| c.as_str()),
+                Some("hit"),
+                "cold arm must not hit the result cache"
+            );
+            cold_results.push((id, seed, reply.section("result").unwrap().to_string()));
+        }
+    }
+    let cold_wall = cold_started.elapsed().as_secs_f64();
+    let cold_n = cold_ms.len();
+    table.row(vec![
+        "cold".into(),
+        cold_n.to_string(),
+        cold_n.to_string(),
+        "0".into(),
+        "0".into(),
+        fmt(cold_n as f64 / cold_wall),
+        fmt(percentile(&mut cold_ms, 0.50)),
+        fmt(percentile(&mut cold_ms, 0.95)),
+        fmt(percentile(&mut cold_ms, 0.99)),
+    ]);
+
+    // --- warm arm: one request repeated; all but the first round hit.
+    let warm_request = request_for("F2", 0, &settings);
+    let baseline = cold_results
+        .iter()
+        .find(|(id, seed, _)| *id == "F2" && *seed == 0)
+        .map(|(_, _, result)| result.clone())
+        .expect("cold arm covered F2 seed 0");
+    let mut warm_ms = Vec::new();
+    let warm_started = Instant::now();
+    for _ in 0..repeats {
+        let started = Instant::now();
+        let reply = submit(addr, &warm_request).expect("warm submit");
+        warm_ms.push(started.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        let service = reply.json("service").expect("service section");
+        assert_eq!(
+            service.get("cache").and_then(|c| c.as_str()),
+            Some("hit"),
+            "warm arm must hit the result cache"
+        );
+        assert_eq!(
+            reply.section("result").unwrap(),
+            baseline,
+            "cached result must be byte-identical to the cold solve"
+        );
+    }
+    let warm_wall = warm_started.elapsed().as_secs_f64();
+    let warm_p50 = percentile(&mut warm_ms, 0.50);
+    let cold_p50 = percentile(&mut cold_ms, 0.50);
+    table.row(vec![
+        "warm".into(),
+        repeats.to_string(),
+        repeats.to_string(),
+        "0".into(),
+        "0".into(),
+        fmt(repeats as f64 / warm_wall),
+        fmt(warm_p50),
+        fmt(percentile(&mut warm_ms, 0.95)),
+        fmt(percentile(&mut warm_ms, 0.99)),
+    ]);
+    let speedup = cold_p50 / warm_p50;
+    println!(
+        "warm-cache speedup: {:.1}x (cold p50 {} ms, warm p50 {} ms)",
+        speedup,
+        fmt(cold_p50),
+        fmt(warm_p50)
+    );
+    assert!(
+        speedup >= 10.0,
+        "warm repeat must be >=10x faster than cold (got {speedup:.1}x)"
+    );
+    let stats = server.stats();
+    assert!(stats.result_hits >= repeats as u64, "hit counter moved");
+    server.shutdown();
+
+    // --- saturation arm: tiny server, concurrent flood, expect sheds.
+    let tiny = serve(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1),
+    )
+    .expect("bind ephemeral port");
+    let tiny_addr = tiny.addr();
+    let flood = if settings.full { 32 } else { 16 };
+    let flood_request = request_for("J2", 9, &settings);
+    let flood_started = Instant::now();
+    let outcomes: Vec<(ReplyStatus, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..flood)
+            .map(|_| {
+                let request = flood_request.clone();
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let reply = submit(tiny_addr, &request).expect("flood submit");
+                    (reply.status, started.elapsed().as_secs_f64() * 1000.0)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let flood_wall = flood_started.elapsed().as_secs_f64();
+    let ok = outcomes
+        .iter()
+        .filter(|(s, _)| *s == ReplyStatus::Ok)
+        .count();
+    let busy = outcomes
+        .iter()
+        .filter(|(s, _)| *s == ReplyStatus::Busy)
+        .count();
+    let errors = outcomes.len() - ok - busy;
+    let mut flood_ms: Vec<f64> = outcomes.iter().map(|(_, ms)| *ms).collect();
+    table.row(vec![
+        "saturation".into(),
+        flood.to_string(),
+        ok.to_string(),
+        busy.to_string(),
+        errors.to_string(),
+        fmt(flood as f64 / flood_wall),
+        fmt(percentile(&mut flood_ms, 0.50)),
+        fmt(percentile(&mut flood_ms, 0.95)),
+        fmt(percentile(&mut flood_ms, 0.99)),
+    ]);
+    println!("saturation: {ok} ok, {busy} busy, {errors} error of {flood}");
+    assert!(ok >= 1, "at least one flooded request must be served");
+    assert!(
+        busy >= 1,
+        "a saturated queue must shed load with structured BUSY responses"
+    );
+    assert_eq!(errors, 0, "saturation must not produce malformed replies");
+    let shed = tiny.stats().shed;
+    assert_eq!(shed, busy as u64, "shed counter matches BUSY replies");
+    tiny.shutdown();
+
+    table.print();
+    if let Ok(p) = table.save_csv("loadgen") {
+        println!("saved: {}", p.display());
+    }
+    if let Ok(p) = table.save_json("BENCH_loadgen") {
+        println!("saved: {}", p.display());
+    }
+}

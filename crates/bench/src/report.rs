@@ -1,6 +1,7 @@
-//! Report tables: aligned console output plus CSV files under
+//! Report tables: aligned console output plus CSV and JSON files under
 //! `target/rasengan-reports/`.
 
+use rasengan_serve::Json;
 use std::fs;
 use std::path::PathBuf;
 
@@ -102,6 +103,35 @@ impl Table {
         fs::write(&path, csv)?;
         Ok(path)
     }
+
+    /// Writes the table as machine-readable JSON
+    /// (`{"title", "headers", "rows"}`) under
+    /// `target/rasengan-reports/<name>.json` and returns the path.
+    /// Cells stay strings — the JSON mirrors the CSV, it does not
+    /// guess column types.
+    pub fn save_json(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/rasengan-reports");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        let json = Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            (
+                "headers",
+                Json::Arr(self.headers.iter().map(|h| Json::Str(h.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(|c| Json::Str(c.clone())).collect()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        fs::write(&path, json.render())?;
+        Ok(path)
+    }
 }
 
 /// Formats a float compactly for report cells.
@@ -154,5 +184,17 @@ mod tests {
         let p = t.save_csv("unit-test-table").unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_written() {
+        let mut t = Table::new("t", vec!["a", "b"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        let p = t.save_json("unit-test-table").unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(
+            content,
+            "{\"title\":\"t\",\"headers\":[\"a\",\"b\"],\"rows\":[[\"1\",\"2.5\"]]}"
+        );
     }
 }

@@ -41,6 +41,14 @@ pub struct StageTimes {
     /// `train_s`/`execute_s`, not an additional stage); zero unless the
     /// solver's retry budget was actually drawn on.
     pub retry_s: f64,
+    /// Time a served request waited in the admission queue before a
+    /// worker picked it up. Zero outside the service layer — the
+    /// in-process solver never queues.
+    pub queue_s: f64,
+    /// Whether the service answered this request from its result cache
+    /// (in which case `prepare_s`/`train_s`/`execute_s` describe the
+    /// original solve that populated the cache, not this request).
+    pub cache_hit: bool,
 }
 
 /// Models the duration of one shot of a segment circuit given its CX

@@ -634,6 +634,41 @@ impl Rasengan {
         let wall = Instant::now();
         let prepared = self.prepare(problem)?;
         let prepare_s = wall.elapsed().as_secs_f64();
+        self.run_prepared(problem, &prepared, wall, prepare_s)
+    }
+
+    /// Runs training and execution against an already-compiled
+    /// [`Prepared`] (from [`Rasengan::prepare`]), skipping the basis /
+    /// simplification / chain / segmentation work entirely.
+    ///
+    /// This is the compile-cache entry point of the service layer: the
+    /// expensive artifacts (reduced ternary basis, pruned chain,
+    /// segmentation plan) are reused across requests that share a
+    /// problem fingerprint. The caller must pass a `Prepared` compiled
+    /// from the *same problem* under the *same compile-relevant config*
+    /// (`simplify`/`prune`/`early_stop`/`segmented`/depth budget/
+    /// `max_rounds`/`support_cap`); training-side knobs (seed, shots,
+    /// iterations, resilience) may differ freely. For a fixed seed the
+    /// result is byte-identical to [`Rasengan::solve`].
+    ///
+    /// # Errors
+    ///
+    /// See [`RasenganError`].
+    pub fn solve_prepared(
+        &self,
+        problem: &Problem,
+        prepared: &Prepared,
+    ) -> Result<Outcome, RasenganError> {
+        self.run_prepared(problem, prepared, Instant::now(), 0.0)
+    }
+
+    fn run_prepared(
+        &self,
+        problem: &Problem,
+        prepared: &Prepared,
+        wall: Instant,
+        prepare_s: f64,
+    ) -> Result<Outcome, RasenganError> {
         let cfg = &self.config;
         let resil = &cfg.resilience;
         let n_params = prepared.stats.n_params;
@@ -708,7 +743,7 @@ impl Rasengan {
             };
             match execute(
                 problem,
-                &prepared,
+                prepared,
                 exec_params,
                 cfg,
                 lambda,
@@ -773,7 +808,7 @@ impl Rasengan {
         };
         let exec = match execute(
             problem,
-            &prepared,
+            prepared,
             &result.best_params,
             cfg,
             lambda,
@@ -805,6 +840,7 @@ impl Rasengan {
                                 train_s,
                                 execute_s: final_start.elapsed().as_secs_f64(),
                                 retry_s,
+                                ..StageTimes::default()
                             },
                         },
                         history: result.history.clone(),
@@ -841,7 +877,7 @@ impl Rasengan {
             raw_in_constraints_rate: exec.raw_in_constraints_rate,
             in_constraints_rate: rate,
             distribution: exec.distribution,
-            stats: prepared.stats,
+            stats: prepared.stats.clone(),
             latency: Latency {
                 quantum_s,
                 classical_s: wall.elapsed().as_secs_f64(),
@@ -850,6 +886,7 @@ impl Rasengan {
                     train_s,
                     execute_s,
                     retry_s,
+                    ..StageTimes::default()
                 },
             },
             history: result.history,
@@ -1699,6 +1736,28 @@ mod tests {
             "max-sense best {} vs optimum {e_opt}",
             outcome.best.value
         );
+    }
+
+    #[test]
+    fn solve_prepared_matches_solve_bitwise() {
+        // The compile-cache entry point must not perturb a single RNG
+        // stream: training from a reused Prepared is byte-identical to
+        // the all-in-one solve for the same seed.
+        let cfg = RasenganConfig::default()
+            .with_seed(5)
+            .with_shots(128)
+            .with_max_iterations(10);
+        let solver = Rasengan::new(cfg);
+        let p = j1();
+        let prepared = solver.prepare(&p).unwrap();
+        let a = solver.solve(&p).unwrap();
+        let b = solver.solve_prepared(&p, &prepared).unwrap();
+        assert_eq!(a.distribution, b.distribution);
+        assert_eq!(a.expectation, b.expectation);
+        assert_eq!(a.trained_times, b.trained_times);
+        assert_eq!(a.total_shots, b.total_shots);
+        // The reused compile pays no prepare time on this run.
+        assert_eq!(b.latency.stages.prepare_s, 0.0);
     }
 
     #[test]

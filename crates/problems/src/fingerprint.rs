@@ -1,0 +1,127 @@
+//! Canonical instance fingerprinting.
+//!
+//! A [`Problem`]'s fingerprint is a stable 128-bit hash over its
+//! *canonicalized* text form: the [`write_problem`](crate::io) output
+//! with comments stripped and the `name` line dropped. Two instances
+//! with the same constraints, right-hand side, objective, sense, and
+//! initial solution therefore share a fingerprint even if they were
+//! parsed from differently-formatted files or carry different display
+//! names — exactly the identity a solve cache wants to key on.
+//!
+//! Guaranteed invariances (property-tested in `tests/properties.rs`):
+//!
+//! * `write_problem` → `parse_problem` round trips,
+//! * comment / blank-line / whitespace perturbations of the text form,
+//! * renaming the instance.
+//!
+//! The hash is FNV-1a with a 128-bit state — not cryptographic, but
+//! stable across platforms, releases, and processes (no `RandomState`),
+//! which is what cache keys and on-disk artifacts need.
+
+use crate::io::write_problem;
+use crate::problem::Problem;
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// FNV-1a over a byte stream with 128-bit state.
+fn fnv1a_128(hash: u128, bytes: &[u8]) -> u128 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Computes the canonical 128-bit fingerprint of a problem.
+///
+/// Prefer the method form [`Problem::fingerprint`]; this free function
+/// exists for call sites that only hold the trait-object-free API.
+pub fn fingerprint(problem: &Problem) -> u128 {
+    let text = write_problem(problem);
+    let mut h = FNV128_OFFSET;
+    for raw in text.lines() {
+        // Canonicalize exactly like the parser: strip comments and
+        // surrounding whitespace, skip blanks — so any text that parses
+        // to this problem hashes identically.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("name ") || line == "name" {
+            continue;
+        }
+        // Collapse internal whitespace runs to single separators.
+        for (i, word) in line.split_whitespace().enumerate() {
+            if i > 0 {
+                h = fnv1a_128(h, b" ");
+            }
+            h = fnv1a_128(h, word.as_bytes());
+        }
+        h = fnv1a_128(h, b"\n");
+    }
+    h
+}
+
+impl Problem {
+    /// The canonical 128-bit fingerprint of this instance: a stable
+    /// hash of its mathematical content (constraints, rhs, objective,
+    /// sense, initial solution) that ignores the display name and any
+    /// formatting of the text form. See the [module docs](self).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rasengan_problems::io::{parse_problem, write_problem};
+    /// use rasengan_problems::registry::{benchmark, BenchmarkId};
+    ///
+    /// let p = benchmark(BenchmarkId::parse("F1").unwrap());
+    /// let q = parse_problem(&write_problem(&p)).unwrap();
+    /// assert_eq!(p.fingerprint(), q.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u128 {
+        fingerprint(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::io::parse_problem;
+    use crate::registry::{all_ids, benchmark};
+
+    #[test]
+    fn distinct_benchmarks_have_distinct_fingerprints() {
+        let mut seen = std::collections::HashSet::new();
+        for id in all_ids() {
+            assert!(
+                seen.insert(benchmark(id).fingerprint()),
+                "fingerprint collision at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_and_formatting() {
+        let base = "vars 2\nobjective linear 0 2.5\nconstraint 1 : 1 1\ninitial 1 0\n";
+        let renamed = format!("name something-else\n{base}");
+        let noisy = "# header comment\n\nname   x  \n vars   2 # trailing\n\nobjective  linear 0 2.5\nconstraint 1  :  1   1\ninitial 1 0\n";
+        let p = parse_problem(base).unwrap();
+        let q = parse_problem(&renamed).unwrap();
+        let r = parse_problem(noisy).unwrap();
+        assert_eq!(p.fingerprint(), q.fingerprint());
+        assert_eq!(p.fingerprint(), r.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_every_mathematical_field() {
+        let base = parse_problem("vars 2\nobjective linear 0 1\nconstraint 1 : 1 1\n").unwrap();
+        let diff_obj = parse_problem("vars 2\nobjective linear 0 2\nconstraint 1 : 1 1\n").unwrap();
+        let diff_rhs = parse_problem("vars 2\nobjective linear 0 1\nconstraint 0 : 1 1\n").unwrap();
+        let diff_sense =
+            parse_problem("sense max\nvars 2\nobjective linear 0 1\nconstraint 1 : 1 1\n").unwrap();
+        let diff_init =
+            parse_problem("vars 2\nobjective linear 0 1\nconstraint 1 : 1 1\ninitial 0 1\n")
+                .unwrap();
+        for other in [&diff_obj, &diff_rhs, &diff_sense, &diff_init] {
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
+    }
+}

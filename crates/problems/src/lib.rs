@@ -35,6 +35,7 @@
 
 pub mod builder;
 pub mod enumerate;
+pub mod fingerprint;
 pub mod flp;
 pub mod gcp;
 pub mod io;
@@ -48,6 +49,7 @@ pub mod topology;
 
 pub use builder::{BuildError, Cmp, ProblemBuilder};
 pub use enumerate::{brute_force_feasible, enumerate_feasible, mean_feasible_objective, optimum};
+pub use fingerprint::fingerprint;
 pub use problem::{Objective, Problem, ProblemError, Sense};
 pub use registry::{all_ids, benchmark, cases, BenchmarkId, Domain};
 pub use topology::{constraint_topology, ConstraintTopology};

@@ -18,7 +18,8 @@
 //! `std::thread::scope` is used; there is no pool and no external
 //! dependency.
 
-use std::sync::OnceLock;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche
 /// (every output bit depends on every input bit).
@@ -146,6 +147,110 @@ where
     });
 }
 
+/// A bounded multi-producer multi-consumer FIFO queue built on
+/// `Mutex` + `Condvar` (std-only, like everything else in this module).
+///
+/// Producers use [`try_push`](BoundedQueue::try_push), which *never
+/// blocks*: a full queue is an admission-control signal the caller must
+/// handle (shed load, report busy), not something to wait out.
+/// Consumers block in [`pop`](BoundedQueue::pop) until an item arrives
+/// or the queue is closed and drained — so a pool of worker threads can
+/// drain gracefully on shutdown.
+///
+/// Cloning shares the same underlying queue.
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    inner: Arc<QueueInner<T>>,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Arc::new(QueueInner {
+                state: Mutex::new(QueueState {
+                    items: VecDeque::with_capacity(capacity),
+                    capacity,
+                    closed: false,
+                }),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Attempts to enqueue without blocking. Returns the item back via
+    /// `Err` when the queue is full or closed, so the caller can shed
+    /// the work with a structured response instead of stalling.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.inner.state.lock().expect("queue poisoned");
+        if state.closed || state.items.len() >= state.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and dequeues it. Returns
+    /// `None` once the queue is closed *and* empty — the worker-exit
+    /// signal for graceful drain.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.inner.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, and consumers drain the
+    /// remaining items before `pop` starts returning `None`.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.inner.available.notify_all();
+    }
+
+    /// Items currently queued (a snapshot; stale by the time it returns).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (a snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.state.lock().expect("queue poisoned").capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +316,55 @@ mod tests {
         assert_eq!(resolve_threads(Some(0)), 1);
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "a full queue must refuse work");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed by pop is reusable");
+    }
+
+    #[test]
+    fn bounded_queue_drains_after_close() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err("c"), "closed queue refuses work");
+        // Remaining items drain in FIFO order before the exit signal.
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed-and-empty stays terminal");
+    }
+
+    #[test]
+    fn bounded_queue_hands_items_across_threads() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(64);
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..50 {
+            while q.try_push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,56 @@
+//! Blocking client for the solve service: one connection per request,
+//! read to EOF, parse the sectioned reply.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{Reply, SolveRequest, PROTOCOL};
+
+/// Default client-side socket timeout. Solves can legitimately take a
+/// while; this only bounds a dead server, not a slow one answering
+/// keep-nothing — the server writes in one burst when done.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn roundtrip(addr: impl ToSocketAddrs, request_text: &str) -> std::io::Result<Reply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+    stream.set_write_timeout(Some(DEFAULT_TIMEOUT))?;
+    stream.write_all(request_text.as_bytes())?;
+    stream.flush()?;
+    // Signal end-of-request; the server replies and closes, so the
+    // response is simply everything until EOF.
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut body = String::new();
+    stream.read_to_string(&mut body)?;
+    Reply::parse(&body)
+        .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidData, message))
+}
+
+/// Submits a solve request and returns the parsed reply (which may be
+/// `Busy` or `Error` — inspect [`Reply::status`]).
+///
+/// # Errors
+///
+/// I/O errors talking to the server, or an unparseable response.
+pub fn submit(addr: impl ToSocketAddrs, request: &SolveRequest) -> std::io::Result<Reply> {
+    roundtrip(addr, &request.render())
+}
+
+/// Fetches the service counters (`STATS` verb).
+///
+/// # Errors
+///
+/// I/O errors talking to the server, or an unparseable response.
+pub fn stats(addr: impl ToSocketAddrs) -> std::io::Result<Reply> {
+    roundtrip(addr, &format!("{PROTOCOL} STATS\n"))
+}
+
+/// Liveness check (`PING` verb).
+///
+/// # Errors
+///
+/// I/O errors talking to the server, or an unparseable response.
+pub fn ping(addr: impl ToSocketAddrs) -> std::io::Result<Reply> {
+    roundtrip(addr, &format!("{PROTOCOL} PING\n"))
+}

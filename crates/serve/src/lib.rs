@@ -1,0 +1,46 @@
+//! Multi-client solve service for the Rasengan reproduction —
+//! std-only (`std::net` + threads), no async runtime.
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`protocol`] | wire format: line-oriented requests, sectioned JSON responses |
+//! | [`server`] | listener, worker pool, admission control, graceful drain |
+//! | [`cache`] | sharded LRU for finished outcomes and compiled artifacts |
+//! | [`client`] | blocking submit/stats/ping helpers |
+//! | [`json`] | canonical JSON writer + small parser |
+//!
+//! The design contract, inherited from the repo's determinism
+//! discipline: a served solve is **bit-identical** to an in-process
+//! [`Rasengan::solve`](rasengan_core::solver::Rasengan::solve) with
+//! the same seed and knobs, at any worker count. The `result` section
+//! of a response carries only deterministic output (wall-clock lives
+//! in `timing`), so the guarantee is testable by comparing bytes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rasengan_problems::io::write_problem;
+//! use rasengan_problems::registry::{benchmark, BenchmarkId};
+//! use rasengan_serve::{serve, submit, ServeConfig, SolveRequest};
+//!
+//! let server = serve(ServeConfig::default()).unwrap();
+//! let problem = benchmark(BenchmarkId::parse("F1").unwrap());
+//! let request = SolveRequest::new(write_problem(&problem))
+//!     .with_seed(7)
+//!     .with_shots(256)
+//!     .with_iterations(20);
+//! let reply = submit(server.addr(), &request).unwrap();
+//! println!("{}", reply.section("result").unwrap());
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ping, stats, submit};
+pub use json::Json;
+pub use protocol::{outcome_json, render_outcome, Reply, ReplyStatus, SolveRequest, Verb};
+pub use server::{serve, ServeConfig, ServeStats, ServerHandle};

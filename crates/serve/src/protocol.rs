@@ -1,0 +1,587 @@
+//! Wire protocol: line-oriented requests, sectioned JSON responses.
+//!
+//! # Request
+//!
+//! ```text
+//! RASENGAN/1 SOLVE
+//! seed 7
+//! shots 256
+//! iterations 40
+//! retries 2
+//! degrade
+//! deadline-ms 5000
+//! BEGIN PROBLEM
+//! <problems::io text format>
+//! END PROBLEM
+//! ```
+//!
+//! The first line names the protocol version and a verb (`SOLVE`,
+//! `STATS`, `PING`). Every header is optional and line-oriented
+//! (`key value`, or a bare flag); the problem body reuses the
+//! [`rasengan_problems::io`] text format verbatim, bracketed by
+//! `BEGIN PROBLEM` / `END PROBLEM`. `STATS` and `PING` are just the
+//! verb line.
+//!
+//! # Response
+//!
+//! ```text
+//! RASENGAN/1 OK
+//! service {"queue_wait_ms":0.2,"cache":"miss","fingerprint":"0x..."}
+//! result {"best":{...},...}
+//! timing {"quantum_s":...}
+//! ```
+//!
+//! A status line (`OK`, `BUSY`, `ERROR`) followed by named sections,
+//! one canonical JSON document per line; the server closes the
+//! connection after writing, so clients read to EOF. The `result`
+//! section contains only deterministic solve output (no wall-clock),
+//! so a served solve can be byte-compared against an in-process
+//! [`Outcome`] serialized with [`render_outcome`]. Wall-clock and
+//! service-side metadata live in `timing` and `service`.
+
+use std::io::BufRead;
+
+use rasengan_core::resilience::ResilienceConfig;
+use rasengan_core::solver::{Outcome, RasenganConfig, RasenganError};
+
+use crate::json::{self, Json};
+
+/// Protocol tag opening every request and response.
+pub const PROTOCOL: &str = "RASENGAN/1";
+
+/// A request's verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// Solve the bracketed problem.
+    Solve,
+    /// Report service counters.
+    Stats,
+    /// Liveness check.
+    Ping,
+}
+
+/// Parses the first request line (`RASENGAN/1 <VERB>`).
+pub fn parse_verb(line: &str) -> Result<Verb, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some(tag) if tag == PROTOCOL => {}
+        Some(other) => return Err(format!("unknown protocol `{other}`")),
+        None => return Err("empty request".to_string()),
+    }
+    match words.next() {
+        Some("SOLVE") => Ok(Verb::Solve),
+        Some("STATS") => Ok(Verb::Stats),
+        Some("PING") => Ok(Verb::Ping),
+        Some(other) => Err(format!("unknown verb `{other}`")),
+        None => Err("missing verb".to_string()),
+    }
+}
+
+/// A solve request: the problem text plus the training knobs the
+/// service lets clients control. Compile-side knobs (simplification,
+/// pruning, segmentation, device) are fixed at their defaults so the
+/// server's compile cache stays valid across requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveRequest {
+    /// Problem in the [`rasengan_problems::io`] text format.
+    pub problem_text: String,
+    /// Base RNG seed (`seed` header; default 0).
+    pub seed: u64,
+    /// Shots per objective evaluation (`shots`; default: solver's).
+    pub shots: Option<usize>,
+    /// Optimizer iteration cap (`iterations`; default: solver's).
+    pub iterations: Option<usize>,
+    /// Resilience retry budget (`retries`; default 0).
+    pub retries: usize,
+    /// Allow graceful degradation (`degrade` bare flag).
+    pub degrade: bool,
+    /// Per-request deadline (`deadline-ms`), mapped onto the solver's
+    /// per-stage wall-clock budget: train and execute each get half.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SolveRequest {
+    /// A request with default knobs for the given problem text.
+    pub fn new(problem_text: impl Into<String>) -> Self {
+        SolveRequest {
+            problem_text: problem_text.into(),
+            seed: 0,
+            shots: None,
+            iterations: None,
+            retries: 0,
+            degrade: false,
+            deadline_ms: None,
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the shots per objective evaluation.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = Some(shots);
+        self
+    }
+
+    /// Caps optimizer iterations.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+
+    /// Grants a resilience retry budget.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Allows graceful degradation.
+    pub fn with_degrade(mut self) -> Self {
+        self.degrade = true;
+        self
+    }
+
+    /// Sets a per-request deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// The solver configuration this request maps to. `retries 2` plus
+    /// the `degrade` flag reproduce
+    /// [`ResilienceConfig::recommended`] exactly, so a served solve is
+    /// bit-identical to an in-process solve under the recommended
+    /// resilience posture.
+    pub fn config(&self) -> RasenganConfig {
+        let mut cfg = RasenganConfig::default().with_seed(self.seed);
+        if let Some(shots) = self.shots {
+            cfg = cfg.with_shots(shots);
+        }
+        if let Some(iters) = self.iterations {
+            cfg = cfg.with_max_iterations(iters);
+        }
+        let mut resilience = ResilienceConfig::default();
+        if self.retries > 0 {
+            resilience = resilience.with_retry_budget(self.retries);
+        }
+        if self.degrade {
+            resilience = resilience.with_degradation();
+        }
+        if let Some(ms) = self.deadline_ms {
+            // The deadline covers the whole request; training and the
+            // final execution are the two budgeted stages, so each
+            // gets half as its wall-clock ceiling.
+            resilience = resilience.with_stage_seconds(ms as f64 / 1000.0 / 2.0);
+        }
+        cfg.with_resilience(resilience)
+    }
+
+    /// Renders the full request text (first line through
+    /// `END PROBLEM`).
+    pub fn render(&self) -> String {
+        let mut out = format!("{PROTOCOL} SOLVE\n");
+        out.push_str(&format!("seed {}\n", self.seed));
+        if let Some(shots) = self.shots {
+            out.push_str(&format!("shots {shots}\n"));
+        }
+        if let Some(iters) = self.iterations {
+            out.push_str(&format!("iterations {iters}\n"));
+        }
+        if self.retries > 0 {
+            out.push_str(&format!("retries {}\n", self.retries));
+        }
+        if self.degrade {
+            out.push_str("degrade\n");
+        }
+        if let Some(ms) = self.deadline_ms {
+            out.push_str(&format!("deadline-ms {ms}\n"));
+        }
+        out.push_str("BEGIN PROBLEM\n");
+        out.push_str(&self.problem_text);
+        if !self.problem_text.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str("END PROBLEM\n");
+        out
+    }
+
+    /// Parses the remainder of a `SOLVE` request (everything after the
+    /// verb line) from a buffered reader.
+    pub fn parse_body<R: BufRead>(reader: &mut R) -> Result<SolveRequest, String> {
+        let mut request = SolveRequest::new(String::new());
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+            if n == 0 {
+                return Err("request ended before BEGIN PROBLEM".to_string());
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed == "BEGIN PROBLEM" {
+                break;
+            }
+            let (key, value) = match trimmed.split_once(char::is_whitespace) {
+                Some((k, v)) => (k, v.trim()),
+                None => (trimmed, ""),
+            };
+            match key {
+                "seed" => request.seed = parse_header(key, value)?,
+                "shots" => request.shots = Some(parse_header(key, value)?),
+                "iterations" => request.iterations = Some(parse_header(key, value)?),
+                "retries" => request.retries = parse_header(key, value)?,
+                "degrade" => request.degrade = true,
+                "deadline-ms" => request.deadline_ms = Some(parse_header(key, value)?),
+                other => return Err(format!("unknown header `{other}`")),
+            }
+        }
+        let mut problem = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+            if n == 0 {
+                return Err("request ended before END PROBLEM".to_string());
+            }
+            if line.trim() == "END PROBLEM" {
+                break;
+            }
+            problem.push_str(&line);
+        }
+        request.problem_text = problem;
+        Ok(request)
+    }
+}
+
+fn parse_header<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value `{value}` for header `{key}`"))
+}
+
+/// Response status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The request was served; a `result` (or `stats`/`pong`) section
+    /// follows.
+    Ok,
+    /// Load was shed: the admission queue was full. The `service`
+    /// section carries queue depth and capacity; retry later.
+    Busy,
+    /// The request failed; the `error` section says why, and a
+    /// `partial` section may carry a best-effort outcome.
+    Error,
+}
+
+impl ReplyStatus {
+    fn token(self) -> &'static str {
+        match self {
+            ReplyStatus::Ok => "OK",
+            ReplyStatus::Busy => "BUSY",
+            ReplyStatus::Error => "ERROR",
+        }
+    }
+}
+
+/// A parsed response: a status plus named sections, each one line of
+/// canonical JSON. Section bodies are kept as raw strings so tests can
+/// byte-compare them; [`Reply::json`] parses on demand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// The status from the first line.
+    pub status: ReplyStatus,
+    /// `(name, raw JSON)` in response order.
+    pub sections: Vec<(String, String)>,
+}
+
+impl Reply {
+    /// Builds a reply from JSON sections.
+    pub fn new(status: ReplyStatus, sections: Vec<(&str, Json)>) -> Reply {
+        Reply {
+            status,
+            sections: sections
+                .into_iter()
+                .map(|(name, body)| (name.to_string(), body.render()))
+                .collect(),
+        }
+    }
+
+    /// The raw JSON text of a section.
+    pub fn section(&self, name: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, body)| body.as_str())
+    }
+
+    /// Parses a section as JSON.
+    pub fn json(&self, name: &str) -> Result<Json, String> {
+        let body = self
+            .section(name)
+            .ok_or_else(|| format!("no `{name}` section"))?;
+        json::parse(body)
+    }
+
+    /// Renders the full response text.
+    pub fn render(&self) -> String {
+        let mut out = format!("{PROTOCOL} {}\n", self.status.token());
+        for (name, body) in &self.sections {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(body);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a full response (as read to EOF by a client).
+    pub fn parse(text: &str) -> Result<Reply, String> {
+        let mut lines = text.lines();
+        let first = lines.next().ok_or("empty response")?;
+        let status = match first.split_whitespace().collect::<Vec<_>>().as_slice() {
+            [tag, "OK"] if *tag == PROTOCOL => ReplyStatus::Ok,
+            [tag, "BUSY"] if *tag == PROTOCOL => ReplyStatus::Busy,
+            [tag, "ERROR"] if *tag == PROTOCOL => ReplyStatus::Error,
+            _ => return Err(format!("bad status line `{first}`")),
+        };
+        let mut sections = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (name, body) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad section line `{line}`"))?;
+            sections.push((name.to_string(), body.to_string()));
+        }
+        Ok(Reply { status, sections })
+    }
+}
+
+/// Serializes the deterministic part of an [`Outcome`] — everything
+/// except wall-clock latency — as a canonical JSON object. Bit-equal
+/// outcomes serialize to byte-equal text, which is the contract the
+/// served-determinism tests check.
+pub fn outcome_json(outcome: &Outcome) -> Json {
+    let best = Json::obj(vec![
+        (
+            "bits",
+            Json::Arr(
+                outcome
+                    .best
+                    .bits
+                    .iter()
+                    .map(|&b| Json::Int(b as i128))
+                    .collect(),
+            ),
+        ),
+        ("value", Json::Num(outcome.best.value)),
+        ("feasible", Json::Bool(outcome.best.feasible)),
+    ]);
+    let distribution = Json::Obj(
+        outcome
+            .distribution
+            .iter()
+            .map(|(label, p)| (label.to_string(), Json::Num(*p)))
+            .collect(),
+    );
+    let stats = Json::obj(vec![
+        ("m_basis", Json::Int(outcome.stats.m_basis as i128)),
+        ("raw_ops", Json::Int(outcome.stats.raw_ops as i128)),
+        ("kept_ops", Json::Int(outcome.stats.kept_ops as i128)),
+        ("n_segments", Json::Int(outcome.stats.n_segments as i128)),
+        (
+            "max_segment_cx_depth",
+            Json::Int(outcome.stats.max_segment_cx_depth as i128),
+        ),
+        (
+            "total_cx_depth",
+            Json::Int(outcome.stats.total_cx_depth as i128),
+        ),
+        ("n_params", Json::Int(outcome.stats.n_params as i128)),
+        (
+            "simplify_before",
+            Json::Int(outcome.stats.simplify_cost.0 as i128),
+        ),
+        (
+            "simplify_after",
+            Json::Int(outcome.stats.simplify_cost.1 as i128),
+        ),
+    ]);
+    let resilience = Json::obj(vec![
+        ("clean", Json::Bool(outcome.resilience.is_clean())),
+        (
+            "faults",
+            Json::Int(outcome.resilience.faults_injected() as i128),
+        ),
+        ("retries", Json::Int(outcome.resilience.retries() as i128)),
+        (
+            "recoveries",
+            Json::Int(outcome.resilience.recoveries() as i128),
+        ),
+        (
+            "degradations",
+            Json::Int(outcome.resilience.degradations() as i128),
+        ),
+        (
+            "budget_stops",
+            Json::Int(outcome.resilience.budget_exhaustions() as i128),
+        ),
+    ]);
+    Json::obj(vec![
+        ("best", best),
+        ("expectation", Json::Num(outcome.expectation)),
+        ("arg", Json::Num(outcome.arg)),
+        (
+            "raw_in_constraints_rate",
+            Json::Num(outcome.raw_in_constraints_rate),
+        ),
+        (
+            "in_constraints_rate",
+            Json::Num(outcome.in_constraints_rate),
+        ),
+        ("distribution", distribution),
+        ("stats", stats),
+        (
+            "history",
+            Json::Arr(outcome.history.iter().map(|&x| Json::Num(x)).collect()),
+        ),
+        ("evaluations", Json::Int(outcome.evaluations as i128)),
+        ("total_shots", Json::Int(outcome.total_shots as i128)),
+        (
+            "trained_times",
+            Json::Arr(
+                outcome
+                    .trained_times
+                    .iter()
+                    .map(|&x| Json::Num(x))
+                    .collect(),
+            ),
+        ),
+        ("resilience", resilience),
+    ])
+}
+
+/// Renders [`outcome_json`] to its canonical byte form — the exact
+/// bytes the server puts in the `result` section.
+pub fn render_outcome(outcome: &Outcome) -> String {
+    outcome_json(outcome).render()
+}
+
+/// Serializes the wall-clock side of an [`Outcome`] (the non-
+/// deterministic part, kept out of `result`).
+pub fn timing_json(outcome: &Outcome) -> Json {
+    let stages = &outcome.latency.stages;
+    Json::obj(vec![
+        ("quantum_s", Json::Num(outcome.latency.quantum_s)),
+        ("classical_s", Json::Num(outcome.latency.classical_s)),
+        ("prepare_s", Json::Num(stages.prepare_s)),
+        ("train_s", Json::Num(stages.train_s)),
+        ("execute_s", Json::Num(stages.execute_s)),
+        ("retry_s", Json::Num(stages.retry_s)),
+        ("queue_s", Json::Num(stages.queue_s)),
+        ("cache_hit", Json::Bool(stages.cache_hit)),
+    ])
+}
+
+/// Maps a solver error to response sections: an `error` section with a
+/// stable `kind` tag and human-readable message, plus a `partial`
+/// section when a budget stop salvaged a partial outcome.
+pub fn error_sections(err: &RasenganError) -> Vec<(&'static str, Json)> {
+    let kind = match err {
+        RasenganError::Basis(_) => "basis",
+        RasenganError::NoFeasibleSeed => "no-feasible-seed",
+        RasenganError::NoFeasibleOutput { .. } => "no-feasible-output",
+        RasenganError::FullyDetermined => "fully-determined",
+        RasenganError::BudgetExceeded { .. } => "budget-exceeded",
+        RasenganError::AllStartsFailed { .. } => "all-starts-failed",
+    };
+    let mut sections = vec![(
+        "error",
+        Json::obj(vec![
+            ("kind", Json::Str(kind.to_string())),
+            ("message", Json::Str(err.to_string())),
+        ]),
+    )];
+    if let RasenganError::BudgetExceeded {
+        partial: Some(partial),
+        ..
+    } = err
+    {
+        sections.push(("partial", outcome_json(partial)));
+    }
+    sections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_render_parse_round_trip() {
+        let request = SolveRequest::new("vars 2\nconstraint 1 : 1 1\n")
+            .with_seed(7)
+            .with_shots(256)
+            .with_iterations(40)
+            .with_retries(2)
+            .with_degrade()
+            .with_deadline_ms(5000);
+        let text = request.render();
+        let mut lines = text.lines();
+        assert_eq!(parse_verb(lines.next().unwrap()).unwrap(), Verb::Solve);
+        let rest = text.split_once('\n').unwrap().1;
+        let parsed = SolveRequest::parse_body(&mut BufReader::new(rest.as_bytes())).unwrap();
+        assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn request_maps_to_recommended_resilience() {
+        let request = SolveRequest::new("").with_retries(2).with_degrade();
+        let cfg = request.config();
+        let recommended = ResilienceConfig::recommended();
+        assert_eq!(cfg.resilience.retry_budget, recommended.retry_budget);
+        assert_eq!(cfg.resilience.degrade, recommended.degrade);
+        assert_eq!(cfg.resilience.shot_escalation, recommended.shot_escalation);
+    }
+
+    #[test]
+    fn deadline_splits_across_stages() {
+        let cfg = SolveRequest::new("").with_deadline_ms(5000).config();
+        assert_eq!(cfg.resilience.max_stage_seconds, Some(2.5));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert!(parse_verb("HTTP/1.1 GET").is_err());
+        assert!(parse_verb("RASENGAN/1 DANCE").is_err());
+        let mut truncated = BufReader::new("seed 3\n".as_bytes());
+        assert!(SolveRequest::parse_body(&mut truncated).is_err());
+        let mut unknown = BufReader::new("volume 11\nBEGIN PROBLEM\nEND PROBLEM\n".as_bytes());
+        assert!(SolveRequest::parse_body(&mut unknown).is_err());
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let reply = Reply::new(
+            ReplyStatus::Busy,
+            vec![(
+                "service",
+                Json::obj(vec![
+                    ("queue_depth", Json::Int(8)),
+                    ("queue_capacity", Json::Int(8)),
+                ]),
+            )],
+        );
+        let parsed = Reply::parse(&reply.render()).unwrap();
+        assert_eq!(parsed, reply);
+        assert_eq!(
+            parsed.json("service").unwrap().get("queue_depth").unwrap(),
+            &Json::Int(8)
+        );
+    }
+}

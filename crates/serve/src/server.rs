@@ -1,0 +1,519 @@
+//! The solve service: TCP listener, worker pool, caches, admission
+//! control.
+//!
+//! One accept thread reads each connection's verb line and answers
+//! `STATS`/`PING` inline; `SOLVE` connections are pushed onto a
+//! bounded queue ([`rasengan_qsim::parallel::BoundedQueue`]) drained
+//! by a fixed worker pool. When the queue is full the request is shed
+//! immediately with a structured `BUSY` response — the accept thread
+//! never blocks on solver work, so load-shedding stays responsive
+//! under saturation.
+//!
+//! # Determinism
+//!
+//! A served solve is bit-identical to an in-process
+//! [`Rasengan::solve`] with the same request knobs, at any worker
+//! count: workers share nothing but the caches, every solve derives
+//! its randomness from the request's seed alone, and cached results
+//! are the bytes the original solve produced. The determinism suite
+//! byte-compares `result` sections across 1-worker, 4-worker, and
+//! in-process runs.
+//!
+//! # Caches
+//!
+//! * **Result cache** — finished [`Outcome`]s keyed on the problem
+//!   [`fingerprint`](rasengan_problems::fingerprint) plus every
+//!   training knob the request can set. Worker-thread count is *not*
+//!   part of the key: results are thread-count-invariant.
+//! * **Compile cache** — [`Prepared`] artifacts (reduced basis,
+//!   transition chain, segment plan) keyed on fingerprint alone. That
+//!   key is sound because [`Rasengan::prepare`] reads only
+//!   compile-side knobs (simplify, prune, early-stop, segmentation,
+//!   depth budget), which the protocol pins to their defaults.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (also run on drop) sets the stop flag,
+//! nudges the listener awake, joins the accept thread, closes the
+//! queue, and joins the workers — which first drain every request
+//! already admitted. Nothing already queued is dropped.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rasengan_core::solver::{Outcome, Prepared, Rasengan};
+use rasengan_problems::io::parse_problem;
+use rasengan_qsim::parallel::BoundedQueue;
+
+use crate::cache::ShardedLru;
+use crate::json::Json;
+use crate::protocol::{
+    error_sections, outcome_json, parse_verb, timing_json, Reply, ReplyStatus, SolveRequest, Verb,
+};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Solve worker threads.
+    pub workers: usize,
+    /// Admission queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Result cache capacity (finished outcomes).
+    pub result_cache_capacity: usize,
+    /// Compile cache capacity (prepared artifacts).
+    pub compile_cache_capacity: usize,
+    /// Engine threads per solve; `None` defers to `RASENGAN_THREADS`.
+    pub solver_threads: Option<usize>,
+    /// Socket read/write timeout, bounding how long a slow client can
+    /// hold a thread.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            result_cache_capacity: 256,
+            compile_cache_capacity: 64,
+            solver_threads: None,
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets both cache capacities.
+    pub fn with_cache_capacities(mut self, results: usize, compiles: usize) -> Self {
+        self.result_cache_capacity = results;
+        self.compile_cache_capacity = compiles;
+        self
+    }
+
+    /// Pins the per-solve engine thread count.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = Some(threads);
+        self
+    }
+}
+
+/// Everything a request needs beyond the problem itself — the result
+/// cache key. Worker and engine thread counts are deliberately absent:
+/// outcomes are bit-identical at any parallelism, so a result computed
+/// under one thread count serves every other.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ResultKey {
+    fingerprint: u128,
+    seed: u64,
+    shots: Option<usize>,
+    iterations: Option<usize>,
+    retries: usize,
+    degrade: bool,
+    deadline_ms: Option<u64>,
+}
+
+impl ResultKey {
+    fn new(fingerprint: u128, request: &SolveRequest) -> Self {
+        ResultKey {
+            fingerprint,
+            seed: request.seed,
+            shots: request.shots,
+            iterations: request.iterations,
+            retries: request.retries,
+            degrade: request.degrade,
+            deadline_ms: request.deadline_ms,
+        }
+    }
+}
+
+/// An admitted connection: the buffered stream (verb line already
+/// consumed) and its admission timestamp.
+struct Job {
+    reader: std::io::BufReader<TcpStream>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    served_ok: AtomicU64,
+    served_error: AtomicU64,
+    shed: AtomicU64,
+    bad_requests: AtomicU64,
+    results: ShardedLru<ResultKey, Arc<Outcome>>,
+    compiles: ShardedLru<u128, Arc<Prepared>>,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Solves answered `OK`.
+    pub served_ok: u64,
+    /// Solves answered `ERROR` (solver-side failures).
+    pub served_error: u64,
+    /// Requests shed with `BUSY`.
+    pub shed: u64,
+    /// Malformed requests rejected.
+    pub bad_requests: u64,
+    /// Result-cache hits / misses.
+    pub result_hits: u64,
+    /// Result-cache misses.
+    pub result_misses: u64,
+    /// Compile-cache hits.
+    pub compile_hits: u64,
+    /// Compile-cache misses.
+    pub compile_misses: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: usize,
+}
+
+impl Shared {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served_ok: self.served_ok.load(Ordering::Relaxed),
+            served_error: self.served_error.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            result_hits: self.results.hits(),
+            result_misses: self.results.misses(),
+            compile_hits: self.compiles.hits(),
+            compile_misses: self.compiles.misses(),
+            queue_depth: self.queue.len(),
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        let s = self.stats();
+        Json::obj(vec![
+            ("accepted", Json::Int(s.accepted as i128)),
+            ("served_ok", Json::Int(s.served_ok as i128)),
+            ("served_error", Json::Int(s.served_error as i128)),
+            ("shed", Json::Int(s.shed as i128)),
+            ("bad_requests", Json::Int(s.bad_requests as i128)),
+            ("result_hits", Json::Int(s.result_hits as i128)),
+            ("result_misses", Json::Int(s.result_misses as i128)),
+            ("compile_hits", Json::Int(s.compile_hits as i128)),
+            ("compile_misses", Json::Int(s.compile_misses as i128)),
+            ("queue_depth", Json::Int(s.queue_depth as i128)),
+            ("queue_capacity", Json::Int(self.queue.capacity() as i128)),
+            ("workers", Json::Int(self.config.workers as i128)),
+        ])
+    }
+}
+
+/// A running service. Dropping the handle shuts the service down
+/// gracefully (drains admitted work, then joins every thread).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds the address in `config` and starts the accept thread and
+/// worker pool.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_capacity.max(1)),
+        shutdown: AtomicBool::new(false),
+        accepted: AtomicU64::new(0),
+        served_ok: AtomicU64::new(0),
+        served_error: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        bad_requests: AtomicU64::new(0),
+        results: ShardedLru::new(config.result_cache_capacity, 8),
+        compiles: ShardedLru::new(config.compile_cache_capacity, 4),
+        config,
+    });
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rasengan-serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        handle_solve(&shared, job);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("rasengan-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &shared))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted
+    /// request, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the listener out of `accept()`; the thread re-checks
+        // the flag before handling the connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // No new work can arrive now; close the queue so workers exit
+        // once they have drained what was already admitted.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+        let mut reader = std::io::BufReader::new(stream);
+        let mut verb_line = String::new();
+        use std::io::BufRead;
+        if reader.read_line(&mut verb_line).is_err() {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        match parse_verb(&verb_line) {
+            Ok(Verb::Ping) => {
+                let reply = Reply::new(ReplyStatus::Ok, vec![("pong", Json::obj(vec![]))]);
+                write_reply(reader.get_mut(), &reply);
+            }
+            Ok(Verb::Stats) => {
+                let reply = Reply::new(ReplyStatus::Ok, vec![("stats", shared.stats_json())]);
+                write_reply(reader.get_mut(), &reply);
+            }
+            Ok(Verb::Solve) => {
+                let job = Job {
+                    reader,
+                    enqueued: Instant::now(),
+                };
+                if let Err(mut job) = shared.queue.try_push(job) {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    let reply = Reply::new(
+                        ReplyStatus::Busy,
+                        vec![(
+                            "service",
+                            Json::obj(vec![
+                                ("queue_depth", Json::Int(shared.queue.len() as i128)),
+                                ("queue_capacity", Json::Int(shared.queue.capacity() as i128)),
+                            ]),
+                        )],
+                    );
+                    write_reply(job.reader.get_mut(), &reply);
+                }
+            }
+            Err(message) => {
+                shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let reply = bad_request_reply(&message);
+                write_reply(reader.get_mut(), &reply);
+            }
+        }
+    }
+}
+
+fn bad_request_reply(message: &str) -> Reply {
+    Reply::new(
+        ReplyStatus::Error,
+        vec![(
+            "error",
+            Json::obj(vec![
+                ("kind", Json::Str("bad-request".to_string())),
+                ("message", Json::Str(message.to_string())),
+            ]),
+        )],
+    )
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Reply) {
+    // The client may already be gone; nothing useful to do about it.
+    let _ = stream.write_all(reply.render().as_bytes());
+    let _ = stream.flush();
+}
+
+/// Serves one admitted `SOLVE` connection on a worker thread.
+fn handle_solve(shared: &Shared, mut job: Job) {
+    let queue_s = job.enqueued.elapsed().as_secs_f64();
+    let request = match SolveRequest::parse_body(&mut job.reader) {
+        Ok(request) => request,
+        Err(message) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            write_reply(job.reader.get_mut(), &bad_request_reply(&message));
+            return;
+        }
+    };
+    let problem = match parse_problem(&request.problem_text) {
+        Ok(problem) => problem,
+        Err(err) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            write_reply(
+                job.reader.get_mut(),
+                &bad_request_reply(&format!("problem: {err}")),
+            );
+            return;
+        }
+    };
+
+    let fingerprint = problem.fingerprint();
+    let key = ResultKey::new(fingerprint, &request);
+    if let Some(cached) = shared.results.get(&key) {
+        let mut outcome = (*cached).clone();
+        outcome.latency.stages.queue_s = queue_s;
+        outcome.latency.stages.cache_hit = true;
+        respond_ok(shared, &mut job, &outcome, fingerprint, queue_s, "hit");
+        return;
+    }
+
+    let mut config = request.config();
+    if let Some(threads) = shared.config.solver_threads {
+        config = config.with_threads(threads);
+    }
+    let solver = Rasengan::new(config);
+
+    let (prepared, cache_note, prepare_s) = match shared.compiles.get(&fingerprint) {
+        Some(prepared) => (prepared, "compile-hit", 0.0),
+        None => {
+            let started = Instant::now();
+            match solver.prepare(&problem) {
+                Ok(prepared) => {
+                    let prepared = Arc::new(prepared);
+                    shared.compiles.insert(fingerprint, Arc::clone(&prepared));
+                    (prepared, "miss", started.elapsed().as_secs_f64())
+                }
+                Err(err) => {
+                    shared.served_error.fetch_add(1, Ordering::Relaxed);
+                    let sections = error_sections(&err);
+                    write_reply(
+                        job.reader.get_mut(),
+                        &Reply::new(ReplyStatus::Error, sections),
+                    );
+                    return;
+                }
+            }
+        }
+    };
+
+    match solver.solve_prepared(&problem, &prepared) {
+        Ok(mut outcome) => {
+            // Cache the outcome as solved — per-request queue wait and
+            // hit flags are stamped on the copy each response sends.
+            shared.results.insert(key, Arc::new(outcome.clone()));
+            outcome.latency.stages.queue_s = queue_s;
+            outcome.latency.stages.prepare_s = prepare_s;
+            respond_ok(shared, &mut job, &outcome, fingerprint, queue_s, cache_note);
+        }
+        Err(err) => {
+            shared.served_error.fetch_add(1, Ordering::Relaxed);
+            let sections = error_sections(&err);
+            write_reply(
+                job.reader.get_mut(),
+                &Reply::new(ReplyStatus::Error, sections),
+            );
+        }
+    }
+}
+
+fn respond_ok(
+    shared: &Shared,
+    job: &mut Job,
+    outcome: &Outcome,
+    fingerprint: u128,
+    queue_s: f64,
+    cache_note: &str,
+) {
+    shared.served_ok.fetch_add(1, Ordering::Relaxed);
+    let service = Json::obj(vec![
+        ("fingerprint", Json::Str(format!("{fingerprint:#034x}"))),
+        ("cache", Json::Str(cache_note.to_string())),
+        ("queue_wait_ms", Json::Num(queue_s * 1000.0)),
+    ]);
+    let reply = Reply::new(
+        ReplyStatus::Ok,
+        vec![
+            ("service", service),
+            ("result", outcome_json(outcome)),
+            ("timing", timing_json(outcome)),
+        ],
+    );
+    write_reply(job.reader.get_mut(), &reply);
+}

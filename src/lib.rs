@@ -18,6 +18,8 @@
 //! * [`core`] — the Rasengan solver: transition Hamiltonians, circuit
 //!   synthesis, Hamiltonian simplification and pruning, segmented
 //!   execution, and purification-based error mitigation.
+//! * [`serve`] — std-only multi-client TCP solve service with result
+//!   and compile caches, admission control, and a blocking client.
 //!
 //! # Quickstart
 //!
@@ -40,3 +42,4 @@ pub use rasengan_math as math;
 pub use rasengan_optim as optim;
 pub use rasengan_problems as problems;
 pub use rasengan_qsim as qsim;
+pub use rasengan_serve as serve;

@@ -7,6 +7,8 @@
 //! rasengan inspect --benchmark S2                   # compiled-chain report
 //! rasengan export --benchmark F1 --out segments.qasm
 //! rasengan list                                     # the 20 benchmarks
+//! rasengan serve --addr 127.0.0.1:7878 --workers 4  # solve service
+//! rasengan submit --benchmark F1 --addr 127.0.0.1:7878
 //! ```
 
 use rasengan::baselines::{BaselineConfig, ChocoQ, GroverAdaptiveSearch, Hea, PQaoa};
@@ -16,6 +18,7 @@ use rasengan::problems::registry::{all_ids, benchmark, BenchmarkId};
 use rasengan::problems::{constraint_topology, enumerate_feasible, optimum, Problem};
 use rasengan::qsim::qasm::to_qasm3;
 use rasengan::qsim::{Circuit, Device};
+use rasengan::serve::{serve, submit, ReplyStatus, ServeConfig, SolveRequest};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -37,6 +40,8 @@ fn main() -> ExitCode {
         "list" => cmd_list(),
         "save" => cmd_save(&opts),
         "solve" => cmd_solve(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
         "inspect" => cmd_inspect(&opts),
         "export" => cmd_export(&opts),
         "help" | "--help" | "-h" => {
@@ -64,6 +69,10 @@ struct Options {
     retries: usize,
     degrade: bool,
     out: Option<String>,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    deadline_ms: Option<u64>,
 }
 
 impl Options {
@@ -80,6 +89,10 @@ impl Options {
             retries: 0,
             degrade: false,
             out: None,
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue: 64,
+            deadline_ms: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -121,6 +134,24 @@ impl Options {
                         .map_err(|_| "retries must be an integer".to_string())?
                 }
                 "--degrade" => opts.degrade = true,
+                "--addr" => opts.addr = value("--addr")?,
+                "--workers" => {
+                    opts.workers = value("--workers")?
+                        .parse()
+                        .map_err(|_| "workers must be an integer".to_string())?
+                }
+                "--queue" => {
+                    opts.queue = value("--queue")?
+                        .parse()
+                        .map_err(|_| "queue must be an integer".to_string())?
+                }
+                "--deadline-ms" => {
+                    opts.deadline_ms = Some(
+                        value("--deadline-ms")?
+                            .parse()
+                            .map_err(|_| "deadline-ms must be an integer".to_string())?,
+                    )
+                }
                 "--out" | "-o" => opts.out = Some(value("--out")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -167,6 +198,8 @@ USAGE:
 COMMANDS:
   list      show the 20 registered benchmarks
   solve     run a solver on a benchmark
+  serve     run the multi-client solve service (runs until killed)
+  submit    send a problem to a running service and print the result
   inspect   show the compiled transition chain without solving
   export    write the compiled segments as OpenQASM 3
   save      write a benchmark instance as a problem file
@@ -183,6 +216,10 @@ FLAGS:
       --layers <N>         baseline layer count (default 5)
       --retries <N>        re-run a failed segment up to N times (rasengan)
       --degrade            continue past a dead segment instead of aborting
+      --addr <HOST:PORT>   service address (serve bind / submit target)
+      --workers <N>        service worker threads (default 4)
+      --queue <N>          service admission-queue capacity (default 64)
+      --deadline-ms <N>    per-request deadline for `submit`
   -o, --out <PATH>         output path for `export`"
     );
 }
@@ -337,6 +374,81 @@ fn cmd_solve(opts: &Options) -> ExitCode {
         println!("resilience    : {note}");
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(opts: &Options) -> ExitCode {
+    let config = ServeConfig::default()
+        .with_addr(opts.addr.clone())
+        .with_workers(opts.workers)
+        .with_queue_capacity(opts.queue);
+    let server = match serve(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rasengan service listening on {} ({} workers, queue {})",
+        server.addr(),
+        opts.workers,
+        opts.queue
+    );
+    // Run until the process is killed; embedders wanting a graceful
+    // drain should use rasengan::serve::serve directly and call
+    // ServerHandle::shutdown.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_submit(opts: &Options) -> ExitCode {
+    let problem = match opts.problem() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut request = SolveRequest::new(write_problem(&problem))
+        .with_seed(opts.seed)
+        .with_iterations(opts.iterations)
+        .with_retries(opts.retries);
+    if let Some(shots) = opts.shots {
+        request = request.with_shots(shots);
+    }
+    if opts.degrade {
+        request = request.with_degrade();
+    }
+    if let Some(ms) = opts.deadline_ms {
+        request = request.with_deadline_ms(ms);
+    }
+    let reply = match submit(&opts.addr, &request) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("error: cannot reach {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match reply.status {
+        ReplyStatus::Ok => {
+            for (name, body) in &reply.sections {
+                println!("{name} {body}");
+            }
+            ExitCode::SUCCESS
+        }
+        ReplyStatus::Busy => {
+            eprintln!("busy: {}", reply.section("service").unwrap_or("queue full"));
+            ExitCode::FAILURE
+        }
+        ReplyStatus::Error => {
+            eprintln!(
+                "error: {}",
+                reply.section("error").unwrap_or("unknown server error")
+            );
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_inspect(opts: &Options) -> ExitCode {

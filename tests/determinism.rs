@@ -268,3 +268,56 @@ fn registry_shapes_are_pinned() {
         );
     }
 }
+
+/// A served solve must be byte-identical to the in-process solver for
+/// the same seed and knobs — at 1 worker and at 4 workers, and with
+/// the recommended resilience posture armed. The comparison is on the
+/// serialized `result` section (the wire bytes), which is the
+/// strongest form of the guarantee: not just equal numbers, equal
+/// bytes.
+#[test]
+fn served_solve_bitwise_matches_in_process() {
+    use rasengan::problems::io::write_problem;
+    use rasengan::serve::{render_outcome, serve, submit, ReplyStatus, ServeConfig, SolveRequest};
+
+    let problem = f1();
+    let request = SolveRequest::new(write_problem(&problem))
+        .with_seed(5)
+        .with_shots(256)
+        .with_iterations(12)
+        .with_retries(2)
+        .with_degrade();
+
+    // `retries 2` + `degrade` is exactly ResilienceConfig::recommended().
+    let cfg = RasenganConfig::default()
+        .with_seed(5)
+        .with_shots(256)
+        .with_max_iterations(12)
+        .with_resilience(ResilienceConfig::recommended());
+    let local = Rasengan::new(cfg).solve(&problem).unwrap();
+    let local_bytes = render_outcome(&local);
+
+    for workers in [1usize, 4] {
+        let server = serve(ServeConfig::default().with_workers(workers)).unwrap();
+        let reply = submit(server.addr(), &request).unwrap();
+        assert_eq!(reply.status, ReplyStatus::Ok, "workers={workers}");
+        assert_eq!(
+            reply.section("result").unwrap(),
+            local_bytes,
+            "served result must be byte-identical (workers={workers})"
+        );
+        // A repeat comes from the cache and must still be the same bytes.
+        let cached = submit(server.addr(), &request).unwrap();
+        assert_eq!(cached.section("result").unwrap(), local_bytes);
+        assert_eq!(
+            cached
+                .json("service")
+                .unwrap()
+                .get("cache")
+                .and_then(|c| c.as_str()),
+            Some("hit"),
+            "repeat must be served from the result cache"
+        );
+        server.shutdown();
+    }
+}

@@ -234,3 +234,51 @@ proptest! {
         prop_assert!(pruned.ops.len() <= unpruned.ops.len());
     }
 }
+
+proptest! {
+    /// A problem's fingerprint is invariant under write→parse round
+    /// trips and under comment / blank-line / whitespace / rename
+    /// perturbations of its text form, across the whole registry —
+    /// the identity the service's result cache keys on.
+    #[test]
+    fn fingerprint_invariant_under_text_perturbations(
+        idx in 0usize..20,
+        pad in 1usize..4,
+        rename in 0u64..1000,
+    ) {
+        use rasengan::problems::io::{parse_problem, write_problem};
+        use rasengan::problems::{all_ids, benchmark};
+
+        let ids = all_ids();
+        let p = benchmark(ids[idx % ids.len()]);
+        let fp = p.fingerprint();
+
+        // Round trip through the text format.
+        let text = write_problem(&p);
+        let q = parse_problem(&text).unwrap();
+        prop_assert_eq!(q.fingerprint(), fp);
+
+        // Perturb: rename, indent, widen whitespace runs, sprinkle
+        // comments and blank lines.
+        let mut noisy = format!("# perturbed copy\n\nname perturbed-{rename}\n");
+        for line in text.lines() {
+            if line.starts_with("name ") {
+                continue;
+            }
+            let widened = line
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(&" ".repeat(pad));
+            noisy.push_str("  ");
+            noisy.push_str(&widened);
+            noisy.push_str("   # trailing comment\n\n");
+        }
+        let r = parse_problem(&noisy).unwrap();
+        prop_assert_eq!(r.fingerprint(), fp);
+
+        // And the perturbed instance still round-trips to the same
+        // fingerprint through its own canonical form.
+        let rr = parse_problem(&write_problem(&r)).unwrap();
+        prop_assert_eq!(rr.fingerprint(), fp);
+    }
+}

@@ -1,0 +1,212 @@
+//! Service smoke test (mirrors the CI service-smoke job): an ephemeral
+//! server, the committed example instances submitted concurrently,
+//! every response parsed, the cache-hit counter exercised, and the
+//! load-shedding path shown to answer with structured `BUSY`.
+
+use rasengan::serve::{ping, serve, stats, submit, ReplyStatus, ServeConfig, SolveRequest};
+use std::path::PathBuf;
+
+fn instance_texts() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/instances");
+    let mut instances: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("examples/instances exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? != "problem" {
+                return None;
+            }
+            let name = path.file_stem()?.to_string_lossy().into_owned();
+            Some((name, std::fs::read_to_string(&path).ok()?))
+        })
+        .collect();
+    instances.sort();
+    assert!(
+        instances.len() >= 5,
+        "expected the committed example instances, found {}",
+        instances.len()
+    );
+    instances
+}
+
+#[test]
+fn concurrent_submissions_parse_and_hit_the_cache() {
+    let server = serve(ServeConfig::default().with_workers(4)).unwrap();
+    let addr = server.addr();
+
+    assert_eq!(ping(addr).unwrap().status, ReplyStatus::Ok);
+
+    let instances = instance_texts();
+    let requests: Vec<SolveRequest> = instances
+        .iter()
+        .map(|(_, text)| {
+            SolveRequest::new(text.clone())
+                .with_seed(3)
+                .with_shots(128)
+                .with_iterations(8)
+        })
+        .collect();
+
+    // Two rounds of every instance, all in flight at once: round one
+    // populates the caches, round two must hit them. Each request
+    // carries identical knobs, so the second round's responses must be
+    // byte-identical to the first's.
+    let first: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                scope.spawn(move || {
+                    let reply = submit(addr, request).expect("submit");
+                    assert_eq!(reply.status, ReplyStatus::Ok);
+                    reply.json("result").expect("result parses as JSON");
+                    reply.json("timing").expect("timing parses as JSON");
+                    reply.json("service").expect("service parses as JSON");
+                    reply.section("result").unwrap().to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let second: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                scope.spawn(move || {
+                    let reply = submit(addr, request).expect("submit");
+                    assert_eq!(reply.status, ReplyStatus::Ok);
+                    assert_eq!(
+                        reply
+                            .json("service")
+                            .unwrap()
+                            .get("cache")
+                            .and_then(|c| c.as_str()),
+                        Some("hit")
+                    );
+                    reply.section("result").unwrap().to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(first, second, "cached results must be byte-identical");
+
+    // The counters saw all of it, via both the API and the wire.
+    let snapshot = server.stats();
+    assert!(snapshot.result_hits >= requests.len() as u64);
+    assert_eq!(snapshot.served_ok, 2 * requests.len() as u64);
+    let wire = stats(addr).unwrap();
+    assert_eq!(wire.status, ReplyStatus::Ok);
+    let wire_stats = wire.json("stats").unwrap();
+    assert!(
+        wire_stats
+            .get("result_hits")
+            .and_then(|v| v.as_i128())
+            .unwrap()
+            >= requests.len() as i128
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_structured_busy() {
+    // One worker, queue of one: most of a concurrent flood must be
+    // shed, and every shed response must carry queue metadata.
+    let server = serve(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let (_, text) = instance_texts().into_iter().next().unwrap();
+    let request = SolveRequest::new(text)
+        .with_seed(1)
+        .with_shots(256)
+        .with_iterations(30);
+
+    let statuses: Vec<ReplyStatus> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let request = request.clone();
+                scope.spawn(move || {
+                    let reply = submit(addr, &request).expect("submit");
+                    if reply.status == ReplyStatus::Busy {
+                        let service = reply.json("service").unwrap();
+                        assert!(service.get("queue_capacity").is_some());
+                        assert!(service.get("queue_depth").is_some());
+                    }
+                    reply.status
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = statuses.iter().filter(|s| **s == ReplyStatus::Ok).count();
+    let busy = statuses.iter().filter(|s| **s == ReplyStatus::Busy).count();
+    assert!(ok >= 1, "someone must be served");
+    assert!(busy >= 1, "a full queue must shed load");
+    assert_eq!(ok + busy, statuses.len(), "no malformed responses");
+    assert_eq!(server.stats().shed, busy as u64);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_work() {
+    // Admit work onto a single slow worker, then shut down while it is
+    // still queued: shutdown must block until the queue drains, and
+    // the queued requests must still be answered.
+    let server = serve(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(8),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let (_, text) = instance_texts().into_iter().next().unwrap();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|seed| {
+                let request = SolveRequest::new(text.clone())
+                    .with_seed(seed)
+                    .with_shots(128)
+                    .with_iterations(10);
+                scope.spawn(move || submit(addr, &request).expect("submit").status)
+            })
+            .collect();
+        // Give the requests time to be admitted, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        server.shutdown();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), ReplyStatus::Ok);
+        }
+    });
+}
+
+#[test]
+fn malformed_requests_get_structured_errors() {
+    use std::io::{Read, Write};
+
+    let server = serve(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    for bad in [
+        "HTTP/1.1 GET /\r\n\r\n",
+        "RASENGAN/1 DANCE\n",
+        "RASENGAN/1 SOLVE\nvolume 11\nBEGIN PROBLEM\nEND PROBLEM\n",
+        "RASENGAN/1 SOLVE\nBEGIN PROBLEM\nthis is not a problem\nEND PROBLEM\n",
+    ] {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(bad.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(
+            body.starts_with("RASENGAN/1 ERROR"),
+            "expected structured error, got: {body:?}"
+        );
+        assert!(body.contains("bad-request"), "got: {body:?}");
+    }
+    assert!(server.stats().bad_requests >= 4);
+    server.shutdown();
+}
