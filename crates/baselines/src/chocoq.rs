@@ -21,13 +21,16 @@ use rasengan_core::latency::Latency;
 use rasengan_core::metrics::{
     arg, best_solution, expectation, in_constraints_rate, penalty_lambda,
 };
+use rasengan_core::segment::SegmentProgram;
 use rasengan_math::basis::TernaryBasisError;
 use rasengan_optim::{Cobyla, Optimizer};
 use rasengan_problems::{optimum, Problem, Sense};
-use rasengan_qsim::noise::{apply_gate_noise_sparse, apply_readout_error};
+use rasengan_qsim::noise::{
+    apply_gate_noise_sparse, apply_gate_noise_sparse_fused, apply_readout_error,
+};
 use rasengan_qsim::sparse::{bits_from_label, label_from_bits};
-use rasengan_qsim::{Label, NoiseModel, SparseState};
-use std::collections::BTreeMap;
+use rasengan_qsim::{Complex, Label, NoiseModel, SparseState};
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 /// The Choco-Q solver.
@@ -144,8 +147,117 @@ impl ChocoQ {
     }
 }
 
+/// One evaluation's compiled execution context: the Trotterized mixer
+/// as a [`SegmentProgram`] (precomputed masks, supports, CX costs),
+/// per-layer mixing constants evaluated once, and memo caches reusing
+/// objective evaluations and `cis` phases across all trajectories of
+/// the evaluation. Every floating-point value it feeds the state is
+/// identical to what the gate-by-gate path computes, so fused and
+/// unfused runs are bit-identical per shot.
+struct FusedEval<'a> {
+    problem: &'a Problem,
+    n: usize,
+    program: SegmentProgram,
+    /// `(γ, cos β, −i·sin β)` per layer.
+    layers: Vec<(f64, Complex, Complex)>,
+    /// Qubits of the state-preparation X column.
+    prep: Vec<usize>,
+    /// `f(label)` memo, shared by all layers and shots.
+    obj_cache: HashMap<Label, f64>,
+    /// `e^{-iγ·f(label)}` memo per layer (γ differs per layer).
+    phase_cache: Vec<HashMap<Label, Complex>>,
+}
+
+impl<'a> FusedEval<'a> {
+    fn new(
+        problem: &'a Problem,
+        hams: &[TransitionHamiltonian],
+        seed_label: Label,
+        params: &[f64],
+    ) -> Self {
+        let n = problem.n_vars();
+        let layers: Vec<(f64, Complex, Complex)> = params
+            .chunks(2)
+            .map(|layer| {
+                let (gamma, beta) = (layer[0], layer[1]);
+                (
+                    gamma,
+                    Complex::from(beta.cos()),
+                    Complex::new(0.0, -beta.sin()),
+                )
+            })
+            .collect();
+        FusedEval {
+            problem,
+            n,
+            program: SegmentProgram::compile(hams),
+            phase_cache: vec![HashMap::new(); layers.len()],
+            layers,
+            prep: (0..n).filter(|&q| seed_label >> q & 1 == 1).collect(),
+            obj_cache: HashMap::new(),
+        }
+    }
+
+    /// The objective layer `e^{-iγ f(x)}`, with both the objective
+    /// polynomial and the `cis` evaluation memoized per label.
+    fn apply_objective_layer(&mut self, state: &mut SparseState, layer: usize) {
+        let (gamma, _, _) = self.layers[layer];
+        let (problem, n) = (self.problem, self.n);
+        let obj_cache = &mut self.obj_cache;
+        let phase_cache = &mut self.phase_cache[layer];
+        state.apply_diagonal_phase_with(|l| {
+            *phase_cache.entry(l).or_insert_with(|| {
+                let f = *obj_cache
+                    .entry(l)
+                    .or_insert_with(|| problem.evaluate(&bits_from_label(l, n)));
+                Complex::cis(-gamma * f)
+            })
+        });
+    }
+
+    fn evolve_exact(&mut self, state: &mut SparseState) {
+        for layer in 0..self.layers.len() {
+            self.apply_objective_layer(state, layer);
+            let (_, cos, misin) = self.layers[layer];
+            for ct in &self.program.ops {
+                state.apply_transition_with(&ct.transition, cos, misin);
+            }
+        }
+    }
+
+    fn evolve_noisy(&mut self, state: &mut SparseState, noise: &NoiseModel, rng: &mut StdRng) {
+        apply_gate_noise_sparse_fused(state, &self.prep, noise.p1, noise, rng);
+        let noise_free = NoiseModel::noise_free();
+        for layer in 0..self.layers.len() {
+            self.apply_objective_layer(state, layer);
+            // Objective Rzz noise: 2 CX per quadratic term.
+            for &(a, b, _) in &self.problem.objective().quadratic {
+                for q in [a, b] {
+                    if rng.gen::<f64>() < noise.p2 {
+                        apply_gate_noise_sparse(state, &[q], 1.0, &noise_free, rng);
+                    }
+                }
+            }
+            let (_, cos, misin) = self.layers[layer];
+            for ct in &self.program.ops {
+                state.apply_transition_with(&ct.transition, cos, misin);
+                for _ in 0..ct.cx_cost {
+                    if rng.gen::<f64>() < noise.p2 {
+                        let q = ct.support[rng.gen_range(0..ct.support.len())];
+                        apply_gate_noise_sparse(state, &[q], 1.0, &noise_free, rng);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Executes the Choco-Q circuit once (exact or trajectory-sampled).
-fn run_chocoq(
+///
+/// Public as the fusion benchmark's sparse-arm hook: it is the hot loop
+/// whose compiled path (`cfg.fuse`) the `BENCH_fusion.json` numbers
+/// compare against the legacy gate-by-gate path.
+pub fn run_chocoq(
     problem: &Problem,
     hams: &[TransitionHamiltonian],
     seed_label: Label,
@@ -161,6 +273,10 @@ fn run_chocoq(
         (None, true) => Some(1024),
         (None, false) => None,
     };
+
+    let mut fused = cfg
+        .fuse
+        .then(|| FusedEval::new(problem, hams, seed_label, params));
 
     let evolve_exact = |state: &mut SparseState| {
         for layer in params.chunks(2) {
@@ -178,55 +294,62 @@ fn run_chocoq(
     match shots {
         None => {
             let mut state = SparseState::basis_state(n, seed_label);
-            evolve_exact(&mut state);
+            match &mut fused {
+                Some(ctx) => ctx.evolve_exact(&mut state),
+                None => evolve_exact(&mut state),
+            }
             state.distribution()
         }
         Some(budget) => {
             let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
             for _ in 0..budget {
                 let mut state = SparseState::basis_state(n, seed_label);
-                if noisy {
-                    let prep: Vec<usize> = (0..n).filter(|&q| seed_label >> q & 1 == 1).collect();
-                    apply_gate_noise_sparse(&mut state, &prep, cfg.noise.p1, &cfg.noise, rng);
-                    for layer in params.chunks(2) {
-                        let (gamma, beta) = (layer[0], layer[1]);
-                        state.apply_diagonal_phase(|l| {
-                            let bits = bits_from_label(l, n);
-                            -gamma * problem.evaluate(&bits)
-                        });
-                        // Objective Rzz noise: 2 CX per quadratic term.
-                        for &(a, b, _) in &problem.objective().quadratic {
-                            for q in [a, b] {
-                                if rng.gen::<f64>() < cfg.noise.p2 {
-                                    apply_gate_noise_sparse(
-                                        &mut state,
-                                        &[q],
-                                        1.0,
-                                        &NoiseModel::noise_free(),
-                                        rng,
-                                    );
+                match (&mut fused, noisy) {
+                    (Some(ctx), true) => ctx.evolve_noisy(&mut state, &cfg.noise, rng),
+                    (Some(ctx), false) => ctx.evolve_exact(&mut state),
+                    (None, true) => {
+                        let prep: Vec<usize> =
+                            (0..n).filter(|&q| seed_label >> q & 1 == 1).collect();
+                        apply_gate_noise_sparse(&mut state, &prep, cfg.noise.p1, &cfg.noise, rng);
+                        for layer in params.chunks(2) {
+                            let (gamma, beta) = (layer[0], layer[1]);
+                            state.apply_diagonal_phase(|l| {
+                                let bits = bits_from_label(l, n);
+                                -gamma * problem.evaluate(&bits)
+                            });
+                            // Objective Rzz noise: 2 CX per quadratic term.
+                            for &(a, b, _) in &problem.objective().quadratic {
+                                for q in [a, b] {
+                                    if rng.gen::<f64>() < cfg.noise.p2 {
+                                        apply_gate_noise_sparse(
+                                            &mut state,
+                                            &[q],
+                                            1.0,
+                                            &NoiseModel::noise_free(),
+                                            rng,
+                                        );
+                                    }
                                 }
                             }
-                        }
-                        for h in hams {
-                            h.apply(&mut state, beta);
-                            let support = h.support();
-                            for _ in 0..h.cx_cost() {
-                                if rng.gen::<f64>() < cfg.noise.p2 {
-                                    let q = support[rng.gen_range(0..support.len())];
-                                    apply_gate_noise_sparse(
-                                        &mut state,
-                                        &[q],
-                                        1.0,
-                                        &NoiseModel::noise_free(),
-                                        rng,
-                                    );
+                            for h in hams {
+                                h.apply(&mut state, beta);
+                                let support = h.support();
+                                for _ in 0..h.cx_cost() {
+                                    if rng.gen::<f64>() < cfg.noise.p2 {
+                                        let q = support[rng.gen_range(0..support.len())];
+                                        apply_gate_noise_sparse(
+                                            &mut state,
+                                            &[q],
+                                            1.0,
+                                            &NoiseModel::noise_free(),
+                                            rng,
+                                        );
+                                    }
                                 }
                             }
                         }
                     }
-                } else {
-                    evolve_exact(&mut state);
+                    (None, false) => evolve_exact(&mut state),
                 }
                 let label = state.sample_one(rng);
                 let label = apply_readout_error(label, n, cfg.noise.readout, rng);
@@ -302,6 +425,23 @@ mod tests {
         // leaks probability outside the constraints (the hardware
         // failure the paper reports: 6.3% in-constraints on Kyiv).
         assert!(out.in_constraints_rate < 1.0, "noise had no effect");
+    }
+
+    #[test]
+    fn fused_solve_matches_unfused_bitwise() {
+        // The compiled path (SegmentProgram + memoized phases) must not
+        // perturb a single RNG draw or amplitude: noisy solves agree
+        // byte for byte with the legacy gate-by-gate path.
+        let base = BaselineConfig::default()
+            .with_shots(96)
+            .with_noise(NoiseModel::ibm_like(1e-3, 5e-3, 0.01))
+            .with_max_iterations(6)
+            .with_layers(2)
+            .with_seed(13);
+        let fused = ChocoQ::new(base.clone()).solve(&j1()).unwrap();
+        let unfused = ChocoQ::new(base.without_fusion()).solve(&j1()).unwrap();
+        assert_eq!(fused.distribution, unfused.distribution);
+        assert_eq!(fused.expectation, unfused.expectation);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use rasengan_core::metrics::{
     arg, best_solution, expectation, in_constraints_rate, penalty_lambda, Solution,
 };
 use rasengan_problems::{optimum, Problem, Sense};
+use rasengan_qsim::exec::{DenseTrajectoryRunner, Program};
 use rasengan_qsim::noise::{apply_readout_error, run_dense_trajectory};
 use rasengan_qsim::{Circuit, DenseState, Device, Label, NoiseModel};
 use std::collections::BTreeMap;
@@ -42,6 +43,12 @@ pub struct BaselineConfig {
     pub device: Device,
     /// Parameter-training optimizer.
     pub optimizer: BaselineOptimizer,
+    /// Execute noisy trajectories through a compiled
+    /// [`rasengan_qsim::exec::Program`] (one compile per evaluation,
+    /// reused state buffer across trajectories) instead of re-walking
+    /// the gate list per shot. Bit-identical either way; `false` keeps
+    /// the legacy path for differential testing.
+    pub fuse: bool,
 }
 
 impl Default for BaselineConfig {
@@ -54,6 +61,7 @@ impl Default for BaselineConfig {
             noise: NoiseModel::noise_free(),
             device: Device::ibm_quebec(),
             optimizer: BaselineOptimizer::Cobyla,
+            fuse: true,
         }
     }
 }
@@ -99,6 +107,13 @@ impl BaselineConfig {
     pub fn on_device(mut self, device: Device) -> Self {
         self.noise = device.noise;
         self.device = device;
+        self
+    }
+
+    /// Disables compiled-program execution (builder style); results are
+    /// bit-identical, only slower.
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
         self
     }
 }
@@ -159,7 +174,25 @@ pub fn run_dense(
         }
         Some(budget) => {
             let mut counts: BTreeMap<Label, usize> = BTreeMap::new();
-            if noisy {
+            if noisy && cfg.fuse {
+                // Compile once, execute every trajectory through the
+                // fused per-gate ops with a reused state buffer and an
+                // allocation-free single-shot sampler. Bit-identical to
+                // the unfused branch below (same RNG consumption).
+                let program = Program::compile(circuit);
+                let mut runner = DenseTrajectoryRunner::new(&program);
+                for _ in 0..budget {
+                    let state = runner.run(&cfg.noise, rng);
+                    let label = state.sample_one(rng);
+                    let label = apply_readout_error(
+                        label as Label,
+                        circuit.n_qubits(),
+                        cfg.noise.readout,
+                        rng,
+                    );
+                    *counts.entry(label).or_insert(0) += 1;
+                }
+            } else if noisy {
                 for _ in 0..budget {
                     let state = run_dense_trajectory(circuit, &cfg.noise, rng);
                     let sample = state.sample(1, rng);
@@ -292,6 +325,27 @@ mod tests {
         let dist = run_dense(&c, &cfg, &mut rng);
         let total: f64 = dist.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_dense_fused_matches_unfused_bitwise() {
+        // HEA-shaped noisy circuit: the fused trajectory runner must
+        // reproduce the unfused path exactly, label for label.
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.ry(q, 0.4 + 0.1 * q as f64).rz(q, -0.3);
+        }
+        for q in 0..3 {
+            c.cx(q, q + 1);
+        }
+        let noise = NoiseModel::ibm_like(0.02, 0.05, 0.02).with_amplitude_damping(0.01);
+        let fused_cfg = BaselineConfig::default().with_shots(200).with_noise(noise);
+        let unfused_cfg = fused_cfg.clone().without_fusion();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let fused = run_dense(&c, &fused_cfg, &mut rng_a);
+        let unfused = run_dense(&c, &unfused_cfg, &mut rng_b);
+        assert_eq!(fused, unfused);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Fusion benchmark (PR 4 acceptance experiment): compiled-program
+//! execution vs gate-by-gate.
+//!
+//! Two arms, each run fused and unfused from the same seed:
+//!
+//! * **dense-trajectory** — a noisy HEA-shaped circuit sampled over many
+//!   trajectories. Two noise regimes: *readout-limited* (the asserted
+//!   row — no gate channel is active, so the noise-aware trajectory
+//!   plan fuses rotation columns into single 2×2 matrices and the CX
+//!   ring into one label permutation) and *gate-noise* (reported for
+//!   transparency — every gate channel is active, every gate is a
+//!   barrier, and the plan degenerates to the bit-identical
+//!   gate-by-gate sequence, so the speedup is ≈1×).
+//! * **sparse** — full noisy Choco-Q and Rasengan solves on registry
+//!   instances, exercising the compiled
+//!   [`SegmentProgram`](rasengan_core::segment::SegmentProgram) /
+//!   `FusedEval` paths (hoisted mixing constants, memoized objective
+//!   phases, reused scratch).
+//!
+//! Both arms assert the fused results are identical to the unfused
+//! reference before any timing is trusted. Default scale is a CI-safe
+//! smoke run (equality asserts only); `--full` runs the acceptance
+//! scale (≥1000 trajectories) and additionally asserts the ≥2× dense
+//! and ≥1.5× sparse speedups. Saves `BENCH_fusion.{csv,json}` under
+//! `target/rasengan-reports/`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rasengan_baselines::{BaselineConfig, ChocoQ};
+use rasengan_bench::{report::fmt, RunSettings, Table};
+use rasengan_core::solver::{Rasengan, RasenganConfig};
+use rasengan_problems::registry::{benchmark, BenchmarkId};
+use rasengan_qsim::exec::DenseTrajectoryRunner;
+use rasengan_qsim::noise::{apply_readout_error, run_dense_trajectory};
+use rasengan_qsim::{Circuit, Device, Gate, Label, NoiseModel, Program};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Median wall-clock of `reps` runs of `work`, in seconds.
+fn median_secs<T>(reps: usize, mut work: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        last = Some(work());
+        times.push(started.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// The dense arm's workload: an `n`-qubit, `layers`-deep HEA-shaped
+/// ansatz — full-SU(2) rotation columns (an Rz·Ry·Rz Euler triplet per
+/// qubit, the shape 1-qubit fusion collapses to one matrix) + CX
+/// entangling ring.
+fn hea_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            let t = 0.3 + 0.1 * (layer * n + q) as f64;
+            c.push(Gate::Rz(q, 0.4 * t));
+            c.push(Gate::Ry(q, t));
+            c.push(Gate::Rz(q, 0.7 * t));
+        }
+        for q in 0..n {
+            c.push(Gate::Cx(q, (q + 1) % n));
+        }
+    }
+    for q in 0..n {
+        c.push(Gate::Ry(q, 0.2 + 0.05 * q as f64));
+    }
+    c
+}
+
+/// Samples `trajectories` noisy shots gate-by-gate (the pre-fusion hot
+/// path: one full circuit walk and a fresh state per trajectory).
+fn dense_unfused(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> BTreeMap<Label, usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = BTreeMap::new();
+    for _ in 0..trajectories {
+        let state = run_dense_trajectory(circuit, noise, &mut rng);
+        let label = state.sample_one(&mut rng) as Label;
+        let label = apply_readout_error(label, circuit.n_qubits(), noise.readout, &mut rng);
+        *counts.entry(label).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The same workload through a compiled program and a reusable runner.
+fn dense_fused(
+    program: &Program,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> BTreeMap<Label, usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut runner = DenseTrajectoryRunner::new(program);
+    let mut counts = BTreeMap::new();
+    for _ in 0..trajectories {
+        let state = runner.run(noise, &mut rng);
+        let label = state.sample_one(&mut rng) as Label;
+        let label = apply_readout_error(label, program.n_qubits(), noise.readout, &mut rng);
+        *counts.entry(label).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn main() {
+    let settings = RunSettings::from_args();
+    let reps = 5;
+    let mut table = Table::new(
+        "fusion: compiled programs vs gate-by-gate (median of 5)",
+        vec!["arm", "workload", "unfused_s", "fused_s", "speedup"],
+    );
+
+    // --- dense-trajectory arm.
+    let (n, layers, trajectories) = if settings.full {
+        (10, 4, 1000)
+    } else {
+        (8, 2, 60)
+    };
+    let circuit = hea_circuit(n, layers);
+    let program = Program::compile(&circuit);
+    // The asserted regime: readout-limited noise (gate channels quiet,
+    // measurement errors dominant — the regime fusion exists for), plus
+    // a fully-noisy regime reported alongside it, where active channels
+    // bar all fusion and the plan is the gate-by-gate sequence.
+    let regimes = [
+        ("readout-limited", NoiseModel::ibm_like(0.0, 0.0, 0.013)),
+        ("gate-noise", NoiseModel::ibm_like(0.002, 0.01, 0.01)),
+    ];
+    let mut dense_speedup = 0.0;
+    for (regime, noise) in &regimes {
+        println!(
+            "dense arm [{regime}]: n={n} layers={layers} gates={} -> {} kernels \
+             ({} plan steps), {trajectories} trajectories",
+            circuit.len(),
+            program.kernel_count(),
+            program.traj_plan_len(noise),
+        );
+        let (unfused_s, unfused_counts) = median_secs(reps, || {
+            dense_unfused(&circuit, noise, trajectories, settings.seed)
+        });
+        let (fused_s, fused_counts) = median_secs(reps, || {
+            dense_fused(&program, noise, trajectories, settings.seed)
+        });
+        assert_eq!(
+            unfused_counts, fused_counts,
+            "fused dense trajectories must reproduce the unfused counts bitwise"
+        );
+        let speedup = unfused_s / fused_s;
+        table.row(vec![
+            format!("dense-{regime}"),
+            format!("hea n={n} L={layers} T={trajectories}"),
+            fmt(unfused_s),
+            fmt(fused_s),
+            format!("{speedup:.2}x"),
+        ]);
+        println!("dense-trajectory [{regime}] speedup: {speedup:.2}x");
+        if *regime == "readout-limited" {
+            dense_speedup = speedup;
+        }
+    }
+
+    // --- sparse arm: noisy Choco-Q and Rasengan solves.
+    let id = if settings.full { "K2" } else { "F1" };
+    let problem = benchmark(BenchmarkId::parse(id).expect("registry id"));
+    let iterations = if settings.full { 40 } else { 6 };
+    let shots = if settings.full { 1024 } else { 128 };
+
+    let cq_cfg = BaselineConfig::default()
+        .with_seed(settings.seed)
+        .with_layers(2)
+        .with_shots(shots)
+        .with_max_iterations(iterations)
+        .on_device(Device::ibm_kyiv());
+    let (cq_unfused_s, cq_unfused) = median_secs(reps, || {
+        ChocoQ::new(cq_cfg.clone().without_fusion())
+            .solve(&problem)
+            .expect("chocoq solve")
+    });
+    let (cq_fused_s, cq_fused) = median_secs(reps, || {
+        ChocoQ::new(cq_cfg.clone())
+            .solve(&problem)
+            .expect("chocoq solve")
+    });
+    assert_eq!(
+        cq_unfused.distribution, cq_fused.distribution,
+        "fused Choco-Q must reproduce the unfused distribution bitwise"
+    );
+    assert_eq!(cq_unfused.arg, cq_fused.arg);
+    let cq_speedup = cq_unfused_s / cq_fused_s;
+    table.row(vec![
+        "sparse-chocoq".into(),
+        format!("{id} noisy, {iterations} iters x {shots} shots"),
+        fmt(cq_unfused_s),
+        fmt(cq_fused_s),
+        format!("{cq_speedup:.2}x"),
+    ]);
+    println!("sparse choco-q speedup: {cq_speedup:.2}x");
+
+    let ras_cfg = RasenganConfig::default()
+        .with_seed(settings.seed)
+        .with_shots(shots)
+        .with_max_iterations(iterations)
+        .on_device(Device::ibm_kyiv());
+    let (ras_unfused_s, ras_unfused) = median_secs(reps, || {
+        Rasengan::new(ras_cfg.clone().without_fusion())
+            .solve(&problem)
+            .expect("rasengan solve")
+    });
+    let (ras_fused_s, ras_fused) = median_secs(reps, || {
+        Rasengan::new(ras_cfg.clone())
+            .solve(&problem)
+            .expect("rasengan solve")
+    });
+    assert_eq!(
+        ras_unfused.distribution, ras_fused.distribution,
+        "fused Rasengan must reproduce the unfused distribution bitwise"
+    );
+    assert_eq!(ras_unfused.arg, ras_fused.arg);
+    let ras_speedup = ras_unfused_s / ras_fused_s;
+    table.row(vec![
+        "sparse-rasengan".into(),
+        format!("{id} noisy, {iterations} iters x {shots} shots"),
+        fmt(ras_unfused_s),
+        fmt(ras_fused_s),
+        format!("{ras_speedup:.2}x"),
+    ]);
+    println!("sparse rasengan speedup: {ras_speedup:.2}x");
+
+    if settings.full {
+        assert!(
+            dense_speedup >= 2.0,
+            "dense-trajectory arm must be >=2x faster fused (got {dense_speedup:.2}x)"
+        );
+        let sparse_best = cq_speedup.max(ras_speedup);
+        assert!(
+            sparse_best >= 1.5,
+            "sparse arm must be >=1.5x faster fused (got chocoq {cq_speedup:.2}x, \
+             rasengan {ras_speedup:.2}x)"
+        );
+    }
+
+    table.print();
+    if let Ok(p) = table.save_csv("fusion") {
+        println!("saved: {}", p.display());
+    }
+    if let Ok(p) = table.save_json("BENCH_fusion") {
+        println!("saved: {}", p.display());
+    }
+}

@@ -152,6 +152,21 @@ fn main() {
     );
     let stats = server.stats();
     assert!(stats.result_hits >= repeats as u64, "hit counter moved");
+    // Every id's non-first seed misses the result cache (the key
+    // includes the seed) but hits the compile cache, whose `Prepared`
+    // carries compiled segment programs — so the warm-path counter must
+    // have moved once per id at minimum.
+    let program_hits = ids.len() as u64 * (seeds_per_id - 1);
+    assert!(
+        stats.compiled_program_hits >= program_hits,
+        "compile-cache hits must hand out compiled programs \
+         (wanted >={program_hits}, got {})",
+        stats.compiled_program_hits
+    );
+    println!(
+        "compiled-program cache hits: {}",
+        stats.compiled_program_hits
+    );
     server.shutdown();
 
     // --- saturation arm: tiny server, concurrent flood, expect sheds.

@@ -8,7 +8,60 @@
 //! state.
 
 use crate::hamiltonian::TransitionHamiltonian;
+use rasengan_qsim::{SparseState, Transition};
 use std::ops::Range;
+
+/// One transition operator compiled for repeated execution: the mask
+/// form plus the per-shot metadata (`support`, CX cost) that the noisy
+/// trajectory loop previously recomputed — and re-allocated — on every
+/// shot.
+#[derive(Clone, Debug)]
+pub struct CompiledTransition {
+    /// Mask-form transition applied to the sparse state.
+    pub transition: Transition,
+    /// Sorted qubits the operator touches (noise attachment points).
+    pub support: Vec<usize>,
+    /// CX cost of one hardware execution (`34k` model) — the number of
+    /// depolarizing noise rolls attached after the operator.
+    pub cx_cost: usize,
+}
+
+/// A segment compiled once per [`SegmentPlan`] entry and executed across
+/// all shots and trajectories: the solver's analogue of
+/// `rasengan_qsim::exec::Program` for transition chains. Evolution
+/// angles stay per-call parameters (they change across segments'
+/// repeated applications), but masks, supports, and costs are fixed.
+#[derive(Clone, Debug)]
+pub struct SegmentProgram {
+    /// Compiled operators, in chain order.
+    pub ops: Vec<CompiledTransition>,
+}
+
+impl SegmentProgram {
+    /// Compiles the operators of one segment.
+    pub fn compile(ops: &[TransitionHamiltonian]) -> Self {
+        SegmentProgram {
+            ops: ops
+                .iter()
+                .map(|h| CompiledTransition {
+                    transition: h.transition().clone(),
+                    support: h.support(),
+                    cx_cost: h.cx_cost(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Applies the whole segment noise-free with a shared angle `t`,
+    /// precomputing the mixing constants once for all operators.
+    pub fn apply_all(&self, state: &mut SparseState, t: f64) {
+        let cos = rasengan_qsim::Complex::from(t.cos());
+        let misin = rasengan_qsim::Complex::new(0.0, -t.sin());
+        for op in &self.ops {
+            state.apply_transition_with(&op.transition, cos, misin);
+        }
+    }
+}
 
 /// How the chain is split into segments.
 #[derive(Clone, Debug, PartialEq, Eq)]

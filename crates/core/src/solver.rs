@@ -20,7 +20,7 @@ use crate::purify::purify_distribution;
 use crate::resilience::{
     BudgetKind, DegradeFallback, ResilienceConfig, ResilienceEvent, ResilienceReport, Stage,
 };
-use crate::segment::{apportion_shots, plan_segments, single_segment, SegmentPlan};
+use crate::segment::{apportion_shots, plan_segments, single_segment, SegmentPlan, SegmentProgram};
 use crate::simplify::simplify_basis;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,10 +29,13 @@ use rasengan_optim::{Cobyla, NelderMead, Optimizer, Spsa};
 use rasengan_problems::{optimum, Problem};
 use rasengan_qsim::fault::{FaultKind, FaultPlan};
 use rasengan_qsim::mitigation::{mitigate_readout, ReadoutModel};
-use rasengan_qsim::noise::{apply_gate_noise_sparse, apply_readout_error};
+use rasengan_qsim::noise::{
+    apply_gate_noise_sparse, apply_gate_noise_sparse_fused, apply_readout_error,
+    run_noise_slots_sparse,
+};
 use rasengan_qsim::parallel::{derive_seed, par_map, resolve_threads};
 use rasengan_qsim::sparse::label_from_bits;
-use rasengan_qsim::{Device, Label, NoiseModel, SparseState};
+use rasengan_qsim::{Complex, Device, Label, NoiseModel, SparseState};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -105,6 +108,12 @@ pub struct RasenganConfig {
     /// deterministic fault-injection plan. All defaults are off, which
     /// reproduces the pre-resilience solver byte-for-byte.
     pub resilience: ResilienceConfig,
+    /// Execute compiled segment programs (precomputed transitions,
+    /// supports, mixing constants) instead of re-deriving them per shot.
+    /// The fused path is bit-identical to the gate-by-gate path; `false`
+    /// (CLI `--no-fuse`) keeps the legacy path alive for differential
+    /// testing.
+    pub fuse: bool,
 }
 
 impl Default for RasenganConfig {
@@ -129,6 +138,7 @@ impl Default for RasenganConfig {
             final_segment_shot_boost: 1,
             threads: None,
             resilience: ResilienceConfig::default(),
+            fuse: true,
         }
     }
 }
@@ -253,6 +263,15 @@ impl RasenganConfig {
     /// Arms a deterministic fault-injection plan (builder style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.resilience.fault_plan = Some(plan);
+        self
+    }
+
+    /// Disables compiled-program execution, running the legacy
+    /// gate-by-gate/per-shot-recompute path (builder style). Results are
+    /// bit-identical either way; this exists for differential testing
+    /// and perf comparison.
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
         self
     }
 
@@ -435,6 +454,12 @@ pub struct Prepared {
     pub chain: Chain,
     /// The segmentation plan.
     pub plan: SegmentPlan,
+    /// One compiled program per plan segment (precomputed transitions,
+    /// supports, CX costs), reused across every shot, evaluation, and —
+    /// through the serve layer's compile cache — every request sharing
+    /// this compile. Empty only for hand-built `Prepared` values; the
+    /// executor falls back to the gate-by-gate path in that case.
+    pub programs: Vec<SegmentProgram>,
     /// Seed feasible basis state.
     pub seed_label: Label,
     /// Structural statistics.
@@ -549,10 +574,16 @@ impl Rasengan {
             n_params: chain.n_params(),
             simplify_cost,
         };
+        let programs = plan
+            .segments
+            .iter()
+            .map(|r| SegmentProgram::compile(&chain.ops[r.clone()]))
+            .collect();
         Ok(Prepared {
             basis,
             chain,
             plan,
+            programs,
             seed_label,
             stats,
         })
@@ -1047,6 +1078,11 @@ fn execute(
 
         let ops = &prepared.chain.ops[range.clone()];
         let times = &params[range.clone()];
+        // Compiled program for this segment, when fusion is on and the
+        // `Prepared` carries one per segment (always true for values
+        // from `prepare()`; hand-built ones may omit them).
+        let program = (cfg.fuse && prepared.programs.len() == n_segments)
+            .then(|| &prepared.programs[seg_idx]);
         let cx_depth: usize = ops.iter().map(|o| o.cx_cost()).sum();
         let shots = shots.map(|s| {
             if seg_idx + 1 == n_segments {
@@ -1067,10 +1103,23 @@ fn execute(
                 // runs sequentially in input order so the floating-point
                 // accumulation order is fixed.
                 let inputs: Vec<(Label, f64)> = dist.iter().map(|(&l, &p)| (l, p)).collect();
+                // With a compiled program the mixing constants are
+                // evaluated once per segment instead of once per input
+                // label per operator; the products are bit-identical.
+                let consts = program.map(|prog| mixing_constants(prog, times));
                 let locals = par_map(&inputs, threads, |_, &(label, _)| {
                     let mut state = SparseState::basis_state(problem.n_vars(), label);
-                    for (op, &t) in ops.iter().zip(times) {
-                        op.apply(&mut state, t);
+                    match (program, &consts) {
+                        (Some(prog), Some(consts)) => {
+                            for (ct, &(cos, misin)) in prog.ops.iter().zip(consts) {
+                                state.apply_transition_with(&ct.transition, cos, misin);
+                            }
+                        }
+                        _ => {
+                            for (op, &t) in ops.iter().zip(times) {
+                                op.apply(&mut state, t);
+                            }
+                        }
                     }
                     state.distribution()
                 });
@@ -1123,6 +1172,7 @@ fn execute(
                         problem,
                         ops,
                         times,
+                        program,
                         cfg,
                         threads,
                         plan,
@@ -1267,6 +1317,7 @@ fn run_segment_shots(
     problem: &Problem,
     ops: &[crate::hamiltonian::TransitionHamiltonian],
     times: &[f64],
+    program: Option<&SegmentProgram>,
     cfg: &RasenganConfig,
     threads: usize,
     plan: Option<&FaultPlan>,
@@ -1345,9 +1396,17 @@ fn run_segment_shots(
                 next_stream += 1;
             }
         }
+        // Mixing constants shared by every trajectory of the attempt
+        // (the unfused path recomputes them per shot per operator).
+        let consts = program.map(|prog| mixing_constants(prog, times));
         let labels = par_map(&jobs, threads, |_, &(input, stream)| {
             let mut rng = StdRng::seed_from_u64(derive_seed(seed, stream));
-            let label = run_noisy_trajectory(n_vars, input, ops, times, &noise, &mut rng);
+            let label = match (program, &consts) {
+                (Some(prog), Some(consts)) => {
+                    run_noisy_trajectory_fused(n_vars, input, prog, consts, &noise, &mut rng)
+                }
+                _ => run_noisy_trajectory(n_vars, input, ops, times, &noise, &mut rng),
+            };
             match burst {
                 Some(rate) => apply_readout_error(label, n_vars, rate, &mut rng),
                 None => label,
@@ -1383,11 +1442,21 @@ fn run_segment_shots(
             jobs.push((input, share, next_stream));
             next_stream += 1;
         }
+        let consts = program.map(|prog| mixing_constants(prog, times));
         let sampled = par_map(&jobs, threads, |_, &(input, share, stream)| {
             let mut rng = StdRng::seed_from_u64(derive_seed(seed, stream));
             let mut state = SparseState::basis_state(n_vars, input);
-            for (op, &t) in ops.iter().zip(times) {
-                op.apply(&mut state, t);
+            match (program, &consts) {
+                (Some(prog), Some(consts)) => {
+                    for (ct, &(cos, misin)) in prog.ops.iter().zip(consts) {
+                        state.apply_transition_with(&ct.transition, cos, misin);
+                    }
+                }
+                _ => {
+                    for (op, &t) in ops.iter().zip(times) {
+                        op.apply(&mut state, t);
+                    }
+                }
             }
             let batch = state.sample(share, &mut rng);
             match burst {
@@ -1462,6 +1531,56 @@ fn run_noisy_trajectory(
                 apply_gate_noise_sparse(&mut state, &slot, 0.0, &damping_only, rng);
             }
         }
+    }
+
+    let label = state.sample_one(rng);
+    apply_readout_error(label, n, noise.readout, rng)
+}
+
+/// Evaluates each operator's Eq. 6 mixing constants `(cos t, −i·sin t)`
+/// once per segment attempt; the unfused path re-evaluates them inside
+/// every shot. Same inputs, same operations — bit-identical values.
+fn mixing_constants(prog: &SegmentProgram, times: &[f64]) -> Vec<(Complex, Complex)> {
+    prog.ops
+        .iter()
+        .zip(times)
+        .map(|(_, &t)| (Complex::from(t.cos()), Complex::new(0.0, -t.sin())))
+        .collect()
+}
+
+/// [`run_noisy_trajectory`] over a compiled [`SegmentProgram`]: the
+/// transition masks, supports, and CX costs are precomputed at prepare
+/// time and the mixing constants come in from the caller, so the
+/// per-shot loop allocates almost nothing. Every RNG draw happens at
+/// the same point with the same distribution as the unfused path,
+/// `apply_transition_with` receives identical constants, and each
+/// operator's noise-slot loop runs over a flat support snapshot with
+/// folded damping ([`run_noise_slots_sparse`]: two contiguous passes
+/// per slot instead of four hash-map passes per channel) — equal to the
+/// unfused channels up to the same last-ulp reassociation the two
+/// paths' distinct hash maps already exhibit, which the bitwise
+/// fused-vs-unfused solve tests bound at the measured-counts level.
+fn run_noisy_trajectory_fused(
+    n: usize,
+    input: Label,
+    prog: &SegmentProgram,
+    consts: &[(Complex, Complex)],
+    noise: &NoiseModel,
+    rng: &mut StdRng,
+) -> Label {
+    let mut state = SparseState::basis_state(n, input);
+    // State-preparation X column. The per-qubit noise channel treats
+    // each qubit independently, so feeding set bits one at a time
+    // consumes the RNG exactly like the old collected-Vec call.
+    for q in 0..n {
+        if input >> q & 1 == 1 {
+            apply_gate_noise_sparse_fused(&mut state, &[q], noise.p1, noise, rng);
+        }
+    }
+
+    for (ct, &(cos, misin)) in prog.ops.iter().zip(consts) {
+        state.apply_transition_with(&ct.transition, cos, misin);
+        run_noise_slots_sparse(&mut state, &ct.support, ct.cx_cost, noise.p2, noise, rng);
     }
 
     let label = state.sample_one(rng);
@@ -1758,6 +1877,40 @@ mod tests {
         assert_eq!(a.total_shots, b.total_shots);
         // The reused compile pays no prepare time on this run.
         assert_eq!(b.latency.stages.prepare_s, 0.0);
+    }
+
+    #[test]
+    fn fused_solve_matches_unfused_bitwise() {
+        // The compiled-program executor must leave every RNG stream and
+        // every floating-point operation sequence untouched: a noisy
+        // solve with fusion on is byte-identical to `--no-fuse`.
+        let base = RasenganConfig::default()
+            .with_seed(9)
+            .with_noise(NoiseModel::ibm_like(1e-3, 5e-3, 0.01).with_amplitude_damping(2e-3))
+            .with_shots(96)
+            .with_max_iterations(8);
+        let fused = Rasengan::new(base.clone()).solve(&j1()).unwrap();
+        let unfused = Rasengan::new(base.without_fusion()).solve(&j1()).unwrap();
+        assert_eq!(fused.distribution, unfused.distribution);
+        assert_eq!(fused.expectation, unfused.expectation);
+        assert_eq!(fused.trained_times, unfused.trained_times);
+        assert_eq!(fused.total_shots, unfused.total_shots);
+    }
+
+    #[test]
+    fn prepare_compiles_one_program_per_segment() {
+        let prepared = Rasengan::new(RasenganConfig::default())
+            .prepare(&j1())
+            .unwrap();
+        assert_eq!(prepared.programs.len(), prepared.plan.len());
+        for (prog, range) in prepared.programs.iter().zip(&prepared.plan.segments) {
+            assert_eq!(prog.ops.len(), range.len());
+            for (ct, op) in prog.ops.iter().zip(&prepared.chain.ops[range.clone()]) {
+                assert_eq!(&ct.transition, op.transition());
+                assert_eq!(ct.support, op.support());
+                assert_eq!(ct.cx_cost, op.cx_cost());
+            }
+        }
     }
 
     #[test]

@@ -110,6 +110,12 @@ impl DenseState {
         &self.amps
     }
 
+    /// Mutable access to the raw amplitude vector (fused kernels in
+    /// [`crate::exec`] swap in their scratch buffer).
+    pub(crate) fn amps_vec_mut(&mut self) -> &mut Vec<Complex> {
+        &mut self.amps
+    }
+
     /// Applies every gate of `circuit` in order.
     pub fn run(&mut self, circuit: &Circuit) {
         assert_eq!(
@@ -149,7 +155,14 @@ impl DenseState {
         }
     }
 
-    fn apply_1q(&mut self, q: usize, m: [Complex; 4]) {
+    /// Resets the buffer to `|0…0⟩` without reallocating (trajectory
+    /// runners reuse one state across shots).
+    pub(crate) fn reset_zero(&mut self) {
+        self.amps.fill(Complex::ZERO);
+        self.amps[0] = Complex::ONE;
+    }
+
+    pub(crate) fn apply_1q(&mut self, q: usize, m: [Complex; 4]) {
         let mask = 1usize << q;
         // Chunks are aligned to 2^(q+1), so every (i, i|mask) pair lives
         // inside one chunk and threads never share an amplitude.
@@ -167,7 +180,7 @@ impl DenseState {
     }
 
     /// Applies `diag(p0, p1)` on qubit `q`.
-    fn apply_phase_pair(&mut self, q: usize, p0: Complex, p1: Complex) {
+    pub(crate) fn apply_phase_pair(&mut self, q: usize, p0: Complex, p1: Complex) {
         let mask = 1usize << q;
         par_chunks_aligned(&mut self.amps, 1, PAR_MIN_AMPS, |base, chunk| {
             for (i, a) in chunk.iter_mut().enumerate() {
@@ -178,7 +191,10 @@ impl DenseState {
 
     fn apply_controlled_x(&mut self, controls: &[usize], target: usize) {
         let cmask: usize = controls.iter().map(|&c| 1usize << c).sum();
-        let tmask = 1usize << target;
+        self.apply_controlled_x_masks(cmask, 1usize << target);
+    }
+
+    pub(crate) fn apply_controlled_x_masks(&mut self, cmask: usize, tmask: usize) {
         par_chunks_aligned(&mut self.amps, tmask << 1, PAR_MIN_AMPS, |base, chunk| {
             for i in 0..chunk.len() {
                 let g = base + i;
@@ -192,7 +208,10 @@ impl DenseState {
     fn apply_controlled_phase(&mut self, controls: &[usize], target: usize, theta: f64) {
         let mut mask: usize = controls.iter().map(|&c| 1usize << c).sum();
         mask |= 1usize << target;
-        let phase = Complex::cis(theta);
+        self.apply_controlled_phase_masks(mask, Complex::cis(theta));
+    }
+
+    pub(crate) fn apply_controlled_phase_masks(&mut self, mask: usize, phase: Complex) {
         par_chunks_aligned(&mut self.amps, 1, PAR_MIN_AMPS, |base, chunk| {
             for (i, a) in chunk.iter_mut().enumerate() {
                 if (base + i) & mask == mask {
@@ -203,7 +222,10 @@ impl DenseState {
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
-        let (ma, mb) = (1usize << a, 1usize << b);
+        self.apply_swap_masks(1usize << a, 1usize << b);
+    }
+
+    pub(crate) fn apply_swap_masks(&mut self, ma: usize, mb: usize) {
         // Swapped labels agree above bit max(a, b), so chunks aligned to
         // the larger mask keep both members of each pair together.
         let unit = ma.max(mb) << 1;
@@ -221,6 +243,10 @@ impl DenseState {
         let (ma, mb) = (1usize << a, 1usize << b);
         let minus = Complex::cis(-theta / 2.0);
         let plus = Complex::cis(theta / 2.0);
+        self.apply_rzz_masks(ma, mb, minus, plus);
+    }
+
+    pub(crate) fn apply_rzz_masks(&mut self, ma: usize, mb: usize, minus: Complex, plus: Complex) {
         par_chunks_aligned(&mut self.amps, 1, PAR_MIN_AMPS, |base, chunk| {
             for (i, amp) in chunk.iter_mut().enumerate() {
                 let g = base + i;
@@ -313,28 +339,50 @@ impl DenseState {
         }
         counts
     }
+
+    /// Draws one measurement outcome without building the cumulative
+    /// table [`Self::sample`] allocates. The norm is accumulated in the
+    /// same left-to-right order and the outcome resolved by the same
+    /// "first prefix sum exceeding `r`" rule, so for a given RNG state
+    /// this returns exactly the label `sample(1, rng)` would, with
+    /// identical RNG consumption (one draw).
+    pub fn sample_one(&self, rng: &mut impl Rng) -> u64 {
+        let mut norm = 0.0f64;
+        for a in &self.amps {
+            norm += a.norm_sqr();
+        }
+        let r: f64 = rng.gen::<f64>() * norm;
+        let mut acc = 0.0f64;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if acc > r {
+                return i as u64;
+            }
+        }
+        (self.amps.len() - 1) as u64
+    }
 }
 
-fn x_matrix() -> [Complex; 4] {
+pub(crate) fn x_matrix() -> [Complex; 4] {
     [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO]
 }
 
-fn y_matrix() -> [Complex; 4] {
+pub(crate) fn y_matrix() -> [Complex; 4] {
     [Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO]
 }
 
-fn h_matrix() -> [Complex; 4] {
+pub(crate) fn h_matrix() -> [Complex; 4] {
     let s = Complex::from(std::f64::consts::FRAC_1_SQRT_2);
     [s, s, s, -s]
 }
 
-fn rx_matrix(theta: f64) -> [Complex; 4] {
+pub(crate) fn rx_matrix(theta: f64) -> [Complex; 4] {
     let c = Complex::from((theta / 2.0).cos());
     let s = Complex::new(0.0, -(theta / 2.0).sin());
     [c, s, s, c]
 }
 
-fn ry_matrix(theta: f64) -> [Complex; 4] {
+pub(crate) fn ry_matrix(theta: f64) -> [Complex; 4] {
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
     [
@@ -392,6 +440,30 @@ mod tests {
             })
             .sum();
         assert!(chi2 < 10.8, "chi-squared {chi2} too large for skewed state");
+    }
+
+    #[test]
+    fn sample_one_matches_sample_single_shot() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).rx(2, 0.7);
+        let s = DenseState::from_circuit(&c);
+        for seed in 0..50 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let via_sample = *s.sample(1, &mut a).iter().next().unwrap().0;
+            assert_eq!(s.sample_one(&mut b), via_sample);
+            // Both must consume exactly one draw.
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn reset_zero_restores_initial_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut s = DenseState::from_circuit(&c);
+        s.reset_zero();
+        assert_eq!(s, DenseState::zero_state(2));
     }
 
     #[test]

@@ -62,9 +62,85 @@ pub enum Gate {
     },
 }
 
+/// A gate's qubit list, stored inline for gates touching at most four
+/// qubits (every gate except wide `Mcp`/`Mcx`). Dereferences to
+/// `&[usize]`, so it drops into every place the old `Vec<usize>` went —
+/// but the hot trajectory loops no longer allocate per gate.
+#[derive(Clone, Debug)]
+pub enum Qubits {
+    /// Up to four qubit indices stored inline (`buf[..len]`).
+    Inline([usize; 4], usize),
+    /// Spill storage for multi-controlled gates with > 3 controls.
+    Heap(Vec<usize>),
+}
+
+impl Qubits {
+    /// The qubit indices as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        match self {
+            Qubits::Inline(buf, len) => &buf[..*len],
+            Qubits::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for Qubits {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Qubits {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<usize>> for Qubits {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl IntoIterator for Qubits {
+    type Item = usize;
+    type IntoIter = QubitsIter;
+
+    fn into_iter(self) -> QubitsIter {
+        QubitsIter { qs: self, next: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a Qubits {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Owning iterator over a gate's qubit indices.
+pub struct QubitsIter {
+    qs: Qubits,
+    next: usize,
+}
+
+impl Iterator for QubitsIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let item = self.qs.as_slice().get(self.next).copied();
+        self.next += 1;
+        item
+    }
+}
+
 impl Gate {
     /// The qubits this gate touches, in canonical order.
-    pub fn qubits(&self) -> Vec<usize> {
+    pub fn qubits(&self) -> Qubits {
         match self {
             Gate::X(q)
             | Gate::Y(q)
@@ -73,23 +149,41 @@ impl Gate {
             | Gate::Rx(q, _)
             | Gate::Ry(q, _)
             | Gate::Rz(q, _)
-            | Gate::Phase(q, _) => vec![*q],
-            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![*a, *b],
-            Gate::Rzz(a, b, _) | Gate::Cp(a, b, _) => vec![*a, *b],
+            | Gate::Phase(q, _) => Qubits::Inline([*q, 0, 0, 0], 1),
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => Qubits::Inline([*a, *b, 0, 0], 2),
+            Gate::Rzz(a, b, _) | Gate::Cp(a, b, _) => Qubits::Inline([*a, *b, 0, 0], 2),
             Gate::Mcp {
                 controls, target, ..
             }
             | Gate::Mcx { controls, target } => {
-                let mut qs = controls.clone();
-                qs.push(*target);
-                qs
+                if controls.len() <= 3 {
+                    let mut buf = [0usize; 4];
+                    buf[..controls.len()].copy_from_slice(controls);
+                    buf[controls.len()] = *target;
+                    Qubits::Inline(buf, controls.len() + 1)
+                } else {
+                    let mut qs = controls.clone();
+                    qs.push(*target);
+                    Qubits::Heap(qs)
+                }
             }
         }
     }
 
     /// Number of qubits the gate acts on.
     pub fn arity(&self) -> usize {
-        self.qubits().len()
+        match self {
+            Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::H(_)
+            | Gate::Rx(..)
+            | Gate::Ry(..)
+            | Gate::Rz(..)
+            | Gate::Phase(..) => 1,
+            Gate::Cx(..) | Gate::Cz(..) | Gate::Swap(..) | Gate::Rzz(..) | Gate::Cp(..) => 2,
+            Gate::Mcp { controls, .. } | Gate::Mcx { controls, .. } => controls.len() + 1,
+        }
     }
 
     /// Whether the gate entangles two or more qubits (the depth metric
@@ -192,6 +286,21 @@ mod tests {
         assert_eq!(mcp.arity(), 3);
         assert!(mcp.is_multi_qubit());
         assert!(!Gate::H(0).is_multi_qubit());
+    }
+
+    #[test]
+    fn wide_mcx_spills_to_heap() {
+        let mcx = Gate::Mcx {
+            controls: vec![0, 1, 2, 3, 4],
+            target: 5,
+        };
+        assert_eq!(mcx.qubits(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(mcx.arity(), 6);
+        assert!(matches!(mcx.qubits(), Qubits::Heap(_)));
+        // Owning iteration yields the same order as the slice view.
+        let collected: Vec<usize> = mcx.qubits().into_iter().collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4, 5]);
+        assert!(matches!(Gate::Cx(0, 1).qubits(), Qubits::Inline(_, 2)));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`SparseState`] — sparse basis-state simulation with analytic
 //!   transition operators ([`Transition`]), exact for Rasengan/Choco-Q
 //!   circuits at 100+ qubits.
+//! * [`exec`] — compiled circuit programs: gate fusion (1-qubit matrix
+//!   runs, diagonal-phase runs, label-permutation runs) for
+//!   compile-once/execute-many workloads such as trajectory sampling.
 //! * [`noise`] — trajectory-sampled depolarizing, amplitude-damping,
 //!   phase-damping, and readout channels.
 //! * [`parallel`] — deterministic scoped-thread parallelism (derived
@@ -58,6 +61,7 @@ pub mod dense;
 pub mod density;
 pub mod device;
 pub mod draw;
+pub mod exec;
 pub mod fault;
 pub mod gate;
 pub mod mitigation;
@@ -74,6 +78,7 @@ pub use circuit::Circuit;
 pub use complex::Complex;
 pub use dense::DenseState;
 pub use device::Device;
+pub use exec::{DenseTrajectoryRunner, Program};
 pub use fault::{FaultKind, FaultPlan};
 pub use gate::Gate;
 pub use noise::NoiseModel;

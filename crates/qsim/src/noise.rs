@@ -11,6 +11,7 @@
 //! states to basis states, and damping jumps are projections — which is
 //! what lets the noisy Rasengan experiments scale.
 
+use crate::complex::Complex;
 use crate::dense::DenseState;
 use crate::gate::Gate;
 use crate::sparse::{Label, SparseState};
@@ -345,6 +346,413 @@ fn population_sparse(state: &SparseState, q: usize) -> f64 {
     state.population(q)
 }
 
+/// [`apply_gate_noise_sparse`] for the compiled (fused) trajectory
+/// paths: identical channels at identical RNG draw points, with each
+/// qubit's damping folded through [`apply_damping_slot_sparse`].
+pub fn apply_gate_noise_sparse_fused(
+    state: &mut SparseState,
+    qubits: &[usize],
+    p: f64,
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+) {
+    for &q in qubits {
+        if p > 0.0 && rng.gen::<f64>() < p {
+            let g = match sample_pauli(rng) {
+                Pauli::X => Gate::X(q),
+                Pauli::Y => Gate::Y(q),
+                Pauli::Z => Gate::Z(q),
+            };
+            state.apply(&g).expect("Pauli gates are always sparse-safe");
+        }
+        apply_damping_slot_sparse(state, &[q], noise, rng);
+    }
+}
+
+/// Folded damping channels for one noise slot (one or two qubits) on
+/// the compiled trajectory path.
+///
+/// Equivalent to [`amplitude_damping_sparse`] then
+/// [`phase_damping_sparse`] per qubit in slot order — the sequence
+/// [`apply_gate_noise_sparse`] runs with `p = 0` — with the same RNG
+/// draw points: each channel rolls iff its jump probability is nonzero.
+/// The no-jump branches (overwhelmingly likely at calibrated rates) are
+/// plain rescalings of the four `(qubit_a, qubit_b)` population
+/// classes, so the fold computes the class masses in one read pass,
+/// walks every channel's threshold in that 4-element mass space, and
+/// applies the accumulated per-class factors in one write pass — versus
+/// the unfused path's four support passes per channel. Thresholds match
+/// the unfused path's population sums to rounding (the same last-ulp
+/// order the two paths' distinct hash maps already exhibit); a channel
+/// that does jump materializes the no-jump prefix and falls back to the
+/// exact per-channel sequence from that point.
+pub fn apply_damping_slot_sparse(
+    state: &mut SparseState,
+    qubits: &[usize],
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+) {
+    debug_assert!(matches!(qubits.len(), 1 | 2), "a slot has 1 or 2 qubits");
+    let gamma = noise.amplitude_damping;
+    let lambda = noise.phase_damping;
+    if gamma <= 0.0 && lambda <= 0.0 {
+        return;
+    }
+    let ma: Label = 1 << qubits[0];
+    let mb: Label = if qubits.len() == 2 { 1 << qubits[1] } else { 0 };
+    let class_of = |l: Label| ((l & ma != 0) as usize) | (((l & mb != 0) as usize) << 1);
+
+    // Class masses in one pass over the support.
+    let mut m = [0.0f64; 4];
+    for (l, a) in state.amps.iter() {
+        m[class_of(*l)] += a.norm_sqr();
+    }
+
+    let mut factors = [1.0f64; 4];
+    for (ci, &q) in qubits.iter().enumerate() {
+        let sel = 1usize << ci;
+        for is_amp in [true, false] {
+            let rate = if is_amp { gamma } else { lambda };
+            if rate <= 0.0 {
+                continue;
+            }
+            let pop = if sel == 1 { m[1] + m[3] } else { m[2] + m[3] };
+            let p_jump = rate * pop;
+            if p_jump > 0.0 && rng.gen::<f64>() < p_jump {
+                // Jump: materialize the prefix, take the exact branch,
+                // then run the remaining channels unfolded.
+                apply_class_factors(state, class_of, &factors);
+                state.project_qubit(q, true);
+                if is_amp {
+                    state.apply(&Gate::X(q)).expect("X is always sparse-safe");
+                    if lambda > 0.0 {
+                        phase_damping_sparse(state, q, lambda, rng);
+                    }
+                }
+                for &q2 in &qubits[ci + 1..] {
+                    if gamma > 0.0 {
+                        amplitude_damping_sparse(state, q2, gamma, rng);
+                    }
+                    if lambda > 0.0 {
+                        phase_damping_sparse(state, q2, lambda, rng);
+                    }
+                }
+                return;
+            }
+            // No jump: scale the qubit's |1⟩ classes, renormalize (by
+            // reciprocal multiply, the same form `normalize` uses).
+            let keep = 1.0 - rate;
+            for i in 0..4 {
+                if i & sel != 0 {
+                    m[i] *= keep;
+                    factors[i] *= keep;
+                }
+            }
+            let inv = 1.0 / (m[0] + m[1] + m[2] + m[3]);
+            for i in 0..4 {
+                m[i] *= inv;
+                factors[i] *= inv;
+            }
+        }
+    }
+    apply_class_factors(state, class_of, &factors);
+}
+
+/// Applies accumulated mass-space class factors as amplitude scalings
+/// (one write pass; amplitude factor = √mass factor).
+fn apply_class_factors(
+    state: &mut SparseState,
+    class_of: impl Fn(Label) -> usize,
+    factors: &[f64; 4],
+) {
+    if *factors == [1.0; 4] {
+        return;
+    }
+    let f = [
+        factors[0].sqrt(),
+        factors[1].sqrt(),
+        factors[2].sqrt(),
+        factors[3].sqrt(),
+    ];
+    for (l, a) in state.amps.iter_mut() {
+        *a = a.scale(f[class_of(*l)]);
+    }
+}
+
+/// Runs one transition operator's whole noise-slot loop — `slots`
+/// iterations of the per-CX depolarizing roll plus the random-operand
+/// damping slot — over a flat snapshot of the support.
+///
+/// Per slot this is equivalent to the unfused sequence (a `p2` roll
+/// applying a uniform Pauli on a random support qubit via
+/// [`apply_gate_noise_sparse`] with `p = 1`, then
+/// [`apply_damping_slot_sparse`] on a random operand pair) with RNG
+/// draws at identical points. The win is memory traffic: none of the
+/// slot channels grow the support (Pauli events permute labels, damping
+/// branches rescale or project), so the hash map is flattened into a
+/// contiguous `Vec` once per call and rebuilt once at the end, and the
+/// hundreds of per-slot passes walk the `Vec` instead of re-iterating
+/// hash buckets. Population sums reassociate relative to map order —
+/// the same last-ulp class of drift the fused path's distinct hash maps
+/// already exhibit.
+pub fn run_noise_slots_sparse(
+    state: &mut SparseState,
+    support: &[usize],
+    slots: usize,
+    p2: f64,
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+) {
+    let gamma = noise.amplitude_damping;
+    let lambda = noise.phase_damping;
+    let damping = gamma > 0.0 || lambda > 0.0;
+    if slots == 0 || support.is_empty() || (p2 <= 0.0 && !damping) {
+        return;
+    }
+    let mut flat: Vec<(Label, Complex)> = state.amps.iter().map(|(&l, &a)| (l, a)).collect();
+    // A slot's accumulated class factors are applied lazily: the next
+    // slot's mass pass scales each amplitude as it reads it, so the
+    // steady state is one pass per slot instead of read + write. The
+    // arithmetic per amplitude is identical (scale, then norm), so the
+    // deferral is bit-exact versus eager application.
+    let mut pend: Option<(Label, Label, [f64; 4])> = None;
+    for _ in 0..slots {
+        if p2 > 0.0 && rng.gen::<f64>() < p2 {
+            let q = support[rng.gen_range(0..support.len())];
+            // `apply_gate_noise_sparse` with `p = 1` draws its roll
+            // (always below 1) and applies the sampled Pauli. Pending
+            // class factors key off current labels, so flush before
+            // the labels move.
+            let _roll: f64 = rng.gen();
+            flush_pending(&mut flat, &mut pend);
+            flat_pauli(&mut flat, sample_pauli(rng), 1 << q);
+        }
+        if damping {
+            let a = support[rng.gen_range(0..support.len())];
+            let b = support[rng.gen_range(0..support.len())];
+            let mb = if b == a { 0 } else { 1 << b };
+            flat_damping_slot(&mut flat, 1 << a, mb, noise, rng, &mut pend);
+        }
+    }
+    flush_pending(&mut flat, &mut pend);
+    state.amps.clear();
+    state.amps.extend(flat);
+}
+
+/// Applies deferred per-class amplitude factors from the previous
+/// damping slot (`(ma, mb, √mass-factors)`).
+fn flush_pending(flat: &mut [(Label, Complex)], pend: &mut Option<(Label, Label, [f64; 4])>) {
+    if let Some((ma, mb, f)) = pend.take() {
+        let class_of = |l: Label| ((l & ma != 0) as usize) | (((l & mb != 0) as usize) << 1);
+        for (l, a) in flat.iter_mut() {
+            *a = a.scale(f[class_of(*l)]);
+        }
+    }
+}
+
+/// [`apply_damping_slot_sparse`]'s mass-space fold on a flat support
+/// snapshot (`mb == 0` for a single-qubit slot). Consumes any deferred
+/// factors from the previous slot during its mass pass and defers its
+/// own factors into `pend` instead of writing them eagerly.
+fn flat_damping_slot(
+    flat: &mut Vec<(Label, Complex)>,
+    ma: Label,
+    mb: Label,
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+    pend: &mut Option<(Label, Label, [f64; 4])>,
+) {
+    let gamma = noise.amplitude_damping;
+    let lambda = noise.phase_damping;
+    let class_of = |l: Label| ((l & ma != 0) as usize) | (((l & mb != 0) as usize) << 1);
+    let mut m = [0.0f64; 4];
+    if let Some((pa, pb, pf)) = pend.take() {
+        let pclass = |l: Label| ((l & pa != 0) as usize) | (((l & pb != 0) as usize) << 1);
+        for (l, a) in flat.iter_mut() {
+            *a = a.scale(pf[pclass(*l)]);
+            m[class_of(*l)] += a.norm_sqr();
+        }
+    } else {
+        for (l, a) in flat.iter() {
+            m[class_of(*l)] += a.norm_sqr();
+        }
+    }
+    let mut factors = [1.0f64; 4];
+    let masks = [ma, mb];
+    let n_ch = if mb != 0 { 2 } else { 1 };
+    for (ci, &mask) in masks[..n_ch].iter().enumerate() {
+        let sel = 1usize << ci;
+        for is_amp in [true, false] {
+            let rate = if is_amp { gamma } else { lambda };
+            if rate <= 0.0 {
+                continue;
+            }
+            let pop = if sel == 1 { m[1] + m[3] } else { m[2] + m[3] };
+            let p_jump = rate * pop;
+            if p_jump > 0.0 && rng.gen::<f64>() < p_jump {
+                // Jump: materialize the prefix, take the exact branch,
+                // then run the remaining channels unfolded.
+                flat_class_factors(flat, class_of, &factors);
+                flat_project_one(flat, mask);
+                if is_amp {
+                    for (l, _) in flat.iter_mut() {
+                        *l ^= mask;
+                    }
+                    if lambda > 0.0 {
+                        flat_phase_damping(flat, mask, lambda, rng);
+                    }
+                }
+                for &m2 in &masks[ci + 1..n_ch] {
+                    if gamma > 0.0 {
+                        flat_amp_damping(flat, m2, gamma, rng);
+                    }
+                    if lambda > 0.0 {
+                        flat_phase_damping(flat, m2, lambda, rng);
+                    }
+                }
+                return;
+            }
+            let keep = 1.0 - rate;
+            for i in 0..4 {
+                if i & sel != 0 {
+                    m[i] *= keep;
+                    factors[i] *= keep;
+                }
+            }
+            let inv = 1.0 / (m[0] + m[1] + m[2] + m[3]);
+            for i in 0..4 {
+                m[i] *= inv;
+                factors[i] *= inv;
+            }
+        }
+    }
+    if factors != [1.0; 4] {
+        *pend = Some((
+            ma,
+            mb,
+            [
+                factors[0].sqrt(),
+                factors[1].sqrt(),
+                factors[2].sqrt(),
+                factors[3].sqrt(),
+            ],
+        ));
+    }
+}
+
+/// [`apply_class_factors`] on a flat snapshot.
+fn flat_class_factors(
+    flat: &mut [(Label, Complex)],
+    class_of: impl Fn(Label) -> usize,
+    factors: &[f64; 4],
+) {
+    if *factors == [1.0; 4] {
+        return;
+    }
+    let f = [
+        factors[0].sqrt(),
+        factors[1].sqrt(),
+        factors[2].sqrt(),
+        factors[3].sqrt(),
+    ];
+    for (l, a) in flat.iter_mut() {
+        *a = a.scale(f[class_of(*l)]);
+    }
+}
+
+/// A uniform Pauli on a flat snapshot (matching [`SparseState::apply`]
+/// semantics: `Y` phases by `±i` from the prior bit value).
+fn flat_pauli(flat: &mut [(Label, Complex)], pauli: Pauli, mask: Label) {
+    match pauli {
+        Pauli::X => {
+            for (l, _) in flat.iter_mut() {
+                *l ^= mask;
+            }
+        }
+        Pauli::Y => {
+            for (l, a) in flat.iter_mut() {
+                *a *= if *l & mask == 0 {
+                    Complex::I
+                } else {
+                    -Complex::I
+                };
+                *l ^= mask;
+            }
+        }
+        Pauli::Z => {
+            for (l, a) in flat.iter_mut() {
+                if *l & mask != 0 {
+                    *a = -*a;
+                }
+            }
+        }
+    }
+}
+
+/// `project_qubit(q, true)` on a flat snapshot: retain the `|1⟩` labels
+/// and renormalize.
+fn flat_project_one(flat: &mut Vec<(Label, Complex)>, mask: Label) {
+    flat.retain(|(l, _)| *l & mask != 0);
+    let n: f64 = flat.iter().map(|(_, a)| a.norm_sqr()).sum::<f64>().sqrt();
+    assert!(n > 1e-300, "cannot normalize zero sparse state");
+    for (_, a) in flat.iter_mut() {
+        *a = a.scale(1.0 / n);
+    }
+}
+
+/// [`amplitude_damping_sparse`] on a flat snapshot.
+fn flat_amp_damping(flat: &mut Vec<(Label, Complex)>, mask: Label, gamma: f64, rng: &mut impl Rng) {
+    let p1: f64 = flat
+        .iter()
+        .filter(|(l, _)| *l & mask != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    let p_jump = gamma * p1;
+    if p_jump > 0.0 && rng.gen::<f64>() < p_jump {
+        flat_project_one(flat, mask);
+        for (l, _) in flat.iter_mut() {
+            *l ^= mask;
+        }
+    } else {
+        flat_scale_and_normalize(flat, mask, (1.0 - gamma).sqrt());
+    }
+}
+
+/// [`phase_damping_sparse`] on a flat snapshot.
+fn flat_phase_damping(
+    flat: &mut Vec<(Label, Complex)>,
+    mask: Label,
+    lambda: f64,
+    rng: &mut impl Rng,
+) {
+    let p1: f64 = flat
+        .iter()
+        .filter(|(l, _)| *l & mask != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    let p_jump = lambda * p1;
+    if p_jump > 0.0 && rng.gen::<f64>() < p_jump {
+        flat_project_one(flat, mask);
+    } else {
+        flat_scale_and_normalize(flat, mask, (1.0 - lambda).sqrt());
+    }
+}
+
+/// The no-jump damping branch on a flat snapshot: scale the `|1⟩`
+/// labels by `factor`, then renormalize.
+fn flat_scale_and_normalize(flat: &mut [(Label, Complex)], mask: Label, factor: f64) {
+    for (l, a) in flat.iter_mut() {
+        if *l & mask != 0 {
+            *a = a.scale(factor);
+        }
+    }
+    let n: f64 = flat.iter().map(|(_, a)| a.norm_sqr()).sum::<f64>().sqrt();
+    assert!(n > 1e-300, "cannot normalize zero sparse state");
+    for (_, a) in flat.iter_mut() {
+        *a = a.scale(1.0 / n);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Readout error
 // ---------------------------------------------------------------------
@@ -556,6 +964,175 @@ mod tests {
                 .phase_damping,
             0.0
         );
+    }
+
+    /// A 3-qubit superposition with asymmetric per-qubit populations.
+    fn spread_state() -> SparseState {
+        let mut s = SparseState::basis_state(3, 0b000);
+        s.amps.clear();
+        s.amps.insert(0b000, crate::complex::Complex::new(0.6, 0.1));
+        s.amps
+            .insert(0b011, crate::complex::Complex::new(-0.3, 0.4));
+        s.amps
+            .insert(0b101, crate::complex::Complex::new(0.2, -0.5));
+        s.amps.insert(0b110, crate::complex::Complex::new(0.1, 0.2));
+        s.normalize();
+        s
+    }
+
+    #[test]
+    fn folded_damping_slot_matches_unfused_channels() {
+        // The fold must consume the RNG at the same points and leave the
+        // same state (to rounding) as the per-channel sequence — across
+        // seeds that exercise both jump and no-jump branches (rates are
+        // large so ~half the seeds jump somewhere).
+        let noise = NoiseModel::noise_free()
+            .with_amplitude_damping(0.2)
+            .with_phase_damping(0.15);
+        let damping_only = noise;
+        for qubits in [&[1][..], &[0, 2][..], &[2, 1][..]] {
+            for seed in 0..300 {
+                let mut fused = spread_state();
+                let mut unfused = spread_state();
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                apply_damping_slot_sparse(&mut fused, qubits, &noise, &mut rng_a);
+                apply_gate_noise_sparse(&mut unfused, qubits, 0.0, &damping_only, &mut rng_b);
+                assert_eq!(
+                    rng_a.gen::<u64>(),
+                    rng_b.gen::<u64>(),
+                    "RNG streams diverged (qubits {qubits:?}, seed {seed})"
+                );
+                for l in 0..8u128 {
+                    assert!(
+                        fused.amplitude(l).approx_eq(unfused.amplitude(l), 1e-12),
+                        "amplitude {l:#b} diverged (qubits {qubits:?}, seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folded_damping_slot_handles_single_channel_models() {
+        for noise in [
+            NoiseModel::noise_free().with_amplitude_damping(0.3),
+            NoiseModel::noise_free().with_phase_damping(0.3),
+        ] {
+            for seed in 0..100 {
+                let mut fused = spread_state();
+                let mut unfused = spread_state();
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                apply_damping_slot_sparse(&mut fused, &[0, 1], &noise, &mut rng_a);
+                apply_gate_noise_sparse(&mut unfused, &[0, 1], 0.0, &noise, &mut rng_b);
+                assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+                for l in 0..8u128 {
+                    assert!(fused.amplitude(l).approx_eq(unfused.amplitude(l), 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gate_noise_matches_unfused_with_pauli_rolls() {
+        let noise = NoiseModel::ibm_like(0.4, 0.0, 0.0)
+            .with_amplitude_damping(0.1)
+            .with_phase_damping(0.1);
+        for seed in 0..200 {
+            let mut fused = spread_state();
+            let mut unfused = spread_state();
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            apply_gate_noise_sparse_fused(&mut fused, &[0, 1, 2], noise.p1, &noise, &mut rng_a);
+            apply_gate_noise_sparse(&mut unfused, &[0, 1, 2], noise.p1, &noise, &mut rng_b);
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+            for l in 0..8u128 {
+                assert!(fused.amplitude(l).approx_eq(unfused.amplitude(l), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn folded_damping_skips_rolls_for_unpopulated_qubits() {
+        // A qubit with zero |1⟩ population must not consume a jump roll
+        // (the unfused path short-circuits on `p_jump > 0`).
+        let noise = NoiseModel::noise_free().with_amplitude_damping(0.5);
+        let mut s = SparseState::basis_state(2, 0b00);
+        let mut rng = StdRng::seed_from_u64(7);
+        let before = {
+            let mut probe = StdRng::seed_from_u64(7);
+            probe.gen::<u64>()
+        };
+        apply_damping_slot_sparse(&mut s, &[0, 1], &noise, &mut rng);
+        assert_eq!(rng.gen::<u64>(), before, "rolls consumed on |00⟩");
+        assert!((s.probability(0b00) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_slot_loop_matches_unfused_slot_loop() {
+        // The flat-snapshot slot runner must consume the RNG at the
+        // same points and leave the same state (to rounding) as the
+        // per-slot unfused sequence: a p₂ roll applying a uniform Pauli
+        // on a random support qubit, then the damping slot on a random
+        // operand pair. Rates are large so jumps and Pauli events both
+        // fire across the seed sweep.
+        let noise = NoiseModel::ibm_like(0.0, 0.3, 0.0)
+            .with_amplitude_damping(0.05)
+            .with_phase_damping(0.04);
+        let support = [0usize, 1, 2];
+        let slots = 12;
+        let noise_free = NoiseModel::noise_free();
+        for seed in 0..300 {
+            let mut fused = spread_state();
+            let mut unfused = spread_state();
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            run_noise_slots_sparse(&mut fused, &support, slots, noise.p2, &noise, &mut rng_a);
+            for _ in 0..slots {
+                if noise.p2 > 0.0 && rng_b.gen::<f64>() < noise.p2 {
+                    let q = support[rng_b.gen_range(0..support.len())];
+                    apply_gate_noise_sparse(&mut unfused, &[q], 1.0, &noise_free, &mut rng_b);
+                }
+                let a = support[rng_b.gen_range(0..support.len())];
+                let b = support[rng_b.gen_range(0..support.len())];
+                let pair = [a, b];
+                let slot: &[usize] = if a == b { &pair[..1] } else { &pair[..] };
+                apply_damping_slot_sparse(&mut unfused, slot, &noise, &mut rng_b);
+            }
+            assert_eq!(
+                rng_a.gen::<u64>(),
+                rng_b.gen::<u64>(),
+                "RNG streams diverged (seed {seed})"
+            );
+            for l in 0..8u128 {
+                assert!(
+                    fused.amplitude(l).approx_eq(unfused.amplitude(l), 1e-9),
+                    "amplitude {l:#b} diverged (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_slot_loop_is_quiet_without_channels() {
+        // With p₂ and both damping rates zero the unfused loop body
+        // does nothing and draws nothing; the flat runner must match.
+        let noise = NoiseModel::noise_free();
+        let mut s = spread_state();
+        // Clone (not a fresh `spread_state()`): `normalize` sums in map
+        // order, so two instances differ at last ulp.
+        let reference = s.clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = {
+            let mut probe = StdRng::seed_from_u64(3);
+            probe.gen::<u64>()
+        };
+        run_noise_slots_sparse(&mut s, &[0, 1, 2], 50, noise.p2, &noise, &mut rng);
+        assert_eq!(rng.gen::<u64>(), before, "draws consumed with no channels");
+        for l in 0..8u128 {
+            assert!(s.amplitude(l).approx_eq(reference.amplitude(l), 0.0));
+        }
     }
 
     #[test]

@@ -138,7 +138,13 @@ impl std::error::Error for UnsupportedGate {}
 #[derive(Clone, Debug)]
 pub struct SparseState {
     n_qubits: usize,
-    amps: HashMap<Label, Complex>,
+    pub(crate) amps: HashMap<Label, Complex>,
+    /// Double buffer for the rebuild-style kernels (`map_labels`,
+    /// `apply_transition`, the fused permutation kernel): the hot
+    /// trajectory loops apply thousands of such ops per shot, and a
+    /// fresh `HashMap` per op dominated their profile. Invariant: empty
+    /// between operations, so `Clone` stays cheap.
+    pub(crate) scratch: HashMap<Label, Complex>,
 }
 
 /// Amplitudes below this magnitude are dropped during compaction.
@@ -158,7 +164,11 @@ impl SparseState {
         );
         let mut amps = HashMap::new();
         amps.insert(label, Complex::ONE);
-        SparseState { n_qubits, amps }
+        SparseState {
+            n_qubits,
+            amps,
+            scratch: HashMap::new(),
+        }
     }
 
     /// Creates a basis state from a binary solution vector.
@@ -257,16 +267,18 @@ impl SparseState {
             Gate::Y(q) => {
                 // Y = iXZ: flip the bit and phase ±i by prior bit value.
                 let mask = 1u128 << q;
-                let mut next = HashMap::with_capacity(self.amps.len());
+                self.scratch.clear();
+                self.scratch.reserve(self.amps.len());
                 for (&l, &a) in &self.amps {
                     let phase = if l & mask == 0 {
                         Complex::I
                     } else {
                         -Complex::I
                     };
-                    next.insert(l ^ mask, a * phase);
+                    self.scratch.insert(l ^ mask, a * phase);
                 }
-                self.amps = next;
+                std::mem::swap(&mut self.amps, &mut self.scratch);
+                self.scratch.clear();
             }
             Gate::Z(q) => self.phase_if(|l| l >> q & 1 == 1, std::f64::consts::PI),
             Gate::Rz(q, t) => {
@@ -342,22 +354,37 @@ impl SparseState {
     /// in Theorem 1's proof); paired states mix as
     /// `cos(t)|x⟩ − i·sin(t)|partner⟩`.
     pub fn apply_transition(&mut self, tr: &Transition, t: f64) {
-        let cos = Complex::from(t.cos());
-        let misin = Complex::new(0.0, -t.sin());
-        let mut next: HashMap<Label, Complex> = HashMap::with_capacity(self.amps.len() * 2);
+        self.apply_transition_with(tr, Complex::from(t.cos()), Complex::new(0.0, -t.sin()));
+    }
+
+    /// [`Self::apply_transition`] with the mixing constants `cos(t)` and
+    /// `-i·sin(t)` precomputed by the caller — compiled segment programs
+    /// evaluate them once per operator instead of once per shot. Merges
+    /// through the reusable scratch buffer, so repeated application (the
+    /// trajectory hot path) never allocates.
+    ///
+    /// Each output label receives at most two contributions (from `l`
+    /// and from `partner(l)`), and two-term f64 addition commutes
+    /// bitwise, so the result is independent of the map's iteration
+    /// order.
+    pub fn apply_transition_with(&mut self, tr: &Transition, cos: Complex, misin: Complex) {
+        self.scratch.clear();
+        self.scratch.reserve(self.amps.len() * 2);
         for (&l, &a) in &self.amps {
             match tr.partner(l) {
                 Some(p) => {
-                    *next.entry(l).or_insert(Complex::ZERO) += cos * a;
-                    *next.entry(p).or_insert(Complex::ZERO) += misin * a;
+                    *self.scratch.entry(l).or_insert(Complex::ZERO) += cos * a;
+                    *self.scratch.entry(p).or_insert(Complex::ZERO) += misin * a;
                 }
                 None => {
-                    *next.entry(l).or_insert(Complex::ZERO) += a;
+                    *self.scratch.entry(l).or_insert(Complex::ZERO) += a;
                 }
             }
         }
-        next.retain(|_, a| a.norm_sqr() > PRUNE_EPS * PRUNE_EPS);
-        self.amps = next;
+        self.scratch
+            .retain(|_, a| a.norm_sqr() > PRUNE_EPS * PRUNE_EPS);
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+        self.scratch.clear();
     }
 
     /// Multiplies each basis amplitude by `e^{i·phase(label)}` — the
@@ -366,6 +393,16 @@ impl SparseState {
     pub fn apply_diagonal_phase(&mut self, phase: impl Fn(Label) -> f64) {
         for (l, a) in self.amps.iter_mut() {
             *a *= Complex::cis(phase(*l));
+        }
+    }
+
+    /// Like [`Self::apply_diagonal_phase`] but the closure returns the
+    /// complex factor directly (and may mutate, e.g. a memo cache of
+    /// `cis` evaluations keyed by label — the fused Choco-Q path reuses
+    /// objective evaluations across trajectories this way).
+    pub fn apply_diagonal_phase_with(&mut self, mut factor: impl FnMut(Label) -> Complex) {
+        for (l, a) in self.amps.iter_mut() {
+            *a *= factor(*l);
         }
     }
 
@@ -457,13 +494,16 @@ impl SparseState {
         self.prepared_sampler().draw(rng)
     }
 
-    /// Replaces each label by `f(label)` (a basis permutation).
+    /// Replaces each label by `f(label)` (a basis permutation), reusing
+    /// the scratch buffer.
     fn map_labels(&mut self, f: impl Fn(Label) -> Label) {
-        let mut next = HashMap::with_capacity(self.amps.len());
+        self.scratch.clear();
+        self.scratch.reserve(self.amps.len());
         for (&l, &a) in &self.amps {
-            *next.entry(f(l)).or_insert(Complex::ZERO) += a;
+            *self.scratch.entry(f(l)).or_insert(Complex::ZERO) += a;
         }
-        self.amps = next;
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+        self.scratch.clear();
     }
 
     /// Multiplies amplitudes of labels satisfying `pred` by `e^{iθ}`.

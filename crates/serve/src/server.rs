@@ -167,6 +167,7 @@ struct Shared {
     served_error: AtomicU64,
     shed: AtomicU64,
     bad_requests: AtomicU64,
+    compiled_program_hits: AtomicU64,
     results: ShardedLru<ResultKey, Arc<Outcome>>,
     compiles: ShardedLru<u128, Arc<Prepared>>,
 }
@@ -192,6 +193,11 @@ pub struct ServeStats {
     pub compile_hits: u64,
     /// Compile-cache misses.
     pub compile_misses: u64,
+    /// Compile-cache hits whose [`Prepared`] carried compiled segment
+    /// programs — the warm path that skips both `prepare` *and* the
+    /// per-segment [`SegmentProgram`](rasengan_core::segment::SegmentProgram)
+    /// compile.
+    pub compiled_program_hits: u64,
     /// Requests currently waiting in the admission queue.
     pub queue_depth: usize,
 }
@@ -208,6 +214,7 @@ impl Shared {
             result_misses: self.results.misses(),
             compile_hits: self.compiles.hits(),
             compile_misses: self.compiles.misses(),
+            compiled_program_hits: self.compiled_program_hits.load(Ordering::Relaxed),
             queue_depth: self.queue.len(),
         }
     }
@@ -224,6 +231,10 @@ impl Shared {
             ("result_misses", Json::Int(s.result_misses as i128)),
             ("compile_hits", Json::Int(s.compile_hits as i128)),
             ("compile_misses", Json::Int(s.compile_misses as i128)),
+            (
+                "compiled_program_hits",
+                Json::Int(s.compiled_program_hits as i128),
+            ),
             ("queue_depth", Json::Int(s.queue_depth as i128)),
             ("queue_capacity", Json::Int(self.queue.capacity() as i128)),
             ("workers", Json::Int(self.config.workers as i128)),
@@ -257,6 +268,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         served_error: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         bad_requests: AtomicU64::new(0),
+        compiled_program_hits: AtomicU64::new(0),
         results: ShardedLru::new(config.result_cache_capacity, 8),
         compiles: ShardedLru::new(config.compile_cache_capacity, 4),
         config,
@@ -451,7 +463,15 @@ fn handle_solve(shared: &Shared, mut job: Job) {
     let solver = Rasengan::new(config);
 
     let (prepared, cache_note, prepare_s) = match shared.compiles.get(&fingerprint) {
-        Some(prepared) => (prepared, "compile-hit", 0.0),
+        Some(prepared) => {
+            // A hit on a [`Prepared`] with compiled segment programs
+            // means the solve reuses them directly — no recompilation
+            // on the warm path.
+            if !prepared.programs.is_empty() {
+                shared.compiled_program_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            (prepared, "compile-hit", 0.0)
+        }
         None => {
             let started = Instant::now();
             match solver.prepare(&problem) {

@@ -68,6 +68,7 @@ struct Options {
     layers: usize,
     retries: usize,
     degrade: bool,
+    fuse: bool,
     out: Option<String>,
     addr: String,
     workers: usize,
@@ -88,6 +89,7 @@ impl Options {
             layers: 5,
             retries: 0,
             degrade: false,
+            fuse: true,
             out: None,
             addr: "127.0.0.1:7878".to_string(),
             workers: 4,
@@ -134,6 +136,7 @@ impl Options {
                         .map_err(|_| "retries must be an integer".to_string())?
                 }
                 "--degrade" => opts.degrade = true,
+                "--no-fuse" => opts.fuse = false,
                 "--addr" => opts.addr = value("--addr")?,
                 "--workers" => {
                     opts.workers = value("--workers")?
@@ -216,6 +219,7 @@ FLAGS:
       --layers <N>         baseline layer count (default 5)
       --retries <N>        re-run a failed segment up to N times (rasengan)
       --degrade            continue past a dead segment instead of aborting
+      --no-fuse            disable compiled-program execution (gate-by-gate)
       --addr <HOST:PORT>   service address (serve bind / submit target)
       --workers <N>        service worker threads (default 4)
       --queue <N>          service admission-queue capacity (default 64)
@@ -302,6 +306,9 @@ fn cmd_solve(opts: &Options) -> ExitCode {
             if opts.degrade {
                 cfg = cfg.with_degradation();
             }
+            if !opts.fuse {
+                cfg = cfg.without_fusion();
+            }
             if let Some(d) = device {
                 cfg = cfg.on_device(d);
             }
@@ -337,6 +344,9 @@ fn cmd_solve(opts: &Options) -> ExitCode {
             }
             if let Some(s) = opts.shots {
                 cfg = cfg.with_shots(s);
+            }
+            if !opts.fuse {
+                cfg = cfg.without_fusion();
             }
             let out = match alg {
                 "chocoq" => match ChocoQ::new(cfg).solve(&problem) {

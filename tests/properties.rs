@@ -235,6 +235,148 @@ proptest! {
     }
 }
 
+/// A random circuit over `n` qubits from encoded op tuples. With
+/// `sparse_safe` the gate pool is restricted to the label-permutation /
+/// diagonal set the sparse backend (and the fused sparse kernels)
+/// support — no H/Rx/Ry.
+fn random_circuit(n: usize, ops: &[(usize, usize, usize, f64)], sparse_safe: bool) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, a, b, t) in ops {
+        let a = a % n;
+        let b = {
+            let b = b % n;
+            if a == b {
+                (b + 1) % n
+            } else {
+                b
+            }
+        };
+        let g = if sparse_safe {
+            match kind % 12 {
+                0 => Gate::X(a),
+                1 => Gate::Y(a),
+                2 => Gate::Z(a),
+                3 => Gate::Rz(a, t),
+                4 => Gate::Phase(a, t),
+                5 => Gate::Cx(a, b),
+                6 => Gate::Cz(a, b),
+                7 => Gate::Swap(a, b),
+                8 => Gate::Rzz(a, b, t),
+                9 => Gate::Cp(a, b, t),
+                10 => Gate::Mcx {
+                    controls: vec![a],
+                    target: b,
+                },
+                _ => Gate::Mcp {
+                    controls: vec![a],
+                    target: b,
+                    theta: t,
+                },
+            }
+        } else {
+            match kind % 13 {
+                0 => Gate::X(a),
+                1 => Gate::Y(a),
+                2 => Gate::Z(a),
+                3 => Gate::H(a),
+                4 => Gate::Rx(a, t),
+                5 => Gate::Ry(a, t),
+                6 => Gate::Rz(a, t),
+                7 => Gate::Phase(a, t),
+                8 => Gate::Cx(a, b),
+                9 => Gate::Cz(a, b),
+                10 => Gate::Swap(a, b),
+                11 => Gate::Rzz(a, b, t),
+                _ => Gate::Cp(a, b, t),
+            }
+        };
+        c.push(g);
+    }
+    c
+}
+
+proptest! {
+    /// Fused execution is the identity transformation on semantics:
+    /// compiling any random circuit and running the kernels lands
+    /// within 1e-9 statevector distance of gate-by-gate dense
+    /// execution.
+    #[test]
+    fn fused_dense_matches_gate_by_gate(
+        ops in prop::collection::vec((0usize..13, 0usize..5, 0usize..5, -2.0f64..2.0), 1..40),
+    ) {
+        use rasengan::qsim::{DenseState, Program};
+        let n = 5;
+        let c = random_circuit(n, &ops, false);
+        let reference = DenseState::from_circuit(&c);
+        let program = Program::compile(&c);
+        prop_assert!(program.kernel_count() <= c.len());
+        let mut fused = DenseState::zero_state(n);
+        program.run_dense(&mut fused);
+        let dist = reference
+            .amplitudes()
+            .iter()
+            .zip(fused.amplitudes())
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        prop_assert!(dist <= 1e-9, "statevector distance {dist:e}");
+    }
+
+    /// The same differential on the sparse backend: any circuit from
+    /// the permutation/diagonal gate pool compiles sparse-safe and the
+    /// fused kernels match gate-by-gate application from any basis
+    /// seed.
+    #[test]
+    fn fused_sparse_matches_gate_by_gate(
+        ops in prop::collection::vec((0usize..12, 0usize..5, 0usize..5, -2.0f64..2.0), 1..40),
+        label in 0u64..32,
+    ) {
+        use rasengan::qsim::Program;
+        let n = 5;
+        let label = label as rasengan::qsim::Label;
+        let c = random_circuit(n, &ops, true);
+        let program = Program::compile(&c);
+        prop_assert!(program.is_sparse_safe());
+        let mut reference = SparseState::basis_state(n, label);
+        reference.run(&c).unwrap();
+        let mut fused = SparseState::basis_state(n, label);
+        program.run_sparse(&mut fused).unwrap();
+        let mut dist_sqr = 0.0f64;
+        for l in reference.support().into_iter().chain(fused.support()) {
+            dist_sqr += (reference.amplitude(l) - fused.amplitude(l)).norm_sqr();
+        }
+        // Union-of-support walk counts shared labels twice; the bound
+        // below absorbs that factor.
+        prop_assert!(dist_sqr.sqrt() <= 2e-9, "sparse distance {:e}", dist_sqr.sqrt());
+    }
+
+    /// Noise channels are fusion barriers: a fused trajectory visits
+    /// the same attachment points with the same error rates as the
+    /// unfused reference, so both draw identical RNG streams — the
+    /// states match bitwise and the generators stay in lockstep.
+    #[test]
+    fn fused_trajectory_consumes_rng_identically(
+        ops in prop::collection::vec((0usize..13, 0usize..4, 0usize..4, -2.0f64..2.0), 1..30),
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use rasengan::qsim::exec::DenseTrajectoryRunner;
+        use rasengan::qsim::{noise, NoiseModel, Program};
+        let n = 4;
+        let c = random_circuit(n, &ops, false);
+        let noise_model = NoiseModel::ibm_like(0.02, 0.08, 0.01).with_amplitude_damping(0.01);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let reference = noise::run_dense_trajectory(&c, &noise_model, &mut rng_a);
+        let program = Program::compile(&c);
+        let mut runner = DenseTrajectoryRunner::new(&program);
+        let fused = runner.run(&noise_model, &mut rng_b);
+        prop_assert_eq!(reference.amplitudes(), fused.amplitudes());
+        prop_assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "RNG streams diverged");
+    }
+}
+
 proptest! {
     /// A problem's fingerprint is invariant under write→parse round
     /// trips and under comment / blank-line / whitespace / rename
