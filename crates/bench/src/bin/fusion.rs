@@ -234,7 +234,40 @@ fn main() {
     ]);
     println!("sparse rasengan speedup: {ras_speedup:.2}x");
 
+    // --- tracing no-op overhead guard. The fused Rasengan timing above
+    // ran with tracing disabled (the default); run the same solve with
+    // tracing enabled. The traced run does strictly more work (span
+    // tree construction), so if the disabled path were not a true
+    // no-op its cost would surface as `disabled > traced * 1.02`.
+    // Tracing must also leave every result byte untouched.
+    let (traced_s, traced) = median_secs(reps, || {
+        Rasengan::new(ras_cfg.clone().with_trace(true))
+            .solve(&problem)
+            .expect("rasengan solve (traced)")
+    });
+    assert_eq!(
+        ras_fused.distribution, traced.distribution,
+        "tracing must not change the solve distribution"
+    );
+    assert_eq!(ras_fused.arg, traced.arg);
+    assert_eq!(ras_fused.best.bits, traced.best.bits);
+    let tree = traced.trace.as_ref().expect("traced solve carries a tree");
+    let trace_ratio = ras_fused_s / traced_s;
+    table.row(vec![
+        "trace-noop".into(),
+        format!("{id} noisy, {} spans when enabled", tree.count()),
+        fmt(ras_fused_s),
+        fmt(traced_s),
+        format!("{trace_ratio:.2}x"),
+    ]);
+    println!("tracing disabled/enabled: {ras_fused_s:.4}s / {traced_s:.4}s ({trace_ratio:.2}x)");
+
     if settings.full {
+        assert!(
+            ras_fused_s <= traced_s * 1.02,
+            "disabled tracing must be within 2% of the traced run \
+             (disabled {ras_fused_s:.4}s, traced {traced_s:.4}s)"
+        );
         assert!(
             dense_speedup >= 2.0,
             "dense-trajectory arm must be >=2x faster fused (got {dense_speedup:.2}x)"

@@ -17,10 +17,16 @@
 //! `BENCH_loadgen.{csv,json}` under `target/rasengan-reports/`.
 
 use rasengan_bench::{report::fmt, RunSettings, Table};
+use rasengan_obs::metrics::{try_global, Histogram};
 use rasengan_problems::io::write_problem;
 use rasengan_problems::registry::{benchmark, BenchmarkId};
 use rasengan_serve::{serve, submit, ReplyStatus, ServeConfig, SolveRequest};
 use std::time::Instant;
+
+/// An obs histogram percentile, in milliseconds (recorded in micros).
+fn hist_ms(hist: &Histogram, q: f64) -> f64 {
+    hist.percentile(q) as f64 / 1000.0
+}
 
 /// Nearest-rank percentile of an unsorted sample, in milliseconds.
 fn percentile(samples: &mut [f64], q: f64) -> f64 {
@@ -65,6 +71,11 @@ fn main() {
     let server = serve(ServeConfig::default()).expect("bind ephemeral port");
     let addr = server.addr();
 
+    // Client-side latency histogram (obs log-bucketed, micros): every
+    // request from every arm lands here, and its percentiles are
+    // reported next to the exact nearest-rank ones.
+    let mut client_hist = Histogram::new();
+
     // --- cold arm: every request is a fresh (problem, seed) pair.
     let mut cold_ms = Vec::new();
     let mut cold_results = Vec::new();
@@ -74,6 +85,7 @@ fn main() {
             let request = request_for(id, seed, &settings);
             let started = Instant::now();
             let reply = submit(addr, &request).expect("cold submit");
+            client_hist.record(started.elapsed().as_micros() as u64);
             cold_ms.push(started.elapsed().as_secs_f64() * 1000.0);
             assert_eq!(reply.status, ReplyStatus::Ok, "cold solve failed");
             let service = reply.json("service").expect("service section");
@@ -111,6 +123,7 @@ fn main() {
     for _ in 0..repeats {
         let started = Instant::now();
         let reply = submit(addr, &warm_request).expect("warm submit");
+        client_hist.record(started.elapsed().as_micros() as u64);
         warm_ms.push(started.elapsed().as_secs_f64() * 1000.0);
         assert_eq!(reply.status, ReplyStatus::Ok);
         let service = reply.json("service").expect("service section");
@@ -204,6 +217,9 @@ fn main() {
         .count();
     let errors = outcomes.len() - ok - busy;
     let mut flood_ms: Vec<f64> = outcomes.iter().map(|(_, ms)| *ms).collect();
+    for (_, ms) in &outcomes {
+        client_hist.record((ms * 1000.0) as u64);
+    }
     table.row(vec![
         "saturation".into(),
         flood.to_string(),
@@ -225,6 +241,46 @@ fn main() {
     let shed = tiny.stats().shed;
     assert_eq!(shed, busy as u64, "shed counter matches BUSY replies");
     tiny.shutdown();
+
+    // --- obs histogram rows: the client-side merged histogram, and the
+    // server-side `serve.request_us` histogram the service records into
+    // the global registry (both servers above share it, since they run
+    // in this process). Bucketed percentiles are upper bounds, so they
+    // may sit slightly above the exact nearest-rank values.
+    assert_eq!(
+        client_hist.count(),
+        (cold_n + repeats + flood) as u64,
+        "every request must be recorded in the obs histogram"
+    );
+    table.row(vec![
+        "obs-client".into(),
+        client_hist.count().to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt(hist_ms(&client_hist, 0.50)),
+        fmt(hist_ms(&client_hist, 0.95)),
+        fmt(hist_ms(&client_hist, 0.99)),
+    ]);
+    let server_hist = try_global()
+        .and_then(|reg| reg.histogram("serve.request_us"))
+        .expect("the service records request latencies");
+    assert!(
+        server_hist.count() >= (cold_n + repeats) as u64,
+        "server-side histogram must cover at least the served requests"
+    );
+    table.row(vec![
+        "obs-server".into(),
+        server_hist.count().to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt(hist_ms(&server_hist, 0.50)),
+        fmt(hist_ms(&server_hist, 0.95)),
+        fmt(hist_ms(&server_hist, 0.99)),
+    ]);
 
     table.print();
     if let Ok(p) = table.save_csv("loadgen") {

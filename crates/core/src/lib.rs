@@ -61,4 +61,38 @@ pub use simplify::{simplify_basis, SimplifyResult};
 pub use solver::{
     ChainStats, OptimizerKind, Outcome, Prepared, Rasengan, RasenganConfig, RasenganError,
 };
+// The observability types an `Outcome` embeds, so downstream crates can
+// consume `Outcome::trace` without naming `rasengan-obs` directly.
+pub use rasengan_obs::span::{Span, TraceTree};
 pub use zne::{solve_with_zne, ZneResult};
+
+#[cfg(test)]
+mod tests {
+    //! Re-export smoke test: every name the crate root promises must
+    //! resolve and refer to the same item as its module path. Catches
+    //! accidental removals when module internals get reshuffled.
+
+    #[test]
+    fn crate_root_reexports_resolve() {
+        // Type re-exports: aliasing the crate-root name to the module
+        // path compiles only if they are the same item.
+        let _: Option<crate::Outcome> = None::<crate::solver::Outcome>;
+        let _: Option<crate::RasenganConfig> = None::<crate::solver::RasenganConfig>;
+        let _: Option<crate::Latency> = None::<crate::latency::Latency>;
+        let _: Option<crate::StageTimes> = None::<crate::latency::StageTimes>;
+        let _: Option<crate::TraceTree> = None::<rasengan_obs::span::TraceTree>;
+        let _: Option<crate::ResilienceConfig> = None::<crate::resilience::ResilienceConfig>;
+        let _: Option<crate::SegmentPlan> = None::<crate::segment::SegmentPlan>;
+
+        // Function re-exports.
+        let _: fn(f64, f64) -> f64 = crate::arg;
+        let _ = crate::apportion_shots as fn(&[f64], usize) -> Vec<usize>;
+
+        // Config defaults stay consistent with the documented behavior:
+        // tracing off, fusion on.
+        let cfg = crate::RasenganConfig::default();
+        assert!(!cfg.trace);
+        assert!(cfg.fuse);
+        assert!(crate::RasenganConfig::default().with_trace(true).trace);
+    }
+}

@@ -25,6 +25,7 @@ use crate::simplify::simplify_basis;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rasengan_math::basis::TernaryBasisError;
+use rasengan_obs::span::{TraceTree, Tracer};
 use rasengan_optim::{Cobyla, NelderMead, Optimizer, Spsa};
 use rasengan_problems::{optimum, Problem};
 use rasengan_qsim::fault::{FaultKind, FaultPlan};
@@ -114,6 +115,14 @@ pub struct RasenganConfig {
     /// (CLI `--no-fuse`) keeps the legacy path alive for differential
     /// testing.
     pub fuse: bool,
+    /// Record a structured span tree for the solve (one span per
+    /// stage, segment, and retry attempt) into [`Outcome::trace`].
+    /// Span IDs are derived from structure alone, so the tree is
+    /// byte-identical at any thread count for a fixed seed, and
+    /// enabling tracing never changes any result field. Off by
+    /// default; when off the tracer is a no-op (stage timing costs the
+    /// same handful of `Instant` reads the solver always paid).
+    pub trace: bool,
 }
 
 impl Default for RasenganConfig {
@@ -139,6 +148,7 @@ impl Default for RasenganConfig {
             threads: None,
             resilience: ResilienceConfig::default(),
             fuse: true,
+            trace: false,
         }
     }
 }
@@ -272,6 +282,13 @@ impl RasenganConfig {
     /// and perf comparison.
     pub fn without_fusion(mut self) -> Self {
         self.fuse = false;
+        self
+    }
+
+    /// Enables structured tracing: the solve records a deterministic
+    /// span tree into [`Outcome::trace`] (builder style).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -441,6 +458,14 @@ pub struct Outcome {
     /// degradation, budget stop, and parameter sanitization that
     /// occurred. Empty for runs that never needed recovery.
     pub resilience: ResilienceReport,
+    /// Structured span tree of this solve, present when
+    /// [`RasenganConfig::trace`] was enabled. Span IDs derive from
+    /// structure (parent ID × label × ordinal through the SplitMix64
+    /// finalizer), so the deterministic rendering is byte-identical at
+    /// any thread count. Never serialized into the wire `result`
+    /// section — the service layer carries it in a separate `trace`
+    /// section.
+    pub trace: Option<TraceTree>,
 }
 
 /// A compiled-but-not-yet-trained Rasengan instance; exposes the
@@ -663,9 +688,15 @@ impl Rasengan {
     /// [`Outcome::resilience`].
     pub fn solve(&self, problem: &Problem) -> Result<Outcome, RasenganError> {
         let wall = Instant::now();
+        let mut tracer = Tracer::for_solve(self.config.trace);
+        let prep_span = tracer.open("prepare");
         let prepared = self.prepare(problem)?;
-        let prepare_s = wall.elapsed().as_secs_f64();
-        self.run_prepared(problem, &prepared, wall, prepare_s)
+        tracer.attr_int("m_basis", prepared.stats.m_basis as i128);
+        tracer.attr_int("kept_ops", prepared.stats.kept_ops as i128);
+        tracer.attr_int("n_segments", prepared.stats.n_segments as i128);
+        tracer.attr_int("n_params", prepared.stats.n_params as i128);
+        let prepare_s = tracer.close(prep_span);
+        self.run_prepared(problem, &prepared, wall, prepare_s, tracer)
     }
 
     /// Runs training and execution against an already-compiled
@@ -690,7 +721,15 @@ impl Rasengan {
         problem: &Problem,
         prepared: &Prepared,
     ) -> Result<Outcome, RasenganError> {
-        self.run_prepared(problem, prepared, Instant::now(), 0.0)
+        // No `prepare` span: compilation happened elsewhere (or came
+        // from a cache), and `prepare_s` stays 0.0 as documented.
+        self.run_prepared(
+            problem,
+            prepared,
+            Instant::now(),
+            0.0,
+            Tracer::for_solve(self.config.trace),
+        )
     }
 
     fn run_prepared(
@@ -699,6 +738,7 @@ impl Rasengan {
         prepared: &Prepared,
         wall: Instant,
         prepare_s: f64,
+        mut tracer: Tracer,
     ) -> Result<Outcome, RasenganError> {
         let cfg = &self.config;
         let resil = &cfg.resilience;
@@ -781,6 +821,7 @@ impl Rasengan {
                 stream_seed,
                 &budget,
                 &mut events,
+                None,
             ) {
                 Ok(exec) => {
                     quantum_s += exec.quantum_s;
@@ -813,7 +854,11 @@ impl Rasengan {
             }
             None => vec![std::f64::consts::FRAC_PI_4; n_params],
         };
-        let train_start = Instant::now();
+        // The `train` span derives `StageTimes::train_s`; per-evaluation
+        // spans are deliberately not recorded (hundreds of optimizer
+        // evaluations would dwarf the rest of the tree) — the span
+        // carries the evaluation count instead.
+        let train_span = tracer.open("train");
         let result = match cfg.optimizer {
             OptimizerKind::Cobyla => Cobyla::new(cfg.max_iterations).minimize(&mut objective, &x0),
             OptimizerKind::NelderMead => {
@@ -823,12 +868,16 @@ impl Rasengan {
                 Spsa::new(cfg.max_iterations, cfg.seed).minimize(&mut objective, &x0)
             }
         };
-        let train_s = train_start.elapsed().as_secs_f64();
+        tracer.attr_int("n_params", n_params as i128);
+        tracer.attr_int("evaluations", result.evaluations as i128);
+        let train_s = tracer.close(train_span);
 
         // Final execution at the trained parameters, on a stream no
         // training evaluation can collide with, under a fresh stage
-        // ceiling of its own.
-        let final_start = Instant::now();
+        // ceiling of its own. Only this execution records per-segment
+        // and per-attempt detail spans: training executions stay
+        // span-free (see the `train` span note above).
+        let exec_span = tracer.open("execute");
         let exec_deadline = resil
             .max_stage_seconds
             .map(|s| Instant::now() + Duration::from_secs_f64(s));
@@ -846,12 +895,15 @@ impl Rasengan {
             derive_seed(cfg.seed, u64::MAX),
             &budget,
             &mut events,
+            Some(&mut tracer),
         ) {
             Ok(exec) => exec,
             Err(RasenganError::BudgetExceeded { stage, kind, .. }) => {
                 // A budget killed the final execution. Package the best
                 // partial result — the latest successful training
                 // execution — so callers still get a usable answer.
+                let execute_s = tracer.close(exec_span);
+                let trace = tracer.finish();
                 let partial = last_good.map(|(distribution, raw_rate)| {
                     let e_real = expectation(problem, &distribution, lambda);
                     let (_, e_opt) = optimum(problem);
@@ -869,7 +921,7 @@ impl Rasengan {
                             stages: StageTimes {
                                 prepare_s,
                                 train_s,
-                                execute_s: final_start.elapsed().as_secs_f64(),
+                                execute_s,
                                 retry_s,
                                 ..StageTimes::default()
                             },
@@ -881,6 +933,7 @@ impl Rasengan {
                             events: events.clone(),
                         },
                         trained_times: result.best_params.clone(),
+                        trace,
                     })
                 });
                 return Err(RasenganError::BudgetExceeded {
@@ -891,7 +944,7 @@ impl Rasengan {
             }
             Err(e) => return Err(e),
         };
-        let execute_s = final_start.elapsed().as_secs_f64();
+        let execute_s = tracer.close(exec_span);
         quantum_s += exec.quantum_s;
         retry_s += exec.retry_s;
         total_shots += exec.shots;
@@ -925,6 +978,7 @@ impl Rasengan {
             total_shots,
             resilience: ResilienceReport { events },
             trained_times: result.best_params,
+            trace: tracer.finish(),
         })
     }
 }
@@ -1007,6 +1061,12 @@ fn sanitize_param(t: f64) -> f64 {
 /// distribution, which is always feasible. With the default (disarmed)
 /// config and no fault plan, the control flow and every RNG stream
 /// match the legacy single-attempt executor bit for bit.
+///
+/// When a recording `tracer` is supplied (the final execution of a
+/// traced solve), one `segment` span is opened per chain segment and
+/// one `attempt` span per sampled execution attempt. Spans live on the
+/// control-plane thread only and carry deterministic attributes, so
+/// they never perturb RNG streams or result bytes.
 #[allow(clippy::too_many_arguments)]
 fn execute(
     problem: &Problem,
@@ -1017,7 +1077,11 @@ fn execute(
     stream_seed: u64,
     budget: &ExecBudget,
     events: &mut Vec<ResilienceEvent>,
+    tracer: Option<&mut Tracer>,
 ) -> Result<Execution, RasenganError> {
+    // Detail spans only exist for a recording tracer; a `None` (or
+    // disabled) tracer keeps this function on its legacy cost profile.
+    let mut tracer = tracer.filter(|t| t.enabled());
     let resil = &cfg.resilience;
     let plan = resil.fault_plan.as_ref().filter(|p| p.is_active());
 
@@ -1078,6 +1142,12 @@ fn execute(
 
         let ops = &prepared.chain.ops[range.clone()];
         let times = &params[range.clone()];
+        let seg_span = tracer.as_mut().map(|t| {
+            let tok = t.open("segment");
+            t.attr_int("index", seg_idx as i128);
+            t.attr_int("ops", ops.len() as i128);
+            tok
+        });
         // Compiled program for this segment, when fusion is on and the
         // `Prepared` carries one per segment (always true for values
         // from `prepare()`; hand-built ones may omit them).
@@ -1091,6 +1161,12 @@ fn execute(
                 s
             }
         });
+        if let Some(t) = tracer.as_mut() {
+            t.attr_int("cx_depth", cx_depth as i128);
+            if let Some(s) = shots {
+                t.attr_int("shots", s as i128);
+            }
+        }
 
         match shots {
             None => {
@@ -1168,6 +1244,13 @@ fn execute(
                         (retry_stream_seed(stream_seed, seg_idx, attempt), 0)
                     };
                     let shares = apportion_shots(&probs, attempt_shots);
+                    let attempt_span = tracer.as_mut().map(|t| {
+                        let tok = t.open("attempt");
+                        t.attr_int("attempt", attempt as i128);
+                        t.attr_int("shots", attempt_shots as i128);
+                        t.attr_int("inputs", inputs.len() as i128);
+                        tok
+                    });
                     let run = run_segment_shots(
                         problem,
                         ops,
@@ -1190,6 +1273,9 @@ fn execute(
                     );
                     if attempt == 0 {
                         next_stream = run.next_stream;
+                    }
+                    if let (Some(t), Some(tok)) = (tracer.as_mut(), attempt_span) {
+                        t.close(tok);
                     }
                     if let Some(t0) = attempt_start {
                         retry_s += t0.elapsed().as_secs_f64();
@@ -1275,6 +1361,9 @@ fn execute(
                     }
                 }
             }
+        }
+        if let (Some(t), Some(tok)) = (tracer.as_mut(), seg_span) {
+            t.close(tok);
         }
     }
 

@@ -1,0 +1,416 @@
+//! Minimal JSON tree, writer, and parser — std only.
+//!
+//! The wire protocol carries one JSON document per response section
+//! (`result`, `timing`, `service`, …). The writer is *canonical*:
+//! object keys keep insertion order, floats render via Rust's shortest
+//! round-trip `Display`, and there is no optional whitespace — so the
+//! same value always serializes to the same bytes. The determinism
+//! tests rely on that to compare a served `result` section against a
+//! locally serialized `Outcome` byte-for-byte, and the trace exporter
+//! relies on it for byte-identical span trees across thread counts.
+//!
+//! The parser is a small recursive-descent reader used by the client
+//! and the tests; it accepts standard JSON (with whitespace) and is
+//! not limited to the canonical form. Because it runs on
+//! client-controlled bytes it never panics: malformed input comes back
+//! as `Err`, and nesting depth is capped so a hostile document cannot
+//! overflow the stack.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order (a `Vec`, not a
+/// map) so rendering is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers stay exact (JSON has no integer limit; `i128` covers
+    /// every counter and label component this crate emits).
+    Int(i128),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (covers both `Int` and `Num`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Exact integer view.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value to its canonical single-line form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                use fmt::Write;
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                use fmt::Write;
+                if x.is_finite() {
+                    // Rust's `Display` for f64 is the shortest decimal
+                    // that round-trips, never exponent notation: valid
+                    // JSON and canonical.
+                    let _ = write!(out, "{x}");
+                } else {
+                    // JSON has no NaN/inf; none of the serialized
+                    // fields can produce them, but don't emit garbage
+                    // if one ever does.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum nesting depth the parser accepts. Client-controlled input
+/// must not be able to overflow the stack; nothing this workspace
+/// serializes nests deeper than a dozen levels.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document. Returns the value and fails on trailing
+/// non-whitespace garbage.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+    {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if float {
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}`"))
+    } else {
+        text.parse::<i128>()
+            .map(Json::Int)
+            .or_else(|_| text.parse::<f64>().map(Json::Num))
+            .map_err(|_| format!("invalid number `{text}`"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Basic-plane only; the canonical writer never
+                        // emits surrogate pairs.
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 character. Input is a `&str`
+                // so this cannot fail mid-document, but the error path
+                // stays structured rather than panicking.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_rendering_round_trips() {
+        let value = Json::obj(vec![
+            ("a", Json::Int(3)),
+            ("b", Json::Num(0.25)),
+            ("c", Json::Str("x\n\"y\"".to_string())),
+            ("d", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("e", Json::obj(vec![("nested", Json::Num(-1.5e-3))])),
+        ]);
+        let text = value.render();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, value);
+        // Canonical: re-rendering the parsed tree is byte-identical.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_rejects_garbage() {
+        let v = parse(" { \"k\" : [ 1 , 2.5 ] } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_arr().unwrap().len(), 2);
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("{\"k\":}").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        // Truncated documents at every prefix of a valid one.
+        let full = r#"{"k":[1,"two",{"n":3.5}],"b":true}"#;
+        for cut in 1..full.len() {
+            assert!(parse(&full[..cut]).is_err(), "prefix {cut} should fail");
+        }
+        // Truncated escapes and invalid literals.
+        assert!(parse("\"\\u12").is_err());
+        assert!(parse("\"\\x\"").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("nul").is_err());
+        // Oversized / malformed numeric fields.
+        assert!(parse("1e99999999999999999999").is_err() || parse("1e999").is_ok());
+        assert!(parse("--5").is_err());
+        assert!(parse("5..5").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse(&deep).is_err());
+        // Sane nesting still parses.
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = (1i128 << 100) + 7;
+        let v = parse(&Json::Int(big).render()).unwrap();
+        assert_eq!(v.as_i128(), Some(big));
+    }
+}

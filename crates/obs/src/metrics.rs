@@ -1,0 +1,361 @@
+//! Lock-sharded metrics registry: counters, gauges, log-bucketed
+//! mergeable histograms.
+//!
+//! Names are sharded by FNV hash across a fixed set of mutexes so
+//! unrelated instruments never contend. Snapshots are deterministic:
+//! instruments render sorted by name regardless of which shard holds
+//! them or in which order they were touched.
+//!
+//! Histograms bucket by the position of the value's highest set bit
+//! (bucket `i` holds values in `[2^(i-1), 2^i)`, bucket 0 holds zero),
+//! so `merge` is a bucket-wise add — associative and commutative — and
+//! worker-local histograms can be folded in any grouping without
+//! changing the result. Percentiles come from the bucket upper bound
+//! at the requested rank, which over-reports by at most 2× — the right
+//! trade for a dependency-free latency summary.
+//!
+//! A process-global registry can be installed once per process for
+//! engine-level hooks (`qsim` queue depth, batch counts, plan-cache
+//! hits). When nothing is installed the hook sites cost a single
+//! `OnceLock` load.
+
+use crate::json::Json;
+use crate::span::fnv64;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` samples (typically microseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket-wise add. Associative and commutative, so per-worker
+    /// histograms can be folded in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper bound of the bucket containing the sample at rank
+    /// `ceil(q * count)`; clamped to the observed max. Returns 0 for
+    /// an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                return (upper.min(u128::from(self.max))) as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Deterministic snapshot (non-empty buckets only, ascending).
+    pub fn json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| Json::Arr(vec![Json::Int(i as i128), Json::Int(i128::from(n))]))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Int(i128::from(self.count))),
+            ("sum", Json::Int(self.sum as i128)),
+            (
+                "min",
+                Json::Int(if self.count == 0 {
+                    0
+                } else {
+                    i128::from(self.min)
+                }),
+            ),
+            ("max", Json::Int(i128::from(self.max))),
+            ("p50", Json::Int(i128::from(self.percentile(0.50)))),
+            ("p95", Json::Int(i128::from(self.percentile(0.95)))),
+            ("p99", Json::Int(i128::from(self.percentile(0.99)))),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+const SHARDS: usize = 16;
+
+/// A lock-sharded registry of named instruments.
+pub struct Registry {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<Shard> {
+        &self.shards[(fnv64(name) % SHARDS as u64) as usize]
+    }
+
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                shard.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.shard(name)
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        shard.gauges.insert(name.to_string(), value);
+    }
+
+    /// Sets the gauge to `max(current, value)` — a high-water mark.
+    pub fn gauge_max(&self, name: &str, value: i64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard.gauges.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                shard.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.shard(name).lock().unwrap().gauges.get(name).copied()
+    }
+
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        shard
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Clone of the named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.shard(name)
+            .lock()
+            .unwrap()
+            .histograms
+            .get(name)
+            .cloned()
+    }
+
+    /// Deterministic snapshot of every instrument, sorted by name
+    /// within each kind:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn snapshot_json(&self) -> Json {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            for (k, v) in &shard.counters {
+                counters.insert(k.clone(), *v);
+            }
+            for (k, v) in &shard.gauges {
+                gauges.insert(k.clone(), *v);
+            }
+            for (k, v) in &shard.histograms {
+                histograms.insert(k.clone(), v.clone());
+            }
+        }
+        Json::Obj(vec![
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    counters
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::Int(i128::from(v))))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Json::Obj(
+                    gauges
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::Int(i128::from(v))))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Json::Obj(histograms.into_iter().map(|(k, v)| (k, v.json())).collect()),
+            ),
+        ])
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Installs the process-global registry used by engine-level hooks.
+/// Idempotent: the first call wins; later calls are ignored (the hooks
+/// need a stable referent for the life of the process).
+pub fn install_global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The global registry, if one was installed. Engine hooks call this
+/// on their fast path; when nothing is installed it is one atomic
+/// load and the hook vanishes.
+pub fn try_global() -> Option<&'static Registry> {
+    GLOBAL.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!(h.percentile(0.5) >= 3);
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let hist = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (hist(&[1, 5, 9]), hist(&[2, 1 << 40]), hist(&[0, 0, 7]));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut a_bc = b.clone();
+        a_bc.merge(&c);
+        let mut left = a.clone();
+        left.merge(&a_bc);
+        assert_eq!(ab_c, left);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let r = Registry::new();
+        r.counter_add("z.last", 3);
+        r.counter_add("a.first", 1);
+        r.gauge_set("depth", 4);
+        r.gauge_max("depth", 2);
+        r.histogram_record("lat_us", 250);
+        let text = r.snapshot_json().render();
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+        assert_eq!(r.gauge("depth"), Some(4));
+        assert_eq!(r.counter("a.first"), 1);
+        assert_eq!(text, r.snapshot_json().render());
+    }
+
+    #[test]
+    fn global_install_is_idempotent() {
+        let a = install_global() as *const Registry;
+        let b = install_global() as *const Registry;
+        assert_eq!(a, b);
+        assert!(try_global().is_some());
+    }
+}

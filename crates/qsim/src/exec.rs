@@ -351,6 +351,39 @@ pub struct Program {
     gate_count: usize,
 }
 
+/// Fusion counters for one trajectory plan, reported by
+/// [`Program::fusion_stats`]. Every source gate is accounted exactly
+/// once: either it stayed a gate-by-gate step (`barriers` — an active
+/// noise channel attaches after it) or it was absorbed into a fused
+/// run (`gates_fused`, broken down by run kind), so
+/// `gates_fused + barriers == gate_count` always.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Gates in the source circuit.
+    pub gate_count: usize,
+    /// Gates executed individually because their noise channel is
+    /// active (the noise barrier after each one blocks fusion).
+    pub barriers: usize,
+    /// Gates absorbed into fused runs (sum of the three kinds below).
+    pub gates_fused: usize,
+    /// Gates absorbed into fused single-qubit matrix runs.
+    pub one_q_gates: usize,
+    /// Gates absorbed into diagonal runs.
+    pub diagonal_gates: usize,
+    /// Gates absorbed into permutation runs.
+    pub permutation_gates: usize,
+    /// Number of fused single-qubit runs.
+    pub one_q_runs: usize,
+    /// Number of diagonal runs.
+    pub diagonal_runs: usize,
+    /// Number of permutation runs.
+    pub permutation_runs: usize,
+    /// Longest diagonal run (in gates).
+    pub diagonal_run_len_max: usize,
+    /// Longest permutation run (in gates).
+    pub permutation_run_len_max: usize,
+}
+
 /// The 2×2 matrix of a single-qubit gate (`None` for multi-qubit
 /// gates). Matches the matrices [`DenseState::apply`] uses.
 fn one_q_matrix(g: &Gate) -> Option<[Complex; 4]> {
@@ -590,6 +623,12 @@ impl Program {
         }
         flush(&mut pending, &mut kernels);
 
+        if let Some(reg) = rasengan_obs::metrics::try_global() {
+            reg.counter_add("qsim.fuse.programs", 1);
+            reg.counter_add("qsim.fuse.gates", circuit.len() as u64);
+            reg.counter_add("qsim.fuse.kernels", kernels.len() as u64);
+        }
+
         Program {
             n_qubits: circuit.n_qubits(),
             kernels,
@@ -607,6 +646,17 @@ impl Program {
     /// uses. With every channel active this degenerates to one
     /// [`PlanStep::Gate`] per gate — exactly today's unfused sequence.
     fn build_traj_plan(&self, act1: bool, act2: bool) -> Vec<PlanStep> {
+        self.build_traj_plan_stats(act1, act2).0
+    }
+
+    /// [`build_traj_plan`](Self::build_traj_plan) plus fusion counters,
+    /// tallied during the same walk so the stats can never drift from
+    /// the plan that actually executes.
+    fn build_traj_plan_stats(&self, act1: bool, act2: bool) -> (Vec<PlanStep>, FusionStats) {
+        let mut stats = FusionStats {
+            gate_count: self.gate_count,
+            ..FusionStats::default()
+        };
         let mut steps = Vec::new();
         let mut pending = Pending::None;
 
@@ -626,6 +676,7 @@ impl Program {
             if active {
                 flush(&mut pending, &mut steps);
                 steps.push(PlanStep::Gate(i as u32));
+                stats.barriers += 1;
                 continue;
             }
             if let Pending::OneQ(matrices, _) = &mut pending {
@@ -634,33 +685,61 @@ impl Program {
                         Some((_, acc)) => *acc = matmul(m, *acc),
                         None => matrices.push((q, m)),
                     }
+                    stats.one_q_gates += 1;
                     continue;
                 }
             }
             if let Some(term) = fi.diag {
+                stats.diagonal_gates += 1;
                 match &mut pending {
-                    Pending::Diag(terms) => terms.push(term),
+                    Pending::Diag(terms) => {
+                        terms.push(term);
+                        stats.diagonal_run_len_max = stats.diagonal_run_len_max.max(terms.len());
+                    }
                     _ => {
                         flush(&mut pending, &mut steps);
                         pending = Pending::Diag(vec![term]);
+                        stats.diagonal_runs += 1;
+                        stats.diagonal_run_len_max = stats.diagonal_run_len_max.max(1);
                     }
                 }
             } else if let Some(step) = fi.perm {
+                stats.permutation_gates += 1;
                 match &mut pending {
-                    Pending::Perm(run) => run.push(step),
+                    Pending::Perm(run) => {
+                        run.push(step);
+                        stats.permutation_run_len_max =
+                            stats.permutation_run_len_max.max(run.len());
+                    }
                     _ => {
                         flush(&mut pending, &mut steps);
                         pending = Pending::Perm(vec![step]);
+                        stats.permutation_runs += 1;
+                        stats.permutation_run_len_max = stats.permutation_run_len_max.max(1);
                     }
                 }
             } else {
                 let (q, m) = fi.one_q.expect("remaining gates are single-qubit");
                 flush(&mut pending, &mut steps);
                 pending = Pending::OneQ(vec![(q, m)], String::new());
+                stats.one_q_runs += 1;
+                stats.one_q_gates += 1;
             }
         }
         flush(&mut pending, &mut steps);
-        steps
+        stats.gates_fused = stats.one_q_gates + stats.diagonal_gates + stats.permutation_gates;
+        (steps, stats)
+    }
+
+    /// Fusion counters for the trajectory plan this program would run
+    /// under `noise`: how many gates execute gate-by-gate (noise
+    /// barriers), how many fuse into which kind of run, and the longest
+    /// diagonal/permutation runs. The invariant
+    /// `gates_fused + barriers == gate_count` holds for every program
+    /// and noise model (property-tested in `tests/properties.rs`).
+    pub fn fusion_stats(&self, noise: &NoiseModel) -> FusionStats {
+        let (act1, act2) = channel_activity(noise);
+        self.build_traj_plan_stats(act1, act2).1
     }
 
     /// Number of steps in the trajectory plan [`DenseTrajectoryRunner`]
@@ -873,6 +952,11 @@ impl<'p> DenseTrajectoryRunner<'p> {
         if self.plan_activity != Some(activity) {
             self.plan = self.program.build_traj_plan(activity.0, activity.1);
             self.plan_activity = Some(activity);
+            if let Some(reg) = rasengan_obs::metrics::try_global() {
+                reg.counter_add("qsim.traj_plan.miss", 1);
+            }
+        } else if let Some(reg) = rasengan_obs::metrics::try_global() {
+            reg.counter_add("qsim.traj_plan.hit", 1);
         }
         self.state.reset_zero();
         for step in &self.plan {

@@ -28,13 +28,11 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// used as the xoshiro seed expander. Unlike `seed.wrapping_add(k * C)`,
 /// nearby inputs produce unrelated outputs, so derived streams never
 /// replay each other.
-#[must_use]
-pub fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+///
+/// The definition lives in `rasengan-obs` (span-ID derivation uses the
+/// same finalizer); this re-export keeps `parallel::splitmix64` the
+/// canonical path for seed work.
+pub use rasengan_obs::splitmix64;
 
 /// Derives an independent RNG seed for stream `stream` of a base `seed`.
 ///
@@ -87,6 +85,15 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = threads.clamp(1, items.len().max(1));
+    // Engine-level metrics hook: one `OnceLock` load when no registry
+    // is installed, one counter bump per *call* (never per item) when
+    // one is. Batch counts are how the observability layer sees work
+    // distribution without touching the hot per-item path.
+    if let Some(reg) = rasengan_obs::metrics::try_global() {
+        reg.counter_add("qsim.par_map.calls", 1);
+        reg.counter_add("qsim.par_map.items", items.len() as u64);
+        reg.counter_add("qsim.par_map.batches", threads as u64);
+    }
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -205,7 +212,13 @@ impl<T> BoundedQueue<T> {
             return Err(item);
         }
         state.items.push_back(item);
+        let depth = state.items.len();
         drop(state);
+        if let Some(reg) = rasengan_obs::metrics::try_global() {
+            reg.counter_add("qsim.queue.pushed", 1);
+            reg.gauge_set("qsim.queue.depth", depth as i64);
+            reg.gauge_max("qsim.queue.depth_max", depth as i64);
+        }
         self.inner.available.notify_one();
         Ok(())
     }
@@ -217,6 +230,11 @@ impl<T> BoundedQueue<T> {
         let mut state = self.inner.state.lock().expect("queue poisoned");
         loop {
             if let Some(item) = state.items.pop_front() {
+                let depth = state.items.len();
+                drop(state);
+                if let Some(reg) = rasengan_obs::metrics::try_global() {
+                    reg.gauge_set("qsim.queue.depth", depth as i64);
+                }
                 return Some(item);
             }
             if state.closed {

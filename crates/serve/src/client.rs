@@ -23,7 +23,14 @@ fn roundtrip(addr: impl ToSocketAddrs, request_text: &str) -> std::io::Result<Re
     let _ = stream.shutdown(Shutdown::Write);
     let mut body = String::new();
     stream.read_to_string(&mut body)?;
-    Reply::parse(&body)
+    parse_response(&body)
+}
+
+/// Parses a raw response body, mapping protocol-level failures onto
+/// [`std::io::ErrorKind::InvalidData`] so callers see one error type
+/// for both transport and framing problems.
+fn parse_response(body: &str) -> std::io::Result<Reply> {
+    Reply::parse(body)
         .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidData, message))
 }
 
@@ -53,4 +60,80 @@ pub fn stats(addr: impl ToSocketAddrs) -> std::io::Result<Reply> {
 /// I/O errors talking to the server, or an unparseable response.
 pub fn ping(addr: impl ToSocketAddrs) -> std::io::Result<Reply> {
     roundtrip(addr, &format!("{PROTOCOL} PING\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ReplyStatus;
+
+    #[test]
+    fn response_sections_split_on_first_space_only() {
+        // Section bodies are JSON and JSON contains spaces inside
+        // strings; only the first space separates name from body.
+        let body = concat!(
+            "RASENGAN/1 OK\n",
+            "service {\"cache\":\"miss\",\"note\":\"a b c\"}\n",
+            "result {\"best\":{\"bits\":[0,1]}}\n",
+            "trace {\"label\":\"solve\"}\n",
+        );
+        let reply = parse_response(body).unwrap();
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        assert_eq!(
+            reply
+                .sections
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["service", "result", "trace"]
+        );
+        assert_eq!(
+            reply.section("service"),
+            Some("{\"cache\":\"miss\",\"note\":\"a b c\"}")
+        );
+        assert_eq!(
+            reply
+                .json("trace")
+                .unwrap()
+                .get("label")
+                .and_then(|v| v.as_str()),
+            Some("solve")
+        );
+    }
+
+    #[test]
+    fn framing_failures_map_to_invalid_data() {
+        for bad in ["", "HTTP/1.1 200 OK\n", "RASENGAN/1 MAYBE\n", "garbage"] {
+            let err = parse_response(bad).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "body {bad:?} should map to InvalidData, got {err}"
+            );
+        }
+        // Status parses but a section line has no space: still a
+        // framing error, same mapping.
+        let err = parse_response("RASENGAN/1 OK\nnospace\n").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn busy_and_error_statuses_are_data_not_errors() {
+        // A well-formed BUSY/ERROR reply is a successful parse; the
+        // caller inspects `status` — transport errors stay `Err`.
+        let busy = parse_response("RASENGAN/1 BUSY\nservice {\"queue_depth\":8}\n").unwrap();
+        assert_eq!(busy.status, ReplyStatus::Busy);
+        let error =
+            parse_response("RASENGAN/1 ERROR\nerror {\"kind\":\"basis\",\"message\":\"m\"}\n")
+                .unwrap();
+        assert_eq!(error.status, ReplyStatus::Error);
+        assert_eq!(
+            error
+                .json("error")
+                .unwrap()
+                .get("kind")
+                .and_then(|v| v.as_str()),
+            Some("basis")
+        );
+    }
 }

@@ -98,7 +98,22 @@ pub struct SolveRequest {
     /// Per-request deadline (`deadline-ms`), mapped onto the solver's
     /// per-stage wall-clock budget: train and execute each get half.
     pub deadline_ms: Option<u64>,
+    /// Request a structured trace (`trace` bare flag): the response
+    /// gains a `trace` section carrying the solve's deterministic span
+    /// tree.
+    pub trace: bool,
 }
+
+/// Upper bound on the bracketed problem body, in bytes. A hostile
+/// client cannot make the server buffer unbounded input; real problem
+/// files are a few KiB.
+pub const MAX_PROBLEM_BYTES: usize = 1 << 20;
+
+/// Upper bounds on numeric headers. Values beyond these are rejected
+/// as malformed rather than trusted into shot/iteration arithmetic.
+const MAX_SHOTS: usize = 10_000_000;
+const MAX_ITERATIONS: usize = 1_000_000;
+const MAX_RETRIES: usize = 64;
 
 impl SolveRequest {
     /// A request with default knobs for the given problem text.
@@ -111,6 +126,7 @@ impl SolveRequest {
             retries: 0,
             degrade: false,
             deadline_ms: None,
+            trace: false,
         }
     }
 
@@ -150,6 +166,12 @@ impl SolveRequest {
         self
     }
 
+    /// Requests a structured trace of the solve.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
     /// The solver configuration this request maps to. `retries 2` plus
     /// the `degrade` flag reproduce
     /// [`ResilienceConfig::recommended`] exactly, so a served solve is
@@ -176,7 +198,7 @@ impl SolveRequest {
             // gets half as its wall-clock ceiling.
             resilience = resilience.with_stage_seconds(ms as f64 / 1000.0 / 2.0);
         }
-        cfg.with_resilience(resilience)
+        cfg.with_resilience(resilience).with_trace(self.trace)
     }
 
     /// Renders the full request text (first line through
@@ -195,6 +217,9 @@ impl SolveRequest {
         }
         if self.degrade {
             out.push_str("degrade\n");
+        }
+        if self.trace {
+            out.push_str("trace\n");
         }
         if let Some(ms) = self.deadline_ms {
             out.push_str(&format!("deadline-ms {ms}\n"));
@@ -232,10 +257,13 @@ impl SolveRequest {
             };
             match key {
                 "seed" => request.seed = parse_header(key, value)?,
-                "shots" => request.shots = Some(parse_header(key, value)?),
-                "iterations" => request.iterations = Some(parse_header(key, value)?),
-                "retries" => request.retries = parse_header(key, value)?,
+                "shots" => request.shots = Some(parse_bounded(key, value, MAX_SHOTS)?),
+                "iterations" => {
+                    request.iterations = Some(parse_bounded(key, value, MAX_ITERATIONS)?)
+                }
+                "retries" => request.retries = parse_bounded(key, value, MAX_RETRIES)?,
                 "degrade" => request.degrade = true,
+                "trace" => request.trace = true,
                 "deadline-ms" => request.deadline_ms = Some(parse_header(key, value)?),
                 other => return Err(format!("unknown header `{other}`")),
             }
@@ -250,6 +278,9 @@ impl SolveRequest {
             if line.trim() == "END PROBLEM" {
                 break;
             }
+            if problem.len() + line.len() > MAX_PROBLEM_BYTES {
+                return Err(format!("problem body exceeds {MAX_PROBLEM_BYTES} bytes"));
+            }
             problem.push_str(&line);
         }
         request.problem_text = problem;
@@ -261,6 +292,17 @@ fn parse_header<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, Strin
     value
         .parse()
         .map_err(|_| format!("invalid value `{value}` for header `{key}`"))
+}
+
+/// Parses a numeric header and rejects values above `max`, so an
+/// oversized field becomes a structured error instead of feeding
+/// arbitrarily large numbers into downstream arithmetic.
+fn parse_bounded(key: &str, value: &str, max: usize) -> Result<usize, String> {
+    let parsed: usize = parse_header(key, value)?;
+    if parsed > max {
+        return Err(format!("header `{key}` value {parsed} exceeds limit {max}"));
+    }
+    Ok(parsed)
 }
 
 /// Response status.
@@ -530,6 +572,7 @@ mod tests {
             .with_iterations(40)
             .with_retries(2)
             .with_degrade()
+            .with_trace()
             .with_deadline_ms(5000);
         let text = request.render();
         let mut lines = text.lines();
@@ -563,6 +606,70 @@ mod tests {
         assert!(SolveRequest::parse_body(&mut truncated).is_err());
         let mut unknown = BufReader::new("volume 11\nBEGIN PROBLEM\nEND PROBLEM\n".as_bytes());
         assert!(SolveRequest::parse_body(&mut unknown).is_err());
+    }
+
+    #[test]
+    fn truncated_header_line_is_an_error_not_a_panic() {
+        // EOF mid-header (no trailing newline, no BEGIN PROBLEM).
+        let mut eof_mid_header = BufReader::new("shots 25".as_bytes());
+        let err = SolveRequest::parse_body(&mut eof_mid_header).unwrap_err();
+        assert!(err.contains("BEGIN PROBLEM"), "unexpected error: {err}");
+        // A header with a garbage value is rejected with the key named.
+        let mut garbage = BufReader::new("shots lots\nBEGIN PROBLEM\nEND PROBLEM\n".as_bytes());
+        let err = SolveRequest::parse_body(&mut garbage).unwrap_err();
+        assert!(err.contains("shots"), "unexpected error: {err}");
+        // EOF inside the body (END PROBLEM never arrives).
+        let mut eof_in_body = BufReader::new("BEGIN PROBLEM\nvars 2\n".as_bytes());
+        let err = SolveRequest::parse_body(&mut eof_in_body).unwrap_err();
+        assert!(err.contains("END PROBLEM"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn non_utf8_body_is_an_error_not_a_panic() {
+        let mut bytes = b"seed 1\nBEGIN PROBLEM\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, 0xfd, b'\n']);
+        bytes.extend_from_slice(b"END PROBLEM\n");
+        let mut reader = BufReader::new(bytes.as_slice());
+        assert!(SolveRequest::parse_body(&mut reader).is_err());
+    }
+
+    #[test]
+    fn oversized_fields_are_rejected() {
+        // A length-like field too large for u64 fails cleanly…
+        let text = "shots 99999999999999999999999999\nBEGIN PROBLEM\nEND PROBLEM\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        assert!(SolveRequest::parse_body(&mut reader).is_err());
+        // …and one that parses but exceeds the protocol cap is also
+        // rejected, with the limit named.
+        let text = "iterations 999999999\nBEGIN PROBLEM\nEND PROBLEM\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let err = SolveRequest::parse_body(&mut reader).unwrap_err();
+        assert!(err.contains("limit"), "unexpected error: {err}");
+        // An oversized problem body is cut off at MAX_PROBLEM_BYTES.
+        let mut text = String::from("BEGIN PROBLEM\n");
+        for _ in 0..=MAX_PROBLEM_BYTES / 16 {
+            text.push_str("vars 2 vars 2 vs\n");
+        }
+        text.push_str("END PROBLEM\n");
+        let mut reader = BufReader::new(text.as_bytes());
+        let err = SolveRequest::parse_body(&mut reader).unwrap_err();
+        assert!(err.contains("exceeds"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn trace_flag_round_trips_and_reaches_config() {
+        let request = SolveRequest::new("vars 1\n").with_trace();
+        assert!(request.render().lines().any(|l| l == "trace"));
+        let rest = request.render();
+        let rest = rest.split_once('\n').unwrap().1;
+        let parsed = SolveRequest::parse_body(&mut BufReader::new(rest.as_bytes())).unwrap();
+        assert!(parsed.trace);
+        assert!(parsed.config().trace);
+        // Absent the flag, the rendered request is unchanged from the
+        // pre-trace protocol and the config keeps tracing off.
+        let plain = SolveRequest::new("vars 1\n");
+        assert!(!plain.render().contains("trace"));
+        assert!(!plain.config().trace);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rasengan_core::solver::{Outcome, Prepared, Rasengan};
+use rasengan_obs::metrics::{install_global, Registry};
 use rasengan_problems::io::parse_problem;
 use rasengan_qsim::parallel::BoundedQueue;
 
@@ -73,6 +74,10 @@ pub struct ServeConfig {
     /// Socket read/write timeout, bounding how long a slow client can
     /// hold a thread.
     pub io_timeout: Duration,
+    /// Trace every solve, even when the request omits the `trace`
+    /// flag. Responses gain a `trace` section; `result` bytes are
+    /// unchanged.
+    pub trace_all: bool,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +90,7 @@ impl Default for ServeConfig {
             compile_cache_capacity: 64,
             solver_threads: None,
             io_timeout: Duration::from_secs(30),
+            trace_all: false,
         }
     }
 }
@@ -120,6 +126,12 @@ impl ServeConfig {
         self.solver_threads = Some(threads);
         self
     }
+
+    /// Traces every solve regardless of the request's `trace` flag.
+    pub fn with_trace_all(mut self) -> Self {
+        self.trace_all = true;
+        self
+    }
 }
 
 /// Everything a request needs beyond the problem itself — the result
@@ -135,10 +147,15 @@ struct ResultKey {
     retries: usize,
     degrade: bool,
     deadline_ms: Option<u64>,
+    /// Whether the cached outcome carries a span tree. A traced and an
+    /// untraced solve produce byte-identical `result` sections, but a
+    /// cached untraced outcome has no tree to put in the `trace`
+    /// section, so the two must not share a cache slot.
+    trace: bool,
 }
 
 impl ResultKey {
-    fn new(fingerprint: u128, request: &SolveRequest) -> Self {
+    fn new(fingerprint: u128, request: &SolveRequest, trace: bool) -> Self {
         ResultKey {
             fingerprint,
             seed: request.seed,
@@ -147,6 +164,7 @@ impl ResultKey {
             retries: request.retries,
             degrade: request.degrade,
             deadline_ms: request.deadline_ms,
+            trace,
         }
     }
 }
@@ -170,6 +188,10 @@ struct Shared {
     compiled_program_hits: AtomicU64,
     results: ShardedLru<ResultKey, Arc<Outcome>>,
     compiles: ShardedLru<u128, Arc<Prepared>>,
+    /// The process-wide metrics registry (`obs`). The engine's own
+    /// hooks (fusion counters, queue depth) land here too, so a
+    /// `STATS` snapshot covers the whole stack.
+    registry: &'static Registry,
 }
 
 /// A point-in-time snapshot of the service counters.
@@ -238,6 +260,7 @@ impl Shared {
             ("queue_depth", Json::Int(s.queue_depth as i128)),
             ("queue_capacity", Json::Int(self.queue.capacity() as i128)),
             ("workers", Json::Int(self.config.workers as i128)),
+            ("metrics", self.registry.snapshot_json()),
         ])
     }
 }
@@ -271,6 +294,9 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         compiled_program_hits: AtomicU64::new(0),
         results: ShardedLru::new(config.result_cache_capacity, 8),
         compiles: ShardedLru::new(config.compile_cache_capacity, 4),
+        // Installing the global registry also switches on the engine's
+        // metric hooks (gate fusion, trajectory-plan cache, queues).
+        registry: install_global(),
         config,
     });
 
@@ -447,7 +473,8 @@ fn handle_solve(shared: &Shared, mut job: Job) {
     };
 
     let fingerprint = problem.fingerprint();
-    let key = ResultKey::new(fingerprint, &request);
+    let trace = request.trace || shared.config.trace_all;
+    let key = ResultKey::new(fingerprint, &request, trace);
     if let Some(cached) = shared.results.get(&key) {
         let mut outcome = (*cached).clone();
         outcome.latency.stages.queue_s = queue_s;
@@ -456,7 +483,7 @@ fn handle_solve(shared: &Shared, mut job: Job) {
         return;
     }
 
-    let mut config = request.config();
+    let mut config = request.config().with_trace(trace);
     if let Some(threads) = shared.config.solver_threads {
         config = config.with_threads(threads);
     }
@@ -522,18 +549,131 @@ fn respond_ok(
     cache_note: &str,
 ) {
     shared.served_ok.fetch_add(1, Ordering::Relaxed);
+    shared.registry.counter_add("serve.requests", 1);
+    shared
+        .registry
+        .histogram_record("serve.queue_wait_us", (queue_s * 1e6) as u64);
+    shared.registry.histogram_record(
+        "serve.request_us",
+        job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
+    );
     let service = Json::obj(vec![
         ("fingerprint", Json::Str(format!("{fingerprint:#034x}"))),
         ("cache", Json::Str(cache_note.to_string())),
         ("queue_wait_ms", Json::Num(queue_s * 1000.0)),
     ]);
-    let reply = Reply::new(
-        ReplyStatus::Ok,
-        vec![
-            ("service", service),
-            ("result", outcome_json(outcome)),
-            ("timing", timing_json(outcome)),
-        ],
-    );
+    let mut sections = vec![
+        ("service", service),
+        ("result", outcome_json(outcome)),
+        ("timing", timing_json(outcome)),
+    ];
+    // The span tree rides in its own section so `result` stays
+    // byte-identical with and without tracing. Only the deterministic
+    // render is sent: IDs and structure, no wall-clock.
+    if let Some(tree) = &outcome.trace {
+        sections.push(("trace", tree.deterministic_json()));
+    }
+    let reply = Reply::new(ReplyStatus::Ok, sections);
     write_reply(job.reader.get_mut(), &reply);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn tiny_problem() -> &'static str {
+        include_str!("../../../examples/instances/F1.problem")
+    }
+
+    #[test]
+    fn verb_line_edge_cases() {
+        // The accept loop trusts `parse_verb` for header parsing;
+        // exercise the shapes a real socket produces: CRLF line
+        // endings, leading/trailing whitespace, extra tokens.
+        assert_eq!(parse_verb("RASENGAN/1 PING\r\n").unwrap(), Verb::Ping);
+        assert_eq!(parse_verb("  RASENGAN/1   STATS  ").unwrap(), Verb::Stats);
+        assert_eq!(parse_verb("RASENGAN/1 SOLVE extra").unwrap(), Verb::Solve);
+        assert!(parse_verb("").is_err());
+        assert!(parse_verb("\n").is_err());
+        assert!(parse_verb("RASENGAN/2 SOLVE").is_err());
+        assert!(parse_verb("RASENGAN/1").is_err());
+        assert!(parse_verb("rasengan/1 solve").is_err());
+    }
+
+    #[test]
+    fn result_key_separates_trace_from_untraced() {
+        let request = SolveRequest::new(tiny_problem()).with_seed(9);
+        let plain = ResultKey::new(1, &request, false);
+        let traced = ResultKey::new(1, &request, true);
+        assert_ne!(
+            plain, traced,
+            "a traced solve must not be served an untraced cache entry"
+        );
+        // The other knobs still distinguish keys as before.
+        let reseeded = ResultKey::new(1, &request.clone().with_seed(10), false);
+        assert_ne!(plain, reseeded);
+        assert_eq!(plain, ResultKey::new(1, &request, false));
+    }
+
+    #[test]
+    fn stats_reply_carries_registry_snapshot() {
+        let server = serve(ServeConfig::default().with_workers(1)).expect("bind");
+        let reply = {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(b"RASENGAN/1 STATS\n").unwrap();
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut body = String::new();
+            stream.read_to_string(&mut body).unwrap();
+            Reply::parse(&body).unwrap()
+        };
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        let stats = reply.json("stats").unwrap();
+        let metrics = stats.get("metrics").expect("stats include metrics");
+        for group in ["counters", "gauges", "histograms"] {
+            assert!(metrics.get(group).is_some(), "missing `{group}` group");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_solves_before_joining() {
+        // One worker, several admitted requests: write the requests,
+        // call shutdown *before* reading any reply, then read. Every
+        // admitted connection must still receive a complete response —
+        // the drain happens during shutdown, in admission order.
+        let server = serve(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(8),
+        )
+        .expect("bind");
+        let addr = server.addr();
+        let request = SolveRequest::new(tiny_problem())
+            .with_shots(64)
+            .with_iterations(2);
+        let streams: Vec<TcpStream> = (0..3)
+            .map(|_| {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(request.render().as_bytes()).unwrap();
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                stream
+            })
+            .collect();
+        // Wait for admission: accepted counts verb lines read, so all
+        // three being accepted means they are queued (or already being
+        // served) — none can be lost by the shutdown below.
+        while server.stats().accepted < 3 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+        for (i, mut stream) in streams.into_iter().enumerate() {
+            let mut body = String::new();
+            stream.read_to_string(&mut body).unwrap();
+            let reply =
+                Reply::parse(&body).unwrap_or_else(|e| panic!("stream {i}: {e}; body {body:?}"));
+            assert_eq!(reply.status, ReplyStatus::Ok, "stream {i}: {body:?}");
+            assert!(reply.section("result").is_some());
+        }
+    }
 }

@@ -20,6 +20,8 @@
 //!   execution, and purification-based error mitigation.
 //! * [`serve`] — std-only multi-client TCP solve service with result
 //!   and compile caches, admission control, and a blocking client.
+//! * [`obs`] — structured tracing (deterministic span trees) and
+//!   lock-sharded metrics (counters, gauges, log-bucketed histograms).
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@
 pub use rasengan_baselines as baselines;
 pub use rasengan_core as core;
 pub use rasengan_math as math;
+pub use rasengan_obs as obs;
 pub use rasengan_optim as optim;
 pub use rasengan_problems as problems;
 pub use rasengan_qsim as qsim;

@@ -74,6 +74,8 @@ struct Options {
     workers: usize,
     queue: usize,
     deadline_ms: Option<u64>,
+    trace: bool,
+    trace_path: Option<String>,
 }
 
 impl Options {
@@ -95,8 +97,10 @@ impl Options {
             workers: 4,
             queue: 64,
             deadline_ms: None,
+            trace: false,
+            trace_path: None,
         };
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
                 it.next()
@@ -137,6 +141,17 @@ impl Options {
                 }
                 "--degrade" => opts.degrade = true,
                 "--no-fuse" => opts.fuse = false,
+                "--trace" => {
+                    // Optionally valued: `--trace out.jsonl` exports the
+                    // span tree; a bare `--trace` (e.g. for `serve`)
+                    // just switches tracing on.
+                    opts.trace = true;
+                    if let Some(next) = it.peek() {
+                        if !next.starts_with('-') {
+                            opts.trace_path = it.next().cloned();
+                        }
+                    }
+                }
                 "--addr" => opts.addr = value("--addr")?,
                 "--workers" => {
                     opts.workers = value("--workers")?
@@ -220,6 +235,8 @@ FLAGS:
       --retries <N>        re-run a failed segment up to N times (rasengan)
       --degrade            continue past a dead segment instead of aborting
       --no-fuse            disable compiled-program execution (gate-by-gate)
+      --trace [PATH]       record a span tree; solve writes JSONL to PATH,
+                           serve traces every request, submit asks the server
       --addr <HOST:PORT>   service address (serve bind / submit target)
       --workers <N>        service worker threads (default 4)
       --queue <N>          service admission-queue capacity (default 64)
@@ -309,6 +326,9 @@ fn cmd_solve(opts: &Options) -> ExitCode {
             if !opts.fuse {
                 cfg = cfg.without_fusion();
             }
+            if opts.trace {
+                cfg = cfg.with_trace(true);
+            }
             if let Some(d) = device {
                 cfg = cfg.on_device(d);
             }
@@ -319,6 +339,20 @@ fn cmd_solve(opts: &Options) -> ExitCode {
                 Ok(o) => {
                     if !o.resilience.is_clean() {
                         resilience_note = Some(o.resilience.summary());
+                    }
+                    if let Some(tree) = &o.trace {
+                        match &opts.trace_path {
+                            Some(path) => {
+                                if let Err(e) = std::fs::write(path, tree.to_jsonl()) {
+                                    eprintln!("error: cannot write {path}: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                                println!("trace         : {} spans -> {path}", tree.count());
+                            }
+                            None => {
+                                println!("trace         : {} spans", tree.count());
+                            }
+                        }
                     }
                     (
                         o.best.bits,
@@ -387,10 +421,13 @@ fn cmd_solve(opts: &Options) -> ExitCode {
 }
 
 fn cmd_serve(opts: &Options) -> ExitCode {
-    let config = ServeConfig::default()
+    let mut config = ServeConfig::default()
         .with_addr(opts.addr.clone())
         .with_workers(opts.workers)
         .with_queue_capacity(opts.queue);
+    if opts.trace {
+        config = config.with_trace_all();
+    }
     let server = match serve(config) {
         Ok(server) => server,
         Err(e) => {
@@ -429,6 +466,9 @@ fn cmd_submit(opts: &Options) -> ExitCode {
     }
     if opts.degrade {
         request = request.with_degrade();
+    }
+    if opts.trace {
+        request = request.with_trace();
     }
     if let Some(ms) = opts.deadline_ms {
         request = request.with_deadline_ms(ms);

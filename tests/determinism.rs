@@ -269,6 +269,110 @@ fn registry_shapes_are_pinned() {
     }
 }
 
+/// Golden trace tree: a traced, fixed-seed solve of a committed
+/// example instance produces a byte-identical deterministic span
+/// rendering at `RASENGAN_THREADS` 1, 2, and 8 — and switching tracing
+/// on changes none of the result bytes. This is the tentpole guarantee
+/// of the obs subsystem: span IDs derive from structure (parent ID ×
+/// label × ordinal), never from time or scheduling.
+#[test]
+fn golden_trace_tree_identical_at_any_thread_count() {
+    use rasengan::serve::render_outcome;
+
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/instances/F1.problem"
+    ))
+    .expect("committed example instance");
+    let problem = rasengan::problems::io::parse_problem(&text).unwrap();
+    let cfg = RasenganConfig::default()
+        .with_seed(11)
+        .with_noise(NoiseModel::depolarizing(2e-3))
+        .with_shots(128)
+        .with_max_iterations(8)
+        .with_trace(true);
+
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            Rasengan::new(cfg.clone().with_threads(t))
+                .solve(&problem)
+                .unwrap()
+        })
+        .collect();
+
+    // Tracing must not perturb the solve itself: byte-compare the wire
+    // serialization against an untraced run at the same seed.
+    let untraced = Rasengan::new(cfg.clone().with_trace(false).with_threads(1))
+        .solve(&problem)
+        .unwrap();
+    assert!(untraced.trace.is_none());
+    assert_eq!(
+        render_outcome(&runs[0]),
+        render_outcome(&untraced),
+        "enabling --trace must not change any result byte"
+    );
+
+    // The deterministic rendering is the golden artifact: identical
+    // bytes at every thread count.
+    let rendered: Vec<String> = runs
+        .iter()
+        .map(|o| {
+            o.trace
+                .as_ref()
+                .expect("traced solve carries a tree")
+                .deterministic_json()
+                .render()
+        })
+        .collect();
+    assert_eq!(
+        rendered[0], rendered[1],
+        "trace tree differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        rendered[0], rendered[2],
+        "trace tree differs between 1 and 8 threads"
+    );
+
+    // Structural golden checks: the root is the solve, its stages ride
+    // as children in pipeline order, and the execute stage carries one
+    // span per planned segment with at least one attempt each.
+    let tree = runs[0].trace.as_ref().unwrap();
+    let root = &tree.root;
+    assert_eq!(root.label, "solve");
+    let stage_labels: Vec<&str> = root.children.iter().map(|c| c.label).collect();
+    assert_eq!(stage_labels, vec!["prepare", "train", "execute"]);
+    let execute = &root.children[2];
+    let segments: Vec<&rasengan::core::Span> = execute
+        .children
+        .iter()
+        .filter(|c| c.label == "segment")
+        .collect();
+    assert_eq!(segments.len(), runs[0].stats.n_segments);
+    for (i, seg) in segments.iter().enumerate() {
+        assert_eq!(seg.ordinal, i as u64);
+        assert!(
+            seg.children.iter().any(|c| c.label == "attempt"),
+            "segment {i} recorded no attempt span"
+        );
+    }
+    // Span IDs are unique across the tree (the derivation mixes the
+    // full path, so collisions would point at a hashing bug).
+    fn collect_ids(span: &rasengan::core::Span, ids: &mut Vec<u64>) {
+        ids.push(span.id);
+        for child in &span.children {
+            collect_ids(child, ids);
+        }
+    }
+    let mut ids = Vec::new();
+    collect_ids(root, &mut ids);
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "span IDs must be unique");
+    assert_eq!(n, tree.count());
+}
+
 /// A served solve must be byte-identical to the in-process solver for
 /// the same seed and knobs — at 1 worker and at 4 workers, and with
 /// the recommended resilience posture armed. The comparison is on the
@@ -306,6 +410,35 @@ fn served_solve_bitwise_matches_in_process() {
             local_bytes,
             "served result must be byte-identical (workers={workers})"
         );
+        // A traced request returns the same result bytes plus a
+        // `trace` section that byte-matches the in-process tree.
+        let traced_reply = submit(server.addr(), &request.clone().with_trace()).unwrap();
+        assert_eq!(traced_reply.status, ReplyStatus::Ok);
+        assert_eq!(traced_reply.section("result").unwrap(), local_bytes);
+        // The server solves via `solve_prepared` (the compile cache
+        // owns `prepare`), so the in-process reference does the same:
+        // its tree has no `prepare` child, exactly like the served one.
+        let local_solver = Rasengan::new(
+            RasenganConfig::default()
+                .with_seed(5)
+                .with_shots(256)
+                .with_max_iterations(12)
+                .with_resilience(ResilienceConfig::recommended())
+                .with_trace(true),
+        );
+        let prepared = local_solver.prepare(&problem).unwrap();
+        let local_traced = local_solver.solve_prepared(&problem, &prepared).unwrap();
+        assert_eq!(
+            traced_reply.section("trace").unwrap(),
+            local_traced
+                .trace
+                .as_ref()
+                .unwrap()
+                .deterministic_json()
+                .render(),
+            "served trace must byte-match the in-process span tree"
+        );
+
         // A repeat comes from the cache and must still be the same bytes.
         let cached = submit(server.addr(), &request).unwrap();
         assert_eq!(cached.section("result").unwrap(), local_bytes);

@@ -378,6 +378,114 @@ proptest! {
 }
 
 proptest! {
+    /// Fusion accounting is exhaustive: for any circuit and any noise
+    /// regime, every source gate is either fused into a run or
+    /// executed as a noise barrier — `gates_fused + barriers ==
+    /// gate_count` — and the per-kind counters are self-consistent.
+    /// (The counters are tallied inside the same walk that builds the
+    /// executed plan, so this pins the plan itself, not a shadow.)
+    #[test]
+    fn fusion_counters_account_for_every_gate(
+        ops in prop::collection::vec((0usize..13, 0usize..5, 0usize..5, -2.0f64..2.0), 1..40),
+        p1 in 0.0f64..0.01,
+        p2 in 0.0f64..0.01,
+        quiet1 in 0u64..2,
+        quiet2 in 0u64..2,
+    ) {
+        use rasengan::qsim::{NoiseModel, Program};
+        let n = 5;
+        let c = random_circuit(n, &ops, false);
+        let program = Program::compile(&c);
+        // Four activity regimes reachable by zeroing either channel:
+        // quiet/quiet (full fusion), mixed, and hot/hot (all barriers).
+        let noise = NoiseModel::ibm_like(
+            if quiet1 == 0 { 0.0 } else { p1.max(1e-4) },
+            if quiet2 == 0 { 0.0 } else { p2.max(1e-4) },
+            0.01,
+        );
+        let stats = program.fusion_stats(&noise);
+        prop_assert_eq!(stats.gate_count, program.gate_count());
+        prop_assert_eq!(
+            stats.gates_fused + stats.barriers,
+            stats.gate_count,
+            "every gate must be fused or a barrier: {stats:?}"
+        );
+        prop_assert_eq!(
+            stats.gates_fused,
+            stats.one_q_gates + stats.diagonal_gates + stats.permutation_gates
+        );
+        // Runs partition their gates: counts and maxima stay bounded,
+        // and a nonzero gate tally implies at least one run.
+        prop_assert!(stats.one_q_runs <= stats.one_q_gates);
+        prop_assert!(stats.diagonal_runs <= stats.diagonal_gates);
+        prop_assert!(stats.permutation_runs <= stats.permutation_gates);
+        prop_assert_eq!(stats.one_q_runs == 0, stats.one_q_gates == 0);
+        prop_assert_eq!(stats.diagonal_runs == 0, stats.diagonal_gates == 0);
+        prop_assert_eq!(stats.permutation_runs == 0, stats.permutation_gates == 0);
+        prop_assert!(stats.diagonal_run_len_max <= stats.diagonal_gates);
+        prop_assert!(stats.permutation_run_len_max <= stats.permutation_gates);
+        // With every channel active the plan degenerates to
+        // gate-by-gate: nothing fuses.
+        let all_hot = program.fusion_stats(&NoiseModel::ibm_like(0.002, 0.01, 0.01));
+        prop_assert_eq!(all_hot.gates_fused, 0);
+        prop_assert_eq!(all_hot.barriers, all_hot.gate_count);
+    }
+
+    /// Histogram merge is associative and commutative, and merging is
+    /// equivalent to recording the concatenated sample stream — the
+    /// property that makes per-shard histograms safe to aggregate in
+    /// any order.
+    #[test]
+    fn histogram_merge_associative_commutative(
+        xs in prop::collection::vec(0u64..1_000_000_000, 0..60),
+        ys in prop::collection::vec(0u64..1_000_000_000, 0..60),
+        zs in prop::collection::vec(0u64..1_000_000_000, 0..60),
+    ) {
+        use rasengan::obs::Histogram;
+        let of = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (of(&xs), of(&ys), of(&zs));
+
+        // Commutativity: a⊕b == b⊕a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a⊕b)⊕c == a⊕(b⊕c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Merge == record-all: the merged histogram is exactly the one
+        // built from the concatenated samples.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&ab_c, &of(&all));
+        prop_assert_eq!(ab_c.count(), all.len() as u64);
+
+        // Percentiles stay within the observed range (bucket upper
+        // bounds are clamped to the true max).
+        if !all.is_empty() {
+            let max = *all.iter().max().unwrap();
+            let min = *all.iter().min().unwrap();
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                let p = ab_c.percentile(q);
+                prop_assert!(p <= max, "p{q} = {p} above max {max}");
+                prop_assert!(ab_c.percentile(1.0) >= min);
+            }
+        }
+    }
+
     /// A problem's fingerprint is invariant under write→parse round
     /// trips and under comment / blank-line / whitespace / rename
     /// perturbations of its text form, across the whole registry —
