@@ -29,8 +29,12 @@ fn hist_ms(hist: &Histogram, q: f64) -> f64 {
 }
 
 /// Nearest-rank percentile of an unsorted sample, in milliseconds.
+/// An empty arm (every request shed, or a filter that matched nothing)
+/// reports 0 rather than aborting the whole bench run.
 fn percentile(samples: &mut [f64], q: f64) -> f64 {
-    assert!(!samples.is_empty());
+    if samples.is_empty() {
+        return 0.0;
+    }
     samples.sort_by(|a, b| a.total_cmp(b));
     let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
     samples[rank - 1]
@@ -288,5 +292,22 @@ fn main() {
     }
     if let Ok(p) = table.save_json("BENCH_loadgen") {
         println!("saved: {}", p.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_handles_empty_and_nearest_rank() {
+        assert_eq!(percentile(&mut [], 0.5), 0.0);
+        assert_eq!(percentile(&mut [], 0.99), 0.0);
+        let mut one = [7.0];
+        assert_eq!(percentile(&mut one, 0.5), 7.0);
+        let mut samples = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&mut samples, 0.5), 2.0);
+        assert_eq!(percentile(&mut samples, 1.0), 4.0);
+        assert_eq!(percentile(&mut samples, 0.0), 1.0);
     }
 }

@@ -51,6 +51,18 @@ pub struct StageTimes {
     pub cache_hit: bool,
 }
 
+impl StageTimes {
+    /// Sum of the disjoint stages: `prepare_s + train_s + execute_s +
+    /// queue_s`. `retry_s` is deliberately excluded — it is wall-clock
+    /// spent *inside* retried training/execution attempts and is
+    /// already counted there; adding it would double-count every
+    /// recovered segment. Use this (not a hand-rolled field sum) when
+    /// comparing the stage breakdown against `Latency::classical_s`.
+    pub fn stage_sum(&self) -> f64 {
+        self.prepare_s + self.train_s + self.execute_s + self.queue_s
+    }
+}
+
 /// Models the duration of one shot of a segment circuit given its CX
 /// depth and single-qubit layer count: reset + gates + readout.
 pub fn segment_shot_seconds(device: &Device, cx_depth: usize, layers_1q: usize) -> f64 {
@@ -82,6 +94,19 @@ mod tests {
             ..Latency::default()
         };
         assert!((l.total_s() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stage_sum_excludes_retry_overlap() {
+        let s = StageTimes {
+            prepare_s: 0.1,
+            train_s: 0.4,
+            execute_s: 0.2,
+            retry_s: 0.15, // subset of train_s/execute_s
+            queue_s: 0.05,
+            cache_hit: false,
+        };
+        assert!((s.stage_sum() - 0.75).abs() < 1e-15);
     }
 
     #[test]

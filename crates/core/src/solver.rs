@@ -104,6 +104,15 @@ pub struct RasenganConfig {
     /// fixed seed at *any* thread count: every shot draws from its own
     /// RNG stream derived from the seed and its global shot index.
     pub threads: Option<usize>,
+    /// Lockstep batch width for the dense trajectory engine
+    /// (`qsim::batch`): how many Monte-Carlo trajectories one kernel
+    /// sweep updates. `None` defers to the `RASENGAN_BATCH` environment
+    /// variable and then to auto (`min(8, shots)`). Like `threads`,
+    /// this is a throughput knob only: every shot draws from its own
+    /// seed-derived RNG stream, so results are bit-identical at any
+    /// batch width — including on the solve path itself, which runs
+    /// sparse segment states and never batches.
+    pub batch: Option<usize>,
     /// Recovery ladder: segment retry budget with shot escalation,
     /// graceful chain degradation, stage budgets, and (for testing) a
     /// deterministic fault-injection plan. All defaults are off, which
@@ -146,6 +155,7 @@ impl Default for RasenganConfig {
             initial_times: None,
             final_segment_shot_boost: 1,
             threads: None,
+            batch: None,
             resilience: ResilienceConfig::default(),
             fuse: true,
             trace: false,
@@ -245,6 +255,20 @@ impl RasenganConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
         self.threads = Some(threads);
+        self
+    }
+
+    /// Pins the dense trajectory engine's lockstep batch width (builder
+    /// style). The default (`None`) uses `RASENGAN_BATCH` or auto;
+    /// like [`with_threads`](Self::with_threads), any width yields
+    /// bit-identical results — only the wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn with_batch(mut self, lanes: usize) -> Self {
+        assert!(lanes > 0, "batch width must be positive");
+        self.batch = Some(lanes);
         self
     }
 

@@ -324,8 +324,13 @@ impl DenseState {
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> BTreeMap<u64, usize> {
         let mut cdf = Vec::with_capacity(self.amps.len());
         let mut acc = 0.0f64;
-        for a in &self.amps {
-            acc += a.norm_sqr();
+        let mut last_support = 0usize;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                last_support = i;
+            }
+            acc += p;
             cdf.push(acc);
         }
         let norm = acc;
@@ -333,8 +338,16 @@ impl DenseState {
         for _ in 0..shots {
             let r: f64 = rng.gen::<f64>() * norm;
             // First index whose cumulative mass exceeds r, falling back
-            // to the last label when r lands on accumulated rounding.
-            let outcome = cdf.partition_point(|&c| c <= r).min(cdf.len() - 1);
+            // to the last *supported* label when r lands on accumulated
+            // rounding. Clamping to `cdf.len() - 1` here would return an
+            // out-of-support label for a state whose mass has collapsed
+            // onto a prefix (e.g. after heavy amplitude damping) — the
+            // un-renormalized CDF tail is a flat plateau the fallback
+            // used to land on. The binary search itself can never select
+            // an interior zero-mass index (that needs cdf[i] > r with
+            // cdf[i-1] <= r and the two equal), so for healthy states
+            // this clamp is byte-identical to the old one.
+            let outcome = cdf.partition_point(|&c| c <= r).min(last_support);
             *counts.entry(outcome as u64).or_insert(0) += 1;
         }
         counts
@@ -348,18 +361,28 @@ impl DenseState {
     /// identical RNG consumption (one draw).
     pub fn sample_one(&self, rng: &mut impl Rng) -> u64 {
         let mut norm = 0.0f64;
-        for a in &self.amps {
-            norm += a.norm_sqr();
+        let mut last_support = 0usize;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                last_support = i;
+            }
+            norm += p;
         }
         let r: f64 = rng.gen::<f64>() * norm;
         let mut acc = 0.0f64;
-        for (i, a) in self.amps.iter().enumerate() {
-            acc += a.norm_sqr();
+        // The prefix scan cannot terminate past the last supported
+        // index (later prefixes are flat), so the fallback — reached
+        // when rounding pushes r up to the full norm, or the norm is
+        // degenerate (0/NaN after pathological damping) — clamps to the
+        // support instead of the raw last label.
+        for i in 0..=last_support {
+            acc += self.amps[i].norm_sqr();
             if acc > r {
                 return i as u64;
             }
         }
-        (self.amps.len() - 1) as u64
+        last_support as u64
     }
 }
 
@@ -455,6 +478,29 @@ mod tests {
             // Both must consume exactly one draw.
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn sampling_degenerate_states_stays_in_support() {
+        // Mass collapsed onto a prefix (the post-heavy-damping shape):
+        // trailing zero-amplitude labels must never be drawn.
+        let mut amps = vec![Complex::ZERO; 8];
+        amps[1] = Complex::new(0.3, -0.4);
+        let s = DenseState::from_amplitudes(3, amps);
+        let mut rng = StdRng::seed_from_u64(99);
+        let counts = s.sample(500, &mut rng);
+        assert_eq!(counts, BTreeMap::from([(1u64, 500usize)]));
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert_eq!(s.sample_one(&mut rng), 1);
+        }
+        // A numerically zero state: the old fallback clamped to the
+        // last raw label (here 3); the clamp must stay in the support
+        // prefix and return label 0.
+        let zero = DenseState::from_amplitudes(2, vec![Complex::ZERO; 4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(zero.sample_one(&mut rng), 0);
+        assert_eq!(zero.sample(4, &mut rng), BTreeMap::from([(0u64, 4usize)]));
     }
 
     #[test]

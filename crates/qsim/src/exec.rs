@@ -122,7 +122,11 @@ pub enum PermStep {
 /// Applies a permutation run to one `(label, amplitude)` pair, walking
 /// the steps in gate order.
 #[inline]
-fn apply_perm_steps(steps: &[PermStep], mut label: Label, mut amp: Complex) -> (Label, Complex) {
+pub(crate) fn apply_perm_steps(
+    steps: &[PermStep],
+    mut label: Label,
+    mut amp: Complex,
+) -> (Label, Complex) {
     for s in steps {
         match *s {
             PermStep::Xor(m) => label ^= m,
@@ -180,7 +184,7 @@ pub enum Kernel {
 /// masks, angles, and matrices precomputed. Application is bit-identical
 /// to [`DenseState::apply`] on the corresponding [`Gate`].
 #[derive(Clone, Copy, Debug)]
-enum GateOp {
+pub(crate) enum GateOp {
     OneQ {
         q: usize,
         m: [Complex; 4],
@@ -236,10 +240,10 @@ impl GateOp {
 /// barrier needs (touched-qubit range into the program's flat buffer
 /// and the arity class selecting `p1` vs `p2`).
 #[derive(Clone, Debug)]
-struct TrajGate {
-    op: GateOp,
-    qubits: (u32, u32),
-    multi: bool,
+pub(crate) struct TrajGate {
+    pub(crate) op: GateOp,
+    pub(crate) qubits: (u32, u32),
+    pub(crate) multi: bool,
 }
 
 /// What the compiler is currently accumulating.
@@ -262,7 +266,7 @@ struct FuseInfo {
 
 /// One step of a noise-specialized trajectory plan.
 #[derive(Clone, Debug)]
-enum PlanStep {
+pub(crate) enum PlanStep {
     /// A gate whose noise channel is active: apply the compiled op,
     /// then its noise barrier — exactly the gate-by-gate sequence.
     Gate(u32),
@@ -283,15 +287,15 @@ const PERM_TABLE_MAX_QUBITS: usize = 22;
 /// into a scatter table so the hot loop is `out[index[l]] = f·amps[l]`
 /// instead of re-walking the step chain per amplitude.
 #[derive(Clone, Debug)]
-struct PermRun {
+pub(crate) struct PermRun {
     /// Label-transform steps in gate order (the fallback above the
     /// table threshold, and the source the table is built from).
-    steps: Vec<PermStep>,
+    pub(crate) steps: Vec<PermStep>,
     /// Destination label per source label (empty above the threshold).
-    index: Vec<u32>,
+    pub(crate) index: Vec<u32>,
     /// Amplitude factor per source label — products of the `±i` phases
     /// `Y` flips contribute; empty when every factor is 1.
-    factors: Vec<Complex>,
+    pub(crate) factors: Vec<Complex>,
 }
 
 impl PermRun {
@@ -345,9 +349,9 @@ impl PermRun {
 pub struct Program {
     n_qubits: usize,
     kernels: Vec<Kernel>,
-    traj: Vec<TrajGate>,
+    pub(crate) traj: Vec<TrajGate>,
     fuse_info: Vec<FuseInfo>,
-    qubit_buf: Vec<usize>,
+    pub(crate) qubit_buf: Vec<usize>,
     gate_count: usize,
 }
 
@@ -645,7 +649,7 @@ impl Program {
     /// gates re-fuse through the same classification the kernel compiler
     /// uses. With every channel active this degenerates to one
     /// [`PlanStep::Gate`] per gate — exactly today's unfused sequence.
-    fn build_traj_plan(&self, act1: bool, act2: bool) -> Vec<PlanStep> {
+    pub(crate) fn build_traj_plan(&self, act1: bool, act2: bool) -> Vec<PlanStep> {
         self.build_traj_plan_stats(act1, act2).0
     }
 
@@ -904,7 +908,7 @@ fn apply_perm_run_dense(state: &mut DenseState, run: &PermRun, scratch: &mut Vec
 /// gate regardless of arity, so either damping rate activates both.
 /// Readout error attaches at measurement, not at gates, so it never
 /// creates a barrier.
-fn channel_activity(noise: &NoiseModel) -> (bool, bool) {
+pub(crate) fn channel_activity(noise: &NoiseModel) -> (bool, bool) {
     let damping = noise.amplitude_damping > 0.0 || noise.phase_damping > 0.0;
     (noise.p1 > 0.0 || damping, noise.p2 > 0.0 || damping)
 }

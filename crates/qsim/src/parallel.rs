@@ -71,6 +71,31 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
     }
 }
 
+/// Splits `0..total` into at most `parts` contiguous, order-preserving
+/// ranges of near-equal length (first ranges get the remainder).
+///
+/// Used to assign whole work slabs — e.g. batched-trajectory groups —
+/// to [`par_map`] workers while keeping the global index order intact,
+/// which is what makes batched results byte-identical to sequential
+/// execution at any thread count.
+#[must_use]
+pub fn split_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, total.max(1));
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
 /// Maps `f` over `items` on up to `threads` scoped threads, returning
 /// results in input order.
 ///
@@ -292,6 +317,25 @@ mod tests {
         use std::collections::HashSet;
         let outputs: HashSet<u64> = (0..10_000u64).map(splitmix64).collect();
         assert_eq!(outputs.len(), 10_000);
+    }
+
+    #[test]
+    fn split_ranges_covers_in_order() {
+        for (total, parts) in [(0, 4), (1, 4), (7, 3), (8, 3), (13, 4), (100, 7), (5, 9)] {
+            let ranges = split_ranges(total, parts);
+            let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..total).collect::<Vec<_>>(), "{total}/{parts}");
+            assert!(ranges.len() <= parts.max(1));
+            if let (Some(min), Some(max)) = (
+                ranges.iter().map(ExactSizeIterator::len).min(),
+                ranges.iter().map(ExactSizeIterator::len).max(),
+            ) {
+                assert!(
+                    max - min <= 1,
+                    "unbalanced split {total}/{parts}: {ranges:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -447,7 +447,11 @@ impl SparseState {
         let mut labels = Vec::with_capacity(support.len());
         let mut cdf = Vec::with_capacity(support.len());
         let mut acc = 0.0f64;
-        for (l, p) in support {
+        let mut last_support = 0usize;
+        for (i, (l, p)) in support.into_iter().enumerate() {
+            if p > 0.0 {
+                last_support = i;
+            }
             acc += p;
             labels.push(l);
             cdf.push(acc);
@@ -456,6 +460,7 @@ impl SparseState {
             labels,
             cdf,
             total: acc,
+            last_support,
         }
     }
 
@@ -531,6 +536,12 @@ pub struct PreparedSampler {
     labels: Vec<Label>,
     cdf: Vec<f64>,
     total: f64,
+    /// Index of the last entry with nonzero mass. A support entry can
+    /// carry zero probability (an amplitude damped to exactly 0 that
+    /// still occupies its map slot), so the rounding fallback clamps
+    /// here rather than to `labels.len() - 1` — otherwise a degenerate
+    /// norm would let the draw return a zero-probability label.
+    last_support: usize,
 }
 
 impl PreparedSampler {
@@ -538,12 +549,12 @@ impl PreparedSampler {
     pub fn draw(&self, rng: &mut impl Rng) -> Label {
         let r: f64 = rng.gen::<f64>() * self.total;
         // First entry whose cumulative mass exceeds r; accumulated
-        // rounding can push r past the last entry, which falls back to
-        // the maximum label exactly like the old linear scan did.
-        let idx = self
-            .cdf
-            .partition_point(|&c| c <= r)
-            .min(self.labels.len() - 1);
+        // rounding can push r past the last supported entry (and a
+        // 0/NaN total sends the search to the ends), so the fallback
+        // clamps into the support. The binary search cannot select an
+        // interior zero-mass entry itself (its cdf value equals its
+        // predecessor's), so healthy states draw exactly as before.
+        let idx = self.cdf.partition_point(|&c| c <= r).min(self.last_support);
         self.labels[idx]
     }
 
@@ -646,6 +657,29 @@ mod tests {
             chi2 += (obs - e).powi(2) / e.max(1e-9);
         }
         assert!(chi2 < 30.0, "chi-squared {chi2} too large");
+    }
+
+    #[test]
+    fn prepared_sampler_clamps_degenerate_norms_into_support() {
+        // A support slot damped to exactly zero at the top label: the
+        // rounding fallback must clamp to the last *supported* entry,
+        // never the zero-probability one.
+        let mut s = SparseState::basis_state(3, 0b001);
+        s.amps.insert(0b100, Complex::ZERO);
+        let sampler = s.prepared_sampler();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert_eq!(sampler.draw(&mut rng), 0b001);
+        }
+        // Every amplitude exactly zero (total mass 0): the draw must
+        // fall back to the first label, not the maximum one.
+        let mut z = SparseState::basis_state(2, 0b00);
+        *z.amps.get_mut(&0b00).unwrap() = Complex::ZERO;
+        z.amps.insert(0b11, Complex::ZERO);
+        let sampler = z.prepared_sampler();
+        for _ in 0..20 {
+            assert_eq!(sampler.draw(&mut rng), 0b00);
+        }
     }
 
     #[test]

@@ -98,6 +98,11 @@ pub struct SolveRequest {
     /// Per-request deadline (`deadline-ms`), mapped onto the solver's
     /// per-stage wall-clock budget: train and execute each get half.
     pub deadline_ms: Option<u64>,
+    /// Lockstep trajectory batch width (`batch`; default: solver's).
+    /// A throughput knob like the server's thread count: it cannot
+    /// change solve results, so it is deliberately absent from the
+    /// result-cache key.
+    pub batch: Option<usize>,
     /// Request a structured trace (`trace` bare flag): the response
     /// gains a `trace` section carrying the solve's deterministic span
     /// tree.
@@ -114,6 +119,7 @@ pub const MAX_PROBLEM_BYTES: usize = 1 << 20;
 const MAX_SHOTS: usize = 10_000_000;
 const MAX_ITERATIONS: usize = 1_000_000;
 const MAX_RETRIES: usize = 64;
+const MAX_BATCH: usize = 64;
 
 impl SolveRequest {
     /// A request with default knobs for the given problem text.
@@ -126,6 +132,7 @@ impl SolveRequest {
             retries: 0,
             degrade: false,
             deadline_ms: None,
+            batch: None,
             trace: false,
         }
     }
@@ -166,6 +173,12 @@ impl SolveRequest {
         self
     }
 
+    /// Pins the lockstep trajectory batch width.
+    pub fn with_batch(mut self, lanes: usize) -> Self {
+        self.batch = Some(lanes);
+        self
+    }
+
     /// Requests a structured trace of the solve.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
@@ -184,6 +197,9 @@ impl SolveRequest {
         }
         if let Some(iters) = self.iterations {
             cfg = cfg.with_max_iterations(iters);
+        }
+        if let Some(lanes) = self.batch {
+            cfg = cfg.with_batch(lanes);
         }
         let mut resilience = ResilienceConfig::default();
         if self.retries > 0 {
@@ -223,6 +239,9 @@ impl SolveRequest {
         }
         if let Some(ms) = self.deadline_ms {
             out.push_str(&format!("deadline-ms {ms}\n"));
+        }
+        if let Some(lanes) = self.batch {
+            out.push_str(&format!("batch {lanes}\n"));
         }
         out.push_str("BEGIN PROBLEM\n");
         out.push_str(&self.problem_text);
@@ -265,6 +284,13 @@ impl SolveRequest {
                 "degrade" => request.degrade = true,
                 "trace" => request.trace = true,
                 "deadline-ms" => request.deadline_ms = Some(parse_header(key, value)?),
+                "batch" => {
+                    let lanes = parse_bounded(key, value, MAX_BATCH)?;
+                    if lanes == 0 {
+                        return Err("header `batch` must be positive".to_string());
+                    }
+                    request.batch = Some(lanes);
+                }
                 other => return Err(format!("unknown header `{other}`")),
             }
         }
@@ -573,7 +599,8 @@ mod tests {
             .with_retries(2)
             .with_degrade()
             .with_trace()
-            .with_deadline_ms(5000);
+            .with_deadline_ms(5000)
+            .with_batch(4);
         let text = request.render();
         let mut lines = text.lines();
         assert_eq!(parse_verb(lines.next().unwrap()).unwrap(), Verb::Solve);
@@ -670,6 +697,28 @@ mod tests {
         let plain = SolveRequest::new("vars 1\n");
         assert!(!plain.render().contains("trace"));
         assert!(!plain.config().trace);
+    }
+
+    #[test]
+    fn batch_header_round_trips_and_reaches_config() {
+        let request = SolveRequest::new("vars 1\n").with_batch(4);
+        assert!(request.render().lines().any(|l| l == "batch 4"));
+        let rest = request.render();
+        let rest = rest.split_once('\n').unwrap().1;
+        let parsed = SolveRequest::parse_body(&mut BufReader::new(rest.as_bytes())).unwrap();
+        assert_eq!(parsed.batch, Some(4));
+        assert_eq!(parsed.config().batch, Some(4));
+        // Absent the header, the rendered request matches the pre-batch
+        // protocol and the config defers to env/auto resolution.
+        let plain = SolveRequest::new("vars 1\n");
+        assert!(!plain.render().contains("batch"));
+        assert_eq!(plain.config().batch, None);
+        // Zero and oversized widths are protocol errors, not panics.
+        for bad in ["batch 0\n", "batch 65\n"] {
+            let text = format!("{bad}BEGIN PROBLEM\nEND PROBLEM\n");
+            let mut reader = BufReader::new(text.as_bytes());
+            assert!(SolveRequest::parse_body(&mut reader).is_err(), "{bad}");
+        }
     }
 
     #[test]

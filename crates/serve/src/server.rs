@@ -23,8 +23,9 @@
 //!
 //! * **Result cache** — finished [`Outcome`]s keyed on the problem
 //!   [`fingerprint`](rasengan_problems::fingerprint) plus every
-//!   training knob the request can set. Worker-thread count is *not*
-//!   part of the key: results are thread-count-invariant.
+//!   training knob the request can set. Worker-thread count and the
+//!   trajectory batch width are *not* part of the key: results are
+//!   invariant under both.
 //! * **Compile cache** — [`Prepared`] artifacts (reduced basis,
 //!   transition chain, segment plan) keyed on fingerprint alone. That
 //!   key is sound because [`Rasengan::prepare`] reads only
@@ -135,9 +136,10 @@ impl ServeConfig {
 }
 
 /// Everything a request needs beyond the problem itself — the result
-/// cache key. Worker and engine thread counts are deliberately absent:
-/// outcomes are bit-identical at any parallelism, so a result computed
-/// under one thread count serves every other.
+/// cache key. Worker and engine thread counts are deliberately absent,
+/// and so is the trajectory batch width (`batch` header): outcomes are
+/// bit-identical at any parallelism or lane count, so a result computed
+/// under one thread/batch configuration serves every other.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct ResultKey {
     fingerprint: u128,

@@ -69,6 +69,7 @@ struct Options {
     retries: usize,
     degrade: bool,
     fuse: bool,
+    batch: Option<usize>,
     out: Option<String>,
     addr: String,
     workers: usize,
@@ -92,6 +93,7 @@ impl Options {
             retries: 0,
             degrade: false,
             fuse: true,
+            batch: None,
             out: None,
             addr: "127.0.0.1:7878".to_string(),
             workers: 4,
@@ -141,6 +143,15 @@ impl Options {
                 }
                 "--degrade" => opts.degrade = true,
                 "--no-fuse" => opts.fuse = false,
+                "--batch" => {
+                    let lanes: usize = value("--batch")?
+                        .parse()
+                        .map_err(|_| "batch must be an integer".to_string())?;
+                    if lanes == 0 {
+                        return Err("batch must be positive".to_string());
+                    }
+                    opts.batch = Some(lanes);
+                }
                 "--trace" => {
                     // Optionally valued: `--trace out.jsonl` exports the
                     // span tree; a bare `--trace` (e.g. for `serve`)
@@ -235,6 +246,8 @@ FLAGS:
       --retries <N>        re-run a failed segment up to N times (rasengan)
       --degrade            continue past a dead segment instead of aborting
       --no-fuse            disable compiled-program execution (gate-by-gate)
+      --batch <N>          lockstep trajectory batch width (default: auto;
+                           env RASENGAN_BATCH; results are batch-invariant)
       --trace [PATH]       record a span tree; solve writes JSONL to PATH,
                            serve traces every request, submit asks the server
       --addr <HOST:PORT>   service address (serve bind / submit target)
@@ -325,6 +338,9 @@ fn cmd_solve(opts: &Options) -> ExitCode {
             }
             if !opts.fuse {
                 cfg = cfg.without_fusion();
+            }
+            if let Some(lanes) = opts.batch {
+                cfg = cfg.with_batch(lanes);
             }
             if opts.trace {
                 cfg = cfg.with_trace(true);
@@ -466,6 +482,9 @@ fn cmd_submit(opts: &Options) -> ExitCode {
     }
     if opts.degrade {
         request = request.with_degrade();
+    }
+    if let Some(lanes) = opts.batch {
+        request = request.with_batch(lanes);
     }
     if opts.trace {
         request = request.with_trace();

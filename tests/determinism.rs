@@ -119,6 +119,116 @@ fn noisy_solve_identical_at_any_thread_count() {
 }
 
 #[test]
+fn batched_trajectories_bitwise_match_sequential() {
+    // The lockstep batched engine must reproduce the per-stream
+    // sequential labels bitwise at every lane width × thread count, in
+    // every noise regime — including widths the shot count does not
+    // divide, where the remainder falls back to the single-trajectory
+    // path.
+    use rasengan::qsim::{sample_trajectories, Circuit, Gate, Program};
+
+    let n = 6;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::Ry(q, 0.3 + 0.1 * q as f64));
+        c.push(Gate::Rz(q, 0.2 * (q + 1) as f64));
+    }
+    for q in 0..n {
+        c.push(Gate::Cx(q, (q + 1) % n));
+    }
+    let program = Program::compile(&c);
+
+    let regimes = [
+        // Readout only: gate kernels fuse, no mid-circuit draws.
+        ("quiet", NoiseModel::ibm_like(0.0, 0.0, 0.02)),
+        // Everything at once: Pauli rolls plus both damping channels,
+        // so every lane draws (and sometimes rescales) mid-circuit.
+        (
+            "hot",
+            NoiseModel::depolarizing(0.05)
+                .with_amplitude_damping(0.02)
+                .with_phase_damping(0.01),
+        ),
+        // Two-qubit channel only: noise barriers on the entangler ring.
+        ("mixed", NoiseModel::ibm_like(0.0, 0.03, 0.01)),
+    ];
+    // 13 shots: not divisible by 2, 4, or 8.
+    let shots = 13;
+    for (regime, noise) in &regimes {
+        let reference = sample_trajectories(&program, noise, shots, 77, Some(1), Some(1));
+        assert_eq!(reference.len(), shots);
+        for k in [1usize, 2, 4, 8] {
+            for threads in [1usize, 4] {
+                let batched =
+                    sample_trajectories(&program, noise, shots, 77, Some(k), Some(threads));
+                assert_eq!(
+                    reference, batched,
+                    "[{regime}] K={k} threads={threads} diverged from sequential"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn solve_identical_at_any_batch_width() {
+    // `batch` is a throughput knob: a noisy solve must produce the
+    // same bytes whatever lane width is requested (the solve path is
+    // sparse and never batches, and the dense engine is batch-invariant
+    // by construction — this guards the config plumbing end to end).
+    let cfg = RasenganConfig::default()
+        .with_seed(7)
+        .with_noise(NoiseModel::depolarizing(2e-3))
+        .with_shots(128)
+        .with_max_iterations(8);
+    let base = Rasengan::new(cfg.clone()).solve(&f1()).unwrap();
+    for k in [1usize, 4, 8] {
+        let run = Rasengan::new(cfg.clone().with_batch(k))
+            .solve(&f1())
+            .unwrap();
+        assert_eq!(base.distribution, run.distribution, "batch={k}");
+        assert_eq!(base.expectation, run.expectation, "batch={k}");
+        assert_eq!(base.trained_times, run.trained_times, "batch={k}");
+        assert_eq!(base.total_shots, run.total_shots, "batch={k}");
+    }
+}
+
+#[test]
+fn degenerate_damping_solve_identical_at_any_thread_count() {
+    // Heavy damping drives trajectory norms into the sampler's
+    // degenerate regime (the clamped fallback paths in
+    // `DenseState::sample` / `PreparedSampler`) and biases shots out of
+    // the constraint subspace, so the solve legitimately ends in
+    // `NoFeasibleOutput` — the regression being guarded is that the
+    // sampler neither panics ("cannot normalize zero state") nor emits
+    // out-of-support labels, and that the outcome (success or error) is
+    // identical at every thread count.
+    let cfg = RasenganConfig::default()
+        .with_seed(3)
+        .with_noise(
+            NoiseModel::ibm_like(0.0, 0.0, 0.01)
+                .with_amplitude_damping(1.0)
+                .with_phase_damping(0.9),
+        )
+        .with_shots(64)
+        .with_max_iterations(4);
+    let runs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(
+            |&t| match Rasengan::new(cfg.clone().with_threads(t)).solve(&f1()) {
+                Ok(o) => format!(
+                    "ok dist={:?} exp={:?} shots={}",
+                    o.distribution, o.expectation, o.total_shots
+                ),
+                Err(e) => format!("err {e:?}"),
+            },
+        )
+        .collect();
+    assert_eq!(runs[0], runs[1], "threads 1 vs 2 diverged");
+    assert_eq!(runs[0], runs[2], "threads 1 vs 8 diverged");
+}
+
+#[test]
 fn exact_solve_identical_at_any_thread_count() {
     // The exact (shots: None) branch propagates input labels in
     // parallel but folds the mixture in input order, fixing the

@@ -75,6 +75,50 @@ fn transient_kill_recovers_with_retry() {
 }
 
 #[test]
+fn retry_time_is_a_subset_not_an_extra_stage() {
+    // Stage accounting under retries: `retry_s` is wall-clock spent
+    // *inside* retried attempts, i.e. a subset of `train_s`/`execute_s`.
+    // A correct breakdown therefore satisfies both
+    //   retry_s <= train_s + execute_s   (no double-billing), and
+    //   stage_sum() ~= classical_s       (the disjoint stages cover the
+    //                                     measured classical wall-clock).
+    let plan = FaultPlan::new(fault_seed()).kill_segment(1, 1);
+    let outcome = Rasengan::new(
+        noisy_cfg(21).with_resilience(
+            ResilienceConfig::default()
+                .with_retry_budget(2)
+                .with_fault_plan(plan),
+        ),
+    )
+    .solve(&f1())
+    .expect("a transient kill must be absorbed by the retry budget");
+
+    let lat = &outcome.latency;
+    let st = &lat.stages;
+    assert!(
+        st.retry_s > 0.0,
+        "the killed attempt must bill retry time: {st:?}"
+    );
+    // Timer granularity and the instants captured just outside the
+    // attempt loop mean the bounds need slack, but only a little.
+    let eps = 0.05 + 0.25 * lat.classical_s;
+    assert!(
+        st.retry_s <= st.train_s + st.execute_s + eps,
+        "retry_s exceeds the stages that contain it: {st:?}"
+    );
+    assert!(
+        st.stage_sum() <= lat.classical_s + eps,
+        "stage sum overshoots classical wall-clock: {st:?} vs {}",
+        lat.classical_s
+    );
+    assert!(
+        lat.classical_s - st.stage_sum() <= eps,
+        "stage sum leaves classical wall-clock unaccounted: {st:?} vs {}",
+        lat.classical_s
+    );
+}
+
+#[test]
 fn permanent_kill_exhausts_retries_and_degrades() {
     // Segment 1 dies on every attempt. With degradation armed the chain
     // must skip it — falling back to the previous segment's feasible
