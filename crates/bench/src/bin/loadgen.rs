@@ -12,9 +12,15 @@
 //!   capacity one) flooded concurrently: some requests must be shed
 //!   with a structured `BUSY` response, and every request must get
 //!   *some* well-formed answer (no panic, no indefinite block).
+//! * **warm-restart** — the main server runs with `--state-dir`; after
+//!   it shuts down, a fresh server on the same directory replays the
+//!   cold corpus. Measures restart-to-warm time and the first-100-
+//!   request warm hit rate (must be ≥90%), and checks disk-served
+//!   `result` bytes are byte-identical to the original cold solves.
 //!
 //! Reports throughput and p50/p95/p99 per arm and saves
-//! `BENCH_loadgen.{csv,json}` under `target/rasengan-reports/`.
+//! `BENCH_loadgen.{csv,json}` plus the warm-restart metrics as
+//! `BENCH_persist.{csv,json}` under `target/rasengan-reports/`.
 
 use rasengan_bench::{report::fmt, RunSettings, Table};
 use rasengan_obs::metrics::{try_global, Histogram};
@@ -72,7 +78,13 @@ fn main() {
         ],
     );
 
-    let server = serve(ServeConfig::default()).expect("bind ephemeral port");
+    // The main server persists everything it computes, so the
+    // warm-restart arm can replay the cold corpus from disk later.
+    let state_dir =
+        std::env::temp_dir().join(format!("rasengan-loadgen-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let server =
+        serve(ServeConfig::default().with_state_dir(&state_dir)).expect("bind ephemeral port");
     let addr = server.addr();
 
     // Client-side latency histogram (obs log-bucketed, micros): every
@@ -246,6 +258,114 @@ fn main() {
     assert_eq!(shed, busy as u64, "shed counter matches BUSY replies");
     tiny.shutdown();
 
+    // --- warm-restart arm: a fresh server process-equivalent (new
+    // caches, same state directory) replays the cold corpus. The disk
+    // tier must carry the warmth across the restart: ≥90% of the first
+    // 100 requests hit (memory or disk), and every served result is
+    // byte-identical to the original cold solve.
+    let restart_started = Instant::now();
+    let restarted =
+        serve(ServeConfig::default().with_state_dir(&state_dir)).expect("bind ephemeral port");
+    let restarted_addr = restarted.addr();
+    let recovered = restarted.stats().persist;
+    assert!(
+        recovered.recovered >= (ids.len() as u64) * seeds_per_id,
+        "recovery must readmit the cold corpus (got {} records)",
+        recovered.recovered
+    );
+    assert_eq!(
+        recovered.quarantined, 0,
+        "clean shutdown leaves no corruption"
+    );
+
+    let first_n = 100usize;
+    let mut restart_ms = Vec::new();
+    let mut warm_hits = 0usize;
+    let mut restart_to_warm_ms = f64::NAN;
+    for i in 0..first_n {
+        let (id, seed, baseline) = &cold_results[i % cold_results.len()];
+        let request = request_for(id, *seed, &settings);
+        let started = Instant::now();
+        let reply = submit(restarted_addr, &request).expect("warm-restart submit");
+        client_hist.record(started.elapsed().as_micros() as u64);
+        restart_ms.push(started.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(reply.status, ReplyStatus::Ok, "warm-restart solve failed");
+        let cache = reply
+            .json("service")
+            .expect("service section")
+            .get("cache")
+            .and_then(|c| c.as_str())
+            .map(str::to_string)
+            .unwrap_or_default();
+        if cache == "hit" || cache == "disk-hit" {
+            warm_hits += 1;
+            if restart_to_warm_ms.is_nan() {
+                restart_to_warm_ms = restart_started.elapsed().as_secs_f64() * 1000.0;
+            }
+            assert_eq!(
+                reply.section("result").unwrap(),
+                baseline,
+                "warm-restart result must be byte-identical to the cold solve"
+            );
+        }
+    }
+    let hit_rate = warm_hits as f64 / first_n as f64;
+    let restart_stats = restarted.stats().persist;
+    println!(
+        "warm-restart: {warm_hits}/{first_n} warm ({:.0}%), restart-to-warm {} ms, \
+         {} disk hits, {} disk misses",
+        hit_rate * 100.0,
+        fmt(restart_to_warm_ms),
+        restart_stats.disk_hits,
+        restart_stats.disk_misses
+    );
+    assert!(
+        hit_rate >= 0.90,
+        "warm-restart hit rate must be >=90% (got {:.0}%)",
+        hit_rate * 100.0
+    );
+    assert!(
+        restart_stats.disk_hits >= cold_results.len() as u64,
+        "every replayed corpus entry must be served from disk once"
+    );
+    restarted.shutdown();
+
+    let mut persist_table = Table::new(
+        "persist: warm-restart recovery",
+        vec![
+            "arm",
+            "requests",
+            "warm_hits",
+            "hit_rate",
+            "restart_to_warm_ms",
+            "recovered",
+            "quarantined",
+            "disk_hits",
+            "p50_ms",
+            "p95_ms",
+        ],
+    );
+    persist_table.row(vec![
+        "warm-restart".into(),
+        first_n.to_string(),
+        warm_hits.to_string(),
+        fmt(hit_rate),
+        fmt(restart_to_warm_ms),
+        recovered.recovered.to_string(),
+        recovered.quarantined.to_string(),
+        restart_stats.disk_hits.to_string(),
+        fmt(percentile(&mut restart_ms, 0.50)),
+        fmt(percentile(&mut restart_ms, 0.95)),
+    ]);
+    persist_table.print();
+    if let Ok(p) = persist_table.save_csv("persist") {
+        println!("saved: {}", p.display());
+    }
+    if let Ok(p) = persist_table.save_json("BENCH_persist") {
+        println!("saved: {}", p.display());
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+
     // --- obs histogram rows: the client-side merged histogram, and the
     // server-side `serve.request_us` histogram the service records into
     // the global registry (both servers above share it, since they run
@@ -253,7 +373,7 @@ fn main() {
     // may sit slightly above the exact nearest-rank values.
     assert_eq!(
         client_hist.count(),
-        (cold_n + repeats + flood) as u64,
+        (cold_n + repeats + flood + first_n) as u64,
         "every request must be recorded in the obs histogram"
     );
     table.row(vec![

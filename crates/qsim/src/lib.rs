@@ -77,6 +77,7 @@ pub mod route;
 pub mod sparse;
 pub mod synth;
 pub mod verify;
+pub mod wire;
 
 pub use batch::{sample_trajectories, DenseBatch, DenseBatchRunner};
 pub use circuit::Circuit;

@@ -1,0 +1,601 @@
+//! Compact binary wire format for persisted artifacts.
+//!
+//! The on-disk tier (PR 7) stores compiled artifacts and finished
+//! outcomes as flat byte records. This module provides the shared
+//! primitives: a little-endian [`WireWriter`]/[`WireReader`] pair whose
+//! encodings are canonical (one value, one byte sequence — so
+//! byte-equality of encodings means value equality), the FNV-1a
+//! checksum the record headers carry, and a codec for [`Circuit`] —
+//! the qter-style compiler/interpreter split where the *source* gate
+//! list is the durable form and [`Program::compile`](
+//! crate::exec::Program::compile) deterministically rebuilds the fused
+//! kernels on load.
+//!
+//! # Corruption discipline
+//!
+//! Every reader method is total: corrupt or truncated input returns
+//! [`WireError`], never panics and never reads out of bounds. Decoders
+//! built on top (circuit here, `Prepared`/`Outcome` in
+//! `rasengan-core`) add semantic validation — qubit bounds, ternary
+//! entries, range sanity — so a record that passes its checksum but
+//! carries nonsense still degrades to a structured error. The storage
+//! layer treats any [`WireError`] as "quarantine and recompute".
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Error decoding a wire payload. Carries enough to name the failure
+/// in quarantine accounting, nothing more — corrupt records are not
+/// worth a backtrace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the value it promised.
+    Truncated,
+    /// A field decoded but failed semantic validation.
+    Invalid(&'static str),
+    /// Bytes remained after the decoder consumed the full value.
+    Trailing,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("payload truncated"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+            WireError::Trailing => f.write_str("trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// 64-bit FNV-1a over a byte slice — the record checksum. Not
+/// cryptographic; the threat model is bit rot and torn writes, not an
+/// adversary with write access to the state directory.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends little-endian primitives to a growing buffer.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128` (basis-state labels, fingerprints).
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the format is 64-bit regardless of
+    /// host width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` by bit pattern — exact round trip, including
+    /// NaN payloads and signed zeros, so re-serialized outcomes stay
+    /// byte-identical.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+}
+
+/// Reads little-endian primitives from a byte slice, refusing to read
+/// past the end.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the full slice.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors with [`WireError::Trailing`] unless the payload was
+    /// consumed exactly. Decoders call this last so a record with junk
+    /// appended is rejected, not silently accepted.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing)
+        }
+    }
+
+    /// Consumes and returns every byte not yet read — for payloads
+    /// that embed a key prefix followed by an opaque codec body.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u128`.
+    pub fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values the host
+    /// cannot represent.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Invalid("usize overflows host"))
+    }
+
+    /// Reads a length-like `usize` and sanity-checks it against the
+    /// bytes actually remaining (each element needs at least
+    /// `min_element_bytes`). A corrupt length field then fails here
+    /// with [`WireError::Truncated`] instead of driving a
+    /// multi-gigabyte `Vec::with_capacity`.
+    pub fn len(&mut self, min_element_bytes: usize) -> Result<usize, WireError> {
+        let n = self.usize()?;
+        if n.checked_mul(min_element_bytes.max(1))
+            .is_none_or(|need| need > self.remaining())
+        {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool, rejecting anything but 0 or 1 (canonical form —
+    /// a flipped bit in a bool must not decode silently).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("non-canonical bool")),
+        }
+    }
+}
+
+/// Gate tags of the circuit codec. Fixed for all time once a format
+/// version ships; new gates append new tags.
+mod tag {
+    pub const X: u8 = 0;
+    pub const Y: u8 = 1;
+    pub const Z: u8 = 2;
+    pub const H: u8 = 3;
+    pub const RX: u8 = 4;
+    pub const RY: u8 = 5;
+    pub const RZ: u8 = 6;
+    pub const PHASE: u8 = 7;
+    pub const CX: u8 = 8;
+    pub const CZ: u8 = 9;
+    pub const SWAP: u8 = 10;
+    pub const RZZ: u8 = 11;
+    pub const CP: u8 = 12;
+    pub const MCP: u8 = 13;
+    pub const MCX: u8 = 14;
+}
+
+/// Encodes a circuit as `n_qubits · gate_count · gates`. The durable
+/// form is the source gate list, not the fused kernels:
+/// [`Program::compile`](crate::exec::Program::compile) is
+/// deterministic, so compiling a decoded circuit reproduces the
+/// original program exactly, and the format stays valid across kernel
+/// layout changes.
+pub fn encode_circuit(circuit: &Circuit) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.usize(circuit.n_qubits());
+    w.usize(circuit.len());
+    for gate in circuit.gates() {
+        encode_gate(&mut w, gate);
+    }
+    w.into_bytes()
+}
+
+fn encode_gate(w: &mut WireWriter, gate: &Gate) {
+    match gate {
+        Gate::X(q) => {
+            w.u8(tag::X);
+            w.usize(*q);
+        }
+        Gate::Y(q) => {
+            w.u8(tag::Y);
+            w.usize(*q);
+        }
+        Gate::Z(q) => {
+            w.u8(tag::Z);
+            w.usize(*q);
+        }
+        Gate::H(q) => {
+            w.u8(tag::H);
+            w.usize(*q);
+        }
+        Gate::Rx(q, t) => {
+            w.u8(tag::RX);
+            w.usize(*q);
+            w.f64(*t);
+        }
+        Gate::Ry(q, t) => {
+            w.u8(tag::RY);
+            w.usize(*q);
+            w.f64(*t);
+        }
+        Gate::Rz(q, t) => {
+            w.u8(tag::RZ);
+            w.usize(*q);
+            w.f64(*t);
+        }
+        Gate::Phase(q, t) => {
+            w.u8(tag::PHASE);
+            w.usize(*q);
+            w.f64(*t);
+        }
+        Gate::Cx(c, t) => {
+            w.u8(tag::CX);
+            w.usize(*c);
+            w.usize(*t);
+        }
+        Gate::Cz(c, t) => {
+            w.u8(tag::CZ);
+            w.usize(*c);
+            w.usize(*t);
+        }
+        Gate::Swap(a, b) => {
+            w.u8(tag::SWAP);
+            w.usize(*a);
+            w.usize(*b);
+        }
+        Gate::Rzz(a, b, t) => {
+            w.u8(tag::RZZ);
+            w.usize(*a);
+            w.usize(*b);
+            w.f64(*t);
+        }
+        Gate::Cp(c, t, theta) => {
+            w.u8(tag::CP);
+            w.usize(*c);
+            w.usize(*t);
+            w.f64(*theta);
+        }
+        Gate::Mcp {
+            controls,
+            target,
+            theta,
+        } => {
+            w.u8(tag::MCP);
+            w.usize(controls.len());
+            for &c in controls {
+                w.usize(c);
+            }
+            w.usize(*target);
+            w.f64(*theta);
+        }
+        Gate::Mcx { controls, target } => {
+            w.u8(tag::MCX);
+            w.usize(controls.len());
+            for &c in controls {
+                w.usize(c);
+            }
+            w.usize(*target);
+        }
+    }
+}
+
+/// Decodes a circuit encoded by [`encode_circuit`], validating every
+/// qubit index against the register width (via [`Circuit::push`]'s
+/// invariant, checked here *before* pushing so corrupt input errors
+/// instead of panicking).
+pub fn decode_circuit(bytes: &[u8]) -> Result<Circuit, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n_qubits = r.usize()?;
+    if n_qubits > 128 {
+        return Err(WireError::Invalid("register wider than 128 qubits"));
+    }
+    let n_gates = r.len(1)?;
+    let mut circuit = Circuit::new(n_qubits);
+    let qubit = |r: &mut WireReader| -> Result<usize, WireError> {
+        let q = r.usize()?;
+        if q >= n_qubits {
+            return Err(WireError::Invalid("qubit outside register"));
+        }
+        Ok(q)
+    };
+    for _ in 0..n_gates {
+        let gate = match r.u8()? {
+            tag::X => Gate::X(qubit(&mut r)?),
+            tag::Y => Gate::Y(qubit(&mut r)?),
+            tag::Z => Gate::Z(qubit(&mut r)?),
+            tag::H => Gate::H(qubit(&mut r)?),
+            tag::RX => Gate::Rx(qubit(&mut r)?, r.f64()?),
+            tag::RY => Gate::Ry(qubit(&mut r)?, r.f64()?),
+            tag::RZ => Gate::Rz(qubit(&mut r)?, r.f64()?),
+            tag::PHASE => Gate::Phase(qubit(&mut r)?, r.f64()?),
+            tag::CX => Gate::Cx(qubit(&mut r)?, qubit(&mut r)?),
+            tag::CZ => Gate::Cz(qubit(&mut r)?, qubit(&mut r)?),
+            tag::SWAP => Gate::Swap(qubit(&mut r)?, qubit(&mut r)?),
+            tag::RZZ => Gate::Rzz(qubit(&mut r)?, qubit(&mut r)?, r.f64()?),
+            tag::CP => Gate::Cp(qubit(&mut r)?, qubit(&mut r)?, r.f64()?),
+            tag::MCP => {
+                let n = r.len(8)?;
+                let controls = (0..n)
+                    .map(|_| qubit(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Gate::Mcp {
+                    controls,
+                    target: qubit(&mut r)?,
+                    theta: r.f64()?,
+                }
+            }
+            tag::MCX => {
+                let n = r.len(8)?;
+                let controls = (0..n)
+                    .map(|_| qubit(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Gate::Mcx {
+                    controls,
+                    target: qubit(&mut r)?,
+                }
+            }
+            _ => return Err(WireError::Invalid("unknown gate tag")),
+        };
+        circuit.push(gate);
+    }
+    r.finish()?;
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Program;
+    use crate::DenseState;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .x(1)
+            .rx(2, 0.3)
+            .ry(3, -0.7)
+            .rz(0, 1.1)
+            .phase(1, 0.25)
+            .cx(0, 1)
+            .rzz(1, 2, 0.5)
+            .cp(2, 3, -0.4)
+            .mcp(vec![0, 1], 2, 0.9)
+            .mcx(vec![1, 2, 3], 0);
+        c.push(Gate::Y(2));
+        c.push(Gate::Z(3));
+        c.push(Gate::Cz(0, 3));
+        c.push(Gate::Swap(1, 3));
+        c
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.u16(65535);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.u128(u128::MAX / 3);
+        w.i64(-42);
+        w.usize(123_456);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.bool(false);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.usize().unwrap(), 123_456);
+        // -0.0 and NaN must survive by bit pattern.
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_never_reads_past_end() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert_eq!(r.u64(), Err(WireError::Truncated));
+        // A failed read consumes nothing; the last byte is intact.
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.u8(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn length_fields_are_bounded_by_remaining_bytes() {
+        // A corrupt 2^60 length must fail fast, not allocate.
+        let mut w = WireWriter::new();
+        w.usize(1 << 60);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.len(8), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn non_canonical_bool_rejected() {
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(r.bool(), Err(WireError::Invalid("non-canonical bool")));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = WireWriter::new();
+        w.u8(1);
+        let mut bytes = w.into_bytes();
+        bytes.push(0);
+        let mut r = WireReader::new(&bytes);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(WireError::Trailing));
+    }
+
+    #[test]
+    fn fnv64_detects_single_bit_flips() {
+        let bytes = encode_circuit(&sample_circuit());
+        let clean = fnv64(&bytes);
+        for bit in [0, 7, 63, 8 * bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(fnv64(&flipped), clean, "flip at bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn circuit_round_trips_exactly() {
+        let circuit = sample_circuit();
+        let bytes = encode_circuit(&circuit);
+        let decoded = decode_circuit(&bytes).unwrap();
+        assert_eq!(decoded, circuit);
+        // Canonical: re-encoding yields the same bytes.
+        assert_eq!(encode_circuit(&decoded), bytes);
+    }
+
+    #[test]
+    fn decoded_circuit_compiles_to_an_equivalent_program() {
+        // The compiler/interpreter split: the durable form is the gate
+        // list, and compiling the decoded circuit must reproduce the
+        // original program's dense execution exactly.
+        let circuit = sample_circuit();
+        let decoded = decode_circuit(&encode_circuit(&circuit)).unwrap();
+        let original = Program::compile(&circuit);
+        let reloaded = Program::compile(&decoded);
+        let mut a = DenseState::zero_state(circuit.n_qubits());
+        let mut b = DenseState::zero_state(circuit.n_qubits());
+        original.run_dense(&mut a);
+        reloaded.run_dense(&mut b);
+        for l in 0..(1u64 << circuit.n_qubits()) {
+            let (x, y) = (a.amplitude(l), b.amplitude(l));
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "label {l}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "label {l}");
+        }
+    }
+
+    #[test]
+    fn corrupt_circuits_error_instead_of_panicking() {
+        let bytes = encode_circuit(&sample_circuit());
+        // Truncations at every prefix length.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_circuit(&bytes[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+        // An out-of-register qubit index.
+        let mut w = WireWriter::new();
+        w.usize(2);
+        w.usize(1);
+        w.u8(tag::X);
+        w.usize(5);
+        assert_eq!(
+            decode_circuit(&w.into_bytes()),
+            Err(WireError::Invalid("qubit outside register"))
+        );
+        // An unknown gate tag.
+        let mut w = WireWriter::new();
+        w.usize(2);
+        w.usize(1);
+        w.u8(200);
+        assert_eq!(
+            decode_circuit(&w.into_bytes()),
+            Err(WireError::Invalid("unknown gate tag"))
+        );
+        // An absurd register width.
+        let mut w = WireWriter::new();
+        w.usize(100_000);
+        w.usize(0);
+        assert!(decode_circuit(&w.into_bytes()).is_err());
+    }
+}

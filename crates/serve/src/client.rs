@@ -12,6 +12,65 @@ use crate::protocol::{Reply, SolveRequest, PROTOCOL};
 /// keep-nothing — the server writes in one burst when done.
 const DEFAULT_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// Bounded exponential backoff for transient connection failures —
+/// the client half of warm restarts: a server being bounced refuses
+/// connections for a moment, and a retrying client rides through and
+/// observes the restart-to-warm transition end-to-end.
+///
+/// Only connection-level failures (refused, reset, aborted) are
+/// retried. Anything after a connection is established — a malformed
+/// reply, a server-side error, a read timeout — is returned
+/// immediately: the request may have been acted on, and replaying it
+/// is the caller's decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connection attempts (1 = no retries).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Ceiling on the per-retry delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy making `attempts` total attempts with the default
+    /// backoff (50 ms doubling, capped at 2 s).
+    pub fn attempts(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `retry` (0-based): base delay
+    /// doubled per retry, saturating at the cap.
+    fn delay(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(retry.min(20)));
+        exp.min(self.max_delay)
+    }
+
+    fn should_retry(err: &std::io::Error) -> bool {
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::ConnectionRefused
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+        )
+    }
+}
+
 fn roundtrip(addr: impl ToSocketAddrs, request_text: &str) -> std::io::Result<Reply> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
@@ -42,6 +101,32 @@ fn parse_response(body: &str) -> std::io::Result<Reply> {
 /// I/O errors talking to the server, or an unparseable response.
 pub fn submit(addr: impl ToSocketAddrs, request: &SolveRequest) -> std::io::Result<Reply> {
     roundtrip(addr, &request.render())
+}
+
+/// [`submit`] with bounded exponential backoff on connection-refused,
+/// -reset, and -aborted — for riding through a server restart.
+///
+/// # Errors
+///
+/// The final attempt's error once the policy is exhausted, or
+/// immediately for any non-connection failure.
+pub fn submit_with_retry(
+    addr: impl ToSocketAddrs + Copy,
+    request: &SolveRequest,
+    policy: RetryPolicy,
+) -> std::io::Result<Reply> {
+    let text = request.render();
+    let mut retry = 0u32;
+    loop {
+        match roundtrip(addr, &text) {
+            Ok(reply) => return Ok(reply),
+            Err(err) if retry + 1 < policy.attempts.max(1) && RetryPolicy::should_retry(&err) => {
+                std::thread::sleep(policy.delay(retry));
+                retry += 1;
+            }
+            Err(err) => return Err(err),
+        }
+    }
 }
 
 /// Fetches the service counters (`STATS` verb).
@@ -115,6 +200,80 @@ mod tests {
         // framing error, same mapping.
         let err = parse_response("RASENGAN/1 OK\nnospace\n").unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn retry_backoff_is_bounded_and_doubling() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(45),
+        };
+        assert_eq!(policy.delay(0), Duration::from_millis(10));
+        assert_eq!(policy.delay(1), Duration::from_millis(20));
+        assert_eq!(policy.delay(2), Duration::from_millis(40));
+        // …then the cap holds forever, including absurd retry counts.
+        assert_eq!(policy.delay(3), Duration::from_millis(45));
+        assert_eq!(policy.delay(1000), Duration::from_millis(45));
+        // Only connection-level failures are retryable.
+        for kind in [
+            std::io::ErrorKind::ConnectionRefused,
+            std::io::ErrorKind::ConnectionReset,
+            std::io::ErrorKind::ConnectionAborted,
+        ] {
+            assert!(RetryPolicy::should_retry(&std::io::Error::from(kind)));
+        }
+        for kind in [
+            std::io::ErrorKind::InvalidData,
+            std::io::ErrorKind::TimedOut,
+            std::io::ErrorKind::WouldBlock,
+        ] {
+            assert!(!RetryPolicy::should_retry(&std::io::Error::from(kind)));
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_return_the_connection_error() {
+        // A port with nothing listening: bind, read the address, drop.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        let request = SolveRequest::new("vars 1\n");
+        let err = submit_with_retry(addr, &request, policy).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn retries_ride_through_a_server_coming_up() {
+        use crate::server::{serve, ServeConfig};
+        // Reserve an ephemeral port, release it, and bring the server
+        // up on it only after a delay — the first client attempts are
+        // refused and the backoff carries the request through.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            serve(ServeConfig::default().with_addr(addr.to_string())).expect("late bind")
+        });
+        let request = SolveRequest::new(include_str!("../../../examples/instances/F1.problem"))
+            .with_shots(64)
+            .with_iterations(2);
+        let policy = RetryPolicy {
+            attempts: 40,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(100),
+        };
+        let reply = submit_with_retry(addr, &request, policy).expect("retries ride through");
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        server.join().unwrap().shutdown();
     }
 
     #[test]

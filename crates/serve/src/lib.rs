@@ -6,6 +6,7 @@
 //! | [`protocol`] | wire format: line-oriented requests, sectioned JSON responses |
 //! | [`server`] | listener, worker pool, admission control, graceful drain |
 //! | [`cache`] | sharded LRU for finished outcomes and compiled artifacts |
+//! | [`persist`] | crash-safe on-disk warm-state tier: versioned records, quarantine, recovery |
 //! | [`client`] | blocking submit/stats/ping helpers |
 //! | [`json`] | canonical JSON writer + small parser |
 //!
@@ -37,10 +38,14 @@
 pub mod cache;
 pub mod client;
 pub mod json;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ping, stats, submit};
+pub use client::{ping, stats, submit, submit_with_retry, RetryPolicy};
 pub use json::Json;
-pub use protocol::{outcome_json, render_outcome, Reply, ReplyStatus, SolveRequest, Verb};
+pub use persist::{OutcomeKey, Persist, PersistStats, StorageFault, StorageFaultPlan};
+pub use protocol::{
+    outcome_json, render_outcome, Reply, ReplyStatus, RequestError, SolveRequest, Verb,
+};
 pub use server::{serve, ServeConfig, ServeStats, ServerHandle};

@@ -49,6 +49,57 @@ use crate::json::{self, Json};
 /// Protocol tag opening every request and response.
 pub const PROTOCOL: &str = "RASENGAN/1";
 
+/// Why reading a request body failed — the protocol's structured
+/// error. The split matters operationally: a [`RequestError::Timeout`]
+/// means the per-connection IO deadline fired (a slow or stalled
+/// client), which the server counts separately from malformed input
+/// and reports with its own `kind` tag so clients can tell "I was too
+/// slow" from "my request was wrong".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The socket read deadline expired before the request completed.
+    Timeout(String),
+    /// The request was malformed (bad header, missing bracket,
+    /// oversized field, non-UTF-8 body, or a non-timeout IO failure).
+    Malformed(String),
+}
+
+impl RequestError {
+    /// The stable `kind` tag the error section carries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestError::Timeout(_) => "timeout",
+            RequestError::Malformed(_) => "bad-request",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            RequestError::Timeout(m) | RequestError::Malformed(m) => m,
+        }
+    }
+
+    fn from_io(err: std::io::Error) -> RequestError {
+        match err.kind() {
+            // SO_RCVTIMEO surfaces as WouldBlock on Unix sockets and
+            // TimedOut elsewhere; both mean the deadline fired.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                RequestError::Timeout("connection idle past the io timeout".to_string())
+            }
+            _ => RequestError::Malformed(format!("io: {err}")),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// A request's verb.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verb {
@@ -253,15 +304,18 @@ impl SolveRequest {
     }
 
     /// Parses the remainder of a `SOLVE` request (everything after the
-    /// verb line) from a buffered reader.
-    pub fn parse_body<R: BufRead>(reader: &mut R) -> Result<SolveRequest, String> {
+    /// verb line) from a buffered reader. An expired socket deadline
+    /// surfaces as [`RequestError::Timeout`]; everything else is
+    /// [`RequestError::Malformed`].
+    pub fn parse_body<R: BufRead>(reader: &mut R) -> Result<SolveRequest, RequestError> {
+        let malformed = |m: &str| RequestError::Malformed(m.to_string());
         let mut request = SolveRequest::new(String::new());
         let mut line = String::new();
         loop {
             line.clear();
-            let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+            let n = reader.read_line(&mut line).map_err(RequestError::from_io)?;
             if n == 0 {
-                return Err("request ended before BEGIN PROBLEM".to_string());
+                return Err(malformed("request ended before BEGIN PROBLEM"));
             }
             let trimmed = line.trim();
             if trimmed.is_empty() {
@@ -275,37 +329,55 @@ impl SolveRequest {
                 None => (trimmed, ""),
             };
             match key {
-                "seed" => request.seed = parse_header(key, value)?,
-                "shots" => request.shots = Some(parse_bounded(key, value, MAX_SHOTS)?),
-                "iterations" => {
-                    request.iterations = Some(parse_bounded(key, value, MAX_ITERATIONS)?)
+                "seed" => {
+                    request.seed = parse_header(key, value).map_err(RequestError::Malformed)?
                 }
-                "retries" => request.retries = parse_bounded(key, value, MAX_RETRIES)?,
+                "shots" => {
+                    request.shots = Some(
+                        parse_bounded(key, value, MAX_SHOTS).map_err(RequestError::Malformed)?,
+                    )
+                }
+                "iterations" => {
+                    request.iterations = Some(
+                        parse_bounded(key, value, MAX_ITERATIONS)
+                            .map_err(RequestError::Malformed)?,
+                    )
+                }
+                "retries" => {
+                    request.retries =
+                        parse_bounded(key, value, MAX_RETRIES).map_err(RequestError::Malformed)?
+                }
                 "degrade" => request.degrade = true,
                 "trace" => request.trace = true,
-                "deadline-ms" => request.deadline_ms = Some(parse_header(key, value)?),
+                "deadline-ms" => {
+                    request.deadline_ms =
+                        Some(parse_header(key, value).map_err(RequestError::Malformed)?)
+                }
                 "batch" => {
-                    let lanes = parse_bounded(key, value, MAX_BATCH)?;
+                    let lanes =
+                        parse_bounded(key, value, MAX_BATCH).map_err(RequestError::Malformed)?;
                     if lanes == 0 {
-                        return Err("header `batch` must be positive".to_string());
+                        return Err(malformed("header `batch` must be positive"));
                     }
                     request.batch = Some(lanes);
                 }
-                other => return Err(format!("unknown header `{other}`")),
+                other => return Err(RequestError::Malformed(format!("unknown header `{other}`"))),
             }
         }
         let mut problem = String::new();
         loop {
             line.clear();
-            let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+            let n = reader.read_line(&mut line).map_err(RequestError::from_io)?;
             if n == 0 {
-                return Err("request ended before END PROBLEM".to_string());
+                return Err(malformed("request ended before END PROBLEM"));
             }
             if line.trim() == "END PROBLEM" {
                 break;
             }
             if problem.len() + line.len() > MAX_PROBLEM_BYTES {
-                return Err(format!("problem body exceeds {MAX_PROBLEM_BYTES} bytes"));
+                return Err(RequestError::Malformed(format!(
+                    "problem body exceeds {MAX_PROBLEM_BYTES} bytes"
+                )));
             }
             problem.push_str(&line);
         }
@@ -640,15 +712,22 @@ mod tests {
         // EOF mid-header (no trailing newline, no BEGIN PROBLEM).
         let mut eof_mid_header = BufReader::new("shots 25".as_bytes());
         let err = SolveRequest::parse_body(&mut eof_mid_header).unwrap_err();
-        assert!(err.contains("BEGIN PROBLEM"), "unexpected error: {err}");
+        assert!(
+            err.message().contains("BEGIN PROBLEM"),
+            "unexpected error: {err}"
+        );
+        assert_eq!(err.kind(), "bad-request");
         // A header with a garbage value is rejected with the key named.
         let mut garbage = BufReader::new("shots lots\nBEGIN PROBLEM\nEND PROBLEM\n".as_bytes());
         let err = SolveRequest::parse_body(&mut garbage).unwrap_err();
-        assert!(err.contains("shots"), "unexpected error: {err}");
+        assert!(err.message().contains("shots"), "unexpected error: {err}");
         // EOF inside the body (END PROBLEM never arrives).
         let mut eof_in_body = BufReader::new("BEGIN PROBLEM\nvars 2\n".as_bytes());
         let err = SolveRequest::parse_body(&mut eof_in_body).unwrap_err();
-        assert!(err.contains("END PROBLEM"), "unexpected error: {err}");
+        assert!(
+            err.message().contains("END PROBLEM"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
@@ -671,7 +750,7 @@ mod tests {
         let text = "iterations 999999999\nBEGIN PROBLEM\nEND PROBLEM\n";
         let mut reader = BufReader::new(text.as_bytes());
         let err = SolveRequest::parse_body(&mut reader).unwrap_err();
-        assert!(err.contains("limit"), "unexpected error: {err}");
+        assert!(err.message().contains("limit"), "unexpected error: {err}");
         // An oversized problem body is cut off at MAX_PROBLEM_BYTES.
         let mut text = String::from("BEGIN PROBLEM\n");
         for _ in 0..=MAX_PROBLEM_BYTES / 16 {
@@ -680,7 +759,7 @@ mod tests {
         text.push_str("END PROBLEM\n");
         let mut reader = BufReader::new(text.as_bytes());
         let err = SolveRequest::parse_body(&mut reader).unwrap_err();
-        assert!(err.contains("exceeds"), "unexpected error: {err}");
+        assert!(err.message().contains("exceeds"), "unexpected error: {err}");
     }
 
     #[test]
@@ -719,6 +798,33 @@ mod tests {
             let mut reader = BufReader::new(text.as_bytes());
             assert!(SolveRequest::parse_body(&mut reader).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn expired_read_deadline_maps_to_structured_timeout() {
+        // A reader whose underlying socket deadline fired: every read
+        // fails with WouldBlock (Unix) or TimedOut (elsewhere).
+        struct Stalled(std::io::ErrorKind);
+        impl std::io::Read for Stalled {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(self.0))
+            }
+        }
+        impl BufRead for Stalled {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Err(std::io::Error::from(self.0))
+            }
+            fn consume(&mut self, _: usize) {}
+        }
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let err = SolveRequest::parse_body(&mut Stalled(kind)).unwrap_err();
+            assert_eq!(err.kind(), "timeout", "{kind:?}");
+            assert!(matches!(err, RequestError::Timeout(_)));
+        }
+        // Any other IO failure is still a bad request, not a timeout.
+        let err = SolveRequest::parse_body(&mut Stalled(std::io::ErrorKind::ConnectionReset))
+            .unwrap_err();
+        assert_eq!(err.kind(), "bad-request");
     }
 
     #[test]

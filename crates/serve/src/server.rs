@@ -41,6 +41,7 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -53,8 +54,10 @@ use rasengan_qsim::parallel::BoundedQueue;
 
 use crate::cache::ShardedLru;
 use crate::json::Json;
+use crate::persist::{OutcomeKey, Persist, PersistStats, StorageFaultPlan};
 use crate::protocol::{
-    error_sections, outcome_json, parse_verb, timing_json, Reply, ReplyStatus, SolveRequest, Verb,
+    error_sections, outcome_json, parse_verb, timing_json, Reply, ReplyStatus, RequestError,
+    SolveRequest, Verb,
 };
 
 /// Service tuning knobs.
@@ -79,6 +82,15 @@ pub struct ServeConfig {
     /// flag. Responses gain a `trace` section; `result` bytes are
     /// unchanged.
     pub trace_all: bool,
+    /// Crash-safe on-disk warm-state tier ([`crate::persist`]). `None`
+    /// keeps the service memory-only; `Some(dir)` opens (and recovers)
+    /// the state directory at startup, loads cache misses from disk,
+    /// and flushes fresh compiles and untraced outcomes back.
+    pub state_dir: Option<PathBuf>,
+    /// Deterministic storage fault injection applied to every persist
+    /// write — test scaffolding for the corruption matrix, never armed
+    /// in production configs.
+    pub storage_faults: Option<StorageFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +104,8 @@ impl Default for ServeConfig {
             solver_threads: None,
             io_timeout: Duration::from_secs(30),
             trace_all: false,
+            state_dir: None,
+            storage_faults: None,
         }
     }
 }
@@ -133,6 +147,24 @@ impl ServeConfig {
         self.trace_all = true;
         self
     }
+
+    /// Sets the per-connection socket read/write timeout.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Enables the crash-safe on-disk warm-state tier rooted at `dir`.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Arms deterministic storage fault injection on persist writes.
+    pub fn with_storage_faults(mut self, plan: StorageFaultPlan) -> Self {
+        self.storage_faults = Some(plan);
+        self
+    }
 }
 
 /// Everything a request needs beyond the problem itself — the result
@@ -169,6 +201,21 @@ impl ResultKey {
             trace,
         }
     }
+
+    /// The disk-tier address of this key. `None` for traced requests:
+    /// the persisted codec drops span trees, so a disk record could
+    /// never satisfy a traced response.
+    fn disk_key(&self) -> Option<OutcomeKey> {
+        (!self.trace).then_some(OutcomeKey {
+            fingerprint: self.fingerprint,
+            seed: self.seed,
+            shots: self.shots,
+            iterations: self.iterations,
+            retries: self.retries,
+            degrade: self.degrade,
+            deadline_ms: self.deadline_ms,
+        })
+    }
 }
 
 /// An admitted connection: the buffered stream (verb line already
@@ -187,9 +234,12 @@ struct Shared {
     served_error: AtomicU64,
     shed: AtomicU64,
     bad_requests: AtomicU64,
+    timeouts: AtomicU64,
     compiled_program_hits: AtomicU64,
     results: ShardedLru<ResultKey, Arc<Outcome>>,
     compiles: ShardedLru<u128, Arc<Prepared>>,
+    /// The on-disk warm-state tier, when `--state-dir` is set.
+    persist: Option<Persist>,
     /// The process-wide metrics registry (`obs`). The engine's own
     /// hooks (fusion counters, queue depth) land here too, so a
     /// `STATS` snapshot covers the whole stack.
@@ -209,6 +259,9 @@ pub struct ServeStats {
     pub shed: u64,
     /// Malformed requests rejected.
     pub bad_requests: u64,
+    /// Connections dropped because the per-connection IO deadline
+    /// expired mid-request.
+    pub timeouts: u64,
     /// Result-cache hits / misses.
     pub result_hits: u64,
     /// Result-cache misses.
@@ -224,6 +277,8 @@ pub struct ServeStats {
     pub compiled_program_hits: u64,
     /// Requests currently waiting in the admission queue.
     pub queue_depth: usize,
+    /// Disk-tier counters (all zero when no state dir is configured).
+    pub persist: PersistStats,
 }
 
 impl Shared {
@@ -234,12 +289,14 @@ impl Shared {
             served_error: self.served_error.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             result_hits: self.results.hits(),
             result_misses: self.results.misses(),
             compile_hits: self.compiles.hits(),
             compile_misses: self.compiles.misses(),
             compiled_program_hits: self.compiled_program_hits.load(Ordering::Relaxed),
             queue_depth: self.queue.len(),
+            persist: self.persist.as_ref().map(|p| p.stats()).unwrap_or_default(),
         }
     }
 
@@ -262,6 +319,23 @@ impl Shared {
             ("queue_depth", Json::Int(s.queue_depth as i128)),
             ("queue_capacity", Json::Int(self.queue.capacity() as i128)),
             ("workers", Json::Int(self.config.workers as i128)),
+            ("timeouts", Json::Int(s.timeouts as i128)),
+            (
+                "persist",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.persist.is_some())),
+                    ("disk_hits", Json::Int(s.persist.disk_hits as i128)),
+                    ("disk_misses", Json::Int(s.persist.disk_misses as i128)),
+                    ("quarantined", Json::Int(s.persist.quarantined as i128)),
+                    ("flushes", Json::Int(s.persist.flushes as i128)),
+                    (
+                        "faults_injected",
+                        Json::Int(s.persist.faults_injected as i128),
+                    ),
+                    ("recovered", Json::Int(s.persist.recovered as i128)),
+                    ("tmp_cleaned", Json::Int(s.persist.tmp_cleaned as i128)),
+                ]),
+            ),
             ("metrics", self.registry.snapshot_json()),
         ])
     }
@@ -281,10 +355,24 @@ pub struct ServerHandle {
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or the
+/// filesystem error if a configured state directory cannot be opened.
+/// Corrupt state *records* are never an error — the recovery scan
+/// quarantines them.
 pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // Installing the global registry also switches on the engine's
+    // metric hooks (gate fusion, trajectory-plan cache, queues).
+    let registry = install_global();
+    let persist = match &config.state_dir {
+        Some(dir) => Some(Persist::open_with(
+            dir.clone(),
+            config.storage_faults,
+            Some(registry),
+        )?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity.max(1)),
         shutdown: AtomicBool::new(false),
@@ -293,12 +381,12 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         served_error: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         bad_requests: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
         compiled_program_hits: AtomicU64::new(0),
         results: ShardedLru::new(config.result_cache_capacity, 8),
         compiles: ShardedLru::new(config.compile_cache_capacity, 4),
-        // Installing the global registry also switches on the engine's
-        // metric hooks (gate fusion, trajectory-plan cache, queues).
-        registry: install_global(),
+        persist,
+        registry,
         config,
     });
 
@@ -451,14 +539,33 @@ fn write_reply(stream: &mut TcpStream, reply: &Reply) {
     let _ = stream.flush();
 }
 
+/// A structured error reply for a failed request read, carrying the
+/// error's own `kind` tag (`timeout` or `bad-request`).
+fn request_error_reply(err: &RequestError) -> Reply {
+    Reply::new(
+        ReplyStatus::Error,
+        vec![(
+            "error",
+            Json::obj(vec![
+                ("kind", Json::Str(err.kind().to_string())),
+                ("message", Json::Str(err.message().to_string())),
+            ]),
+        )],
+    )
+}
+
 /// Serves one admitted `SOLVE` connection on a worker thread.
 fn handle_solve(shared: &Shared, mut job: Job) {
     let queue_s = job.enqueued.elapsed().as_secs_f64();
     let request = match SolveRequest::parse_body(&mut job.reader) {
         Ok(request) => request,
-        Err(message) => {
-            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
-            write_reply(job.reader.get_mut(), &bad_request_reply(&message));
+        Err(err) => {
+            let counter = match err {
+                RequestError::Timeout(_) => &shared.timeouts,
+                RequestError::Malformed(_) => &shared.bad_requests,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            write_reply(job.reader.get_mut(), &request_error_reply(&err));
             return;
         }
     };
@@ -485,6 +592,23 @@ fn handle_solve(shared: &Shared, mut job: Job) {
         return;
     }
 
+    // Memory miss: the disk tier is next. A validated record promotes
+    // back into the in-memory LRU; anything corrupt was quarantined by
+    // the load and falls through to a recompute.
+    let disk_key = key.disk_key();
+    if let (Some(persist), Some(disk_key)) = (&shared.persist, &disk_key) {
+        if let Some(outcome) = persist.load_outcome(disk_key) {
+            shared
+                .results
+                .insert(key.clone(), Arc::new(outcome.clone()));
+            let mut outcome = outcome;
+            outcome.latency.stages.queue_s = queue_s;
+            outcome.latency.stages.cache_hit = true;
+            respond_ok(shared, &mut job, &outcome, fingerprint, queue_s, "disk-hit");
+            return;
+        }
+    }
+
     let mut config = request.config().with_trace(trace);
     if let Some(threads) = shared.config.solver_threads {
         config = config.with_threads(threads);
@@ -503,21 +627,49 @@ fn handle_solve(shared: &Shared, mut job: Job) {
         }
         None => {
             let started = Instant::now();
-            match solver.prepare(&problem) {
-                Ok(prepared) => {
+            let from_disk = shared
+                .persist
+                .as_ref()
+                .and_then(|p| p.load_prepared(fingerprint));
+            match from_disk {
+                Some(prepared) => {
+                    // Decoded artifacts carry recompiled segment
+                    // programs, so the disk warm path skips `prepare`
+                    // just like the in-memory one.
+                    if !prepared.programs.is_empty() {
+                        shared.compiled_program_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     let prepared = Arc::new(prepared);
                     shared.compiles.insert(fingerprint, Arc::clone(&prepared));
-                    (prepared, "miss", started.elapsed().as_secs_f64())
+                    (
+                        prepared,
+                        "compile-disk-hit",
+                        started.elapsed().as_secs_f64(),
+                    )
                 }
-                Err(err) => {
-                    shared.served_error.fetch_add(1, Ordering::Relaxed);
-                    let sections = error_sections(&err);
-                    write_reply(
-                        job.reader.get_mut(),
-                        &Reply::new(ReplyStatus::Error, sections),
-                    );
-                    return;
-                }
+                None => match solver.prepare(&problem) {
+                    Ok(prepared) => {
+                        let prepared = Arc::new(prepared);
+                        shared.compiles.insert(fingerprint, Arc::clone(&prepared));
+                        if let Some(persist) = &shared.persist {
+                            // Flush failures only cost warmth, never
+                            // correctness; the counters record them.
+                            if persist.store_prepared(fingerprint, &prepared).is_err() {
+                                shared.registry.counter_add("persist.write_error", 1);
+                            }
+                        }
+                        (prepared, "miss", started.elapsed().as_secs_f64())
+                    }
+                    Err(err) => {
+                        shared.served_error.fetch_add(1, Ordering::Relaxed);
+                        let sections = error_sections(&err);
+                        write_reply(
+                            job.reader.get_mut(),
+                            &Reply::new(ReplyStatus::Error, sections),
+                        );
+                        return;
+                    }
+                },
             }
         }
     };
@@ -527,6 +679,11 @@ fn handle_solve(shared: &Shared, mut job: Job) {
             // Cache the outcome as solved — per-request queue wait and
             // hit flags are stamped on the copy each response sends.
             shared.results.insert(key, Arc::new(outcome.clone()));
+            if let (Some(persist), Some(disk_key)) = (&shared.persist, &disk_key) {
+                if persist.store_outcome(disk_key, &outcome).is_err() {
+                    shared.registry.counter_add("persist.write_error", 1);
+                }
+            }
             outcome.latency.stages.queue_s = queue_s;
             outcome.latency.stages.prepare_s = prepare_s;
             respond_ok(shared, &mut job, &outcome, fingerprint, queue_s, cache_note);
@@ -636,6 +793,110 @@ mod tests {
             assert!(metrics.get(group).is_some(), "missing `{group}` group");
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_gets_structured_timeout_error() {
+        // A tight IO deadline: connect, send only the verb line, then
+        // stall. The worker's body read must expire and answer with a
+        // structured `timeout` error instead of pinning the thread.
+        let server = serve(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_io_timeout(Duration::from_millis(100)),
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"RASENGAN/1 SOLVE\n").unwrap();
+        // Do not shut down the write side: the server sees silence,
+        // not EOF, until its read deadline fires.
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        let reply = Reply::parse(&body).unwrap();
+        assert_eq!(reply.status, ReplyStatus::Error, "{body:?}");
+        let error = reply.json("error").unwrap();
+        assert_eq!(
+            error.get("kind").and_then(|k| k.as_str()),
+            Some("timeout"),
+            "{body:?}"
+        );
+        assert_eq!(server.stats().timeouts, 1);
+        assert_eq!(server.stats().bad_requests, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn warm_state_survives_server_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("rasengan-serve-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let request = SolveRequest::new(tiny_problem())
+            .with_seed(3)
+            .with_shots(128)
+            .with_iterations(4);
+        let submit = |addr: SocketAddr| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(request.render().as_bytes()).unwrap();
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut body = String::new();
+            stream.read_to_string(&mut body).unwrap();
+            Reply::parse(&body).unwrap()
+        };
+        // Cold server: the solve misses everything and flushes both an
+        // outcome and a prepared artifact to disk.
+        let first = serve(ServeConfig::default().with_state_dir(&dir)).expect("bind");
+        let cold = submit(first.addr());
+        assert_eq!(cold.status, ReplyStatus::Ok);
+        let cold_result = cold.section("result").unwrap().to_string();
+        assert_eq!(first.stats().persist.flushes, 2);
+        first.shutdown();
+        // Restarted server, same state dir: the recovery scan admits
+        // both records and the replayed request is served from disk,
+        // byte-identical, without a solve.
+        let second = serve(ServeConfig::default().with_state_dir(&dir)).expect("bind");
+        assert_eq!(second.stats().persist.recovered, 2);
+        let warm = submit(second.addr());
+        assert_eq!(warm.status, ReplyStatus::Ok);
+        assert_eq!(
+            warm.json("service")
+                .unwrap()
+                .get("cache")
+                .and_then(|c| c.as_str()),
+            Some("disk-hit")
+        );
+        assert_eq!(warm.section("result").unwrap(), cold_result);
+        let stats = second.stats();
+        assert_eq!(stats.persist.disk_hits, 1);
+        assert_eq!(stats.persist.quarantined, 0);
+        second.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_requests_bypass_the_disk_tier() {
+        let dir =
+            std::env::temp_dir().join(format!("rasengan-serve-traced-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = serve(ServeConfig::default().with_state_dir(&dir)).expect("bind");
+        let request = SolveRequest::new(tiny_problem())
+            .with_shots(64)
+            .with_iterations(2)
+            .with_trace();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(request.render().as_bytes()).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        let reply = Reply::parse(&body).unwrap();
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        assert!(reply.section("trace").is_some());
+        // The compile artifact is persisted (trace-independent), but
+        // the traced outcome is not: its record could never carry the
+        // span tree back.
+        let stats = server.stats();
+        assert_eq!(stats.persist.flushes, 1);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

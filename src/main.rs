@@ -18,7 +18,9 @@ use rasengan::problems::registry::{all_ids, benchmark, BenchmarkId};
 use rasengan::problems::{constraint_topology, enumerate_feasible, optimum, Problem};
 use rasengan::qsim::qasm::to_qasm3;
 use rasengan::qsim::{Circuit, Device};
-use rasengan::serve::{serve, submit, ReplyStatus, ServeConfig, SolveRequest};
+use rasengan::serve::{
+    serve, submit_with_retry, ReplyStatus, RetryPolicy, ServeConfig, SolveRequest,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -77,6 +79,9 @@ struct Options {
     deadline_ms: Option<u64>,
     trace: bool,
     trace_path: Option<String>,
+    state_dir: Option<String>,
+    io_timeout_ms: Option<u64>,
+    connect_retries: u32,
 }
 
 impl Options {
@@ -101,6 +106,9 @@ impl Options {
             deadline_ms: None,
             trace: false,
             trace_path: None,
+            state_dir: None,
+            io_timeout_ms: None,
+            connect_retries: 0,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -181,6 +189,19 @@ impl Options {
                             .map_err(|_| "deadline-ms must be an integer".to_string())?,
                     )
                 }
+                "--state-dir" => opts.state_dir = Some(value("--state-dir")?),
+                "--io-timeout-ms" => {
+                    opts.io_timeout_ms = Some(
+                        value("--io-timeout-ms")?
+                            .parse()
+                            .map_err(|_| "io-timeout-ms must be an integer".to_string())?,
+                    )
+                }
+                "--connect-retries" => {
+                    opts.connect_retries = value("--connect-retries")?
+                        .parse()
+                        .map_err(|_| "connect-retries must be an integer".to_string())?
+                }
                 "--out" | "-o" => opts.out = Some(value("--out")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -254,6 +275,11 @@ FLAGS:
       --workers <N>        service worker threads (default 4)
       --queue <N>          service admission-queue capacity (default 64)
       --deadline-ms <N>    per-request deadline for `submit`
+      --state-dir <DIR>    crash-safe on-disk warm state for `serve`:
+                           compiled artifacts and outcomes survive restarts
+      --io-timeout-ms <N>  per-connection socket timeout for `serve`
+      --connect-retries <N> `submit` rides through a restarting server
+                           with up to N extra connection attempts
   -o, --out <PATH>         output path for `export`"
     );
 }
@@ -444,19 +470,36 @@ fn cmd_serve(opts: &Options) -> ExitCode {
     if opts.trace {
         config = config.with_trace_all();
     }
+    if let Some(dir) = &opts.state_dir {
+        config = config.with_state_dir(dir);
+    }
+    if let Some(ms) = opts.io_timeout_ms {
+        config = config.with_io_timeout(std::time::Duration::from_millis(ms.max(1)));
+    }
     let server = match serve(config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            eprintln!("error: cannot start on {}: {e}", opts.addr);
             return ExitCode::FAILURE;
         }
     };
     println!(
-        "rasengan service listening on {} ({} workers, queue {})",
+        "rasengan service listening on {} ({} workers, queue {}{})",
         server.addr(),
         opts.workers,
-        opts.queue
+        opts.queue,
+        opts.state_dir
+            .as_deref()
+            .map(|d| format!(", state {d}"))
+            .unwrap_or_default()
     );
+    let persist = server.stats().persist;
+    if opts.state_dir.is_some() {
+        println!(
+            "state recovered: {} records, {} quarantined, {} stale tmp cleaned",
+            persist.recovered, persist.quarantined, persist.tmp_cleaned
+        );
+    }
     // Run until the process is killed; embedders wanting a graceful
     // drain should use rasengan::serve::serve directly and call
     // ServerHandle::shutdown.
@@ -492,7 +535,8 @@ fn cmd_submit(opts: &Options) -> ExitCode {
     if let Some(ms) = opts.deadline_ms {
         request = request.with_deadline_ms(ms);
     }
-    let reply = match submit(&opts.addr, &request) {
+    let policy = RetryPolicy::attempts(opts.connect_retries.saturating_add(1));
+    let reply = match submit_with_retry(opts.addr.as_str(), &request, policy) {
         Ok(reply) => reply,
         Err(e) => {
             eprintln!("error: cannot reach {}: {e}", opts.addr);
