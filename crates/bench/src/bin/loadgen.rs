@@ -21,13 +21,21 @@
 //! Reports throughput and p50/p95/p99 per arm and saves
 //! `BENCH_loadgen.{csv,json}` plus the warm-restart metrics as
 //! `BENCH_persist.{csv,json}` under `target/rasengan-reports/`.
+//!
+//! Passing `--replay` runs the deterministic workload-replay mode
+//! instead (see [`rasengan_bench::replay`]): a seeded manifest of
+//! Poisson arrivals mixed over the full 32-id corpus is executed twice
+//! against fresh servers, every pass-2 `result` section is asserted
+//! byte-identical to pass 1, and `BENCH_replay.json` plus the manifest
+//! itself land under `target/rasengan-reports/`.
 
+use rasengan_bench::replay::{manifest, ReplayConfig};
 use rasengan_bench::{report::fmt, RunSettings, Table};
 use rasengan_obs::metrics::{try_global, Histogram};
 use rasengan_problems::io::write_problem;
 use rasengan_problems::registry::{benchmark, BenchmarkId};
 use rasengan_serve::{serve, submit, ReplyStatus, ServeConfig, SolveRequest};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// An obs histogram percentile, in milliseconds (recorded in micros).
 fn hist_ms(hist: &Histogram, q: f64) -> f64 {
@@ -57,8 +65,135 @@ fn request_for(id: &str, seed: u64, settings: &RunSettings) -> SolveRequest {
         .with_iterations(if settings.full { 150 } else { 60 })
 }
 
+/// The `--replay` arm: generate a deterministic manifest from the run
+/// seed, execute it twice against fresh servers, and assert the two
+/// passes return byte-identical `result` sections request by request.
+fn run_replay(settings: &RunSettings) {
+    let cfg = ReplayConfig::new(settings.seed, settings.full);
+    let plan = manifest(&cfg);
+    // Acceptance: regenerating the manifest from the same seed must
+    // reproduce the request sequence byte for byte.
+    assert_eq!(
+        plan.to_json(),
+        manifest(&cfg).to_json(),
+        "manifest regeneration must be byte-identical"
+    );
+    let requests: Vec<SolveRequest> = plan
+        .draws
+        .iter()
+        .map(|d| {
+            let problem = benchmark(BenchmarkId::parse(&d.id).expect("manifest id"));
+            SolveRequest::new(write_problem(&problem))
+                .with_seed(d.solver_seed)
+                .with_shots(d.shots)
+                .with_iterations(d.iterations)
+        })
+        .collect();
+    let distinct: std::collections::HashSet<&str> =
+        plan.draws.iter().map(|d| d.id.as_str()).collect();
+    println!(
+        "replay: seed {}, {} requests over {} distinct ids, rate {}/s",
+        cfg.seed,
+        plan.draws.len(),
+        distinct.len(),
+        plan.rate_per_s
+    );
+
+    let mut table = Table::new(
+        "replay: deterministic workload replay",
+        vec![
+            "pass",
+            "requests",
+            "ok",
+            "distinct_ids",
+            "throughput/s",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+    );
+    let mut passes: Vec<Vec<String>> = Vec::new();
+    for pass in 1..=2 {
+        // A fresh server per pass: pass 2 re-solves everything from
+        // scratch, so identical bytes prove solver determinism, not
+        // cache retention.
+        let mut config = ServeConfig::default();
+        if let Some(threads) = settings.threads {
+            config = config.with_solver_threads(threads);
+        }
+        let server = serve(config).expect("bind ephemeral port");
+        let addr = server.addr();
+        let started = Instant::now();
+        let mut ms = Vec::new();
+        let mut results = Vec::new();
+        let mut last_arrival = 0.0;
+        for (draw, request) in plan.draws.iter().zip(&requests) {
+            // Honor the manifest's arrival schedule, with each gap
+            // capped so a slow tail can't stall the bench. Timing never
+            // affects results — only the (problem, seed, knobs) tuple
+            // does — so the cap preserves determinism.
+            let gap_ms = (draw.arrival_ms - last_arrival).min(20.0);
+            last_arrival = draw.arrival_ms;
+            std::thread::sleep(Duration::from_micros((gap_ms * 1000.0) as u64));
+            let sent = Instant::now();
+            let reply = submit(addr, request).expect("replay submit");
+            ms.push(sent.elapsed().as_secs_f64() * 1000.0);
+            assert_eq!(
+                reply.status,
+                ReplyStatus::Ok,
+                "replay solve failed for {} (pass {pass})",
+                draw.id
+            );
+            results.push(reply.section("result").expect("result section").to_string());
+        }
+        let wall = started.elapsed().as_secs_f64();
+        server.shutdown();
+        table.row(vec![
+            format!("pass-{pass}"),
+            plan.draws.len().to_string(),
+            results.len().to_string(),
+            distinct.len().to_string(),
+            fmt(plan.draws.len() as f64 / wall),
+            fmt(percentile(&mut ms, 0.50)),
+            fmt(percentile(&mut ms, 0.95)),
+            fmt(percentile(&mut ms, 0.99)),
+        ]);
+        passes.push(results);
+    }
+    for (i, (a, b)) in passes[0].iter().zip(&passes[1]).enumerate() {
+        assert_eq!(
+            a, b,
+            "replay request #{i} ({}) must produce byte-identical results across passes",
+            plan.draws[i].id
+        );
+    }
+    println!(
+        "replay: {} requests byte-identical across both passes",
+        passes[0].len()
+    );
+
+    table.print();
+    if let Ok(p) = table.save_csv("replay") {
+        println!("saved: {}", p.display());
+    }
+    if let Ok(p) = table.save_json("BENCH_replay") {
+        println!("saved: {}", p.display());
+    }
+    let dir = std::path::PathBuf::from("target/rasengan-reports");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("replay_manifest.json");
+        if std::fs::write(&path, plan.to_json()).is_ok() {
+            println!("saved: {}", path.display());
+        }
+    }
+}
+
 fn main() {
     let settings = RunSettings::from_args();
+    if std::env::args().any(|a| a == "--replay") {
+        run_replay(&settings);
+        return;
+    }
     let repeats = if settings.full { 60 } else { 20 };
     let ids = ["F2", "J2", "S2", "K2", "G2"];
     let seeds_per_id: u64 = if settings.full { 6 } else { 2 };

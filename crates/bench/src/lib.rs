@@ -10,7 +10,10 @@
 //! * [`settings`] — fast/full mode handling (`--full` reproduces the
 //!   paper's iteration budgets; the default is the artifact-style
 //!   scaled-down reproduce mode).
+//! * [`replay`] — deterministic workload manifests for the loadgen
+//!   `--replay` arm (seeded Poisson arrivals over the full corpus).
 
+pub mod replay;
 pub mod report;
 pub mod runners;
 pub mod settings;

@@ -1,0 +1,260 @@
+//! Bin packing — the logistics workload of the QUBO encoding catalog
+//! (one-hot assignment plus capacity rows with slack).
+//!
+//! Assign each of `m` items (size `s_i`) to one of `B` bins of
+//! capacity `C`, paying an opening cost for every bin used and a small
+//! seeded placement cost per assignment:
+//!
+//! ```text
+//! min  Σ_b open_b y_b + Σ_{i,b} place_ib x_ib
+//! s.t. Σ_b x_ib = 1                       for every item i
+//!      Σ_i s_i x_ib − C y_b ≤ 0           for every bin b
+//! ```
+//!
+//! The capacity rows are binarized by hand with `C` unit slack
+//! variables per bin (`load + slack = C·y_b`), keeping the constraint
+//! matrix ternary and letting the generator attach a first-fit initial
+//! feasible solution in O(m·B) — the same hand-rolled idiom as the
+//! paper's five domains.
+
+use crate::problem::{Objective, Problem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan_math::IntMatrix;
+
+/// A generated bin-packing instance.
+#[derive(Clone, Debug)]
+pub struct BinPacking {
+    /// Item sizes (1–2 so small instances keep rich feasible sets).
+    pub sizes: Vec<i64>,
+    /// Number of bins.
+    pub bins: usize,
+    /// Uniform bin capacity.
+    pub capacity: i64,
+    /// Opening cost per bin.
+    pub open_cost: Vec<f64>,
+    /// Placement cost per `(item, bin)` pair, row-major.
+    pub place_cost: Vec<f64>,
+}
+
+impl BinPacking {
+    /// Generates a seeded instance with `items` items over `bins` bins
+    /// of the given `capacity`. Sizes are 1–2, opening costs 2–6,
+    /// placement costs 1–3.
+    ///
+    /// Sizes are drawn under the total budget `Σ sᵢ ≤ B(C−1)+1`, which
+    /// guarantees first-fit succeeds for ANY seed: a bin refuses a
+    /// size-2 item only at load ≥ C−1 and a size-1 item only at load
+    /// = C, so a failed placement forces `Σ sᵢ ≥ B(C−1)+2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or if `items > bins·(capacity−1)+1`
+    /// — the budget admits no size assignment at all.
+    pub fn generate(items: usize, bins: usize, capacity: i64, seed: u64) -> Self {
+        assert!(items > 0 && bins > 0 && capacity > 0, "degenerate shape");
+        let budget = bins as i64 * (capacity - 1) + 1;
+        assert!(
+            items as i64 <= budget,
+            "shape cannot guarantee a first-fit packing: {items} items into {bins}×{capacity}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spent = 0i64;
+        let sizes: Vec<i64> = (0..items)
+            .map(|i| {
+                let left = (items - i - 1) as i64; // later items need ≥ 1 each
+                let s = if spent + 2 + left <= budget {
+                    rng.gen_range(1..=2)
+                } else {
+                    1
+                };
+                spent += s;
+                s
+            })
+            .collect();
+        let open_cost = (0..bins).map(|_| rng.gen_range(2..=6) as f64).collect();
+        let place_cost = (0..items * bins)
+            .map(|_| rng.gen_range(1..=3) as f64)
+            .collect();
+        BinPacking {
+            sizes,
+            bins,
+            capacity,
+            open_cost,
+            place_cost,
+        }
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Column of assignment variable `x_ib`.
+    fn x(&self, item: usize, bin: usize) -> usize {
+        item * self.bins + bin
+    }
+
+    /// Column of bin-used variable `y_b`.
+    fn y(&self, bin: usize) -> usize {
+        self.n_items() * self.bins + bin
+    }
+
+    /// Column of slack unit `u` of bin `b`'s capacity row.
+    fn slack(&self, bin: usize, unit: usize) -> usize {
+        self.n_items() * self.bins + self.bins + bin * self.capacity as usize + unit
+    }
+
+    /// Total number of binary variables: `m·B` assignments + `B` bin
+    /// flags + `B·C` capacity slacks.
+    pub fn n_vars(&self) -> usize {
+        self.n_items() * self.bins + self.bins + self.bins * self.capacity as usize
+    }
+
+    /// Builds the [`Problem`].
+    pub fn into_problem(self) -> Problem {
+        let m = self.n_items();
+        let n = self.n_vars();
+        let cap = self.capacity as usize;
+        let mut rows = Vec::with_capacity(m + self.bins);
+        let mut rhs = Vec::with_capacity(m + self.bins);
+
+        // One-hot: each item in exactly one bin.
+        for i in 0..m {
+            let mut row = vec![0i64; n];
+            for b in 0..self.bins {
+                row[self.x(i, b)] = 1;
+            }
+            rows.push(row);
+            rhs.push(1);
+        }
+        // Capacity: Σ s_i x_ib − C y_b + slack_b = 0.
+        for b in 0..self.bins {
+            let mut row = vec![0i64; n];
+            for i in 0..m {
+                row[self.x(i, b)] = self.sizes[i];
+            }
+            row[self.y(b)] = -self.capacity;
+            for u in 0..cap {
+                row[self.slack(b, u)] = 1;
+            }
+            rows.push(row);
+            rhs.push(0);
+        }
+
+        let mut linear = vec![0.0; n];
+        for i in 0..m {
+            for b in 0..self.bins {
+                linear[self.x(i, b)] = self.place_cost[i * self.bins + b];
+            }
+        }
+        for b in 0..self.bins {
+            linear[self.y(b)] = self.open_cost[b];
+        }
+
+        // First-fit initial feasible solution.
+        let mut init = vec![0i64; n];
+        let mut load = vec![0i64; self.bins];
+        for i in 0..m {
+            let b = (0..self.bins)
+                .find(|&b| load[b] + self.sizes[i] <= self.capacity)
+                .expect("first-fit fits by the size-budget rule");
+            init[self.x(i, b)] = 1;
+            load[b] += self.sizes[i];
+        }
+        for b in 0..self.bins {
+            if load[b] > 0 {
+                init[self.y(b)] = 1;
+                // slack = C·y − load.
+                for u in 0..(self.capacity - load[b]) as usize {
+                    init[self.slack(b, u)] = 1;
+                }
+            }
+        }
+
+        let name = format!("binpack-{}i{}b{}c", m, self.bins, self.capacity);
+        Problem::new(
+            name,
+            IntMatrix::from_rows(&rows),
+            rhs,
+            Objective {
+                constant: 0.0,
+                linear,
+                quadratic: Vec::new(),
+            },
+            Sense::Minimize,
+        )
+        .expect("bin-packing construction is shape-consistent")
+        .with_initial_feasible(init)
+        .expect("first-fit satisfies one-hot and capacity rows")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, enumerate_feasible, optimum};
+
+    #[test]
+    fn shapes_and_feasibility() {
+        let bp = BinPacking::generate(2, 2, 2, 1);
+        let p = bp.into_problem();
+        assert_eq!(p.n_vars(), 2 * 2 + 2 + 2 * 2);
+        assert_eq!(p.n_constraints(), 2 + 2);
+        assert!(p.is_feasible(p.initial_feasible().unwrap()));
+        assert!(enumerate_feasible(&p).len() >= 2);
+    }
+
+    #[test]
+    fn capacity_rows_bind() {
+        let bp = BinPacking {
+            sizes: vec![2, 2],
+            bins: 2,
+            capacity: 2,
+            open_cost: vec![1.0, 1.0],
+            place_cost: vec![1.0; 4],
+        };
+        let p = bp.clone().into_problem();
+        for x in brute_force_feasible(&p) {
+            for b in 0..2 {
+                let load: i64 = (0..2).map(|i| bp.sizes[i] * x[bp.x(i, b)]).sum();
+                assert!(load <= bp.capacity * x[bp.y(b)], "overfull bin in {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_prefers_cheap_packing() {
+        // Two size-1 items, one cheap bin that fits both: the optimum
+        // opens only the cheap bin.
+        let bp = BinPacking {
+            sizes: vec![1, 1],
+            bins: 2,
+            capacity: 2,
+            open_cost: vec![1.0, 10.0],
+            place_cost: vec![1.0; 4],
+        };
+        let p = bp.clone().into_problem();
+        let (x, _) = optimum(&p);
+        assert_eq!(x[bp.y(0)], 1);
+        assert_eq!(x[bp.y(1)], 0);
+        assert_eq!(x[bp.x(0, 0)], 1);
+        assert_eq!(x[bp.x(1, 0)], 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BinPacking::generate(3, 2, 4, 42);
+        let b = BinPacking::generate(3, 2, 4, 42);
+        assert_eq!(a.sizes, b.sizes);
+        assert_eq!(a.open_cost, b.open_cost);
+        let c = BinPacking::generate(3, 2, 4, 43);
+        assert!(c.sizes != a.sizes || c.open_cost != a.open_cost || c.place_cost != a.place_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_bins_panics() {
+        BinPacking::generate(1, 0, 1, 0);
+    }
+}

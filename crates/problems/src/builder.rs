@@ -232,14 +232,15 @@ impl ProblemBuilder {
         let mut objective = self.objective;
         objective.linear.resize(n, 0.0);
 
-        let mut problem = Problem::new(
-            self.name,
-            IntMatrix::from_rows(&rows),
-            rhs,
-            objective,
-            self.sense,
-        )
-        .map_err(BuildError::Problem)?;
+        // `from_rows` on an empty list would lose the column count, so
+        // unconstrained problems need the explicit 0×n shape.
+        let constraints = if rows.is_empty() {
+            IntMatrix::zeros(0, n)
+        } else {
+            IntMatrix::from_rows(&rows)
+        };
+        let mut problem = Problem::new(self.name, constraints, rhs, objective, self.sense)
+            .map_err(BuildError::Problem)?;
 
         // Try to attach a feasible seed automatically.
         if let Ok(seed) = rasengan_math::find_binary_solution(problem.constraints(), problem.rhs())

@@ -1,0 +1,669 @@
+//! LP-file subset parsing and writing.
+//!
+//! Covers the binary-LP intake the constraint-generation literature
+//! assumes (arXiv:2503.21222): binary variables, a linear objective,
+//! and `=` / `≤` / `≥` rows. The accepted grammar is a subset of the
+//! CPLEX LP format:
+//!
+//! ```text
+//! \ anything after '\' is a comment
+//! Minimize
+//!  obj: 2 x1 + 3 x2 - x3
+//! Subject To
+//!  c1: x1 + x2 <= 3
+//!  c2: x1 - 2 x3 = 1
+//! Binary
+//!  x1 x2 x3
+//! End
+//! ```
+//!
+//! Subset rules: every variable must be declared in the `Binary`
+//! section (which also fixes column order, so constraint-row
+//! permutations of the file cannot reorder columns); each constraint
+//! sits on one line; constraint coefficients and right-hand sides must
+//! be integers (the native substrate is an integer equality system);
+//! objective coefficients may be any floats. Inequalities are binarized
+//! with unit slacks via [`ProblemBuilder`]. Constraints are sorted
+//! canonically before lowering, so fingerprints are invariant under
+//! row-order permutations of the same file.
+
+use crate::builder::{Cmp, ProblemBuilder};
+use crate::io::ParseProblemError;
+use crate::problem::{Problem, Sense};
+use std::collections::HashMap;
+
+fn err(line: usize, text: &str, message: impl Into<String>) -> ParseProblemError {
+    ParseProblemError::at(line, text.trim(), message)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Preamble,
+    Objective,
+    Constraints,
+    Binary,
+    Bounds,
+    End,
+}
+
+/// One token of an LP expression.
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Plus,
+    Minus,
+    Num(f64),
+    Name(String),
+    Rel(Cmp),
+    Colon,
+}
+
+fn tokenize(line: &str, lineno: usize, raw: &str) -> Result<Vec<Tok>, ParseProblemError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            '*' => i += 1, // explicit multiplication is optional noise
+            '<' | '>' | '=' => {
+                let two = chars.get(i + 1) == Some(&'=');
+                toks.push(Tok::Rel(match c {
+                    '<' => Cmp::Le,
+                    '>' => Cmp::Ge,
+                    _ => Cmp::Eq,
+                }));
+                i += if two && c != '=' { 2 } else { 1 };
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && matches!(chars.get(i - 1), Some('e') | Some('E'))))
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let v: f64 = word
+                    .parse()
+                    .map_err(|_| err(lineno, raw, format!("bad number `{word}`")))?;
+                toks.push(Tok::Num(v));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Name(chars[start..i].iter().collect()));
+            }
+            _ => return Err(err(lineno, raw, format!("unexpected character `{c}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+/// A linear expression as `(constant, terms)` over variable names.
+type Expr = (f64, Vec<(String, f64)>);
+
+/// Parses a `± coeff name`-sequence from tokens, stopping at a relation
+/// token (returned with the consumed count) if one appears.
+fn parse_expr(
+    toks: &[Tok],
+    lineno: usize,
+    raw: &str,
+) -> Result<(Expr, Option<(Cmp, usize)>), ParseProblemError> {
+    let mut constant = 0.0;
+    let mut terms: Vec<(String, f64)> = Vec::new();
+    let mut sign = 1.0;
+    let mut pending: Option<f64> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Plus | Tok::Minus => {
+                if let Some(c) = pending.take() {
+                    constant += sign * c;
+                }
+                sign = if toks[i] == Tok::Minus { -1.0 } else { 1.0 };
+                i += 1;
+            }
+            Tok::Num(v) => {
+                if pending.is_some() {
+                    return Err(err(lineno, raw, "two numbers in a row"));
+                }
+                pending = Some(*v);
+                i += 1;
+            }
+            Tok::Name(name) => {
+                let coeff = sign * pending.take().unwrap_or(1.0);
+                terms.push((name.clone(), coeff));
+                sign = 1.0;
+                i += 1;
+            }
+            Tok::Rel(cmp) => {
+                if let Some(c) = pending.take() {
+                    constant += sign * c;
+                }
+                return Ok(((constant, terms), Some((*cmp, i + 1))));
+            }
+            Tok::Colon => return Err(err(lineno, raw, "unexpected `:`")),
+        }
+    }
+    if let Some(c) = pending.take() {
+        constant += sign * c;
+    }
+    Ok(((constant, terms), None))
+}
+
+fn section_of(line: &str) -> Option<Section> {
+    let squashed: String = line
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != '.')
+        .collect();
+    match squashed.as_str() {
+        "minimize" | "minimise" | "min" => Some(Section::Objective),
+        "maximize" | "maximise" | "max" => Some(Section::Objective),
+        "subjectto" | "st" | "suchthat" => Some(Section::Constraints),
+        "binary" | "binaries" | "bin" => Some(Section::Binary),
+        "bounds" | "bound" => Some(Section::Bounds),
+        "end" => Some(Section::End),
+        _ => None,
+    }
+}
+
+fn is_unsupported_section(line: &str) -> bool {
+    let squashed: String = line
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != '-')
+        .collect();
+    matches!(
+        squashed.as_str(),
+        "general" | "generals" | "integer" | "integers" | "semicontinuous" | "free"
+    )
+}
+
+/// One parsed constraint before lowering.
+#[derive(Clone, PartialEq, PartialOrd)]
+struct RawRow {
+    /// `(variable index, coefficient)` in column order.
+    terms: Vec<(usize, i64)>,
+    /// 0 = Eq, 1 = Le, 2 = Ge (orderable key).
+    cmp_rank: u8,
+    bound: i64,
+}
+
+fn integral(v: f64, lineno: usize, raw: &str, what: &str) -> Result<i64, ParseProblemError> {
+    if v.fract() != 0.0 || v.abs() > 1e15 {
+        return Err(err(
+            lineno,
+            raw,
+            format!("{what} must be an integer, got {v}"),
+        ));
+    }
+    Ok(v as i64)
+}
+
+/// Parses LP text, lowering to a [`Problem`] via [`ProblemBuilder`].
+///
+/// # Errors
+///
+/// Returns [`ParseProblemError`] with line number and offending text on
+/// malformed input, undeclared/non-binary variables, fractional
+/// constraint coefficients, or unsatisfiable inequalities.
+pub fn parse_lp(text: &str) -> Result<Problem, ParseProblemError> {
+    let mut section = Section::Preamble;
+    let mut sense = Sense::Minimize;
+    let mut objective_toks: Vec<Tok> = Vec::new();
+    let mut objective_line = 0usize;
+    let mut objective_raw = String::new();
+    let mut rows: Vec<(usize, String, Vec<Tok>)> = Vec::new();
+    let mut binary_order: Vec<String> = Vec::new();
+    let mut binary_index: HashMap<String, usize> = HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('\\').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if is_unsupported_section(line) {
+            return Err(err(
+                lineno,
+                raw,
+                "unsupported section (only binary variables are accepted)",
+            ));
+        }
+        if let Some(next) = section_of(line) {
+            if next == Section::Objective {
+                let squashed = line.to_ascii_lowercase();
+                sense = if squashed.starts_with("max") {
+                    Sense::Maximize
+                } else {
+                    Sense::Minimize
+                };
+            }
+            section = next;
+            continue;
+        }
+        match section {
+            Section::Preamble => {
+                return Err(err(lineno, raw, "expected `Minimize` or `Maximize` first"));
+            }
+            Section::Objective => {
+                let mut toks = tokenize(line, lineno, raw)?;
+                // Optional `obj:` label.
+                if toks.len() >= 2 && matches!(toks[0], Tok::Name(_)) && toks[1] == Tok::Colon {
+                    toks.drain(..2);
+                }
+                if objective_toks.is_empty() {
+                    objective_line = lineno;
+                    objective_raw = raw.to_string();
+                }
+                objective_toks.extend(toks);
+            }
+            Section::Constraints => {
+                let mut toks = tokenize(line, lineno, raw)?;
+                if toks.len() >= 2 && matches!(toks[0], Tok::Name(_)) && toks[1] == Tok::Colon {
+                    toks.drain(..2);
+                }
+                rows.push((lineno, raw.to_string(), toks));
+            }
+            Section::Binary => {
+                for tok in tokenize(line, lineno, raw)? {
+                    match tok {
+                        Tok::Name(name) => {
+                            if binary_index.contains_key(&name) {
+                                return Err(err(
+                                    lineno,
+                                    raw,
+                                    format!("variable `{name}` declared binary twice"),
+                                ));
+                            }
+                            binary_index.insert(name.clone(), binary_order.len());
+                            binary_order.push(name);
+                        }
+                        _ => return Err(err(lineno, raw, "expected variable names")),
+                    }
+                }
+            }
+            Section::Bounds => {
+                // Binary variables need no bounds; accept and ignore
+                // `0 <= x <= 1`-shaped lines, reject anything else.
+                let toks = tokenize(line, lineno, raw)?;
+                let ok = matches!(
+                    toks.as_slice(),
+                    [Tok::Num(lo), Tok::Rel(Cmp::Le), Tok::Name(_), Tok::Rel(Cmp::Le), Tok::Num(hi)]
+                        if *lo == 0.0 && *hi == 1.0
+                );
+                if !ok {
+                    return Err(err(lineno, raw, "only `0 <= x <= 1` bounds are accepted"));
+                }
+            }
+            Section::End => {
+                return Err(err(lineno, raw, "content after `End`"));
+            }
+        }
+    }
+
+    if binary_order.is_empty() {
+        return Err(ParseProblemError::structural(
+            "missing `Binary` section (every variable must be declared binary)",
+        ));
+    }
+    let n = binary_order.len();
+
+    // Objective over declared columns.
+    let ((obj_constant, obj_terms), rel) =
+        parse_expr(&objective_toks, objective_line, &objective_raw)?;
+    if rel.is_some() {
+        return Err(err(
+            objective_line,
+            &objective_raw,
+            "relation operator in objective",
+        ));
+    }
+    let mut linear = vec![0.0; n];
+    for (name, coeff) in obj_terms {
+        let &col = binary_index.get(&name).ok_or_else(|| {
+            err(
+                objective_line,
+                &objective_raw,
+                format!("variable `{name}` not declared binary"),
+            )
+        })?;
+        linear[col] += coeff;
+    }
+
+    // Constraints: parse each line as lhs REL rhs, with integral
+    // coefficients, then sort canonically before lowering (slack
+    // numbering and fingerprints stay invariant under row permutation).
+    let mut raw_rows: Vec<RawRow> = Vec::new();
+    for (lineno, raw, toks) in &rows {
+        let ((lhs_const, lhs_terms), rel) = parse_expr(toks, *lineno, raw)?;
+        let Some((cmp, consumed)) = rel else {
+            return Err(err(*lineno, raw, "constraint needs `<=`, `>=`, or `=`"));
+        };
+        let ((rhs_const, rhs_terms), extra) = parse_expr(&toks[consumed..], *lineno, raw)?;
+        if extra.is_some() || !rhs_terms.is_empty() {
+            return Err(err(*lineno, raw, "right-hand side must be a single number"));
+        }
+        let bound = integral(rhs_const - lhs_const, *lineno, raw, "right-hand side")?;
+        let mut terms: HashMap<usize, i64> = HashMap::new();
+        for (name, coeff) in lhs_terms {
+            let &col = binary_index.get(&name).ok_or_else(|| {
+                err(
+                    *lineno,
+                    raw,
+                    format!("variable `{name}` not declared binary"),
+                )
+            })?;
+            *terms.entry(col).or_insert(0) +=
+                integral(coeff, *lineno, raw, "constraint coefficient")?;
+        }
+        let mut terms: Vec<(usize, i64)> = terms.into_iter().filter(|&(_, a)| a != 0).collect();
+        terms.sort_unstable();
+        if terms.is_empty() {
+            return Err(err(*lineno, raw, "constraint has no variables"));
+        }
+        let cmp_rank = match cmp {
+            Cmp::Eq => 0,
+            Cmp::Le => 1,
+            Cmp::Ge => 2,
+        };
+        raw_rows.push(RawRow {
+            terms,
+            cmp_rank,
+            bound,
+        });
+    }
+    raw_rows.sort_by(|a, b| a.partial_cmp(b).expect("integer keys are totally ordered"));
+
+    let mut builder = ProblemBuilder::new(n, sense)
+        .name(format!("lp-n{n}"))
+        .linear_objective(&linear)
+        .constant(obj_constant);
+    for row in &raw_rows {
+        let cmp = match row.cmp_rank {
+            0 => Cmp::Eq,
+            1 => Cmp::Le,
+            _ => Cmp::Ge,
+        };
+        builder = builder.constraint(&row.terms, cmp, row.bound);
+    }
+    builder
+        .build()
+        .map_err(|e| ParseProblemError::structural(e.to_string()))
+}
+
+/// Serializes a problem as an LP file (equality rows only — slack
+/// columns are already materialized as binary variables named in index
+/// order `x0..x{n-1}`; original variable names are not preserved).
+///
+/// # Errors
+///
+/// Returns a message if the objective has quadratic terms (the LP
+/// subset is linear).
+pub fn write_lp(problem: &Problem) -> Result<String, String> {
+    let obj = problem.objective();
+    if !obj.quadratic.is_empty() {
+        return Err("LP export requires a linear objective".to_string());
+    }
+    let n = problem.n_vars();
+    let mut out = String::new();
+    out.push_str("\\ rasengan lp export v1\n");
+    out.push_str(match problem.sense() {
+        Sense::Minimize => "Minimize\n",
+        Sense::Maximize => "Maximize\n",
+    });
+    let mut line = String::from(" obj:");
+    let mut any = false;
+    for (i, &c) in obj.linear.iter().enumerate() {
+        if c != 0.0 {
+            push_term(&mut line, c, Some(i), any);
+            any = true;
+        }
+    }
+    if obj.constant != 0.0 {
+        push_term(&mut line, obj.constant, None, any);
+        any = true;
+    }
+    if !any {
+        line.push_str(" 0 x0");
+    }
+    out.push_str(&line);
+    out.push('\n');
+    out.push_str("Subject To\n");
+    for (k, (row, &b)) in problem
+        .constraints()
+        .iter_rows()
+        .zip(problem.rhs().iter())
+        .enumerate()
+    {
+        let mut line = format!(" c{k}:");
+        let mut any = false;
+        for (i, &a) in row.iter().enumerate() {
+            if a != 0 {
+                push_term(&mut line, a as f64, Some(i), any);
+                any = true;
+            }
+        }
+        if !any {
+            line.push_str(" 0 x0");
+        }
+        line.push_str(&format!(" = {b}"));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str("Binary\n");
+    for chunk in (0..n).collect::<Vec<_>>().chunks(12) {
+        let names: Vec<String> = chunk.iter().map(|i| format!("x{i}")).collect();
+        out.push_str(&format!(" {}\n", names.join(" ")));
+    }
+    out.push_str("End\n");
+    Ok(out)
+}
+
+fn push_term(line: &mut String, coeff: f64, var: Option<usize>, follows: bool) {
+    let mag = coeff.abs();
+    if follows {
+        line.push_str(if coeff < 0.0 { " -" } else { " +" });
+    } else if coeff < 0.0 {
+        line.push_str(" -");
+    }
+    match var {
+        Some(i) if mag == 1.0 => line.push_str(&format!(" x{i}")),
+        Some(i) => line.push_str(&format!(" {mag} x{i}")),
+        None => line.push_str(&format!(" {mag}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::brute_force_feasible;
+
+    const KNAPSACK: &str = "\\ pick at most 2 of 3 items\nMaximize\n obj: 3 x1 + 5 x2 + 4 x3\nSubject To\n cap: x1 + x2 + x3 <= 2\nBinary\n x1 x2 x3\nEnd\n";
+
+    #[test]
+    fn knapsack_parses_and_binarizes() {
+        let p = parse_lp(KNAPSACK).unwrap();
+        assert_eq!(p.sense(), Sense::Maximize);
+        // 3 decisions + 2 slacks for max-LHS 3 vs bound 2.
+        assert_eq!(p.n_vars(), 5);
+        let feas = brute_force_feasible(&p);
+        assert!(feas.iter().all(|x| x[0] + x[1] + x[2] <= 2));
+        assert!(p.initial_feasible().is_some());
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        let text = "Minimize\n obj: x1 + 2 x2 + 3 x3\nSubject To\n c1: x1 + x2 + x3 = 2\n c2: x2 + x3 >= 1\nBinary\n x1 x2 x3\nEnd\n";
+        let p = parse_lp(text).unwrap();
+        let feas = brute_force_feasible(&p);
+        assert!(!feas.is_empty());
+        for x in &feas {
+            assert_eq!(x[0] + x[1] + x[2], 2);
+            assert!(x[1] + x[2] >= 1);
+        }
+    }
+
+    #[test]
+    fn objective_may_span_lines_and_carry_constants() {
+        let text = "Minimize\n obj: 2 x1\n  + 0.5 x2 + 7\nSubject To\n c1: x1 + x2 = 1\nBinary\n x1 x2\nEnd\n";
+        let p = parse_lp(text).unwrap();
+        assert_eq!(p.objective().constant, 7.0);
+        assert_eq!(p.objective().linear, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn binary_order_fixes_columns() {
+        let text = "Minimize\n obj: b + 2 a\nSubject To\n c1: a + b = 1\nBinary\n a b\nEnd\n";
+        let p = parse_lp(text).unwrap();
+        // Column 0 is `a` (declared first), coefficient 2.
+        assert_eq!(p.objective().linear, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn repeated_terms_accumulate() {
+        let text =
+            "Minimize\n obj: x1 + x1\nSubject To\n c1: x1 + x1 + x2 = 2\nBinary\n x1 x2\nEnd\n";
+        let p = parse_lp(text).unwrap();
+        assert_eq!(p.objective().linear[0], 2.0);
+        assert_eq!(p.constraints().iter_rows().next().unwrap(), &[2, 1]);
+    }
+
+    #[test]
+    fn error_arms_carry_line_and_text() {
+        let arms = [
+            ("General\n x1\n", 1, "unsupported section"),
+            ("x1 + x2\n", 1, "expected `Minimize`"),
+            (
+                "Minimize\n obj: 2 3 x1\nBinary\n x1\nEnd\n",
+                2,
+                "two numbers",
+            ),
+            (
+                "Minimize\n obj: x1 ? x2\nBinary\n x1 x2\nEnd\n",
+                2,
+                "unexpected character",
+            ),
+            (
+                "Minimize\n obj: x1 <= 2\nBinary\n x1\nEnd\n",
+                2,
+                "relation operator in objective",
+            ),
+            (
+                "Minimize\n obj: y1\nBinary\n x1\nEnd\n",
+                2,
+                "not declared binary",
+            ),
+            (
+                "Minimize\n obj: x1\nSubject To\n c1: x1 + x2\nBinary\n x1 x2\nEnd\n",
+                4,
+                "needs `<=`",
+            ),
+            (
+                "Minimize\n obj: x1\nSubject To\n c1: x1 = x1\nBinary\n x1\nEnd\n",
+                4,
+                "single number",
+            ),
+            (
+                "Minimize\n obj: x1\nSubject To\n c1: x1 = 1.5\nBinary\n x1\nEnd\n",
+                4,
+                "must be an integer",
+            ),
+            (
+                "Minimize\n obj: x1\nSubject To\n c1: 0.5 x1 = 1\nBinary\n x1\nEnd\n",
+                4,
+                "must be an integer",
+            ),
+            (
+                "Minimize\n obj: x1\nSubject To\n c1: 3 = 3\nBinary\n x1\nEnd\n",
+                4,
+                "no variables",
+            ),
+            (
+                "Minimize\n obj: x1\nBinary\n x1 x1\nEnd\n",
+                4,
+                "declared binary twice",
+            ),
+            (
+                "Minimize\n obj: x1\nBinary\n x1 + x2\nEnd\n",
+                4,
+                "expected variable names",
+            ),
+            (
+                "Minimize\n obj: x1\nBinary\n x1\nBounds\n 2 <= x1 <= 3\nEnd\n",
+                6,
+                "bounds",
+            ),
+            (
+                "Minimize\n obj: x1\nBinary\n x1\nEnd\n x2\n",
+                6,
+                "after `End`",
+            ),
+        ];
+        for (input, line, fragment) in arms {
+            let e = parse_lp(input).unwrap_err();
+            assert_eq!(e.line, line, "{input:?}: {e}");
+            assert!(e.message.contains(fragment), "{input:?}: {e}");
+            assert_eq!(e.text, input.lines().nth(line - 1).unwrap().trim());
+        }
+        let e = parse_lp("Minimize\n obj: 0\nEnd\n").unwrap_err();
+        assert!(e.message.contains("missing `Binary`"), "{e}");
+    }
+
+    #[test]
+    fn write_then_parse_preserves_semantics() {
+        let p = parse_lp(KNAPSACK).unwrap();
+        let text = write_lp(&p).unwrap();
+        let q = parse_lp(&text).unwrap();
+        assert_eq!(q.n_vars(), p.n_vars());
+        assert_eq!(q.sense(), p.sense());
+        assert_eq!(q.objective().linear, p.objective().linear);
+        let mut rows_p: Vec<(Vec<i64>, i64)> = p
+            .constraints()
+            .iter_rows()
+            .zip(p.rhs().iter())
+            .map(|(r, &b)| (r.to_vec(), b))
+            .collect();
+        let mut rows_q: Vec<(Vec<i64>, i64)> = q
+            .constraints()
+            .iter_rows()
+            .zip(q.rhs().iter())
+            .map(|(r, &b)| (r.to_vec(), b))
+            .collect();
+        rows_p.sort();
+        rows_q.sort();
+        assert_eq!(rows_p, rows_q);
+    }
+
+    #[test]
+    fn quadratic_objective_rejected_by_writer() {
+        let p = crate::kpp::KPartition::generate(4, 2, 1).into_problem();
+        assert!(write_lp(&p).is_err());
+    }
+
+    #[test]
+    fn bounds_zero_one_accepted() {
+        let text = "Minimize\n obj: x1\nSubject To\n c1: x1 + x2 = 1\nBounds\n 0 <= x1 <= 1\nBinary\n x1 x2\nEnd\n";
+        assert!(parse_lp(text).is_ok());
+    }
+}

@@ -1,0 +1,696 @@
+//! QUBO matrix-form parsing and writing.
+//!
+//! Two text layouts are accepted (arXiv:2106.10819 catalogs the
+//! encodings this interchange form carries):
+//!
+//! **Sparse coordinate** (qbsolv-flavored):
+//!
+//! ```text
+//! c anything after 'c' or '#' is a comment
+//! s min                       # optional sense line (default min)
+//! p qubo 0 <n> <nDiag> <nOffDiag>
+//! 0 0 -3.5                    # diagonal entry: linear coefficient
+//! 0 1 2.0                     # off-diagonal: coupling w·x0·x1
+//! ```
+//!
+//! **Dense**:
+//!
+//! ```text
+//! d qubo <n>
+//! -3.5 2.0
+//! 0.0 -1.0                    # row-major n×n matrix Q; value = xᵀQx
+//! ```
+//!
+//! The objective value is `xᵀQx` over binary `x` (so `Q[i][i]` is the
+//! linear coefficient and `Q[i][j] + Q[j][i]` the pair coupling).
+//!
+//! # Constraint recovery
+//!
+//! A penalty-encoded cardinality constraint `λ(Σ_{i∈S} xᵢ − b)²`
+//! expands (min-form, using `x² = x`) to `+2λ` couplings on every pair
+//! in `S`, `λ(1−2b)` added to each member's linear coefficient, and a
+//! `λb²` constant. [`parse_qubo`] with `recover = true` inverts this
+//! where the matrix structure admits it: connected components of the
+//! positive-coupling graph that form **uniform-weight cliques** are
+//! lifted back into `Σ_{i∈S} xᵢ = b` equality rows, with `λ = w/2` and
+//! `b` inferred per member under penalty dominance (`|cᵢ| < λ`, all
+//! members agreeing). Components failing any check — non-uniform
+//! weights, incomplete cliques, disagreeing or boundary `b` — are left
+//! in the objective untouched, so recovery never invents constraints
+//! the matrix does not support.
+
+use crate::builder::{Cmp, ProblemBuilder};
+use crate::io::ParseProblemError;
+use crate::problem::{Problem, Sense};
+use std::collections::BTreeMap;
+
+fn err(line: usize, text: &str, message: impl Into<String>) -> ParseProblemError {
+    ParseProblemError::at(line, text.trim(), message)
+}
+
+/// One parsed QUBO matrix: sense + linear diagonal + pair couplings.
+struct RawQubo {
+    sense: Sense,
+    linear: Vec<f64>,
+    /// Coupling per pair `(i, j)` with `i < j`; value is the total
+    /// coefficient of `xᵢxⱼ` (dense input sums `Q[i][j] + Q[j][i]`).
+    coupling: BTreeMap<(usize, usize), f64>,
+}
+
+fn strip_comment(raw: &str) -> &str {
+    let no_hash = raw.split('#').next().unwrap_or("");
+    let trimmed = no_hash.trim();
+    if trimmed == "c" || trimmed.starts_with("c ") {
+        ""
+    } else {
+        no_hash
+    }
+}
+
+fn parse_raw(text: &str) -> Result<RawQubo, ParseProblemError> {
+    let mut sense = Sense::Minimize;
+    let mut n: Option<usize> = None;
+    let mut dense_rows_left = 0usize;
+    let mut dense_row = 0usize;
+    let mut expect_diag: Option<usize> = None;
+    let mut expect_off: Option<usize> = None;
+    let mut linear: Vec<f64> = Vec::new();
+    let mut coupling: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut n_diag = 0usize;
+    let mut n_off = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if dense_rows_left > 0 {
+            let nn = n.expect("dense header seen");
+            if words.len() != nn {
+                return Err(err(
+                    lineno,
+                    raw,
+                    format!("dense row has {} values, expected {nn}", words.len()),
+                ));
+            }
+            for (j, w) in words.iter().enumerate() {
+                let v: f64 = w
+                    .parse()
+                    .map_err(|_| err(lineno, raw, format!("bad matrix value `{w}`")))?;
+                if v == 0.0 {
+                    continue;
+                }
+                match dense_row.cmp(&j) {
+                    std::cmp::Ordering::Equal => linear[j] += v,
+                    std::cmp::Ordering::Less => {
+                        *coupling.entry((dense_row, j)).or_insert(0.0) += v;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        *coupling.entry((j, dense_row)).or_insert(0.0) += v;
+                    }
+                }
+            }
+            dense_row += 1;
+            dense_rows_left -= 1;
+            continue;
+        }
+        match words[0] {
+            "s" => {
+                sense = match words.get(1) {
+                    Some(&"min") => Sense::Minimize,
+                    Some(&"max") => Sense::Maximize,
+                    other => return Err(err(lineno, raw, format!("bad sense {other:?}"))),
+                };
+            }
+            "p" => {
+                if n.is_some() {
+                    return Err(err(lineno, raw, "duplicate header"));
+                }
+                if words.get(1) != Some(&"qubo") || words.len() != 6 {
+                    return Err(err(
+                        lineno,
+                        raw,
+                        "expected `p qubo 0 <n> <nDiag> <nOffDiag>`",
+                    ));
+                }
+                let parse_count = |w: &str| -> Result<usize, ParseProblemError> {
+                    w.parse()
+                        .map_err(|_| err(lineno, raw, format!("bad header count `{w}`")))
+                };
+                let nn = parse_count(words[3])?;
+                expect_diag = Some(parse_count(words[4])?);
+                expect_off = Some(parse_count(words[5])?);
+                n = Some(nn);
+                linear = vec![0.0; nn];
+            }
+            "d" => {
+                if n.is_some() {
+                    return Err(err(lineno, raw, "duplicate header"));
+                }
+                if words.get(1) != Some(&"qubo") || words.len() != 3 {
+                    return Err(err(lineno, raw, "expected `d qubo <n>`"));
+                }
+                let nn: usize = words[2]
+                    .parse()
+                    .map_err(|_| err(lineno, raw, format!("bad size `{}`", words[2])))?;
+                n = Some(nn);
+                linear = vec![0.0; nn];
+                dense_rows_left = nn;
+            }
+            _ => {
+                // Sparse entry line: `i j value`.
+                let nn = n.ok_or_else(|| err(lineno, raw, "entry before `p qubo` header"))?;
+                if words.len() != 3 {
+                    return Err(err(lineno, raw, "expected `i j value`"));
+                }
+                let i: usize = words[0]
+                    .parse()
+                    .map_err(|_| err(lineno, raw, format!("bad index `{}`", words[0])))?;
+                let j: usize = words[1]
+                    .parse()
+                    .map_err(|_| err(lineno, raw, format!("bad index `{}`", words[1])))?;
+                let v: f64 = words[2]
+                    .parse()
+                    .map_err(|_| err(lineno, raw, format!("bad value `{}`", words[2])))?;
+                if i >= nn || j >= nn {
+                    return Err(err(
+                        lineno,
+                        raw,
+                        format!("index out of range for {nn} nodes"),
+                    ));
+                }
+                if i == j {
+                    linear[i] += v;
+                    n_diag += 1;
+                } else {
+                    *coupling.entry((i.min(j), i.max(j))).or_insert(0.0) += v;
+                    n_off += 1;
+                }
+            }
+        }
+    }
+
+    let nn =
+        n.ok_or_else(|| ParseProblemError::structural("missing `p qubo` or `d qubo` header"))?;
+    if dense_rows_left > 0 {
+        return Err(ParseProblemError::structural(format!(
+            "dense matrix truncated: {dense_rows_left} of {nn} rows missing"
+        )));
+    }
+    if let Some(expect) = expect_diag {
+        if n_diag != expect {
+            return Err(ParseProblemError::structural(format!(
+                "header promises {expect} diagonal entries, found {n_diag}"
+            )));
+        }
+    }
+    if let Some(expect) = expect_off {
+        if n_off != expect {
+            return Err(ParseProblemError::structural(format!(
+                "header promises {expect} off-diagonal entries, found {n_off}"
+            )));
+        }
+    }
+    coupling.retain(|_, v| *v != 0.0);
+    Ok(RawQubo {
+        sense,
+        linear,
+        coupling,
+    })
+}
+
+/// A recovered penalty group: members, cardinality bound, weight λ.
+struct Recovered {
+    members: Vec<usize>,
+    bound: i64,
+    lambda: f64,
+}
+
+const REL_TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Finds disjoint uniform-weight positive-coupling cliques and infers
+/// their `Σ xᵢ = b` bounds. Operates on min-form data; returns the
+/// recovered groups, leaving rejected components untouched.
+///
+/// Edges are first classed by coupling value: a penalty `λ(Σxᵢ−b)²`
+/// puts exactly `2λ` on every internal pair, so a group's edges share
+/// one weight class. Classes are tried largest-first (a penalty weight
+/// dominates objective couplings by construction), each class's
+/// connected components must be complete cliques of that class, and a
+/// variable claimed by an accepted group is off-limits to smaller
+/// classes — so incidental objective couplings can neither merge two
+/// penalty cliques nor masquerade as one.
+fn recover_groups(
+    n: usize,
+    linear: &[f64],
+    coupling: &BTreeMap<(usize, usize), f64>,
+) -> Vec<Recovered> {
+    // Cluster positive coupling values into tolerance classes.
+    let mut values: Vec<f64> = coupling.values().copied().filter(|&w| w > 0.0).collect();
+    values.sort_by(|a, b| b.partial_cmp(a).expect("couplings are finite"));
+    let mut classes: Vec<f64> = Vec::new();
+    for v in values {
+        if !classes.iter().any(|&c| close(c, v)) {
+            classes.push(v);
+        }
+    }
+
+    let mut claimed = vec![false; n];
+    let mut recovered = Vec::new();
+    for &w in &classes {
+        // Components of the subgraph restricted to class-w edges.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (&(i, j), &v) in coupling {
+            if v > 0.0 && close(v, w) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+        let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            components.entry(r).or_default().push(i);
+        }
+
+        'comp: for members in components.values() {
+            let k = members.len();
+            if k < 2 || members.iter().any(|&i| claimed[i]) {
+                continue;
+            }
+            // Clique check: every internal pair must carry a class-w
+            // coupling. A missing or off-class pair means this is not a
+            // single penalty group — reject rather than guess.
+            for (a, &i) in members.iter().enumerate() {
+                for &j in &members[a + 1..] {
+                    match coupling.get(&(i, j)) {
+                        Some(&v) if v > 0.0 && close(v, w) => {}
+                        _ => continue 'comp,
+                    }
+                }
+            }
+            let lambda = w / 2.0;
+            // Each member's linear coefficient is Lᵢ = cᵢ + λ(1−2b);
+            // under penalty dominance |cᵢ| < λ, b is the unique integer
+            // in the open unit interval (−Lᵢ/2λ, −Lᵢ/2λ + 1). A
+            // boundary value (−Lᵢ/2λ integral) is ambiguous — reject.
+            let mut bound: Option<i64> = None;
+            for &i in members {
+                let t = -linear[i] / (2.0 * lambda);
+                if (t - t.round()).abs() < REL_TOL {
+                    continue 'comp;
+                }
+                let b = t.ceil() as i64;
+                match bound {
+                    None => bound = Some(b),
+                    Some(prev) if prev == b => {}
+                    Some(_) => continue 'comp,
+                }
+            }
+            let b = bound.expect("non-empty member list");
+            // A penalty with b outside 1..k−1 would be degenerate
+            // (forcing all-zeros or all-ones); real encodings don't
+            // emit those.
+            if b < 1 || b as usize >= k {
+                continue 'comp;
+            }
+            // Dominance check: the residual objective coefficients the
+            // inference implies must actually sit below λ.
+            for &i in members {
+                let c = linear[i] + (2.0 * b as f64 - 1.0) * lambda;
+                if c.abs() >= lambda {
+                    continue 'comp;
+                }
+            }
+            for &i in members {
+                claimed[i] = true;
+            }
+            recovered.push(Recovered {
+                members: members.clone(),
+                bound: b,
+                lambda,
+            });
+        }
+    }
+    // Canonical group order (components surface in weight-class then
+    // union-find root order, which is not stable under permutations).
+    recovered.sort_by(|a, b| a.members.cmp(&b.members));
+    recovered
+}
+
+/// Parses QUBO text. With `recover = false` the result is an
+/// unconstrained quadratic objective over `n` binaries; with
+/// `recover = true`, penalty-encoded cardinality constraints are lifted
+/// back into equality rows where the matrix structure admits it (see
+/// module docs).
+///
+/// # Errors
+///
+/// Returns [`ParseProblemError`] with line number and offending text on
+/// malformed input.
+pub fn parse_qubo(text: &str, recover: bool) -> Result<Problem, ParseProblemError> {
+    let raw = parse_raw(text)?;
+    let n = raw.linear.len();
+    if n == 0 {
+        return Err(ParseProblemError::structural("empty QUBO (0 nodes)"));
+    }
+    if !recover {
+        let mut builder = ProblemBuilder::new(n, raw.sense)
+            .name(format!("qubo-n{n}"))
+            .linear_objective(&raw.linear);
+        for (&(i, j), &w) in &raw.coupling {
+            builder = builder.quadratic_term(i, j, w);
+        }
+        let problem = builder
+            .build()
+            .map_err(|e| ParseProblemError::structural(e.to_string()))?;
+        // Unconstrained: every point is feasible; seed the all-zeros
+        // point so downstream machinery has a start.
+        return problem
+            .with_initial_feasible(vec![0; n])
+            .map_err(|e| ParseProblemError::structural(e.to_string()));
+    }
+
+    // Recovery works in min-form: negate a maximization QUBO, lift, and
+    // negate the residual back.
+    let to_min = |v: f64| match raw.sense {
+        Sense::Minimize => v,
+        Sense::Maximize => -v,
+    };
+    let linear_min: Vec<f64> = raw.linear.iter().map(|&v| to_min(v)).collect();
+    let coupling_min: BTreeMap<(usize, usize), f64> =
+        raw.coupling.iter().map(|(&k, &v)| (k, to_min(v))).collect();
+
+    let groups = recover_groups(n, &linear_min, &coupling_min);
+    let mut in_group = vec![false; n];
+    let mut grouped_pairs: std::collections::BTreeSet<(usize, usize)> = Default::default();
+    for g in &groups {
+        for (a, &i) in g.members.iter().enumerate() {
+            in_group[i] = true;
+            for &j in &g.members[a + 1..] {
+                grouped_pairs.insert((i, j));
+            }
+        }
+    }
+
+    // Residual objective (min-form): subtract each group's penalty.
+    let mut residual_linear = linear_min.clone();
+    for g in &groups {
+        for &i in &g.members {
+            residual_linear[i] -= g.lambda * (1.0 - 2.0 * g.bound as f64);
+        }
+    }
+    let from_min = to_min; // negation is its own inverse
+    let residual_linear: Vec<f64> = residual_linear.iter().map(|&v| from_min(v)).collect();
+
+    let mut builder = ProblemBuilder::new(n, raw.sense)
+        .name(format!("qubo-recovered-n{n}"))
+        .linear_objective(&residual_linear);
+    for (&(i, j), &w) in &coupling_min {
+        if !grouped_pairs.contains(&(i, j)) {
+            builder = builder.quadratic_term(i, j, from_min(w));
+        }
+    }
+    for g in &groups {
+        let terms: Vec<(usize, i64)> = g.members.iter().map(|&i| (i, 1)).collect();
+        builder = builder.constraint(&terms, Cmp::Eq, g.bound);
+    }
+    builder
+        .build()
+        .map_err(|e| ParseProblemError::structural(e.to_string()))
+}
+
+/// Serializes a problem as a sparse-coordinate QUBO, folding every
+/// equality constraint `Σ aᵢxᵢ = b` into a quadratic penalty
+/// `λ(Σ aᵢxᵢ − b)²` (subtracted under [`Sense::Maximize`]).
+///
+/// `lambda` defaults to `1 + max|cᵢ| + max|wᵢⱼ|`, which strictly
+/// dominates every objective coefficient — the condition constraint
+/// recovery needs to re-infer the bounds.
+///
+/// # Errors
+///
+/// Returns a message if the problem has no variables.
+pub fn write_qubo(problem: &Problem, lambda: Option<f64>) -> Result<String, String> {
+    let n = problem.n_vars();
+    if n == 0 {
+        return Err("cannot export an empty problem".to_string());
+    }
+    let obj = problem.objective();
+    let auto = {
+        let max_l = obj.linear.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+        let max_q = obj
+            .quadratic
+            .iter()
+            .fold(0.0f64, |m, &(_, _, w)| m.max(w.abs()));
+        1.0 + max_l + max_q
+    };
+    let lambda = lambda.unwrap_or(auto);
+    if lambda <= 0.0 {
+        return Err(format!("penalty weight must be positive, got {lambda}"));
+    }
+    let pen_sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let mut linear: Vec<f64> = obj.linear.clone();
+    let mut coupling: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for &(i, j, w) in &obj.quadratic {
+        if i == j {
+            linear[i] += w;
+        } else {
+            *coupling.entry((i.min(j), i.max(j))).or_insert(0.0) += w;
+        }
+    }
+    let mut constant = obj.constant;
+    for (row, &b) in problem.constraints().iter_rows().zip(problem.rhs().iter()) {
+        // λ(Σ aᵢxᵢ − b)² = λ[Σ aᵢ(aᵢ−2b)xᵢ + 2Σ_{i<j} aᵢaⱼxᵢxⱼ + b²]
+        for (i, &ai) in row.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            linear[i] += pen_sign * lambda * (ai * (ai - 2 * b)) as f64;
+            for (j, &aj) in row.iter().enumerate().skip(i + 1) {
+                if aj != 0 {
+                    *coupling.entry((i, j)).or_insert(0.0) +=
+                        pen_sign * lambda * (2 * ai * aj) as f64;
+                }
+            }
+        }
+        constant += pen_sign * lambda * (b * b) as f64;
+    }
+    coupling.retain(|_, v| *v != 0.0);
+
+    let n_diag = linear.iter().filter(|&&c| c != 0.0).count();
+    let mut out = String::new();
+    out.push_str("c rasengan qubo export v1\n");
+    if constant != 0.0 {
+        out.push_str(&format!(
+            "c dropped constant offset {constant} (QUBO form carries none)\n"
+        ));
+    }
+    if problem.sense() == Sense::Maximize {
+        out.push_str("s max\n");
+    }
+    out.push_str(&format!("p qubo 0 {n} {n_diag} {}\n", coupling.len()));
+    for (i, &c) in linear.iter().enumerate() {
+        if c != 0.0 {
+            out.push_str(&format!("{i} {i} {c}\n"));
+        }
+    }
+    for (&(i, j), &w) in &coupling {
+        out.push_str(&format!("{i} {j} {w}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, optimum};
+    use crate::kpp::KPartition;
+
+    #[test]
+    fn sparse_parse_basics() {
+        let text = "c hello\ns max\np qubo 0 3 2 1\n0 0 2\n2 2 -1\n0 2 0.5\n";
+        let p = parse_qubo(text, false).unwrap();
+        assert_eq!(p.n_vars(), 3);
+        assert_eq!(p.n_constraints(), 0);
+        assert_eq!(p.sense(), Sense::Maximize);
+        assert_eq!(p.objective().linear, vec![2.0, 0.0, -1.0]);
+        assert_eq!(p.objective().quadratic, vec![(0, 2, 0.5)]);
+        assert!(
+            p.is_feasible(&[1, 1, 1]),
+            "unconstrained: all points feasible"
+        );
+    }
+
+    #[test]
+    fn dense_parse_sums_mirrored_entries() {
+        let text = "d qubo 2\n1 2\n1 -4\n";
+        let p = parse_qubo(text, false).unwrap();
+        assert_eq!(p.objective().linear, vec![1.0, -4.0]);
+        assert_eq!(p.objective().quadratic, vec![(0, 1, 3.0)]);
+    }
+
+    #[test]
+    fn header_count_mismatch_rejected() {
+        let e = parse_qubo("p qubo 0 2 1 0\n", false).unwrap_err();
+        assert!(e.message.contains("promises 1 diagonal"), "{e}");
+    }
+
+    #[test]
+    fn error_arms_carry_line_and_text() {
+        let arms = [
+            ("s sideways\n", 1, "bad sense"),
+            ("p qubo 0 2\n", 1, "expected `p qubo"),
+            ("p qubo 0 x 0 0\n", 1, "bad header count"),
+            ("d qubo x\n", 1, "bad size"),
+            ("p qubo 0 2 1 0\np qubo 0 2 1 0\n", 2, "duplicate header"),
+            ("0 0 1\n", 1, "entry before"),
+            ("p qubo 0 2 0 0\n0 0\n", 2, "expected `i j value`"),
+            ("p qubo 0 2 0 0\nx 0 1\n", 2, "bad index"),
+            ("p qubo 0 2 0 0\n0 0 z\n", 2, "bad value"),
+            ("p qubo 0 2 0 0\n5 5 1\n", 2, "out of range"),
+            ("d qubo 2\n1 2 3\n", 2, "dense row has 3"),
+            ("d qubo 2\n1 z\n", 2, "bad matrix value"),
+        ];
+        for (input, line, fragment) in arms {
+            let e = parse_qubo(input, false).unwrap_err();
+            assert_eq!(e.line, line, "{input:?}: {e}");
+            assert!(e.message.contains(fragment), "{input:?}: {e}");
+            assert_eq!(e.text, input.lines().nth(line - 1).unwrap().trim());
+        }
+        let e = parse_qubo("c only comments\n", false).unwrap_err();
+        assert!(e.message.contains("missing"), "{e}");
+        let e = parse_qubo("d qubo 2\n1 0\n", false).unwrap_err();
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    /// Disjoint one-hot groups + linear costs + one cross-group
+    /// quadratic — the structure recovery targets.
+    fn assignment_instance() -> Problem {
+        crate::builder::ProblemBuilder::new(5, Sense::Minimize)
+            .name("assign")
+            .linear_objective(&[2.0, 5.0, 1.0, 3.0, 4.0])
+            .quadratic_term(0, 3, 1.5)
+            .constraint(&[(0, 1), (1, 1), (2, 1)], Cmp::Eq, 1)
+            .constraint(&[(3, 1), (4, 1)], Cmp::Eq, 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn penalty_recovery_round_trips_disjoint_groups() {
+        let original = assignment_instance();
+        let text = write_qubo(&original, None).unwrap();
+        let recovered = parse_qubo(&text, true).unwrap();
+        assert_eq!(recovered.n_vars(), original.n_vars());
+        assert_eq!(recovered.sense(), original.sense());
+        // Same constraint rows up to order.
+        let rows = |p: &Problem| {
+            let mut rows: Vec<(Vec<i64>, i64)> = p
+                .constraints()
+                .iter_rows()
+                .zip(p.rhs().iter())
+                .map(|(r, &b)| (r.to_vec(), b))
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(rows(&recovered), rows(&original));
+        // Coefficients match exactly: the penalty arithmetic stays
+        // integral-in-f64 at these magnitudes.
+        assert_eq!(recovered.objective().linear, original.objective().linear);
+        assert_eq!(
+            recovered.objective().quadratic,
+            original.objective().quadratic
+        );
+    }
+
+    #[test]
+    fn overlapping_penalty_rows_are_left_in_the_objective() {
+        // KPP penalty rows share variables (per-vertex one-hots AND
+        // per-part balance rows), so its penalty cliques overlap; the
+        // clique test must reject rather than guess.
+        let original = KPartition::generate(4, 2, 7).into_problem();
+        let text = write_qubo(&original, None).unwrap();
+        let recovered = parse_qubo(&text, true).unwrap();
+        assert_eq!(recovered.n_constraints(), 0);
+    }
+
+    #[test]
+    fn recovery_is_conservative_on_nonuniform_couplings() {
+        // Positive couplings without dominance structure: a triangle
+        // with weights 2,2,3 is not a uniform clique, and the 2,2 pair
+        // fails the dominance check — nothing may be recovered.
+        let text = "p qubo 0 3 0 3\n0 1 2\n0 2 2\n1 2 3\n";
+        let p = parse_qubo(text, true).unwrap();
+        assert_eq!(p.n_constraints(), 0);
+        assert_eq!(p.objective().quadratic.len(), 3);
+    }
+
+    #[test]
+    fn unconstrained_and_recovered_agree_on_feasible_points() {
+        // The penalty form and the recovered constrained form must rank
+        // feasible points identically.
+        let original = assignment_instance();
+        let text = write_qubo(&original, None).unwrap();
+        let flat = parse_qubo(&text, false).unwrap();
+        let recovered = parse_qubo(&text, true).unwrap();
+        for x in brute_force_feasible(&recovered) {
+            let offset = flat.evaluate(&x) - recovered.evaluate(&x);
+            // Feasible points pay zero penalty, so the two differ by the
+            // dropped constant only.
+            let (opt_x, _) = optimum(&recovered);
+            let expect = flat.evaluate(&opt_x) - recovered.evaluate(&opt_x);
+            assert!((offset - expect).abs() < 1e-9, "penalty leaked into {x:?}");
+        }
+    }
+
+    #[test]
+    fn maximize_sense_recovery() {
+        let original = crate::portfolio::Portfolio {
+            returns: vec![3.0, 1.0, 2.0, 5.0],
+            risk: vec![(0, 2, 1.0)],
+            risk_aversion: 1.0,
+            sectors: vec![0..2, 2..4],
+            picks: vec![1, 1],
+        }
+        .into_problem();
+        let text = write_qubo(&original, None).unwrap();
+        let recovered = parse_qubo(&text, true).unwrap();
+        assert_eq!(recovered.sense(), Sense::Maximize);
+        assert_eq!(recovered.n_constraints(), 2);
+        assert_eq!(recovered.objective().linear, original.objective().linear);
+    }
+
+    #[test]
+    fn explicit_lambda_respected_and_bad_lambda_rejected() {
+        let p = assignment_instance();
+        let a = write_qubo(&p, Some(100.0)).unwrap();
+        let b = write_qubo(&p, Some(200.0)).unwrap();
+        assert_ne!(a, b);
+        assert!(write_qubo(&p, Some(-1.0)).is_err());
+        // Both still recover the same constraint system.
+        let pa = parse_qubo(&a, true).unwrap();
+        let pb = parse_qubo(&b, true).unwrap();
+        assert_eq!(pa.n_constraints(), 2);
+        assert_eq!(pa.constraints(), pb.constraints());
+    }
+}

@@ -26,23 +26,46 @@ pub struct ParseProblemError {
     /// 1-based line number of the offending line (0 for structural
     /// errors spanning the whole file).
     pub line: usize,
+    /// The offending line's text, trimmed (empty for structural errors).
+    pub text: String,
     /// What went wrong.
     pub message: String,
 }
 
+impl ParseProblemError {
+    /// Builds an error anchored at a 1-based line with its source text.
+    pub fn at(line: usize, text: impl Into<String>, message: impl Into<String>) -> Self {
+        ParseProblemError {
+            line,
+            text: text.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a structural error spanning the whole file (line 0).
+    pub fn structural(message: impl Into<String>) -> Self {
+        Self::at(0, "", message)
+    }
+}
+
 impl fmt::Display for ParseProblemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.text.is_empty() {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(
+                f,
+                "line {}: {} (in `{}`)",
+                self.line, self.message, self.text
+            )
+        }
     }
 }
 
 impl std::error::Error for ParseProblemError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseProblemError {
-    ParseProblemError {
-        line,
-        message: message.into(),
-    }
+fn err(line: usize, text: &str, message: impl Into<String>) -> ParseProblemError {
+    ParseProblemError::at(line, text.trim(), message)
 }
 
 /// Serializes a problem to the text format.
@@ -127,37 +150,37 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseProblemError> {
                 sense = match words.next() {
                     Some("min") => Sense::Minimize,
                     Some("max") => Sense::Maximize,
-                    other => return Err(err(lineno, format!("bad sense {other:?}"))),
+                    other => return Err(err(lineno, raw, format!("bad sense {other:?}"))),
                 };
             }
             "vars" => {
                 let n: usize = words
                     .next()
                     .and_then(|w| w.parse().ok())
-                    .ok_or_else(|| err(lineno, "vars needs a count"))?;
+                    .ok_or_else(|| err(lineno, raw, "vars needs a count"))?;
                 n_vars = Some(n);
                 linear.resize(n, 0.0);
             }
             "objective" => {
-                let n = n_vars.ok_or_else(|| err(lineno, "objective before vars"))?;
+                let n = n_vars.ok_or_else(|| err(lineno, raw, "objective before vars"))?;
                 match words.next() {
                     Some("constant") => {
                         constant = words
                             .next()
                             .and_then(|w| w.parse().ok())
-                            .ok_or_else(|| err(lineno, "bad constant"))?;
+                            .ok_or_else(|| err(lineno, raw, "bad constant"))?;
                     }
                     Some("linear") => {
                         let i: usize = words
                             .next()
                             .and_then(|w| w.parse().ok())
-                            .ok_or_else(|| err(lineno, "bad linear index"))?;
+                            .ok_or_else(|| err(lineno, raw, "bad linear index"))?;
                         let c: f64 = words
                             .next()
                             .and_then(|w| w.parse().ok())
-                            .ok_or_else(|| err(lineno, "bad linear coefficient"))?;
+                            .ok_or_else(|| err(lineno, raw, "bad linear coefficient"))?;
                         if i >= n {
-                            return Err(err(lineno, format!("linear index {i} ≥ vars {n}")));
+                            return Err(err(lineno, raw, format!("linear index {i} ≥ vars {n}")));
                         }
                         linear[i] = c;
                     }
@@ -165,39 +188,40 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseProblemError> {
                         let i: usize = words
                             .next()
                             .and_then(|w| w.parse().ok())
-                            .ok_or_else(|| err(lineno, "bad quadratic index"))?;
+                            .ok_or_else(|| err(lineno, raw, "bad quadratic index"))?;
                         let j: usize = words
                             .next()
                             .and_then(|w| w.parse().ok())
-                            .ok_or_else(|| err(lineno, "bad quadratic index"))?;
+                            .ok_or_else(|| err(lineno, raw, "bad quadratic index"))?;
                         let w: f64 = words
                             .next()
                             .and_then(|t| t.parse().ok())
-                            .ok_or_else(|| err(lineno, "bad quadratic weight"))?;
+                            .ok_or_else(|| err(lineno, raw, "bad quadratic weight"))?;
                         if i >= n || j >= n {
-                            return Err(err(lineno, "quadratic index out of range"));
+                            return Err(err(lineno, raw, "quadratic index out of range"));
                         }
                         quadratic.push((i, j, w));
                     }
-                    other => return Err(err(lineno, format!("bad objective kind {other:?}"))),
+                    other => return Err(err(lineno, raw, format!("bad objective kind {other:?}"))),
                 }
             }
             "constraint" => {
-                let n = n_vars.ok_or_else(|| err(lineno, "constraint before vars"))?;
+                let n = n_vars.ok_or_else(|| err(lineno, raw, "constraint before vars"))?;
                 let b: i64 = words
                     .next()
                     .and_then(|w| w.parse().ok())
-                    .ok_or_else(|| err(lineno, "constraint needs a bound"))?;
+                    .ok_or_else(|| err(lineno, raw, "constraint needs a bound"))?;
                 match words.next() {
                     Some(":") => {}
-                    other => return Err(err(lineno, format!("expected ':', got {other:?}"))),
+                    other => return Err(err(lineno, raw, format!("expected ':', got {other:?}"))),
                 }
                 let coeffs: Result<Vec<i64>, _> = words.map(str::parse).collect();
                 let coeffs =
-                    coeffs.map_err(|_| err(lineno, "non-integer constraint coefficient"))?;
+                    coeffs.map_err(|_| err(lineno, raw, "non-integer constraint coefficient"))?;
                 if coeffs.len() != n {
                     return Err(err(
                         lineno,
+                        raw,
                         format!("constraint has {} coefficients, expected {n}", coeffs.len()),
                     ));
                 }
@@ -206,13 +230,13 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseProblemError> {
             }
             "initial" => {
                 let bits: Result<Vec<i64>, _> = words.map(str::parse).collect();
-                initial = Some(bits.map_err(|_| err(lineno, "non-integer initial bit"))?);
+                initial = Some(bits.map_err(|_| err(lineno, raw, "non-integer initial bit"))?);
             }
-            other => return Err(err(lineno, format!("unknown keyword `{other}`"))),
+            other => return Err(err(lineno, raw, format!("unknown keyword `{other}`"))),
         }
     }
 
-    let n = n_vars.ok_or_else(|| err(0, "missing vars line"))?;
+    let n = n_vars.ok_or_else(|| ParseProblemError::structural("missing vars line"))?;
     let constraints = if rows.is_empty() {
         IntMatrix::zeros(0, n)
     } else {
@@ -229,11 +253,11 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseProblemError> {
         },
         sense,
     )
-    .map_err(|e| err(0, e.to_string()))?;
+    .map_err(|e| ParseProblemError::structural(e.to_string()))?;
     if let Some(bits) = initial {
         problem = problem
             .with_initial_feasible(bits)
-            .map_err(|e| err(0, e.to_string()))?;
+            .map_err(|e| ParseProblemError::structural(e.to_string()))?;
     }
     Ok(problem)
 }
@@ -285,6 +309,75 @@ mod tests {
     fn missing_vars_rejected() {
         let e = parse_problem("name x\n").unwrap_err();
         assert!(e.message.contains("missing vars"));
+        assert_eq!(e.line, 0);
+        assert!(e.text.is_empty(), "structural errors carry no line text");
+    }
+
+    #[test]
+    fn every_error_arm_reports_line_and_text() {
+        // One entry per error arm of `parse_problem`:
+        // (input, expected 1-based line, message fragment).
+        let arms = [
+            ("vars 2\nsense sideways\n", 2, "bad sense"),
+            ("name t\nvars\n", 2, "vars needs a count"),
+            ("objective linear 0 1\n", 1, "objective before vars"),
+            ("vars 2\nobjective constant x\n", 2, "bad constant"),
+            ("vars 2\nobjective linear q 1\n", 2, "bad linear index"),
+            (
+                "vars 2\nobjective linear 0 q\n",
+                2,
+                "bad linear coefficient",
+            ),
+            ("vars 2\nobjective linear 7 1\n", 2, "linear index 7"),
+            (
+                "vars 2\nobjective quadratic q 1 1\n",
+                2,
+                "bad quadratic index",
+            ),
+            (
+                "vars 2\nobjective quadratic 0 q 1\n",
+                2,
+                "bad quadratic index",
+            ),
+            (
+                "vars 2\nobjective quadratic 0 1 q\n",
+                2,
+                "bad quadratic weight",
+            ),
+            (
+                "vars 2\nobjective quadratic 0 7 1\n",
+                2,
+                "quadratic index out of range",
+            ),
+            ("vars 2\nobjective cubic 0 1\n", 2, "bad objective kind"),
+            ("constraint 1 : 1\n", 1, "constraint before vars"),
+            ("vars 2\nconstraint\n", 2, "constraint needs a bound"),
+            ("vars 2\nconstraint 1 1 1\n", 2, "expected ':'"),
+            (
+                "vars 2\nconstraint 1 : 1 z\n",
+                2,
+                "non-integer constraint coefficient",
+            ),
+            ("vars 2\nconstraint 1 : 1\n", 2, "expected 2"),
+            (
+                "vars 2\nconstraint 1 : 1 1\ninitial 1 z\n",
+                3,
+                "non-integer initial bit",
+            ),
+            ("vars 2\nfrobnicate\n", 2, "unknown keyword"),
+        ];
+        for (input, line, fragment) in arms {
+            let e = parse_problem(input).unwrap_err();
+            assert_eq!(e.line, line, "line number for {input:?}: {e}");
+            assert!(e.message.contains(fragment), "message for {input:?}: {e}");
+            let offending = input.lines().nth(line - 1).unwrap().trim();
+            assert_eq!(e.text, offending, "offending text for {input:?}");
+            let shown = e.to_string();
+            assert!(
+                shown.contains(&format!("line {line}")) && shown.contains(offending),
+                "display must cite line and text: {shown}"
+            );
+        }
     }
 
     #[test]

@@ -33,14 +33,17 @@
 //! assert!(feasible.iter().all(|x| !j1.sense().is_better(j1.evaluate(x), value)));
 //! ```
 
+pub mod binpack;
 pub mod builder;
 pub mod enumerate;
 pub mod fingerprint;
 pub mod flp;
 pub mod gcp;
+pub mod ingest;
 pub mod io;
 pub mod jsp;
 pub mod kpp;
+pub mod maxcut;
 pub mod portfolio;
 pub mod problem;
 pub mod registry;
@@ -50,6 +53,7 @@ pub mod topology;
 pub use builder::{BuildError, Cmp, ProblemBuilder};
 pub use enumerate::{brute_force_feasible, enumerate_feasible, mean_feasible_objective, optimum};
 pub use fingerprint::fingerprint;
+pub use ingest::{parse_as, write_as, Format};
 pub use problem::{Objective, Problem, ProblemError, Sense};
 pub use registry::{all_ids, benchmark, cases, BenchmarkId, Domain};
 pub use topology::{constraint_topology, ConstraintTopology};

@@ -1,0 +1,206 @@
+//! Balanced max-cut — the canonical graph workload of the QUBO
+//! benchmarking literature (every encoding catalog leads with it).
+//!
+//! Partition the vertices of a weighted graph into two equal halves,
+//! maximizing the total weight of edges crossing the cut:
+//!
+//! ```text
+//! max  Σ_{(u,v)∈E} w_uv (x_u + x_v − 2 x_u x_v)
+//! s.t. Σ_v x_v = ⌊n/2⌋
+//! ```
+//!
+//! The single cardinality row makes the balanced variant a constrained
+//! problem the transition-Hamiltonian machinery handles natively (the
+//! unconstrained variant would have an empty constraint system). Two
+//! graph families are generated: Erdős–Rényi (each edge present
+//! independently) and circulant regular graphs (vertex `i` adjacent to
+//! `i ± o` for each offset `o`, giving a `2·|offsets|`-regular graph —
+//! or one less when an offset is exactly `n/2`).
+
+use crate::problem::{Objective, Problem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasengan_math::IntMatrix;
+
+/// A generated balanced max-cut instance.
+#[derive(Clone, Debug)]
+pub struct MaxCut {
+    /// Number of vertices.
+    pub n: usize,
+    /// Weighted edges `(u, v, w)` with `u < v`.
+    pub edges: Vec<(usize, usize, f64)>,
+    /// Graph family tag used in the instance name.
+    pub family: &'static str,
+}
+
+impl MaxCut {
+    /// Generates a seeded Erdős–Rényi graph: each of the `n(n−1)/2`
+    /// candidate edges is present with probability `density`, carrying
+    /// a weight in 1–3. At least one edge is guaranteed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `density` is outside `(0, 1]`.
+    pub fn generate_er(n: usize, density: f64, seed: u64) -> Self {
+        assert!(n >= 2, "max-cut needs at least 2 vertices");
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(density) {
+                    edges.push((u, v, rng.gen_range(1..=3) as f64));
+                }
+            }
+        }
+        if edges.is_empty() {
+            edges.push((0, 1, rng.gen_range(1..=3) as f64));
+        }
+        MaxCut {
+            n,
+            edges,
+            family: "er",
+        }
+    }
+
+    /// Generates a seeded circulant regular graph: vertex `i` is
+    /// adjacent to `i ± o (mod n)` for every offset `o`, with seeded
+    /// weights in 1–3. Offsets must be distinct, in `1..=n/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, offsets are empty, out of range, or repeat.
+    pub fn generate_regular(n: usize, offsets: &[usize], seed: u64) -> Self {
+        assert!(n >= 2, "max-cut needs at least 2 vertices");
+        assert!(!offsets.is_empty(), "regular graph needs offsets");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut edges = Vec::new();
+        for &o in offsets {
+            assert!(o >= 1 && o <= n / 2, "offset {o} out of range for n={n}");
+            assert!(seen.insert(o), "duplicate offset {o}");
+            for u in 0..n {
+                let v = (u + o) % n;
+                let (a, b) = (u.min(v), u.max(v));
+                // For o = n/2 each edge appears twice in the sweep; keep
+                // the first occurrence only.
+                if edges.iter().any(|&(x, y, _)| (x, y) == (a, b)) {
+                    continue;
+                }
+                edges.push((a, b, rng.gen_range(1..=3) as f64));
+            }
+        }
+        edges.sort_by_key(|e| (e.0, e.1));
+        MaxCut {
+            n,
+            edges,
+            family: "reg",
+        }
+    }
+
+    /// Number of binary variables (= vertices).
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Builds the [`Problem`]: cut objective + one balance row.
+    pub fn into_problem(self) -> Problem {
+        let n = self.n;
+        let half = (n / 2) as i64;
+        let mut linear = vec![0.0; n];
+        let mut quadratic = Vec::with_capacity(self.edges.len());
+        for &(u, v, w) in &self.edges {
+            linear[u] += w;
+            linear[v] += w;
+            quadratic.push((u, v, -2.0 * w));
+        }
+        let row = vec![1i64; n];
+        // O(n) feasible construction: put the first ⌊n/2⌋ vertices on
+        // one side.
+        let mut init = vec![0i64; n];
+        for bit in init.iter_mut().take(half as usize) {
+            *bit = 1;
+        }
+        let name = format!("maxcut-{}-{}v{}e", self.family, n, self.edges.len());
+        Problem::new(
+            name,
+            IntMatrix::from_rows(&[row]),
+            vec![half],
+            Objective {
+                constant: 0.0,
+                linear,
+                quadratic,
+            },
+            Sense::Maximize,
+        )
+        .expect("max-cut construction is shape-consistent")
+        .with_initial_feasible(init)
+        .expect("a prefix half-set satisfies the balance row")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{brute_force_feasible, enumerate_feasible, optimum};
+
+    #[test]
+    fn er_shapes_and_feasibility() {
+        let mc = MaxCut::generate_er(6, 0.5, 3);
+        assert_eq!(mc.n_vars(), 6);
+        let p = mc.into_problem();
+        assert_eq!(p.n_constraints(), 1);
+        assert!(p.is_feasible(p.initial_feasible().unwrap()));
+        // Balanced: C(6,3) = 20 feasible cuts.
+        assert_eq!(enumerate_feasible(&p).len(), 20);
+    }
+
+    #[test]
+    fn er_graphs_never_empty() {
+        // Low density still yields at least one edge.
+        for seed in 0..20 {
+            assert!(!MaxCut::generate_er(4, 0.01, seed).edges.is_empty());
+        }
+    }
+
+    #[test]
+    fn regular_degree_is_uniform() {
+        let mc = MaxCut::generate_regular(10, &[1, 5], 1);
+        let mut deg = vec![0usize; 10];
+        for &(u, v, _) in &mc.edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        // Offset 1 contributes 2, offset 5 = n/2 contributes 1 → 3-regular.
+        assert!(deg.iter().all(|&d| d == 3), "degrees {deg:?}");
+    }
+
+    #[test]
+    fn objective_counts_cut_weight() {
+        let mc = MaxCut {
+            n: 4,
+            edges: vec![(0, 1, 2.0), (2, 3, 1.0), (0, 2, 1.0)],
+            family: "er",
+        };
+        let p = mc.into_problem();
+        // Cut {0,2} vs {1,3}: edges (0,1) and (2,3) cross → weight 3.
+        assert_eq!(p.evaluate(&[1, 0, 1, 0]), 3.0);
+        // Cut {0,1} vs {2,3}: only (0,2) crosses → weight 1.
+        assert_eq!(p.evaluate(&[1, 1, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn optimum_beats_mean_cut() {
+        let p = MaxCut::generate_er(6, 0.6, 9).into_problem();
+        let feas = brute_force_feasible(&p);
+        let (_, best) = optimum(&p);
+        let mean: f64 = feas.iter().map(|x| p.evaluate(x)).sum::<f64>() / feas.len() as f64;
+        assert!(best >= mean, "optimum below mean cut");
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn oversized_offset_panics() {
+        MaxCut::generate_regular(6, &[4], 0);
+    }
+}

@@ -1,21 +1,30 @@
-//! The 20-instance benchmark registry (Table 2's F1–F4, K1–K4, J1–J4,
-//! S1–S4, G1–G4).
+//! The benchmark registry: the paper's 20 instances (Table 2's F1–F4,
+//! K1–K4, J1–J4, S1–S4, G1–G4) plus three corpus-growth domains —
+//! max-cut (M1–M4), bin-packing (B1–B4), and portfolio selection
+//! (P1–P4) — for 32 ids total.
 //!
 //! The paper compiles 400 cases per domain from the literature; the
 //! exact instances are not published, so this registry fixes one
 //! canonical seeded instance per benchmark id plus a [`cases`] generator
 //! producing randomized same-shape variants (the reproduce-mode
-//! equivalent of the artifact's scaled-down case sets).
+//! equivalent of the artifact's scaled-down case sets). Per-case seeds
+//! run through the SplitMix64 finalizer, giving statistically
+//! independent streams for any `(seed, index)` pair (the same scheme
+//! `qsim::parallel::derive_seed` uses for per-shot RNG).
 
+use crate::binpack::BinPacking;
 use crate::flp::FacilityLocation;
 use crate::gcp::GraphColoring;
 use crate::jsp::JobScheduling;
 use crate::kpp::KPartition;
+use crate::maxcut::MaxCut;
+use crate::portfolio::Portfolio;
 use crate::problem::Problem;
 use crate::scp::SetCover;
 use std::fmt;
 
-/// The five application domains (paper §5.1).
+/// The application domains: the paper's five (§5.1) plus the three
+/// corpus-growth families.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// Facility location problem.
@@ -28,17 +37,26 @@ pub enum Domain {
     Scp,
     /// Graph coloring problem.
     Gcp,
+    /// Balanced max-cut (Erdős–Rényi and circulant regular graphs).
+    MaxCut,
+    /// Bin packing (one-hot assignment + capacity rows with slack).
+    BinPack,
+    /// Portfolio selection (per-sector cardinality, maximize sense).
+    Ptf,
 }
 
 impl Domain {
-    /// All domains in Table 2 order.
-    pub fn all() -> [Domain; 5] {
+    /// All domains: Table 2 order, then the corpus-growth families.
+    pub fn all() -> [Domain; 8] {
         [
             Domain::Flp,
             Domain::Kpp,
             Domain::Jsp,
             Domain::Scp,
             Domain::Gcp,
+            Domain::MaxCut,
+            Domain::BinPack,
+            Domain::Ptf,
         ]
     }
 
@@ -50,6 +68,9 @@ impl Domain {
             Domain::Jsp => 'J',
             Domain::Scp => 'S',
             Domain::Gcp => 'G',
+            Domain::MaxCut => 'M',
+            Domain::BinPack => 'B',
+            Domain::Ptf => 'P',
         }
     }
 }
@@ -83,6 +104,9 @@ impl BenchmarkId {
             'J' => Domain::Jsp,
             'S' => Domain::Scp,
             'G' => Domain::Gcp,
+            'M' => Domain::MaxCut,
+            'B' => Domain::BinPack,
+            'P' => Domain::Ptf,
             _ => return None,
         };
         let scale: usize = chars.as_str().parse().ok()?;
@@ -100,7 +124,8 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
-/// All 20 benchmark ids in Table 2 order (F1..F4, K1..K4, …).
+/// All 32 benchmark ids: Table 2 order (F1..F4, K1..K4, …), then the
+/// corpus-growth families (M1..M4, B1..B4, P1..P4).
 pub fn all_ids() -> Vec<BenchmarkId> {
     Domain::all()
         .into_iter()
@@ -144,6 +169,28 @@ pub fn instance(id: BenchmarkId, seed: u64) -> Problem {
         (Domain::Gcp, 3) => GraphColoring::generate(4, 2, seed).into_problem(),
         (Domain::Gcp, 4) => GraphColoring::generate(5, 2, seed).into_problem(),
 
+        // Max-cut: vars = vertices; ER at small scales, circulant
+        // regular graphs above.
+        (Domain::MaxCut, 1) => MaxCut::generate_er(6, 0.5, seed).into_problem(), // 6
+        (Domain::MaxCut, 2) => MaxCut::generate_er(8, 0.5, seed).into_problem(), // 8
+        (Domain::MaxCut, 3) => MaxCut::generate_regular(10, &[1, 5], seed).into_problem(), // 10
+        (Domain::MaxCut, 4) => MaxCut::generate_regular(12, &[1, 2], seed).into_problem(), // 12
+
+        // Bin packing: (items, bins, capacity) — vars iB + B + BC.
+        // Two bins, capacity ≤ 3: larger capacities break the ternary
+        // reduction (a y-flip needs C unit slacks) and a third bin
+        // disconnects the single-step transition graph.
+        (Domain::BinPack, 1) => BinPacking::generate(2, 2, 2, seed).into_problem(), // 10
+        (Domain::BinPack, 2) => BinPacking::generate(2, 2, 3, seed).into_problem(), // 12
+        (Domain::BinPack, 3) => BinPacking::generate(4, 2, 3, seed).into_problem(), // 16
+        (Domain::BinPack, 4) => BinPacking::generate(5, 2, 3, seed).into_problem(), // 18
+
+        // Portfolio: (sectors, per_sector, picks) — vars s·a.
+        (Domain::Ptf, 1) => Portfolio::generate(2, 2, 1, seed).into_problem(), // 4
+        (Domain::Ptf, 2) => Portfolio::generate(2, 3, 1, seed).into_problem(), // 6
+        (Domain::Ptf, 3) => Portfolio::generate(2, 4, 2, seed).into_problem(), // 8
+        (Domain::Ptf, 4) => Portfolio::generate(3, 4, 1, seed).into_problem(), // 12
+
         _ => unreachable!("scale validated by BenchmarkId::new"),
     }
 }
@@ -166,11 +213,30 @@ pub fn benchmark(id: BenchmarkId) -> Problem {
     )
 }
 
+/// SplitMix64 finalizer — the same mixing `qsim::parallel::derive_seed`
+/// uses (this crate sits below `qsim`, so the function is inlined here
+/// rather than imported).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the per-case seed for case `index` of sweep `seed` through
+/// the SplitMix64 finalizer. Sequential-offset schemes
+/// (`seed·K + index`) collide across nearby sweeps; finalized streams
+/// do not.
+pub fn case_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(index))
+}
+
 /// Generates `count` randomized cases of the benchmark's shape
-/// (cost/graph variations; structure fixed).
+/// (cost/graph variations; structure fixed), with per-case seeds
+/// derived through [`case_seed`].
 pub fn cases(id: BenchmarkId, count: usize, seed: u64) -> Vec<Problem> {
     (0..count as u64)
-        .map(|i| instance(id, seed.wrapping_mul(0x9E37_79B9).wrapping_add(i)))
+        .map(|i| instance(id, case_seed(seed, i)))
         .collect()
 }
 
@@ -180,8 +246,11 @@ mod tests {
     use crate::enumerate::enumerate_feasible;
 
     #[test]
-    fn twenty_benchmarks_exist() {
-        assert_eq!(all_ids().len(), 20);
+    fn thirty_two_benchmarks_exist() {
+        assert_eq!(all_ids().len(), 32);
+        // The paper's 20 lead the list, in Table 2 order.
+        let first: Vec<String> = all_ids().iter().take(4).map(|id| id.to_string()).collect();
+        assert_eq!(first, ["F1", "F2", "F3", "F4"]);
     }
 
     #[test]
@@ -241,6 +310,18 @@ mod tests {
             ("J2", 10),
             ("J3", 12),
             ("J4", 14),
+            ("M1", 6),
+            ("M2", 8),
+            ("M3", 10),
+            ("M4", 12),
+            ("B1", 10),
+            ("B2", 12),
+            ("B3", 16),
+            ("B4", 18),
+            ("P1", 4),
+            ("P2", 6),
+            ("P3", 8),
+            ("P4", 12),
         ];
         for (name, vars) in expect {
             let id = BenchmarkId::parse(name).unwrap();
@@ -271,5 +352,28 @@ mod tests {
         }
         // Different cases differ in costs.
         assert_ne!(a[0].objective().linear, a[1].objective().linear);
+    }
+
+    #[test]
+    fn case_seeds_do_not_collide_across_sweeps() {
+        // The old sequential scheme (`seed·0x9E3779B9 + index`) made
+        // sweep `seed+1` replay sweep `seed` shifted by the multiplier:
+        // identical instances across supposedly independent sweeps.
+        let k = 0x9E37_79B9u64;
+        assert_eq!(7u64.wrapping_mul(k).wrapping_add(k), 8u64.wrapping_mul(k));
+        // Finalized streams: every (sweep, index) pair gets a distinct
+        // seed across a dense grid.
+        let mut seen = std::collections::HashSet::new();
+        for sweep in 0..16u64 {
+            for index in 0..64u64 {
+                assert!(
+                    seen.insert(case_seed(sweep, index)),
+                    "collision at sweep {sweep} index {index}"
+                );
+            }
+        }
+        // And the derivation is reproducible.
+        assert_eq!(case_seed(42, 3), case_seed(42, 3));
+        assert_ne!(case_seed(42, 3), case_seed(43, 3));
     }
 }

@@ -17,10 +17,12 @@
 //!
 //! The first line names the protocol version and a verb (`SOLVE`,
 //! `STATS`, `PING`). Every header is optional and line-oriented
-//! (`key value`, or a bare flag); the problem body reuses the
-//! [`rasengan_problems::io`] text format verbatim, bracketed by
-//! `BEGIN PROBLEM` / `END PROBLEM`. `STATS` and `PING` are just the
-//! verb line.
+//! (`key value`, or a bare flag); the problem body is bracketed by
+//! `BEGIN PROBLEM` / `END PROBLEM` and defaults to the
+//! [`rasengan_problems::io`] text format — a `format` header
+//! (`native`, `qubo`, `qubo-recover`, `lp`) selects any other ingestion
+//! front end, all of which lower into the same canonical problem
+//! before solving. `STATS` and `PING` are just the verb line.
 //!
 //! # Response
 //!
@@ -43,6 +45,7 @@ use std::io::BufRead;
 
 use rasengan_core::resilience::ResilienceConfig;
 use rasengan_core::solver::{Outcome, RasenganConfig, RasenganError};
+use rasengan_problems::ingest::Format;
 
 use crate::json::{self, Json};
 
@@ -158,6 +161,12 @@ pub struct SolveRequest {
     /// gains a `trace` section carrying the solve's deterministic span
     /// tree.
     pub trace: bool,
+    /// Input format of the problem body (`format` header; default
+    /// `native`). The server lowers every format into the same
+    /// canonical [`Problem`](rasengan_problems::Problem) before
+    /// fingerprinting, so the result cache is keyed on the lowered
+    /// problem and the header needs no slot in the cache key.
+    pub format: Format,
 }
 
 /// Upper bound on the bracketed problem body, in bytes. A hostile
@@ -185,6 +194,7 @@ impl SolveRequest {
             deadline_ms: None,
             batch: None,
             trace: false,
+            format: Format::Native,
         }
     }
 
@@ -233,6 +243,12 @@ impl SolveRequest {
     /// Requests a structured trace of the solve.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Declares the input format of the problem body.
+    pub fn with_format(mut self, format: Format) -> Self {
+        self.format = format;
         self
     }
 
@@ -287,6 +303,9 @@ impl SolveRequest {
         }
         if self.trace {
             out.push_str("trace\n");
+        }
+        if self.format != Format::Native {
+            out.push_str(&format!("format {}\n", self.format.token()));
         }
         if let Some(ms) = self.deadline_ms {
             out.push_str(&format!("deadline-ms {ms}\n"));
@@ -349,6 +368,18 @@ impl SolveRequest {
                 }
                 "degrade" => request.degrade = true,
                 "trace" => request.trace = true,
+                "format" => {
+                    request.format = Format::parse(value).ok_or_else(|| {
+                        RequestError::Malformed(format!(
+                            "unknown problem format `{value}` (expected one of {})",
+                            Format::all()
+                                .iter()
+                                .map(|f| f.token())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?
+                }
                 "deadline-ms" => {
                     request.deadline_ms =
                         Some(parse_header(key, value).map_err(RequestError::Malformed)?)
@@ -672,7 +703,8 @@ mod tests {
             .with_degrade()
             .with_trace()
             .with_deadline_ms(5000)
-            .with_batch(4);
+            .with_batch(4)
+            .with_format(Format::Qubo);
         let text = request.render();
         let mut lines = text.lines();
         assert_eq!(parse_verb(lines.next().unwrap()).unwrap(), Verb::Solve);
@@ -798,6 +830,27 @@ mod tests {
             let mut reader = BufReader::new(text.as_bytes());
             assert!(SolveRequest::parse_body(&mut reader).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn format_header_round_trips_for_every_format() {
+        for format in Format::all() {
+            let request = SolveRequest::new("p qubo 0 1 1 0\n0 0 -1\n").with_format(format);
+            let rest = request.render();
+            let rest = rest.split_once('\n').unwrap().1;
+            let parsed = SolveRequest::parse_body(&mut BufReader::new(rest.as_bytes())).unwrap();
+            assert_eq!(parsed.format, format, "{format}");
+        }
+        // Absent the header, the rendered request matches the
+        // pre-format protocol and parses as native.
+        let plain = SolveRequest::new("vars 1\n");
+        assert!(!plain.render().contains("format"));
+        assert_eq!(plain.format, Format::Native);
+        // An unknown format is a protocol error naming the options.
+        let text = "format dimacs\nBEGIN PROBLEM\nEND PROBLEM\n";
+        let err = SolveRequest::parse_body(&mut BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.message().contains("dimacs"), "unexpected: {err}");
+        assert!(err.message().contains("qubo-recover"), "unexpected: {err}");
     }
 
     #[test]

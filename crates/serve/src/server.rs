@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 
 use rasengan_core::solver::{Outcome, Prepared, Rasengan};
 use rasengan_obs::metrics::{install_global, Registry};
-use rasengan_problems::io::parse_problem;
+use rasengan_problems::ingest::parse_as;
 use rasengan_qsim::parallel::BoundedQueue;
 
 use crate::cache::ShardedLru;
@@ -569,13 +569,13 @@ fn handle_solve(shared: &Shared, mut job: Job) {
             return;
         }
     };
-    let problem = match parse_problem(&request.problem_text) {
+    let problem = match parse_as(request.format, &request.problem_text) {
         Ok(problem) => problem,
         Err(err) => {
             shared.bad_requests.fetch_add(1, Ordering::Relaxed);
             write_reply(
                 job.reader.get_mut(),
-                &bad_request_reply(&format!("problem: {err}")),
+                &bad_request_reply(&format!("problem ({}): {err}", request.format)),
             );
             return;
         }

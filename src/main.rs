@@ -6,14 +6,17 @@
 //! rasengan solve --benchmark K1 --device kyiv --shots 1024
 //! rasengan inspect --benchmark S2                   # compiled-chain report
 //! rasengan export --benchmark F1 --out segments.qasm
-//! rasengan list                                     # the 20 benchmarks
+//! rasengan list                                     # the registered benchmarks
+//! rasengan corpus list                              # ids + fingerprints
+//! rasengan convert -f inst.qubo --recover -o inst.problem
 //! rasengan serve --addr 127.0.0.1:7878 --workers 4  # solve service
-//! rasengan submit --benchmark F1 --addr 127.0.0.1:7878
+//! rasengan submit -f inst.lp --addr 127.0.0.1:7878
 //! ```
 
 use rasengan::baselines::{BaselineConfig, ChocoQ, GroverAdaptiveSearch, Hea, PQaoa};
 use rasengan::core::{Rasengan, RasenganConfig};
-use rasengan::problems::io::{parse_problem, write_problem};
+use rasengan::problems::ingest::{parse_as, write_as, Format};
+use rasengan::problems::io::write_problem;
 use rasengan::problems::registry::{all_ids, benchmark, BenchmarkId};
 use rasengan::problems::{constraint_topology, enumerate_feasible, optimum, Problem};
 use rasengan::qsim::qasm::to_qasm3;
@@ -29,7 +32,22 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
-    let opts = match Options::parse(&args[1..]) {
+    // `corpus` takes a subcommand word before the flags.
+    let (flag_args, corpus_sub) = if command == "corpus" {
+        match args.get(1).map(String::as_str) {
+            Some("list") => (&args[2..], Some("list")),
+            other => {
+                eprintln!(
+                    "error: unknown corpus subcommand `{}` (expected `list`)",
+                    other.unwrap_or("")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (&args[1..], None)
+    };
+    let opts = match Options::parse(flag_args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -40,7 +58,12 @@ fn main() -> ExitCode {
 
     match command.as_str() {
         "list" => cmd_list(),
+        "corpus" => match corpus_sub {
+            Some("list") => cmd_corpus_list(),
+            _ => unreachable!("subcommand validated above"),
+        },
         "save" => cmd_save(&opts),
+        "convert" => cmd_convert(&opts),
         "solve" => cmd_solve(&opts),
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
@@ -82,6 +105,10 @@ struct Options {
     state_dir: Option<String>,
     io_timeout_ms: Option<u64>,
     connect_retries: u32,
+    format: Option<Format>,
+    to: Option<Format>,
+    recover: bool,
+    lambda: Option<f64>,
 }
 
 impl Options {
@@ -109,6 +136,10 @@ impl Options {
             state_dir: None,
             io_timeout_ms: None,
             connect_retries: 0,
+            format: None,
+            to: None,
+            recover: false,
+            lambda: None,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -203,17 +234,49 @@ impl Options {
                         .map_err(|_| "connect-retries must be an integer".to_string())?
                 }
                 "--out" | "-o" => opts.out = Some(value("--out")?),
+                "--format" => {
+                    let token = value("--format")?;
+                    opts.format = Some(
+                        Format::parse(&token).ok_or_else(|| format!("unknown format `{token}`"))?,
+                    );
+                }
+                "--to" => {
+                    let token = value("--to")?;
+                    opts.to = Some(
+                        Format::parse(&token).ok_or_else(|| format!("unknown format `{token}`"))?,
+                    );
+                }
+                "--recover" => opts.recover = true,
+                "--lambda" => {
+                    opts.lambda = Some(
+                        value("--lambda")?
+                            .parse()
+                            .map_err(|_| "lambda must be a number".to_string())?,
+                    )
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
         Ok(opts)
     }
 
+    /// The input format of `--file`: explicit `--format`, else the
+    /// path extension (`.qubo`, `.lp`, anything else → native), with
+    /// `--recover` upgrading QUBO ingestion to penalty-term recovery.
+    fn input_format(&self, path: &str) -> Format {
+        let format = self.format.unwrap_or_else(|| Format::from_path(path));
+        match format {
+            Format::Qubo if self.recover => Format::QuboRecover,
+            other => other,
+        }
+    }
+
     fn problem(&self) -> Result<Problem, String> {
         if let Some(path) = &self.file {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            return parse_problem(&text).map_err(|e| format!("{path}: {e}"));
+            let format = self.input_format(path);
+            return parse_as(format, &text).map_err(|e| format!("{path} ({format}): {e}"));
         }
         let name = self
             .benchmark
@@ -246,18 +309,29 @@ USAGE:
   rasengan <command> [flags]
 
 COMMANDS:
-  list      show the 20 registered benchmarks
-  solve     run a solver on a benchmark
-  serve     run the multi-client solve service (runs until killed)
-  submit    send a problem to a running service and print the result
-  inspect   show the compiled transition chain without solving
-  export    write the compiled segments as OpenQASM 3
-  save      write a benchmark instance as a problem file
-  help      this message
+  list         show the registered benchmarks
+  corpus list  show every corpus instance with its canonical fingerprint
+  solve        run a solver on a benchmark
+  serve        run the multi-client solve service (runs until killed)
+  submit       send a problem to a running service and print the result
+  convert      translate between problem formats (native | qubo | lp)
+  inspect      show the compiled transition chain without solving
+  export       write the compiled segments as OpenQASM 3
+  save         write a benchmark instance as a problem file
+  help         this message
 
 FLAGS:
-  -b, --benchmark <ID>     benchmark id (F1..G4)
+  -b, --benchmark <ID>     benchmark id (F1..P4)
   -f, --file <PATH>        load a problem file instead of a benchmark
+                           (.qubo/.lp extensions select their parsers)
+      --format <NAME>      input format override for --file:
+                           native | qubo | qubo-recover | lp
+      --to <NAME>          output format for `convert` (default: from
+                           the --out extension, else native)
+      --recover            lift uniform penalty cliques in a QUBO back
+                           into equality constraints on ingestion
+      --lambda <X>         penalty weight for QUBO export (default:
+                           auto-sized from the objective)
   -a, --algorithm <NAME>   rasengan | chocoq | pqaoa | hea | gas
   -d, --device <NAME>      kyiv | brisbane | quebec (noise + timing)
       --shots <N>          shots per segment/circuit
@@ -300,6 +374,63 @@ fn cmd_list() -> ExitCode {
             enumerate_feasible(&p).len(),
             topo.avg_degree
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_corpus_list() -> ExitCode {
+    println!(
+        "{:<6} {:<26} {:>6} {:>7}  fingerprint",
+        "id", "name", "vars", "cons"
+    );
+    for id in all_ids() {
+        let p = benchmark(id);
+        println!(
+            "{:<6} {:<26} {:>6} {:>7}  {:032x}",
+            id.to_string(),
+            p.name(),
+            p.n_vars(),
+            p.n_constraints(),
+            p.fingerprint()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_convert(opts: &Options) -> ExitCode {
+    let problem = match opts.problem() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Target format: explicit --to, else the --out extension, else
+    // native.
+    let target = opts
+        .to
+        .unwrap_or_else(|| Format::from_path(opts.out.as_deref().unwrap_or("")));
+    let rendered = if matches!(target, Format::Qubo | Format::QuboRecover) {
+        rasengan::problems::ingest::qubo::write_qubo(&problem, opts.lambda)
+    } else {
+        write_as(target, &problem)
+    };
+    let text = match rendered {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot write {} as {target}: {e}", problem.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} as {target} to {path}", problem.name());
+        }
+        None => print!("{text}"),
     }
     ExitCode::SUCCESS
 }
@@ -509,14 +640,30 @@ fn cmd_serve(opts: &Options) -> ExitCode {
 }
 
 fn cmd_submit(opts: &Options) -> ExitCode {
-    let problem = match opts.problem() {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+    // A --file submission ships the file bytes verbatim with a `format`
+    // header — the server does the lowering — while a --benchmark
+    // submission serializes the registry instance in native form.
+    let (problem_text, format) = if let Some(path) = &opts.file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (text, opts.input_format(path))
+    } else {
+        let problem = match opts.problem() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (write_problem(&problem), Format::Native)
     };
-    let mut request = SolveRequest::new(write_problem(&problem))
+    let mut request = SolveRequest::new(problem_text)
+        .with_format(format)
         .with_seed(opts.seed)
         .with_iterations(opts.iterations)
         .with_retries(opts.retries);

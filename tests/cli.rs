@@ -7,15 +7,15 @@ fn cli() -> Command {
 }
 
 #[test]
-fn list_shows_twenty_benchmarks() {
+fn list_shows_all_benchmarks() {
     let out = cli().arg("list").output().expect("cli runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["F1", "K4", "J2", "S3", "G4"] {
+    for id in ["F1", "K4", "J2", "S3", "G4", "M2", "B1", "P4"] {
         assert!(text.contains(id), "missing {id} in listing");
     }
-    // Header + 20 rows.
-    assert_eq!(text.lines().count(), 21);
+    // Header + 32 rows.
+    assert_eq!(text.lines().count(), 33);
 }
 
 #[test]

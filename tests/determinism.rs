@@ -359,18 +359,23 @@ fn multistart_start_zero_matches_plain_solve() {
 
 #[test]
 fn registry_shapes_are_pinned() {
-    // Variable counts of all 20 benchmarks, in registry order. These are
+    // Variable counts of all 32 benchmarks, in registry order. These are
     // public API for anyone comparing against the reproduction. F/K/J
-    // sizes are structural; S/G sizes depend on the canonical seed's
-    // RNG stream (currently the vendored `rand` shim).
+    // and B/P sizes are structural; S/G/M sizes depend on the canonical
+    // seed's RNG stream (currently the vendored `rand` shim).
     let expect = [
         6, 10, 15, 20, // F
         8, 12, 16, 18, // K
         6, 10, 12, 14, // J
         6, 8, 10, 16, // S
         6, 8, 10, 20, // G
+        6, 8, 10, 12, // M
+        10, 12, 16, 18, // B
+        4, 6, 8, 12, // P
     ];
-    for (id, &vars) in rasengan::problems::all_ids().iter().zip(&expect) {
+    let ids = rasengan::problems::all_ids();
+    assert_eq!(ids.len(), expect.len(), "registry size drifted");
+    for (id, &vars) in ids.iter().zip(&expect) {
         assert_eq!(
             benchmark(*id).n_vars(),
             vars,

@@ -492,7 +492,7 @@ proptest! {
     /// the identity the service's result cache keys on.
     #[test]
     fn fingerprint_invariant_under_text_perturbations(
-        idx in 0usize..20,
+        idx in 0usize..32,
         pad in 1usize..4,
         rename in 0u64..1000,
     ) {
@@ -530,5 +530,277 @@ proptest! {
         // fingerprint through its own canonical form.
         let rr = parse_problem(&write_problem(&r)).unwrap();
         prop_assert_eq!(rr.fingerprint(), fp);
+    }
+}
+
+prop_compose! {
+    /// A random sparse-coordinate QUBO text. Coefficients are dyadic
+    /// (k/4) so their decimal rendering round-trips exactly.
+    fn qubo_text()(n in 2usize..7)
+        (diag in prop::collection::vec(-12i32..=12, n),
+         pairs in prop::collection::vec((0usize..8, 0usize..8, -12i32..=12), 0..8),
+         maximize in 0u8..2,
+         n in Just(n))
+        -> (String, usize)
+    {
+        use std::collections::BTreeMap;
+        let mut coupling: BTreeMap<(usize, usize), i32> = BTreeMap::new();
+        for (a, b, w) in pairs {
+            let (i, j) = (a % n, b % n);
+            if i != j && w != 0 {
+                coupling.insert((i.min(j), i.max(j)), w);
+            }
+        }
+        let diag: Vec<(usize, i32)> = diag
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c != 0)
+            .collect();
+        let mut text = String::new();
+        if maximize == 1 {
+            text.push_str("s max\n");
+        }
+        text.push_str(&format!("p qubo 0 {n} {} {}\n", diag.len(), coupling.len()));
+        for &(i, c) in &diag {
+            text.push_str(&format!("{i} {i} {}\n", c as f64 * 0.25));
+        }
+        for (&(i, j), &w) in &coupling {
+            text.push_str(&format!("{i} {j} {}\n", w as f64 * 0.25));
+        }
+        (text, n)
+    }
+}
+
+prop_compose! {
+    /// A random satisfiable LP text over `n` binaries: integer data,
+    /// each row's bound hit by a known witness assignment so lowering
+    /// (slack sizing + seed search) always succeeds.
+    fn lp_text()(n in 2usize..6)
+        (obj in prop::collection::vec(-5i32..=5, n),
+         rows in prop::collection::vec(
+             (prop::collection::vec(0u8..=2, n),
+              prop::collection::vec(0u8..2, n),
+              0u8..3),
+             1..4),
+         maximize in 0u8..2,
+         n in Just(n))
+        -> String
+    {
+        let mut text = String::from(if maximize == 1 { "Maximize\n" } else { "Minimize\n" });
+        text.push_str(" obj: 0");
+        for (i, &c) in obj.iter().enumerate() {
+            if c != 0 {
+                let (sign, mag) = if c < 0 { ('-', -c) } else { ('+', c) };
+                text.push_str(&format!(" {sign} {mag} x{i}"));
+            }
+        }
+        text.push('\n');
+        text.push_str("Subject To\n");
+        for (k, (coeffs, witness, rel)) in rows.iter().enumerate() {
+            let mut coeffs = coeffs.clone();
+            if coeffs.iter().all(|&a| a == 0) {
+                coeffs[0] = 1;
+            }
+            // Bound = the witness point's row value, so the row is
+            // satisfiable under <=, >=, and = alike.
+            let bound: i64 = coeffs
+                .iter()
+                .zip(witness)
+                .map(|(&a, &m)| a as i64 * m as i64)
+                .sum();
+            text.push_str(&format!(" c{k}: 0"));
+            for (i, &a) in coeffs.iter().enumerate() {
+                if a != 0 {
+                    text.push_str(&format!(" + {a} x{i}"));
+                }
+            }
+            let rel = match rel {
+                0 => "<=",
+                1 => ">=",
+                _ => "=",
+            };
+            text.push_str(&format!(" {rel} {bound}\n"));
+        }
+        text.push_str("Binary\n");
+        for i in 0..n {
+            text.push_str(&format!(" x{i}"));
+        }
+        text.push_str("\nEnd\n");
+        text
+    }
+}
+
+proptest! {
+    /// QUBO parse→write→parse is the identity on the lowered problem:
+    /// fingerprint, objective, and sense all survive the trip.
+    #[test]
+    fn qubo_parse_write_parse_round_trip((text, n) in qubo_text()) {
+        use rasengan::problems::ingest::qubo::{parse_qubo, write_qubo};
+        let p = parse_qubo(&text, false).unwrap();
+        prop_assert_eq!(p.n_vars(), n);
+        let q = parse_qubo(&write_qubo(&p, None).unwrap(), false).unwrap();
+        prop_assert_eq!(q.fingerprint(), p.fingerprint());
+        prop_assert_eq!(&q.objective().linear, &p.objective().linear);
+        prop_assert_eq!(&q.objective().quadratic, &p.objective().quadratic);
+        prop_assert_eq!(q.sense(), p.sense());
+    }
+
+    /// A QUBO's fingerprint is invariant under entry-line reordering,
+    /// comments (both `c` and `#` styles), blank lines, and whitespace
+    /// padding of its text form.
+    #[test]
+    fn qubo_fingerprint_invariant_under_perturbations(
+        (text, _) in qubo_text(),
+        rot in 0usize..8,
+        pad in 1usize..4,
+    ) {
+        use rasengan::problems::ingest::qubo::parse_qubo;
+        let fp = parse_qubo(&text, false).unwrap().fingerprint();
+        let (prefix, mut entries): (Vec<&str>, Vec<&str>) = text
+            .lines()
+            .partition(|l| l.starts_with('s') || l.starts_with('p'));
+        if !entries.is_empty() {
+            let shift = rot % entries.len();
+            entries.rotate_left(shift);
+        }
+        let mut noisy = String::from("c leading comment\n\n");
+        for line in prefix.iter().chain(&entries) {
+            let widened = line
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(&" ".repeat(pad));
+            noisy.push_str(&format!("  {widened}   # trailing\n\nc between\n"));
+        }
+        prop_assert_eq!(parse_qubo(&noisy, false).unwrap().fingerprint(), fp);
+    }
+
+    /// LP parse→write→parse preserves the mathematical content
+    /// (constraint rows up to order, objective, sense), and one
+    /// write→parse trip is a canonicalizing fixed point: a second trip
+    /// reproduces the fingerprint exactly.
+    #[test]
+    fn lp_parse_write_parse_round_trip(text in lp_text()) {
+        use rasengan::problems::ingest::lp::{parse_lp, write_lp};
+        let p = parse_lp(&text).unwrap();
+        let q = parse_lp(&write_lp(&p).unwrap()).unwrap();
+        prop_assert_eq!(q.n_vars(), p.n_vars());
+        prop_assert_eq!(q.sense(), p.sense());
+        prop_assert_eq!(&q.objective().linear, &p.objective().linear);
+        let rows = |pr: &rasengan::problems::Problem| {
+            let mut rows: Vec<(Vec<i64>, i64)> = pr
+                .constraints()
+                .iter_rows()
+                .zip(pr.rhs().iter())
+                .map(|(r, &b)| (r.to_vec(), b))
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(rows(&q), rows(&p));
+        let r = parse_lp(&write_lp(&q).unwrap()).unwrap();
+        prop_assert_eq!(r.fingerprint(), q.fingerprint());
+    }
+
+    /// An LP's fingerprint is invariant under constraint-row
+    /// permutation, comments, blank lines, and whitespace padding —
+    /// the canonical row sort inside the parser at work.
+    #[test]
+    fn lp_fingerprint_invariant_under_perturbations(
+        text in lp_text(),
+        rot in 0usize..8,
+        pad in 1usize..4,
+    ) {
+        use rasengan::problems::ingest::lp::parse_lp;
+        let fp = parse_lp(&text).unwrap().fingerprint();
+        let mut noisy = String::from("\\ leading comment\n\n");
+        let mut in_constraints = false;
+        let mut held: Vec<String> = Vec::new();
+        for line in text.lines() {
+            let is_section = !line.starts_with(' ');
+            if is_section && in_constraints {
+                // Flush the permuted constraint block.
+                let shift = if held.is_empty() { 0 } else { rot % held.len() };
+                held.rotate_left(shift);
+                for c in held.drain(..) {
+                    noisy.push_str(&format!("{c}   \\ trailing\n\n"));
+                }
+                in_constraints = false;
+            }
+            if line == "Subject To" {
+                in_constraints = true;
+                noisy.push_str("Subject To\n");
+                continue;
+            }
+            if in_constraints {
+                let widened = line
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(&" ".repeat(pad));
+                held.push(format!("   {widened}"));
+                continue;
+            }
+            noisy.push_str(line);
+            noisy.push('\n');
+        }
+        prop_assert_eq!(parse_lp(&noisy).unwrap().fingerprint(), fp);
+    }
+
+    /// Penalty recovery inverts `write_qubo` on random one-hot systems:
+    /// exporting a linear-objective problem whose constraints are
+    /// disjoint cardinality rows and re-parsing with `recover = true`
+    /// restores every row and the exact residual objective.
+    #[test]
+    fn qubo_penalty_recovery_inverts_export(
+        groups in prop::collection::vec(2usize..5, 1..4),
+        coeffs in prop::collection::vec(-4i32..=4, 12),
+        maximize in 0u8..2,
+    ) {
+        use rasengan::math::IntMatrix;
+        use rasengan::problems::ingest::qubo::{parse_qubo, write_qubo};
+        use rasengan::problems::{Objective, Problem, Sense};
+        let n: usize = groups.iter().sum();
+        let mut rows = Vec::new();
+        let mut seed_bits = vec![0i64; n];
+        let mut offset = 0;
+        for &g in &groups {
+            let mut row = vec![0i64; n];
+            for j in 0..g {
+                row[offset + j] = 1;
+            }
+            seed_bits[offset] = 1;
+            rows.push(row);
+            offset += g;
+        }
+        // Integer objective coefficients keep the penalty fold and its
+        // inverse exact in floating point.
+        let linear: Vec<f64> = (0..n).map(|i| coeffs[i % coeffs.len()] as f64).collect();
+        let sense = if maximize == 1 { Sense::Maximize } else { Sense::Minimize };
+        let p = Problem::new(
+            "prop-recover",
+            IntMatrix::from_rows(&rows),
+            vec![1; groups.len()],
+            Objective::linear(linear.clone()),
+            sense,
+        )
+        .unwrap()
+        .with_initial_feasible(seed_bits)
+        .unwrap();
+
+        let q = parse_qubo(&write_qubo(&p, None).unwrap(), true).unwrap();
+        prop_assert_eq!(q.n_vars(), n);
+        prop_assert_eq!(q.sense(), sense);
+        prop_assert_eq!(q.n_constraints(), groups.len());
+        let mut got: Vec<(Vec<i64>, i64)> = q
+            .constraints()
+            .iter_rows()
+            .zip(q.rhs().iter())
+            .map(|(r, &b)| (r.to_vec(), b))
+            .collect();
+        got.sort();
+        let mut want: Vec<(Vec<i64>, i64)> = rows.into_iter().map(|r| (r, 1)).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(&q.objective().linear, &linear);
+        prop_assert!(q.objective().quadratic.is_empty(), "penalty couplings must be fully lifted");
     }
 }
