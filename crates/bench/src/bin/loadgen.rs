@@ -29,12 +29,15 @@
 //! byte-identical to pass 1, and `BENCH_replay.json` plus the manifest
 //! itself land under `target/rasengan-reports/`.
 
-use rasengan_bench::replay::{manifest, ReplayConfig};
+use rasengan_bench::replay::{manifest, wire_body, ReplayConfig};
 use rasengan_bench::{report::fmt, RunSettings, Table};
 use rasengan_obs::metrics::{try_global, Histogram};
 use rasengan_problems::io::write_problem;
 use rasengan_problems::registry::{benchmark, BenchmarkId};
-use rasengan_serve::{serve, submit, ReplyStatus, ServeConfig, SolveRequest};
+use rasengan_serve::{
+    serve, submit, submit_trickled, HeldConnection, ReplyStatus, ServeConfig, SolveRequest,
+    EVENT_LOOP_SUPPORTED,
+};
 use std::time::{Duration, Instant};
 
 /// An obs histogram percentile, in milliseconds (recorded in micros).
@@ -78,25 +81,38 @@ fn run_replay(settings: &RunSettings) {
         manifest(&cfg).to_json(),
         "manifest regeneration must be byte-identical"
     );
+    // Each draw travels in its manifest-resolved wire format: the body
+    // is the problem exported to that format and the request carries
+    // the matching `format` header, so the served mixture exercises
+    // the whole ingest surface, not just the native parser.
     let requests: Vec<SolveRequest> = plan
         .draws
         .iter()
         .map(|d| {
-            let problem = benchmark(BenchmarkId::parse(&d.id).expect("manifest id"));
-            SolveRequest::new(write_problem(&problem))
+            SolveRequest::new(wire_body(&d.id, d.format))
                 .with_seed(d.solver_seed)
                 .with_shots(d.shots)
                 .with_iterations(d.iterations)
+                .with_format(d.format)
         })
         .collect();
     let distinct: std::collections::HashSet<&str> =
         plan.draws.iter().map(|d| d.id.as_str()).collect();
+    let mut format_mix: std::collections::BTreeMap<&str, usize> = Default::default();
+    for d in &plan.draws {
+        *format_mix.entry(d.format.token()).or_default() += 1;
+    }
     println!(
-        "replay: seed {}, {} requests over {} distinct ids, rate {}/s",
+        "replay: seed {}, {} requests over {} distinct ids, rate {}/s, formats {:?}",
         cfg.seed,
         plan.draws.len(),
         distinct.len(),
-        plan.rate_per_s
+        plan.rate_per_s,
+        format_mix
+    );
+    assert!(
+        format_mix.len() >= 2,
+        "the replay mixture must exercise several wire formats"
     );
 
     let mut table = Table::new(
@@ -188,10 +204,253 @@ fn run_replay(settings: &RunSettings) {
     }
 }
 
+/// Soft open-file limit, from `/proc/self/limits` (Linux). `None` when
+/// unreadable — callers fall back to a conservative guess.
+fn fd_soft_limit() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// The `--connections N` arm: how many concurrent connections each
+/// front end actually sustains, at equal worker count.
+///
+/// Per level C ∈ {64, 256, 1024} (capped at N and at fd headroom) and
+/// per front end, the arm parks C connections mid-request (verb line
+/// sent, headers withheld), runs a measurement window of fast submits
+/// plus a trickled slow-client mix, then finishes every parked
+/// connection in admission order. A connection counts as *sustained*
+/// when the server still honors it end-to-end — the finish gets an
+/// `OK` whose `result` bytes match the in-process solve. On the
+/// threaded front end parked connections eat the admission queue and
+/// the worker pool, so everything past `queue + workers` is shed with
+/// `BUSY` at park time; the reactor just keeps C parsers buffering and
+/// sustains the lot. The arm asserts the reactor's best sustained
+/// count is ≥4× the threaded front end's, saves `BENCH_evloop.json`,
+/// and checks every `OK` reply byte-identical across front ends and to
+/// the in-process baseline.
+fn run_evloop(settings: &RunSettings, max_conns: usize) {
+    use rasengan_core::Rasengan;
+    use rasengan_serve::render_outcome;
+
+    // Every parked connection costs two fds in this process (client +
+    // server end), plus server/runtime overhead.
+    let fd_cap = fd_soft_limit().unwrap_or(1024).saturating_sub(512) / 2;
+    let mut levels: Vec<usize> = [64usize, 256, 1024]
+        .into_iter()
+        .filter(|c| *c <= max_conns)
+        .collect();
+    if levels.is_empty() {
+        levels.push(max_conns.max(1));
+    }
+    for dropped in levels.iter().filter(|c| **c > fd_cap) {
+        println!("evloop: dropping C={dropped}: fd soft limit allows only {fd_cap}");
+    }
+    levels.retain(|c| *c <= fd_cap);
+    assert!(!levels.is_empty(), "fd limit too low for any level");
+
+    let workers = 4usize;
+    let window = if settings.full {
+        Duration::from_secs(2)
+    } else {
+        Duration::from_secs(1)
+    };
+
+    // One request everywhere: front-end capacity is the quantity under
+    // test, so after the first cold solve every reply is a cache hit
+    // and the solver never becomes the bottleneck. One baseline then
+    // checks every OK reply, from either front end, byte-for-byte.
+    let problem = benchmark(BenchmarkId::parse("F2").expect("registry id"));
+    let request = SolveRequest::new(write_problem(&problem))
+        .with_seed(7)
+        .with_shots(128)
+        .with_iterations(8);
+    let mut config = request.config();
+    if let Some(threads) = settings.threads {
+        config = config.with_threads(threads);
+    }
+    let baseline = render_outcome(&Rasengan::new(config).solve(&problem).expect("baseline"));
+    let rendered = request.render();
+    let verb_end = rendered.find('\n').expect("verb line") + 1;
+    let (prefix, rest) = rendered.split_at(verb_end);
+
+    let fronts: &[(&str, bool)] = if EVENT_LOOP_SUPPORTED {
+        &[("reactor", true), ("threaded", false)]
+    } else {
+        println!("evloop: reactor unsupported on this target; threaded only, no ratio gate");
+        &[("threaded", false)]
+    };
+
+    let mut table = Table::new(
+        "evloop: sustained connections per front end",
+        vec![
+            "front_end",
+            "connections",
+            "sustained",
+            "fast_ok",
+            "fast_busy",
+            "trickle_ok",
+            "conns_open",
+            "throughput/s",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
+    );
+    let mut best: std::collections::HashMap<&str, usize> = Default::default();
+
+    for &(front, event_loop) in fronts {
+        for &level in &levels {
+            // Equal worker count and queue on both front ends; the
+            // default 30s io timeout comfortably exceeds the arm, so
+            // parked connections die by capacity, never by deadline.
+            let server = serve(
+                ServeConfig::default()
+                    .with_event_loop(event_loop)
+                    .with_workers(workers)
+                    .with_queue_capacity(32),
+            )
+            .expect("bind ephemeral port");
+            let addr = server.addr();
+
+            // Park phase: C connections frozen after the verb line.
+            let mut parked: Vec<Option<HeldConnection>> = (0..level)
+                .map(|_| HeldConnection::open(addr, prefix.as_bytes()).ok())
+                .collect();
+            let parked_alive = parked.iter().filter(|c| c.is_some()).count();
+
+            // Measurement window: a trickled slow-client mix in the
+            // background, fast submits in the foreground.
+            let (fast_ok, fast_busy, mut fast_ms, trickle_ok, wall) = std::thread::scope(|scope| {
+                let tricklers: Vec<_> = (0..4)
+                    .map(|_| {
+                        let request = &request;
+                        scope.spawn(move || {
+                            submit_trickled(addr, request, 8, Duration::from_millis(20))
+                                .map(|r| (r.status, r.section("result").map(str::to_string)))
+                        })
+                    })
+                    .collect();
+                let started = Instant::now();
+                let mut ok = 0usize;
+                let mut busy = 0usize;
+                let mut ms = Vec::new();
+                while started.elapsed() < window {
+                    let sent = Instant::now();
+                    match submit(addr, &request) {
+                        Ok(reply) if reply.status == ReplyStatus::Ok => {
+                            assert_eq!(
+                                reply.section("result").unwrap(),
+                                baseline,
+                                "fast-mix reply must match the in-process solve ({front})"
+                            );
+                            ok += 1;
+                            ms.push(sent.elapsed().as_secs_f64() * 1000.0);
+                        }
+                        Ok(reply) if reply.status == ReplyStatus::Busy => busy += 1,
+                        _ => {}
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                let wall = started.elapsed().as_secs_f64();
+                // A slow client counts only when it was actually
+                // served, byte-for-byte; a BUSY shed or a reset
+                // mid-trickle (the threaded path under load) is
+                // not a sustained outcome.
+                let trickle_ok = tricklers
+                    .into_iter()
+                    .filter_map(|h| h.join().ok())
+                    .filter(|outcome| {
+                        matches!(
+                            outcome,
+                            Ok((ReplyStatus::Ok, Some(body))) if *body == baseline
+                        )
+                    })
+                    .count();
+                (ok, busy, ms, trickle_ok, wall)
+            });
+            let conns_open = server.stats().conns_open;
+
+            // Finish phase, in admission order (the legacy queue is
+            // FIFO, so bodies arrive exactly as workers reach them).
+            let mut sustained = 0usize;
+            for conn in parked.iter_mut() {
+                let Some(mut held) = conn.take() else {
+                    continue;
+                };
+                let _ = held.set_io_timeout(Duration::from_secs(10));
+                if let Ok(reply) = held.finish(rest.as_bytes()) {
+                    if reply.status == ReplyStatus::Ok {
+                        assert_eq!(
+                            reply.section("result").unwrap(),
+                            baseline,
+                            "sustained reply must match the in-process solve ({front})"
+                        );
+                        sustained += 1;
+                    }
+                }
+            }
+            server.shutdown();
+
+            println!(
+                "evloop {front} C={level}: parked {parked_alive}, sustained {sustained}, \
+                 fast {fast_ok} ok / {fast_busy} busy, trickle {trickle_ok}/4, \
+                 conns_open {conns_open}"
+            );
+            let entry = best.entry(front).or_default();
+            *entry = (*entry).max(sustained);
+            table.row(vec![
+                front.into(),
+                level.to_string(),
+                sustained.to_string(),
+                fast_ok.to_string(),
+                fast_busy.to_string(),
+                trickle_ok.to_string(),
+                conns_open.to_string(),
+                fmt(fast_ok as f64 / wall),
+                fmt(percentile(&mut fast_ms, 0.50)),
+                fmt(percentile(&mut fast_ms, 0.95)),
+                fmt(percentile(&mut fast_ms, 0.99)),
+            ]);
+        }
+    }
+
+    table.print();
+    if let Ok(p) = table.save_csv("evloop") {
+        println!("saved: {}", p.display());
+    }
+    if let Ok(p) = table.save_json("BENCH_evloop") {
+        println!("saved: {}", p.display());
+    }
+
+    if EVENT_LOOP_SUPPORTED {
+        let reactor = best.get("reactor").copied().unwrap_or(0);
+        let threaded = best.get("threaded").copied().unwrap_or(0).max(1);
+        let ratio = reactor as f64 / threaded as f64;
+        println!(
+            "evloop: reactor sustained {reactor}, threaded sustained {threaded} ({ratio:.1}x)"
+        );
+        assert!(
+            ratio >= 4.0,
+            "the reactor must sustain >=4x the threaded front end's connections \
+             (got {reactor} vs {threaded})"
+        );
+    }
+}
+
 fn main() {
     let settings = RunSettings::from_args();
     if std::env::args().any(|a| a == "--replay") {
         run_replay(&settings);
+        return;
+    }
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--connections") {
+        let max_conns = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--connections N");
+        run_evloop(&settings, max_conns);
         return;
     }
     let repeats = if settings.full { 60 } else { 20 };

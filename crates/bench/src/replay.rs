@@ -3,16 +3,24 @@
 //!
 //! A replay is fully described by a [`Manifest`]: seeded Poisson
 //! arrivals (exponential inter-arrival gaps), a seeded mixture over
-//! every registry id, and per-draw solver knobs (seed, shots,
-//! iterations) fixed at manifest-build time. Every random quantity is
-//! drawn from SplitMix64 streams derived from the manifest seed via
+//! every registry id, per-draw solver knobs (seed, shots, iterations)
+//! and a per-draw *wire format* (`native|qubo|qubo-recover|lp`), all
+//! fixed at manifest-build time. Every random quantity is drawn from
+//! SplitMix64 streams derived from the manifest seed via
 //! [`case_seed`](rasengan_problems::registry::case_seed), so the same
 //! seed reproduces the same request sequence on any machine — and
 //! because the solver itself is bit-deterministic, replaying a manifest
 //! twice must produce byte-identical per-request `result` sections.
 //! The loadgen binary's `--replay` arm checks exactly that.
+//!
+//! Formats are drawn uniformly and then *resolved* against the drawn
+//! problem: a format the problem cannot round-trip through (e.g. a
+//! quadratic objective has no LP form) falls back to native,
+//! deterministically, so the manifest always records the format that
+//! actually goes on the wire.
 
-use rasengan_problems::registry::{all_ids, case_seed};
+use rasengan_problems::ingest::{parse_as, write_as, Format};
+use rasengan_problems::registry::{all_ids, benchmark, case_seed, BenchmarkId};
 
 /// Knobs of a replay run.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +63,9 @@ pub struct Draw {
     pub shots: usize,
     /// Optimizer iteration cap.
     pub iterations: usize,
+    /// Wire format the problem body travels in (already resolved: the
+    /// problem is guaranteed to round-trip through it).
+    pub format: Format,
 }
 
 /// A fully-materialized replay: the mixture weights and every draw.
@@ -73,6 +84,32 @@ pub struct Manifest {
 /// Uniform in `[0, 1)` from a SplitMix64 output (53-bit mantissa).
 fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Resolves a drawn format against a problem: keep it when the problem
+/// round-trips through that format (export then re-parse both
+/// succeed), otherwise fall back to native. Pure, so manifest
+/// regeneration resolves identically.
+fn resolve_format(problem: &rasengan_problems::problem::Problem, desired: Format) -> Format {
+    if desired == Format::Native {
+        return Format::Native;
+    }
+    let ok = write_as(desired, problem)
+        .ok()
+        .and_then(|text| parse_as(desired, &text).ok())
+        .is_some();
+    if ok {
+        desired
+    } else {
+        Format::Native
+    }
+}
+
+/// Renders a problem's wire body in a draw's resolved format.
+/// Resolution guaranteed the export succeeds.
+pub fn wire_body(id: &str, format: Format) -> String {
+    let problem = benchmark(BenchmarkId::parse(id).expect("manifest id"));
+    write_as(format, &problem).expect("resolved format must export")
 }
 
 /// Builds the manifest for a config. Pure and deterministic: the same
@@ -109,6 +146,14 @@ pub fn manifest(cfg: &ReplayConfig) -> Manifest {
                 }
                 pick -= w;
             }
+            // Uniform format pick, resolved against the drawn problem
+            // (unsupported exports fall back to native).
+            let all = Format::all();
+            let desired = all[(slot(i, 4) % all.len() as u64) as usize];
+            let format = resolve_format(
+                &benchmark(BenchmarkId::parse(&id).expect("registry id")),
+                desired,
+            );
             Draw {
                 index: i,
                 id,
@@ -116,6 +161,7 @@ pub fn manifest(cfg: &ReplayConfig) -> Manifest {
                 solver_seed: slot(i, 2),
                 shots: 128 << (slot(i, 3) % 2), // 128 or 256
                 iterations: cfg.iterations,
+                format,
             }
         })
         .collect();
@@ -150,8 +196,14 @@ impl Manifest {
             }
             out.push_str(&format!(
                 "{{\"index\":{},\"id\":\"{}\",\"arrival_ms\":{:.3},\
-                 \"seed\":{},\"shots\":{},\"iterations\":{}}}",
-                d.index, d.id, d.arrival_ms, d.solver_seed, d.shots, d.iterations
+                 \"seed\":{},\"shots\":{},\"iterations\":{},\"format\":\"{}\"}}",
+                d.index,
+                d.id,
+                d.arrival_ms,
+                d.solver_seed,
+                d.shots,
+                d.iterations,
+                d.format.token()
             ));
         }
         out.push_str("]}");
@@ -203,6 +255,32 @@ mod tests {
         let distinct: std::collections::HashSet<&str> =
             m.draws.iter().map(|d| d.id.as_str()).collect();
         assert!(distinct.len() >= 8, "mixture collapsed: {distinct:?}");
+    }
+
+    #[test]
+    fn formats_mix_and_resolved_formats_export() {
+        let m = manifest(&ReplayConfig::new(2025, false));
+        let distinct: std::collections::HashSet<Format> =
+            m.draws.iter().map(|d| d.format).collect();
+        assert!(
+            distinct.len() >= 2,
+            "the mixture must exercise several wire formats, got {distinct:?}"
+        );
+        // Every resolved format must actually render a wire body, and
+        // the manifest records it.
+        for d in &m.draws {
+            let body = wire_body(&d.id, d.format);
+            assert!(!body.is_empty());
+            assert!(m.to_json().contains(&format!("\"{}\"", d.format.token())));
+        }
+    }
+
+    #[test]
+    fn format_resolution_is_deterministic_across_regeneration() {
+        let cfg = ReplayConfig::new(99, false);
+        let a: Vec<Format> = manifest(&cfg).draws.iter().map(|d| d.format).collect();
+        let b: Vec<Format> = manifest(&cfg).draws.iter().map(|d| d.format).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -129,6 +129,103 @@ pub fn submit_with_retry(
     }
 }
 
+/// [`submit`], but dribbling the request onto the wire `chunk` bytes
+/// at a time with a `pace` sleep between writes — a cooperative
+/// slowloris. On the threaded front end each such client pins a worker
+/// for the whole trickle; the reactor just keeps a parser buffering.
+///
+/// # Errors
+///
+/// I/O errors talking to the server, or an unparseable response.
+pub fn submit_trickled(
+    addr: impl ToSocketAddrs,
+    request: &SolveRequest,
+    chunk: usize,
+    pace: Duration,
+) -> std::io::Result<Reply> {
+    let text = request.render();
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+    stream.set_write_timeout(Some(DEFAULT_TIMEOUT))?;
+    for piece in text.as_bytes().chunks(chunk.max(1)) {
+        stream.write_all(piece)?;
+        stream.flush()?;
+        std::thread::sleep(pace);
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut body = String::new();
+    stream.read_to_string(&mut body)?;
+    parse_response(&body)
+}
+
+/// A connection held deliberately mid-request: opened, fed a prefix of
+/// a request, then parked. What it costs the server is the point — a
+/// pinned worker thread on the legacy front end versus one idle
+/// reactor connection — so the loadgen concurrency arm and the
+/// adversarial tests park many of these while measuring a fast stream.
+pub struct HeldConnection {
+    stream: TcpStream,
+}
+
+impl HeldConnection {
+    /// Connects and sends `prefix` (possibly empty), leaving the
+    /// connection open and the request unfinished.
+    ///
+    /// # Errors
+    ///
+    /// Connection or write failures.
+    pub fn open(addr: impl ToSocketAddrs, prefix: &[u8]) -> std::io::Result<HeldConnection> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_TIMEOUT))?;
+        if !prefix.is_empty() {
+            stream.write_all(prefix)?;
+            stream.flush()?;
+        }
+        Ok(HeldConnection { stream })
+    }
+
+    /// Sends more request bytes without completing it.
+    ///
+    /// # Errors
+    ///
+    /// Write failures (e.g. the server timed the connection out).
+    pub fn send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Bounds how long [`finish`](HeldConnection::finish) may block on
+    /// socket reads/writes — held connections are often dead or stuck
+    /// behind a saturated server, and callers finishing hundreds of
+    /// them need each one to fail fast rather than hang for the
+    /// default two minutes.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on a zero duration.
+    pub fn set_io_timeout(&mut self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))
+    }
+
+    /// Sends the remainder of the request and reads the reply.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors talking to the server, or an unparseable response.
+    pub fn finish(mut self, rest: &[u8]) -> std::io::Result<Reply> {
+        if !rest.is_empty() {
+            self.stream.write_all(rest)?;
+            self.stream.flush()?;
+        }
+        let _ = self.stream.shutdown(Shutdown::Write);
+        let mut body = String::new();
+        self.stream.read_to_string(&mut body)?;
+        parse_response(&body)
+    }
+}
+
 /// Fetches the service counters (`STATS` verb).
 ///
 /// # Errors

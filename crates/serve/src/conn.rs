@@ -1,0 +1,196 @@
+//! Per-connection state machine for the event-driven front end.
+//!
+//! A connection moves through three states:
+//!
+//! ```text
+//! Reading --(PING/STATS or parse error)--> Writing --> closed
+//! Reading --(complete SOLVE request)----> Solving --> Writing --> closed
+//! ```
+//!
+//! * **Reading** — the reactor feeds whatever the socket yields into an
+//!   [`IncrementalParser`]; partial reads simply leave the parser
+//!   mid-request until more bytes arrive.
+//! * **Solving** — the parsed request is on the worker queue. The
+//!   socket is deregistered from epoll: nothing the client sends can
+//!   advance the request, and solver threads never touch the socket.
+//! * **Writing** — the rendered reply drains through non-blocking
+//!   writes with partial-write resumption; when the last byte is out
+//!   the connection closes (the protocol is one request per
+//!   connection; clients read to EOF).
+//!
+//! Methods here only move bytes and state; epoll registration, timers,
+//! and counters belong to the reactor.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{IncrementalParser, ParseProgress, Reply, RequestError};
+
+/// Where a connection is in its request/response lifecycle.
+pub(crate) enum ConnState {
+    /// Accumulating request bytes into the incremental parser.
+    Reading(IncrementalParser),
+    /// Request handed to the worker pool; socket quiescent.
+    Solving,
+    /// Draining the rendered reply.
+    Writing,
+}
+
+/// [`ConnState`] stripped of its payload — a `Copy` view the reactor
+/// can hold while re-borrowing the connection table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// See [`ConnState::Reading`].
+    Reading,
+    /// See [`ConnState::Solving`].
+    Solving,
+    /// See [`ConnState::Writing`].
+    Writing,
+}
+
+/// What a readable-event drive produced.
+pub(crate) enum ReadOutcome {
+    /// The socket is drained and the request is still incomplete.
+    /// `progressed` is true when any bytes arrived (the reactor resets
+    /// the idle deadline on progress, mirroring the per-read semantics
+    /// of the blocking path's `SO_RCVTIMEO`).
+    NeedMore { progressed: bool },
+    /// The parser completed: a bare verb or a full `SOLVE` request.
+    Parsed(ParseProgress),
+    /// The request is invalid (or truncated by EOF); reply and close.
+    Invalid(RequestError),
+    /// The connection failed at the transport level; close silently.
+    Peer,
+}
+
+/// What a writable-event drive produced.
+pub(crate) enum WriteOutcome {
+    /// Every reply byte is out; close the connection.
+    Done,
+    /// The kernel buffer filled mid-reply; wait for writability.
+    /// `progressed` is true when any bytes moved this drive.
+    Blocked { progressed: bool },
+    /// The peer is gone; close without finishing.
+    Peer,
+}
+
+/// One client connection owned by the reactor.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) state: ConnState,
+    /// Rendered reply bytes being drained in `Writing`.
+    out: Vec<u8>,
+    /// How much of `out` has been written.
+    written: usize,
+    /// The epoll interest mask currently registered for this socket
+    /// (`None` when deregistered, as in `Solving`). Maintained by the
+    /// reactor; stored here so re-arming knows whether to ADD or MOD.
+    pub(crate) interest: Option<u32>,
+    /// Wheel-validated absolute deadline for the current phase; `None`
+    /// while solving (a long solve is not an IO stall).
+    pub(crate) deadline: Option<std::time::Instant>,
+}
+
+impl Conn {
+    /// Wraps a freshly-accepted non-blocking stream.
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            state: ConnState::Reading(IncrementalParser::new()),
+            out: Vec::new(),
+            written: 0,
+            interest: None,
+            deadline: None,
+        }
+    }
+
+    /// The current lifecycle phase.
+    pub(crate) fn phase(&self) -> Phase {
+        match self.state {
+            ConnState::Reading(_) => Phase::Reading,
+            ConnState::Solving => Phase::Solving,
+            ConnState::Writing => Phase::Writing,
+        }
+    }
+
+    /// Marks the request as handed to the worker pool and clears the
+    /// IO deadline (a long solve is not an IO stall).
+    pub(crate) fn solving(&mut self) {
+        self.state = ConnState::Solving;
+        self.deadline = None;
+    }
+
+    /// Whether the request's verb line was parsed — decides how a
+    /// timeout is attributed (stalled request vs anonymous bad
+    /// connection), matching the threaded front end's counters.
+    pub(crate) fn verb_seen(&self) -> bool {
+        match &self.state {
+            ConnState::Reading(parser) => parser.verb_seen(),
+            _ => true,
+        }
+    }
+
+    /// Drives reads until the socket would block, EOF, or the parser
+    /// resolves. Call only in `Reading`.
+    pub(crate) fn handle_readable(&mut self, scratch: &mut [u8]) -> ReadOutcome {
+        let mut progressed = false;
+        loop {
+            let parser = match &mut self.state {
+                ConnState::Reading(parser) => parser,
+                _ => return ReadOutcome::NeedMore { progressed },
+            };
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    return match parser.eof() {
+                        Ok(progress) => ReadOutcome::Parsed(progress),
+                        Err(err) => ReadOutcome::Invalid(err),
+                    }
+                }
+                Ok(n) => {
+                    progressed = true;
+                    match parser.feed(&scratch[..n]) {
+                        Ok(ParseProgress::More) => {}
+                        Ok(progress) => return ReadOutcome::Parsed(progress),
+                        Err(err) => return ReadOutcome::Invalid(err),
+                    }
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    return ReadOutcome::NeedMore { progressed }
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Peer,
+            }
+        }
+    }
+
+    /// Stages a reply and switches to `Writing`. The caller follows up
+    /// with [`handle_writable`](Conn::handle_writable) to start the
+    /// drain immediately rather than waiting for an epoll event.
+    pub(crate) fn begin_reply(&mut self, reply: &Reply) {
+        self.out = reply.render().into_bytes();
+        self.written = 0;
+        self.state = ConnState::Writing;
+    }
+
+    /// Drives writes until done or the socket would block. Call only
+    /// in `Writing`.
+    pub(crate) fn handle_writable(&mut self) -> WriteOutcome {
+        let mut progressed = false;
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => return WriteOutcome::Peer,
+                Ok(n) => {
+                    self.written += n;
+                    progressed = true;
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    return WriteOutcome::Blocked { progressed }
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return WriteOutcome::Peer,
+            }
+        }
+        let _ = self.stream.flush();
+        WriteOutcome::Done
+    }
+}

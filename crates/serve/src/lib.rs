@@ -3,8 +3,11 @@
 //!
 //! | Module | Role |
 //! |---|---|
-//! | [`protocol`] | wire format: line-oriented requests, sectioned JSON responses |
-//! | [`server`] | listener, worker pool, admission control, graceful drain |
+//! | [`protocol`] | wire format: line-oriented requests (blocking + incremental parsers), sectioned JSON responses |
+//! | [`server`] | front-end dispatch, worker pool, admission control, graceful drain |
+//! | `reactor` | epoll event loop: non-blocking sockets, timer wheel, completion wakeups (Linux x86_64/aarch64) |
+//! | `conn` | per-connection read/solve/write state machine for the reactor |
+//! | [`sys`] | raw epoll/eventfd syscalls — the no-dependency platform shim (Linux x86_64/aarch64) |
 //! | [`cache`] | sharded LRU for finished outcomes and compiled artifacts |
 //! | [`persist`] | crash-safe on-disk warm-state tier: versioned records, quarantine, recovery |
 //! | [`client`] | blocking submit/stats/ping helpers |
@@ -37,15 +40,33 @@
 
 pub mod cache;
 pub mod client;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod conn;
 pub mod json;
 pub mod persist;
 pub mod protocol;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod reactor;
 pub mod server;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod sys;
 
-pub use client::{ping, stats, submit, submit_with_retry, RetryPolicy};
+pub use client::{
+    ping, stats, submit, submit_trickled, submit_with_retry, HeldConnection, RetryPolicy,
+};
 pub use json::Json;
 pub use persist::{OutcomeKey, Persist, PersistStats, StorageFault, StorageFaultPlan};
 pub use protocol::{
-    outcome_json, render_outcome, Reply, ReplyStatus, RequestError, SolveRequest, Verb,
+    outcome_json, render_outcome, IncrementalParser, ParseProgress, Reply, ReplyStatus,
+    RequestError, SolveRequest, Verb,
 };
-pub use server::{serve, ServeConfig, ServeStats, ServerHandle};
+pub use server::{serve, ServeConfig, ServeStats, ServerHandle, EVENT_LOOP_SUPPORTED};

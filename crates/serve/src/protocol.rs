@@ -336,63 +336,9 @@ impl SolveRequest {
             if n == 0 {
                 return Err(malformed("request ended before BEGIN PROBLEM"));
             }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            if trimmed == "BEGIN PROBLEM" {
-                break;
-            }
-            let (key, value) = match trimmed.split_once(char::is_whitespace) {
-                Some((k, v)) => (k, v.trim()),
-                None => (trimmed, ""),
-            };
-            match key {
-                "seed" => {
-                    request.seed = parse_header(key, value).map_err(RequestError::Malformed)?
-                }
-                "shots" => {
-                    request.shots = Some(
-                        parse_bounded(key, value, MAX_SHOTS).map_err(RequestError::Malformed)?,
-                    )
-                }
-                "iterations" => {
-                    request.iterations = Some(
-                        parse_bounded(key, value, MAX_ITERATIONS)
-                            .map_err(RequestError::Malformed)?,
-                    )
-                }
-                "retries" => {
-                    request.retries =
-                        parse_bounded(key, value, MAX_RETRIES).map_err(RequestError::Malformed)?
-                }
-                "degrade" => request.degrade = true,
-                "trace" => request.trace = true,
-                "format" => {
-                    request.format = Format::parse(value).ok_or_else(|| {
-                        RequestError::Malformed(format!(
-                            "unknown problem format `{value}` (expected one of {})",
-                            Format::all()
-                                .iter()
-                                .map(|f| f.token())
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        ))
-                    })?
-                }
-                "deadline-ms" => {
-                    request.deadline_ms =
-                        Some(parse_header(key, value).map_err(RequestError::Malformed)?)
-                }
-                "batch" => {
-                    let lanes =
-                        parse_bounded(key, value, MAX_BATCH).map_err(RequestError::Malformed)?;
-                    if lanes == 0 {
-                        return Err(malformed("header `batch` must be positive"));
-                    }
-                    request.batch = Some(lanes);
-                }
-                other => return Err(RequestError::Malformed(format!("unknown header `{other}`"))),
+            match apply_header_line(&mut request, line.trim())? {
+                HeaderLine::Header => {}
+                HeaderLine::BeginProblem => break,
             }
         }
         let mut problem = String::new();
@@ -402,18 +348,284 @@ impl SolveRequest {
             if n == 0 {
                 return Err(malformed("request ended before END PROBLEM"));
             }
-            if line.trim() == "END PROBLEM" {
+            if apply_body_line(&mut problem, &line)? == BodyLine::EndProblem {
                 break;
             }
-            if problem.len() + line.len() > MAX_PROBLEM_BYTES {
-                return Err(RequestError::Malformed(format!(
-                    "problem body exceeds {MAX_PROBLEM_BYTES} bytes"
-                )));
-            }
-            problem.push_str(&line);
         }
         request.problem_text = problem;
         Ok(request)
+    }
+}
+
+/// What a line in the header section turned out to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HeaderLine {
+    /// A header (or blank line) was consumed.
+    Header,
+    /// The `BEGIN PROBLEM` bracket: the body starts next.
+    BeginProblem,
+}
+
+/// What a line in the body section turned out to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BodyLine {
+    /// A body line was appended.
+    Body,
+    /// The `END PROBLEM` bracket: the request is complete.
+    EndProblem,
+}
+
+/// Applies one trimmed header-section line to `request`. Shared by the
+/// blocking reader path and the incremental (reactor) parser so both
+/// front ends accept byte-for-byte the same requests.
+fn apply_header_line(
+    request: &mut SolveRequest,
+    trimmed: &str,
+) -> Result<HeaderLine, RequestError> {
+    if trimmed.is_empty() {
+        return Ok(HeaderLine::Header);
+    }
+    if trimmed == "BEGIN PROBLEM" {
+        return Ok(HeaderLine::BeginProblem);
+    }
+    let (key, value) = match trimmed.split_once(char::is_whitespace) {
+        Some((k, v)) => (k, v.trim()),
+        None => (trimmed, ""),
+    };
+    match key {
+        "seed" => request.seed = parse_header(key, value).map_err(RequestError::Malformed)?,
+        "shots" => {
+            request.shots =
+                Some(parse_bounded(key, value, MAX_SHOTS).map_err(RequestError::Malformed)?)
+        }
+        "iterations" => {
+            request.iterations =
+                Some(parse_bounded(key, value, MAX_ITERATIONS).map_err(RequestError::Malformed)?)
+        }
+        "retries" => {
+            request.retries =
+                parse_bounded(key, value, MAX_RETRIES).map_err(RequestError::Malformed)?
+        }
+        "degrade" => request.degrade = true,
+        "trace" => request.trace = true,
+        "format" => {
+            request.format = Format::parse(value).ok_or_else(|| {
+                RequestError::Malformed(format!(
+                    "unknown problem format `{value}` (expected one of {})",
+                    Format::all()
+                        .iter()
+                        .map(|f| f.token())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })?
+        }
+        "deadline-ms" => {
+            request.deadline_ms = Some(parse_header(key, value).map_err(RequestError::Malformed)?)
+        }
+        "batch" => {
+            let lanes = parse_bounded(key, value, MAX_BATCH).map_err(RequestError::Malformed)?;
+            if lanes == 0 {
+                return Err(RequestError::Malformed(
+                    "header `batch` must be positive".to_string(),
+                ));
+            }
+            request.batch = Some(lanes);
+        }
+        other => return Err(RequestError::Malformed(format!("unknown header `{other}`"))),
+    }
+    Ok(HeaderLine::Header)
+}
+
+/// Applies one raw body line (terminator included, as `read_line`
+/// yields it) to the accumulating problem text, enforcing
+/// [`MAX_PROBLEM_BYTES`].
+fn apply_body_line(problem: &mut String, line: &str) -> Result<BodyLine, RequestError> {
+    if line.trim() == "END PROBLEM" {
+        return Ok(BodyLine::EndProblem);
+    }
+    if problem.len() + line.len() > MAX_PROBLEM_BYTES {
+        return Err(RequestError::Malformed(format!(
+            "problem body exceeds {MAX_PROBLEM_BYTES} bytes"
+        )));
+    }
+    problem.push_str(line);
+    Ok(BodyLine::Body)
+}
+
+/// Progress of an [`IncrementalParser`] after feeding it bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseProgress {
+    /// The request is incomplete; feed more bytes (or signal EOF).
+    More,
+    /// The verb line named `STATS` or `PING` — no body follows.
+    Verb(Verb),
+    /// A complete `SOLVE` request.
+    Request(Box<SolveRequest>),
+}
+
+/// Ceiling on bytes buffered for one request. The body cap is enforced
+/// line by line as in the blocking path; this outer bound additionally
+/// stops a client that streams forever without ever sending a newline.
+const MAX_REQUEST_BYTES: usize = MAX_PROBLEM_BYTES + (64 << 10);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ParseState {
+    Verb,
+    Headers,
+    Body,
+    Done,
+}
+
+/// An incremental request parser over a growable buffer — the
+/// non-blocking twin of [`parse_verb`] + [`SolveRequest::parse_body`].
+///
+/// The reactor owns one per connection and feeds it whatever bytes the
+/// socket yields; the parser consumes complete lines as they form and
+/// drives the same line-level state machine as the blocking reader
+/// (verb → headers → bracketed body), via the same shared helpers, so
+/// the two front ends accept exactly the same requests and reject with
+/// exactly the same errors.
+#[derive(Debug)]
+pub struct IncrementalParser {
+    buf: Vec<u8>,
+    /// Index of the first byte not yet consumed as a complete line.
+    scan: usize,
+    state: ParseState,
+    request: SolveRequest,
+    problem: String,
+    verb: Option<Verb>,
+}
+
+impl Default for IncrementalParser {
+    fn default() -> Self {
+        IncrementalParser::new()
+    }
+}
+
+impl IncrementalParser {
+    /// A parser positioned before the verb line.
+    pub fn new() -> IncrementalParser {
+        IncrementalParser {
+            buf: Vec::new(),
+            scan: 0,
+            state: ParseState::Verb,
+            request: SolveRequest::new(String::new()),
+            problem: String::new(),
+            verb: None,
+        }
+    }
+
+    /// Whether the verb line has been parsed yet. The server uses this
+    /// to attribute a timeout: before the verb it is an anonymous bad
+    /// connection, after it a stalled request.
+    pub fn verb_seen(&self) -> bool {
+        self.verb.is_some()
+    }
+
+    /// Bytes currently buffered (diagnostics / tests).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.scan
+    }
+
+    /// Feeds freshly-read bytes and advances as far as the completed
+    /// lines allow.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<ParseProgress, RequestError> {
+        if self.buf.len() - self.scan + bytes.len() > MAX_REQUEST_BYTES {
+            return Err(RequestError::Malformed(format!(
+                "request exceeds {MAX_REQUEST_BYTES} bytes"
+            )));
+        }
+        self.buf.extend_from_slice(bytes);
+        self.advance(false)
+    }
+
+    /// Signals end-of-stream. Any buffered partial line is treated as
+    /// a final unterminated line — exactly what `read_line` yields at
+    /// EOF — and an incomplete request becomes the same error the
+    /// blocking path reports.
+    pub fn eof(&mut self) -> Result<ParseProgress, RequestError> {
+        match self.advance(true)? {
+            ParseProgress::More => Err(match self.state {
+                ParseState::Verb => RequestError::Malformed(
+                    parse_verb("").expect_err("empty verb line is an error"),
+                ),
+                ParseState::Headers => {
+                    RequestError::Malformed("request ended before BEGIN PROBLEM".to_string())
+                }
+                ParseState::Body => {
+                    RequestError::Malformed("request ended before END PROBLEM".to_string())
+                }
+                ParseState::Done => RequestError::Malformed("request already complete".to_string()),
+            }),
+            progress => Ok(progress),
+        }
+    }
+
+    fn advance(&mut self, at_eof: bool) -> Result<ParseProgress, RequestError> {
+        loop {
+            let line_end = self.buf[self.scan..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|i| self.scan + i + 1);
+            let (start, end) = match line_end {
+                Some(end) => (self.scan, end),
+                // A partial line only counts at EOF (and an empty one
+                // is genuine EOF, not a final line).
+                None if at_eof && self.scan < self.buf.len() => (self.scan, self.buf.len()),
+                None => {
+                    self.compact();
+                    return Ok(ParseProgress::More);
+                }
+            };
+            let line = std::str::from_utf8(&self.buf[start..end]).map_err(|_| {
+                // The message the blocking path produces when
+                // `read_line` hits invalid UTF-8.
+                RequestError::Malformed("io: stream did not contain valid UTF-8".to_string())
+            })?;
+            match self.state {
+                ParseState::Verb => {
+                    let verb = parse_verb(line).map_err(RequestError::Malformed)?;
+                    self.verb = Some(verb);
+                    self.scan = end;
+                    match verb {
+                        Verb::Solve => self.state = ParseState::Headers,
+                        Verb::Stats | Verb::Ping => {
+                            self.state = ParseState::Done;
+                            return Ok(ParseProgress::Verb(verb));
+                        }
+                    }
+                }
+                ParseState::Headers => {
+                    let outcome = apply_header_line(&mut self.request, line.trim())?;
+                    self.scan = end;
+                    if outcome == HeaderLine::BeginProblem {
+                        self.state = ParseState::Body;
+                    }
+                }
+                ParseState::Body => {
+                    let outcome = apply_body_line(&mut self.problem, line)?;
+                    self.scan = end;
+                    if outcome == BodyLine::EndProblem {
+                        self.state = ParseState::Done;
+                        let mut request =
+                            std::mem::replace(&mut self.request, SolveRequest::new(String::new()));
+                        request.problem_text = std::mem::take(&mut self.problem);
+                        return Ok(ParseProgress::Request(Box::new(request)));
+                    }
+                }
+                ParseState::Done => return Ok(ParseProgress::More),
+            }
+        }
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping the
+    /// resident footprint proportional to the unconsumed tail.
+    fn compact(&mut self) {
+        if self.scan > 4096 && self.scan * 2 > self.buf.len() {
+            self.buf.drain(..self.scan);
+            self.scan = 0;
+        }
     }
 }
 
@@ -878,6 +1090,107 @@ mod tests {
         let err = SolveRequest::parse_body(&mut Stalled(std::io::ErrorKind::ConnectionReset))
             .unwrap_err();
         assert_eq!(err.kind(), "bad-request");
+    }
+
+    /// Feeds `text` to an incremental parser one byte at a time and
+    /// returns the first non-`More` progress.
+    fn drip(text: &str) -> Result<ParseProgress, RequestError> {
+        let mut parser = IncrementalParser::new();
+        for byte in text.as_bytes() {
+            match parser.feed(std::slice::from_ref(byte))? {
+                ParseProgress::More => {}
+                progress => return Ok(progress),
+            }
+        }
+        parser.eof()
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_parse_byte_for_byte() {
+        let request = SolveRequest::new("vars 2\nconstraint 1 : 1 1\n")
+            .with_seed(7)
+            .with_shots(256)
+            .with_iterations(40)
+            .with_retries(2)
+            .with_degrade()
+            .with_trace()
+            .with_deadline_ms(5000)
+            .with_batch(4)
+            .with_format(Format::Qubo);
+        let text = request.render();
+        // One-byte-at-a-time (worst-case fragmentation) and one-shot
+        // feeds both reproduce what the blocking reader parses.
+        match drip(&text).unwrap() {
+            ParseProgress::Request(parsed) => assert_eq!(*parsed, request),
+            other => panic!("unexpected progress {other:?}"),
+        }
+        let mut parser = IncrementalParser::new();
+        match parser.feed(text.as_bytes()).unwrap() {
+            ParseProgress::Request(parsed) => assert_eq!(*parsed, request),
+            other => panic!("unexpected progress {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parser_handles_bare_verbs_and_errors() {
+        assert_eq!(
+            drip("RASENGAN/1 PING\n").unwrap(),
+            ParseProgress::Verb(Verb::Ping)
+        );
+        // A verb line terminated by EOF instead of a newline still
+        // parses — `read_line` yields the same final partial line.
+        assert_eq!(
+            drip("RASENGAN/1 STATS").unwrap(),
+            ParseProgress::Verb(Verb::Stats)
+        );
+        assert!(drip("HTTP/1.1 GET /\r\n").is_err());
+        assert_eq!(drip("").unwrap_err().message(), "empty request");
+        // Truncation errors match the blocking reader's wording.
+        let err = drip("RASENGAN/1 SOLVE\nseed 3\n").unwrap_err();
+        assert!(err.message().contains("BEGIN PROBLEM"), "{err}");
+        let err = drip("RASENGAN/1 SOLVE\nBEGIN PROBLEM\nvars 2\n").unwrap_err();
+        assert!(err.message().contains("END PROBLEM"), "{err}");
+        // Unknown headers and invalid UTF-8 are rejected mid-stream.
+        let err = drip("RASENGAN/1 SOLVE\nvolume 11\n").unwrap_err();
+        assert!(err.message().contains("volume"), "{err}");
+        let mut parser = IncrementalParser::new();
+        parser.feed(b"RASENGAN/1 SOLVE\nBEGIN PROBLEM\n").unwrap();
+        assert!(parser.feed(&[0xff, 0xfe, b'\n']).is_err());
+    }
+
+    #[test]
+    fn incremental_parser_tracks_verb_and_bounds_buffering() {
+        let mut parser = IncrementalParser::new();
+        assert!(!parser.verb_seen());
+        parser.feed(b"RASENGAN/1 SOLVE\n").unwrap();
+        assert!(parser.verb_seen());
+        // A stream with no newline at all cannot buffer unboundedly.
+        let mut hog = IncrementalParser::new();
+        let chunk = vec![b'a'; 1 << 16];
+        let mut result = Ok(ParseProgress::More);
+        for _ in 0..((MAX_REQUEST_BYTES / chunk.len()) + 2) {
+            result = hog.feed(&chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(result.unwrap_err().message().contains("exceeds"));
+        // An oversized body hits the same MAX_PROBLEM_BYTES cap as the
+        // blocking path, even when the headers were tiny.
+        let mut body = IncrementalParser::new();
+        body.feed(b"RASENGAN/1 SOLVE\nBEGIN PROBLEM\n").unwrap();
+        let line = vec![b'v'; 4095]
+            .into_iter()
+            .chain([b'\n'])
+            .collect::<Vec<_>>();
+        let mut err = None;
+        for _ in 0..((MAX_PROBLEM_BYTES / line.len()) + 2) {
+            if let Err(e) = body.feed(&line) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(err.unwrap().message().contains("problem body exceeds"));
     }
 
     #[test]

@@ -1,13 +1,29 @@
-//! The solve service: TCP listener, worker pool, caches, admission
+//! The solve service: TCP front end, worker pool, caches, admission
 //! control.
 //!
-//! One accept thread reads each connection's verb line and answers
-//! `STATS`/`PING` inline; `SOLVE` connections are pushed onto a
-//! bounded queue ([`rasengan_qsim::parallel::BoundedQueue`]) drained
-//! by a fixed worker pool. When the queue is full the request is shed
-//! immediately with a structured `BUSY` response — the accept thread
-//! never blocks on solver work, so load-shedding stays responsive
-//! under saturation.
+//! Two front ends share one worker pool and one set of semantics:
+//!
+//! * **Reactor** (default on Linux x86_64/aarch64): a single epoll
+//!   event loop ([`crate::reactor`]) owns every socket in non-blocking
+//!   mode, parses requests incrementally, and enforces IO deadlines
+//!   with a timer wheel. Concurrent-connection capacity is bounded by
+//!   file descriptors, not threads.
+//! * **Threaded** (`--legacy-threads`, and every other platform): one
+//!   accept thread reads each connection's verb line with blocking IO
+//!   and `SO_RCVTIMEO`/`SO_SNDTIMEO` deadlines; a worker holds the
+//!   socket for the whole request. Capacity is bounded by the worker
+//!   count.
+//!
+//! Either way, `STATS`/`PING` are answered inline by the front end and
+//! `SOLVE` work is pushed onto a bounded queue
+//! ([`rasengan_qsim::parallel::BoundedQueue`]) drained by a fixed
+//! worker pool. When the queue is full the request is shed immediately
+//! with a structured `BUSY` response — the front end never blocks on
+//! solver work, so load-shedding stays responsive under saturation.
+//! Both front ends produce byte-identical replies: they share the
+//! verb/header/body grammar (one incremental, one blocking, over the
+//! same line-level helpers) and [`solve_reply`], which holds all
+//! solve-side semantics (caches, persist tier, counters).
 //!
 //! # Determinism
 //!
@@ -91,7 +107,23 @@ pub struct ServeConfig {
     /// write — test scaffolding for the corruption matrix, never armed
     /// in production configs.
     pub storage_faults: Option<StorageFaultPlan>,
+    /// Use the epoll reactor front end instead of the blocking accept
+    /// thread. Defaults to `true` where the reactor is supported
+    /// (Linux x86_64/aarch64) and is ignored — falling back to the
+    /// threaded front end — everywhere else.
+    pub event_loop: bool,
+    /// Pins each accepted socket's kernel send buffer (`SO_SNDBUF`),
+    /// bounding per-connection kernel memory. `None` leaves the
+    /// kernel's autotuning in charge. Linux-only; ignored elsewhere.
+    pub send_buffer_bytes: Option<u32>,
 }
+
+/// Whether the epoll reactor front end can run on this target (the
+/// raw-syscall shim in [`crate::sys`] is Linux x86_64/aarch64 only).
+pub const EVENT_LOOP_SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -106,6 +138,8 @@ impl Default for ServeConfig {
             trace_all: false,
             state_dir: None,
             storage_faults: None,
+            event_loop: EVENT_LOOP_SUPPORTED,
+            send_buffer_bytes: None,
         }
     }
 }
@@ -165,6 +199,38 @@ impl ServeConfig {
         self.storage_faults = Some(plan);
         self
     }
+
+    /// Selects the front end: `true` for the epoll reactor (where
+    /// supported), `false` for the legacy thread-per-connection path.
+    pub fn with_event_loop(mut self, enabled: bool) -> Self {
+        self.event_loop = enabled;
+        self
+    }
+
+    /// Pins each accepted socket's kernel send buffer (`SO_SNDBUF`).
+    pub fn with_send_buffer_bytes(mut self, bytes: u32) -> Self {
+        self.send_buffer_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Applies the configured `SO_SNDBUF` pin to a freshly-accepted
+/// socket. A no-op when unconfigured or on targets without the raw
+/// syscall shim.
+pub(crate) fn apply_send_buffer(config: &ServeConfig, stream: &TcpStream) {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    if let Some(bytes) = config.send_buffer_bytes {
+        use std::os::fd::AsRawFd;
+        let _ = crate::sys::set_send_buffer(stream.as_raw_fd(), bytes);
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    let _ = (config, stream);
 }
 
 /// Everything a request needs beyond the problem itself — the result
@@ -218,28 +284,68 @@ impl ResultKey {
     }
 }
 
-/// An admitted connection: the buffered stream (verb line already
-/// consumed) and its admission timestamp.
-struct Job {
+/// An admitted connection on the legacy path: the buffered stream
+/// (verb line already consumed) and its admission timestamp. The
+/// worker owns the socket for the whole request.
+pub(crate) struct Job {
     reader: std::io::BufReader<TcpStream>,
     enqueued: Instant,
 }
 
-struct Shared {
-    config: ServeConfig,
-    queue: BoundedQueue<Job>,
-    shutdown: AtomicBool,
-    accepted: AtomicU64,
+/// A reactor-parsed request: the worker computes a [`Reply`] and hands
+/// it back over the [`ReactorLink`](crate::reactor::ReactorLink);
+/// sockets stay with the reactor.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) struct ParsedJob {
+    pub(crate) token: u64,
+    pub(crate) request: Box<SolveRequest>,
+    pub(crate) enqueued: Instant,
+}
+
+/// What travels over the admission queue — which front end admitted
+/// the request decides whether the worker writes the socket itself or
+/// routes the reply back through the reactor.
+pub(crate) enum Work {
+    Legacy(Job),
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Parsed(ParsedJob),
+}
+
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) queue: BoundedQueue<Work>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) accepted: AtomicU64,
     served_ok: AtomicU64,
     served_error: AtomicU64,
-    shed: AtomicU64,
-    bad_requests: AtomicU64,
-    timeouts: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
     compiled_program_hits: AtomicU64,
+    /// Reactor gauges/counters: connections currently open, readable
+    /// events dispatched, writes that hit a full socket buffer, and
+    /// event-loop iterations. All zero on the legacy front end.
+    pub(crate) conns_open: AtomicU64,
+    pub(crate) readable_events: AtomicU64,
+    pub(crate) writable_stalls: AtomicU64,
+    pub(crate) loop_iterations: AtomicU64,
     results: ShardedLru<ResultKey, Arc<Outcome>>,
     compiles: ShardedLru<u128, Arc<Prepared>>,
     /// The on-disk warm-state tier, when `--state-dir` is set.
     persist: Option<Persist>,
+    /// The workers' route back to the reactor; `None` on the legacy
+    /// front end.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    reactor: Option<Arc<crate::reactor::ReactorLink>>,
     /// The process-wide metrics registry (`obs`). The engine's own
     /// hooks (fusion counters, queue depth) land here too, so a
     /// `STATS` snapshot covers the whole stack.
@@ -277,6 +383,16 @@ pub struct ServeStats {
     pub compiled_program_hits: u64,
     /// Requests currently waiting in the admission queue.
     pub queue_depth: usize,
+    /// Connections currently open on the reactor front end (zero on
+    /// the legacy path, which has no connection table).
+    pub conns_open: u64,
+    /// Readable events dispatched by the reactor.
+    pub readable_events: u64,
+    /// Reply writes that hit a full socket buffer and had to wait for
+    /// writability (reactor front end).
+    pub writable_stalls: u64,
+    /// Reactor event-loop iterations.
+    pub loop_iterations: u64,
     /// Disk-tier counters (all zero when no state dir is configured).
     pub persist: PersistStats,
 }
@@ -296,12 +412,27 @@ impl Shared {
             compile_misses: self.compiles.misses(),
             compiled_program_hits: self.compiled_program_hits.load(Ordering::Relaxed),
             queue_depth: self.queue.len(),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            readable_events: self.readable_events.load(Ordering::Relaxed),
+            writable_stalls: self.writable_stalls.load(Ordering::Relaxed),
+            loop_iterations: self.loop_iterations.load(Ordering::Relaxed),
             persist: self.persist.as_ref().map(|p| p.stats()).unwrap_or_default(),
         }
     }
 
-    fn stats_json(&self) -> Json {
+    pub(crate) fn stats_json(&self) -> Json {
         let s = self.stats();
+        // Mirror the reactor counters into the registry so they ride
+        // in the `metrics` section alongside the engine's own hooks.
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+        self.registry
+            .gauge_set("serve.conns_open", clamp(s.conns_open));
+        self.registry
+            .gauge_set("serve.readable_events", clamp(s.readable_events));
+        self.registry
+            .gauge_set("serve.writable_stalls", clamp(s.writable_stalls));
+        self.registry
+            .gauge_set("serve.loop_iterations", clamp(s.loop_iterations));
         Json::obj(vec![
             ("accepted", Json::Int(s.accepted as i128)),
             ("served_ok", Json::Int(s.served_ok as i128)),
@@ -320,6 +451,10 @@ impl Shared {
             ("queue_capacity", Json::Int(self.queue.capacity() as i128)),
             ("workers", Json::Int(self.config.workers as i128)),
             ("timeouts", Json::Int(s.timeouts as i128)),
+            ("conns_open", Json::Int(s.conns_open as i128)),
+            ("readable_events", Json::Int(s.readable_events as i128)),
+            ("writable_stalls", Json::Int(s.writable_stalls as i128)),
+            ("loop_iterations", Json::Int(s.loop_iterations as i128)),
             (
                 "persist",
                 Json::obj(vec![
@@ -373,6 +508,16 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         )?),
         None => None,
     };
+    let event_loop = config.event_loop && EVENT_LOOP_SUPPORTED;
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    let reactor_link = if event_loop {
+        Some(Arc::new(crate::reactor::ReactorLink::new()?))
+    } else {
+        None
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity.max(1)),
         shutdown: AtomicBool::new(false),
@@ -383,9 +528,18 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         bad_requests: AtomicU64::new(0),
         timeouts: AtomicU64::new(0),
         compiled_program_hits: AtomicU64::new(0),
+        conns_open: AtomicU64::new(0),
+        readable_events: AtomicU64::new(0),
+        writable_stalls: AtomicU64::new(0),
+        loop_iterations: AtomicU64::new(0),
         results: ShardedLru::new(config.result_cache_capacity, 8),
         compiles: ShardedLru::new(config.compile_cache_capacity, 4),
         persist,
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        reactor: reactor_link.clone(),
         registry,
         config,
     });
@@ -396,21 +550,41 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
             std::thread::Builder::new()
                 .name(format!("rasengan-serve-worker-{i}"))
                 .spawn(move || {
-                    while let Some(job) = shared.queue.pop() {
-                        handle_solve(&shared, job);
+                    while let Some(work) = shared.queue.pop() {
+                        match work {
+                            Work::Legacy(job) => handle_solve(&shared, job),
+                            #[cfg(all(
+                                target_os = "linux",
+                                any(target_arch = "x86_64", target_arch = "aarch64")
+                            ))]
+                            Work::Parsed(job) => {
+                                let queue_s = job.enqueued.elapsed().as_secs_f64();
+                                let reply =
+                                    solve_reply(&shared, &job.request, queue_s, job.enqueued);
+                                if let Some(link) = &shared.reactor {
+                                    link.complete(job.token, reply);
+                                }
+                            }
+                        }
                     }
                 })
                 .expect("spawn worker thread")
         })
         .collect();
 
-    let accept = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("rasengan-serve-accept".to_string())
-            .spawn(move || accept_loop(listener, &shared))
-            .expect("spawn accept thread")
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    let accept = match reactor_link {
+        Some(link) => crate::reactor::spawn(listener, Arc::clone(&shared), link)?,
+        None => spawn_accept_thread(listener, &shared),
     };
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    let accept = spawn_accept_thread(listener, &shared);
 
     Ok(ServerHandle {
         addr,
@@ -418,6 +592,14 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         accept: Some(accept),
         workers,
     })
+}
+
+fn spawn_accept_thread(listener: TcpListener, shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("rasengan-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, &shared))
+        .expect("spawn accept thread")
 }
 
 impl ServerHandle {
@@ -442,9 +624,22 @@ impl ServerHandle {
             return;
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Nudge the listener out of `accept()`; the thread re-checks
-        // the flag before handling the connection.
-        let _ = TcpStream::connect(self.addr);
+        // Wake the front end: the reactor gets an eventfd write and
+        // drains live connections before exiting; the legacy accept
+        // thread gets a nudge connection out of `accept()` and
+        // re-checks the flag before handling it.
+        let mut woke = false;
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Some(link) = &self.shared.reactor {
+            link.notify();
+            woke = true;
+        }
+        if !woke {
+            let _ = TcpStream::connect(self.addr);
+        }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -473,6 +668,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             Err(_) => continue,
         };
         shared.accepted.fetch_add(1, Ordering::Relaxed);
+        apply_send_buffer(&shared.config, &stream);
         let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
         let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
         let mut reader = std::io::BufReader::new(stream);
@@ -485,42 +681,47 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         match parse_verb(&verb_line) {
             Ok(Verb::Ping) => {
                 let reply = Reply::new(ReplyStatus::Ok, vec![("pong", Json::obj(vec![]))]);
-                write_reply(reader.get_mut(), &reply);
+                write_reply_tracked(shared, reader.get_mut(), &reply);
             }
             Ok(Verb::Stats) => {
                 let reply = Reply::new(ReplyStatus::Ok, vec![("stats", shared.stats_json())]);
-                write_reply(reader.get_mut(), &reply);
+                write_reply_tracked(shared, reader.get_mut(), &reply);
             }
             Ok(Verb::Solve) => {
                 let job = Job {
                     reader,
                     enqueued: Instant::now(),
                 };
-                if let Err(mut job) = shared.queue.try_push(job) {
+                if let Err(Work::Legacy(mut job)) = shared.queue.try_push(Work::Legacy(job)) {
                     shared.shed.fetch_add(1, Ordering::Relaxed);
-                    let reply = Reply::new(
-                        ReplyStatus::Busy,
-                        vec![(
-                            "service",
-                            Json::obj(vec![
-                                ("queue_depth", Json::Int(shared.queue.len() as i128)),
-                                ("queue_capacity", Json::Int(shared.queue.capacity() as i128)),
-                            ]),
-                        )],
-                    );
-                    write_reply(job.reader.get_mut(), &reply);
+                    write_reply_tracked(shared, job.reader.get_mut(), &busy_reply(shared));
                 }
             }
             Err(message) => {
                 shared.bad_requests.fetch_add(1, Ordering::Relaxed);
                 let reply = bad_request_reply(&message);
-                write_reply(reader.get_mut(), &reply);
+                write_reply_tracked(shared, reader.get_mut(), &reply);
             }
         }
     }
 }
 
-fn bad_request_reply(message: &str) -> Reply {
+/// The structured shed response, quoting the queue state that caused
+/// it. Shared by both front ends so `BUSY` bytes match.
+pub(crate) fn busy_reply(shared: &Shared) -> Reply {
+    Reply::new(
+        ReplyStatus::Busy,
+        vec![(
+            "service",
+            Json::obj(vec![
+                ("queue_depth", Json::Int(shared.queue.len() as i128)),
+                ("queue_capacity", Json::Int(shared.queue.capacity() as i128)),
+            ]),
+        )],
+    )
+}
+
+pub(crate) fn bad_request_reply(message: &str) -> Reply {
     Reply::new(
         ReplyStatus::Error,
         vec![(
@@ -533,15 +734,29 @@ fn bad_request_reply(message: &str) -> Reply {
     )
 }
 
-fn write_reply(stream: &mut TcpStream, reply: &Reply) {
-    // The client may already be gone; nothing useful to do about it.
-    let _ = stream.write_all(reply.render().as_bytes());
-    let _ = stream.flush();
+fn write_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    stream.write_all(reply.render().as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a reply on the legacy path, counting a `timeouts` tick when
+/// the socket's `SO_SNDTIMEO` deadline expires mid-write (a client
+/// that stopped reading its response). Other write failures mean the
+/// client is already gone — nothing useful to do about those.
+fn write_reply_tracked(shared: &Shared, stream: &mut TcpStream, reply: &Reply) {
+    if let Err(err) = write_reply(stream, reply) {
+        if matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A structured error reply for a failed request read, carrying the
 /// error's own `kind` tag (`timeout` or `bad-request`).
-fn request_error_reply(err: &RequestError) -> Reply {
+pub(crate) fn request_error_reply(err: &RequestError) -> Reply {
     Reply::new(
         ReplyStatus::Error,
         vec![(
@@ -554,7 +769,8 @@ fn request_error_reply(err: &RequestError) -> Reply {
     )
 }
 
-/// Serves one admitted `SOLVE` connection on a worker thread.
+/// Serves one admitted `SOLVE` connection on a legacy worker thread:
+/// parse the body off the socket, compute the reply, write it back.
 fn handle_solve(shared: &Shared, mut job: Job) {
     let queue_s = job.enqueued.elapsed().as_secs_f64();
     let request = match SolveRequest::parse_body(&mut job.reader) {
@@ -565,31 +781,35 @@ fn handle_solve(shared: &Shared, mut job: Job) {
                 RequestError::Malformed(_) => &shared.bad_requests,
             };
             counter.fetch_add(1, Ordering::Relaxed);
-            write_reply(job.reader.get_mut(), &request_error_reply(&err));
+            write_reply_tracked(shared, job.reader.get_mut(), &request_error_reply(&err));
             return;
         }
     };
+    let reply = solve_reply(shared, &request, queue_s, job.enqueued);
+    write_reply_tracked(shared, job.reader.get_mut(), &reply);
+}
+
+/// Computes the full reply for a parsed `SOLVE` request — caches, disk
+/// tier, prepare, solve, counters, metrics — without touching any
+/// socket. Both front ends call this, so their `result` bytes are
+/// identical by construction.
+fn solve_reply(shared: &Shared, request: &SolveRequest, queue_s: f64, enqueued: Instant) -> Reply {
     let problem = match parse_as(request.format, &request.problem_text) {
         Ok(problem) => problem,
         Err(err) => {
             shared.bad_requests.fetch_add(1, Ordering::Relaxed);
-            write_reply(
-                job.reader.get_mut(),
-                &bad_request_reply(&format!("problem ({}): {err}", request.format)),
-            );
-            return;
+            return bad_request_reply(&format!("problem ({}): {err}", request.format));
         }
     };
 
     let fingerprint = problem.fingerprint();
     let trace = request.trace || shared.config.trace_all;
-    let key = ResultKey::new(fingerprint, &request, trace);
+    let key = ResultKey::new(fingerprint, request, trace);
     if let Some(cached) = shared.results.get(&key) {
         let mut outcome = (*cached).clone();
         outcome.latency.stages.queue_s = queue_s;
         outcome.latency.stages.cache_hit = true;
-        respond_ok(shared, &mut job, &outcome, fingerprint, queue_s, "hit");
-        return;
+        return ok_reply(shared, &outcome, fingerprint, queue_s, enqueued, "hit");
     }
 
     // Memory miss: the disk tier is next. A validated record promotes
@@ -604,8 +824,7 @@ fn handle_solve(shared: &Shared, mut job: Job) {
             let mut outcome = outcome;
             outcome.latency.stages.queue_s = queue_s;
             outcome.latency.stages.cache_hit = true;
-            respond_ok(shared, &mut job, &outcome, fingerprint, queue_s, "disk-hit");
-            return;
+            return ok_reply(shared, &outcome, fingerprint, queue_s, enqueued, "disk-hit");
         }
     }
 
@@ -662,12 +881,7 @@ fn handle_solve(shared: &Shared, mut job: Job) {
                     }
                     Err(err) => {
                         shared.served_error.fetch_add(1, Ordering::Relaxed);
-                        let sections = error_sections(&err);
-                        write_reply(
-                            job.reader.get_mut(),
-                            &Reply::new(ReplyStatus::Error, sections),
-                        );
-                        return;
+                        return Reply::new(ReplyStatus::Error, error_sections(&err));
                     }
                 },
             }
@@ -686,27 +900,23 @@ fn handle_solve(shared: &Shared, mut job: Job) {
             }
             outcome.latency.stages.queue_s = queue_s;
             outcome.latency.stages.prepare_s = prepare_s;
-            respond_ok(shared, &mut job, &outcome, fingerprint, queue_s, cache_note);
+            ok_reply(shared, &outcome, fingerprint, queue_s, enqueued, cache_note)
         }
         Err(err) => {
             shared.served_error.fetch_add(1, Ordering::Relaxed);
-            let sections = error_sections(&err);
-            write_reply(
-                job.reader.get_mut(),
-                &Reply::new(ReplyStatus::Error, sections),
-            );
+            Reply::new(ReplyStatus::Error, error_sections(&err))
         }
     }
 }
 
-fn respond_ok(
+fn ok_reply(
     shared: &Shared,
-    job: &mut Job,
     outcome: &Outcome,
     fingerprint: u128,
     queue_s: f64,
+    enqueued: Instant,
     cache_note: &str,
-) {
+) -> Reply {
     shared.served_ok.fetch_add(1, Ordering::Relaxed);
     shared.registry.counter_add("serve.requests", 1);
     shared
@@ -714,7 +924,7 @@ fn respond_ok(
         .histogram_record("serve.queue_wait_us", (queue_s * 1e6) as u64);
     shared.registry.histogram_record(
         "serve.request_us",
-        job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
     );
     let service = Json::obj(vec![
         ("fingerprint", Json::Str(format!("{fingerprint:#034x}"))),
@@ -728,12 +938,13 @@ fn respond_ok(
     ];
     // The span tree rides in its own section so `result` stays
     // byte-identical with and without tracing. Only the deterministic
-    // render is sent: IDs and structure, no wall-clock.
+    // render is sent: IDs and structure, no wall-clock. No reactor or
+    // worker span is ever added here: the served trace must byte-match
+    // an in-process solve's tree (the determinism suite checks this).
     if let Some(tree) = &outcome.trace {
         sections.push(("trace", tree.deterministic_json()));
     }
-    let reply = Reply::new(ReplyStatus::Ok, sections);
-    write_reply(job.reader.get_mut(), &reply);
+    Reply::new(ReplyStatus::Ok, sections)
 }
 
 #[cfg(test)]

@@ -104,6 +104,7 @@ struct Options {
     trace_path: Option<String>,
     state_dir: Option<String>,
     io_timeout_ms: Option<u64>,
+    event_loop: Option<bool>,
     connect_retries: u32,
     format: Option<Format>,
     to: Option<Format>,
@@ -135,6 +136,7 @@ impl Options {
             trace_path: None,
             state_dir: None,
             io_timeout_ms: None,
+            event_loop: None,
             connect_retries: 0,
             format: None,
             to: None,
@@ -228,6 +230,8 @@ impl Options {
                             .map_err(|_| "io-timeout-ms must be an integer".to_string())?,
                     )
                 }
+                "--event-loop" => opts.event_loop = Some(true),
+                "--legacy-threads" => opts.event_loop = Some(false),
                 "--connect-retries" => {
                     opts.connect_retries = value("--connect-retries")?
                         .parse()
@@ -351,7 +355,12 @@ FLAGS:
       --deadline-ms <N>    per-request deadline for `submit`
       --state-dir <DIR>    crash-safe on-disk warm state for `serve`:
                            compiled artifacts and outcomes survive restarts
-      --io-timeout-ms <N>  per-connection socket timeout for `serve`
+      --io-timeout-ms <N>  per-connection socket timeout for `serve`,
+                           bounding stalled reads and stalled writes
+      --event-loop         `serve` with the epoll reactor front end
+                           (the default on Linux x86_64/aarch64)
+      --legacy-threads     `serve` with the blocking thread-per-
+                           connection front end
       --connect-retries <N> `submit` rides through a restarting server
                            with up to N extra connection attempts
   -o, --out <PATH>         output path for `export`"
@@ -607,6 +616,10 @@ fn cmd_serve(opts: &Options) -> ExitCode {
     if let Some(ms) = opts.io_timeout_ms {
         config = config.with_io_timeout(std::time::Duration::from_millis(ms.max(1)));
     }
+    if let Some(event_loop) = opts.event_loop {
+        config = config.with_event_loop(event_loop);
+    }
+    let event_loop = config.event_loop && rasengan::serve::EVENT_LOOP_SUPPORTED;
     let server = match serve(config) {
         Ok(server) => server,
         Err(e) => {
@@ -615,8 +628,9 @@ fn cmd_serve(opts: &Options) -> ExitCode {
         }
     };
     println!(
-        "rasengan service listening on {} ({} workers, queue {}{})",
+        "rasengan service listening on {} ({} front end, {} workers, queue {}{})",
         server.addr(),
+        if event_loop { "event-loop" } else { "threaded" },
         opts.workers,
         opts.queue,
         opts.state_dir

@@ -244,3 +244,209 @@ fn malformed_requests_get_structured_errors() {
     assert!(server.stats().bad_requests >= 4);
     server.shutdown();
 }
+
+/// A request body with one enormous garbage line. The parse error
+/// echoes the offending line back, so the reply is far larger than the
+/// kernel socket buffers — a client that stops reading turns the reply
+/// into a genuine TCP write stall.
+fn stalling_request() -> String {
+    format!(
+        "RASENGAN/1 SOLVE\nBEGIN PROBLEM\n{}\nEND PROBLEM\n",
+        "x".repeat(900 * 1024)
+    )
+}
+
+fn smallest_instance() -> String {
+    instance_texts()
+        .into_iter()
+        .map(|(_, text)| text)
+        .min_by_key(String::len)
+        .unwrap()
+}
+
+#[test]
+fn slowloris_trickle_is_served_by_the_reactor() {
+    use rasengan::serve::{submit_trickled, EVENT_LOOP_SUPPORTED};
+    if !EVENT_LOOP_SUPPORTED {
+        return;
+    }
+    // One byte every 10 ms against a 150 ms idle timeout: each byte of
+    // progress must refresh the deadline, so the request completes even
+    // though it takes ~2 s of wall clock — 13x the timeout — to arrive.
+    let server = serve(
+        ServeConfig::default()
+            .with_event_loop(true)
+            .with_io_timeout(std::time::Duration::from_millis(150)),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let request = SolveRequest::new(smallest_instance())
+        .with_seed(5)
+        .with_shots(64)
+        .with_iterations(4);
+
+    let trickled = submit_trickled(addr, &request, 1, std::time::Duration::from_millis(10))
+        .expect("trickled submit");
+    assert_eq!(trickled.status, ReplyStatus::Ok);
+    let plain = submit(addr, &request).expect("plain submit");
+    assert_eq!(
+        trickled.section("result").unwrap(),
+        plain.section("result").unwrap(),
+        "a slow client must get the same bytes as a fast one"
+    );
+    assert_eq!(server.stats().timeouts, 0, "progress must defuse the timer");
+    server.shutdown();
+}
+
+#[test]
+fn write_stall_times_out_and_closes_cleanly() {
+    use rasengan::serve::EVENT_LOOP_SUPPORTED;
+    use std::io::Write;
+    if !EVENT_LOOP_SUPPORTED {
+        return;
+    }
+    // The pinned send buffer keeps the kernel from absorbing the huge
+    // reply into an autotuned multi-megabyte buffer — the reply must
+    // actually stall against the non-reading client.
+    let server = serve(
+        ServeConfig::default()
+            .with_event_loop(true)
+            .with_io_timeout(std::time::Duration::from_millis(300))
+            .with_send_buffer_bytes(16 * 1024),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Send the stall-inducing request, then never read the reply. The
+    // socket stays open (a close would fail the server's writes fast
+    // with a reset instead of stalling them).
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(stalling_request().as_bytes()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    // The reactor must notice the stalled write, attribute a timeout,
+    // and drop the connection — all without wedging the loop.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.timeouts >= 1 && stats.conns_open == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "write stall never timed out: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The loop is still healthy: a well-behaved client gets served.
+    let reply = submit(
+        addr,
+        &SolveRequest::new(smallest_instance())
+            .with_seed(2)
+            .with_shots(64)
+            .with_iterations(4),
+    )
+    .expect("follow-up submit");
+    assert_eq!(reply.status, ReplyStatus::Ok);
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn legacy_write_timeout_frees_the_worker() {
+    use rasengan::serve::EVENT_LOOP_SUPPORTED;
+    use std::io::Write;
+    // The `SO_SNDBUF` pin this test depends on rides the same raw
+    // syscall shim as the reactor; without it the kernel absorbs the
+    // reply and there is nothing to time out.
+    if !EVENT_LOOP_SUPPORTED {
+        return;
+    }
+    // The threaded front end writes replies from its only worker; a
+    // client that stops reading a huge reply must hit `SO_SNDTIMEO`,
+    // count a timeout, and release the worker for the next request —
+    // not pin it for the client's lifetime.
+    let server = serve(
+        ServeConfig::default()
+            .with_event_loop(false)
+            .with_workers(1)
+            .with_io_timeout(std::time::Duration::from_millis(300))
+            .with_send_buffer_bytes(16 * 1024),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(stalling_request().as_bytes()).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    // Give the worker a moment to start (and stall) the reply write.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // Blocks behind the stalled worker until the write timeout frees
+    // it; succeeding at all is the regression being tested.
+    let reply = submit(
+        addr,
+        &SolveRequest::new(smallest_instance())
+            .with_seed(3)
+            .with_shots(64)
+            .with_iterations(4),
+    )
+    .expect("follow-up submit");
+    assert_eq!(reply.status, ReplyStatus::Ok);
+    assert!(
+        server.stats().timeouts >= 1,
+        "the stalled write must be counted as a timeout"
+    );
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_cheap_for_the_reactor() {
+    use rasengan::serve::EVENT_LOOP_SUPPORTED;
+    if !EVENT_LOOP_SUPPORTED {
+        return;
+    }
+    // 512 connections that never send a byte: the reactor carries them
+    // as table entries, not threads, so solves proceed unimpeded.
+    let server = serve(ServeConfig::default().with_event_loop(true).with_workers(2)).unwrap();
+    let addr = server.addr();
+
+    let idle: Vec<std::net::TcpStream> = (0..512)
+        .map(|_| std::net::TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.stats().conns_open < 512 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reactor never registered the idle connections: {}",
+            server.stats().conns_open
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let reply = submit(
+        addr,
+        &SolveRequest::new(smallest_instance())
+            .with_seed(4)
+            .with_shots(64)
+            .with_iterations(4),
+    )
+    .expect("submit with 512 idle connections held");
+    assert_eq!(reply.status, ReplyStatus::Ok);
+    assert!(server.stats().conns_open >= 512);
+
+    // Dropping the clients must drain the table.
+    drop(idle);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.stats().conns_open > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle connections never drained: {}",
+            server.stats().conns_open
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.shutdown();
+}
