@@ -22,6 +22,14 @@
 //! `BENCH_loadgen.{csv,json}` plus the warm-restart metrics as
 //! `BENCH_persist.{csv,json}` under `target/rasengan-reports/`.
 //!
+//! Passing `--nodes N` runs the multi-node fabric arm instead: an
+//! in-process N-node cluster (consistent-hash routing, gossip
+//! membership) fields the cold corpus with requests entering
+//! round-robin at every node, every `result` is asserted
+//! byte-identical to a single-node baseline, and throughput per node
+//! count lands in `BENCH_fabric.json`. Under `--full` the 2-node arm
+//! must clear a ≥1.6× throughput floor.
+//!
 //! Passing `--replay` runs the deterministic workload-replay mode
 //! instead (see [`rasengan_bench::replay`]): a seeded manifest of
 //! Poisson arrivals mixed over the full 32-id corpus is executed twice
@@ -35,8 +43,8 @@ use rasengan_obs::metrics::{try_global, Histogram};
 use rasengan_problems::io::write_problem;
 use rasengan_problems::registry::{benchmark, BenchmarkId};
 use rasengan_serve::{
-    serve, submit, submit_trickled, HeldConnection, ReplyStatus, ServeConfig, SolveRequest,
-    EVENT_LOOP_SUPPORTED,
+    serve, submit, submit_trickled, FabricConfig, HeldConnection, ReplyStatus, ServeConfig,
+    SolveRequest, EVENT_LOOP_SUPPORTED,
 };
 use std::time::{Duration, Instant};
 
@@ -438,11 +446,229 @@ fn run_evloop(settings: &RunSettings, max_conns: usize) {
     }
 }
 
+/// Submits `corpus` request indices round-robin over `addrs` from
+/// `clients` threads and returns `(index, result_bytes)` pairs plus the
+/// wall-clock seconds the whole sweep took. Panics on any non-OK reply.
+fn fabric_sweep(
+    addrs: &[std::net::SocketAddr],
+    requests: &[SolveRequest],
+    clients: usize,
+) -> (Vec<(usize, String)>, f64) {
+    let started = Instant::now();
+    let results: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for idx in (client..requests.len()).step_by(clients) {
+                        // Entry node rotates with the request index, so
+                        // every node fields both owned and forwarded
+                        // work.
+                        let addr = addrs[idx % addrs.len()];
+                        let reply = submit(addr, &requests[idx]).expect("fabric submit");
+                        assert_eq!(
+                            reply.status,
+                            ReplyStatus::Ok,
+                            "fabric solve failed for request #{idx}"
+                        );
+                        out.push((idx, reply.section("result").expect("result").to_string()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    (results, started.elapsed().as_secs_f64())
+}
+
+/// The `--nodes N` arm: an in-process N-node fabric versus a single
+/// node on the same corpus.
+///
+/// One single-node server first solves the whole corpus — that is both
+/// the throughput baseline and the byte-identity oracle. Then N
+/// fabric-joined servers (consistent-hash routing, gossip membership)
+/// field the same corpus with requests entering round-robin at every
+/// node, so roughly (N-1)/N of them arrive at a non-owner and cross
+/// the wire. Every `result` section must be byte-identical to the
+/// single-node solve regardless of entry node. Saves
+/// `BENCH_fabric.{csv,json}`; under `--full` the 2-node arm must clear
+/// a ≥1.6× throughput floor over the baseline (fast mode records the
+/// ratio without gating, since CI containers may have a single CPU).
+fn run_fabric(settings: &RunSettings, nodes: usize) {
+    assert!(
+        (2..=8).contains(&nodes),
+        "--nodes wants 2..=8 (got {nodes})"
+    );
+    let ids = ["F2", "J2", "S2", "K2", "G2"];
+    let seeds_per_id: u64 = if settings.full { 6 } else { 2 };
+    let clients = 4usize;
+    let mut labels = Vec::new();
+    let mut requests = Vec::new();
+    for id in ids {
+        for seed in 0..seeds_per_id {
+            labels.push(format!("{id}/{seed}"));
+            requests.push(request_for(id, seed, settings));
+        }
+    }
+
+    let mut table = Table::new(
+        "fabric: multi-node throughput and byte-identity",
+        vec![
+            "nodes",
+            "requests",
+            "ok",
+            "mismatches",
+            "forwards",
+            "remote_hits",
+            "ring_version",
+            "throughput/s",
+            "speedup",
+            "p50_ms",
+        ],
+    );
+
+    // --- single-node baseline: the byte-identity oracle.
+    let mut config = ServeConfig::default();
+    if let Some(threads) = settings.threads {
+        config = config.with_solver_threads(threads);
+    }
+    let baseline_server = serve(config).expect("bind ephemeral port");
+    let (mut baseline, baseline_wall) = fabric_sweep(&[baseline_server.addr()], &requests, clients);
+    baseline.sort_by_key(|(idx, _)| *idx);
+    let baseline_tps = requests.len() as f64 / baseline_wall;
+    baseline_server.shutdown();
+    table.row(vec![
+        "1".into(),
+        requests.len().to_string(),
+        baseline.len().to_string(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        fmt(baseline_tps),
+        fmt(1.0),
+        fmt(baseline_wall * 1000.0 / requests.len() as f64),
+    ]);
+
+    // --- N-node cluster: node i seeds its peer list with every node
+    // bound before it; gossip closes the rest of the mesh.
+    let mut servers = Vec::new();
+    let mut addrs: Vec<std::net::SocketAddr> = Vec::new();
+    for i in 0..nodes {
+        let fabric = FabricConfig::new(format!("loadgen-n{i}"))
+            .with_seed(settings.seed + i as u64)
+            .with_peers(addrs.iter().map(|a| a.to_string()).collect())
+            .with_heartbeat(Duration::from_millis(50));
+        let mut config = ServeConfig::default().with_fabric(fabric);
+        if let Some(threads) = settings.threads {
+            config = config.with_solver_threads(threads);
+        }
+        let server = serve(config).expect("bind ephemeral port");
+        addrs.push(server.addr());
+        servers.push(server);
+    }
+    // Wait for the mesh to converge: every node must count all N
+    // members (self included) alive before the sweep, or early
+    // requests would be routed on partial rings (correct, but noisy
+    // for the benchmark).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while servers
+        .iter()
+        .any(|s| (s.stats().fabric.members_alive as usize) < nodes)
+    {
+        assert!(
+            Instant::now() < deadline,
+            "fabric membership did not converge within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (mut cluster, cluster_wall) = fabric_sweep(&addrs, &requests, clients);
+    cluster.sort_by_key(|(idx, _)| *idx);
+    let mut mismatches = 0usize;
+    for ((idx, bytes), (_, expected)) in cluster.iter().zip(&baseline) {
+        if bytes != expected {
+            mismatches += 1;
+            println!("fabric: BYTE MISMATCH on {}", labels[*idx]);
+        }
+    }
+    let mut forwards = 0u64;
+    let mut remote_hits = 0u64;
+    let mut ring_version = 0u64;
+    for server in &servers {
+        let fabric = server.stats().fabric;
+        forwards += fabric.forwards_out;
+        remote_hits += fabric.remote_hits;
+        ring_version = ring_version.max(fabric.ring_version);
+    }
+    for server in servers {
+        server.shutdown();
+    }
+    let cluster_tps = requests.len() as f64 / cluster_wall;
+    let speedup = cluster_tps / baseline_tps;
+    table.row(vec![
+        nodes.to_string(),
+        requests.len().to_string(),
+        cluster.len().to_string(),
+        mismatches.to_string(),
+        forwards.to_string(),
+        remote_hits.to_string(),
+        ring_version.to_string(),
+        fmt(cluster_tps),
+        fmt(speedup),
+        fmt(cluster_wall * 1000.0 / requests.len() as f64),
+    ]);
+
+    table.print();
+    if let Ok(p) = table.save_csv("fabric") {
+        println!("saved: {}", p.display());
+    }
+    if let Ok(p) = table.save_json("BENCH_fabric") {
+        println!("saved: {}", p.display());
+    }
+
+    assert_eq!(
+        mismatches, 0,
+        "fabric replies must be byte-identical to the single-node solve"
+    );
+    assert!(
+        forwards > 0,
+        "round-robin entry must forward at least one request"
+    );
+    println!(
+        "fabric: {} requests over {nodes} nodes, {forwards} forwarded, \
+         speedup {:.2}x vs single node",
+        requests.len(),
+        speedup
+    );
+    if settings.full && nodes == 2 {
+        assert!(
+            speedup >= 1.6,
+            "2-node fabric must reach >=1.6x single-node throughput (got {speedup:.2}x)"
+        );
+    }
+}
+
 fn main() {
     let settings = RunSettings::from_args();
     if std::env::args().any(|a| a == "--replay") {
         run_replay(&settings);
         return;
+    }
+    {
+        let args: Vec<String> = std::env::args().collect();
+        if let Some(i) = args.iter().position(|a| a == "--nodes") {
+            let nodes = args
+                .get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--nodes N");
+            run_fabric(&settings, nodes);
+            return;
+        }
     }
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--connections") {

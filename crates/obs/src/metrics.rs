@@ -174,6 +174,20 @@ impl Registry {
         }
     }
 
+    /// Raises the counter to `max(current, value)` — for mirroring a
+    /// monotone counter owned elsewhere (e.g. a per-node atomic) into
+    /// the registry without tracking deltas. Mirrors taken from stale
+    /// snapshots can never move the counter backwards.
+    pub fn counter_max(&self, name: &str, value: u64) {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard.counters.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                shard.counters.insert(name.to_string(), value);
+            }
+        }
+    }
+
     pub fn counter(&self, name: &str) -> u64 {
         self.shard(name)
             .lock()
@@ -288,6 +302,23 @@ pub fn try_global() -> Option<&'static Registry> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_max_is_monotone() {
+        let r = Registry::new();
+        r.counter_max("fabric.forwards_out", 5);
+        assert_eq!(r.counter("fabric.forwards_out"), 5);
+        // A stale (smaller) mirror never rewinds the counter…
+        r.counter_max("fabric.forwards_out", 3);
+        assert_eq!(r.counter("fabric.forwards_out"), 5);
+        // …and a fresher one advances it.
+        r.counter_max("fabric.forwards_out", 9);
+        assert_eq!(r.counter("fabric.forwards_out"), 9);
+        // Mixing with counter_add keeps the max semantics.
+        r.counter_add("fabric.forwards_out", 1);
+        r.counter_max("fabric.forwards_out", 4);
+        assert_eq!(r.counter("fabric.forwards_out"), 10);
+    }
 
     #[test]
     fn buckets_are_powers_of_two() {

@@ -17,11 +17,16 @@ const DEFAULT_TIMEOUT: Duration = Duration::from_secs(120);
 /// connections for a moment, and a retrying client rides through and
 /// observes the restart-to-warm transition end-to-end.
 ///
-/// Only connection-level failures (refused, reset, aborted) are
-/// retried. Anything after a connection is established — a malformed
-/// reply, a server-side error, a read timeout — is returned
-/// immediately: the request may have been acted on, and replaying it
-/// is the caller's decision.
+/// Only connection-level failures are retried: refused, reset, and
+/// aborted (a server bouncing), plus the timed-out and unreachable
+/// kinds a dead or partitioned peer produces — a fabric node that
+/// just went dark looks like `TimedOut`/`HostUnreachable`, not
+/// `ConnectionRefused`. These all mean no connection was usefully
+/// established, so replaying is safe. Anything after a connection is
+/// established — a malformed reply, a server-side error, a read
+/// timeout surfacing as `WouldBlock` — is returned immediately: the
+/// request may have been acted on, and replaying it is the caller's
+/// decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total connection attempts (1 = no retries).
@@ -67,6 +72,14 @@ impl RetryPolicy {
             std::io::ErrorKind::ConnectionRefused
                 | std::io::ErrorKind::ConnectionReset
                 | std::io::ErrorKind::ConnectionAborted
+                // A dead or partitioned peer: the connect attempt
+                // timed out or routing reported the host/network
+                // unreachable. (An expired *read* deadline on an
+                // established Unix socket surfaces as `WouldBlock`,
+                // which stays non-retryable.)
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::HostUnreachable
+                | std::io::ErrorKind::NetworkUnreachable
         )
     }
 }
@@ -312,20 +325,47 @@ mod tests {
         // …then the cap holds forever, including absurd retry counts.
         assert_eq!(policy.delay(3), Duration::from_millis(45));
         assert_eq!(policy.delay(1000), Duration::from_millis(45));
-        // Only connection-level failures are retryable.
+    }
+
+    #[test]
+    fn retryable_error_classes_cover_dead_peers() {
+        // Server-bounce classes: refused (nothing listening yet),
+        // reset and aborted (listener went away mid-handshake).
         for kind in [
             std::io::ErrorKind::ConnectionRefused,
             std::io::ErrorKind::ConnectionReset,
             std::io::ErrorKind::ConnectionAborted,
         ] {
-            assert!(RetryPolicy::should_retry(&std::io::Error::from(kind)));
+            assert!(
+                RetryPolicy::should_retry(&std::io::Error::from(kind)),
+                "{kind:?} must be retryable"
+            );
         }
+        // Dead-peer classes: a host that stopped answering makes the
+        // connect attempt time out; a partition makes routing report
+        // the host or network unreachable.
+        for kind in [
+            std::io::ErrorKind::TimedOut,
+            std::io::ErrorKind::HostUnreachable,
+            std::io::ErrorKind::NetworkUnreachable,
+        ] {
+            assert!(
+                RetryPolicy::should_retry(&std::io::Error::from(kind)),
+                "{kind:?} must be retryable (dead peer)"
+            );
+        }
+        // Post-connection failures stay non-retryable: the request may
+        // already have been acted on.
         for kind in [
             std::io::ErrorKind::InvalidData,
-            std::io::ErrorKind::TimedOut,
             std::io::ErrorKind::WouldBlock,
+            std::io::ErrorKind::BrokenPipe,
+            std::io::ErrorKind::UnexpectedEof,
         ] {
-            assert!(!RetryPolicy::should_retry(&std::io::Error::from(kind)));
+            assert!(
+                !RetryPolicy::should_retry(&std::io::Error::from(kind)),
+                "{kind:?} must not be retryable"
+            );
         }
     }
 

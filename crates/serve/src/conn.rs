@@ -28,8 +28,10 @@ use crate::protocol::{IncrementalParser, ParseProgress, Reply, RequestError};
 
 /// Where a connection is in its request/response lifecycle.
 pub(crate) enum ConnState {
-    /// Accumulating request bytes into the incremental parser.
-    Reading(IncrementalParser),
+    /// Accumulating request bytes into the incremental parser. Boxed:
+    /// the parser carries per-verb accumulators (solve body, gossip
+    /// member table) that dwarf the payload-free states.
+    Reading(Box<IncrementalParser>),
     /// Request handed to the worker pool; socket quiescent.
     Solving,
     /// Draining the rendered reply.
@@ -96,7 +98,7 @@ impl Conn {
     pub(crate) fn new(stream: TcpStream) -> Conn {
         Conn {
             stream,
-            state: ConnState::Reading(IncrementalParser::new()),
+            state: ConnState::Reading(Box::default()),
             out: Vec::new(),
             written: 0,
             interest: None,

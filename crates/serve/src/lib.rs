@@ -11,6 +11,7 @@
 //! | [`cache`] | sharded LRU for finished outcomes and compiled artifacts |
 //! | [`persist`] | crash-safe on-disk warm-state tier: versioned records, quarantine, recovery |
 //! | [`client`] | blocking submit/stats/ping helpers |
+//! | [`fabric`] | multi-node fabric: consistent-hash ring, single-hop forwarding, gossip membership |
 //! | [`json`] | canonical JSON writer + small parser |
 //!
 //! The design contract, inherited from the repo's determinism
@@ -45,6 +46,7 @@ pub mod client;
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
 pub(crate) mod conn;
+pub mod fabric;
 pub mod json;
 pub mod persist;
 pub mod protocol;
@@ -63,6 +65,7 @@ pub mod sys;
 pub use client::{
     ping, stats, submit, submit_trickled, submit_with_retry, HeldConnection, RetryPolicy,
 };
+pub use fabric::{key_point, Fabric, FabricConfig, FabricStats, Ring, DEFAULT_VNODES};
 pub use json::Json;
 pub use persist::{OutcomeKey, Persist, PersistStats, StorageFault, StorageFaultPlan};
 pub use protocol::{

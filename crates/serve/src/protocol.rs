@@ -112,6 +112,8 @@ pub enum Verb {
     Stats,
     /// Liveness check.
     Ping,
+    /// Fabric membership exchange (push-pull heartbeat).
+    Gossip,
 }
 
 /// Parses the first request line (`RASENGAN/1 <VERB>`).
@@ -126,9 +128,179 @@ pub fn parse_verb(line: &str) -> Result<Verb, String> {
         Some("SOLVE") => Ok(Verb::Solve),
         Some("STATS") => Ok(Verb::Stats),
         Some("PING") => Ok(Verb::Ping),
+        Some("GOSSIP") => Ok(Verb::Gossip),
         Some(other) => Err(format!("unknown verb `{other}`")),
         None => Err("missing verb".to_string()),
     }
+}
+
+/// A member's health as carried on the gossip wire. The fabric's
+/// suspicion state machine owns the transitions; the wire only names
+/// the three states so receivers can merge remote views.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GossipState {
+    /// Heard from recently.
+    Alive,
+    /// Quiet past the suspect timeout; still in the ring.
+    Suspect,
+    /// Quiet past the dead timeout; out of the ring.
+    Dead,
+}
+
+impl GossipState {
+    /// The wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            GossipState::Alive => "alive",
+            GossipState::Suspect => "suspect",
+            GossipState::Dead => "dead",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn parse(token: &str) -> Option<GossipState> {
+        match token {
+            "alive" => Some(GossipState::Alive),
+            "suspect" => Some(GossipState::Suspect),
+            "dead" => Some(GossipState::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// One member row in a gossip exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GossipMember {
+    /// Stable node id (no whitespace).
+    pub id: String,
+    /// Address peers dial to reach the node (no whitespace).
+    pub addr: String,
+    /// Sender's view of the member's health.
+    pub state: GossipState,
+}
+
+/// Ceiling on member rows in one gossip message; a hostile peer cannot
+/// grow a receiver's membership table without bound.
+pub const MAX_GOSSIP_MEMBERS: usize = 1024;
+
+/// A membership exchange: the sender introduces itself and shares its
+/// member table; the receiver merges it and replies with its own view
+/// in a `gossip` response section (push-pull anti-entropy).
+///
+/// ```text
+/// RASENGAN/1 GOSSIP
+/// from <node-id> <addr>
+/// member <node-id> <addr> <alive|suspect|dead>
+/// END GOSSIP
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GossipMessage {
+    /// Sender's node id.
+    pub from_id: String,
+    /// Sender's advertised address.
+    pub from_addr: String,
+    /// Sender's member table (usually includes itself).
+    pub members: Vec<GossipMember>,
+}
+
+impl GossipMessage {
+    /// Renders the full request text (verb line through `END GOSSIP`).
+    pub fn render(&self) -> String {
+        let mut out = format!("{PROTOCOL} GOSSIP\n");
+        out.push_str(&format!("from {} {}\n", self.from_id, self.from_addr));
+        for member in &self.members {
+            out.push_str(&format!(
+                "member {} {} {}\n",
+                member.id,
+                member.addr,
+                member.state.token()
+            ));
+        }
+        out.push_str("END GOSSIP\n");
+        out
+    }
+
+    /// Parses the remainder of a `GOSSIP` request (everything after the
+    /// verb line) from a buffered reader.
+    pub fn parse_body<R: BufRead>(reader: &mut R) -> Result<GossipMessage, RequestError> {
+        let mut accum = GossipAccum::default();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(RequestError::from_io)?;
+            if n == 0 {
+                return Err(RequestError::Malformed(
+                    "gossip ended before END GOSSIP".to_string(),
+                ));
+            }
+            if apply_gossip_line(&mut accum, line.trim())? == GossipLine::End {
+                return accum.finish();
+            }
+        }
+    }
+}
+
+/// Accumulates gossip lines; shared by the blocking reader and the
+/// incremental parser so both front ends accept identical messages.
+#[derive(Debug, Default)]
+struct GossipAccum {
+    from: Option<(String, String)>,
+    members: Vec<GossipMember>,
+}
+
+impl GossipAccum {
+    fn finish(self) -> Result<GossipMessage, RequestError> {
+        let (from_id, from_addr) = self
+            .from
+            .ok_or_else(|| RequestError::Malformed("gossip missing `from` line".to_string()))?;
+        Ok(GossipMessage {
+            from_id,
+            from_addr,
+            members: self.members,
+        })
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GossipLine {
+    Row,
+    End,
+}
+
+fn apply_gossip_line(accum: &mut GossipAccum, trimmed: &str) -> Result<GossipLine, RequestError> {
+    if trimmed.is_empty() {
+        return Ok(GossipLine::Row);
+    }
+    if trimmed == "END GOSSIP" {
+        return Ok(GossipLine::End);
+    }
+    let words: Vec<&str> = trimmed.split_whitespace().collect();
+    match words.as_slice() {
+        ["from", id, addr] => {
+            accum.from = Some((id.to_string(), addr.to_string()));
+        }
+        ["member", id, addr, state] => {
+            if accum.members.len() >= MAX_GOSSIP_MEMBERS {
+                return Err(RequestError::Malformed(format!(
+                    "gossip exceeds {MAX_GOSSIP_MEMBERS} members"
+                )));
+            }
+            let state = GossipState::parse(state).ok_or_else(|| {
+                RequestError::Malformed(format!("unknown gossip state `{state}`"))
+            })?;
+            accum.members.push(GossipMember {
+                id: id.to_string(),
+                addr: addr.to_string(),
+                state,
+            });
+        }
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad gossip line `{trimmed}`"
+            )))
+        }
+    }
+    Ok(GossipLine::Row)
 }
 
 /// A solve request: the problem text plus the training knobs the
@@ -161,6 +333,12 @@ pub struct SolveRequest {
     /// gains a `trace` section carrying the solve's deterministic span
     /// tree.
     pub trace: bool,
+    /// Fabric hop marker (`via` header): the node id of the peer that
+    /// forwarded this request. A request carrying `via` is never
+    /// forwarded again, bounding fabric routing to a single hop. Like
+    /// `batch`, it cannot change solve results and is absent from the
+    /// result-cache key.
+    pub via: Option<String>,
     /// Input format of the problem body (`format` header; default
     /// `native`). The server lowers every format into the same
     /// canonical [`Problem`](rasengan_problems::Problem) before
@@ -194,6 +372,7 @@ impl SolveRequest {
             deadline_ms: None,
             batch: None,
             trace: false,
+            via: None,
             format: Format::Native,
         }
     }
@@ -243,6 +422,13 @@ impl SolveRequest {
     /// Requests a structured trace of the solve.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Marks the request as forwarded by the named fabric node, so the
+    /// receiver serves it locally instead of forwarding again.
+    pub fn with_via(mut self, node_id: impl Into<String>) -> Self {
+        self.via = Some(node_id.into());
         self
     }
 
@@ -303,6 +489,9 @@ impl SolveRequest {
         }
         if self.trace {
             out.push_str("trace\n");
+        }
+        if let Some(via) = &self.via {
+            out.push_str(&format!("via {via}\n"));
         }
         if self.format != Format::Native {
             out.push_str(&format!("format {}\n", self.format.token()));
@@ -408,6 +597,14 @@ fn apply_header_line(
         }
         "degrade" => request.degrade = true,
         "trace" => request.trace = true,
+        "via" => {
+            if value.is_empty() || value.contains(char::is_whitespace) {
+                return Err(RequestError::Malformed(
+                    "header `via` wants a single node id".to_string(),
+                ));
+            }
+            request.via = Some(value.to_string());
+        }
         "format" => {
             request.format = Format::parse(value).ok_or_else(|| {
                 RequestError::Malformed(format!(
@@ -462,6 +659,8 @@ pub enum ParseProgress {
     Verb(Verb),
     /// A complete `SOLVE` request.
     Request(Box<SolveRequest>),
+    /// A complete `GOSSIP` exchange.
+    Gossip(Box<GossipMessage>),
 }
 
 /// Ceiling on bytes buffered for one request. The body cap is enforced
@@ -474,6 +673,7 @@ enum ParseState {
     Verb,
     Headers,
     Body,
+    Gossip,
     Done,
 }
 
@@ -494,6 +694,7 @@ pub struct IncrementalParser {
     state: ParseState,
     request: SolveRequest,
     problem: String,
+    gossip: GossipAccum,
     verb: Option<Verb>,
 }
 
@@ -512,6 +713,7 @@ impl IncrementalParser {
             state: ParseState::Verb,
             request: SolveRequest::new(String::new()),
             problem: String::new(),
+            gossip: GossipAccum::default(),
             verb: None,
         }
     }
@@ -556,6 +758,9 @@ impl IncrementalParser {
                 ParseState::Body => {
                     RequestError::Malformed("request ended before END PROBLEM".to_string())
                 }
+                ParseState::Gossip => {
+                    RequestError::Malformed("gossip ended before END GOSSIP".to_string())
+                }
                 ParseState::Done => RequestError::Malformed("request already complete".to_string()),
             }),
             progress => Ok(progress),
@@ -590,6 +795,7 @@ impl IncrementalParser {
                     self.scan = end;
                     match verb {
                         Verb::Solve => self.state = ParseState::Headers,
+                        Verb::Gossip => self.state = ParseState::Gossip,
                         Verb::Stats | Verb::Ping => {
                             self.state = ParseState::Done;
                             return Ok(ParseProgress::Verb(verb));
@@ -612,6 +818,15 @@ impl IncrementalParser {
                             std::mem::replace(&mut self.request, SolveRequest::new(String::new()));
                         request.problem_text = std::mem::take(&mut self.problem);
                         return Ok(ParseProgress::Request(Box::new(request)));
+                    }
+                }
+                ParseState::Gossip => {
+                    let outcome = apply_gossip_line(&mut self.gossip, line.trim())?;
+                    self.scan = end;
+                    if outcome == GossipLine::End {
+                        self.state = ParseState::Done;
+                        let accum = std::mem::take(&mut self.gossip);
+                        return Ok(ParseProgress::Gossip(Box::new(accum.finish()?)));
                     }
                 }
                 ParseState::Done => return Ok(ParseProgress::More),
@@ -1191,6 +1406,83 @@ mod tests {
             }
         }
         assert!(err.unwrap().message().contains("problem body exceeds"));
+    }
+
+    #[test]
+    fn via_header_round_trips_and_is_single_token() {
+        let request = SolveRequest::new("vars 1\n").with_via("node-a");
+        assert!(request.render().lines().any(|l| l == "via node-a"));
+        let rest = request.render();
+        let rest = rest.split_once('\n').unwrap().1;
+        let parsed = SolveRequest::parse_body(&mut BufReader::new(rest.as_bytes())).unwrap();
+        assert_eq!(parsed.via.as_deref(), Some("node-a"));
+        // Absent the header, the rendered request is unchanged from the
+        // pre-fabric protocol.
+        let plain = SolveRequest::new("vars 1\n");
+        assert!(!plain.render().contains("via"));
+        // A multi-token or empty via is a protocol error.
+        for bad in ["via two words\n", "via\n"] {
+            let text = format!("{bad}BEGIN PROBLEM\nEND PROBLEM\n");
+            let mut reader = BufReader::new(text.as_bytes());
+            assert!(SolveRequest::parse_body(&mut reader).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn gossip_round_trips_blocking_and_incremental() {
+        let message = GossipMessage {
+            from_id: "n0".to_string(),
+            from_addr: "127.0.0.1:4100".to_string(),
+            members: vec![
+                GossipMember {
+                    id: "n0".to_string(),
+                    addr: "127.0.0.1:4100".to_string(),
+                    state: GossipState::Alive,
+                },
+                GossipMember {
+                    id: "n1".to_string(),
+                    addr: "127.0.0.1:4101".to_string(),
+                    state: GossipState::Suspect,
+                },
+                GossipMember {
+                    id: "n2".to_string(),
+                    addr: "127.0.0.1:4102".to_string(),
+                    state: GossipState::Dead,
+                },
+            ],
+        };
+        let text = message.render();
+        let mut lines = text.lines();
+        assert_eq!(parse_verb(lines.next().unwrap()).unwrap(), Verb::Gossip);
+        let rest = text.split_once('\n').unwrap().1;
+        let parsed = GossipMessage::parse_body(&mut BufReader::new(rest.as_bytes())).unwrap();
+        assert_eq!(parsed, message);
+        // The incremental parser yields the same message byte-for-byte.
+        match drip(&text).unwrap() {
+            ParseProgress::Gossip(parsed) => assert_eq!(*parsed, message),
+            other => panic!("unexpected progress {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_gossip_is_rejected() {
+        // Missing `from` line.
+        let mut reader = BufReader::new("member a b alive\nEND GOSSIP\n".as_bytes());
+        let err = GossipMessage::parse_body(&mut reader).unwrap_err();
+        assert!(err.message().contains("from"), "{err}");
+        // Unknown state token.
+        let mut reader = BufReader::new("from a b\nmember a b zombie\nEND GOSSIP\n".as_bytes());
+        assert!(GossipMessage::parse_body(&mut reader).is_err());
+        // Truncated stream (both paths agree on the wording).
+        let mut reader = BufReader::new("from a b\n".as_bytes());
+        let err = GossipMessage::parse_body(&mut reader).unwrap_err();
+        assert!(err.message().contains("END GOSSIP"), "{err}");
+        let err = drip("RASENGAN/1 GOSSIP\nfrom a b\n").unwrap_err();
+        assert!(err.message().contains("END GOSSIP"), "{err}");
+        // A junk line is named in the error.
+        let mut reader = BufReader::new("from a b\npeers everywhere\n".as_bytes());
+        let err = GossipMessage::parse_body(&mut reader).unwrap_err();
+        assert!(err.message().contains("peers"), "{err}");
     }
 
     #[test]

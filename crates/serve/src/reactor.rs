@@ -358,15 +358,26 @@ impl Reactor {
                 let reply = Reply::new(ReplyStatus::Ok, vec![("stats", self.shared.stats_json())]);
                 self.start_write(token, &reply);
             }
-            // `SOLVE` never surfaces as a bare verb — the parser rolls
-            // on into headers — but the arm must exist; treat it as a
-            // request that ended early, like the blocking reader would.
+            // `SOLVE`/`GOSSIP` never surface as bare verbs — the
+            // parser rolls on into their bodies — but the arms must
+            // exist; treat them as requests that ended early, like the
+            // blocking reader would.
             ParseProgress::Verb(Verb::Solve) => {
                 self.shared.bad_requests.fetch_add(1, Ordering::Relaxed);
                 self.start_write(
                     token,
                     &bad_request_reply("request ended before BEGIN PROBLEM"),
                 );
+            }
+            ParseProgress::Verb(Verb::Gossip) => {
+                self.shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                self.start_write(token, &bad_request_reply("gossip ended before END GOSSIP"));
+            }
+            // Membership exchanges are answered inline like STATS, so
+            // a node whose solve queue is saturated still heartbeats.
+            ParseProgress::Gossip(message) => {
+                let reply = crate::server::gossip_reply(&self.shared, &message);
+                self.start_write(token, &reply);
             }
             ParseProgress::Request(request) => self.submit(token, request),
         }

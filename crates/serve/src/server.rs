@@ -69,11 +69,12 @@ use rasengan_problems::ingest::parse_as;
 use rasengan_qsim::parallel::BoundedQueue;
 
 use crate::cache::ShardedLru;
+use crate::fabric::{Fabric, FabricConfig, FabricStats};
 use crate::json::Json;
 use crate::persist::{OutcomeKey, Persist, PersistStats, StorageFaultPlan};
 use crate::protocol::{
-    error_sections, outcome_json, parse_verb, timing_json, Reply, ReplyStatus, RequestError,
-    SolveRequest, Verb,
+    error_sections, outcome_json, parse_verb, timing_json, GossipMessage, Reply, ReplyStatus,
+    RequestError, SolveRequest, Verb,
 };
 
 /// Service tuning knobs.
@@ -116,6 +117,11 @@ pub struct ServeConfig {
     /// bounding per-connection kernel memory. `None` leaves the
     /// kernel's autotuning in charge. Linux-only; ignored elsewhere.
     pub send_buffer_bytes: Option<u32>,
+    /// Join a multi-node solve fabric ([`crate::fabric`]): requests
+    /// whose fingerprint hashes to another live member are forwarded
+    /// there over the line protocol, so every node's caches compose.
+    /// `None` keeps the node standalone.
+    pub fabric: Option<FabricConfig>,
 }
 
 /// Whether the epoll reactor front end can run on this target (the
@@ -140,6 +146,7 @@ impl Default for ServeConfig {
             storage_faults: None,
             event_loop: EVENT_LOOP_SUPPORTED,
             send_buffer_bytes: None,
+            fabric: None,
         }
     }
 }
@@ -210,6 +217,12 @@ impl ServeConfig {
     /// Pins each accepted socket's kernel send buffer (`SO_SNDBUF`).
     pub fn with_send_buffer_bytes(mut self, bytes: u32) -> Self {
         self.send_buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Joins the multi-node solve fabric described by `fabric`.
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = Some(fabric);
         self
     }
 }
@@ -337,6 +350,12 @@ pub(crate) struct Shared {
     pub(crate) loop_iterations: AtomicU64,
     results: ShardedLru<ResultKey, Arc<Outcome>>,
     compiles: ShardedLru<u128, Arc<Prepared>>,
+    /// Read-through copies of forwarded replies: the owner's sections
+    /// (minus `service`), cached verbatim so a repeat request on this
+    /// non-owner node answers locally with byte-identical `result`.
+    remote: ShardedLru<ResultKey, Arc<Vec<(String, String)>>>,
+    /// The multi-node fabric state, when the config joins one.
+    pub(crate) fabric: Option<Arc<Fabric>>,
     /// The on-disk warm-state tier, when `--state-dir` is set.
     persist: Option<Persist>,
     /// The workers' route back to the reactor; `None` on the legacy
@@ -395,6 +414,8 @@ pub struct ServeStats {
     pub loop_iterations: u64,
     /// Disk-tier counters (all zero when no state dir is configured).
     pub persist: PersistStats,
+    /// Fabric counters (all zero when the node is standalone).
+    pub fabric: FabricStats,
 }
 
 impl Shared {
@@ -417,6 +438,7 @@ impl Shared {
             writable_stalls: self.writable_stalls.load(Ordering::Relaxed),
             loop_iterations: self.loop_iterations.load(Ordering::Relaxed),
             persist: self.persist.as_ref().map(|p| p.stats()).unwrap_or_default(),
+            fabric: self.fabric.as_ref().map(|f| f.stats()).unwrap_or_default(),
         }
     }
 
@@ -456,6 +478,34 @@ impl Shared {
             ("writable_stalls", Json::Int(s.writable_stalls as i128)),
             ("loop_iterations", Json::Int(s.loop_iterations as i128)),
             (
+                "fabric",
+                match &self.fabric {
+                    Some(fabric) => {
+                        // Mirror the fabric counters into the registry
+                        // (monotone, so `counter_max` makes stale
+                        // snapshots harmless) alongside the gauges.
+                        let f = fabric.stats();
+                        for (name, value) in [
+                            ("fabric.forwards_out", f.forwards_out),
+                            ("fabric.forwards_in", f.forwards_in),
+                            ("fabric.remote_hits", f.remote_hits),
+                            ("fabric.forward_errors", f.forward_errors),
+                            ("fabric.peer_suspect", f.peer_suspect),
+                            ("fabric.peer_dead", f.peer_dead),
+                            ("fabric.gossip_rounds", f.gossip_rounds),
+                        ] {
+                            self.registry.counter_max(name, value);
+                        }
+                        self.registry
+                            .gauge_set("fabric.ring_version", clamp(f.ring_version));
+                        self.registry
+                            .gauge_set("fabric.members_alive", clamp(f.members_alive));
+                        fabric.stats_json()
+                    }
+                    None => Json::obj(vec![("enabled", Json::Bool(false))]),
+                },
+            ),
+            (
                 "persist",
                 Json::obj(vec![
                     ("enabled", Json::Bool(self.persist.is_some())),
@@ -483,6 +533,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    gossip: Option<JoinHandle<()>>,
 }
 
 /// Binds the address in `config` and starts the accept thread and
@@ -508,6 +559,15 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         )?),
         None => None,
     };
+    // The fabric learns this node's dial address from the actual bind
+    // (ephemeral ports are only known now) unless one is advertised.
+    let fabric = config.fabric.clone().map(|fabric_config| {
+        let self_addr = fabric_config
+            .advertise
+            .clone()
+            .unwrap_or_else(|| addr.to_string());
+        Arc::new(Fabric::new(fabric_config, self_addr))
+    });
     let event_loop = config.event_loop && EVENT_LOOP_SUPPORTED;
     #[cfg(all(
         target_os = "linux",
@@ -534,6 +594,8 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         loop_iterations: AtomicU64::new(0),
         results: ShardedLru::new(config.result_cache_capacity, 8),
         compiles: ShardedLru::new(config.compile_cache_capacity, 4),
+        remote: ShardedLru::new(config.result_cache_capacity, 8),
+        fabric: fabric.clone(),
         persist,
         #[cfg(all(
             target_os = "linux",
@@ -586,11 +648,29 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     )))]
     let accept = spawn_accept_thread(listener, &shared);
 
+    // The gossip heartbeat: one round immediately (a fresh node joins
+    // the ring before its first request), then one per interval until
+    // shutdown.
+    let gossip = fabric.map(|fabric| {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("rasengan-serve-gossip".to_string())
+            .spawn(move || {
+                let interval = fabric.config().heartbeat;
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    fabric.tick();
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn gossip thread")
+    });
+
     Ok(ServerHandle {
         addr,
         shared,
         accept: Some(accept),
         workers,
+        gossip,
     })
 }
 
@@ -649,6 +729,12 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // The gossip thread re-checks the flag each heartbeat; joining
+        // waits at most one interval plus one round of (bounded)
+        // gossip roundtrips.
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
+        }
     }
 }
 
@@ -687,6 +773,23 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                 let reply = Reply::new(ReplyStatus::Ok, vec![("stats", shared.stats_json())]);
                 write_reply_tracked(shared, reader.get_mut(), &reply);
             }
+            Ok(Verb::Gossip) => {
+                // Membership exchanges are answered inline like STATS:
+                // they never queue behind solves, so a saturated node
+                // still heartbeats.
+                let reply = match GossipMessage::parse_body(&mut reader) {
+                    Ok(message) => gossip_reply(shared, &message),
+                    Err(err) => {
+                        let counter = match err {
+                            RequestError::Timeout(_) => &shared.timeouts,
+                            RequestError::Malformed(_) => &shared.bad_requests,
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        request_error_reply(&err)
+                    }
+                };
+                write_reply_tracked(shared, reader.get_mut(), &reply);
+            }
             Ok(Verb::Solve) => {
                 let job = Job {
                     reader,
@@ -719,6 +822,16 @@ pub(crate) fn busy_reply(shared: &Shared) -> Reply {
             ]),
         )],
     )
+}
+
+/// Answers a `GOSSIP` exchange: merge-and-reply on a fabric node, a
+/// structured rejection on a standalone one. Shared by both front
+/// ends.
+pub(crate) fn gossip_reply(shared: &Shared, message: &GossipMessage) -> Reply {
+    match &shared.fabric {
+        Some(fabric) => fabric.handle_gossip(message),
+        None => bad_request_reply("fabric not enabled on this node"),
+    }
 }
 
 pub(crate) fn bad_request_reply(message: &str) -> Reply {
@@ -805,11 +918,36 @@ fn solve_reply(shared: &Shared, request: &SolveRequest, queue_s: f64, enqueued: 
     let fingerprint = problem.fingerprint();
     let trace = request.trace || shared.config.trace_all;
     let key = ResultKey::new(fingerprint, request, trace);
+    // Arrival accounting first: a forwarded request counts as
+    // `forwards_in` no matter which tier ends up answering it.
+    if let Some(fabric) = &shared.fabric {
+        if request.via.is_some() {
+            fabric.count_forward_in();
+        }
+    }
     if let Some(cached) = shared.results.get(&key) {
         let mut outcome = (*cached).clone();
         outcome.latency.stages.queue_s = queue_s;
         outcome.latency.stages.cache_hit = true;
         return ok_reply(shared, &outcome, fingerprint, queue_s, enqueued, "hit");
+    }
+
+    // Fabric tiers: the local read-through copy of a previously
+    // forwarded reply answers without any network (the sections are
+    // the owner's bytes, cached verbatim).
+    if let Some(fabric) = &shared.fabric {
+        if let Some(sections) = shared.remote.get(&key) {
+            fabric.count_remote_hit();
+            return forwarded_reply(
+                shared,
+                (*sections).clone(),
+                fingerprint,
+                queue_s,
+                enqueued,
+                "remote-hit",
+                None,
+            );
+        }
     }
 
     // Memory miss: the disk tier is next. A validated record promotes
@@ -825,6 +963,72 @@ fn solve_reply(shared: &Shared, request: &SolveRequest, queue_s: f64, enqueued: 
             outcome.latency.stages.queue_s = queue_s;
             outcome.latency.stages.cache_hit = true;
             return ok_reply(shared, &outcome, fingerprint, queue_s, enqueued, "disk-hit");
+        }
+    }
+
+    // Fabric forwarding: every local tier missed, this node is not
+    // the owner, and the request has not already hopped (`via` bounds
+    // routing to one hop). A bounded number of workers may wait on
+    // the network at once — at least one worker always stays free to
+    // compute, so two nodes forwarding to each other can never
+    // deadlock the pools. On any failure the solve falls through to a
+    // local compute: it is deterministic, so the bytes are identical
+    // either way, only cache placement differs.
+    if let Some(fabric) = &shared.fabric {
+        if request.via.is_none() {
+            let owner = fabric.owner(fingerprint);
+            if let Some(owner) = owner.filter(|o| !o.is_self) {
+                let permit =
+                    fabric.try_forward_permit(shared.config.workers.saturating_sub(1) as u64);
+                if let Some(_permit) = permit {
+                    let mut forwarded = request.clone();
+                    forwarded.trace = trace;
+                    forwarded.via = Some(fabric.node_id().to_string());
+                    match fabric.forward(&owner.addr, &forwarded.render()) {
+                        Ok(reply)
+                            if reply.status == ReplyStatus::Ok
+                                && reply.section("result").is_some() =>
+                        {
+                            let owner_note = reply
+                                .json("service")
+                                .ok()
+                                .and_then(|s| {
+                                    s.get("cache").and_then(|c| c.as_str()).map(str::to_string)
+                                })
+                                .unwrap_or_else(|| "miss".to_string());
+                            let sections: Vec<(String, String)> = reply
+                                .sections
+                                .iter()
+                                .filter(|(name, _)| name.as_str() != "service")
+                                .cloned()
+                                .collect();
+                            if fabric.config().read_through {
+                                shared.remote.insert(key, Arc::new(sections.clone()));
+                            }
+                            return forwarded_reply(
+                                shared,
+                                sections,
+                                fingerprint,
+                                queue_s,
+                                enqueued,
+                                &format!("forward-{owner_note}"),
+                                Some(&owner.id),
+                            );
+                        }
+                        Ok(reply) if reply.status == ReplyStatus::Error => {
+                            // Solver errors are as deterministic as
+                            // results; the owner's sections are what a
+                            // local compute would produce.
+                            shared.served_error.fetch_add(1, Ordering::Relaxed);
+                            return reply;
+                        }
+                        // BUSY (the owner is shedding) or a malformed
+                        // OK: compute locally.
+                        Ok(_) => {}
+                        Err(_) => fabric.note_unreachable(&owner.id),
+                    }
+                }
+            }
         }
     }
 
@@ -906,6 +1110,46 @@ fn solve_reply(shared: &Shared, request: &SolveRequest, queue_s: f64, enqueued: 
             shared.served_error.fetch_add(1, Ordering::Relaxed);
             Reply::new(ReplyStatus::Error, error_sections(&err))
         }
+    }
+}
+
+/// Builds the reply for a solve served through the fabric — a freshly
+/// forwarded owner reply or a local read-through copy of one. This
+/// node's own `service` section is stamped in front; every other
+/// section (`result`, `timing`, `trace`, …) is the owner's bytes,
+/// verbatim, so the `result` a client reads is identical no matter
+/// which node it hit.
+fn forwarded_reply(
+    shared: &Shared,
+    sections: Vec<(String, String)>,
+    fingerprint: u128,
+    queue_s: f64,
+    enqueued: Instant,
+    cache_note: &str,
+    owner: Option<&str>,
+) -> Reply {
+    shared.served_ok.fetch_add(1, Ordering::Relaxed);
+    shared.registry.counter_add("serve.requests", 1);
+    shared
+        .registry
+        .histogram_record("serve.queue_wait_us", (queue_s * 1e6) as u64);
+    shared.registry.histogram_record(
+        "serve.request_us",
+        enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
+    );
+    let mut service = vec![
+        ("fingerprint", Json::Str(format!("{fingerprint:#034x}"))),
+        ("cache", Json::Str(cache_note.to_string())),
+        ("queue_wait_ms", Json::Num(queue_s * 1000.0)),
+    ];
+    if let Some(owner) = owner {
+        service.push(("owner", Json::Str(owner.to_string())));
+    }
+    let mut all = vec![("service".to_string(), Json::obj(service).render())];
+    all.extend(sections);
+    Reply {
+        status: ReplyStatus::Ok,
+        sections: all,
     }
 }
 

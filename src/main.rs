@@ -110,6 +110,9 @@ struct Options {
     to: Option<Format>,
     recover: bool,
     lambda: Option<f64>,
+    node_id: Option<String>,
+    peers: Vec<String>,
+    advertise: Option<String>,
 }
 
 impl Options {
@@ -142,6 +145,9 @@ impl Options {
             to: None,
             recover: false,
             lambda: None,
+            node_id: None,
+            peers: Vec::new(),
+            advertise: None,
         };
         let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
@@ -250,6 +256,25 @@ impl Options {
                         Format::parse(&token).ok_or_else(|| format!("unknown format `{token}`"))?,
                     );
                 }
+                "--node-id" => {
+                    let id = value("--node-id")?;
+                    if id.is_empty() || id.contains(char::is_whitespace) {
+                        return Err("node-id must be a single non-empty token".to_string());
+                    }
+                    opts.node_id = Some(id);
+                }
+                "--peers" => {
+                    // Comma-separated host:port list; empty entries are
+                    // tolerated so trailing commas don't error out.
+                    opts.peers.extend(
+                        value("--peers")?
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|p| !p.is_empty())
+                            .map(str::to_string),
+                    );
+                }
+                "--advertise" => opts.advertise = Some(value("--advertise")?),
                 "--recover" => opts.recover = true,
                 "--lambda" => {
                     opts.lambda = Some(
@@ -363,6 +388,13 @@ FLAGS:
                            connection front end
       --connect-retries <N> `submit` rides through a restarting server
                            with up to N extra connection attempts
+      --peers <LIST>       comma-separated peer addresses; joins `serve`
+                           to a multi-node fabric (consistent-hash
+                           routing + gossip membership)
+      --node-id <ID>       stable fabric identity for this node
+                           (default: derived from --addr)
+      --advertise <ADDR>   address peers should dial back (default:
+                           the bound --addr)
   -o, --out <PATH>         output path for `export`"
     );
 }
@@ -619,6 +651,20 @@ fn cmd_serve(opts: &Options) -> ExitCode {
     if let Some(event_loop) = opts.event_loop {
         config = config.with_event_loop(event_loop);
     }
+    if !opts.peers.is_empty() || opts.node_id.is_some() {
+        let node_id = opts
+            .node_id
+            .clone()
+            .unwrap_or_else(|| format!("node-{}", opts.addr.replace([':', '.'], "-")));
+        let mut fabric = rasengan::serve::FabricConfig::new(node_id)
+            .with_peers(opts.peers.clone())
+            .with_seed(opts.seed);
+        if let Some(advertise) = &opts.advertise {
+            fabric = fabric.with_advertise(advertise);
+        }
+        config = config.with_fabric(fabric);
+    }
+    let fabric_enabled = config.fabric.is_some();
     let event_loop = config.event_loop && rasengan::serve::EVENT_LOOP_SUPPORTED;
     let server = match serve(config) {
         Ok(server) => server,
@@ -628,7 +674,7 @@ fn cmd_serve(opts: &Options) -> ExitCode {
         }
     };
     println!(
-        "rasengan service listening on {} ({} front end, {} workers, queue {}{})",
+        "rasengan service listening on {} ({} front end, {} workers, queue {}{}{})",
         server.addr(),
         if event_loop { "event-loop" } else { "threaded" },
         opts.workers,
@@ -636,7 +682,12 @@ fn cmd_serve(opts: &Options) -> ExitCode {
         opts.state_dir
             .as_deref()
             .map(|d| format!(", state {d}"))
-            .unwrap_or_default()
+            .unwrap_or_default(),
+        if fabric_enabled {
+            format!(", fabric {} peers", opts.peers.len())
+        } else {
+            String::new()
+        }
     );
     let persist = server.stats().persist;
     if opts.state_dir.is_some() {

@@ -1,0 +1,377 @@
+//! Multi-node fabric integration suite (mirrors the CI fabric-smoke
+//! job): in-process clusters joined by the consistent-hash ring, with
+//! byte-identity asserted from every entry node, cross-node cache
+//! reuse observed through the wire counters, and owner-death churn
+//! driven end to end — suspect, dead, ring rebuild, recompute.
+//!
+//! Every assertion here holds at any `RASENGAN_THREADS` (CI runs the
+//! suite at 1 and 4): the solver is bit-deterministic, so a forwarded
+//! solve, a local fallback, and an in-process baseline all produce the
+//! same `result` bytes.
+
+use rasengan::core::Rasengan;
+use rasengan::problems::io::parse_problem;
+use rasengan::serve::{
+    key_point, render_outcome, serve, stats, submit, FabricConfig, ReplyStatus, ServeConfig,
+    ServerHandle, SolveRequest, DEFAULT_VNODES,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn instance_texts() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/instances");
+    let mut instances: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("examples/instances exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? != "problem" {
+                return None;
+            }
+            let name = path.file_stem()?.to_string_lossy().into_owned();
+            Some((name, std::fs::read_to_string(&path).ok()?))
+        })
+        .collect();
+    instances.sort();
+    assert!(
+        instances.len() >= 5,
+        "expected the committed example instances, found {}",
+        instances.len()
+    );
+    instances
+}
+
+fn request_for(text: &str) -> SolveRequest {
+    SolveRequest::new(text.to_string())
+        .with_seed(11)
+        .with_shots(128)
+        .with_iterations(8)
+}
+
+/// The node id scheme every cluster here uses: `fab-n0`, `fab-n1`, …
+fn node_id(i: usize) -> String {
+    format!("fab-n{i}")
+}
+
+/// Spawns an `n`-node in-process cluster. Node `i` seeds its peer list
+/// with every node bound before it; gossip closes the rest of the
+/// mesh. Returns the handles once **every** node's member list has
+/// converged to the real node ids (placeholder seed ids replaced), so
+/// callers can compute ring ownership from `node_id(i)` deterministically.
+fn spawn_cluster(
+    n: usize,
+    workers: usize,
+    configure: impl Fn(FabricConfig) -> FabricConfig,
+) -> Vec<ServerHandle> {
+    let mut servers: Vec<ServerHandle> = Vec::new();
+    for i in 0..n {
+        let fabric = configure(
+            FabricConfig::new(node_id(i))
+                .with_seed(40 + i as u64)
+                .with_heartbeat(Duration::from_millis(40))
+                .with_peers(servers.iter().map(|s| s.addr().to_string()).collect()),
+        );
+        let server = serve(
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_fabric(fabric),
+        )
+        .expect("bind ephemeral port");
+        servers.push(server);
+    }
+    wait_for_membership(&servers, (0..n).map(node_id).collect());
+    servers
+}
+
+/// Polls each node's wire STATS until its fabric member list is
+/// exactly `expected` ids, all alive. Converged membership means every
+/// node owns the same ring, so ownership computed in the test matches
+/// what the servers route on.
+fn wait_for_membership(servers: &[ServerHandle], mut expected: Vec<String>) {
+    expected.sort();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for server in servers {
+        loop {
+            let fabric = wire_fabric(server);
+            let members = fabric
+                .get("members")
+                .and_then(|m| m.as_arr())
+                .map(|m| m.to_vec());
+            let mut ids: Vec<String> = members
+                .unwrap_or_default()
+                .iter()
+                .filter(|m| m.get("state").and_then(|s| s.as_str()) == Some("alive"))
+                .filter_map(|m| m.get("id").and_then(|s| s.as_str()).map(str::to_string))
+                .collect();
+            ids.sort();
+            if ids == expected {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "membership did not converge on {}: have {ids:?}, want {expected:?}",
+                server.addr()
+            );
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+}
+
+/// The `fabric` object from a node's wire STATS reply.
+fn wire_fabric(server: &ServerHandle) -> rasengan::serve::Json {
+    let reply = stats(server.addr()).expect("stats");
+    assert_eq!(reply.status, ReplyStatus::Ok);
+    reply
+        .json("stats")
+        .expect("stats section")
+        .get("fabric")
+        .expect("fabric stats present")
+        .clone()
+}
+
+fn wire_counter(server: &ServerHandle, name: &str) -> i128 {
+    wire_fabric(server)
+        .get(name)
+        .and_then(|v| v.as_i128())
+        .unwrap_or_else(|| panic!("fabric counter {name} missing"))
+}
+
+/// The index of the node that owns `text`'s problem on a ring over
+/// nodes `0..n` — computed test-side from the exported [`Ring`], which
+/// the servers must agree with once membership has converged.
+fn owner_index(servers: &[ServerHandle], text: &str) -> usize {
+    let members: Vec<(String, String)> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (node_id(i), s.addr().to_string()))
+        .collect();
+    let ring = rasengan::serve::Ring::build(&members, DEFAULT_VNODES);
+    let problem = parse_problem(text).expect("fixture parses");
+    let (owner, _) = ring
+        .owner_of(problem.fingerprint())
+        .expect("non-empty ring");
+    servers
+        .iter()
+        .enumerate()
+        .position(|(i, _)| node_id(i) == owner)
+        .expect("owner is a cluster member")
+}
+
+/// (a) Every committed fixture, submitted through a node that does NOT
+/// own it, returns `result` bytes identical to an in-process solve —
+/// the fabric's core determinism contract, valid at any thread count.
+#[test]
+fn every_fixture_is_byte_identical_from_a_non_owner() {
+    let servers = spawn_cluster(2, 2, |f| f);
+    for (name, text) in instance_texts() {
+        let request = request_for(&text);
+        let problem = parse_problem(&text).expect("fixture parses");
+        let baseline = render_outcome(
+            &Rasengan::new(request.config())
+                .solve(&problem)
+                .expect("in-process solve"),
+        );
+        let non_owner = 1 - owner_index(&servers, &text);
+        let reply = submit(servers[non_owner].addr(), &request).expect("submit");
+        assert_eq!(reply.status, ReplyStatus::Ok, "{name} failed via non-owner");
+        assert_eq!(
+            reply.section("result").expect("result section"),
+            baseline,
+            "{name}: non-owner entry must be byte-identical to the in-process solve"
+        );
+        // key_point is total — every fingerprint lands somewhere on
+        // the ring — so routing never rejects a problem.
+        let _ = key_point(problem.fingerprint());
+    }
+    // Routing actually crossed the wire: at least one fixture was
+    // forwarded out of its entry node and into its owner.
+    let forwarded: i128 = servers
+        .iter()
+        .map(|s| wire_counter(s, "forwards_out"))
+        .sum();
+    let received: i128 = servers.iter().map(|s| wire_counter(s, "forwards_in")).sum();
+    assert!(forwarded >= 1, "non-owner entry must forward");
+    assert_eq!(forwarded, received, "every forward out lands on an owner");
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// (b) A second submit through a *different* node reuses the cluster's
+/// work rather than recomputing: the owner answers from its result
+/// cache on the forward, and the forwarder's read-through copy serves
+/// the third hit without touching the wire. Observed via the STATS
+/// counters on each node.
+#[test]
+fn cross_node_resubmission_hits_remote_and_local_caches() {
+    let servers = spawn_cluster(2, 2, |f| f);
+    let (_, text) = instance_texts().into_iter().next().unwrap();
+    let request = request_for(&text);
+    let owner = owner_index(&servers, &text);
+    let other = 1 - owner;
+
+    // Seed the owner directly: a plain local solve, no forwarding.
+    let first = submit(servers[owner].addr(), &request).expect("owner submit");
+    assert_eq!(first.status, ReplyStatus::Ok);
+    assert_eq!(wire_counter(&servers[owner], "forwards_out"), 0);
+
+    // Non-owner entry: forwarded, and the owner answers from cache.
+    let second = submit(servers[other].addr(), &request).expect("non-owner submit");
+    assert_eq!(second.status, ReplyStatus::Ok);
+    let service = second.json("service").expect("service section");
+    assert_eq!(
+        service.get("cache").and_then(|c| c.as_str()),
+        Some("forward-hit"),
+        "the owner must serve the forward from its result cache"
+    );
+    assert_eq!(
+        service.get("owner").and_then(|o| o.as_str()),
+        Some(node_id(owner).as_str()),
+        "the reply must name the owning node"
+    );
+    assert_eq!(wire_counter(&servers[other], "forwards_out"), 1);
+    assert_eq!(wire_counter(&servers[owner], "forwards_in"), 1);
+
+    // Same entry again: the read-through copy answers locally.
+    let third = submit(servers[other].addr(), &request).expect("remote-hit submit");
+    assert_eq!(third.status, ReplyStatus::Ok);
+    assert_eq!(
+        third
+            .json("service")
+            .expect("service section")
+            .get("cache")
+            .and_then(|c| c.as_str()),
+        Some("remote-hit"),
+        "the forwarder must keep a read-through copy"
+    );
+    assert_eq!(wire_counter(&servers[other], "remote_hits"), 1);
+    assert_eq!(
+        wire_counter(&servers[other], "forwards_out"),
+        1,
+        "a remote hit must not touch the wire again"
+    );
+
+    // All three paths return the same bytes.
+    let bytes: Vec<&str> = [&first, &second, &third]
+        .iter()
+        .map(|r| r.section("result").expect("result section"))
+        .collect();
+    assert_eq!(bytes[0], bytes[1]);
+    assert_eq!(bytes[1], bytes[2]);
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// (c) Owner death: the cluster detects it (suspect → dead), rebuilds
+/// the ring without the corpse, and keeps serving byte-identical
+/// results throughout — first by local fallback while the death is
+/// still undetected, then by re-routed ownership.
+#[test]
+fn owner_death_rebuilds_the_ring_and_results_stay_identical() {
+    // Read-through is disabled so the post-death submits exercise
+    // routing and recompute, not a warm forwarder cache.
+    let mut servers = spawn_cluster(3, 2, |f| f.without_read_through());
+    let (_, text) = instance_texts().into_iter().next().unwrap();
+    let request = request_for(&text);
+    let owner = owner_index(&servers, &text);
+    let survivors: Vec<usize> = (0..3).filter(|i| *i != owner).collect();
+
+    // Healthy cluster: a non-owner entry forwards to the owner.
+    let before = submit(servers[survivors[0]].addr(), &request).expect("pre-death submit");
+    assert_eq!(before.status, ReplyStatus::Ok);
+    let baseline = before.section("result").expect("result").to_string();
+    // Each node versions its own ring, so the rebuild check is
+    // per-survivor against that survivor's own pre-death version.
+    let ring_before: Vec<i128> = survivors
+        .iter()
+        .map(|&i| wire_counter(&servers[i], "ring_version"))
+        .collect();
+
+    // Kill the owner. `remove` keeps the survivors' relative order, so
+    // `ring_before[k]` still belongs to `servers[k]`.
+    let corpse = servers.remove(owner);
+    corpse.shutdown();
+
+    // Immediately after death the survivors still route to the corpse;
+    // the forward fails and the entry node falls back to computing
+    // locally — same bytes, and the dead peer is suspected on the spot.
+    let during = submit(servers[0].addr(), &request).expect("fallback submit");
+    assert_eq!(during.status, ReplyStatus::Ok);
+    assert_eq!(
+        during.section("result").expect("result"),
+        baseline,
+        "local fallback must be byte-identical"
+    );
+
+    // The gossip timers take it from there: suspect → dead → ring
+    // rebuild on every survivor.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for (server, &before_version) in servers.iter().zip(&ring_before) {
+        while wire_counter(server, "members_dead") < 1
+            || wire_counter(server, "ring_version") <= before_version
+        {
+            assert!(
+                Instant::now() < deadline,
+                "owner death was not detected within 10s"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            wire_counter(server, "peer_suspect") >= 1,
+            "death must pass through the suspect state"
+        );
+    }
+
+    // Post-rebuild: both survivors answer, and the bytes still match.
+    for server in &servers {
+        let after = submit(server.addr(), &request).expect("post-rebuild submit");
+        assert_eq!(after.status, ReplyStatus::Ok);
+        assert_eq!(
+            after.section("result").expect("result"),
+            baseline,
+            "post-rebuild result must be byte-identical"
+        );
+    }
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// (d) A peer list naming the node itself and repeating an address
+/// collapses cleanly: one unique peer survives, and the node's own
+/// advertise address never gossips to itself.
+#[test]
+fn self_and_duplicate_peers_dedupe() {
+    let advertise = "127.0.0.1:45991";
+    let fabric = FabricConfig::new("solo")
+        .with_advertise(advertise)
+        .with_heartbeat(Duration::from_millis(40))
+        .with_peers(vec![
+            advertise.to_string(),
+            "127.0.0.1:45992".to_string(),
+            "127.0.0.1:45992".to_string(),
+            advertise.to_string(),
+        ]);
+    let server = serve(ServeConfig::default().with_workers(1).with_fabric(fabric))
+        .expect("bind ephemeral port");
+    let stats = wire_fabric(&server);
+    let members = stats
+        .get("members")
+        .and_then(|m| m.as_arr())
+        .map(|m| m.to_vec())
+        .expect("members array");
+    // Self plus exactly one deduped peer.
+    assert_eq!(members.len(), 2, "members: {members:?}");
+    let addrs: Vec<&str> = members
+        .iter()
+        .filter_map(|m| m.get("addr").and_then(|a| a.as_str()))
+        .collect();
+    assert!(addrs.contains(&advertise));
+    assert!(addrs.contains(&"127.0.0.1:45992"));
+    assert_eq!(
+        stats.get("node_id").and_then(|v| v.as_str()),
+        Some("solo"),
+        "node id survives"
+    );
+    server.shutdown();
+}

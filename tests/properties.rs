@@ -804,3 +804,118 @@ proptest! {
         prop_assert!(q.objective().quadratic.is_empty(), "penalty couplings must be fully lifted");
     }
 }
+
+// --- consistent-hash ring (serve::fabric) -------------------------------
+
+/// Owner assignment of the full 32-instance registry corpus on a ring
+/// over `n` identically-configured nodes.
+fn registry_owner_counts(n: usize) -> Vec<usize> {
+    use rasengan::problems::registry::{all_ids, benchmark};
+    use rasengan::serve::{Ring, DEFAULT_VNODES};
+    let members: Vec<(String, String)> = (0..n)
+        .map(|i| (format!("node-{i}"), format!("10.0.0.{i}:7878")))
+        .collect();
+    let ring = Ring::build(&members, DEFAULT_VNODES);
+    let mut counts = vec![0usize; n];
+    for id in all_ids() {
+        let fp = benchmark(id).fingerprint();
+        let (owner, _) = ring.owner_of(fp).expect("non-empty ring");
+        let idx: usize = owner
+            .strip_prefix("node-")
+            .and_then(|s| s.parse().ok())
+            .expect("owner id shape");
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// The ring spreads the registry corpus: at 2 and 4 nodes every node
+/// owns work and nobody owns more than 3x the fair share; at 8 nodes
+/// (4 keys per node in expectation) the bound loosens but no node may
+/// own more than half the corpus.
+#[test]
+fn ring_balances_the_registry_corpus() {
+    for n in [2usize, 4] {
+        let counts = registry_owner_counts(n);
+        let fair = 32.0 / n as f64;
+        assert!(
+            counts.iter().all(|&c| c >= 1),
+            "every node must own work at n={n}: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| (c as f64) <= fair * 3.0),
+            "no node may own >3x fair share at n={n}: {counts:?}"
+        );
+    }
+    let counts = registry_owner_counts(8);
+    assert_eq!(counts.iter().sum::<usize>(), 32);
+    assert!(
+        counts.iter().all(|&c| c <= 16),
+        "no node may own half the corpus at n=8: {counts:?}"
+    );
+    assert!(
+        counts.iter().filter(|&&c| c > 0).count() >= 6,
+        "at n=8 at least 6 of 8 nodes must own work: {counts:?}"
+    );
+}
+
+proptest! {
+    /// Consistent hashing's defining property, exactly: when a node
+    /// leaves, only the keys it owned move; when a node joins, keys
+    /// either stay put or move to the newcomer. No third-party churn.
+    #[test]
+    fn ring_remaps_minimally_on_join_and_leave(
+        n in 2usize..7,
+        leave in 0usize..7,
+        key_halves in prop::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX), 1..64),
+    ) {
+        use rasengan::serve::{Ring, DEFAULT_VNODES};
+        let keys: Vec<u128> = key_halves
+            .into_iter()
+            .map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+            .collect();
+        let member = |i: usize| (format!("node-{i}"), format!("10.0.0.{i}:7878"));
+        let members: Vec<(String, String)> = (0..n).map(member).collect();
+        let ring = Ring::build(&members, DEFAULT_VNODES);
+
+        // Leave: drop one member, keys owned by others must not move.
+        let leave = leave % n;
+        let rest: Vec<(String, String)> =
+            members.iter().filter(|(id, _)| *id != format!("node-{leave}")).cloned().collect();
+        let smaller = Ring::build(&rest, DEFAULT_VNODES);
+        for &key in &keys {
+            let before = ring.owner_of(key).expect("owner").0.to_string();
+            let after = smaller.owner_of(key).expect("owner").0.to_string();
+            if before != format!("node-{leave}") {
+                prop_assert_eq!(
+                    &before, &after,
+                    "key {:#x} moved off a surviving node on leave", key
+                );
+            } else {
+                prop_assert_ne!(&after, &format!("node-{leave}"));
+            }
+        }
+
+        // Join: add a fresh member, keys either stay or go to it.
+        let mut grown = members.clone();
+        grown.push(member(n));
+        let bigger = Ring::build(&grown, DEFAULT_VNODES);
+        for &key in &keys {
+            let before = ring.owner_of(key).expect("owner").0.to_string();
+            let after = bigger.owner_of(key).expect("owner").0.to_string();
+            prop_assert!(
+                after == before || after == format!("node-{n}"),
+                "key {:#x} hopped between incumbents on join: {} -> {}", key, before, after
+            );
+        }
+
+        // Build order never matters: the ring is a pure function of
+        // the member set.
+        let mut shuffled = grown.clone();
+        shuffled.reverse();
+        let same = Ring::build(&shuffled, DEFAULT_VNODES);
+        for &key in &keys {
+            prop_assert_eq!(bigger.owner_of(key), same.owner_of(key));
+        }
+    }
+}
